@@ -1,0 +1,140 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation from the simulator, plus the ablation studies. With no flags
+// it runs everything.
+//
+//	benchtables -table1 -table2 -trials 100
+//	benchtables -figs
+//	benchtables -ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	var (
+		seed        = flag.Int64("seed", 1, "base random seed")
+		trials      = flag.Int("trials", 100, "trials per device for Table II")
+		table1      = flag.Bool("table1", false, "run Table I (link key extraction)")
+		table2      = flag.Bool("table2", false, "run Table II (MITM success rates)")
+		figs        = flag.Bool("figs", false, "run figure reproductions (2, 3, 7, 11, 12)")
+		ablations   = flag.Bool("ablations", false, "run ablation studies")
+		mitigations = flag.Bool("mitigations", false, "run the mitigation matrix")
+	)
+	flag.Parse()
+
+	all := !*table1 && !*table2 && !*figs && !*ablations && !*mitigations
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+
+	if *table1 || all {
+		rows, err := eval.RunTableI(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(eval.RenderTableI(rows))
+	}
+
+	if *table2 || all {
+		rows, err := eval.RunTableII(*seed, *trials)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(eval.RenderTableII(rows))
+	}
+
+	if *figs || all {
+		fig2, err := eval.RunFig2(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("FIG 2a: fresh pairing HCI flow (victim side)")
+		for _, n := range fig2.FreshPairing {
+			fmt.Println("  ", n)
+		}
+		fmt.Println("FIG 2b: bonded re-authentication HCI flow")
+		for _, n := range fig2.BondedReauth {
+			fmt.Println("  ", n)
+		}
+		fmt.Println()
+
+		fig3, err := eval.RunFig3(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("FIG 3: link key in an HCI dump")
+		fmt.Printf("  key: %s (matches bond: %v, frame %d via %s)\n",
+			fig3.Key, fig3.MatchesBond, fig3.Hit.Frame, fig3.Hit.Source)
+		fmt.Printf("  packet: %s\n\n", fig3.PacketHex)
+
+		fig7 := eval.RunFig7()
+		fmt.Println("FIG 7: IO capability mapping")
+		fmt.Println(fig7.V42)
+		fmt.Println(fig7.V50)
+
+		fig11, err := eval.RunFig11(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("FIG 11: link key via USB sniff (C) vs HCI dump (M)")
+		fmt.Printf("  USB:   %s (hex offset %d)\n", fig11.USBKey, fig11.USBOffset)
+		fmt.Printf("  dump:  %s\n  match: %v\n\n", fig11.SnoopKey, fig11.Match)
+
+		fig12, err := eval.RunFig12(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("FIG 12a: HCI dump for normal pairing")
+		fmt.Println(fig12.NormalPairing)
+		fmt.Println("FIG 12b: HCI dump for pairing under page blocking attack")
+		fmt.Println(fig12.PageBlocked)
+		fmt.Printf("page blocking signature present: %v\n\n", fig12.Signature)
+	}
+
+	if *mitigations || all {
+		rows, err := eval.RunMitigationMatrix(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(eval.RenderMitigationMatrix(rows))
+
+		sweep, err := eval.RunForensicsSweep(*seed, 10)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(eval.RenderForensicsSweep(sweep))
+	}
+
+	if *ablations || all {
+		jrows := eval.RunJitterAblation(*seed, 40, []time.Duration{
+			0, 5 * time.Millisecond, 30 * time.Millisecond, 120 * time.Millisecond,
+		})
+		fmt.Println(eval.RenderJitterAblation(jrows))
+
+		prows := eval.RunPLOCWindowAblation(*seed, []time.Duration{
+			5 * time.Second, 15 * time.Second, 25 * time.Second, 40 * time.Second,
+		})
+		fmt.Println(eval.RenderPLOCWindow(prows))
+
+		srows, err := eval.RunStallAblation(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(eval.RenderStallAblation(srows))
+
+		trows, err := eval.RunLMPTimeoutAblation(*seed, []time.Duration{
+			time.Second, 5 * time.Second, 30 * time.Second,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(eval.RenderLMPTimeout(trows))
+	}
+}

@@ -1,0 +1,393 @@
+// Command blap runs the BLAP attacks end-to-end inside the simulator and
+// prints detailed reports.
+//
+//	blap extract [-channel snoop|usb] [-client <platform>] [-seed N]
+//	blap impersonate [-seed N]
+//	blap pageblock [-victim <platform>] [-no-ploc] [-seed N]
+//	blap baseline [-trials N] [-seed N]
+//	blap platforms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/hci"
+	"repro/internal/host"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: blap <command> [flags]
+
+commands:
+  extract      run the link key extraction attack (paper §IV, Fig. 5)
+  impersonate  extract a key, then impersonate the client to the victim (§VI-B1)
+  pageblock    run the page blocking attack + SSP downgrade (§V, Fig. 6b)
+  baseline     measure the MITM page race without page blocking (Table II)
+  eavesdrop    sniff an encrypted session, steal the key, decrypt the past
+  pincrack     sniff a legacy PIN pairing and brute-force the PIN offline
+  campaign     the full persistent-impersonation campaign (paper paragraph III-B)
+  platforms    list the simulated device catalog
+`)
+	os.Exit(2)
+}
+
+// platformByName resolves a catalog platform from a short name.
+func platformByName(name string) (device.Platform, bool) {
+	all := map[string]device.Platform{
+		"nexus5x-android6":   device.Nexus5XAndroid6,
+		"nexus5x":            device.Nexus5XAndroid8,
+		"lgv50":              device.LGV50Android9,
+		"galaxys8":           device.GalaxyS8Android9,
+		"pixel2xl":           device.Pixel2XLAndroid11,
+		"lgvelvet":           device.LGVELVETAndroid11,
+		"galaxys21":          device.GalaxyS21Android11,
+		"iphonexs":           device.IPhoneXsIOS14,
+		"windows-ms":         device.Windows10MSDriver,
+		"windows-csr":        device.Windows10CSRHarmony,
+		"ubuntu":             device.Ubuntu2004BlueZ,
+		"handsfree":          device.HandsFreeKit,
+		"headset":            device.Headset,
+		"android-automotive": device.AndroidAutomotive,
+	}
+	p, ok := all[name]
+	return p, ok
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "extract":
+		runExtract(args, false)
+	case "impersonate":
+		runExtract(args, true)
+	case "pageblock":
+		runPageBlock(args)
+	case "baseline":
+		runBaseline(args)
+	case "eavesdrop":
+		runEavesdrop(args)
+	case "pincrack":
+		runPINCrack(args)
+	case "campaign":
+		runCampaign(args)
+	case "platforms":
+		listPlatforms()
+	default:
+		usage()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "blap:", err)
+	os.Exit(1)
+}
+
+func runExtract(args []string, alsoImpersonate bool) {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	channel := fs.String("channel", "snoop", "extraction channel: snoop or usb")
+	client := fs.String("client", "galaxys21", "client (C) platform")
+	_ = fs.Parse(args)
+
+	p, ok := platformByName(*client)
+	if !ok {
+		fail(fmt.Errorf("unknown platform %q (see 'blap platforms')", *client))
+	}
+	ch := core.ChannelHCISnoop
+	if *channel == "usb" {
+		ch = core.ChannelUSBSniff
+	}
+	tb, err := core.NewTestbed(*seed, core.TestbedOptions{
+		ClientPlatform:   p,
+		ClientUSBSniffer: ch == core.ChannelUSBSniff,
+		Bond:             true,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("world: M=%s\n       C=%s\n       A=%s\n", tb.M, tb.C, tb.A)
+	fmt.Printf("setup: M and C bonded with link key %s\n\n", tb.BondKey)
+
+	rep, err := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
+		Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(), Channel: ch,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("link key extraction via %s:\n", rep.Channel)
+	fmt.Printf("  extracted key:      %s\n", rep.Key)
+	fmt.Printf("  matches bond:       %v\n", rep.Key == tb.BondKey)
+	fmt.Printf("  capture size:       %d bytes (%d key occurrences)\n", rep.CaptureBytes, rep.KeysInCapture)
+	fmt.Printf("  client disconnect:  %s\n", rep.DisconnectReason)
+	fmt.Printf("  client kept bond:   %v\n", rep.ClientKeptBond)
+	fmt.Printf("  virtual time:       %v\n", rep.Elapsed.Round(time.Millisecond))
+
+	if !alsoImpersonate {
+		return
+	}
+	fmt.Println()
+	imp := core.RunImpersonation(tb.Sched, core.ImpersonationConfig{
+		Attacker: tb.A, Victim: tb.M, ClientAddr: tb.C.Addr(), Key: rep.Key,
+	})
+	fmt.Println("impersonation (PAN tethering validation):")
+	fmt.Printf("  fake bt_config.conf:\n")
+	for _, line := range splitLines(imp.FakeBondConfig) {
+		fmt.Printf("    %s\n", line)
+	}
+	fmt.Printf("  LMP auth succeeded: %v\n", imp.AuthSucceeded)
+	fmt.Printf("  new pairing needed: %v\n", imp.NewPairingTriggered)
+	fmt.Printf("  profile connected:  %v\n", imp.Success)
+	if imp.Err != nil {
+		fmt.Printf("  error:              %v\n", imp.Err)
+	}
+}
+
+func runPageBlock(args []string) {
+	fs := flag.NewFlagSet("pageblock", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	victim := fs.String("victim", "lgvelvet", "victim (M) platform")
+	noPLOC := fs.Bool("no-ploc", false, "run the unpatched-attacker strawman instead of PLOC")
+	_ = fs.Parse(args)
+
+	p, ok := platformByName(*victim)
+	if !ok {
+		fail(fmt.Errorf("unknown platform %q", *victim))
+	}
+	tb, err := core.NewTestbed(*seed, core.TestbedOptions{VictimPlatform: p})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("world: M=%s\n       C=%s\n       A=%s\n\n", tb.M, tb.C, tb.A)
+	rep := core.RunPageBlocking(tb.Sched, core.PageBlockingConfig{
+		Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+		UsePLOC:    !*noPLOC,
+		RunInquiry: true,
+	})
+	fmt.Println("page blocking attack:")
+	fmt.Printf("  MITM established:        %v\n", rep.MITMEstablished)
+	fmt.Printf("  paired with real client: %v\n", rep.PairedWithClient)
+	fmt.Printf("  downgraded to JustWorks: %v\n", rep.DowngradedToJustWorks)
+	fmt.Printf("  victim conn responder:   %v\n", rep.VictimWasConnectionResponder)
+	fmt.Printf("  victim pairing initiator:%v\n", rep.VictimWasPairingInitiator)
+	if rep.PairErr != nil {
+		fmt.Printf("  victim pairing error:    %v\n", rep.PairErr)
+	}
+	for _, pr := range rep.VictimPrompts {
+		fmt.Printf("  victim dialog at %v: %s peer=%s expected=%v accepted=%v\n",
+			pr.At.Round(time.Millisecond), pr.Kind, pr.Peer, pr.Expected, pr.Accepted)
+	}
+	verdict := core.CheckPairingRoles(tb.M.Host.Connection(tb.C.Addr()))
+	fmt.Printf("  §VII-B detector:         suspicious=%v (%s)\n", verdict.Suspicious, verdict.Reason)
+}
+
+func runBaseline(args []string) {
+	fs := flag.NewFlagSet("baseline", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "base seed")
+	trials := fs.Int("trials", 100, "number of attempts")
+	victim := fs.String("victim", "lgvelvet", "victim (M) platform")
+	_ = fs.Parse(args)
+
+	p, ok := platformByName(*victim)
+	if !ok {
+		fail(fmt.Errorf("unknown platform %q", *victim))
+	}
+	wins := 0
+	for i := 0; i < *trials; i++ {
+		tb, err := core.NewTestbed(*seed+int64(i), core.TestbedOptions{VictimPlatform: p})
+		if err != nil {
+			fail(err)
+		}
+		rep := core.RunBaselineMITM(tb.Sched, core.BaselineMITMConfig{
+			Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+		})
+		if rep.MITMEstablished {
+			wins++
+		}
+	}
+	fmt.Printf("baseline MITM (no page blocking) against %s: %d/%d = %.0f%%\n",
+		p.Model, wins, *trials, 100*float64(wins)/float64(*trials))
+}
+
+func runEavesdrop(args []string) {
+	fs := flag.NewFlagSet("eavesdrop", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	_ = fs.Parse(args)
+
+	tb, err := core.NewTestbed(*seed, core.TestbedOptions{
+		ClientPlatform: device.GalaxyS21Android11,
+		Bond:           true,
+	})
+	if err != nil {
+		fail(err)
+	}
+	sniffer := core.NewAirSniffer(tb.Medium)
+	secret := []byte("PBAP entry: +82-10-0000-0000")
+	tb.M.Host.Pair(tb.C.Addr(), func(err error) {
+		if err != nil {
+			return
+		}
+		conn := tb.M.Host.Connection(tb.C.Addr())
+		tb.M.Host.Encrypt(conn, func(err error) {
+			if err == nil {
+				tb.M.Host.SendData(conn, secret)
+			}
+		})
+	})
+	tb.Sched.RunFor(10 * time.Second)
+	tb.M.Host.Disconnect(tb.C.Addr())
+	tb.Sched.RunFor(time.Second)
+	fmt.Printf("sniffed %d frames (%d encrypted payloads)\n", sniffer.Len(), sniffer.EncryptedFrames())
+
+	rep, err := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
+		Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(), Channel: core.ChannelHCISnoop,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("extracted key: %s\n", rep.Key)
+	for _, r := range sniffer.DecryptWithKey(rep.Key) {
+		if r.WasEncrypted && len(r.Data) > 6 {
+			fmt.Printf("decrypted past payload (%s -> %s): %q\n", r.From, r.To, r.Data[6:])
+		}
+	}
+}
+
+func runPINCrack(args []string) {
+	fs := flag.NewFlagSet("pincrack", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	pin := fs.String("pin", "4603", "accessory PIN (4 digits)")
+	_ = fs.Parse(args)
+
+	s := sim.NewScheduler(*seed)
+	med := radio.NewMedium(s, radio.DefaultConfig())
+	sniffer := core.NewAirSniffer(med)
+	mk := func(addr bt.BDADDR, name string) *host.Host {
+		tr := hci.NewTransport(s, 100*time.Microsecond)
+		controller.New(s, med, tr, controller.Config{Addr: addr, COD: bt.CODHeadset, Name: name})
+		h := host.New(s, tr, host.Config{
+			Name: name, Version: bt.V2_1, IOCap: bt.NoInputNoOutput,
+			LegacyPairing: true, PINCode: *pin,
+			AcceptIncoming: true, Discoverable: true, Connectable: true,
+		}, host.Hooks{})
+		h.Start()
+		return h
+	}
+	a := mk(core.AddrM, "phone")
+	mk(core.AddrC, "headset")
+	s.Run(0)
+	a.Pair(core.AddrC, func(err error) {
+		if err != nil {
+			fail(fmt.Errorf("legacy pairing failed: %w", err))
+		}
+	})
+	s.RunFor(10 * time.Second)
+	fmt.Printf("sniffed a legacy pairing (%d frames)\n", sniffer.Len())
+
+	res, err := sniffer.CrackPIN(core.FourDigitPINs)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("cracked PIN %q after %d candidates; recovered link key %s\n", res.PIN, res.Tried, res.LinkKey)
+	fmt.Printf("matches the real bond: %v\n", res.LinkKey == a.Bonds().Get(core.AddrC).Key)
+}
+
+func runCampaign(args []string) {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	_ = fs.Parse(args)
+
+	tb, err := core.NewTestbed(*seed, core.TestbedOptions{
+		ClientPlatform: device.GalaxyS21Android11,
+		Bond:           true,
+	})
+	if err != nil {
+		fail(err)
+	}
+	phonebook := []byte("BEGIN:VCARD N:Victim;User TEL:+82-10-5555-5555 END:VCARD")
+	tb.M.Host.ProfileData[host.UUIDPBAP] = phonebook
+	tb.M.Host.RegisterService(host.UUIDPBAP)
+	promptsBefore := len(tb.MUser.Prompts())
+
+	fmt.Println("phase 1: harvest the key from the soft target C")
+	ext, err := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
+		Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(), Channel: core.ChannelHCISnoop,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("  key %s (C disconnected with %s, bond intact: %v)\n\n",
+		ext.Key, ext.DisconnectReason, ext.ClientKeptBond)
+
+	fmt.Println("phase 2: impersonate C, pull M's phone book over PBAP")
+	tb.A.SpoofIdentity(tb.C.Addr(), tb.C.Platform.COD)
+	hooks := tb.A.Host.Hooks()
+	hooks.IgnoreLinkKeyRequest = false
+	tb.A.Host.SetHooks(hooks)
+	tb.A.Host.Bonds().Put(host.Bond{Addr: tb.M.Addr(), Key: ext.Key})
+
+	exfiltrate := func(round int) {
+		tb.A.Host.ConnectProfile(tb.M.Addr(), host.UUIDPBAP, func(err error) {
+			if err != nil {
+				fail(err)
+			}
+			conn := tb.A.Host.Connection(tb.M.Addr())
+			tb.A.Host.PullData(conn, host.UUIDPBAP, func(data []byte, err error) {
+				if err != nil {
+					fail(err)
+				}
+				fmt.Printf("  round %d: exfiltrated %d bytes: %q\n", round, len(data), data)
+			})
+		})
+		tb.Sched.RunFor(60 * time.Second)
+	}
+	exfiltrate(1)
+
+	fmt.Println("\nphase 3: persistence — disconnect, come back, pull again")
+	tb.A.Host.Disconnect(tb.M.Addr())
+	tb.Sched.RunFor(time.Second)
+	exfiltrate(2)
+
+	fmt.Printf("\ndialogs shown to the victim during the campaign: %d\n",
+		len(tb.MUser.Prompts())-promptsBefore)
+}
+
+func listPlatforms() {
+	fmt.Println("victim / client platforms (Table I & II):")
+	names := []string{
+		"nexus5x-android6", "nexus5x", "lgv50", "galaxys8", "pixel2xl",
+		"lgvelvet", "galaxys21", "iphonexs", "windows-ms", "windows-csr",
+		"ubuntu", "handsfree", "headset", "android-automotive",
+	}
+	for _, n := range names {
+		p, _ := platformByName(n)
+		fmt.Printf("  %-19s %-28s %-12s %-10s snoop=%v su=%v\n",
+			n, p.Model, p.OS, p.Version, p.SupportsHCISnoop, p.SnoopRequiresSU)
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+// Command hcidump parses btsnoop capture files (RFC 1761, as written by
+// Android's snoop log, bluez-hcidump, or this project's simulator) and
+// renders them as a trace table. It can also scan a capture for plaintext
+// link keys — the paper's extraction step — and run the §VII-A filter to
+// show what a mitigated log would retain.
+//
+//	hcidump capture.btsnoop
+//	hcidump -keys capture.btsnoop
+//	hcidump -hex capture.btsnoop
+//	hcidump -analyze capture.btsnoop
+//	hcidump -usb capture.usbraw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/forensics"
+	"repro/internal/snoop"
+	"repro/internal/usbsniff"
+)
+
+func main() {
+	var (
+		keys    = flag.Bool("keys", false, "extract plaintext link keys")
+		hex     = flag.Bool("hex", false, "print raw packet bytes per frame")
+		usb     = flag.Bool("usb", false, "input is a raw sniffed USB stream, not btsnoop")
+		analyze = flag.Bool("analyze", false, "run the forensic analyzer (attack signatures)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hcidump [-keys] [-hex] [-usb] <capture>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+
+	if *usb {
+		dumpUSB(data, *keys)
+		return
+	}
+
+	if *analyze {
+		report, err := forensics.AnalyzeFile(data)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(report.Render())
+		return
+	}
+
+	records, err := snoop.ReadAll(data)
+	if err != nil {
+		fail(fmt.Errorf("parsing %s: %w", flag.Arg(0), err))
+	}
+
+	if *keys {
+		hits := snoop.ExtractLinkKeys(records)
+		if len(hits) == 0 {
+			fmt.Println("no plaintext link keys found")
+			return
+		}
+		for _, h := range hits {
+			fmt.Printf("frame %-5d %-36s peer %s  key %s\n", h.Frame, h.Source, h.Peer, h.Key)
+		}
+		return
+	}
+
+	fmt.Print(snoop.RenderTable(snoop.Summarize(records)))
+	if *hex {
+		fmt.Println()
+		for i, rec := range records {
+			dir := "TX"
+			if rec.Received() {
+				dir = "RX"
+			}
+			fmt.Printf("%-5d %s %s  %s\n", i+1, rec.Timestamp.Format("15:04:05.000000"), dir, usbsniff.BinaryToHex(rec.Data))
+		}
+	}
+}
+
+func dumpUSB(raw []byte, keys bool) {
+	if keys {
+		for _, k := range usbsniff.ExtractLinkKeys(raw) {
+			fmt.Printf("hex offset %-8d peer %s  key %s\n", k.HexOffset, k.Peer, k.Key)
+		}
+		return
+	}
+	urbs, err := usbsniff.ParseURBs(raw)
+	if err != nil {
+		fail(err)
+	}
+	for i, u := range urbs {
+		fmt.Printf("%-5d ep=0x%02x len=%-4d %s\n", i+1, u.Endpoint, len(u.Payload), usbsniff.BinaryToHex(u.Payload))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hcidump:", err)
+	os.Exit(1)
+}

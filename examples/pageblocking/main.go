@@ -1,0 +1,76 @@
+// Page blocking attack + SSP downgrade, end to end (paper §V, Fig. 6b):
+//
+// The attacker A wants the victim M to pair with it instead of the
+// genuine accessory C. Merely spoofing C's BDADDR leaves a ~50% page race
+// (Table II's 42-60% column). Page blocking removes the race: A connects
+// to M first and holds the link in "Physical Layer Only Connection" —
+// the host-layer steps are postponed, so nothing visible happens on M.
+// When M's user then pairs with C, M believes it is already connected to
+// C and sends the pairing straight down the held link — to A, with
+// certainty. A's NoInputNoOutput IO capability downgrades SSP to Just
+// Works, so there is no numeric value the user could compare.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+func main() {
+	fmt.Println("=== baseline: spoofing only, no page blocking (20 attempts) ===")
+	wins := 0
+	const trials = 20
+	for i := int64(0); i < trials; i++ {
+		tb, err := core.NewTestbed(100+i, core.TestbedOptions{VictimPlatform: device.GalaxyS21Android11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := core.RunBaselineMITM(tb.Sched, core.BaselineMITMConfig{
+			Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+		})
+		if rep.MITMEstablished {
+			wins++
+		}
+	}
+	fmt.Printf("attacker won the page race %d/%d times (~%.0f%%)\n\n", wins, trials, 100*float64(wins)/trials)
+
+	fmt.Println("=== page blocking: deterministic MITM (20 attempts) ===")
+	blockedWins := 0
+	var last core.PageBlockingReport
+	var lastTB *core.Testbed
+	for i := int64(0); i < trials; i++ {
+		tb, err := core.NewTestbed(200+i, core.TestbedOptions{VictimPlatform: device.GalaxyS21Android11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := core.RunPageBlocking(tb.Sched, core.PageBlockingConfig{
+			Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+			UsePLOC:       true,
+			PLOCHold:      10 * time.Second, // the PoC's fixed hold (Fig. 13)
+			UserPairDelay: time.Duration(2+i%7) * time.Second,
+			RunInquiry:    true,
+		})
+		if rep.MITMEstablished {
+			blockedWins++
+		}
+		last, lastTB = rep, tb
+	}
+	fmt.Printf("attacker MITM established %d/%d times (100%% expected)\n\n", blockedWins, trials)
+
+	fmt.Println("last run, dissected:")
+	fmt.Printf("  downgraded to Just Works:        %v\n", last.DowngradedToJustWorks)
+	fmt.Printf("  victim was connection responder: %v\n", last.VictimWasConnectionResponder)
+	fmt.Printf("  victim was pairing initiator:    %v\n", last.VictimWasPairingInitiator)
+	for _, p := range last.VictimPrompts {
+		fmt.Printf("  victim dialog: %s at t=%v (expected=%v, accepted=%v)\n",
+			p.Kind, p.At.Round(time.Millisecond), p.Expected, p.Accepted)
+	}
+
+	verdict := core.CheckPairingRoles(lastTB.M.Host.Connection(lastTB.C.Addr()))
+	fmt.Printf("\nproposed mitigation (§VII-B) verdict: suspicious=%v\n  reason: %s\n",
+		verdict.Suspicious, verdict.Reason)
+}

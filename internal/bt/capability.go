@@ -1,0 +1,91 @@
+package bt
+
+import "fmt"
+
+// IOCapability is the SSP input/output capability a device advertises
+// during the IO capability exchange (Core spec Vol 3 Part C §5.2.2.4).
+type IOCapability uint8
+
+// IO capabilities in HCI encoding order.
+const (
+	DisplayOnly     IOCapability = 0x00
+	DisplayYesNo    IOCapability = 0x01
+	KeyboardOnly    IOCapability = 0x02
+	NoInputNoOutput IOCapability = 0x03
+)
+
+func (c IOCapability) String() string {
+	switch c {
+	case DisplayOnly:
+		return "DisplayOnly"
+	case DisplayYesNo:
+		return "DisplayYesNo"
+	case KeyboardOnly:
+		return "KeyboardOnly"
+	case NoInputNoOutput:
+		return "NoInputNoOutput"
+	default:
+		return fmt.Sprintf("IOCapability(0x%02x)", uint8(c))
+	}
+}
+
+// Valid reports whether c is one of the four defined capabilities.
+func (c IOCapability) Valid() bool { return c <= NoInputNoOutput }
+
+// AssociationModel is the SSP association model selected by the IO
+// capability mapping.
+type AssociationModel uint8
+
+// Association models. OutOfBand is selected by OOB data presence rather
+// than the IO mapping; it is included for completeness.
+const (
+	JustWorks AssociationModel = iota
+	NumericComparison
+	PasskeyEntry
+	OutOfBand
+)
+
+func (m AssociationModel) String() string {
+	switch m {
+	case JustWorks:
+		return "Just Works"
+	case NumericComparison:
+		return "Numeric Comparison"
+	case PasskeyEntry:
+		return "Passkey Entry"
+	case OutOfBand:
+		return "Out of Band"
+	default:
+		return fmt.Sprintf("AssociationModel(%d)", uint8(m))
+	}
+}
+
+// Version identifies the Bluetooth core specification version a host stack
+// implements. Only the distinctions the paper relies on are modeled: v4.2
+// and lower auto-confirm Just Works when acting as pairing initiator, v5.0
+// and higher mandate a confirmation popup on DisplayYesNo devices.
+type Version uint8
+
+// Core specification versions.
+const (
+	V2_1 Version = iota
+	V4_0
+	V4_1
+	V4_2
+	V5_0
+	V5_1
+	V5_2
+	V5_3
+)
+
+func (v Version) String() string {
+	names := [...]string{"2.1", "4.0", "4.1", "4.2", "5.0", "5.1", "5.2", "5.3"}
+	if int(v) < len(names) {
+		return "v" + names[v]
+	}
+	return fmt.Sprintf("Version(%d)", uint8(v))
+}
+
+// AtLeast5 reports whether the version mandates the Just Works
+// confirmation dialog on DisplayYesNo devices (v5.0 or higher).
+func (v Version) AtLeast5() bool { return v >= V5_0 }

@@ -1,0 +1,73 @@
+package bt
+
+import "fmt"
+
+// ClassOfDevice is the 24-bit Bluetooth class-of-device field advertised in
+// inquiry responses. The paper's attack device changes its COD from mobile
+// phone (0x5A020C) to hands-free (0x3C0404) to impersonate an accessory
+// (Fig. 8).
+type ClassOfDevice uint32
+
+// Class-of-device values used in the paper.
+const (
+	CODMobilePhone ClassOfDevice = 0x5A020C
+	CODHandsFree   ClassOfDevice = 0x3C0404
+	CODComputer    ClassOfDevice = 0x104104
+	CODHeadset     ClassOfDevice = 0x240404
+)
+
+// MajorDeviceClass returns bits 12..8 of the COD.
+func (c ClassOfDevice) MajorDeviceClass() uint8 { return uint8((c >> 8) & 0x1F) }
+
+// MinorDeviceClass returns bits 7..2 of the COD.
+func (c ClassOfDevice) MinorDeviceClass() uint8 { return uint8((c >> 2) & 0x3F) }
+
+// MajorServiceClasses returns bits 23..13 of the COD.
+func (c ClassOfDevice) MajorServiceClasses() uint16 { return uint16((c >> 13) & 0x7FF) }
+
+// Major device classes (Assigned Numbers, Baseband).
+const (
+	MajorClassMisc     = 0x00
+	MajorClassComputer = 0x01
+	MajorClassPhone    = 0x02
+	MajorClassAudio    = 0x04
+	MajorClassWearable = 0x07
+)
+
+func (c ClassOfDevice) String() string {
+	var kind string
+	switch c.MajorDeviceClass() {
+	case MajorClassComputer:
+		kind = "Computer"
+	case MajorClassPhone:
+		kind = "Phone"
+	case MajorClassAudio:
+		kind = "Audio/Video"
+	case MajorClassWearable:
+		kind = "Wearable"
+	default:
+		kind = "Misc"
+	}
+	return fmt.Sprintf("0x%06X (%s)", uint32(c), kind)
+}
+
+// Bytes returns the three COD octets in HCI wire order (little-endian).
+func (c ClassOfDevice) Bytes() [3]byte {
+	return [3]byte{byte(c), byte(c >> 8), byte(c >> 16)}
+}
+
+// CODFromBytes decodes three HCI wire-order octets.
+func CODFromBytes(b [3]byte) ClassOfDevice {
+	return ClassOfDevice(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16)
+}
+
+// ConnHandle is an HCI connection handle (12 bits used).
+type ConnHandle uint16
+
+// LTAddr is the 3-bit logical transport address a piconet master assigns to
+// a slave at connection establishment. Once assigned, BDADDRs are no longer
+// used to address traffic — the property the page blocking attack exploits.
+type LTAddr uint8
+
+// Valid reports whether the LT_ADDR is in the usable range 1..7.
+func (a LTAddr) Valid() bool { return a >= 1 && a <= 7 }

@@ -1,0 +1,86 @@
+package bt
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// LinkKey is the 128-bit shared secret produced by pairing and consumed by
+// LMP authentication and encryption-key generation. It is the value the
+// link key extraction attack recovers from HCI dumps.
+type LinkKey [16]byte
+
+// ErrBadLinkKey reports a malformed textual link key.
+var ErrBadLinkKey = errors.New("bt: malformed link key")
+
+// ParseLinkKey parses 32 hex digits (the bt_config.conf representation).
+func ParseLinkKey(s string) (LinkKey, error) {
+	var k LinkKey
+	if len(s) != 32 {
+		return k, fmt.Errorf("%w: %q", ErrBadLinkKey, s)
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return k, fmt.Errorf("%w: %q: %v", ErrBadLinkKey, s, err)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// MustLinkKey is ParseLinkKey that panics on error; for tests.
+func MustLinkKey(s string) LinkKey {
+	k, err := ParseLinkKey(s)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// String renders the key as 32 lowercase hex digits.
+func (k LinkKey) String() string { return hex.EncodeToString(k[:]) }
+
+// IsZero reports whether the key is all-zero (absent).
+func (k LinkKey) IsZero() bool { return k == LinkKey{} }
+
+// LinkKeyType mirrors the HCI link key type octet reported alongside
+// HCI_Link_Key_Notification (Core spec Vol 4 Part E §7.7.24).
+type LinkKeyType uint8
+
+// Link key types from the HCI specification.
+const (
+	KeyTypeCombination         LinkKeyType = 0x00
+	KeyTypeLocalUnit           LinkKeyType = 0x01
+	KeyTypeRemoteUnit          LinkKeyType = 0x02
+	KeyTypeDebugCombination    LinkKeyType = 0x03
+	KeyTypeUnauthenticatedP192 LinkKeyType = 0x04
+	KeyTypeAuthenticatedP192   LinkKeyType = 0x05
+	KeyTypeChangedCombination  LinkKeyType = 0x06
+	KeyTypeUnauthenticatedP256 LinkKeyType = 0x07
+	KeyTypeAuthenticatedP256   LinkKeyType = 0x08
+)
+
+func (t LinkKeyType) String() string {
+	switch t {
+	case KeyTypeCombination:
+		return "Combination"
+	case KeyTypeLocalUnit:
+		return "Local Unit"
+	case KeyTypeRemoteUnit:
+		return "Remote Unit"
+	case KeyTypeDebugCombination:
+		return "Debug Combination"
+	case KeyTypeUnauthenticatedP192:
+		return "Unauthenticated (P-192)"
+	case KeyTypeAuthenticatedP192:
+		return "Authenticated (P-192)"
+	case KeyTypeChangedCombination:
+		return "Changed Combination"
+	case KeyTypeUnauthenticatedP256:
+		return "Unauthenticated (P-256)"
+	case KeyTypeAuthenticatedP256:
+		return "Authenticated (P-256)"
+	default:
+		return fmt.Sprintf("bt: link key type 0x%02x", uint8(t))
+	}
+}

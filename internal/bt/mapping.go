@@ -1,0 +1,100 @@
+package bt
+
+// Stage1Mapping captures what SSP authentication stage 1 does for a given
+// pair of IO capabilities: the association model, which side displays the
+// six-digit value, which side must confirm it, whether the result is
+// authenticated (MITM-protected), and whether the specification mandates a
+// bare "pair yes/no" dialog (the v5.0+ rule from the paper's Fig. 7b).
+//
+// "Initiator" is the pairing initiator (device A in Fig. 7), "Responder"
+// is device B.
+type Stage1Mapping struct {
+	Model AssociationModel
+
+	// DisplayInitiator/DisplayResponder report whether the side shows the
+	// six-digit confirmation value.
+	DisplayInitiator bool
+	DisplayResponder bool
+
+	// ConfirmInitiator/ConfirmResponder report whether the side requires a
+	// user yes/no on the displayed value. A side that displays without
+	// confirming auto-confirms.
+	ConfirmInitiator bool
+	ConfirmResponder bool
+
+	// PairPopupInitiator/PairPopupResponder report whether the v5.0+
+	// specification mandates a bare "accept pairing?" dialog (no value
+	// shown) on a DisplayYesNo side when the peer is NoInputNoOutput.
+	PairPopupInitiator bool
+	PairPopupResponder bool
+
+	// Authenticated reports whether stage 1 provides MITM protection.
+	Authenticated bool
+}
+
+// Stage1MappingFor computes the stage-1 behaviour for a pairing initiator
+// and responder with the given capabilities under the given core version.
+// It implements the IO capability mapping of Core spec Vol 3 Part C Table
+// 5.7, restricted to the four BR/EDR capabilities, including the v5.0+
+// mandated confirmation dialog the paper's Fig. 7 contrasts.
+func Stage1MappingFor(initiator, responder IOCapability, v Version) Stage1Mapping {
+	m := Stage1Mapping{Model: JustWorks}
+
+	hasKeyboard := func(c IOCapability) bool { return c == KeyboardOnly }
+	hasDisplay := func(c IOCapability) bool { return c == DisplayOnly || c == DisplayYesNo }
+
+	switch {
+	case initiator == NoInputNoOutput || responder == NoInputNoOutput:
+		// Numeric comparison with automatic confirmation on both devices:
+		// effectively Just Works, never authenticated.
+		m.Model = JustWorks
+		if v.AtLeast5() {
+			// v5.0+ mandates a bare pairing confirmation on a DisplayYesNo
+			// peer of a NoInputNoOutput device (paper Fig. 7b).
+			m.PairPopupInitiator = initiator == DisplayYesNo
+			m.PairPopupResponder = responder == DisplayYesNo
+		}
+
+	case hasKeyboard(initiator) && hasKeyboard(responder):
+		// Both keyboards: each side types the same passkey.
+		m.Model = PasskeyEntry
+		m.Authenticated = true
+
+	case hasKeyboard(initiator) || hasKeyboard(responder):
+		// Keyboard on one side, display on the other: passkey entry,
+		// display side shows the passkey.
+		m.Model = PasskeyEntry
+		m.Authenticated = true
+		m.DisplayInitiator = hasDisplay(initiator)
+		m.DisplayResponder = hasDisplay(responder)
+
+	case initiator == DisplayYesNo && responder == DisplayYesNo:
+		// Full numeric comparison: both display, both confirm.
+		m.Model = NumericComparison
+		m.Authenticated = true
+		m.DisplayInitiator, m.DisplayResponder = true, true
+		m.ConfirmInitiator, m.ConfirmResponder = true, true
+
+	default:
+		// At least one DisplayOnly: numeric comparison with automatic
+		// confirmation on the DisplayOnly side(s) — unauthenticated, so
+		// the effective model is Just Works.
+		m.Model = JustWorks
+		m.DisplayInitiator = hasDisplay(initiator)
+		m.DisplayResponder = hasDisplay(responder)
+		m.ConfirmInitiator = initiator == DisplayYesNo
+		m.ConfirmResponder = responder == DisplayYesNo
+	}
+	return m
+}
+
+// RequiresUserAction reports whether the mapping requires any user
+// interaction on the given role ("initiator" when init is true) before
+// pairing completes: confirming a numeric value, answering a pairing
+// popup, or typing a passkey.
+func (m Stage1Mapping) RequiresUserAction(init bool) bool {
+	if init {
+		return m.ConfirmInitiator || m.PairPopupInitiator || (m.Model == PasskeyEntry && !m.DisplayInitiator)
+	}
+	return m.ConfirmResponder || m.PairPopupResponder || (m.Model == PasskeyEntry && !m.DisplayResponder)
+}

@@ -1,0 +1,126 @@
+package bt
+
+import "testing"
+
+// TestFig7Mapping verifies the paper's Fig. 7 quadrants for both spec
+// generations.
+func TestFig7Mapping(t *testing.T) {
+	// v4.2 and lower (Fig. 7a): NoInputNoOutput combinations are
+	// automatic — no mandated dialogs anywhere.
+	for _, init := range []IOCapability{DisplayYesNo, NoInputNoOutput} {
+		for _, resp := range []IOCapability{DisplayYesNo, NoInputNoOutput} {
+			m := Stage1MappingFor(init, resp, V4_2)
+			if init == DisplayYesNo && resp == DisplayYesNo {
+				if m.Model != NumericComparison || !m.Authenticated {
+					t.Errorf("4.2 DYN/DYN: %+v", m)
+				}
+				if !m.ConfirmInitiator || !m.ConfirmResponder {
+					t.Errorf("4.2 DYN/DYN must confirm on both: %+v", m)
+				}
+				continue
+			}
+			if m.Model != JustWorks || m.Authenticated {
+				t.Errorf("4.2 %s/%s should be Just Works unauthenticated: %+v", init, resp, m)
+			}
+			if m.PairPopupInitiator || m.PairPopupResponder {
+				t.Errorf("4.2 must not mandate consent dialogs: %+v", m)
+			}
+		}
+	}
+
+	// v5.0 and higher (Fig. 7b): a DisplayYesNo device paired against
+	// NoInputNoOutput must be asked yes/no whether to pair — without
+	// showing a confirmation value.
+	m := Stage1MappingFor(NoInputNoOutput, DisplayYesNo, V5_0)
+	if !m.PairPopupResponder || m.PairPopupInitiator {
+		t.Errorf("5.0 NINO initiator vs DYN responder: %+v", m)
+	}
+	if m.DisplayResponder || m.ConfirmResponder {
+		t.Errorf("the consent dialog must not show the value: %+v", m)
+	}
+	m = Stage1MappingFor(DisplayYesNo, NoInputNoOutput, V5_0)
+	if !m.PairPopupInitiator || m.PairPopupResponder {
+		t.Errorf("5.0 DYN initiator vs NINO responder: %+v", m)
+	}
+	m = Stage1MappingFor(NoInputNoOutput, NoInputNoOutput, V5_0)
+	if m.PairPopupInitiator || m.PairPopupResponder {
+		t.Errorf("5.0 NINO/NINO stays automatic: %+v", m)
+	}
+	m = Stage1MappingFor(DisplayYesNo, DisplayYesNo, V5_0)
+	if m.Model != NumericComparison {
+		t.Errorf("5.0 DYN/DYN stays numeric comparison: %+v", m)
+	}
+}
+
+func TestMappingKeyboardCombos(t *testing.T) {
+	m := Stage1MappingFor(KeyboardOnly, DisplayYesNo, V5_0)
+	if m.Model != PasskeyEntry || !m.Authenticated {
+		t.Errorf("keyboard vs display must be passkey entry: %+v", m)
+	}
+	if m.DisplayInitiator || !m.DisplayResponder {
+		t.Errorf("display side shows the passkey: %+v", m)
+	}
+	m = Stage1MappingFor(KeyboardOnly, KeyboardOnly, V5_0)
+	if m.Model != PasskeyEntry {
+		t.Errorf("keyboard/keyboard: %+v", m)
+	}
+	// Keyboard against NoInputNoOutput collapses to Just Works.
+	m = Stage1MappingFor(KeyboardOnly, NoInputNoOutput, V5_0)
+	if m.Model != JustWorks || m.Authenticated {
+		t.Errorf("keyboard vs NINO: %+v", m)
+	}
+}
+
+func TestMappingDisplayOnlyCombos(t *testing.T) {
+	// DisplayOnly cannot confirm, so numeric comparison degenerates to an
+	// unauthenticated Just Works regardless of the peer's display.
+	m := Stage1MappingFor(DisplayOnly, DisplayYesNo, V5_0)
+	if m.Model != JustWorks || m.Authenticated {
+		t.Errorf("DisplayOnly vs DYN: %+v", m)
+	}
+	if m.ConfirmInitiator {
+		t.Errorf("DisplayOnly cannot confirm: %+v", m)
+	}
+	if !m.ConfirmResponder {
+		t.Errorf("the DYN side still confirms the value: %+v", m)
+	}
+	m = Stage1MappingFor(DisplayOnly, DisplayOnly, V5_0)
+	if m.Model != JustWorks || m.ConfirmInitiator || m.ConfirmResponder {
+		t.Errorf("DisplayOnly pair: %+v", m)
+	}
+}
+
+func TestJustWorksNeverAuthenticated(t *testing.T) {
+	all := []IOCapability{DisplayOnly, DisplayYesNo, KeyboardOnly, NoInputNoOutput}
+	for _, v := range []Version{V4_2, V5_0, V5_3} {
+		for _, a := range all {
+			for _, b := range all {
+				m := Stage1MappingFor(a, b, v)
+				if m.Model == JustWorks && m.Authenticated {
+					t.Errorf("Just Works can never be authenticated: %s/%s %s", a, b, v)
+				}
+				if (a == NoInputNoOutput || b == NoInputNoOutput) && m.Model != JustWorks {
+					t.Errorf("NINO always forces Just Works: %s/%s %s -> %s", a, b, v, m.Model)
+				}
+			}
+		}
+	}
+}
+
+func TestRequiresUserAction(t *testing.T) {
+	// Numeric comparison: both sides act.
+	m := Stage1MappingFor(DisplayYesNo, DisplayYesNo, V5_0)
+	if !m.RequiresUserAction(true) || !m.RequiresUserAction(false) {
+		t.Error("numeric comparison requires both users")
+	}
+	// Just Works with NINO on both: nobody acts.
+	m = Stage1MappingFor(NoInputNoOutput, NoInputNoOutput, V5_0)
+	if m.RequiresUserAction(true) || m.RequiresUserAction(false) {
+		t.Error("NINO/NINO must be silent")
+	}
+	// Passkey: the keyboard side types.
+	m = Stage1MappingFor(KeyboardOnly, DisplayYesNo, V5_0)
+	if !m.RequiresUserAction(true) {
+		t.Error("keyboard initiator must type the passkey")
+	}
+}

@@ -1,0 +1,131 @@
+package btcrypto
+
+// This file implements the legacy (SAFER+ based) Bluetooth security
+// functions from Core spec Vol 2 Part H: E1 (LMP authentication), E21
+// (combination/unit key generation), E22 (initialization key from PIN)
+// and E3 (encryption key generation).
+
+// offsetKey computes the "tilde K" key offset used by the second stage of
+// E1 and by E3: alternating mod-256 addition and XOR of a fixed sequence
+// of prime constants.
+func offsetKey(k [16]byte) [16]byte {
+	primes := [8]byte{233, 229, 223, 193, 179, 167, 149, 131}
+	var out [16]byte
+	for i := 0; i < 8; i++ {
+		if i%2 == 0 {
+			out[i] = k[i] + primes[i]
+		} else {
+			out[i] = k[i] ^ primes[i]
+		}
+	}
+	for i := 8; i < 16; i++ {
+		if i%2 == 0 {
+			out[i] = k[i] ^ primes[i-8]
+		} else {
+			out[i] = k[i] + primes[i-8]
+		}
+	}
+	return out
+}
+
+// expandAddr cyclically extends a 6-byte BD_ADDR to a 16-byte block.
+func expandAddr(addr [6]byte) [16]byte {
+	var e [16]byte
+	for i := range e {
+		e[i] = addr[i%6]
+	}
+	return e
+}
+
+// addBlocks returns the bytewise mod-256 sum of two blocks.
+func addBlocks(a, b [16]byte) [16]byte {
+	var out [16]byte
+	for i := range out {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// xorBlocks returns the bytewise XOR of two blocks.
+func xorBlocks(a, b [16]byte) [16]byte {
+	var out [16]byte
+	for i := range out {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// E1 is the LMP authentication function. Given the 128-bit link key, the
+// verifier's 128-bit challenge RAND and the claimant's BD_ADDR, it returns
+// the 32-bit signed response SRES and the 96-bit Authenticated Ciphering
+// Offset (ACO) that later feeds encryption key generation.
+//
+// Structure per the specification: the first stage runs Ar over the
+// challenge under the link key; its output is XORed with the challenge and
+// the cyclically-expanded address is added bytewise; the second stage runs
+// the one-way Ar' under the offset key.
+func E1(linkKey [16]byte, rand [16]byte, addr [6]byte) (sres [4]byte, aco [12]byte) {
+	stage1 := Ar(linkKey, rand)
+	mixed := addBlocks(xorBlocks(stage1, rand), expandAddr(addr))
+	out := ArPrime(offsetKey(linkKey), mixed)
+	copy(sres[:], out[:4])
+	copy(aco[:], out[4:])
+	return sres, aco
+}
+
+// E21 generates a unit key or a device's share of a combination key from a
+// 128-bit random number and the device's BD_ADDR (legacy pairing).
+func E21(rand [16]byte, addr [6]byte) [16]byte {
+	x := rand
+	x[15] ^= 6
+	y := expandAddr(addr)
+	return ArPrime(x, y)
+}
+
+// E22 generates the legacy initialization key from a PIN, the pairing
+// random number and the BD_ADDR of the device that supplied the PIN. The
+// PIN (1..16 bytes) is augmented with the address up to 16 bytes, per the
+// specification's L' construction.
+func E22(rand [16]byte, pin []byte, addr [6]byte) [16]byte {
+	if len(pin) == 0 || len(pin) > 16 {
+		panic("btcrypto: E22 PIN must be 1..16 bytes")
+	}
+	aug := make([]byte, 0, 16)
+	aug = append(aug, pin...)
+	for i := 0; len(aug) < 16 && i < 6; i++ {
+		aug = append(aug, addr[i])
+	}
+	l := len(aug)
+	var key [16]byte
+	for i := 0; i < 16; i++ {
+		key[i] = aug[i%l]
+	}
+	x := rand
+	x[15] ^= byte(l)
+	return ArPrime(key, x)
+}
+
+// E3 generates the encryption key from the link key, a public random
+// number and the Ciphering Offset (COF), which is the ACO from LMP
+// authentication for point-to-point links.
+func E3(linkKey [16]byte, rand [16]byte, cof [12]byte) [16]byte {
+	var cofBlock [16]byte
+	for i := range cofBlock {
+		cofBlock[i] = cof[i%12]
+	}
+	mixed := addBlocks(xorBlocks(Ar(linkKey, rand), rand), cofBlock)
+	return ArPrime(offsetKey(linkKey), mixed)
+}
+
+// ShrinkKey reduces the effective entropy of an encryption key to n bytes
+// (1..16) the way LMP encryption key size negotiation does; it models the
+// key-size reduction exploited by the KNOB attack and is provided for the
+// related-work extension benchmarks.
+func ShrinkKey(key [16]byte, n int) [16]byte {
+	if n < 1 || n > 16 {
+		panic("btcrypto: ShrinkKey size must be 1..16")
+	}
+	var out [16]byte
+	copy(out[:n], key[:n])
+	return out
+}

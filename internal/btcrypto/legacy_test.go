@@ -1,0 +1,153 @@
+package btcrypto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestE1AgreementProperty(t *testing.T) {
+	// The verifier and the claimant compute E1 independently with the
+	// same inputs; the protocol only works if the outputs agree and are
+	// fully determined by (key, challenge, address).
+	f := func(key, challenge [16]byte, addr [6]byte) bool {
+		s1, a1 := E1(key, challenge, addr)
+		s2, a2 := E1(key, challenge, addr)
+		return s1 == s2 && a1 == a2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE1KeySensitivity(t *testing.T) {
+	key := [16]byte{1, 2, 3}
+	challenge := [16]byte{4, 5, 6}
+	addr := [6]byte{7, 8, 9, 10, 11, 12}
+	s1, _ := E1(key, challenge, addr)
+	key[15] ^= 1
+	s2, _ := E1(key, challenge, addr)
+	if s1 == s2 {
+		t.Fatal("SRES must depend on the key")
+	}
+}
+
+func TestE1AddressSensitivity(t *testing.T) {
+	// LMP authentication binds the claimant's address: a different
+	// BDADDR must (overwhelmingly) give a different SRES. This is the
+	// property BDADDR spoofing defeats — the attacker must present the
+	// same address, not merely hold the key.
+	key := [16]byte{0xAA}
+	challenge := [16]byte{0xBB}
+	s1, _ := E1(key, challenge, [6]byte{1, 2, 3, 4, 5, 6})
+	s2, _ := E1(key, challenge, [6]byte{1, 2, 3, 4, 5, 7})
+	if s1 == s2 {
+		t.Fatal("SRES must depend on the claimant address")
+	}
+}
+
+func TestE1SplitsSresAndACO(t *testing.T) {
+	sres, aco := E1([16]byte{1}, [16]byte{2}, [6]byte{3})
+	if sres == ([4]byte{}) && aco == ([12]byte{}) {
+		t.Fatal("outputs should not both be zero")
+	}
+}
+
+func TestOffsetKeyInvolvesAllBytes(t *testing.T) {
+	k := [16]byte{}
+	ok := offsetKey(k)
+	for i, v := range ok {
+		if v == 0 {
+			t.Fatalf("offsetKey byte %d unchanged for zero key", i)
+		}
+	}
+	// Offsetting must be position-dependent.
+	k2 := [16]byte{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	ok2 := offsetKey(k2)
+	same := true
+	for i := 1; i < 16; i++ {
+		if ok2[i] != ok2[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("offsetKey must vary by position")
+	}
+}
+
+func TestE21DependsOnAddressAndRand(t *testing.T) {
+	r := [16]byte{1}
+	a := [6]byte{2}
+	k1 := E21(r, a)
+	r[0] ^= 1
+	k2 := E21(r, a)
+	a[0] ^= 1
+	k3 := E21(r, a)
+	if k1 == k2 || k2 == k3 {
+		t.Fatal("E21 must depend on both inputs")
+	}
+}
+
+func TestE22PINLengthMatters(t *testing.T) {
+	r := [16]byte{9}
+	addr := [6]byte{1, 2, 3, 4, 5, 6}
+	k1 := E22(r, []byte{1, 2, 3, 4}, addr)
+	k2 := E22(r, []byte{1, 2, 3, 4, 5}, addr)
+	if k1 == k2 {
+		t.Fatal("different PINs must give different init keys")
+	}
+}
+
+func TestE22RejectsBadPIN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("E22 must reject an empty PIN")
+		}
+	}()
+	E22([16]byte{}, nil, [6]byte{})
+}
+
+func TestE3EncryptionKeyProperties(t *testing.T) {
+	key := [16]byte{5}
+	rand1 := [16]byte{6}
+	cof := [12]byte{7}
+	k1 := E3(key, rand1, cof)
+	k2 := E3(key, rand1, cof)
+	if k1 != k2 {
+		t.Fatal("E3 must be deterministic")
+	}
+	cof[0] ^= 1
+	k3 := E3(key, rand1, cof)
+	if k1 == k3 {
+		t.Fatal("E3 must depend on the ciphering offset")
+	}
+}
+
+func TestShrinkKey(t *testing.T) {
+	var key [16]byte
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(key[:])
+	one := ShrinkKey(key, 1)
+	if one[0] != key[0] {
+		t.Fatal("first byte must survive")
+	}
+	for i := 1; i < 16; i++ {
+		if one[i] != 0 {
+			t.Fatalf("byte %d must be zeroed", i)
+		}
+	}
+	full := ShrinkKey(key, 16)
+	if full != key {
+		t.Fatal("16-byte shrink is identity")
+	}
+	for _, bad := range []int{0, 17, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ShrinkKey(%d) must panic", bad)
+				}
+			}()
+			ShrinkKey(key, bad)
+		}()
+	}
+}

@@ -1,0 +1,249 @@
+// Package btcrypto implements the cryptographic functions of the Bluetooth
+// BR/EDR security architecture used by the BLAP simulator: the SAFER+
+// based legacy functions E1 (LMP authentication), E21/E22 (legacy key
+// generation) and E3 (encryption key generation), and the Secure Simple
+// Pairing functions f1, f2, f3 and g (HMAC-SHA-256 based) together with a
+// P-256 ECDH wrapper.
+//
+// The SAFER+ implementation follows the construction in the Bluetooth Core
+// specification (Vol 2 Part H): the exponentiation/logarithm nonlinear
+// layer over 45^x mod 257, the byte-rotating key schedule with bias words,
+// eight rounds of mixed XOR/ADD key injection, and the linear layer built
+// from 2-PHT levels interleaved with the "Armenian shuffle" permutation.
+package btcrypto
+
+// expTab[x] = (45^x mod 257) mod 256 and logTab is its inverse
+// (logTab[expTab[x]] = x). They implement the SAFER+ nonlinear layer.
+var expTab, logTab [256]byte
+
+func init() {
+	v := 1
+	for x := 0; x < 256; x++ {
+		expTab[x] = byte(v % 256) // 256 ≡ 0 (mod 256); 45^128 mod 257 = 256
+		v = (v * 45) % 257
+	}
+	for x := 0; x < 256; x++ {
+		logTab[expTab[x]] = byte(x)
+	}
+}
+
+// armenianShuffle is the SAFER+ byte permutation applied between 2-PHT
+// levels of the linear layer; out[i] = in[armenianShuffle[i]].
+var armenianShuffle = [16]int{8, 11, 12, 15, 2, 1, 6, 5, 10, 9, 14, 13, 0, 7, 4, 3}
+
+// pht applies the 2-point pseudo-Hadamard transform to the eight byte
+// pairs of the block: (a, b) -> (2a+b, a+b) mod 256.
+func pht(b *[16]byte) {
+	for i := 0; i < 16; i += 2 {
+		a, c := b[i], b[i+1]
+		b[i] = 2*a + c
+		b[i+1] = a + c
+	}
+}
+
+func shuffle(b *[16]byte) {
+	var out [16]byte
+	for i, j := range armenianShuffle {
+		out[i] = b[j]
+	}
+	*b = out
+}
+
+// linearLayer applies the SAFER+ 16x16 linear transform M: four 2-PHT
+// levels with the Armenian shuffle between them.
+func linearLayer(b *[16]byte) {
+	pht(b)
+	shuffle(b)
+	pht(b)
+	shuffle(b)
+	pht(b)
+	shuffle(b)
+	pht(b)
+}
+
+// roundKeys holds the 17 SAFER+ subkeys for a 128-bit key.
+type roundKeys [17][16]byte
+
+// expandKey computes the SAFER+ key schedule. A 17-byte register is
+// initialised with the key and a parity byte; each subsequent subkey
+// rotates every register byte left by three bits, selects sixteen bytes
+// cyclically, and adds a bias word derived from the double exponentiation
+// of the subkey/byte position.
+func expandKey(key [16]byte) roundKeys {
+	var ks roundKeys
+	var reg [17]byte
+	copy(reg[:16], key[:])
+	var parity byte
+	for _, b := range key {
+		parity ^= b
+	}
+	reg[16] = parity
+
+	ks[0] = key
+	for p := 2; p <= 17; p++ {
+		for i := range reg {
+			reg[i] = reg[i]<<3 | reg[i]>>5
+		}
+		for i := 0; i < 16; i++ {
+			bias := expTab[expTab[(17*p+i+1)%256]]
+			ks[p-1][i] = reg[(p-1+i)%17] + bias
+		}
+	}
+	return ks
+}
+
+// keyMixA applies the odd-subkey injection: XOR at positions 0,3,4,7,8,
+// 11,12,15 and addition mod 256 elsewhere.
+func keyMixA(b *[16]byte, k *[16]byte) {
+	for i := 0; i < 16; i++ {
+		switch i & 3 {
+		case 0, 3:
+			b[i] ^= k[i]
+		default:
+			b[i] += k[i]
+		}
+	}
+}
+
+// keyMixB applies the even-subkey injection: addition mod 256 at positions
+// 0,3,4,7,8,11,12,15 and XOR elsewhere.
+func keyMixB(b *[16]byte, k *[16]byte) {
+	for i := 0; i < 16; i++ {
+		switch i & 3 {
+		case 0, 3:
+			b[i] += k[i]
+		default:
+			b[i] ^= k[i]
+		}
+	}
+}
+
+// nonlinear applies the e/l substitution: exponentiation at XOR positions,
+// logarithm at ADD positions.
+func nonlinear(b *[16]byte) {
+	for i := 0; i < 16; i++ {
+		switch i & 3 {
+		case 0, 3:
+			b[i] = expTab[b[i]]
+		default:
+			b[i] = logTab[b[i]]
+		}
+	}
+}
+
+// ar runs the SAFER+ encryption function Ar on one block. When prime is
+// true it computes the modified Ar' used by E1/E3/E21/E22, in which the
+// round-1 input is injected again at the input of round 3 (XOR at the
+// XOR positions, ADD at the ADD positions).
+func ar(ks *roundKeys, in [16]byte, prime bool) [16]byte {
+	b := in
+	round1 := in
+	for r := 1; r <= 8; r++ {
+		if prime && r == 3 {
+			keyMixA(&b, &round1)
+		}
+		keyMixA(&b, &ks[2*r-2])
+		nonlinear(&b)
+		keyMixB(&b, &ks[2*r-1])
+		linearLayer(&b)
+	}
+	keyMixA(&b, &ks[16])
+	return b
+}
+
+// Ar computes the SAFER+ encryption of a 16-byte block under a 16-byte key.
+func Ar(key, block [16]byte) [16]byte {
+	ks := expandKey(key)
+	return ar(&ks, block, false)
+}
+
+// ArPrime computes the modified SAFER+ function Ar' (round-1 input
+// re-injected before round 3), which is not invertible and is used as the
+// one-way stage of E1, E21, E22 and E3.
+func ArPrime(key, block [16]byte) [16]byte {
+	ks := expandKey(key)
+	return ar(&ks, block, true)
+}
+
+// --- inverse cipher ---
+
+// invShuffle undoes the Armenian shuffle.
+func invShuffle(b *[16]byte) {
+	var out [16]byte
+	for i, j := range armenianShuffle {
+		out[j] = b[i]
+	}
+	*b = out
+}
+
+// invPHT undoes the 2-PHT: given (x, y) = (2a+b, a+b), a = x-y, b = 2y-x.
+func invPHT(b *[16]byte) {
+	for i := 0; i < 16; i += 2 {
+		x, y := b[i], b[i+1]
+		b[i] = x - y
+		b[i+1] = 2*y - x
+	}
+}
+
+// invLinearLayer inverts linearLayer.
+func invLinearLayer(b *[16]byte) {
+	invPHT(b)
+	invShuffle(b)
+	invPHT(b)
+	invShuffle(b)
+	invPHT(b)
+	invShuffle(b)
+	invPHT(b)
+}
+
+// invKeyMixA undoes keyMixA (XOR positions XOR again; ADD positions
+// subtract).
+func invKeyMixA(b *[16]byte, k *[16]byte) {
+	for i := 0; i < 16; i++ {
+		switch i & 3 {
+		case 0, 3:
+			b[i] ^= k[i]
+		default:
+			b[i] -= k[i]
+		}
+	}
+}
+
+// invKeyMixB undoes keyMixB.
+func invKeyMixB(b *[16]byte, k *[16]byte) {
+	for i := 0; i < 16; i++ {
+		switch i & 3 {
+		case 0, 3:
+			b[i] -= k[i]
+		default:
+			b[i] ^= k[i]
+		}
+	}
+}
+
+// invNonlinear undoes the e/l substitution.
+func invNonlinear(b *[16]byte) {
+	for i := 0; i < 16; i++ {
+		switch i & 3 {
+		case 0, 3:
+			b[i] = logTab[b[i]]
+		default:
+			b[i] = expTab[b[i]]
+		}
+	}
+}
+
+// ArDecrypt inverts Ar under the same key: ArDecrypt(key, Ar(key, x)) == x.
+// (Ar' has no inverse — the round-3 re-injection makes it one-way.)
+func ArDecrypt(key, block [16]byte) [16]byte {
+	ks := expandKey(key)
+	b := block
+	invKeyMixA(&b, &ks[16])
+	for r := 8; r >= 1; r-- {
+		invLinearLayer(&b)
+		invKeyMixB(&b, &ks[2*r-1])
+		invNonlinear(&b)
+		invKeyMixA(&b, &ks[2*r-2])
+	}
+	return b
+}

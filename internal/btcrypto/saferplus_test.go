@@ -1,0 +1,196 @@
+package btcrypto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpLogTablesAreInverse(t *testing.T) {
+	// expTab is a bijection on bytes and logTab its inverse.
+	seen := make(map[byte]bool)
+	for x := 0; x < 256; x++ {
+		v := expTab[x]
+		if seen[v] {
+			t.Fatalf("expTab not injective at %d (value %d)", x, v)
+		}
+		seen[v] = true
+		if logTab[v] != byte(x) {
+			t.Fatalf("logTab[expTab[%d]] = %d", x, logTab[v])
+		}
+	}
+	if expTab[0] != 1 {
+		t.Errorf("45^0 mod 257 must be 1, got %d", expTab[0])
+	}
+	// 45^128 mod 257 = 256, which maps to 0 in the byte table.
+	if expTab[128] != 0 {
+		t.Errorf("expTab[128] = %d, want 0", expTab[128])
+	}
+}
+
+func TestArmenianShuffleIsPermutation(t *testing.T) {
+	seen := make(map[int]bool)
+	for _, v := range armenianShuffle {
+		if v < 0 || v > 15 || seen[v] {
+			t.Fatalf("armenianShuffle is not a permutation: %v", armenianShuffle)
+		}
+		seen[v] = true
+	}
+}
+
+func TestKeyScheduleShape(t *testing.T) {
+	ks := expandKey([16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	if len(ks) != 17 {
+		t.Fatalf("want 17 subkeys, got %d", len(ks))
+	}
+	// Subkey 1 is the raw key.
+	if ks[0] != [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16} {
+		t.Fatalf("K1 must equal the key, got %v", ks[0])
+	}
+	// Subkeys must differ from each other (biases break symmetry).
+	for i := 1; i < 17; i++ {
+		if ks[i] == ks[i-1] {
+			t.Fatalf("subkeys %d and %d identical", i, i+1)
+		}
+	}
+	// All-zero key still yields non-zero later subkeys.
+	zks := expandKey([16]byte{})
+	if zks[5] == ([16]byte{}) {
+		t.Fatal("zero key should not produce zero subkeys")
+	}
+}
+
+func TestArIsDeterministicAndKeyed(t *testing.T) {
+	key1 := [16]byte{1}
+	key2 := [16]byte{2}
+	block := [16]byte{0xAA, 0x55}
+	a := Ar(key1, block)
+	b := Ar(key1, block)
+	c := Ar(key2, block)
+	if a != b {
+		t.Fatal("Ar must be deterministic")
+	}
+	if a == c {
+		t.Fatal("different keys must give different outputs")
+	}
+}
+
+func TestArIsBijective(t *testing.T) {
+	// Every layer of Ar (key mixing, e/l substitution, PHT, shuffle) is
+	// invertible, so Ar under a fixed key must be a bijection: no
+	// collisions over a large random sample.
+	rng := rand.New(rand.NewSource(7))
+	key := [16]byte{9, 9, 9}
+	seen := make(map[[16]byte][16]byte, 20000)
+	for i := 0; i < 20000; i++ {
+		var in [16]byte
+		rng.Read(in[:])
+		out := Ar(key, in)
+		if prev, ok := seen[out]; ok && prev != in {
+			t.Fatalf("collision: Ar(%x) == Ar(%x)", prev, in)
+		}
+		seen[out] = in
+	}
+}
+
+func TestArPrimeDiffersFromAr(t *testing.T) {
+	key := [16]byte{3, 1, 4, 1, 5}
+	block := [16]byte{2, 7, 1, 8, 2, 8}
+	if Ar(key, block) == ArPrime(key, block) {
+		t.Fatal("Ar' must differ from Ar (round-3 re-injection)")
+	}
+}
+
+func TestArAvalanche(t *testing.T) {
+	// Flipping one input bit should change roughly half the output bits.
+	key := [16]byte{0xC0, 0xFF, 0xEE}
+	in := [16]byte{0x01}
+	out1 := Ar(key, in)
+	in[0] ^= 0x80
+	out2 := Ar(key, in)
+	diff := 0
+	for i := range out1 {
+		diff += popcount(out1[i] ^ out2[i])
+	}
+	if diff < 30 || diff > 98 {
+		t.Fatalf("poor avalanche: %d/128 bits changed", diff)
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+func TestPHTInvertibleProperty(t *testing.T) {
+	// (a,b) -> (2a+b, a+b) is invertible mod 256: a = x-y, b = 2y-x.
+	f := func(a, b byte) bool {
+		x, y := 2*a+b, a+b
+		return x-y == a && 2*y-x == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearLayerIsLinear(t *testing.T) {
+	// linearLayer must be linear over Z_256^16: L(x+y) == L(x)+L(y).
+	f := func(x, y [16]byte) bool {
+		var sum [16]byte
+		for i := range sum {
+			sum[i] = x[i] + y[i]
+		}
+		lx, ly, ls := x, y, sum
+		linearLayer(&lx)
+		linearLayer(&ly)
+		linearLayer(&ls)
+		for i := range ls {
+			if ls[i] != lx[i]+ly[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArDecryptInvertsAr(t *testing.T) {
+	f := func(key, block [16]byte) bool {
+		return ArDecrypt(key, Ar(key, block)) == block
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArDecryptWrongKeyGarbles(t *testing.T) {
+	key := [16]byte{1}
+	wrong := [16]byte{2}
+	block := [16]byte{3, 4, 5}
+	if ArDecrypt(wrong, Ar(key, block)) == block {
+		t.Fatal("decryption with the wrong key must not recover the block")
+	}
+}
+
+func TestInverseLayersAreInverses(t *testing.T) {
+	f := func(x [16]byte) bool {
+		a := x
+		linearLayer(&a)
+		invLinearLayer(&a)
+		if a != x {
+			return false
+		}
+		b := x
+		nonlinear(&b)
+		invNonlinear(&b)
+		return b == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

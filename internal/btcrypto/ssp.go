@@ -1,0 +1,135 @@
+package btcrypto
+
+import (
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file implements the Secure Simple Pairing cryptographic functions
+// (Core spec Vol 2 Part H §7): the commitment function f1, the numeric
+// verification function g, the link key derivation function f2 and the
+// check function f3, all built on SHA-256 / HMAC-SHA-256, plus a P-256
+// ECDH key pair wrapper.
+
+// keyIDbtlk is the f2 key ID, the ASCII string "btlk".
+var keyIDbtlk = [4]byte{0x62, 0x74, 0x6c, 0x6b}
+
+func hmac128(key, msg []byte) [16]byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(msg)
+	sum := mac.Sum(nil)
+	var out [16]byte
+	copy(out[:], sum[:16])
+	return out
+}
+
+// F1 computes the SSP commitment: HMAC-SHA-256 keyed with the nonce X over
+// the two ECDH public X-coordinates U and V and the one-byte value Z,
+// truncated to 128 bits.
+func F1(u, v [32]byte, x [16]byte, z byte) [16]byte {
+	msg := make([]byte, 0, 65)
+	msg = append(msg, u[:]...)
+	msg = append(msg, v[:]...)
+	msg = append(msg, z)
+	return hmac128(x[:], msg)
+}
+
+// G computes the 32-bit numeric verification value from the public key
+// X-coordinates and both nonces; the six-digit number shown to users is
+// G(...) mod 1e6.
+func G(u, v [32]byte, x, y [16]byte) uint32 {
+	h := sha256.New()
+	h.Write(u[:])
+	h.Write(v[:])
+	h.Write(x[:])
+	h.Write(y[:])
+	sum := h.Sum(nil)
+	return binary.BigEndian.Uint32(sum[28:32])
+}
+
+// SixDigits converts a g output to the displayed confirmation value.
+func SixDigits(g uint32) uint32 { return g % 1_000_000 }
+
+// F2 derives the link key from the DHKey W, both nonces, the fixed key ID
+// "btlk" and both device addresses (claimant first, per spec order: A1 is
+// the master/initiating device address).
+func F2(w []byte, n1, n2 [16]byte, a1, a2 [6]byte) [16]byte {
+	msg := make([]byte, 0, 48)
+	msg = append(msg, n1[:]...)
+	msg = append(msg, n2[:]...)
+	msg = append(msg, keyIDbtlk[:]...)
+	msg = append(msg, a1[:]...)
+	msg = append(msg, a2[:]...)
+	return hmac128(w, msg)
+}
+
+// F3 computes the authentication stage 2 check value from the DHKey W,
+// both nonces, the random value R, the 3-byte IO capability field and the
+// two device addresses.
+func F3(w []byte, n1, n2, r [16]byte, ioCap [3]byte, a1, a2 [6]byte) [16]byte {
+	msg := make([]byte, 0, 63)
+	msg = append(msg, n1[:]...)
+	msg = append(msg, n2[:]...)
+	msg = append(msg, r[:]...)
+	msg = append(msg, ioCap[:]...)
+	msg = append(msg, a1[:]...)
+	msg = append(msg, a2[:]...)
+	return hmac128(w, msg)
+}
+
+// KeyPair is a P-256 ECDH key pair used in SSP public key exchange.
+type KeyPair struct {
+	priv *ecdh.PrivateKey
+}
+
+// GenerateKeyPair creates a P-256 key pair from the given entropy source.
+// Unlike crypto/ecdh.GenerateKey — which intentionally consumes a
+// nondeterministic number of reader bytes — this derivation is a pure
+// function of the reader's output (rejection sampling over candidate
+// scalars), which the simulator needs for reproducible runs.
+func GenerateKeyPair(rand io.Reader) (*KeyPair, error) {
+	for attempt := 0; attempt < 64; attempt++ {
+		var scalar [32]byte
+		if _, err := io.ReadFull(rand, scalar[:]); err != nil {
+			return nil, fmt.Errorf("btcrypto: reading key entropy: %w", err)
+		}
+		priv, err := ecdh.P256().NewPrivateKey(scalar[:])
+		if err != nil {
+			continue // out of range for the curve order; draw again
+		}
+		return &KeyPair{priv: priv}, nil
+	}
+	return nil, fmt.Errorf("btcrypto: no valid P-256 scalar after 64 draws")
+}
+
+// PublicX returns the 32-byte X coordinate of the public key, the value
+// exchanged (and committed to) during SSP.
+func (kp *KeyPair) PublicX() [32]byte {
+	// The uncompressed point encoding is 0x04 || X (32) || Y (32).
+	raw := kp.priv.PublicKey().Bytes()
+	var x [32]byte
+	copy(x[:], raw[1:33])
+	return x
+}
+
+// PublicBytes returns the full uncompressed public key encoding sent in
+// the SSP public key exchange.
+func (kp *KeyPair) PublicBytes() []byte { return kp.priv.PublicKey().Bytes() }
+
+// DHKey computes the shared secret with a peer's uncompressed public key
+// encoding. The returned 32-byte value is the W input of f2/f3.
+func (kp *KeyPair) DHKey(peerPublic []byte) ([]byte, error) {
+	pub, err := ecdh.P256().NewPublicKey(peerPublic)
+	if err != nil {
+		return nil, fmt.Errorf("btcrypto: invalid peer public key: %w", err)
+	}
+	secret, err := kp.priv.ECDH(pub)
+	if err != nil {
+		return nil, fmt.Errorf("btcrypto: ECDH: %w", err)
+	}
+	return secret, nil
+}

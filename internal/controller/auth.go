@@ -1,0 +1,252 @@
+package controller
+
+import (
+	"repro/internal/bt"
+	"repro/internal/btcrypto"
+	"repro/internal/hci"
+)
+
+// LMP authentication: the E1 challenge-response protocol between a
+// verifier (the side whose host issued HCI_Authentication_Requested) and a
+// claimant. Both controllers fetch the link key from their hosts over
+// plaintext HCI — the flow the link key extraction attack records.
+
+type authStage int
+
+const (
+	authVerifierWaitHostKey authStage = iota
+	authVerifierWaitSres
+	authClaimantWaitHostKey
+)
+
+type authState struct {
+	verifier    bool
+	stage       authStage
+	challenge   [16]byte
+	key         bt.LinkKey
+	fromPairing bool
+}
+
+// startAuthentication begins LMP authentication as verifier. Per the
+// specification the controller first asks its host for the stored link
+// key; the host's reply (carrying the key in plaintext) is what HCI dumps
+// capture.
+func (c *Controller) startAuthentication(lk *link) {
+	if lk.auth != nil || lk.ssp != nil {
+		return
+	}
+	lk.auth = &authState{verifier: true, stage: authVerifierWaitHostKey}
+	c.tr.SendEvent(&hci.LinkKeyRequest{Addr: lk.peer})
+}
+
+// hostSuppliedKey handles HCI_Link_Key_Request_Reply.
+func (c *Controller) hostSuppliedKey(addr bt.BDADDR, key bt.LinkKey) {
+	lk := c.findByAddr(addr)
+	if lk == nil || lk.auth == nil {
+		return
+	}
+	switch lk.auth.stage {
+	case authVerifierWaitHostKey:
+		lk.auth.key = key
+		lk.auth.challenge = c.rand16()
+		lk.auth.stage = authVerifierWaitSres
+		c.send(lk, AuRandPDU{Rand: lk.auth.challenge}, true)
+	case authClaimantWaitHostKey:
+		c.respondToChallenge(lk, key, lk.auth.challenge)
+		lk.auth = nil
+	}
+	c.answerCrossChallenge(lk, key, true)
+}
+
+// hostDeniedKey handles HCI_Link_Key_Request_Negative_Reply.
+func (c *Controller) hostDeniedKey(addr bt.BDADDR) {
+	lk := c.findByAddr(addr)
+	if lk == nil || lk.auth == nil {
+		return
+	}
+	c.answerCrossChallenge(lk, bt.LinkKey{}, false)
+	switch lk.auth.stage {
+	case authVerifierWaitHostKey:
+		// No stored key: fall into pairing as the pairing initiator.
+		lk.auth = nil
+		c.startPairing(lk, true)
+	case authClaimantWaitHostKey:
+		lk.auth = nil
+		c.send(lk, NotAcceptedPDU{Op: "LMP_au_rand", Reason: hci.StatusPINOrKeyMissing}, false)
+	}
+}
+
+// respondToChallenge computes and sends the claimant's SRES. The claimant
+// address input of E1 is this controller's own (possibly spoofed) BDADDR.
+//
+// ACO rule: with mutual (possibly simultaneous) authentication there are
+// two E1 exchanges producing two ACOs; both ends must agree on one for E3.
+// Both sides keep the ACO of the exchange in which the connection
+// initiator (the piconet master here) acted as verifier — so the claimant
+// stores it only when the peer is the master.
+func (c *Controller) respondToChallenge(lk *link, key bt.LinkKey, challenge [16]byte) {
+	sres, aco := btcrypto.E1(key, challenge, c.cfg.Addr)
+	lk.currentKey = key
+	lk.haveKey = true
+	if !lk.initiator {
+		lk.aco = aco
+	}
+	c.send(lk, SresPDU{Sres: sres}, false)
+}
+
+// onAuRand handles the verifier's challenge on the claimant side.
+func (c *Controller) onAuRand(lk *link, pdu AuRandPDU) {
+	if lk.haveKey {
+		// Session key already in hand (post-pairing authentication).
+		c.respondToChallenge(lk, lk.currentKey, pdu.Rand)
+		return
+	}
+	if lk.auth != nil {
+		// Authentication collision: both sides are authenticating at
+		// once. A verifier that already holds the key answers right away
+		// (otherwise two verifiers deadlock waiting for each other's
+		// SRES); a side still waiting for its host stashes the challenge.
+		if lk.auth.verifier && lk.auth.stage == authVerifierWaitSres {
+			c.respondToChallenge(lk, lk.auth.key, pdu.Rand)
+			return
+		}
+		r := pdu.Rand
+		lk.crossChallenge = &r
+		return
+	}
+	lk.auth = &authState{verifier: false, stage: authClaimantWaitHostKey, challenge: pdu.Rand}
+	c.tr.SendEvent(&hci.LinkKeyRequest{Addr: lk.peer})
+}
+
+// answerCrossChallenge resolves a stashed authentication collision.
+func (c *Controller) answerCrossChallenge(lk *link, key bt.LinkKey, haveKey bool) {
+	if lk.crossChallenge == nil {
+		return
+	}
+	challenge := *lk.crossChallenge
+	lk.crossChallenge = nil
+	if haveKey {
+		c.respondToChallenge(lk, key, challenge)
+		return
+	}
+	c.send(lk, NotAcceptedPDU{Op: "LMP_au_rand", Reason: hci.StatusPINOrKeyMissing}, false)
+}
+
+// onSres completes authentication on the verifier side.
+func (c *Controller) onSres(lk *link, pdu SresPDU) {
+	a := lk.auth
+	if a == nil || a.stage != authVerifierWaitSres {
+		return
+	}
+	c.stopLMPTimer(lk)
+	lk.auth = nil
+	expected, aco := btcrypto.E1(a.key, a.challenge, lk.peer)
+	if expected != pdu.Sres {
+		c.tr.SendEvent(&hci.AuthenticationComplete{Status: hci.StatusAuthenticationFailure, Handle: lk.handle})
+		return
+	}
+	lk.currentKey = a.key
+	lk.haveKey = true
+	if lk.initiator {
+		// See the ACO rule on respondToChallenge: the verifier keeps the
+		// ACO only when it is the connection initiator.
+		lk.aco = aco
+	}
+	c.tr.SendEvent(&hci.AuthenticationComplete{Status: hci.StatusSuccess, Handle: lk.handle})
+	c.answerCrossChallenge(lk, lk.currentKey, true)
+}
+
+// onNotAccepted handles a peer's rejection of the pending operation.
+func (c *Controller) onNotAccepted(lk *link, pdu NotAcceptedPDU) {
+	c.stopLMPTimer(lk)
+	if a := lk.auth; a != nil && a.verifier && a.stage == authVerifierWaitSres {
+		lk.auth = nil
+		if pdu.Reason == hci.StatusPINOrKeyMissing && !a.fromPairing {
+			// The peer lost its key; authentication falls back to pairing.
+			c.startPairing(lk, true)
+			return
+		}
+		c.tr.SendEvent(&hci.AuthenticationComplete{Status: pdu.Reason, Handle: lk.handle})
+		return
+	}
+	if lk.ssp != nil {
+		c.sspFail(lk, pdu.Reason, false)
+		return
+	}
+	if lk.legacy != nil {
+		c.legacyFail(lk, pdu.Reason, false)
+		return
+	}
+	if lk.pendingEncist {
+		lk.pendingEncist = false
+		c.tr.SendEvent(&hci.EncryptionChange{Status: pdu.Reason, Handle: lk.handle})
+	}
+}
+
+// --- encryption ---
+
+// masterAddr returns the address that seeds the per-packet E0 cipher: the
+// connection initiator acts as piconet master in the simulator.
+func (c *Controller) masterAddr(lk *link) [6]byte {
+	if lk.initiator {
+		return [6]byte(c.cfg.Addr)
+	}
+	return [6]byte(lk.peer)
+}
+
+// startEncryption begins (or stops) link encryption after authentication.
+// The initiator proposes its maximum encryption key size; the agreed size
+// arrives in the peer's EncAcceptPDU.
+func (c *Controller) startEncryption(lk *link, enable bool) {
+	if !enable {
+		lk.encrypted = false
+		c.tr.SendEvent(&hci.EncryptionChange{Status: hci.StatusSuccess, Handle: lk.handle, Enabled: false})
+		return
+	}
+	if !lk.haveKey {
+		c.tr.SendEvent(&hci.EncryptionChange{Status: hci.StatusPINOrKeyMissing, Handle: lk.handle})
+		return
+	}
+	lk.pendingEncRnd = c.rand16()
+	lk.pendingEncist = true
+	c.send(lk, EncStartPDU{Rand: lk.pendingEncRnd, KeySize: c.cfg.MaxEncKeySize}, true)
+}
+
+func (c *Controller) onEncStart(lk *link, pdu EncStartPDU) {
+	if !lk.haveKey {
+		c.send(lk, NotAcceptedPDU{Op: "LMP_encryption", Reason: hci.StatusPINOrKeyMissing}, false)
+		return
+	}
+	agreed := pdu.KeySize
+	if agreed > c.cfg.MaxEncKeySize {
+		agreed = c.cfg.MaxEncKeySize
+	}
+	if agreed < c.cfg.MinEncKeySize {
+		// Key size negotiation failed (the post-KNOB defence).
+		c.send(lk, NotAcceptedPDU{Op: "LMP_encryption_key_size", Reason: hci.StatusAuthenticationFailure}, false)
+		return
+	}
+	kc := btcrypto.E3(lk.currentKey, pdu.Rand, lk.aco)
+	lk.encKey = btcrypto.ShrinkKey(kc, agreed)
+	lk.encKeySize = agreed
+	lk.encrypted = true
+	c.send(lk, EncAcceptPDU{KeySize: agreed}, false)
+	c.tr.SendEvent(&hci.EncryptionChange{Status: hci.StatusSuccess, Handle: lk.handle, Enabled: true})
+}
+
+func (c *Controller) onEncAccept(lk *link, pdu EncAcceptPDU) {
+	if !lk.pendingEncist {
+		return
+	}
+	c.stopLMPTimer(lk)
+	lk.pendingEncist = false
+	if pdu.KeySize < c.cfg.MinEncKeySize || pdu.KeySize > c.cfg.MaxEncKeySize {
+		c.tr.SendEvent(&hci.EncryptionChange{Status: hci.StatusAuthenticationFailure, Handle: lk.handle})
+		return
+	}
+	kc := btcrypto.E3(lk.currentKey, lk.pendingEncRnd, lk.aco)
+	lk.encKey = btcrypto.ShrinkKey(kc, pdu.KeySize)
+	lk.encKeySize = pdu.KeySize
+	lk.encrypted = true
+	c.tr.SendEvent(&hci.EncryptionChange{Status: hci.StatusSuccess, Handle: lk.handle, Enabled: true})
+}

@@ -1,0 +1,496 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/btcrypto"
+	"repro/internal/hci"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// fakeHost is a scriptable host-side HCI endpoint.
+type fakeHost struct {
+	tr      *hci.Transport
+	events  []hci.Event
+	acl     [][]byte
+	onEvent func(hci.Event)
+}
+
+func (f *fakeHost) HandlePacket(p hci.Packet) {
+	switch p.PT {
+	case hci.PTEvent:
+		evt, err := hci.ParseEvent(p)
+		if err != nil {
+			return
+		}
+		f.events = append(f.events, evt)
+		if f.onEvent != nil {
+			f.onEvent(evt)
+		}
+	case hci.PTACLData:
+		_, data, ok := hci.ParseACL(p)
+		if ok {
+			f.acl = append(f.acl, data)
+		}
+	}
+}
+
+func (f *fakeHost) eventsOf(code hci.EventCode) []hci.Event {
+	var out []hci.Event
+	for _, e := range f.events {
+		if e.Code() == code {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+type rig struct {
+	s   *sim.Scheduler
+	med *radio.Medium
+	ca  *Controller
+	cb  *Controller
+	ha  *fakeHost
+	hb  *fakeHost
+}
+
+var (
+	addrA = bt.MustBDADDR("aa:aa:aa:aa:aa:01")
+	addrB = bt.MustBDADDR("bb:bb:bb:bb:bb:02")
+)
+
+func newRig(seed int64, cfgA, cfgB Config) *rig {
+	s := sim.NewScheduler(seed)
+	med := radio.NewMedium(s, radio.DefaultConfig())
+	ta := hci.NewTransport(s, 100*time.Microsecond)
+	tb := hci.NewTransport(s, 100*time.Microsecond)
+	cfgA.Addr, cfgB.Addr = addrA, addrB
+	r := &rig{
+		s:   s,
+		med: med,
+		ca:  New(s, med, ta, cfgA),
+		cb:  New(s, med, tb, cfgB),
+		ha:  &fakeHost{tr: ta},
+		hb:  &fakeHost{tr: tb},
+	}
+	ta.AttachHost(r.ha)
+	tb.AttachHost(r.hb)
+	// Make both connectable/discoverable, SSP-capable, and auto-accept
+	// inbound connections at the fake-host level.
+	ta.SendCommand(&hci.WriteScanEnable{ScanEnable: hci.ScanInquiryPage})
+	tb.SendCommand(&hci.WriteScanEnable{ScanEnable: hci.ScanInquiryPage})
+	ta.SendCommand(&hci.WriteSimplePairingMode{Enabled: true})
+	tb.SendCommand(&hci.WriteSimplePairingMode{Enabled: true})
+	r.hb.onEvent = func(e hci.Event) {
+		if cr, ok := e.(*hci.ConnectionRequest); ok {
+			tb.SendCommand(&hci.AcceptConnectionRequest{Addr: cr.Addr, Role: 1})
+		}
+	}
+	s.Run(0)
+	return r
+}
+
+// connect establishes A->B and returns A's handle. It advances bounded
+// virtual time rather than draining the queue, so pending timers (e.g.
+// link supervision) do not fire spuriously.
+func (r *rig) connect(t *testing.T) bt.ConnHandle {
+	t.Helper()
+	r.ha.tr.SendCommand(&hci.CreateConnection{Addr: addrB})
+	r.s.RunFor(time.Second)
+	ccs := r.ha.eventsOf(hci.EvConnectionComplete)
+	if len(ccs) != 1 {
+		t.Fatalf("connection complete events: %d", len(ccs))
+	}
+	cc := ccs[0].(*hci.ConnectionComplete)
+	if cc.Status != hci.StatusSuccess {
+		t.Fatalf("connect failed: %s", cc.Status)
+	}
+	return cc.Handle
+}
+
+func TestBasebandCommandsComplete(t *testing.T) {
+	r := newRig(1, Config{COD: bt.CODMobilePhone}, Config{})
+	r.ha.tr.SendCommand(&hci.WriteClassOfDevice{COD: bt.CODHandsFree})
+	r.ha.tr.SendCommand(&hci.WriteLocalName{Name: "spoof"})
+	r.ha.tr.SendCommand(&hci.WriteSimplePairingMode{Enabled: true})
+	r.ha.tr.SendCommand(&hci.ReadBDADDR{})
+	r.s.Run(0)
+
+	// Each command must be acknowledged with Command_Complete.
+	ccs := r.ha.eventsOf(hci.EvCommandComplete)
+	if len(ccs) < 4 {
+		t.Fatalf("command completes: %d", len(ccs))
+	}
+	// Read_BD_ADDR returns the address little-endian after the status.
+	var found bool
+	for _, e := range ccs {
+		cc := e.(*hci.CommandComplete)
+		if cc.CommandOpcode == hci.OpReadBDADDR {
+			found = true
+			if len(cc.ReturnParams) != 7 {
+				t.Fatalf("Read_BD_ADDR params: %x", cc.ReturnParams)
+			}
+			var le [6]byte
+			copy(le[:], cc.ReturnParams[1:])
+			if bt.BDADDRFromLittleEndian(le) != addrA {
+				t.Fatalf("returned addr %v", le)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no Read_BD_ADDR completion")
+	}
+	if r.ca.Info().COD != bt.CODHandsFree || r.ca.Info().Name != "spoof" {
+		t.Fatal("writes did not take effect")
+	}
+}
+
+func TestInquiryReportsPeers(t *testing.T) {
+	r := newRig(2, Config{}, Config{COD: bt.CODHeadset})
+	r.ha.tr.SendCommand(&hci.Inquiry{LAP: hci.GIAC, InquiryLength: 2})
+	r.s.Run(0)
+	results := r.ha.eventsOf(hci.EvInquiryResult)
+	if len(results) != 1 {
+		t.Fatalf("inquiry results: %d", len(results))
+	}
+	res := results[0].(*hci.InquiryResult).Responses[0]
+	if res.Addr != addrB || res.COD != bt.CODHeadset {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if len(r.ha.eventsOf(hci.EvInquiryComplete)) != 1 {
+		t.Fatal("missing inquiry complete")
+	}
+}
+
+func TestConnectionSetupAndDisconnect(t *testing.T) {
+	r := newRig(3, Config{}, Config{})
+	handle := r.connect(t)
+
+	// B saw a connection request and produced its own completion.
+	if len(r.hb.eventsOf(hci.EvConnectionRequest)) != 1 {
+		t.Fatal("responder missed the connection request")
+	}
+	bcc := r.hb.eventsOf(hci.EvConnectionComplete)
+	if len(bcc) != 1 || bcc[0].(*hci.ConnectionComplete).Status != hci.StatusSuccess {
+		t.Fatal("responder completion missing")
+	}
+
+	// ACL data flows both ways.
+	r.ha.tr.Send(hci.EncodeACL(hci.DirHostToController, handle, []byte{1, 2, 3, 4, 5, 6}))
+	r.s.Run(0)
+	if len(r.hb.acl) != 1 {
+		t.Fatalf("ACL frames at B: %d", len(r.hb.acl))
+	}
+
+	// Local disconnect: local host sees "terminated locally", the peer
+	// sees the commanded reason.
+	r.ha.tr.SendCommand(&hci.Disconnect{Handle: handle, Reason: hci.StatusRemoteUserTerminated})
+	r.s.Run(0)
+	adc := r.ha.eventsOf(hci.EvDisconnectionComplete)
+	bdc := r.hb.eventsOf(hci.EvDisconnectionComplete)
+	if len(adc) != 1 || adc[0].(*hci.DisconnectionComplete).Reason != hci.StatusConnTerminatedLocally {
+		t.Fatalf("local disconnect: %+v", adc)
+	}
+	if len(bdc) != 1 || bdc[0].(*hci.DisconnectionComplete).Reason != hci.StatusRemoteUserTerminated {
+		t.Fatalf("remote disconnect: %+v", bdc)
+	}
+}
+
+func TestRejectedConnection(t *testing.T) {
+	r := newRig(4, Config{}, Config{})
+	r.hb.onEvent = func(e hci.Event) {
+		if cr, ok := e.(*hci.ConnectionRequest); ok {
+			r.hb.tr.SendCommand(&hci.RejectConnectionRequest{Addr: cr.Addr, Reason: hci.StatusConnTerminatedLocally})
+		}
+	}
+	r.ha.tr.SendCommand(&hci.CreateConnection{Addr: addrB})
+	r.s.Run(0)
+	ccs := r.ha.eventsOf(hci.EvConnectionComplete)
+	if len(ccs) != 1 {
+		t.Fatalf("completions: %d", len(ccs))
+	}
+	if st := ccs[0].(*hci.ConnectionComplete).Status; st == hci.StatusSuccess {
+		t.Fatal("rejected connection reported success")
+	}
+}
+
+func TestPageTimeoutCompletion(t *testing.T) {
+	r := newRig(5, Config{}, Config{})
+	r.ha.tr.SendCommand(&hci.CreateConnection{Addr: bt.MustBDADDR("cc:cc:cc:cc:cc:03")})
+	r.s.Run(0)
+	ccs := r.ha.eventsOf(hci.EvConnectionComplete)
+	if len(ccs) != 1 || ccs[0].(*hci.ConnectionComplete).Status != hci.StatusPageTimeout {
+		t.Fatalf("want page timeout completion: %+v", ccs)
+	}
+}
+
+func TestDuplicateCreateConnectionRefused(t *testing.T) {
+	r := newRig(6, Config{}, Config{})
+	r.connect(t)
+	r.ha.tr.SendCommand(&hci.CreateConnection{Addr: addrB})
+	r.s.Run(0)
+	var refused bool
+	for _, e := range r.ha.eventsOf(hci.EvCommandStatus) {
+		cs := e.(*hci.CommandStatus)
+		if cs.CommandOpcode == hci.OpCreateConnection && cs.Status == hci.StatusConnectionAlreadyExists {
+			refused = true
+		}
+	}
+	if !refused {
+		t.Fatal("duplicate connection not refused")
+	}
+}
+
+// TestAuthenticationWithStoredKey scripts both hosts to supply the same
+// stored key and verifies the E1 challenge-response succeeds.
+func TestAuthenticationWithStoredKey(t *testing.T) {
+	key := bt.MustLinkKey("0123456789abcdef0123456789abcdef")
+	r := newRig(7, Config{}, Config{})
+	handle := r.connect(t)
+
+	oldB := r.hb.onEvent
+	r.ha.onEvent = func(e hci.Event) {
+		if lr, ok := e.(*hci.LinkKeyRequest); ok {
+			r.ha.tr.SendCommand(&hci.LinkKeyRequestReply{Addr: lr.Addr, Key: key})
+		}
+	}
+	r.hb.onEvent = func(e hci.Event) {
+		oldB(e)
+		if lr, ok := e.(*hci.LinkKeyRequest); ok {
+			r.hb.tr.SendCommand(&hci.LinkKeyRequestReply{Addr: lr.Addr, Key: key})
+		}
+	}
+	r.ha.tr.SendCommand(&hci.AuthenticationRequested{Handle: handle})
+	r.s.Run(0)
+
+	acs := r.ha.eventsOf(hci.EvAuthenticationComplete)
+	if len(acs) != 1 || acs[0].(*hci.AuthenticationComplete).Status != hci.StatusSuccess {
+		t.Fatalf("auth outcome: %+v", acs)
+	}
+}
+
+func TestAuthenticationWithMismatchedKeysFails(t *testing.T) {
+	r := newRig(8, Config{}, Config{})
+	handle := r.connect(t)
+	oldB := r.hb.onEvent
+	r.ha.onEvent = func(e hci.Event) {
+		if lr, ok := e.(*hci.LinkKeyRequest); ok {
+			r.ha.tr.SendCommand(&hci.LinkKeyRequestReply{Addr: lr.Addr, Key: bt.MustLinkKey("00000000000000000000000000000001")})
+		}
+	}
+	r.hb.onEvent = func(e hci.Event) {
+		oldB(e)
+		if lr, ok := e.(*hci.LinkKeyRequest); ok {
+			r.hb.tr.SendCommand(&hci.LinkKeyRequestReply{Addr: lr.Addr, Key: bt.MustLinkKey("00000000000000000000000000000002")})
+		}
+	}
+	r.ha.tr.SendCommand(&hci.AuthenticationRequested{Handle: handle})
+	r.s.Run(0)
+	acs := r.ha.eventsOf(hci.EvAuthenticationComplete)
+	if len(acs) != 1 || acs[0].(*hci.AuthenticationComplete).Status != hci.StatusAuthenticationFailure {
+		t.Fatalf("want authentication failure: %+v", acs)
+	}
+}
+
+// TestStalledClaimantTimesOutWithoutAuthFailure is the controller-level
+// heart of the link key extraction attack: the claimant host never
+// answers the key request, the verifier's LMP response timer detaches the
+// link, and no Authentication_Complete(failure) is ever generated.
+func TestStalledClaimantTimesOutWithoutAuthFailure(t *testing.T) {
+	key := bt.MustLinkKey("0123456789abcdef0123456789abcdef")
+	r := newRig(9, Config{LMPResponseTimeout: 2 * time.Second}, Config{})
+	handle := r.connect(t)
+	r.ha.onEvent = func(e hci.Event) {
+		if lr, ok := e.(*hci.LinkKeyRequest); ok {
+			r.ha.tr.SendCommand(&hci.LinkKeyRequestReply{Addr: lr.Addr, Key: key})
+		}
+	}
+	// B's host: silence (the Fig. 9 patch).
+	start := r.s.Now()
+	r.ha.tr.SendCommand(&hci.AuthenticationRequested{Handle: handle})
+	r.s.Run(0)
+
+	if n := len(r.ha.eventsOf(hci.EvAuthenticationComplete)); n != 0 {
+		t.Fatalf("no auth completion should fire, got %d", n)
+	}
+	dcs := r.ha.eventsOf(hci.EvDisconnectionComplete)
+	if len(dcs) != 1 || dcs[0].(*hci.DisconnectionComplete).Reason != hci.StatusLMPResponseTimeout {
+		t.Fatalf("want LMP response timeout disconnect: %+v", dcs)
+	}
+	if elapsed := r.s.Now() - start; elapsed < 2*time.Second {
+		t.Fatalf("disconnect before the timeout window: %v", elapsed)
+	}
+}
+
+func TestClaimantWithoutKeyTriggersPairingFallback(t *testing.T) {
+	// Verifier has a key, claimant replies negatively: the verifier falls
+	// back to SSP (IO capability request to its host).
+	key := bt.MustLinkKey("0123456789abcdef0123456789abcdef")
+	r := newRig(10, Config{}, Config{})
+	handle := r.connect(t)
+	oldB := r.hb.onEvent
+	r.ha.onEvent = func(e hci.Event) {
+		if lr, ok := e.(*hci.LinkKeyRequest); ok {
+			r.ha.tr.SendCommand(&hci.LinkKeyRequestReply{Addr: lr.Addr, Key: key})
+		}
+	}
+	r.hb.onEvent = func(e hci.Event) {
+		oldB(e)
+		if lr, ok := e.(*hci.LinkKeyRequest); ok {
+			r.hb.tr.SendCommand(&hci.LinkKeyRequestNegativeReply{Addr: lr.Addr})
+		}
+	}
+	r.ha.tr.SendCommand(&hci.AuthenticationRequested{Handle: handle})
+	r.s.Run(0)
+	if len(r.ha.eventsOf(hci.EvIOCapabilityRequest)) != 1 {
+		t.Fatal("verifier should fall back to SSP after PIN-or-key-missing")
+	}
+}
+
+func TestEncryptionRequiresAuthentication(t *testing.T) {
+	r := newRig(11, Config{}, Config{})
+	handle := r.connect(t)
+	r.ha.tr.SendCommand(&hci.SetConnectionEncryption{Handle: handle, Enable: true})
+	r.s.Run(0)
+	ecs := r.ha.eventsOf(hci.EvEncryptionChange)
+	if len(ecs) != 1 || ecs[0].(*hci.EncryptionChange).Status != hci.StatusPINOrKeyMissing {
+		t.Fatalf("want key-missing encryption failure: %+v", ecs)
+	}
+}
+
+func TestEncryptionAfterAuthentication(t *testing.T) {
+	key := bt.MustLinkKey("0123456789abcdef0123456789abcdef")
+	r := newRig(12, Config{}, Config{})
+	handle := r.connect(t)
+	oldB := r.hb.onEvent
+	reply := func(tr *hci.Transport) func(hci.Event) {
+		return func(e hci.Event) {
+			if lr, ok := e.(*hci.LinkKeyRequest); ok {
+				tr.SendCommand(&hci.LinkKeyRequestReply{Addr: lr.Addr, Key: key})
+			}
+		}
+	}
+	r.ha.onEvent = reply(r.ha.tr)
+	r.hb.onEvent = func(e hci.Event) { oldB(e); reply(r.hb.tr)(e) }
+
+	r.ha.tr.SendCommand(&hci.AuthenticationRequested{Handle: handle})
+	r.s.Run(0)
+	r.ha.tr.SendCommand(&hci.SetConnectionEncryption{Handle: handle, Enable: true})
+	r.s.Run(0)
+
+	for name, h := range map[string]*fakeHost{"A": r.ha, "B": r.hb} {
+		ecs := h.eventsOf(hci.EvEncryptionChange)
+		if len(ecs) != 1 {
+			t.Fatalf("%s: encryption changes: %d", name, len(ecs))
+		}
+		ec := ecs[0].(*hci.EncryptionChange)
+		if ec.Status != hci.StatusSuccess || !ec.Enabled {
+			t.Fatalf("%s: %+v", name, ec)
+		}
+	}
+}
+
+func TestSupervisionTimeoutDropsIdleLink(t *testing.T) {
+	r := newRig(13, Config{SupervisionTimeout: 3 * time.Second}, Config{})
+	_ = r.connect(t)
+	r.s.RunFor(10 * time.Second)
+	dcs := r.ha.eventsOf(hci.EvDisconnectionComplete)
+	if len(dcs) != 1 || dcs[0].(*hci.DisconnectionComplete).Reason != hci.StatusConnectionTimeout {
+		t.Fatalf("want supervision drop: %+v", dcs)
+	}
+}
+
+func TestSupervisionRefreshedByTraffic(t *testing.T) {
+	r := newRig(14, Config{SupervisionTimeout: 3 * time.Second}, Config{})
+	handle := r.connect(t)
+	for i := 0; i < 5; i++ {
+		r.s.RunFor(2 * time.Second)
+		r.ha.tr.Send(hci.EncodeACL(hci.DirHostToController, handle, []byte{0, 0, 0, 0, 0, 0}))
+	}
+	r.s.RunFor(2 * time.Second)
+	if len(r.ha.eventsOf(hci.EvDisconnectionComplete)) != 0 {
+		t.Fatal("traffic should keep the link alive")
+	}
+	_ = btcrypto.Ar // anchor import
+}
+
+func TestSpoofedClaimantPassesE1(t *testing.T) {
+	// The E1 claimant-address binding: when B spoofs some address X, the
+	// verifier computes E1 with X and authentication still succeeds —
+	// which is exactly why BDADDR spoofing plus a stolen key defeats LMP
+	// authentication.
+	key := bt.MustLinkKey("00112233445566778899aabbccddeeff")
+	spoofed := bt.MustBDADDR("dd:dd:dd:dd:dd:07")
+	r := newRig(15, Config{}, Config{})
+	r.cb.SetAddr(spoofed)
+	r.s.Run(0)
+
+	oldB := r.hb.onEvent
+	r.ha.onEvent = func(e hci.Event) {
+		if lr, ok := e.(*hci.LinkKeyRequest); ok {
+			r.ha.tr.SendCommand(&hci.LinkKeyRequestReply{Addr: lr.Addr, Key: key})
+		}
+	}
+	r.hb.onEvent = func(e hci.Event) {
+		oldB(e)
+		if lr, ok := e.(*hci.LinkKeyRequest); ok {
+			r.hb.tr.SendCommand(&hci.LinkKeyRequestReply{Addr: lr.Addr, Key: key})
+		}
+	}
+	r.ha.tr.SendCommand(&hci.CreateConnection{Addr: spoofed})
+	r.s.Run(0)
+	ccs := r.ha.eventsOf(hci.EvConnectionComplete)
+	if len(ccs) != 1 || ccs[0].(*hci.ConnectionComplete).Status != hci.StatusSuccess {
+		t.Fatalf("connect to spoofed addr: %+v", ccs)
+	}
+	handle := ccs[0].(*hci.ConnectionComplete).Handle
+	r.ha.tr.SendCommand(&hci.AuthenticationRequested{Handle: handle})
+	r.s.Run(0)
+	acs := r.ha.eventsOf(hci.EvAuthenticationComplete)
+	if len(acs) != 1 || acs[0].(*hci.AuthenticationComplete).Status != hci.StatusSuccess {
+		t.Fatalf("spoofed claimant should authenticate: %+v", acs)
+	}
+}
+
+func TestInquiryCancel(t *testing.T) {
+	r := newRig(50, Config{}, Config{})
+	r.ha.tr.SendCommand(&hci.Inquiry{LAP: hci.GIAC, InquiryLength: 4})
+	r.s.RunFor(time.Millisecond) // before any response jitter elapses
+	r.ha.tr.SendCommand(&hci.InquiryCancel{})
+	r.s.RunFor(10 * time.Second)
+	if n := len(r.ha.eventsOf(hci.EvInquiryResult)); n != 0 {
+		t.Fatalf("cancelled inquiry delivered %d results", n)
+	}
+	if n := len(r.ha.eventsOf(hci.EvInquiryComplete)); n != 0 {
+		t.Fatalf("cancelled inquiry completed %d times", n)
+	}
+	// A second inquiry still works after the cancel.
+	r.ha.tr.SendCommand(&hci.Inquiry{LAP: hci.GIAC, InquiryLength: 2})
+	r.s.RunFor(10 * time.Second)
+	if n := len(r.ha.eventsOf(hci.EvInquiryComplete)); n != 1 {
+		t.Fatalf("post-cancel inquiry completions: %d", n)
+	}
+}
+
+func TestResetTearsDownLinks(t *testing.T) {
+	r := newRig(51, Config{}, Config{})
+	_ = r.connect(t)
+	r.ha.tr.SendCommand(&hci.Reset{})
+	r.s.RunFor(2 * time.Second)
+	// The peer observes the drop; the resetting side reports no
+	// disconnection event (its host wiped state with the reset).
+	if n := len(r.hb.eventsOf(hci.EvDisconnectionComplete)); n != 1 {
+		t.Fatalf("peer disconnections after reset: %d", n)
+	}
+	// A fresh connection works after reset once scanning is re-enabled.
+	r.ha.tr.SendCommand(&hci.WriteScanEnable{ScanEnable: hci.ScanInquiryPage})
+	r.ha.tr.SendCommand(&hci.CreateConnection{Addr: addrB})
+	r.s.RunFor(10 * time.Second)
+	ccs := r.ha.eventsOf(hci.EvConnectionComplete)
+	if len(ccs) != 2 || ccs[1].(*hci.ConnectionComplete).Status != hci.StatusSuccess {
+		t.Fatalf("post-reset connect: %+v", ccs)
+	}
+}

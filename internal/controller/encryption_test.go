@@ -1,0 +1,160 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/hci"
+	"repro/internal/radio"
+)
+
+// scriptKey makes a fake host answer link key requests with the given key.
+func scriptKey(h *fakeHost, key bt.LinkKey) {
+	old := h.onEvent
+	h.onEvent = func(e hci.Event) {
+		if old != nil {
+			old(e)
+		}
+		if lr, ok := e.(*hci.LinkKeyRequest); ok {
+			h.tr.SendCommand(&hci.LinkKeyRequestReply{Addr: lr.Addr, Key: key})
+		}
+	}
+}
+
+// TestSimultaneousAuthenticationCollision reproduces the LMP collision:
+// both hosts issue Authentication_Requested at the same moment. Both
+// authentications must complete, and link encryption must still work
+// afterwards (the ACO selection rule must leave both ends with the same
+// ciphering offset).
+func TestSimultaneousAuthenticationCollision(t *testing.T) {
+	key := bt.MustLinkKey("0f1e2d3c4b5a69788796a5b4c3d2e1f0")
+	r := newRig(30, Config{}, Config{})
+	handleA := r.connect(t)
+	scriptKey(r.ha, key)
+	scriptKey(r.hb, key)
+
+	// B's handle for the same link.
+	bcc := r.hb.eventsOf(hci.EvConnectionComplete)[0].(*hci.ConnectionComplete)
+	handleB := bcc.Handle
+
+	r.ha.tr.SendCommand(&hci.AuthenticationRequested{Handle: handleA})
+	r.hb.tr.SendCommand(&hci.AuthenticationRequested{Handle: handleB})
+	r.s.RunFor(5 * time.Second)
+
+	for name, h := range map[string]*fakeHost{"A": r.ha, "B": r.hb} {
+		acs := h.eventsOf(hci.EvAuthenticationComplete)
+		if len(acs) != 1 {
+			t.Fatalf("%s: auth completions = %d, want 1", name, len(acs))
+		}
+		if st := acs[0].(*hci.AuthenticationComplete).Status; st != hci.StatusSuccess {
+			t.Fatalf("%s: auth status %s", name, st)
+		}
+	}
+
+	// Encryption across the mutually-authenticated link must agree: an
+	// ACL payload sent encrypted by A must decrypt correctly at B.
+	r.ha.tr.SendCommand(&hci.SetConnectionEncryption{Handle: handleA, Enable: true})
+	r.s.RunFor(2 * time.Second)
+	ecs := r.ha.eventsOf(hci.EvEncryptionChange)
+	if len(ecs) != 1 || ecs[0].(*hci.EncryptionChange).Status != hci.StatusSuccess {
+		t.Fatalf("encryption change: %+v", ecs)
+	}
+	payload := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02}
+	r.ha.tr.Send(hci.EncodeACL(hci.DirHostToController, handleA, payload))
+	r.s.RunFor(time.Second)
+	if len(r.hb.acl) != 1 {
+		t.Fatalf("B received %d ACL frames", len(r.hb.acl))
+	}
+	got := r.hb.acl[0]
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("decrypted payload mismatch: %x vs %x — ACO rule broken", got, payload)
+		}
+	}
+}
+
+// TestKeySizeNegotiation checks the LMP encryption key size handshake.
+func TestKeySizeNegotiation(t *testing.T) {
+	key := bt.MustLinkKey("00112233445566778899aabbccddeeff")
+
+	// A capped peer negotiates down; traffic still round-trips.
+	r := newRig(31, Config{}, Config{MaxEncKeySize: 1})
+	h := r.connect(t)
+	scriptKey(r.ha, key)
+	scriptKey(r.hb, key)
+	r.ha.tr.SendCommand(&hci.AuthenticationRequested{Handle: h})
+	r.s.RunFor(2 * time.Second)
+	r.ha.tr.SendCommand(&hci.SetConnectionEncryption{Handle: h, Enable: true})
+	r.s.RunFor(2 * time.Second)
+	ecs := r.ha.eventsOf(hci.EvEncryptionChange)
+	if len(ecs) != 1 || ecs[0].(*hci.EncryptionChange).Status != hci.StatusSuccess {
+		t.Fatalf("negotiated-down encryption failed: %+v", ecs)
+	}
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	r.ha.tr.Send(hci.EncodeACL(hci.DirHostToController, h, payload))
+	r.s.RunFor(time.Second)
+	if len(r.hb.acl) != 1 || r.hb.acl[0][0] != 1 {
+		t.Fatalf("1-byte-key traffic broken: %v", r.hb.acl)
+	}
+
+	// A hardened initiator refuses the weak key.
+	r2 := newRig(32, Config{MinEncKeySize: 7}, Config{MaxEncKeySize: 1})
+	h2 := r2.connect(t)
+	scriptKey(r2.ha, key)
+	scriptKey(r2.hb, key)
+	r2.ha.tr.SendCommand(&hci.AuthenticationRequested{Handle: h2})
+	r2.s.RunFor(2 * time.Second)
+	r2.ha.tr.SendCommand(&hci.SetConnectionEncryption{Handle: h2, Enable: true})
+	r2.s.RunFor(2 * time.Second)
+	ecs2 := r2.ha.eventsOf(hci.EvEncryptionChange)
+	if len(ecs2) != 1 || ecs2[0].(*hci.EncryptionChange).Status == hci.StatusSuccess {
+		t.Fatalf("hardened stack accepted a weak key: %+v", ecs2)
+	}
+}
+
+// TestEncryptedTrafficIsCiphertextOnAir confirms that a sniffer sees only
+// ciphertext once encryption starts, while the peer decrypts correctly.
+func TestEncryptedTrafficIsCiphertextOnAir(t *testing.T) {
+	key := bt.MustLinkKey("00112233445566778899aabbccddeeff")
+	r := newRig(33, Config{}, Config{})
+	h := r.connect(t)
+	scriptKey(r.ha, key)
+	scriptKey(r.hb, key)
+	r.ha.tr.SendCommand(&hci.AuthenticationRequested{Handle: h})
+	r.s.RunFor(2 * time.Second)
+	r.ha.tr.SendCommand(&hci.SetConnectionEncryption{Handle: h, Enable: true})
+	r.s.RunFor(2 * time.Second)
+
+	seen := false
+	payload := []byte{0x11, 0x22, 0x33, 0x44, 0x55, 0x66}
+	r.med.Sniff(func(f radio.SniffedFrame) {
+		pdu, ok := f.Payload.(ACLPDU)
+		if !ok {
+			return
+		}
+		seen = true
+		if !pdu.Encrypted {
+			t.Error("ACL frame crossed the air unencrypted")
+		}
+		same := len(pdu.Data) == len(payload)
+		if same {
+			for i := range payload {
+				if pdu.Data[i] != payload[i] {
+					same = false
+				}
+			}
+		}
+		if same {
+			t.Error("ciphertext equals plaintext")
+		}
+	})
+	r.ha.tr.Send(hci.EncodeACL(hci.DirHostToController, h, payload))
+	r.s.RunFor(time.Second)
+	if !seen {
+		t.Fatal("sniffer saw no ACL frame")
+	}
+	if len(r.hb.acl) != 1 || r.hb.acl[0][0] != 0x11 {
+		t.Fatalf("peer failed to decrypt: %v", r.hb.acl)
+	}
+}

@@ -1,0 +1,171 @@
+package controller
+
+import (
+	"repro/internal/bt"
+	"repro/internal/btcrypto"
+	"repro/internal/hci"
+)
+
+// Legacy (pre-SSP) PIN pairing: E22 derives an initialization key from
+// the PIN, a public random number and the initiator's address; each side
+// then contributes E21(rand, addr) to a combination key, exchanging its
+// random masked with the initialization key. The paper's background
+// section (§II-C) recalls why this scheme fell: a sniffed pairing is
+// brute-forceable offline from the PIN space [14][15]. It is implemented
+// here because several Table I systems still expose the flow when SSP is
+// disabled, and because the legacy functions (E21/E22) are part of the
+// controller substrate the paper's stack assumes.
+
+// InRandPDU opens legacy pairing with the public initialization random.
+type InRandPDU struct {
+	Rand [16]byte
+}
+
+// CombKeyPDU carries one side's combination-key random, masked with the
+// initialization key.
+type CombKeyPDU struct {
+	Masked [16]byte
+}
+
+type legacyState struct {
+	initiator bool
+	fromAuth  bool
+	pin       []byte
+	initRand  [16]byte
+	kinit     [16]byte
+	localRand [16]byte
+	sentComb  bool
+}
+
+// startLegacyPairing begins PIN pairing as initiator.
+func (c *Controller) startLegacyPairing(lk *link, fromAuth bool) {
+	if lk.legacy != nil {
+		return
+	}
+	lk.legacy = &legacyState{initiator: true, fromAuth: fromAuth}
+	c.tr.SendEvent(&hci.PINCodeRequest{Addr: lk.peer})
+}
+
+// initiatorAddr returns the pairing initiator's BDADDR, the shared E22
+// address input.
+func (c *Controller) initiatorAddr(lk *link, initiator bool) [6]byte {
+	if initiator {
+		return [6]byte(c.cfg.Addr)
+	}
+	return [6]byte(lk.peer)
+}
+
+// hostPINCode handles HCI_PIN_Code_Request_Reply.
+func (c *Controller) hostPINCode(addr bt.BDADDR, pin []byte) {
+	lk := c.findByAddr(addr)
+	if lk == nil || lk.legacy == nil || len(pin) == 0 {
+		return
+	}
+	s := lk.legacy
+	s.pin = append([]byte(nil), pin...)
+	if s.initiator {
+		s.initRand = c.rand16()
+		s.kinit = btcrypto.E22(s.initRand, s.pin, c.initiatorAddr(lk, true))
+		c.send(lk, InRandPDU{Rand: s.initRand}, true)
+		return
+	}
+	// Responder: the initialization random already arrived; derive the
+	// init key and answer with the masked combination random.
+	s.kinit = btcrypto.E22(s.initRand, s.pin, c.initiatorAddr(lk, false))
+	c.sendCombKey(lk)
+}
+
+// hostPINDenied handles HCI_PIN_Code_Request_Negative_Reply.
+func (c *Controller) hostPINDenied(addr bt.BDADDR) {
+	lk := c.findByAddr(addr)
+	if lk == nil || lk.legacy == nil {
+		return
+	}
+	c.legacyFail(lk, hci.StatusPairingNotAllowed, true)
+}
+
+// onInRand starts the responder side of legacy pairing.
+func (c *Controller) onInRand(lk *link, pdu InRandPDU) {
+	if lk.legacy != nil || lk.ssp != nil {
+		return
+	}
+	lk.legacy = &legacyState{initiator: false, initRand: pdu.Rand}
+	c.tr.SendEvent(&hci.PINCodeRequest{Addr: lk.peer})
+}
+
+func (c *Controller) sendCombKey(lk *link) {
+	s := lk.legacy
+	s.localRand = c.rand16()
+	var masked [16]byte
+	for i := range masked {
+		masked[i] = s.localRand[i] ^ s.kinit[i]
+	}
+	s.sentComb = true
+	// The responder sends first and awaits the initiator's contribution;
+	// the initiator's comb key is the final message of the exchange.
+	c.send(lk, CombKeyPDU{Masked: masked}, !s.initiator)
+}
+
+// onCombKey finishes the combination key exchange.
+func (c *Controller) onCombKey(lk *link, pdu CombKeyPDU) {
+	s := lk.legacy
+	if s == nil || len(s.pin) == 0 {
+		return
+	}
+	c.stopLMPTimer(lk)
+	var peerRand [16]byte
+	for i := range peerRand {
+		peerRand[i] = pdu.Masked[i] ^ s.kinit[i]
+	}
+	// The initiator answers with its own contribution before completing.
+	if s.initiator && !s.sentComb {
+		c.sendCombKey(lk)
+	}
+
+	// K = E21(randInit, addrInit) XOR E21(randResp, addrResp).
+	var initAddr, respAddr [6]byte
+	var initRand, respRand [16]byte
+	if s.initiator {
+		initAddr, respAddr = [6]byte(c.cfg.Addr), [6]byte(lk.peer)
+		initRand, respRand = s.localRand, peerRand
+	} else {
+		initAddr, respAddr = [6]byte(lk.peer), [6]byte(c.cfg.Addr)
+		initRand, respRand = peerRand, s.localRand
+	}
+	ka := btcrypto.E21(initRand, initAddr)
+	kb := btcrypto.E21(respRand, respAddr)
+	var key bt.LinkKey
+	for i := range key {
+		key[i] = ka[i] ^ kb[i]
+	}
+	lk.currentKey = key
+	lk.haveKey = true
+
+	fromAuth := s.fromAuth
+	initiator := s.initiator
+	lk.legacy = nil
+	c.tr.SendEvent(&hci.LinkKeyNotification{Addr: lk.peer, Key: key, KeyType: bt.KeyTypeCombination})
+
+	if initiator && fromAuth {
+		// Concluding mutual authentication with the fresh key; a PIN
+		// mismatch surfaces here as an SRES mismatch.
+		lk.auth = &authState{verifier: true, stage: authVerifierWaitSres, key: key, fromPairing: true, challenge: c.rand16()}
+		c.send(lk, AuRandPDU{Rand: lk.auth.challenge}, true)
+	}
+}
+
+// legacyFail aborts legacy pairing.
+func (c *Controller) legacyFail(lk *link, reason hci.Status, tellPeer bool) {
+	s := lk.legacy
+	if s == nil {
+		return
+	}
+	lk.legacy = nil
+	c.stopLMPTimer(lk)
+	if tellPeer {
+		c.send(lk, NotAcceptedPDU{Op: "LMP_in_rand", Reason: reason}, false)
+	}
+	if s.fromAuth && s.initiator {
+		c.tr.SendEvent(&hci.AuthenticationComplete{Status: reason, Handle: lk.handle})
+	}
+}

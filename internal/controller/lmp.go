@@ -1,0 +1,100 @@
+package controller
+
+import (
+	"repro/internal/bt"
+	"repro/internal/hci"
+)
+
+// LMP protocol data units exchanged between controllers over the simulated
+// baseband link. They model the Link Manager Protocol messages the BLAP
+// attacks interact with: the connection-setup accept, the E1
+// challenge-response of LMP authentication, the SSP pairing exchange, and
+// encryption start.
+
+// ConnAcceptPDU completes connection establishment: the responder's host
+// accepted the incoming connection, so both sides may raise
+// HCI_Connection_Complete.
+type ConnAcceptPDU struct {
+	LTAddr bt.LTAddr
+}
+
+// DetachPDU tears down the link at the LMP level with an HCI reason code.
+type DetachPDU struct {
+	Reason hci.Status
+}
+
+// AuRandPDU is the verifier's authentication challenge.
+type AuRandPDU struct {
+	Rand [16]byte
+}
+
+// SresPDU is the claimant's E1 response to a challenge.
+type SresPDU struct {
+	Sres [4]byte
+}
+
+// NotAcceptedPDU rejects the previous PDU with a reason; Op names the
+// rejected operation for diagnostics.
+type NotAcceptedPDU struct {
+	Op     string
+	Reason hci.Status
+}
+
+// IOCapReqPDU opens the SSP IO capability exchange (pairing initiator to
+// responder).
+type IOCapReqPDU struct {
+	Cap     bt.IOCapability
+	OOB     bool
+	AuthReq uint8
+}
+
+// IOCapResPDU answers the IO capability exchange (responder to initiator).
+type IOCapResPDU struct {
+	Cap     bt.IOCapability
+	OOB     bool
+	AuthReq uint8
+}
+
+// PublicKeyPDU carries an uncompressed P-256 public key during SSP.
+type PublicKeyPDU struct {
+	Pub []byte
+}
+
+// SSPConfirmPDU carries the responder's f1 commitment Cb.
+type SSPConfirmPDU struct {
+	C [16]byte
+}
+
+// SSPNoncePDU carries a stage-1 nonce (Na from initiator, Nb from
+// responder).
+type SSPNoncePDU struct {
+	N [16]byte
+}
+
+// DHKeyCheckPDU carries an authentication stage 2 check value (f3 output).
+type DHKeyCheckPDU struct {
+	E [16]byte
+}
+
+// EncStartPDU requests link encryption; the random number feeds E3
+// together with the current link key and the ACO from authentication.
+// KeySize is the proposed encryption key size in bytes (1..16) — the LMP
+// key size negotiation whose lax lower bound the KNOB attack exploits.
+type EncStartPDU struct {
+	Rand    [16]byte
+	KeySize int
+}
+
+// EncAcceptPDU confirms encryption start with the agreed key size.
+type EncAcceptPDU struct {
+	KeySize int
+}
+
+// ACLPDU carries host ACL payload bytes across the link. When Encrypted
+// is set, Data is E0 ciphertext and Clock is the per-packet clock input
+// of the cipher (visible on the air, like the real piconet clock).
+type ACLPDU struct {
+	Data      []byte
+	Encrypted bool
+	Clock     uint32
+}

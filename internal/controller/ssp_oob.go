@@ -1,0 +1,85 @@
+package controller
+
+import (
+	"repro/internal/bt"
+	"repro/internal/btcrypto"
+	"repro/internal/hci"
+)
+
+// SSP Out of Band association: each device's OOB payload (carried over a
+// separate channel such as NFC) is the pair (C, R) with
+// C = f1(PKx, PKx, R, 0) — a commitment to its own public key. During
+// in-band pairing, each side checks the peer's public key against the
+// commitment it received out of band, which authenticates the key
+// exchange without any display or keyboard. The R values feed f3 as the
+// stage-2 R input (each side *sends* a check computed with the peer's R
+// and *verifies* with its own).
+
+// OOBData is one device's out-of-band pairing payload.
+type OOBData struct {
+	Addr bt.BDADDR
+	C    [16]byte
+	R    [16]byte
+}
+
+// localOOB lazily derives this controller's OOB payload; R is generated
+// once per controller lifetime, like a real Read_Local_OOB_Data epoch.
+func (c *Controller) localOOB() OOBData {
+	if !c.oobReady {
+		c.oobRand = c.rand16()
+		c.oobReady = true
+	}
+	return OOBData{
+		Addr: c.cfg.Addr,
+		C:    btcrypto.F1(c.kp.PublicX(), c.kp.PublicX(), c.oobRand, 0),
+		R:    c.oobRand,
+	}
+}
+
+// oobBegin runs stage 1 for the OOB model: ask the host for the peer's
+// out-of-band data, then verify it against the in-band public key.
+func (c *Controller) oobBegin(lk *link) {
+	lk.ssp.stage = sspWaitOOB
+	c.tr.SendEvent(&hci.RemoteOOBDataRequest{Addr: lk.peer})
+}
+
+// hostOOBData handles HCI_Remote_OOB_Data_Request_Reply (ok=true) or the
+// negative reply.
+func (c *Controller) hostOOBData(addr bt.BDADDR, oobC, oobR [16]byte, ok bool) {
+	lk := c.findByAddr(addr)
+	if lk == nil || lk.ssp == nil || lk.ssp.stage != sspWaitOOB {
+		return
+	}
+	s := lk.ssp
+	if !ok {
+		// No OOB data for this peer: authentication cannot proceed.
+		c.sspFail(lk, hci.StatusAuthenticationFailure, true)
+		return
+	}
+	// Verify the peer's public key against the out-of-band commitment.
+	px := peerX(s.peerPub)
+	if btcrypto.F1(px, px, oobR, 0) != oobC {
+		c.sspFail(lk, hci.StatusAuthenticationFailure, true)
+		return
+	}
+	// Stage 2 R inputs: send with the peer's R, verify with our own.
+	s.sendR = oobR
+	s.verifyR = c.localOOB().R
+	s.localConfirmed = true // the NFC tap was the user action
+
+	// Exchange stage-1 nonces in-band (initiator first), then run the
+	// DHKey checks.
+	s.localNonce = c.rand16()
+	s.stage = sspWaitNonce
+	if s.initiator {
+		c.send(lk, SSPNoncePDU{N: s.localNonce}, true)
+		return
+	}
+	if s.havePeerNonce {
+		// The initiator's nonce arrived while we were waiting for the
+		// host; answer it now and proceed to stage 2.
+		c.send(lk, SSPNoncePDU{N: s.localNonce}, false)
+		s.stage = sspWaitConfirm
+		c.advanceStage2(lk)
+	}
+}

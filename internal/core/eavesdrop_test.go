@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/host"
+)
+
+// sendSecretOverEncryptedLink has M reconnect to C with the stored key,
+// turn on encryption, and push the secret payload.
+func sendSecretOverEncryptedLink(t *testing.T, tb *Testbed, secret []byte) {
+	t.Helper()
+	done := false
+	tb.M.Host.Pair(tb.C.Addr(), func(err error) {
+		if err != nil {
+			t.Fatalf("reconnect: %v", err)
+		}
+		conn := tb.M.Host.Connection(tb.C.Addr())
+		tb.M.Host.Encrypt(conn, func(err error) {
+			if err != nil {
+				t.Fatalf("encrypt: %v", err)
+			}
+			tb.M.Host.SendData(conn, secret)
+			done = true
+		})
+	})
+	tb.Sched.RunFor(10 * time.Second)
+	if !done {
+		t.Fatal("secret transfer never completed")
+	}
+	if len(tb.C.Host.ReceivedData) != 1 || !bytes.Equal(tb.C.Host.ReceivedData[0], secret) {
+		t.Fatalf("peer did not receive the secret: %v", tb.C.Host.ReceivedData)
+	}
+}
+
+func TestEavesdropperDecryptsPastTrafficWithExtractedKey(t *testing.T) {
+	tb := mustTestbed(t, 50, TestbedOptions{
+		ClientPlatform: device.GalaxyS21Android11,
+		Bond:           true,
+	})
+	sniffer := NewAirSniffer(tb.Medium)
+
+	secret := []byte("PBAP: +82-10-1234-5678 Dr. Kim")
+	sendSecretOverEncryptedLink(t, tb, secret)
+	tb.M.Host.Disconnect(tb.C.Addr())
+	tb.Sched.RunFor(time.Second)
+
+	if sniffer.EncryptedFrames() == 0 {
+		t.Fatal("no encrypted frames were captured")
+	}
+	// Without the key, the ciphertext must not contain the secret.
+	for _, f := range sniffer.Frames() {
+		if pdu, ok := f.Payload.(interface{ GetData() []byte }); ok {
+			_ = pdu
+		}
+	}
+	wrong := tb.BondKey
+	wrong[0] ^= 1
+	for _, rec := range NewDecryptCheck(sniffer, wrong) {
+		if rec.WasEncrypted && bytes.Contains(rec.Data, secret) {
+			t.Fatal("wrong key should not reveal the secret")
+		}
+	}
+
+	// Now run the extraction attack and decrypt the PAST capture.
+	rep, err := RunLinkKeyExtraction(tb.Sched, LinkKeyExtractionConfig{
+		Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(), Channel: ChannelHCISnoop,
+	})
+	if err != nil {
+		t.Fatalf("extraction: %v", err)
+	}
+	recovered := sniffer.DecryptWithKey(rep.Key)
+	var found bool
+	for _, rec := range recovered {
+		if rec.WasEncrypted && bytes.Contains(rec.Data, secret) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("extracted key failed to decrypt the sniffed secret (%d recovered payloads)", len(recovered))
+	}
+}
+
+// NewDecryptCheck is a test helper: decrypt with an arbitrary key.
+func NewDecryptCheck(s *AirSniffer, key [16]byte) []RecoveredPayload {
+	return s.DecryptWithKey(key)
+}
+
+func TestNegotiatedKeySizeReachesCipher(t *testing.T) {
+	// A client controller restricted to a 1-byte key still interoperates
+	// (pre-KNOB spec behaviour), and the eavesdropper honours the sniffed
+	// key size.
+	tb, err := NewTestbed(51, TestbedOptions{
+		ClientPlatform: device.GalaxyS21Android11,
+		Bond:           true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tb
+	s, err := NewKNOBWorld(52, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("low entropy session")
+	sendSecretOverEncryptedLink(t, s.Testbed, secret)
+
+	// Brute force: 256 candidate shrunk keys, no link key needed.
+	plain, tried, ok := s.BruteForce(secret[:4])
+	if !ok {
+		t.Fatalf("1-byte key space must fall to brute force (tried %d)", tried)
+	}
+	if !bytes.Contains(plain, secret) {
+		t.Fatalf("brute-forced plaintext wrong: %q", plain)
+	}
+	if tried > 256 {
+		t.Fatalf("tried %d > 256 candidates", tried)
+	}
+}
+
+func TestHardenedMinKeySizeRefusesWeakEncryption(t *testing.T) {
+	// A hardened victim (min key size 7) must refuse a 1-byte proposal.
+	s, err := NewKNOBWorldHardened(53, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	var encErr error
+	s.Testbed.M.Host.Pair(s.Testbed.C.Addr(), func(err error) {
+		if err != nil {
+			t.Fatalf("reconnect: %v", err)
+		}
+		conn := s.Testbed.M.Host.Connection(s.Testbed.C.Addr())
+		s.Testbed.M.Host.Encrypt(conn, func(err error) { encErr = err; done = true })
+	})
+	s.Testbed.Sched.RunFor(40 * time.Second)
+	if !done {
+		t.Fatal("encryption negotiation never resolved")
+	}
+	if encErr == nil {
+		t.Fatal("hardened stack accepted a 1-byte encryption key")
+	}
+	_ = host.UUIDNAP
+}

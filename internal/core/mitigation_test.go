@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/host"
+)
+
+// TestEnforcedRoleCheckStopsPageBlocking runs the page blocking attack
+// against a victim with the §VII-B mitigation armed end-to-end: the
+// victim's host drops the suspicious pairing before stage 1 completes.
+func TestEnforcedRoleCheckStopsPageBlocking(t *testing.T) {
+	tb := mustTestbed(t, 80, TestbedOptions{VictimEnforceRoleCheck: true})
+	rep := RunPageBlocking(tb.Sched, PageBlockingConfig{
+		Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+		UsePLOC: true,
+	})
+	if rep.MITMEstablished {
+		t.Fatalf("mitigated victim still fell to page blocking: %+v", rep)
+	}
+	if rep.PairErr == nil {
+		t.Fatal("the dropped pairing should surface as an error to the victim flow")
+	}
+	if len(tb.M.Host.RoleCheckAlerts) == 0 {
+		t.Fatal("the mitigation should have logged an alert")
+	}
+	if tb.M.Host.Bonds().Get(tb.C.Addr()) != nil {
+		t.Fatal("no bond must be created with the attacker")
+	}
+}
+
+// TestEnforcedRoleCheckAllowsNormalPairing confirms the mitigation has no
+// false positives on an ordinary pairing with a NoInputNoOutput accessory
+// (the victim initiates both the connection and the pairing).
+func TestEnforcedRoleCheckAllowsNormalPairing(t *testing.T) {
+	tb := mustTestbed(t, 81, TestbedOptions{VictimEnforceRoleCheck: true})
+	tb.MUser.ExpectPairing(tb.C.Addr())
+	var pairErr error
+	done := false
+	tb.M.Host.Pair(tb.C.Addr(), func(err error) { pairErr = err; done = true })
+	tb.Sched.RunFor(30 * time.Second)
+	if !done || pairErr != nil {
+		t.Fatalf("normal pairing under mitigation: done=%v err=%v", done, pairErr)
+	}
+	if len(tb.M.Host.RoleCheckAlerts) != 0 {
+		t.Fatalf("false positive: %v", tb.M.Host.RoleCheckAlerts)
+	}
+}
+
+// TestEnforcedRoleCheckAllowsIncomingDisplayPeer confirms that an
+// incoming connection followed by a local pairing against a *display*
+// capable peer (a phone) is not flagged — the check keys on the
+// NoInputNoOutput downgrade specifically.
+func TestEnforcedRoleCheckAllowsIncomingDisplayPeer(t *testing.T) {
+	tb := mustTestbed(t, 82, TestbedOptions{VictimEnforceRoleCheck: true})
+	// The attacker connects but honestly advertises DisplayYesNo; M's
+	// user then pairs (numeric comparison both sides). This resembles a
+	// legitimate "peer connected first, we pair later" session.
+	tb.A.SpoofIdentity(tb.C.Addr(), tb.C.Platform.COD)
+	tb.A.Host.Connect(tb.M.Addr(), func(_ *host.Conn, _ error) {})
+	tb.Sched.RunFor(2 * time.Second)
+
+	tb.MUser.ExpectPairing(tb.C.Addr())
+	done := false
+	tb.M.Host.Pair(tb.C.Addr(), func(err error) { done = err == nil })
+	tb.Sched.RunFor(30 * time.Second)
+	if !done {
+		t.Fatal("pairing with a display-capable peer should pass the role check")
+	}
+	if len(tb.M.Host.RoleCheckAlerts) != 0 {
+		t.Fatalf("false positive on DisplayYesNo peer: %v", tb.M.Host.RoleCheckAlerts)
+	}
+}

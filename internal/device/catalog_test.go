@@ -1,0 +1,100 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/bt"
+)
+
+func TestTableIPlatformsMatchPaper(t *testing.T) {
+	entries := TableIPlatforms()
+	if len(entries) != 9 {
+		t.Fatalf("Table I has 9 systems, got %d", len(entries))
+	}
+	su := 0
+	androids := 0
+	usbOnly := 0
+	for _, e := range entries {
+		p := e.Platform
+		if !e.ViaSnoop && !e.ViaUSB {
+			t.Errorf("%s/%s: no extraction channel", p.OS, p.StackName)
+		}
+		if e.ViaSnoop && !p.SupportsHCISnoop {
+			t.Errorf("%s/%s: snoop channel without snoop support", p.OS, p.StackName)
+		}
+		if e.ViaUSB && p.Transport != TransportUSB {
+			t.Errorf("%s/%s: USB channel without USB transport", p.OS, p.StackName)
+		}
+		if p.SnoopRequiresSU {
+			su++
+		}
+		if p.StackName == "Bluedroid" {
+			androids++
+		}
+		if e.ViaUSB && !e.ViaSnoop {
+			usbOnly++
+		}
+	}
+	if su != 1 {
+		t.Errorf("exactly Ubuntu requires SU; got %d", su)
+	}
+	if androids != 6 {
+		t.Errorf("six Android systems expected, got %d", androids)
+	}
+	if usbOnly != 2 {
+		t.Errorf("the two Windows stacks are USB-only, got %d", usbOnly)
+	}
+}
+
+func TestTableIIPlatformsMatchPaper(t *testing.T) {
+	entries := TableIIPlatforms()
+	if len(entries) != 7 {
+		t.Fatalf("Table II has 7 devices, got %d", len(entries))
+	}
+	for _, e := range entries {
+		if e.PaperBlockingPct != 100 {
+			t.Errorf("%s: paper reports 100%% with page blocking", e.Platform.Model)
+		}
+		if e.PaperBaselinePct < 42 || e.PaperBaselinePct > 60 {
+			t.Errorf("%s: paper baseline %d%% outside 42-60", e.Platform.Model, e.PaperBaselinePct)
+		}
+		if e.Platform.IOCap != bt.DisplayYesNo {
+			t.Errorf("%s: victims are phones with DisplayYesNo", e.Platform.Model)
+		}
+	}
+	// The iPhone provides no HCI dump (the paper analyzed A's log).
+	if entries[0].Platform.Model != "iPhone Xs" || entries[0].Platform.SupportsHCISnoop {
+		t.Errorf("first row should be the dump-less iPhone: %+v", entries[0].Platform)
+	}
+}
+
+func TestPopupPolicyBoundary(t *testing.T) {
+	// The catalog encodes the paper's v4.2/v5.0 boundary: the Android 8
+	// Nexus 5x is pre-5.0 (silent Just Works as initiator), the rest of
+	// the Table II Androids are 5.0+.
+	if Nexus5XAndroid8.Version.AtLeast5() {
+		t.Error("Nexus 5x (BT 4.2) must be pre-5.0")
+	}
+	for _, p := range []Platform{LGV50Android9, GalaxyS8Android9, Pixel2XLAndroid11, LGVELVETAndroid11, GalaxyS21Android11, IPhoneXsIOS14} {
+		if !p.Version.AtLeast5() {
+			t.Errorf("%s should be v5.0+", p.Model)
+		}
+	}
+}
+
+func TestTransportKindString(t *testing.T) {
+	if TransportUART.String() != "UART" || TransportUSB.String() != "USB" {
+		t.Error("transport names")
+	}
+}
+
+func TestAccessoriesAreNoInputNoOutput(t *testing.T) {
+	for _, p := range []Platform{HandsFreeKit, Headset, AndroidAutomotive} {
+		if p.IOCap != bt.NoInputNoOutput {
+			t.Errorf("%s: accessories are NoInputNoOutput", p.Model)
+		}
+	}
+	if HandsFreeKit.COD != bt.CODHandsFree {
+		t.Error("hands-free COD")
+	}
+}

@@ -1,0 +1,175 @@
+// Package device assembles complete simulated Bluetooth devices — host
+// stack, controller, HCI transport, and the platform-appropriate capture
+// surfaces (HCI snoop log or sniffable USB transport) — and provides the
+// catalog of every platform evaluated in the paper (Tables I and II).
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/controller"
+	"repro/internal/hci"
+	"repro/internal/host"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/snoop"
+	"repro/internal/usbsniff"
+)
+
+// TransportKind is the physical HCI interface of a platform.
+type TransportKind int
+
+// Transport kinds.
+const (
+	// TransportUART is an integrated controller (phones): HCI crosses a
+	// UART inside the SoC; leakage happens through the host's snoop log.
+	TransportUART TransportKind = iota
+	// TransportUSB is a pluggable dongle (PCs): HCI crosses a USB bus
+	// that an analyzer can sniff.
+	TransportUSB
+)
+
+func (t TransportKind) String() string {
+	if t == TransportUSB {
+		return "USB"
+	}
+	return "UART"
+}
+
+// Platform describes a device model/OS/stack combination from the paper's
+// evaluation.
+type Platform struct {
+	Model     string
+	OS        string
+	StackName string
+	Version   bt.Version
+	IOCap     bt.IOCapability
+	COD       bt.ClassOfDevice
+	Transport TransportKind
+
+	// SupportsHCISnoop reports whether the platform offers an HCI dump
+	// facility (Android snoop log, bluez-hcidump).
+	SupportsHCISnoop bool
+	// SnoopRequiresSU reports whether capturing HCI data needs superuser
+	// privilege (Table I rightmost column).
+	SnoopRequiresSU bool
+	// ResponderJWConsent is the pre-5.0 implementation choice of asking
+	// the user before responder-side Just Works pairing.
+	ResponderJWConsent bool
+}
+
+// Device is one assembled simulated device.
+type Device struct {
+	Name     string
+	Platform Platform
+
+	Sched      *sim.Scheduler
+	Host       *host.Host
+	Controller *controller.Controller
+	Transport  *hci.Transport
+	Snoop      *snoop.HCIDump    // non-nil when the platform supports HCI dump
+	USB        *usbsniff.Sniffer // non-nil when Transport is USB and sniffing is attached
+}
+
+// Options tune device assembly.
+type Options struct {
+	Hooks    host.Hooks
+	Services []host.ServiceUUID
+	// ForceSnoop attaches a snoop log even on platforms that do not
+	// support one (for experiment verification, e.g. the paper analyzes
+	// the attacker's log when the victim is an iPhone).
+	ForceSnoop bool
+	// AttachUSBSniffer taps the USB transport with a bus analyzer.
+	AttachUSBSniffer bool
+	// AcceptIncoming overrides the default accept policy when set.
+	RejectIncoming bool
+	// AuthenticateBondedIncoming enables accessory-style authentication of
+	// returning bonded peers.
+	AuthenticateBondedIncoming bool
+	// EnforceRoleCheck turns on the host's §VII-B pairing/connection role
+	// mitigation.
+	EnforceRoleCheck bool
+	// LMPResponseTimeout overrides the controller default (30 s).
+	LMPResponseTimeout time.Duration
+	// SupervisionTimeout enables link supervision in the controller.
+	SupervisionTimeout time.Duration
+	// MaxEncKeySize / MinEncKeySize bound LMP encryption key size
+	// negotiation (defaults 16 / 1; hardened stacks set min 7).
+	MaxEncKeySize int
+	MinEncKeySize int
+	// HCILatency overrides the HCI transport latency (default 200 µs).
+	HCILatency time.Duration
+}
+
+// New assembles a device on the given medium.
+func New(s *sim.Scheduler, med *radio.Medium, name string, addr bt.BDADDR, p Platform, opts Options) *Device {
+	lat := opts.HCILatency
+	if lat == 0 {
+		lat = 200 * time.Microsecond
+	}
+	tr := hci.NewTransport(s, lat)
+
+	d := &Device{Name: name, Platform: p, Sched: s, Transport: tr}
+
+	if p.SupportsHCISnoop || opts.ForceSnoop {
+		d.Snoop = snoop.NewHCIDump()
+		tr.AddTap(d.Snoop)
+	}
+	if p.Transport == TransportUSB && opts.AttachUSBSniffer {
+		d.USB = usbsniff.NewSniffer()
+		tr.AddTap(d.USB)
+	}
+
+	d.Controller = controller.New(s, med, tr, controller.Config{
+		Addr:               addr,
+		COD:                p.COD,
+		Name:               name,
+		LMPResponseTimeout: opts.LMPResponseTimeout,
+		SupervisionTimeout: opts.SupervisionTimeout,
+		MaxEncKeySize:      opts.MaxEncKeySize,
+		MinEncKeySize:      opts.MinEncKeySize,
+	})
+
+	d.Host = host.New(s, tr, host.Config{
+		Name:                       name,
+		StackName:                  p.StackName,
+		OS:                         p.OS,
+		Version:                    p.Version,
+		IOCap:                      p.IOCap,
+		AcceptIncoming:             !opts.RejectIncoming,
+		AuthenticateBondedIncoming: opts.AuthenticateBondedIncoming,
+		ResponderJWConsent:         p.ResponderJWConsent,
+		EnforceRoleCheck:           opts.EnforceRoleCheck,
+		Discoverable:               true,
+		Connectable:                true,
+		Services:                   opts.Services,
+	}, opts.Hooks)
+	d.Host.Start()
+	return d
+}
+
+// Addr returns the device's current BDADDR.
+func (d *Device) Addr() bt.BDADDR { return d.Controller.Addr() }
+
+// SpoofIdentity rewrites the device's BDADDR and class of device, the way
+// the paper's attacker edits /persist/bdaddr.txt and bt_target.h (Fig. 8).
+func (d *Device) SpoofIdentity(addr bt.BDADDR, cod bt.ClassOfDevice) {
+	d.Controller.SetAddr(addr)
+	d.Controller.SetCOD(cod)
+}
+
+// PullSnoopLog serializes the device's HCI dump, modelling extraction via
+// an Android bug report. It fails on platforms without a snoop facility.
+func (d *Device) PullSnoopLog() ([]byte, error) {
+	if d.Snoop == nil {
+		return nil, fmt.Errorf("device %s (%s): no HCI snoop facility", d.Name, d.Platform.Model)
+	}
+	return d.Snoop.Bytes()
+}
+
+// String identifies the device for reports.
+func (d *Device) String() string {
+	return fmt.Sprintf("%s [%s, %s, %s]", d.Name, d.Platform.Model, d.Platform.OS, d.Addr())
+}

@@ -1,0 +1,80 @@
+package device
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bt"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/snoop"
+)
+
+func assemble(t *testing.T, p Platform, opts Options) *Device {
+	t.Helper()
+	s := sim.NewScheduler(1)
+	med := radio.NewMedium(s, radio.DefaultConfig())
+	d := New(s, med, "dev", bt.MustBDADDR("01:02:03:04:05:06"), p, opts)
+	s.Run(0)
+	return d
+}
+
+func TestSnoopAttachmentByPlatform(t *testing.T) {
+	android := assemble(t, GalaxyS21Android11, Options{})
+	if android.Snoop == nil {
+		t.Fatal("Android platforms carry a snoop log")
+	}
+	iphone := assemble(t, IPhoneXsIOS14, Options{})
+	if iphone.Snoop != nil {
+		t.Fatal("the iPhone provides no HCI dump")
+	}
+	if _, err := iphone.PullSnoopLog(); err == nil {
+		t.Fatal("PullSnoopLog must fail without a snoop facility")
+	}
+	forced := assemble(t, IPhoneXsIOS14, Options{ForceSnoop: true})
+	if forced.Snoop == nil {
+		t.Fatal("ForceSnoop must attach a dump anywhere")
+	}
+}
+
+func TestUSBSnifferOnlyOnUSBTransport(t *testing.T) {
+	win := assemble(t, Windows10MSDriver, Options{AttachUSBSniffer: true})
+	if win.USB == nil {
+		t.Fatal("USB platform with sniffer requested must have one")
+	}
+	phone := assemble(t, GalaxyS21Android11, Options{AttachUSBSniffer: true})
+	if phone.USB != nil {
+		t.Fatal("UART platforms cannot be USB-sniffed")
+	}
+}
+
+func TestPullSnoopLogIsValidBtsnoop(t *testing.T) {
+	d := assemble(t, Pixel2XLAndroid11, Options{})
+	data, err := d.PullSnoopLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := snoop.ReadAll(data)
+	if err != nil {
+		t.Fatalf("pulled log is not valid btsnoop: %v", err)
+	}
+	// Host.Start issued at least the simple-pairing/scan-enable commands.
+	if len(recs) < 3 {
+		t.Fatalf("startup traffic missing: %d records", len(recs))
+	}
+}
+
+func TestSpoofIdentity(t *testing.T) {
+	d := assemble(t, Nexus5XAndroid6, Options{})
+	spoof := bt.MustBDADDR("48:90:51:1e:7f:2c")
+	d.SpoofIdentity(spoof, bt.CODHandsFree)
+	if d.Addr() != spoof {
+		t.Fatalf("addr = %s", d.Addr())
+	}
+	if d.Controller.Info().COD != bt.CODHandsFree {
+		t.Fatalf("cod = %s", d.Controller.Info().COD)
+	}
+	if !strings.Contains(d.String(), "48:90:51:1e:7f:2c") {
+		t.Fatalf("String: %s", d)
+	}
+}

@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/forensics"
+)
+
+// ForensicsSweepResult summarizes detector quality over many worlds.
+type ForensicsSweepResult struct {
+	Trials int
+
+	// PageBlockingDetected counts attacked victims whose dump triggered
+	// the page-blocking finding (true positives).
+	PageBlockingDetected int
+	// ExtractionDetected counts attacked accessories whose dump triggered
+	// the stalled-authentication finding.
+	ExtractionDetected int
+	// CleanFalsePositives counts innocent pairings flagged with either
+	// attack signature.
+	CleanFalsePositives int
+}
+
+// RunForensicsSweep measures the capture analyzer's detection and
+// false-positive rates across `trials` independent worlds per scenario.
+func RunForensicsSweep(seed int64, trials int) (ForensicsSweepResult, error) {
+	res := ForensicsSweepResult{Trials: trials}
+	for i := 0; i < trials; i++ {
+		// Attacked victim.
+		tb, err := core.NewTestbed(seed+int64(i)*3, core.TestbedOptions{})
+		if err != nil {
+			return res, err
+		}
+		rep := core.RunPageBlocking(tb.Sched, core.PageBlockingConfig{
+			Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser, UsePLOC: true,
+		})
+		if rep.MITMEstablished &&
+			forensics.Analyze(tb.M.Snoop.Records()).HasFinding(forensics.FindingPageBlocking) {
+			res.PageBlockingDetected++
+		}
+
+		// Attacked accessory.
+		tb2, err := core.NewTestbed(seed+int64(i)*3+1, core.TestbedOptions{
+			ClientPlatform: device.GalaxyS21Android11, Bond: true,
+		})
+		if err != nil {
+			return res, err
+		}
+		if _, err := core.RunLinkKeyExtraction(tb2.Sched, core.LinkKeyExtractionConfig{
+			Attacker: tb2.A, Client: tb2.C, Target: tb2.M.Addr(), Channel: core.ChannelHCISnoop,
+		}); err == nil &&
+			forensics.Analyze(tb2.C.Snoop.Records()).HasFinding(forensics.FindingStalledAuthTimeout) {
+			res.ExtractionDetected++
+		}
+
+		// Innocent pairing.
+		tb3, err := core.NewTestbed(seed+int64(i)*3+2, core.TestbedOptions{})
+		if err != nil {
+			return res, err
+		}
+		tb3.MUser.ExpectPairing(tb3.C.Addr())
+		tb3.M.Host.Pair(tb3.C.Addr(), func(error) {})
+		tb3.Sched.RunFor(30 * time.Second)
+		report := forensics.Analyze(tb3.M.Snoop.Records())
+		if report.HasFinding(forensics.FindingPageBlocking) ||
+			report.HasFinding(forensics.FindingStalledAuthTimeout) {
+			res.CleanFalsePositives++
+		}
+	}
+	return res, nil
+}
+
+// RenderForensicsSweep formats the sweep.
+func RenderForensicsSweep(r ForensicsSweepResult) string {
+	var b strings.Builder
+	b.WriteString("Forensic detector quality (per-scenario trials)\n")
+	pct := func(n int) float64 { return 100 * float64(n) / float64(r.Trials) }
+	fmt.Fprintf(&b, "  page blocking detected on victim dumps:   %d/%d (%.0f%%)\n",
+		r.PageBlockingDetected, r.Trials, pct(r.PageBlockingDetected))
+	fmt.Fprintf(&b, "  extraction stall detected on accessories: %d/%d (%.0f%%)\n",
+		r.ExtractionDetected, r.Trials, pct(r.ExtractionDetected))
+	fmt.Fprintf(&b, "  false positives on clean pairings:        %d/%d (%.0f%%)\n",
+		r.CleanFalsePositives, r.Trials, pct(r.CleanFalsePositives))
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// yn renders a boolean the way the paper's tables do.
+func yn(b bool) string {
+	if b {
+		return "Y"
+	}
+	return "N"
+}
+
+// RenderTableI formats Table I in the paper's layout.
+func RenderTableI(rows []TableIRow) string {
+	var b strings.Builder
+	b.WriteString("TABLE I: List of tested devices that are vulnerable to link key extraction attack\n")
+	fmt.Fprintf(&b, "%-14s %-28s %-18s %-12s %-10s %-8s %-10s\n",
+		"OS", "Host stack", "Device", "SU privilege", "Via dump", "Via USB", "Verified")
+	for _, r := range rows {
+		dump, usb := "-", "-"
+		if r.SnoopTried {
+			dump = yn(r.SnoopOK)
+		}
+		if r.USBTried {
+			usb = yn(r.USBOK)
+		}
+		fmt.Fprintf(&b, "%-14s %-28s %-18s %-12s %-10s %-8s %-10s\n",
+			r.OS, r.HostStack, r.Device, yn(r.SUPrivilege), dump, usb, yn(r.KeyVerified))
+	}
+	return b.String()
+}
+
+// RenderTableII formats Table II with the paper's reference numbers
+// alongside the measured ones, including 95% Wilson intervals and whether
+// the paper's value is statistically compatible with the measurement.
+func RenderTableII(rows []TableIIRow) string {
+	var b strings.Builder
+	b.WriteString("TABLE II: Success rates of MITM connection establishment\n")
+	fmt.Fprintf(&b, "%-26s %-26s %-22s\n", "Device",
+		"without page blocking", "with page blocking")
+	fmt.Fprintf(&b, "%-26s %-8s %-9s %-7s %-8s %-9s %-7s\n", "",
+		"measured", "95% CI", "paper", "measured", "95% CI", "paper")
+	for _, r := range rows {
+		bLo, bHi := WilsonInterval(r.BaselineSuccess, r.Trials)
+		kLo, kHi := WilsonInterval(r.BlockingSuccess, r.Trials)
+		mark := func(ok bool) string {
+			if ok {
+				return ""
+			}
+			return "*"
+		}
+		fmt.Fprintf(&b, "%-26s %-8s %-9s %-7s %-8s %-9s %-7s\n",
+			r.Device,
+			fmt.Sprintf("%.0f%%", r.BaselinePct()),
+			fmt.Sprintf("[%.0f,%.0f]", bLo, bHi),
+			fmt.Sprintf("%d%%%s", r.PaperBaselinePct, mark(CompatibleWithPaper(r.BaselineSuccess, r.Trials, r.PaperBaselinePct))),
+			fmt.Sprintf("%.0f%%", r.BlockingPct()),
+			fmt.Sprintf("[%.0f,%.0f]", kLo, kHi),
+			fmt.Sprintf("%d%%%s", r.PaperBlockingPct, mark(CompatibleWithPaper(r.BlockingSuccess, r.Trials, r.PaperBlockingPct))))
+	}
+	b.WriteString("(* = paper value outside the measured 95% interval)\n")
+	return b.String()
+}
+
+// RenderJitterAblation formats the page-race jitter sweep.
+func RenderJitterAblation(rows []JitterAblationRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: baseline MITM success vs page-response jitter spread\n")
+	fmt.Fprintf(&b, "%-24s %-8s %-10s\n", "jitter window", "trials", "attacker wins")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "[%v, %v)%*s %-8d %.0f%%\n", r.JitterMin, r.JitterMax,
+			max(1, 22-len(fmt.Sprintf("[%v, %v)", r.JitterMin, r.JitterMax))), "",
+			r.Trials, r.Pct())
+	}
+	return b.String()
+}
+
+// RenderPLOCWindow formats the PLOC window sweep.
+func RenderPLOCWindow(rows []PLOCWindowRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: page blocking success vs victim pairing delay (supervision timeout 20s, PLOC hold 10s)\n")
+	fmt.Fprintf(&b, "%-18s %-12s %-8s\n", "user pair delay", "keep-alive", "success")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18v %-12s %-8s\n", r.UserPairDelay, yn(r.KeepAlive), yn(r.Success))
+	}
+	return b.String()
+}
+
+// RenderStallAblation formats the stall-vs-negative-reply comparison.
+func RenderStallAblation(rows []StallAblationRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: attacker response to the stolen-identity link key request\n")
+	fmt.Fprintf(&b, "%-36s %-12s %-18s %s\n", "strategy", "key logged", "client bond intact", "client disconnect")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-36s %-12s %-18s %s\n", r.Strategy, yn(r.KeyLogged), yn(r.ClientBondIntact), r.DisconnectReason)
+	}
+	return b.String()
+}
+
+// RenderLMPTimeout formats the LMP response timeout sweep.
+func RenderLMPTimeout(rows []LMPTimeoutRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: extraction outcome vs client LMP response timeout\n")
+	fmt.Fprintf(&b, "%-12s %-8s %-12s %s\n", "timeout", "found", "elapsed", "disconnect reason")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12v %-8s %-12v %s\n", r.Timeout, yn(r.Found), r.Elapsed.Round(ms), r.Reason)
+	}
+	return b.String()
+}
+
+const ms = 1_000_000 // time.Millisecond without importing time here

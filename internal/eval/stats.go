@@ -1,0 +1,36 @@
+package eval
+
+import "math"
+
+// WilsonInterval returns the 95% Wilson score confidence interval (in
+// percent) for a proportion of successes out of n trials. It behaves well
+// at the extremes (0% and 100%), unlike the normal approximation — which
+// matters here because page blocking sits exactly at 100/100.
+func WilsonInterval(successes, n int) (lo, hi float64) {
+	if n == 0 {
+		return 0, 100
+	}
+	const z = 1.959963984540054 // 97.5th percentile of the normal
+	p := float64(successes) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	margin := z / denom * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	lo = 100 * (center - margin)
+	hi = 100 * (center + margin)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 100 {
+		hi = 100
+	}
+	return lo, hi
+}
+
+// CompatibleWithPaper reports whether the paper's reported percentage lies
+// within the measured 95% interval — the statistical statement behind
+// "the shape matches".
+func CompatibleWithPaper(successes, n, paperPct int) bool {
+	lo, hi := WilsonInterval(successes, n)
+	return float64(paperPct) >= lo-1e-9 && float64(paperPct) <= hi+1e-9
+}

@@ -1,0 +1,174 @@
+// Package eval reproduces the paper's evaluation artifacts: Table I
+// (systems vulnerable to link key extraction), Table II (MITM connection
+// success rates with and without page blocking), the HCI-trace figures
+// (Fig. 3, 11, 12), the IO-capability mapping figure (Fig. 7), and the
+// ablation studies called out in DESIGN.md.
+package eval
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// TableIRow is one system of the paper's Table I.
+type TableIRow struct {
+	OS        string
+	HostStack string
+	Device    string
+	// SUPrivilege mirrors the rightmost column: does extraction need
+	// superuser privilege on this platform?
+	SUPrivilege bool
+
+	// SnoopTried/SnoopOK and USBTried/USBOK describe the channels run.
+	SnoopTried, SnoopOK bool
+	USBTried, USBOK     bool
+	// KeyVerified reports the extracted key passed the impersonation
+	// validation (PAN connect without re-pairing).
+	KeyVerified bool
+	// Vulnerable is the table's overall verdict for the system.
+	Vulnerable bool
+}
+
+// RunTableI reproduces Table I: for each of the nine catalog systems in
+// the client role C, bond it with M, run the link key extraction through
+// every channel the paper demonstrated, and validate the recovered key by
+// impersonating C against M.
+func RunTableI(seed int64) ([]TableIRow, error) {
+	var rows []TableIRow
+	for i, entry := range device.TableIPlatforms() {
+		p := entry.Platform
+		row := TableIRow{
+			OS:          p.OS,
+			HostStack:   p.StackName,
+			Device:      p.Model,
+			SUPrivilege: p.SnoopRequiresSU,
+		}
+		tb, err := core.NewTestbed(seed+int64(i)*1000, core.TestbedOptions{
+			ClientPlatform:   p,
+			ClientUSBSniffer: entry.ViaUSB,
+			Bond:             true,
+		})
+		if err != nil {
+			return rows, fmt.Errorf("eval: testbed for %s/%s: %w", p.OS, p.StackName, err)
+		}
+
+		var key core.LinkKeyExtractionReport
+		if entry.ViaSnoop {
+			row.SnoopTried = true
+			rep, err := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
+				Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(),
+				Channel: core.ChannelHCISnoop,
+			})
+			if err == nil {
+				row.SnoopOK = true
+				key = rep
+			}
+		}
+		if entry.ViaUSB {
+			row.USBTried = true
+			rep, err := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
+				Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(),
+				Channel: core.ChannelUSBSniff,
+			})
+			if err == nil {
+				row.USBOK = true
+				if !row.SnoopOK {
+					key = rep
+				}
+			}
+		}
+		row.Vulnerable = row.SnoopOK || row.USBOK
+		if row.Vulnerable {
+			imp := core.RunImpersonation(tb.Sched, core.ImpersonationConfig{
+				Attacker: tb.A, Victim: tb.M, ClientAddr: core.AddrC, Key: key.Key,
+			})
+			row.KeyVerified = imp.Success
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// TableIIRow is one victim device of the paper's Table II.
+type TableIIRow struct {
+	Device string
+	Trials int
+
+	BaselineSuccess int
+	BlockingSuccess int
+
+	// Paper columns for side-by-side comparison.
+	PaperBaselinePct int
+	PaperBlockingPct int
+}
+
+// BaselinePct returns the measured baseline success rate in percent.
+func (r TableIIRow) BaselinePct() float64 {
+	return 100 * float64(r.BaselineSuccess) / float64(r.Trials)
+}
+
+// BlockingPct returns the measured page-blocking success rate in percent.
+func (r TableIIRow) BlockingPct() float64 {
+	return 100 * float64(r.BlockingSuccess) / float64(r.Trials)
+}
+
+// deviceSeed derives a stable per-device seed stream, giving each victim
+// its own empirical baseline rate the way the paper's per-device
+// measurements scatter around the 50% race.
+func deviceSeed(base int64, model string, trial int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", model, trial)
+	return base + int64(h.Sum64()%1_000_003)
+}
+
+// RunTableII reproduces Table II: for each victim device, run `trials`
+// independent MITM connection attempts without page blocking (the page
+// race) and with page blocking (PLOC), counting successes.
+func RunTableII(seed int64, trials int) ([]TableIIRow, error) {
+	var rows []TableIIRow
+	for _, entry := range device.TableIIPlatforms() {
+		p := entry.Platform
+		row := TableIIRow{
+			Device:           fmt.Sprintf("%s (%s)", p.Model, p.OS),
+			Trials:           trials,
+			PaperBaselinePct: entry.PaperBaselinePct,
+			PaperBlockingPct: entry.PaperBlockingPct,
+		}
+		for trial := 0; trial < trials; trial++ {
+			tb, err := core.NewTestbed(deviceSeed(seed, p.Model+p.OS, trial), core.TestbedOptions{
+				VictimPlatform: p,
+			})
+			if err != nil {
+				return rows, fmt.Errorf("eval: baseline testbed: %w", err)
+			}
+			rep := core.RunBaselineMITM(tb.Sched, core.BaselineMITMConfig{
+				Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+			})
+			if rep.MITMEstablished {
+				row.BaselineSuccess++
+			}
+		}
+		for trial := 0; trial < trials; trial++ {
+			tb, err := core.NewTestbed(deviceSeed(seed+7777, p.Model+p.OS, trial), core.TestbedOptions{
+				VictimPlatform: p,
+			})
+			if err != nil {
+				return rows, fmt.Errorf("eval: blocking testbed: %w", err)
+			}
+			rep := core.RunPageBlocking(tb.Sched, core.PageBlockingConfig{
+				Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+				UsePLOC:       true,
+				UserPairDelay: time.Duration(2+trial%6) * time.Second,
+			})
+			if rep.MITMEstablished {
+				row.BlockingSuccess++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,250 @@
+// Package forensics reconstructs what happened on a device from its HCI
+// dump alone — the paper's own methodology: §VI-B2 confirms the page
+// blocking attack by checking that the victim's capture shows an
+// HCI_Connection_Request event followed by a locally issued
+// HCI_Authentication_Requested. The analyzer rebuilds connections and
+// pairings from a btsnoop capture and flags:
+//
+//   - plaintext link key exposures (the §IV vulnerability);
+//   - page-blocking signatures (incoming connection + local pairing
+//     initiation + a NoInputNoOutput peer);
+//   - suspicious timeout disconnects during authentication (the trace a
+//     link key extraction attack leaves on the *accessory*).
+package forensics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/hci"
+	"repro/internal/snoop"
+)
+
+// Session is one reconstructed ACL connection.
+type Session struct {
+	Handle bt.ConnHandle
+	Peer   bt.BDADDR
+
+	// Incoming is true when the capture shows HCI_Connection_Request /
+	// HCI_Accept_Connection_Request for this peer (we were paged).
+	Incoming bool
+	// LocalPairingInitiation is true when the host issued
+	// HCI_Authentication_Requested on this handle.
+	LocalPairingInitiation bool
+	// PeerIOCap is the capability from HCI_IO_Capability_Response.
+	PeerIOCap     bt.IOCapability
+	HavePeerIOCap bool
+
+	// PairingCompleted / PairingStatus summarize Simple_Pairing_Complete.
+	PairingCompleted bool
+	PairingStatus    hci.Status
+
+	// AuthOutcomes collects Authentication_Complete statuses.
+	AuthOutcomes []hci.Status
+	// DisconnectReason is the final Disconnection_Complete reason.
+	DisconnectReason    hci.Status
+	Disconnected        bool
+	ConnectedAt, EndsAt time.Time
+}
+
+// KeyExposure is one plaintext link key found in the capture.
+type KeyExposure struct {
+	Frame  int
+	Source string
+	Peer   bt.BDADDR
+	Key    bt.LinkKey
+}
+
+// Finding is one flagged anomaly.
+type Finding struct {
+	Kind    string
+	Peer    bt.BDADDR
+	Detail  string
+	Session *Session
+}
+
+// Finding kinds.
+const (
+	FindingKeyExposure        = "plaintext-link-key"
+	FindingPageBlocking       = "page-blocking-signature"
+	FindingStalledAuthTimeout = "stalled-authentication-timeout"
+)
+
+// Report is the full analysis of one capture.
+type Report struct {
+	Sessions  []*Session
+	Exposures []KeyExposure
+	Findings  []Finding
+}
+
+// Analyze reconstructs sessions and findings from capture records.
+func Analyze(records []snoop.Record) *Report {
+	rep := &Report{}
+	byHandle := make(map[bt.ConnHandle]*Session)
+	byPeer := make(map[bt.BDADDR]*Session) // latest session per peer
+	// Peers whose connection arrived inbound but have no handle yet.
+	pendingIncoming := make(map[bt.BDADDR]bool)
+	// Handles with an authentication in flight (for timeout correlation).
+	authPending := make(map[bt.ConnHandle]bool)
+
+	for i, rec := range records {
+		dir := hci.DirHostToController
+		if rec.Received() {
+			dir = hci.DirControllerToHost
+		}
+		pkt, err := hci.ParseWire(dir, rec.Data)
+		if err != nil {
+			continue
+		}
+		switch pkt.PT {
+		case hci.PTCommand:
+			cmd, err := hci.ParseCommand(pkt)
+			if err != nil {
+				continue
+			}
+			switch c := cmd.(type) {
+			case *hci.AcceptConnectionRequest:
+				pendingIncoming[c.Addr] = true
+			case *hci.AuthenticationRequested:
+				if s := byHandle[c.Handle]; s != nil {
+					s.LocalPairingInitiation = true
+					authPending[c.Handle] = true
+				}
+			case *hci.LinkKeyRequestReply:
+				rep.Exposures = append(rep.Exposures, KeyExposure{
+					Frame: i + 1, Source: hci.OpLinkKeyRequestReply.String(), Peer: c.Addr, Key: c.Key,
+				})
+			}
+
+		case hci.PTEvent:
+			evt, err := hci.ParseEvent(pkt)
+			if err != nil {
+				continue
+			}
+			switch e := evt.(type) {
+			case *hci.ConnectionComplete:
+				if e.Status != hci.StatusSuccess {
+					continue
+				}
+				s := &Session{
+					Handle:      e.Handle,
+					Peer:        e.Addr,
+					Incoming:    pendingIncoming[e.Addr],
+					ConnectedAt: rec.Timestamp,
+				}
+				delete(pendingIncoming, e.Addr)
+				byHandle[e.Handle] = s
+				byPeer[e.Addr] = s
+				rep.Sessions = append(rep.Sessions, s)
+			case *hci.IOCapabilityResponse:
+				if s := byPeer[e.Addr]; s != nil {
+					s.PeerIOCap = e.Capability
+					s.HavePeerIOCap = true
+				}
+			case *hci.SimplePairingComplete:
+				if s := byPeer[e.Addr]; s != nil {
+					s.PairingCompleted = e.Status == hci.StatusSuccess
+					s.PairingStatus = e.Status
+				}
+			case *hci.AuthenticationComplete:
+				if s := byHandle[e.Handle]; s != nil {
+					s.AuthOutcomes = append(s.AuthOutcomes, e.Status)
+					delete(authPending, e.Handle)
+				}
+			case *hci.LinkKeyNotification:
+				rep.Exposures = append(rep.Exposures, KeyExposure{
+					Frame: i + 1, Source: hci.EvLinkKeyNotification.String(), Peer: e.Addr, Key: e.Key,
+				})
+			case *hci.DisconnectionComplete:
+				if s := byHandle[e.Handle]; s != nil {
+					s.Disconnected = true
+					s.DisconnectReason = e.Reason
+					s.EndsAt = rec.Timestamp
+					delete(byHandle, e.Handle)
+					if byPeer[s.Peer] == s {
+						delete(byPeer, s.Peer)
+					}
+					if authPending[s.Handle] && isTimeout(e.Reason) {
+						rep.Findings = append(rep.Findings, Finding{
+							Kind: FindingStalledAuthTimeout,
+							Peer: s.Peer,
+							Detail: fmt.Sprintf(
+								"authentication on handle 0x%04x never completed; link dropped with %s — the trace a link key extraction stall leaves behind",
+								uint16(s.Handle), e.Reason),
+							Session: s,
+						})
+					}
+					delete(authPending, s.Handle)
+				}
+			}
+		}
+	}
+
+	for _, exp := range rep.Exposures {
+		rep.Findings = append(rep.Findings, Finding{
+			Kind:   FindingKeyExposure,
+			Peer:   exp.Peer,
+			Detail: fmt.Sprintf("frame %d: 128-bit link key in plaintext via %s", exp.Frame, exp.Source),
+		})
+	}
+	for _, s := range rep.Sessions {
+		if s.Incoming && s.LocalPairingInitiation && s.HavePeerIOCap && s.PeerIOCap == bt.NoInputNoOutput {
+			rep.Findings = append(rep.Findings, Finding{
+				Kind: FindingPageBlocking,
+				Peer: s.Peer,
+				Detail: "pairing initiated locally over an incoming connection whose initiator " +
+					"claims NoInputNoOutput (the Fig. 12b signature)",
+				Session: s,
+			})
+		}
+	}
+	return rep
+}
+
+// AnalyzeFile parses a btsnoop file and analyzes it.
+func AnalyzeFile(data []byte) (*Report, error) {
+	records, err := snoop.ReadAll(data)
+	if err != nil {
+		return nil, fmt.Errorf("forensics: parsing capture: %w", err)
+	}
+	return Analyze(records), nil
+}
+
+func isTimeout(s hci.Status) bool {
+	return s == hci.StatusLMPResponseTimeout || s == hci.StatusConnectionTimeout
+}
+
+// HasFinding reports whether the report contains a finding of the kind.
+func (r *Report) HasFinding(kind string) bool {
+	for _, f := range r.Findings {
+		if f.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Render formats the report for terminal display.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "forensic report: %d sessions, %d key exposures, %d findings\n",
+		len(r.Sessions), len(r.Exposures), len(r.Findings))
+	for _, s := range r.Sessions {
+		role := "outgoing"
+		if s.Incoming {
+			role = "incoming"
+		}
+		end := "open"
+		if s.Disconnected {
+			end = s.DisconnectReason.String()
+		}
+		fmt.Fprintf(&b, "  session 0x%04x peer %s %s, pairing-init=%v, end=%s\n",
+			uint16(s.Handle), s.Peer, role, s.LocalPairingInitiation, end)
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  [%s] peer %s: %s\n", f.Kind, f.Peer, f.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package hci
+
+import (
+	"errors"
+
+	"repro/internal/bt"
+)
+
+// errShortParams reports that a typed parse ran out of parameter bytes.
+var errShortParams = errors.New("short parameters")
+
+// reader is a cursor over command/event parameter bytes. All HCI integers
+// are little-endian; BDADDRs and link keys appear least-significant byte
+// first on the wire.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.err = errShortParams
+		return nil
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return uint16(b[0]) | uint16(b[1])<<8
+}
+
+func (r *reader) u24() uint32 {
+	b := r.take(3)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func (r *reader) bytes(n int) []byte {
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+func (r *reader) addr() bt.BDADDR {
+	b := r.take(6)
+	if b == nil {
+		return bt.BDADDR{}
+	}
+	var le [6]byte
+	copy(le[:], b)
+	return bt.BDADDRFromLittleEndian(le)
+}
+
+func (r *reader) key() bt.LinkKey {
+	// Link keys are carried least-significant byte first, like addresses;
+	// the paper's USB extraction (Fig. 11) reverses the bytes to present
+	// the key in big-endian order.
+	b := r.take(16)
+	if b == nil {
+		return bt.LinkKey{}
+	}
+	var k bt.LinkKey
+	for i := 0; i < 16; i++ {
+		k[i] = b[15-i]
+	}
+	return k
+}
+
+// writer builds parameter bytes.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = append(w.buf, byte(v), byte(v>>8)) }
+func (w *writer) u24(v uint32) { w.buf = append(w.buf, byte(v), byte(v>>8), byte(v>>16)) }
+func (w *writer) u32(v uint32) { w.buf = append(w.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+func (w *writer) raw(b []byte) { w.buf = append(w.buf, b...) }
+
+func (w *writer) addr(a bt.BDADDR) {
+	le := a.LittleEndian()
+	w.buf = append(w.buf, le[:]...)
+}
+
+func (w *writer) key(k bt.LinkKey) {
+	for i := 15; i >= 0; i-- {
+		w.buf = append(w.buf, k[i])
+	}
+}

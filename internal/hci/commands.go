@@ -1,0 +1,616 @@
+package hci
+
+import (
+	"fmt"
+
+	"repro/internal/bt"
+)
+
+// Command is a typed HCI command. Marshalling produces the parameter bytes
+// only; EncodeCommand adds the opcode/length header and H4 indicator.
+type Command interface {
+	Opcode() Opcode
+	MarshalParams() []byte
+}
+
+// EncodeCommand builds a complete H4 command packet.
+func EncodeCommand(c Command) Packet {
+	params := c.MarshalParams()
+	body := make([]byte, 3+len(params))
+	op := uint16(c.Opcode())
+	body[0] = byte(op)
+	body[1] = byte(op >> 8)
+	body[2] = byte(len(params))
+	copy(body[3:], params)
+	return Packet{Dir: DirHostToController, PT: PTCommand, Body: body}
+}
+
+// ParseCommand decodes a command packet into its typed form.
+func ParseCommand(p Packet) (Command, error) {
+	op, ok := p.CommandOpcode()
+	if !ok {
+		return nil, fmt.Errorf("%w: not a command packet", ErrTruncated)
+	}
+	params := p.Body[3:]
+	r := reader{buf: params}
+	var c Command
+	switch op {
+	case OpInquiry:
+		v := &Inquiry{}
+		v.LAP = r.u24()
+		v.InquiryLength = r.u8()
+		v.NumResponses = r.u8()
+		c = v
+	case OpInquiryCancel:
+		c = &InquiryCancel{}
+	case OpCreateConnection:
+		v := &CreateConnection{}
+		v.Addr = r.addr()
+		v.PacketTypes = r.u16()
+		v.PageScanRepetitionMode = r.u8()
+		r.u8() // reserved
+		v.ClockOffset = r.u16()
+		v.AllowRoleSwitch = r.u8()
+		c = v
+	case OpDisconnect:
+		v := &Disconnect{}
+		v.Handle = bt.ConnHandle(r.u16())
+		v.Reason = Status(r.u8())
+		c = v
+	case OpAcceptConnectionRequest:
+		v := &AcceptConnectionRequest{}
+		v.Addr = r.addr()
+		v.Role = r.u8()
+		c = v
+	case OpRejectConnectionRequest:
+		v := &RejectConnectionRequest{}
+		v.Addr = r.addr()
+		v.Reason = Status(r.u8())
+		c = v
+	case OpLinkKeyRequestReply:
+		v := &LinkKeyRequestReply{}
+		v.Addr = r.addr()
+		v.Key = r.key()
+		c = v
+	case OpLinkKeyRequestNegativeReply:
+		v := &LinkKeyRequestNegativeReply{}
+		v.Addr = r.addr()
+		c = v
+	case OpPINCodeRequestReply:
+		v := &PINCodeRequestReply{}
+		v.Addr = r.addr()
+		n := r.u8()
+		pin := r.bytes(16)
+		if int(n) <= len(pin) {
+			v.PIN = pin[:n]
+		}
+		c = v
+	case OpPINCodeRequestNegativeReply:
+		v := &PINCodeRequestNegativeReply{}
+		v.Addr = r.addr()
+		c = v
+	case OpAuthenticationRequested:
+		v := &AuthenticationRequested{}
+		v.Handle = bt.ConnHandle(r.u16())
+		c = v
+	case OpSetConnectionEncryption:
+		v := &SetConnectionEncryption{}
+		v.Handle = bt.ConnHandle(r.u16())
+		v.Enable = r.u8() != 0
+		c = v
+	case OpRemoteNameRequest:
+		v := &RemoteNameRequest{}
+		v.Addr = r.addr()
+		v.PageScanRepetitionMode = r.u8()
+		r.u8()
+		v.ClockOffset = r.u16()
+		c = v
+	case OpIOCapabilityRequestReply:
+		v := &IOCapabilityRequestReply{}
+		v.Addr = r.addr()
+		v.Capability = bt.IOCapability(r.u8())
+		v.OOBDataPresent = r.u8() != 0
+		v.AuthRequirements = r.u8()
+		c = v
+	case OpUserConfirmationRequestReply:
+		v := &UserConfirmationRequestReply{}
+		v.Addr = r.addr()
+		c = v
+	case OpUserConfirmationRequestNegRep:
+		v := &UserConfirmationRequestNegativeReply{}
+		v.Addr = r.addr()
+		c = v
+	case OpUserPasskeyRequestReply:
+		v := &UserPasskeyRequestReply{}
+		v.Addr = r.addr()
+		v.Passkey = r.u32()
+		c = v
+	case OpUserPasskeyRequestNegReply:
+		v := &UserPasskeyRequestNegativeReply{}
+		v.Addr = r.addr()
+		c = v
+	case OpRemoteOOBDataRequestReply:
+		v := &RemoteOOBDataRequestReply{}
+		v.Addr = r.addr()
+		copy(v.C[:], r.bytes(16))
+		copy(v.R[:], r.bytes(16))
+		c = v
+	case OpRemoteOOBDataRequestNegReply:
+		v := &RemoteOOBDataRequestNegativeReply{}
+		v.Addr = r.addr()
+		c = v
+	case OpReadLocalOOBData:
+		c = &ReadLocalOOBData{}
+	case OpReset:
+		c = &Reset{}
+	case OpWriteLocalName:
+		v := &WriteLocalName{}
+		raw := r.bytes(len(params))
+		for i, b := range raw {
+			if b == 0 {
+				raw = raw[:i]
+				break
+			}
+		}
+		v.Name = string(raw)
+		c = v
+	case OpWriteScanEnable:
+		v := &WriteScanEnable{}
+		v.ScanEnable = ScanEnable(r.u8())
+		c = v
+	case OpWriteClassOfDevice:
+		v := &WriteClassOfDevice{}
+		var cod [3]byte
+		copy(cod[:], r.bytes(3))
+		v.COD = bt.CODFromBytes(cod)
+		c = v
+	case OpWriteSimplePairingMode:
+		v := &WriteSimplePairingMode{}
+		v.Enabled = r.u8() != 0
+		c = v
+	case OpReadBDADDR:
+		c = &ReadBDADDR{}
+	default:
+		return nil, fmt.Errorf("%w: 0x%04x", ErrUnknownOpcode, uint16(op))
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("hci: parsing %s: %w", op, r.err)
+	}
+	return c, nil
+}
+
+// ScanEnable is the Write_Scan_Enable parameter.
+type ScanEnable uint8
+
+// Scan enable bit combinations.
+const (
+	ScanOff         ScanEnable = 0x00
+	ScanInquiryOnly ScanEnable = 0x01
+	ScanPageOnly    ScanEnable = 0x02
+	ScanInquiryPage ScanEnable = 0x03
+)
+
+// InquiryScan reports whether inquiry scan (discoverability) is enabled.
+func (s ScanEnable) InquiryScan() bool { return s&ScanInquiryOnly != 0 }
+
+// PageScan reports whether page scan (connectability) is enabled.
+func (s ScanEnable) PageScan() bool { return s&ScanPageOnly != 0 }
+
+// Inquiry starts device discovery (General Inquiry Access Code by default).
+type Inquiry struct {
+	LAP           uint32 // 24-bit inquiry access code, usually GIAC 0x9E8B33
+	InquiryLength uint8  // duration in 1.28 s units
+	NumResponses  uint8  // 0 = unlimited
+}
+
+// GIAC is the General Inquiry Access Code LAP.
+const GIAC = 0x9E8B33
+
+func (*Inquiry) Opcode() Opcode { return OpInquiry }
+
+// MarshalParams implements Command.
+func (c *Inquiry) MarshalParams() []byte {
+	w := &writer{}
+	w.u24(c.LAP)
+	w.u8(c.InquiryLength)
+	w.u8(c.NumResponses)
+	return w.buf
+}
+
+// InquiryCancel stops an ongoing inquiry.
+type InquiryCancel struct{}
+
+func (*InquiryCancel) Opcode() Opcode { return OpInquiryCancel }
+
+// MarshalParams implements Command.
+func (*InquiryCancel) MarshalParams() []byte { return nil }
+
+// CreateConnection initiates paging toward a peer BDADDR.
+type CreateConnection struct {
+	Addr                   bt.BDADDR
+	PacketTypes            uint16
+	PageScanRepetitionMode uint8
+	ClockOffset            uint16
+	AllowRoleSwitch        uint8
+}
+
+func (*CreateConnection) Opcode() Opcode { return OpCreateConnection }
+
+// MarshalParams implements Command.
+func (c *CreateConnection) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(c.Addr)
+	w.u16(c.PacketTypes)
+	w.u8(c.PageScanRepetitionMode)
+	w.u8(0)
+	w.u16(c.ClockOffset)
+	w.u8(c.AllowRoleSwitch)
+	return w.buf
+}
+
+// Disconnect tears down an established connection.
+type Disconnect struct {
+	Handle bt.ConnHandle
+	Reason Status
+}
+
+func (*Disconnect) Opcode() Opcode { return OpDisconnect }
+
+// MarshalParams implements Command.
+func (c *Disconnect) MarshalParams() []byte {
+	w := &writer{}
+	w.u16(uint16(c.Handle))
+	w.u8(uint8(c.Reason))
+	return w.buf
+}
+
+// AcceptConnectionRequest accepts an incoming connection request event.
+type AcceptConnectionRequest struct {
+	Addr bt.BDADDR
+	Role uint8 // 0x00 become master, 0x01 remain slave
+}
+
+func (*AcceptConnectionRequest) Opcode() Opcode { return OpAcceptConnectionRequest }
+
+// MarshalParams implements Command.
+func (c *AcceptConnectionRequest) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(c.Addr)
+	w.u8(c.Role)
+	return w.buf
+}
+
+// RejectConnectionRequest declines an incoming connection request event.
+type RejectConnectionRequest struct {
+	Addr   bt.BDADDR
+	Reason Status
+}
+
+func (*RejectConnectionRequest) Opcode() Opcode { return OpRejectConnectionRequest }
+
+// MarshalParams implements Command.
+func (c *RejectConnectionRequest) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(c.Addr)
+	w.u8(uint8(c.Reason))
+	return w.buf
+}
+
+// LinkKeyRequestReply supplies a stored link key to the controller. This
+// is the packet the link key extraction attack recovers from HCI dumps:
+// its wire prefix is 01 0b 04 16 (H4 command, opcode 0x040B, 22 bytes).
+type LinkKeyRequestReply struct {
+	Addr bt.BDADDR
+	Key  bt.LinkKey
+}
+
+func (*LinkKeyRequestReply) Opcode() Opcode { return OpLinkKeyRequestReply }
+
+// MarshalParams implements Command. The link key crosses the HCI in
+// plaintext — the root cause of the extraction attack.
+func (c *LinkKeyRequestReply) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(c.Addr)
+	w.key(c.Key)
+	return w.buf
+}
+
+// LinkKeyRequestNegativeReply tells the controller no key is stored.
+type LinkKeyRequestNegativeReply struct {
+	Addr bt.BDADDR
+}
+
+func (*LinkKeyRequestNegativeReply) Opcode() Opcode { return OpLinkKeyRequestNegativeReply }
+
+// MarshalParams implements Command.
+func (c *LinkKeyRequestNegativeReply) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(c.Addr)
+	return w.buf
+}
+
+// PINCodeRequestReply supplies a legacy pairing PIN.
+type PINCodeRequestReply struct {
+	Addr bt.BDADDR
+	PIN  []byte
+}
+
+func (*PINCodeRequestReply) Opcode() Opcode { return OpPINCodeRequestReply }
+
+// MarshalParams implements Command.
+func (c *PINCodeRequestReply) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(c.Addr)
+	w.u8(uint8(len(c.PIN)))
+	var pin [16]byte
+	copy(pin[:], c.PIN)
+	w.raw(pin[:])
+	return w.buf
+}
+
+// PINCodeRequestNegativeReply declines a legacy PIN request.
+type PINCodeRequestNegativeReply struct {
+	Addr bt.BDADDR
+}
+
+func (*PINCodeRequestNegativeReply) Opcode() Opcode { return OpPINCodeRequestNegativeReply }
+
+// MarshalParams implements Command.
+func (c *PINCodeRequestNegativeReply) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(c.Addr)
+	return w.buf
+}
+
+// AuthenticationRequested starts LMP authentication on a connection; it is
+// the first HCI message of a pairing (paper Fig. 12).
+type AuthenticationRequested struct {
+	Handle bt.ConnHandle
+}
+
+func (*AuthenticationRequested) Opcode() Opcode { return OpAuthenticationRequested }
+
+// MarshalParams implements Command.
+func (c *AuthenticationRequested) MarshalParams() []byte {
+	w := &writer{}
+	w.u16(uint16(c.Handle))
+	return w.buf
+}
+
+// SetConnectionEncryption toggles link-level encryption.
+type SetConnectionEncryption struct {
+	Handle bt.ConnHandle
+	Enable bool
+}
+
+func (*SetConnectionEncryption) Opcode() Opcode { return OpSetConnectionEncryption }
+
+// MarshalParams implements Command.
+func (c *SetConnectionEncryption) MarshalParams() []byte {
+	w := &writer{}
+	w.u16(uint16(c.Handle))
+	if c.Enable {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	return w.buf
+}
+
+// RemoteNameRequest fetches the peer's user-friendly name.
+type RemoteNameRequest struct {
+	Addr                   bt.BDADDR
+	PageScanRepetitionMode uint8
+	ClockOffset            uint16
+}
+
+func (*RemoteNameRequest) Opcode() Opcode { return OpRemoteNameRequest }
+
+// MarshalParams implements Command.
+func (c *RemoteNameRequest) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(c.Addr)
+	w.u8(c.PageScanRepetitionMode)
+	w.u8(0)
+	w.u16(c.ClockOffset)
+	return w.buf
+}
+
+// IOCapabilityRequestReply answers the controller's IO capability request
+// during SSP. The attacker sets Capability to NoInputNoOutput to force the
+// Just Works downgrade.
+type IOCapabilityRequestReply struct {
+	Addr             bt.BDADDR
+	Capability       bt.IOCapability
+	OOBDataPresent   bool
+	AuthRequirements uint8
+}
+
+func (*IOCapabilityRequestReply) Opcode() Opcode { return OpIOCapabilityRequestReply }
+
+// MarshalParams implements Command.
+func (c *IOCapabilityRequestReply) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(c.Addr)
+	w.u8(uint8(c.Capability))
+	if c.OOBDataPresent {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u8(c.AuthRequirements)
+	return w.buf
+}
+
+// UserConfirmationRequestReply confirms the numeric comparison value.
+type UserConfirmationRequestReply struct {
+	Addr bt.BDADDR
+}
+
+func (*UserConfirmationRequestReply) Opcode() Opcode { return OpUserConfirmationRequestReply }
+
+// MarshalParams implements Command.
+func (c *UserConfirmationRequestReply) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(c.Addr)
+	return w.buf
+}
+
+// UserConfirmationRequestNegativeReply rejects the numeric comparison.
+type UserConfirmationRequestNegativeReply struct {
+	Addr bt.BDADDR
+}
+
+func (*UserConfirmationRequestNegativeReply) Opcode() Opcode {
+	return OpUserConfirmationRequestNegRep
+}
+
+// MarshalParams implements Command.
+func (c *UserConfirmationRequestNegativeReply) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(c.Addr)
+	return w.buf
+}
+
+// Reset returns the controller to its initial state.
+type Reset struct{}
+
+func (*Reset) Opcode() Opcode { return OpReset }
+
+// MarshalParams implements Command.
+func (*Reset) MarshalParams() []byte { return nil }
+
+// WriteLocalName sets the controller's user-friendly name.
+type WriteLocalName struct {
+	Name string
+}
+
+func (*WriteLocalName) Opcode() Opcode { return OpWriteLocalName }
+
+// MarshalParams implements Command. The name field is a fixed 248-byte
+// null-padded UTF-8 string on the wire.
+func (c *WriteLocalName) MarshalParams() []byte {
+	buf := make([]byte, 248)
+	copy(buf, c.Name)
+	return buf
+}
+
+// WriteScanEnable controls inquiry scan and page scan.
+type WriteScanEnable struct {
+	ScanEnable ScanEnable
+}
+
+func (*WriteScanEnable) Opcode() Opcode { return OpWriteScanEnable }
+
+// MarshalParams implements Command.
+func (c *WriteScanEnable) MarshalParams() []byte { return []byte{byte(c.ScanEnable)} }
+
+// WriteClassOfDevice sets the COD advertised in inquiry responses.
+type WriteClassOfDevice struct {
+	COD bt.ClassOfDevice
+}
+
+func (*WriteClassOfDevice) Opcode() Opcode { return OpWriteClassOfDevice }
+
+// MarshalParams implements Command.
+func (c *WriteClassOfDevice) MarshalParams() []byte {
+	b := c.COD.Bytes()
+	return b[:]
+}
+
+// WriteSimplePairingMode enables SSP on the controller.
+type WriteSimplePairingMode struct {
+	Enabled bool
+}
+
+func (*WriteSimplePairingMode) Opcode() Opcode { return OpWriteSimplePairingMode }
+
+// MarshalParams implements Command.
+func (c *WriteSimplePairingMode) MarshalParams() []byte {
+	if c.Enabled {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+// ReadBDADDR queries the controller's public device address.
+type ReadBDADDR struct{}
+
+func (*ReadBDADDR) Opcode() Opcode { return OpReadBDADDR }
+
+// MarshalParams implements Command.
+func (*ReadBDADDR) MarshalParams() []byte { return nil }
+
+// UserPasskeyRequestReply supplies the passkey the user typed on a
+// KeyboardOnly device during passkey entry.
+type UserPasskeyRequestReply struct {
+	Addr    bt.BDADDR
+	Passkey uint32
+}
+
+func (*UserPasskeyRequestReply) Opcode() Opcode { return OpUserPasskeyRequestReply }
+
+// MarshalParams implements Command.
+func (c *UserPasskeyRequestReply) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(c.Addr)
+	w.u32(c.Passkey)
+	return w.buf
+}
+
+// UserPasskeyRequestNegativeReply declines a passkey request.
+type UserPasskeyRequestNegativeReply struct {
+	Addr bt.BDADDR
+}
+
+func (*UserPasskeyRequestNegativeReply) Opcode() Opcode { return OpUserPasskeyRequestNegReply }
+
+// MarshalParams implements Command.
+func (c *UserPasskeyRequestNegativeReply) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(c.Addr)
+	return w.buf
+}
+
+// RemoteOOBDataRequestReply supplies the peer's out-of-band commitment
+// and random, obtained over a separate channel (e.g. NFC).
+type RemoteOOBDataRequestReply struct {
+	Addr bt.BDADDR
+	C    [16]byte // simple pairing hash (f1 commitment to the peer's public key)
+	R    [16]byte // simple pairing randomizer
+}
+
+func (*RemoteOOBDataRequestReply) Opcode() Opcode { return OpRemoteOOBDataRequestReply }
+
+// MarshalParams implements Command.
+func (c *RemoteOOBDataRequestReply) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(c.Addr)
+	w.raw(c.C[:])
+	w.raw(c.R[:])
+	return w.buf
+}
+
+// RemoteOOBDataRequestNegativeReply reports that no OOB data is available
+// for the peer.
+type RemoteOOBDataRequestNegativeReply struct {
+	Addr bt.BDADDR
+}
+
+func (*RemoteOOBDataRequestNegativeReply) Opcode() Opcode { return OpRemoteOOBDataRequestNegReply }
+
+// MarshalParams implements Command.
+func (c *RemoteOOBDataRequestNegativeReply) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(c.Addr)
+	return w.buf
+}
+
+// ReadLocalOOBData asks the controller for this device's OOB commitment
+// and random, to be carried to the peer out of band.
+type ReadLocalOOBData struct{}
+
+func (*ReadLocalOOBData) Opcode() Opcode { return OpReadLocalOOBData }
+
+// MarshalParams implements Command.
+func (*ReadLocalOOBData) MarshalParams() []byte { return nil }

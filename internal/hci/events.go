@@ -1,0 +1,537 @@
+package hci
+
+import (
+	"fmt"
+
+	"repro/internal/bt"
+)
+
+// Event is a typed HCI event. Marshalling produces the parameter bytes
+// only; EncodeEvent adds the event/length header and H4 indicator.
+type Event interface {
+	Code() EventCode
+	MarshalParams() []byte
+}
+
+// EncodeEvent builds a complete H4 event packet.
+func EncodeEvent(e Event) Packet {
+	params := e.MarshalParams()
+	body := make([]byte, 2+len(params))
+	body[0] = byte(e.Code())
+	body[1] = byte(len(params))
+	copy(body[2:], params)
+	return Packet{Dir: DirControllerToHost, PT: PTEvent, Body: body}
+}
+
+// ParseEvent decodes an event packet into its typed form.
+func ParseEvent(p Packet) (Event, error) {
+	code, ok := p.EventCode()
+	if !ok {
+		return nil, fmt.Errorf("%w: not an event packet", ErrTruncated)
+	}
+	params := p.Body[2:]
+	r := reader{buf: params}
+	var e Event
+	switch code {
+	case EvInquiryComplete:
+		v := &InquiryComplete{}
+		v.Status = Status(r.u8())
+		e = v
+	case EvInquiryResult:
+		v := &InquiryResult{}
+		n := int(r.u8())
+		for i := 0; i < n; i++ {
+			var res InquiryResponse
+			res.Addr = r.addr()
+			res.PageScanRepetitionMode = r.u8()
+			r.u16() // reserved
+			var cod [3]byte
+			copy(cod[:], r.bytes(3))
+			res.COD = bt.CODFromBytes(cod)
+			res.ClockOffset = r.u16()
+			v.Responses = append(v.Responses, res)
+		}
+		e = v
+	case EvConnectionComplete:
+		v := &ConnectionComplete{}
+		v.Status = Status(r.u8())
+		v.Handle = bt.ConnHandle(r.u16())
+		v.Addr = r.addr()
+		v.LinkType = r.u8()
+		v.EncryptionEnabled = r.u8() != 0
+		e = v
+	case EvConnectionRequest:
+		v := &ConnectionRequest{}
+		v.Addr = r.addr()
+		var cod [3]byte
+		copy(cod[:], r.bytes(3))
+		v.COD = bt.CODFromBytes(cod)
+		v.LinkType = r.u8()
+		e = v
+	case EvDisconnectionComplete:
+		v := &DisconnectionComplete{}
+		v.Status = Status(r.u8())
+		v.Handle = bt.ConnHandle(r.u16())
+		v.Reason = Status(r.u8())
+		e = v
+	case EvAuthenticationComplete:
+		v := &AuthenticationComplete{}
+		v.Status = Status(r.u8())
+		v.Handle = bt.ConnHandle(r.u16())
+		e = v
+	case EvRemoteNameRequestComplete:
+		v := &RemoteNameRequestComplete{}
+		v.Status = Status(r.u8())
+		v.Addr = r.addr()
+		raw := r.bytes(len(r.buf))
+		for i, b := range raw {
+			if b == 0 {
+				raw = raw[:i]
+				break
+			}
+		}
+		v.Name = string(raw)
+		e = v
+	case EvEncryptionChange:
+		v := &EncryptionChange{}
+		v.Status = Status(r.u8())
+		v.Handle = bt.ConnHandle(r.u16())
+		v.Enabled = r.u8() != 0
+		e = v
+	case EvCommandComplete:
+		v := &CommandComplete{}
+		v.NumPackets = r.u8()
+		v.CommandOpcode = Opcode(r.u16())
+		v.ReturnParams = r.bytes(len(r.buf))
+		e = v
+	case EvCommandStatus:
+		v := &CommandStatus{}
+		v.Status = Status(r.u8())
+		v.NumPackets = r.u8()
+		v.CommandOpcode = Opcode(r.u16())
+		e = v
+	case EvPINCodeRequest:
+		v := &PINCodeRequest{}
+		v.Addr = r.addr()
+		e = v
+	case EvLinkKeyRequest:
+		v := &LinkKeyRequest{}
+		v.Addr = r.addr()
+		e = v
+	case EvLinkKeyNotification:
+		v := &LinkKeyNotification{}
+		v.Addr = r.addr()
+		v.Key = r.key()
+		v.KeyType = bt.LinkKeyType(r.u8())
+		e = v
+	case EvIOCapabilityRequest:
+		v := &IOCapabilityRequest{}
+		v.Addr = r.addr()
+		e = v
+	case EvIOCapabilityResponse:
+		v := &IOCapabilityResponse{}
+		v.Addr = r.addr()
+		v.Capability = bt.IOCapability(r.u8())
+		v.OOBDataPresent = r.u8() != 0
+		v.AuthRequirements = r.u8()
+		e = v
+	case EvUserConfirmationRequest:
+		v := &UserConfirmationRequest{}
+		v.Addr = r.addr()
+		v.NumericValue = r.u32()
+		e = v
+	case EvUserPasskeyRequest:
+		v := &UserPasskeyRequest{}
+		v.Addr = r.addr()
+		e = v
+	case EvRemoteOOBDataRequest:
+		v := &RemoteOOBDataRequest{}
+		v.Addr = r.addr()
+		e = v
+	case EvUserPasskeyNotification:
+		v := &UserPasskeyNotification{}
+		v.Addr = r.addr()
+		v.Passkey = r.u32()
+		e = v
+	case EvSimplePairingComplete:
+		v := &SimplePairingComplete{}
+		v.Status = Status(r.u8())
+		v.Addr = r.addr()
+		e = v
+	default:
+		return nil, fmt.Errorf("%w: 0x%02x", ErrUnknownEvent, uint8(code))
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("hci: parsing %s: %w", code, r.err)
+	}
+	return e, nil
+}
+
+// InquiryComplete signals the end of an inquiry.
+type InquiryComplete struct {
+	Status Status
+}
+
+func (*InquiryComplete) Code() EventCode { return EvInquiryComplete }
+
+// MarshalParams implements Event.
+func (e *InquiryComplete) MarshalParams() []byte { return []byte{byte(e.Status)} }
+
+// InquiryResponse is one device reported by an inquiry result event.
+type InquiryResponse struct {
+	Addr                   bt.BDADDR
+	PageScanRepetitionMode uint8
+	COD                    bt.ClassOfDevice
+	ClockOffset            uint16
+}
+
+// InquiryResult carries one or more discovered devices.
+type InquiryResult struct {
+	Responses []InquiryResponse
+}
+
+func (*InquiryResult) Code() EventCode { return EvInquiryResult }
+
+// MarshalParams implements Event.
+func (e *InquiryResult) MarshalParams() []byte {
+	w := &writer{}
+	w.u8(uint8(len(e.Responses)))
+	for _, res := range e.Responses {
+		w.addr(res.Addr)
+		w.u8(res.PageScanRepetitionMode)
+		w.u16(0)
+		cod := res.COD.Bytes()
+		w.raw(cod[:])
+		w.u16(res.ClockOffset)
+	}
+	return w.buf
+}
+
+// ConnectionComplete reports the outcome of connection establishment.
+type ConnectionComplete struct {
+	Status            Status
+	Handle            bt.ConnHandle
+	Addr              bt.BDADDR
+	LinkType          uint8 // 0x01 = ACL
+	EncryptionEnabled bool
+}
+
+// LinkTypeACL is the ACL link type value.
+const LinkTypeACL = 0x01
+
+func (*ConnectionComplete) Code() EventCode { return EvConnectionComplete }
+
+// MarshalParams implements Event.
+func (e *ConnectionComplete) MarshalParams() []byte {
+	w := &writer{}
+	w.u8(uint8(e.Status))
+	w.u16(uint16(e.Handle))
+	w.addr(e.Addr)
+	w.u8(e.LinkType)
+	if e.EncryptionEnabled {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	return w.buf
+}
+
+// ConnectionRequest notifies the host of an incoming page. Its presence
+// before HCI_Authentication_Requested on the same device is the forensic
+// signature of the page blocking attack (paper Fig. 12b).
+type ConnectionRequest struct {
+	Addr     bt.BDADDR
+	COD      bt.ClassOfDevice
+	LinkType uint8
+}
+
+func (*ConnectionRequest) Code() EventCode { return EvConnectionRequest }
+
+// MarshalParams implements Event.
+func (e *ConnectionRequest) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(e.Addr)
+	cod := e.COD.Bytes()
+	w.raw(cod[:])
+	w.u8(e.LinkType)
+	return w.buf
+}
+
+// DisconnectionComplete reports link teardown.
+type DisconnectionComplete struct {
+	Status Status
+	Handle bt.ConnHandle
+	Reason Status
+}
+
+func (*DisconnectionComplete) Code() EventCode { return EvDisconnectionComplete }
+
+// MarshalParams implements Event.
+func (e *DisconnectionComplete) MarshalParams() []byte {
+	w := &writer{}
+	w.u8(uint8(e.Status))
+	w.u16(uint16(e.Handle))
+	w.u8(uint8(e.Reason))
+	return w.buf
+}
+
+// AuthenticationComplete reports the outcome of LMP authentication.
+type AuthenticationComplete struct {
+	Status Status
+	Handle bt.ConnHandle
+}
+
+func (*AuthenticationComplete) Code() EventCode { return EvAuthenticationComplete }
+
+// MarshalParams implements Event.
+func (e *AuthenticationComplete) MarshalParams() []byte {
+	w := &writer{}
+	w.u8(uint8(e.Status))
+	w.u16(uint16(e.Handle))
+	return w.buf
+}
+
+// RemoteNameRequestComplete carries the peer's name.
+type RemoteNameRequestComplete struct {
+	Status Status
+	Addr   bt.BDADDR
+	Name   string
+}
+
+func (*RemoteNameRequestComplete) Code() EventCode { return EvRemoteNameRequestComplete }
+
+// MarshalParams implements Event. The name is a fixed 248-byte field.
+func (e *RemoteNameRequestComplete) MarshalParams() []byte {
+	w := &writer{}
+	w.u8(uint8(e.Status))
+	w.addr(e.Addr)
+	name := make([]byte, 248)
+	copy(name, e.Name)
+	w.raw(name)
+	return w.buf
+}
+
+// EncryptionChange reports link encryption toggling.
+type EncryptionChange struct {
+	Status  Status
+	Handle  bt.ConnHandle
+	Enabled bool
+}
+
+func (*EncryptionChange) Code() EventCode { return EvEncryptionChange }
+
+// MarshalParams implements Event.
+func (e *EncryptionChange) MarshalParams() []byte {
+	w := &writer{}
+	w.u8(uint8(e.Status))
+	w.u16(uint16(e.Handle))
+	if e.Enabled {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	return w.buf
+}
+
+// CommandComplete acknowledges a command that finished immediately.
+type CommandComplete struct {
+	NumPackets    uint8
+	CommandOpcode Opcode
+	ReturnParams  []byte
+}
+
+func (*CommandComplete) Code() EventCode { return EvCommandComplete }
+
+// MarshalParams implements Event.
+func (e *CommandComplete) MarshalParams() []byte {
+	w := &writer{}
+	w.u8(e.NumPackets)
+	w.u16(uint16(e.CommandOpcode))
+	w.raw(e.ReturnParams)
+	return w.buf
+}
+
+// CommandStatus acknowledges a command whose outcome arrives later.
+type CommandStatus struct {
+	Status        Status
+	NumPackets    uint8
+	CommandOpcode Opcode
+}
+
+func (*CommandStatus) Code() EventCode { return EvCommandStatus }
+
+// MarshalParams implements Event.
+func (e *CommandStatus) MarshalParams() []byte {
+	w := &writer{}
+	w.u8(uint8(e.Status))
+	w.u8(e.NumPackets)
+	w.u16(uint16(e.CommandOpcode))
+	return w.buf
+}
+
+// PINCodeRequest asks the host for a legacy pairing PIN.
+type PINCodeRequest struct {
+	Addr bt.BDADDR
+}
+
+func (*PINCodeRequest) Code() EventCode { return EvPINCodeRequest }
+
+// MarshalParams implements Event.
+func (e *PINCodeRequest) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(e.Addr)
+	return w.buf
+}
+
+// LinkKeyRequest asks the host for a stored link key before LMP
+// authentication; the host's positive reply is what HCI dumps capture.
+type LinkKeyRequest struct {
+	Addr bt.BDADDR
+}
+
+func (*LinkKeyRequest) Code() EventCode { return EvLinkKeyRequest }
+
+// MarshalParams implements Event.
+func (e *LinkKeyRequest) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(e.Addr)
+	return w.buf
+}
+
+// LinkKeyNotification delivers a freshly generated link key to the host
+// for storage — in plaintext, the other message the extraction attack
+// targets.
+type LinkKeyNotification struct {
+	Addr    bt.BDADDR
+	Key     bt.LinkKey
+	KeyType bt.LinkKeyType
+}
+
+func (*LinkKeyNotification) Code() EventCode { return EvLinkKeyNotification }
+
+// MarshalParams implements Event.
+func (e *LinkKeyNotification) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(e.Addr)
+	w.key(e.Key)
+	w.u8(uint8(e.KeyType))
+	return w.buf
+}
+
+// IOCapabilityRequest asks the host for its SSP IO capability.
+type IOCapabilityRequest struct {
+	Addr bt.BDADDR
+}
+
+func (*IOCapabilityRequest) Code() EventCode { return EvIOCapabilityRequest }
+
+// MarshalParams implements Event.
+func (e *IOCapabilityRequest) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(e.Addr)
+	return w.buf
+}
+
+// IOCapabilityResponse reports the peer's SSP IO capability.
+type IOCapabilityResponse struct {
+	Addr             bt.BDADDR
+	Capability       bt.IOCapability
+	OOBDataPresent   bool
+	AuthRequirements uint8
+}
+
+func (*IOCapabilityResponse) Code() EventCode { return EvIOCapabilityResponse }
+
+// MarshalParams implements Event.
+func (e *IOCapabilityResponse) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(e.Addr)
+	w.u8(uint8(e.Capability))
+	if e.OOBDataPresent {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u8(e.AuthRequirements)
+	return w.buf
+}
+
+// UserConfirmationRequest asks the user to confirm the six-digit value
+// (numeric comparison) or simply to accept pairing (Just Works, v5.0+).
+type UserConfirmationRequest struct {
+	Addr         bt.BDADDR
+	NumericValue uint32
+}
+
+func (*UserConfirmationRequest) Code() EventCode { return EvUserConfirmationRequest }
+
+// MarshalParams implements Event.
+func (e *UserConfirmationRequest) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(e.Addr)
+	w.u32(e.NumericValue)
+	return w.buf
+}
+
+// SimplePairingComplete reports the outcome of SSP authentication stage 1.
+type SimplePairingComplete struct {
+	Status Status
+	Addr   bt.BDADDR
+}
+
+func (*SimplePairingComplete) Code() EventCode { return EvSimplePairingComplete }
+
+// MarshalParams implements Event.
+func (e *SimplePairingComplete) MarshalParams() []byte {
+	w := &writer{}
+	w.u8(uint8(e.Status))
+	w.addr(e.Addr)
+	return w.buf
+}
+
+// UserPasskeyRequest asks the host for the passkey the user types on a
+// KeyboardOnly device.
+type UserPasskeyRequest struct {
+	Addr bt.BDADDR
+}
+
+func (*UserPasskeyRequest) Code() EventCode { return EvUserPasskeyRequest }
+
+// MarshalParams implements Event.
+func (e *UserPasskeyRequest) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(e.Addr)
+	return w.buf
+}
+
+// UserPasskeyNotification tells the host to display the passkey generated
+// for the peer's keyboard entry.
+type UserPasskeyNotification struct {
+	Addr    bt.BDADDR
+	Passkey uint32
+}
+
+func (*UserPasskeyNotification) Code() EventCode { return EvUserPasskeyNotification }
+
+// MarshalParams implements Event.
+func (e *UserPasskeyNotification) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(e.Addr)
+	w.u32(e.Passkey)
+	return w.buf
+}
+
+// RemoteOOBDataRequest asks the host for the peer's out-of-band pairing
+// data during an OOB association.
+type RemoteOOBDataRequest struct {
+	Addr bt.BDADDR
+}
+
+func (*RemoteOOBDataRequest) Code() EventCode { return EvRemoteOOBDataRequest }
+
+// MarshalParams implements Event.
+func (e *RemoteOOBDataRequest) MarshalParams() []byte {
+	w := &writer{}
+	w.addr(e.Addr)
+	return w.buf
+}

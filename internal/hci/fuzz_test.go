@@ -1,0 +1,70 @@
+package hci
+
+import "testing"
+
+// FuzzParseWire throws arbitrary bytes at the H4 parser: it must never
+// panic, and anything it accepts must re-encode without crashing.
+func FuzzParseWire(f *testing.F) {
+	f.Add([]byte{0x01, 0x03, 0x0c, 0x00})
+	f.Add([]byte{0x04, 0x17, 0x06, 1, 2, 3, 4, 5, 6})
+	f.Add([]byte{0x02, 0x01, 0x20, 0x02, 0x00, 0xAA, 0xBB})
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		for _, dir := range []Direction{DirHostToController, DirControllerToHost} {
+			pkt, err := ParseWire(dir, raw)
+			if err != nil {
+				continue
+			}
+			// Accepted packets must round-trip through Wire().
+			if got := pkt.Wire(); len(got) != len(raw) {
+				t.Fatalf("Wire() length changed: %d vs %d", len(got), len(raw))
+			}
+			switch pkt.PT {
+			case PTCommand:
+				if cmd, err := ParseCommand(pkt); err == nil {
+					EncodeCommand(cmd) // must not panic
+				}
+			case PTEvent:
+				if evt, err := ParseEvent(pkt); err == nil {
+					EncodeEvent(evt)
+				}
+			case PTACLData:
+				ParseACL(pkt)
+			}
+		}
+	})
+}
+
+// FuzzParseCommandBody fuzzes the command-parameter layer directly with
+// every known opcode.
+func FuzzParseCommandBody(f *testing.F) {
+	f.Add(uint16(OpLinkKeyRequestReply), []byte{})
+	f.Add(uint16(OpCreateConnection), make([]byte, 13))
+	f.Fuzz(func(t *testing.T, op uint16, params []byte) {
+		if len(params) > 255 {
+			params = params[:255]
+		}
+		body := append([]byte{byte(op), byte(op >> 8), byte(len(params))}, params...)
+		pkt := Packet{Dir: DirHostToController, PT: PTCommand, Body: body}
+		if cmd, err := ParseCommand(pkt); err == nil {
+			EncodeCommand(cmd)
+		}
+	})
+}
+
+// FuzzParseEventBody fuzzes the event-parameter layer.
+func FuzzParseEventBody(f *testing.F) {
+	f.Add(uint8(EvLinkKeyNotification), []byte{})
+	f.Add(uint8(EvInquiryResult), []byte{5, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, code uint8, params []byte) {
+		if len(params) > 255 {
+			params = params[:255]
+		}
+		body := append([]byte{code, byte(len(params))}, params...)
+		pkt := Packet{Dir: DirControllerToHost, PT: PTEvent, Body: body}
+		if evt, err := ParseEvent(pkt); err == nil {
+			EncodeEvent(evt)
+		}
+	})
+}

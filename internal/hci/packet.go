@@ -1,0 +1,130 @@
+package hci
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PacketType is the H4 packet indicator octet.
+type PacketType uint8
+
+// H4 packet indicators.
+const (
+	PTCommand PacketType = 0x01
+	PTACLData PacketType = 0x02
+	PTSCOData PacketType = 0x03
+	PTEvent   PacketType = 0x04
+)
+
+func (t PacketType) String() string {
+	switch t {
+	case PTCommand:
+		return "Command"
+	case PTACLData:
+		return "ACL Data"
+	case PTSCOData:
+		return "SCO Data"
+	case PTEvent:
+		return "Event"
+	default:
+		return fmt.Sprintf("PacketType(0x%02x)", uint8(t))
+	}
+}
+
+// Direction describes which way a packet crosses the HCI.
+type Direction uint8
+
+// Packet directions relative to the host.
+const (
+	DirHostToController Direction = iota // commands, outbound ACL
+	DirControllerToHost                  // events, inbound ACL
+)
+
+func (d Direction) String() string {
+	if d == DirHostToController {
+		return "host->controller"
+	}
+	return "controller->host"
+}
+
+// Packet is a complete H4 packet: the indicator octet and the packet body
+// (opcode/length/params for commands, event/length/params for events,
+// handle/length/data for ACL).
+type Packet struct {
+	Dir  Direction
+	PT   PacketType
+	Body []byte
+}
+
+// Codec errors.
+var (
+	ErrTruncated     = errors.New("hci: truncated packet")
+	ErrBadPacketType = errors.New("hci: unknown packet type")
+	ErrBadLength     = errors.New("hci: length field mismatch")
+	ErrUnknownOpcode = errors.New("hci: unknown opcode")
+	ErrUnknownEvent  = errors.New("hci: unknown event code")
+)
+
+// Wire returns the full H4 encoding: indicator octet followed by the body.
+func (p Packet) Wire() []byte {
+	out := make([]byte, 1+len(p.Body))
+	out[0] = byte(p.PT)
+	copy(out[1:], p.Body)
+	return out
+}
+
+// ParseWire decodes an H4 byte string into a Packet, validating the
+// length field of command/event bodies.
+func ParseWire(dir Direction, raw []byte) (Packet, error) {
+	if len(raw) < 1 {
+		return Packet{}, ErrTruncated
+	}
+	p := Packet{Dir: dir, PT: PacketType(raw[0]), Body: append([]byte(nil), raw[1:]...)}
+	switch p.PT {
+	case PTCommand:
+		if len(p.Body) < 3 {
+			return Packet{}, fmt.Errorf("%w: command header", ErrTruncated)
+		}
+		if int(p.Body[2]) != len(p.Body)-3 {
+			return Packet{}, fmt.Errorf("%w: command declares %d params, has %d", ErrBadLength, p.Body[2], len(p.Body)-3)
+		}
+	case PTEvent:
+		if len(p.Body) < 2 {
+			return Packet{}, fmt.Errorf("%w: event header", ErrTruncated)
+		}
+		if int(p.Body[1]) != len(p.Body)-2 {
+			return Packet{}, fmt.Errorf("%w: event declares %d params, has %d", ErrBadLength, p.Body[1], len(p.Body)-2)
+		}
+	case PTACLData:
+		if len(p.Body) < 4 {
+			return Packet{}, fmt.Errorf("%w: ACL header", ErrTruncated)
+		}
+		declared := int(p.Body[2]) | int(p.Body[3])<<8
+		if declared != len(p.Body)-4 {
+			return Packet{}, fmt.Errorf("%w: ACL declares %d bytes, has %d", ErrBadLength, declared, len(p.Body)-4)
+		}
+	case PTSCOData:
+		if len(p.Body) < 3 {
+			return Packet{}, fmt.Errorf("%w: SCO header", ErrTruncated)
+		}
+	default:
+		return Packet{}, fmt.Errorf("%w: 0x%02x", ErrBadPacketType, raw[0])
+	}
+	return p, nil
+}
+
+// CommandOpcode returns the opcode of a command packet.
+func (p Packet) CommandOpcode() (Opcode, bool) {
+	if p.PT != PTCommand || len(p.Body) < 2 {
+		return 0, false
+	}
+	return Opcode(uint16(p.Body[0]) | uint16(p.Body[1])<<8), true
+}
+
+// EventCode returns the event code of an event packet.
+func (p Packet) EventCode() (EventCode, bool) {
+	if p.PT != PTEvent || len(p.Body) < 1 {
+		return 0, false
+	}
+	return EventCode(p.Body[0]), true
+}

@@ -1,0 +1,118 @@
+package hci
+
+import (
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/sim"
+)
+
+// Tap observes every packet crossing an HCI transport, in wire form. The
+// snoop logger and the USB sniffer are taps; so is the link-key-filtering
+// mitigation.
+type Tap interface {
+	// Observe is called once per packet with the full H4 wire bytes. at is
+	// the virtual time of transmission. Implementations must not retain
+	// wire beyond the call.
+	Observe(at time.Duration, dir Direction, wire []byte)
+}
+
+// TapFunc adapts a function to the Tap interface.
+type TapFunc func(at time.Duration, dir Direction, wire []byte)
+
+// Observe implements Tap.
+func (f TapFunc) Observe(at time.Duration, dir Direction, wire []byte) { f(at, dir, wire) }
+
+// Endpoint consumes packets arriving at one side of a transport.
+type Endpoint interface {
+	HandlePacket(p Packet)
+}
+
+// Transport is a bidirectional, in-order HCI link between a host and a
+// controller with a fixed per-packet latency, modelling a UART or USB
+// physical interface. Taps see packets at send time.
+type Transport struct {
+	sched      *sim.Scheduler
+	latency    time.Duration
+	host       Endpoint
+	controller Endpoint
+	taps       []Tap
+	dropped    bool
+}
+
+// NewTransport creates a transport on the given scheduler with the given
+// one-way latency. Endpoints are attached afterwards with AttachHost and
+// AttachController.
+func NewTransport(s *sim.Scheduler, latency time.Duration) *Transport {
+	if latency < 0 {
+		latency = 0
+	}
+	return &Transport{sched: s, latency: latency}
+}
+
+// AttachHost sets the host-side endpoint.
+func (t *Transport) AttachHost(e Endpoint) { t.host = e }
+
+// AttachController sets the controller-side endpoint.
+func (t *Transport) AttachController(e Endpoint) { t.controller = e }
+
+// AddTap registers an observer of all traffic. Taps run in registration
+// order at send time.
+func (t *Transport) AddTap(tap Tap) { t.taps = append(t.taps, tap) }
+
+// Down makes the transport silently drop all future packets; used by
+// fault-injection tests.
+func (t *Transport) Down() { t.dropped = true }
+
+// Up restores packet delivery after Down.
+func (t *Transport) Up() { t.dropped = false }
+
+// Send transmits a packet toward the peer endpoint of dir. The packet is
+// observed by taps immediately and delivered after the transport latency.
+func (t *Transport) Send(p Packet) {
+	wire := p.Wire()
+	for _, tap := range t.taps {
+		tap.Observe(t.sched.Now(), p.Dir, wire)
+	}
+	if t.dropped {
+		return
+	}
+	var dst Endpoint
+	if p.Dir == DirHostToController {
+		dst = t.controller
+	} else {
+		dst = t.host
+	}
+	if dst == nil {
+		return
+	}
+	t.sched.Schedule(t.latency, func() { dst.HandlePacket(p) })
+}
+
+// SendCommand encodes and transmits a command from the host side.
+func (t *Transport) SendCommand(c Command) { t.Send(EncodeCommand(c)) }
+
+// SendEvent encodes and transmits an event from the controller side.
+func (t *Transport) SendEvent(e Event) { t.Send(EncodeEvent(e)) }
+
+// EncodeACL builds an ACL data packet for a connection handle. Flags are
+// fixed to "first automatically flushable" for simplicity.
+func EncodeACL(dir Direction, handle bt.ConnHandle, data []byte) Packet {
+	body := make([]byte, 4+len(data))
+	hf := uint16(handle)&0x0FFF | 0x2000 // PB flag 10b: first auto-flushable
+	body[0] = byte(hf)
+	body[1] = byte(hf >> 8)
+	body[2] = byte(len(data))
+	body[3] = byte(len(data) >> 8)
+	copy(body[4:], data)
+	return Packet{Dir: dir, PT: PTACLData, Body: body}
+}
+
+// ParseACL extracts the handle and payload from an ACL data packet.
+func ParseACL(p Packet) (bt.ConnHandle, []byte, bool) {
+	if p.PT != PTACLData || len(p.Body) < 4 {
+		return 0, nil, false
+	}
+	handle := bt.ConnHandle(uint16(p.Body[0]) | uint16(p.Body[1])<<8)
+	return handle & 0x0FFF, p.Body[4:], true
+}

@@ -1,0 +1,128 @@
+package hci
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/sim"
+)
+
+type recordingEndpoint struct {
+	packets []Packet
+}
+
+func (r *recordingEndpoint) HandlePacket(p Packet) { r.packets = append(r.packets, p) }
+
+func TestTransportDeliversToCorrectEndpoint(t *testing.T) {
+	s := sim.NewScheduler(1)
+	tr := NewTransport(s, time.Millisecond)
+	hostEnd := &recordingEndpoint{}
+	ctrlEnd := &recordingEndpoint{}
+	tr.AttachHost(hostEnd)
+	tr.AttachController(ctrlEnd)
+
+	tr.SendCommand(&Reset{})
+	tr.SendEvent(&InquiryComplete{Status: StatusSuccess})
+	s.Run(0)
+
+	if len(ctrlEnd.packets) != 1 || ctrlEnd.packets[0].PT != PTCommand {
+		t.Fatalf("controller received %v", ctrlEnd.packets)
+	}
+	if len(hostEnd.packets) != 1 || hostEnd.packets[0].PT != PTEvent {
+		t.Fatalf("host received %v", hostEnd.packets)
+	}
+}
+
+func TestTransportLatency(t *testing.T) {
+	s := sim.NewScheduler(1)
+	const lat = 5 * time.Millisecond
+	tr := NewTransport(s, lat)
+	ctrlEnd := &recordingEndpoint{}
+	tr.AttachController(ctrlEnd)
+
+	tr.SendCommand(&Reset{})
+	s.RunFor(lat - time.Millisecond)
+	if len(ctrlEnd.packets) != 0 {
+		t.Fatal("packet arrived before the transport latency")
+	}
+	s.RunFor(2 * time.Millisecond)
+	if len(ctrlEnd.packets) != 1 {
+		t.Fatal("packet lost")
+	}
+}
+
+func TestTapsSeeAllTrafficAtSendTime(t *testing.T) {
+	s := sim.NewScheduler(1)
+	tr := NewTransport(s, time.Millisecond)
+	tr.AttachController(&recordingEndpoint{})
+
+	var taps []struct {
+		dir  Direction
+		wire []byte
+	}
+	tr.AddTap(TapFunc(func(_ time.Duration, dir Direction, wire []byte) {
+		taps = append(taps, struct {
+			dir  Direction
+			wire []byte
+		}{dir, append([]byte(nil), wire...)})
+	}))
+
+	tr.SendCommand(&Reset{})
+	// The tap fires synchronously at send time, before delivery.
+	if len(taps) != 1 {
+		t.Fatalf("tap records: %d", len(taps))
+	}
+	if taps[0].dir != DirHostToController {
+		t.Fatalf("tap dir: %v", taps[0].dir)
+	}
+	if taps[0].wire[0] != byte(PTCommand) {
+		t.Fatalf("tap wire: %x", taps[0].wire)
+	}
+}
+
+func TestTransportDownDropsSilently(t *testing.T) {
+	s := sim.NewScheduler(1)
+	tr := NewTransport(s, time.Millisecond)
+	ctrlEnd := &recordingEndpoint{}
+	tr.AttachController(ctrlEnd)
+	tapped := 0
+	tr.AddTap(TapFunc(func(time.Duration, Direction, []byte) { tapped++ }))
+
+	tr.Down()
+	tr.SendCommand(&Reset{})
+	s.Run(0)
+	if len(ctrlEnd.packets) != 0 {
+		t.Fatal("down transport delivered a packet")
+	}
+	if tapped != 1 {
+		t.Fatal("taps observe even dropped traffic (a sniffer clamps the wire, not the endpoint)")
+	}
+
+	tr.Up()
+	tr.SendCommand(&Reset{})
+	s.Run(0)
+	if len(ctrlEnd.packets) != 1 {
+		t.Fatal("transport did not recover after Up")
+	}
+}
+
+func TestSendWithoutEndpointIsSafe(t *testing.T) {
+	s := sim.NewScheduler(1)
+	tr := NewTransport(s, 0)
+	tr.SendCommand(&Reset{}) // no endpoints attached: must not panic
+	tr.Send(EncodeACL(DirControllerToHost, bt.ConnHandle(1), []byte{1, 2, 3, 4, 5, 6}))
+	s.Run(0)
+}
+
+func TestNegativeLatencyClamped(t *testing.T) {
+	s := sim.NewScheduler(1)
+	tr := NewTransport(s, -time.Second)
+	end := &recordingEndpoint{}
+	tr.AttachController(end)
+	tr.SendCommand(&Reset{})
+	s.Run(0)
+	if len(end.packets) != 1 {
+		t.Fatal("negative latency should clamp to zero, not break delivery")
+	}
+}

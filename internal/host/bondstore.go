@@ -1,0 +1,222 @@
+// Package host implements a simulated Bluetooth host stack in the style of
+// Android's bluedroid: GAP connection management, the SSP association
+// policy (including the version-dependent confirmation popups of the
+// paper's Fig. 7), a bond store persisted in the bt_config.conf format,
+// simple SDP/PAN profiles, and the hook points corresponding to the
+// paper's host-stack patches (ignoring HCI_Link_Key_Request, the PLOC
+// event postponement, silent pairing).
+package host
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bt"
+)
+
+// ServiceUUID is a 32-bit Bluetooth service class identifier (the xxxx in
+// 0000xxxx-0000-1000-8000-00805f9b34fb).
+type ServiceUUID uint32
+
+// Profile UUIDs used by the reproduction.
+const (
+	UUIDSerialPort  ServiceUUID = 0x1101
+	UUIDHandsFree   ServiceUUID = 0x111E
+	UUIDPANU        ServiceUUID = 0x1115 // PAN user — Bluetooth tethering client
+	UUIDNAP         ServiceUUID = 0x1116 // network access point — tethering server
+	UUIDPBAP        ServiceUUID = 0x112F
+	UUIDMessageAcc  ServiceUUID = 0x1132
+	UUIDAudioSource ServiceUUID = 0x110A
+)
+
+// String renders the full 128-bit base-UUID form used in bt_config.conf.
+func (u ServiceUUID) String() string {
+	return fmt.Sprintf("%08x-0000-1000-8000-00805f9b34fb", uint32(u))
+}
+
+// ParseServiceUUID accepts either the full base-UUID form or a bare hex
+// word.
+func ParseServiceUUID(s string) (ServiceUUID, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		if !strings.HasSuffix(s, "-0000-1000-8000-00805f9b34fb") {
+			return 0, fmt.Errorf("host: non-base UUID %q", s)
+		}
+		s = s[:i]
+	}
+	var v uint32
+	if _, err := fmt.Sscanf(s, "%x", &v); err != nil {
+		return 0, fmt.Errorf("host: bad UUID %q: %w", s, err)
+	}
+	return ServiceUUID(v), nil
+}
+
+// Bond is one remembered pairing: the peer, its link key, and the profile
+// services it advertised. It corresponds to one device section of
+// bt_config.conf (paper Fig. 10).
+type Bond struct {
+	Addr     bt.BDADDR
+	Name     string
+	Key      bt.LinkKey
+	KeyType  bt.LinkKeyType
+	Services []ServiceUUID
+}
+
+// BondStore is the host's security database.
+type BondStore struct {
+	bonds map[bt.BDADDR]*Bond
+	order []bt.BDADDR
+}
+
+// NewBondStore returns an empty store.
+func NewBondStore() *BondStore {
+	return &BondStore{bonds: make(map[bt.BDADDR]*Bond)}
+}
+
+// Get returns the bond for addr, or nil.
+func (s *BondStore) Get(addr bt.BDADDR) *Bond { return s.bonds[addr] }
+
+// Put inserts or replaces a bond.
+func (s *BondStore) Put(b Bond) {
+	if _, ok := s.bonds[b.Addr]; !ok {
+		s.order = append(s.order, b.Addr)
+	}
+	cp := b
+	cp.Services = append([]ServiceUUID(nil), b.Services...)
+	s.bonds[b.Addr] = &cp
+}
+
+// Delete removes a bond; deleting an absent bond is a no-op. It returns
+// whether a bond was removed.
+func (s *BondStore) Delete(addr bt.BDADDR) bool {
+	if _, ok := s.bonds[addr]; !ok {
+		return false
+	}
+	delete(s.bonds, addr)
+	for i, a := range s.order {
+		if a == addr {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// List returns bonds in insertion order.
+func (s *BondStore) List() []Bond {
+	out := make([]Bond, 0, len(s.order))
+	for _, a := range s.order {
+		out = append(out, *s.bonds[a])
+	}
+	return out
+}
+
+// Len returns the number of stored bonds.
+func (s *BondStore) Len() int { return len(s.bonds) }
+
+// EncodeConfig renders the store in the bluedroid bt_config.conf format
+// the paper's attacker edits to install fake bonding information.
+func (s *BondStore) EncodeConfig() string {
+	var b strings.Builder
+	for _, bond := range s.List() {
+		fmt.Fprintf(&b, "[%s]\n", bond.Addr)
+		if bond.Name != "" {
+			fmt.Fprintf(&b, "Name = %s\n", bond.Name)
+		}
+		if len(bond.Services) > 0 {
+			svcs := make([]string, len(bond.Services))
+			for i, u := range bond.Services {
+				svcs[i] = u.String()
+			}
+			fmt.Fprintf(&b, "Service = %s\n", strings.Join(svcs, " "))
+		}
+		fmt.Fprintf(&b, "LinkKey = %s\n", bond.Key)
+		fmt.Fprintf(&b, "LinkKeyType = %d\n", uint8(bond.KeyType))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ErrBadConfig reports a malformed bt_config.conf document.
+var ErrBadConfig = errors.New("host: malformed bt_config.conf")
+
+// ParseConfig parses the bt_config.conf format produced by EncodeConfig
+// (and by hand, as the paper's attacker does in Fig. 10).
+func ParseConfig(text string) ([]Bond, error) {
+	var out []Bond
+	var cur *Bond
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("%w: line %d: unterminated section", ErrBadConfig, ln+1)
+			}
+			addr, err := bt.ParseBDADDR(line[1 : len(line)-1])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadConfig, ln+1, err)
+			}
+			out = append(out, Bond{Addr: addr})
+			cur = &out[len(out)-1]
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok || cur == nil {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrBadConfig, ln+1, line)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "Name":
+			cur.Name = val
+		case "Service":
+			for _, f := range strings.Fields(val) {
+				u, err := ParseServiceUUID(f)
+				if err != nil {
+					return nil, fmt.Errorf("%w: line %d: %v", ErrBadConfig, ln+1, err)
+				}
+				cur.Services = append(cur.Services, u)
+			}
+		case "LinkKey":
+			k, err := bt.ParseLinkKey(val)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadConfig, ln+1, err)
+			}
+			cur.Key = k
+		case "LinkKeyType":
+			var t uint8
+			if _, err := fmt.Sscanf(val, "%d", &t); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadConfig, ln+1, err)
+			}
+			cur.KeyType = bt.LinkKeyType(t)
+		default:
+			// Unknown keys are preserved-by-ignoring, like bluedroid does.
+		}
+	}
+	return out, nil
+}
+
+// LoadConfig replaces the store contents with the parsed document.
+func (s *BondStore) LoadConfig(text string) error {
+	bonds, err := ParseConfig(text)
+	if err != nil {
+		return err
+	}
+	s.bonds = make(map[bt.BDADDR]*Bond, len(bonds))
+	s.order = s.order[:0]
+	for _, b := range bonds {
+		s.Put(b)
+	}
+	return nil
+}
+
+// SortedAddrs returns bonded addresses in canonical order, for stable
+// reporting.
+func (s *BondStore) SortedAddrs() []bt.BDADDR {
+	addrs := append([]bt.BDADDR(nil), s.order...)
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].String() < addrs[j].String() })
+	return addrs
+}

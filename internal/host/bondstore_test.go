@@ -1,0 +1,237 @@
+package host
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bt"
+)
+
+func sampleBond() Bond {
+	return Bond{
+		Addr:     bt.MustBDADDR("48:90:51:1e:7f:2c"),
+		Name:     "VELVET",
+		Key:      bt.MustLinkKey("71a70981f30d6af9e20adee8aafe3264"),
+		KeyType:  bt.KeyTypeUnauthenticatedP256,
+		Services: []ServiceUUID{UUIDPANU, UUIDNAP},
+	}
+}
+
+func TestBondStoreCRUD(t *testing.T) {
+	s := NewBondStore()
+	if s.Len() != 0 || s.Get(sampleBond().Addr) != nil {
+		t.Fatal("empty store not empty")
+	}
+	s.Put(sampleBond())
+	if s.Len() != 1 {
+		t.Fatal("put failed")
+	}
+	got := s.Get(sampleBond().Addr)
+	if got == nil || got.Key != sampleBond().Key || got.Name != "VELVET" {
+		t.Fatalf("get: %+v", got)
+	}
+	// Update preserves a single entry.
+	upd := sampleBond()
+	upd.Name = "renamed"
+	s.Put(upd)
+	if s.Len() != 1 || s.Get(upd.Addr).Name != "renamed" {
+		t.Fatal("update failed")
+	}
+	if !s.Delete(upd.Addr) || s.Len() != 0 {
+		t.Fatal("delete failed")
+	}
+	if s.Delete(upd.Addr) {
+		t.Fatal("double delete should report false")
+	}
+}
+
+func TestBondStoreIsolation(t *testing.T) {
+	// Mutating the caller's slice after Put must not affect the store.
+	s := NewBondStore()
+	b := sampleBond()
+	s.Put(b)
+	b.Services[0] = UUIDPBAP
+	if s.Get(b.Addr).Services[0] != UUIDPANU {
+		t.Fatal("store aliases caller memory")
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	s := NewBondStore()
+	s.Put(sampleBond())
+	b2 := sampleBond()
+	b2.Addr = bt.MustBDADDR("00:1a:7d:da:71:0a")
+	b2.Name = "" // nameless bonds are legal
+	b2.Services = nil
+	s.Put(b2)
+
+	text := s.EncodeConfig()
+	if !strings.Contains(text, "[48:90:51:1e:7f:2c]") {
+		t.Fatalf("missing section header:\n%s", text)
+	}
+	if !strings.Contains(text, "LinkKey = 71a70981f30d6af9e20adee8aafe3264") {
+		t.Fatalf("missing key line:\n%s", text)
+	}
+	if !strings.Contains(text, "00001115-0000-1000-8000-00805f9b34fb") {
+		t.Fatalf("missing service UUID:\n%s", text)
+	}
+
+	s2 := NewBondStore()
+	if err := s2.LoadConfig(text); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("round trip lost bonds: %d", s2.Len())
+	}
+	got := s2.Get(sampleBond().Addr)
+	if got.Key != sampleBond().Key || got.KeyType != sampleBond().KeyType {
+		t.Fatalf("round trip changed bond: %+v", got)
+	}
+	if len(got.Services) != 2 || got.Services[0] != UUIDPANU {
+		t.Fatalf("services: %v", got.Services)
+	}
+}
+
+func TestConfigRoundTripProperty(t *testing.T) {
+	f := func(addr [6]byte, key [16]byte, ktype uint8, nServices uint8) bool {
+		s := NewBondStore()
+		b := Bond{Addr: bt.BDADDR(addr), Key: bt.LinkKey(key), KeyType: bt.LinkKeyType(ktype % 9)}
+		for i := uint8(0); i < nServices%5; i++ {
+			b.Services = append(b.Services, ServiceUUID(0x1100+uint32(i)))
+		}
+		s.Put(b)
+		s2 := NewBondStore()
+		if err := s2.LoadConfig(s.EncodeConfig()); err != nil {
+			return false
+		}
+		got := s2.Get(b.Addr)
+		if got == nil || got.Key != b.Key || got.KeyType != b.KeyType || len(got.Services) != len(b.Services) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseConfigPaperExample(t *testing.T) {
+	// The literal layout of the paper's Fig. 10.
+	text := `[48:90:51:1e:7f:2c]
+Name = VELVET
+Service = 00001115-0000-1000-8000-00805f9b34fb 00001116-0000-1000-8000-00805f9b34fb
+LinkKey = 71a70981f30d6af9e20adee8aafe3264
+`
+	bonds, err := ParseConfig(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bonds) != 1 {
+		t.Fatalf("bonds: %d", len(bonds))
+	}
+	b := bonds[0]
+	if b.Name != "VELVET" || b.Key.String() != "71a70981f30d6af9e20adee8aafe3264" {
+		t.Fatalf("%+v", b)
+	}
+	if len(b.Services) != 2 || b.Services[0] != UUIDPANU || b.Services[1] != UUIDNAP {
+		t.Fatalf("services: %v", b.Services)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := []string{
+		"[not-an-address]\nLinkKey = 00000000000000000000000000000000\n",
+		"[00:00:00:00:00:01\n",
+		"LinkKey = 00000000000000000000000000000000\n", // key before section
+		"[00:00:00:00:00:01]\nLinkKey = tooshort\n",
+		"[00:00:00:00:00:01]\nService = whatisthis\n",
+		"[00:00:00:00:00:01]\nLinkKeyType = notanumber\n",
+		"[00:00:00:00:00:01]\njustaline\n",
+	}
+	for _, c := range cases {
+		if _, err := ParseConfig(c); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("ParseConfig(%q) err = %v, want ErrBadConfig", c, err)
+		}
+	}
+	// Comments and unknown keys are tolerated.
+	ok := "# comment\n[00:00:00:00:00:01]\nDevType = 1\nLinkKey = 00000000000000000000000000000001\n"
+	if _, err := ParseConfig(ok); err != nil {
+		t.Errorf("benign extras rejected: %v", err)
+	}
+}
+
+func TestServiceUUIDParse(t *testing.T) {
+	u, err := ParseServiceUUID("00001116-0000-1000-8000-00805f9b34fb")
+	if err != nil || u != UUIDNAP {
+		t.Fatalf("full form: %v %v", u, err)
+	}
+	u, err = ParseServiceUUID("1115")
+	if err != nil || u != UUIDPANU {
+		t.Fatalf("short form: %v %v", u, err)
+	}
+	if _, err := ParseServiceUUID("00001116-0000-1000-8000-000000000000"); err == nil {
+		t.Fatal("non-base UUID accepted")
+	}
+	if _, err := ParseServiceUUID("xyz"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if UUIDNAP.String() != "00001116-0000-1000-8000-00805f9b34fb" {
+		t.Fatalf("String: %s", UUIDNAP)
+	}
+}
+
+func TestSortedAddrs(t *testing.T) {
+	s := NewBondStore()
+	s.Put(Bond{Addr: bt.MustBDADDR("cc:00:00:00:00:01")})
+	s.Put(Bond{Addr: bt.MustBDADDR("aa:00:00:00:00:01")})
+	s.Put(Bond{Addr: bt.MustBDADDR("bb:00:00:00:00:01")})
+	addrs := s.SortedAddrs()
+	if addrs[0].String() != "aa:00:00:00:00:01" || addrs[2].String() != "cc:00:00:00:00:01" {
+		t.Fatalf("order: %v", addrs)
+	}
+	// List preserves insertion order instead.
+	list := s.List()
+	if list[0].Addr.String() != "cc:00:00:00:00:01" {
+		t.Fatalf("insertion order: %v", list[0].Addr)
+	}
+}
+
+func TestBondStoreFilePersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/bt_config.conf"
+
+	s := NewBondStore()
+	s.Put(sampleBond())
+	if err := s.SaveConfigFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := NewBondStore()
+	if err := loaded.LoadConfigFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 || loaded.Get(sampleBond().Addr).Key != sampleBond().Key {
+		t.Fatalf("round trip: %+v", loaded.List())
+	}
+
+	// A missing file is a clean first boot.
+	fresh := NewBondStore()
+	fresh.Put(sampleBond())
+	if err := fresh.LoadConfigFile(dir + "/missing.conf"); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 0 {
+		t.Fatal("missing file should reset the store")
+	}
+
+	// A corrupt file reports an error.
+	if err := os.WriteFile(path, []byte("[zz]\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewBondStore().LoadConfigFile(path); err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+}

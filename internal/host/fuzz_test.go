@@ -1,0 +1,24 @@
+package host
+
+import "testing"
+
+// FuzzParseConfig must reject malformed bt_config.conf documents without
+// panicking, and anything accepted must re-encode and re-parse.
+func FuzzParseConfig(f *testing.F) {
+	f.Add("[00:11:22:33:44:55]\nLinkKey = 000102030405060708090a0b0c0d0e0f\n")
+	f.Add("[zz]\n")
+	f.Add("LinkKey = nope")
+	f.Fuzz(func(t *testing.T, text string) {
+		bonds, err := ParseConfig(text)
+		if err != nil {
+			return
+		}
+		s := NewBondStore()
+		for _, b := range bonds {
+			s.Put(b)
+		}
+		if _, err := ParseConfig(s.EncodeConfig()); err != nil {
+			t.Fatalf("accepted config failed to round-trip: %v", err)
+		}
+	})
+}

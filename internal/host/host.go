@@ -1,0 +1,752 @@
+package host
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/hci"
+	"repro/internal/sim"
+)
+
+// Config describes a host stack's identity and policy knobs. The policy
+// fields encode the implementation differences the paper observes across
+// Android/iOS/Windows/Linux stacks.
+type Config struct {
+	Name      string
+	StackName string // "Bluedroid", "BlueZ", "Microsoft Bluetooth Driver", "CSR harmony"
+	OS        string // "Android 11", "Windows 10", ...
+
+	Version bt.Version
+	IOCap   bt.IOCapability
+	AuthReq uint8
+
+	// AcceptIncoming makes the host accept incoming connection requests
+	// (connectable devices do).
+	AcceptIncoming bool
+	// AuthenticateBondedIncoming makes the host start LMP authentication
+	// when a bonded peer connects — typical accessory behaviour, and the
+	// trigger for step 3 of the link key extraction attack.
+	AuthenticateBondedIncoming bool
+	// ResponderJWConsent models the pre-5.0 implementation choice of
+	// asking the user before silently accepting a Just Works pairing when
+	// acting as responder (paper §V-B2).
+	ResponderJWConsent bool
+	// LegacyPairing disables Secure Simple Pairing on the controller so
+	// pairing falls back to the legacy PIN scheme (pre-v2.1 devices).
+	LegacyPairing bool
+	// PINCode is the fixed PIN answered to HCI_PIN_Code_Request (legacy
+	// pairing only); empty means PIN requests are refused.
+	PINCode string
+	// EnforceRoleCheck enables the paper's §VII-B mitigation: a pairing
+	// this host initiated over a connection it did not initiate, against a
+	// peer claiming NoInputNoOutput, is dropped before stage 1 completes.
+	EnforceRoleCheck bool
+	// RequireMITM is Secure-Connections-Only-style policy (cf. Zhang et
+	// al. [29] in the paper's related work): any pairing whose association
+	// model provides no MITM protection — every Just Works variant — is
+	// rejected outright, at the cost of never pairing with IO-less
+	// accessories.
+	RequireMITM bool
+
+	Discoverable bool
+	Connectable  bool
+
+	// Services are the profile services this host advertises over SDP.
+	Services []ServiceUUID
+}
+
+// Hooks are the attack patches the paper applies to the bluedroid host
+// stack, expressed as configuration.
+type Hooks struct {
+	// IgnoreLinkKeyRequest drops HCI_Link_Key_Request events unanswered
+	// (Fig. 9): the peer's LMP response timer eventually detaches the link
+	// without an authentication failure.
+	IgnoreLinkKeyRequest bool
+	// PLOCHold postpones processing of the HCI_Connection_Complete event
+	// for an outgoing connection — and every event after it — for the
+	// given duration (Fig. 13), keeping the link in "Physical Layer Only
+	// Connection" state.
+	PLOCHold time.Duration
+}
+
+// Host errors.
+var (
+	ErrDisconnected    = errors.New("host: link disconnected")
+	ErrTimeout         = errors.New("host: operation timed out")
+	ErrServiceNotFound = errors.New("host: peer does not advertise service")
+	ErrNotConnected    = errors.New("host: no connection to peer")
+)
+
+// StatusError wraps a non-success HCI status.
+type StatusError struct {
+	Op     string
+	Status hci.Status
+}
+
+func (e *StatusError) Error() string { return fmt.Sprintf("host: %s: %s", e.Op, e.Status) }
+
+// DisconnectRecord logs one observed disconnection, used by attack
+// verification (the extraction attack must end with LMP Response Timeout,
+// not Authentication Failure).
+type DisconnectRecord struct {
+	At     time.Duration
+	Addr   bt.BDADDR
+	Reason hci.Status
+}
+
+// Conn is the host's view of one ACL connection.
+type Conn struct {
+	Handle    bt.ConnHandle
+	Addr      bt.BDADDR
+	Initiator bool
+
+	Authenticated bool
+	Encrypted     bool
+
+	// PairingInitiator records whether this host sent
+	// HCI_Authentication_Requested on the link — the role the §VII-B
+	// mitigation cross-checks against the connection initiator role.
+	PairingInitiator bool
+	PeerIOCap        bt.IOCapability
+	HavePeerIOCap    bool
+
+	pendingAuth bool
+	authWaiters []func(error)
+	encWaiters  []func(error)
+	sdpWaiters  map[ServiceUUID][]func(bool, error)
+	openWaiters map[ServiceUUID][]func(error)
+	pullWaiters map[ServiceUUID][]func([]byte, error)
+}
+
+// Host is a simulated Bluetooth host stack bound to the host side of an
+// HCI transport.
+type Host struct {
+	sched *sim.Scheduler
+	tr    *hci.Transport
+	cfg   Config
+	hooks Hooks
+	bonds *BondStore
+	ui    UI
+
+	conns  map[bt.ConnHandle]*Conn
+	byAddr map[bt.BDADDR]*Conn
+
+	connectWaiters map[bt.BDADDR][]func(*Conn, error)
+	inflightCreate map[bt.BDADDR]bool
+	nameWaiters    map[bt.BDADDR][]func(string, error)
+	oobReadWaiters []func(OOBPayload, error)
+	peerOOB        map[bt.BDADDR]OOBPayload
+
+	inquiryCB      func([]hci.InquiryResponse)
+	inquirySeen    map[bt.BDADDR]bool
+	inquiryResults []hci.InquiryResponse
+
+	holding  bool
+	holdUsed bool
+	holdQ    []hci.Packet
+
+	services map[ServiceUUID]bool
+
+	// Disconnects is the host's disconnect log.
+	Disconnects []DisconnectRecord
+	// PairingEvents records Simple_Pairing_Complete outcomes.
+	PairingEvents []hci.SimplePairingComplete
+	// ReceivedData accumulates application payloads delivered by peers
+	// via SendData.
+	ReceivedData [][]byte
+	// RoleCheckAlerts records peers whose pairing the §VII-B mitigation
+	// dropped.
+	RoleCheckAlerts []bt.BDADDR
+	// ProfileData holds per-service application data served over PullData
+	// (e.g. the phone book for PBAP).
+	ProfileData map[ServiceUUID][]byte
+}
+
+// New creates a host bound to tr. Call Start to push the initial
+// configuration to the controller.
+func New(s *sim.Scheduler, tr *hci.Transport, cfg Config, hooks Hooks) *Host {
+	h := &Host{
+		sched:          s,
+		tr:             tr,
+		cfg:            cfg,
+		hooks:          hooks,
+		bonds:          NewBondStore(),
+		ui:             AutoUI{},
+		conns:          make(map[bt.ConnHandle]*Conn),
+		byAddr:         make(map[bt.BDADDR]*Conn),
+		connectWaiters: make(map[bt.BDADDR][]func(*Conn, error)),
+		inflightCreate: make(map[bt.BDADDR]bool),
+		nameWaiters:    make(map[bt.BDADDR][]func(string, error)),
+		peerOOB:        make(map[bt.BDADDR]OOBPayload),
+		services:       make(map[ServiceUUID]bool),
+		ProfileData:    make(map[ServiceUUID][]byte),
+	}
+	for _, u := range cfg.Services {
+		h.services[u] = true
+	}
+	tr.AttachHost(h)
+	return h
+}
+
+// Start pushes the host configuration to the controller.
+func (h *Host) Start() {
+	h.tr.SendCommand(&hci.WriteSimplePairingMode{Enabled: !h.cfg.LegacyPairing})
+	if h.cfg.Name != "" {
+		h.tr.SendCommand(&hci.WriteLocalName{Name: h.cfg.Name})
+	}
+	h.pushScanEnable()
+}
+
+func (h *Host) pushScanEnable() {
+	var se hci.ScanEnable
+	if h.cfg.Discoverable {
+		se |= hci.ScanInquiryOnly
+	}
+	if h.cfg.Connectable {
+		se |= hci.ScanPageOnly
+	}
+	h.tr.SendCommand(&hci.WriteScanEnable{ScanEnable: se})
+}
+
+// SetUI installs the user model.
+func (h *Host) SetUI(ui UI) { h.ui = ui }
+
+// UIModel returns the installed user model.
+func (h *Host) UIModel() UI { return h.ui }
+
+// Config returns the host configuration.
+func (h *Host) Config() Config { return h.cfg }
+
+// Hooks returns the active attack hooks.
+func (h *Host) Hooks() Hooks { return h.hooks }
+
+// SetHooks replaces the attack hooks.
+func (h *Host) SetHooks(hk Hooks) { h.hooks = hk }
+
+// SetIOCapability changes the advertised SSP IO capability — step 1 of the
+// page blocking attack sets NoInputNoOutput to force Just Works.
+func (h *Host) SetIOCapability(c bt.IOCapability) { h.cfg.IOCap = c }
+
+// Bonds exposes the security database.
+func (h *Host) Bonds() *BondStore { return h.bonds }
+
+// RegisterService adds a profile service to the SDP database.
+func (h *Host) RegisterService(u ServiceUUID) { h.services[u] = true }
+
+// SetScan updates discoverability/connectability at runtime.
+func (h *Host) SetScan(discoverable, connectable bool) {
+	h.cfg.Discoverable, h.cfg.Connectable = discoverable, connectable
+	h.pushScanEnable()
+}
+
+// Connection returns the connection to addr, or nil.
+func (h *Host) Connection(addr bt.BDADDR) *Conn { return h.byAddr[addr] }
+
+// Connections returns all current connections.
+func (h *Host) Connections() []*Conn {
+	out := make([]*Conn, 0, len(h.conns))
+	for _, c := range h.conns {
+		out = append(out, c)
+	}
+	return out
+}
+
+// --- GAP operations ---
+
+// StartInquiry discovers nearby devices for units×1.28 s, delivering
+// deduplicated results to cb.
+func (h *Host) StartInquiry(units uint8, cb func([]hci.InquiryResponse)) {
+	if h.inquiryCB != nil {
+		cb(nil)
+		return
+	}
+	h.inquiryCB = cb
+	h.inquirySeen = make(map[bt.BDADDR]bool)
+	h.inquiryResults = nil
+	h.tr.SendCommand(&hci.Inquiry{LAP: hci.GIAC, InquiryLength: units})
+}
+
+// RequestRemoteName resolves a peer's user-friendly name via
+// HCI_Remote_Name_Request. Name requests need no authentication — another
+// pre-pairing information surface, like SDP.
+func (h *Host) RequestRemoteName(addr bt.BDADDR, cb func(string, error)) {
+	h.nameWaiters[addr] = append(h.nameWaiters[addr], cb)
+	if len(h.nameWaiters[addr]) == 1 {
+		h.tr.SendCommand(&hci.RemoteNameRequest{Addr: addr})
+	}
+}
+
+// Connect establishes an ACL connection to addr (paging the device). If a
+// connection already exists it is returned immediately — the behaviour the
+// page blocking attack turns against the victim.
+func (h *Host) Connect(addr bt.BDADDR, cb func(*Conn, error)) {
+	if c := h.byAddr[addr]; c != nil {
+		cb(c, nil)
+		return
+	}
+	h.connectWaiters[addr] = append(h.connectWaiters[addr], cb)
+	if h.inflightCreate[addr] {
+		return
+	}
+	h.inflightCreate[addr] = true
+	h.tr.SendCommand(&hci.CreateConnection{Addr: addr, AllowRoleSwitch: 1})
+}
+
+// Pair runs the user-visible "pair with device" flow: reuse an existing
+// connection if one exists (omitting the page — the vulnerability), else
+// connect, then authenticate. cb receives nil when the devices end up
+// bonded.
+func (h *Host) Pair(addr bt.BDADDR, cb func(error)) {
+	h.Connect(addr, func(c *Conn, err error) {
+		if err != nil {
+			cb(err)
+			return
+		}
+		h.Authenticate(c, cb)
+	})
+}
+
+// Authenticate runs LMP authentication (and pairing when no key is
+// stored) on an existing connection.
+func (h *Host) Authenticate(c *Conn, cb func(error)) {
+	if c.Authenticated {
+		cb(nil)
+		return
+	}
+	c.authWaiters = append(c.authWaiters, cb)
+	if c.pendingAuth {
+		return
+	}
+	c.pendingAuth = true
+	c.PairingInitiator = true
+	h.tr.SendCommand(&hci.AuthenticationRequested{Handle: c.Handle})
+}
+
+// Encrypt enables link encryption after authentication.
+func (h *Host) Encrypt(c *Conn, cb func(error)) {
+	if c.Encrypted {
+		cb(nil)
+		return
+	}
+	c.encWaiters = append(c.encWaiters, cb)
+	if len(c.encWaiters) == 1 {
+		h.tr.SendCommand(&hci.SetConnectionEncryption{Handle: c.Handle, Enable: true})
+	}
+}
+
+// Disconnect tears down the connection to addr.
+func (h *Host) Disconnect(addr bt.BDADDR) {
+	c := h.byAddr[addr]
+	if c == nil {
+		return
+	}
+	h.tr.SendCommand(&hci.Disconnect{Handle: c.Handle, Reason: hci.StatusRemoteUserTerminated})
+}
+
+// ConnectProfile performs the full profile connection flow the paper uses
+// to validate extracted keys (§VI-B1): connect, LMP-authenticate (pairing
+// if needed), encrypt, locate the service over SDP, and open it.
+func (h *Host) ConnectProfile(addr bt.BDADDR, service ServiceUUID, cb func(error)) {
+	h.Connect(addr, func(c *Conn, err error) {
+		if err != nil {
+			cb(err)
+			return
+		}
+		h.Authenticate(c, func(err error) {
+			if err != nil {
+				cb(err)
+				return
+			}
+			h.Encrypt(c, func(err error) {
+				if err != nil {
+					cb(err)
+					return
+				}
+				h.sdpQuery(c, service, func(has bool, err error) {
+					if err != nil {
+						cb(err)
+						return
+					}
+					if !has {
+						cb(fmt.Errorf("%w: %s", ErrServiceNotFound, service))
+						return
+					}
+					h.profileOpen(c, service, cb)
+				})
+			})
+		})
+	})
+}
+
+// --- hci.Endpoint ---
+
+// HandlePacket processes controller-to-host traffic, honouring the PLOC
+// hold: once the hold triggers, this event and all subsequent ones are
+// buffered for the hold duration, exactly like the blocked btu_hcif
+// callback thread in the paper's PoC (Fig. 13).
+func (h *Host) HandlePacket(p hci.Packet) {
+	if h.holding {
+		h.holdQ = append(h.holdQ, p)
+		return
+	}
+	if h.hooks.PLOCHold > 0 && !h.holdUsed && h.isOutgoingConnComplete(p) {
+		h.holdUsed = true
+		h.holding = true
+		h.holdQ = append(h.holdQ, p)
+		h.sched.Schedule(h.hooks.PLOCHold, h.releaseHold)
+		return
+	}
+	h.process(p)
+}
+
+func (h *Host) isOutgoingConnComplete(p hci.Packet) bool {
+	if code, ok := p.EventCode(); !ok || code != hci.EvConnectionComplete {
+		return false
+	}
+	evt, err := hci.ParseEvent(p)
+	if err != nil {
+		return false
+	}
+	cc := evt.(*hci.ConnectionComplete)
+	return cc.Status == hci.StatusSuccess && h.inflightCreate[cc.Addr]
+}
+
+func (h *Host) releaseHold() {
+	h.holding = false
+	q := h.holdQ
+	h.holdQ = nil
+	for _, p := range q {
+		if h.holding {
+			// A nested hold cannot re-trigger (holdUsed), but keep order
+			// safe regardless.
+			h.holdQ = append(h.holdQ, p)
+			continue
+		}
+		h.process(p)
+	}
+}
+
+func (h *Host) process(p hci.Packet) {
+	switch p.PT {
+	case hci.PTEvent:
+		evt, err := hci.ParseEvent(p)
+		if err != nil {
+			return
+		}
+		h.handleEvent(evt)
+	case hci.PTACLData:
+		handle, data, ok := hci.ParseACL(p)
+		if !ok {
+			return
+		}
+		if c := h.conns[handle]; c != nil {
+			h.handleACL(c, data)
+		}
+	}
+}
+
+func (h *Host) handleEvent(evt hci.Event) {
+	if h.handleOOBEvents(evt) {
+		return
+	}
+	switch e := evt.(type) {
+	case *hci.InquiryResult:
+		if h.inquiryCB == nil {
+			return
+		}
+		for _, res := range e.Responses {
+			if !h.inquirySeen[res.Addr] {
+				h.inquirySeen[res.Addr] = true
+				h.inquiryResults = append(h.inquiryResults, res)
+			}
+		}
+
+	case *hci.InquiryComplete:
+		if cb := h.inquiryCB; cb != nil {
+			h.inquiryCB = nil
+			cb(h.inquiryResults)
+		}
+
+	case *hci.RemoteNameRequestComplete:
+		cbs := h.nameWaiters[e.Addr]
+		delete(h.nameWaiters, e.Addr)
+		var err error
+		if e.Status != hci.StatusSuccess {
+			err = &StatusError{Op: "remote name", Status: e.Status}
+		}
+		for _, cb := range cbs {
+			cb(e.Name, err)
+		}
+
+	case *hci.ConnectionRequest:
+		if h.cfg.AcceptIncoming {
+			h.tr.SendCommand(&hci.AcceptConnectionRequest{Addr: e.Addr, Role: 1})
+		} else {
+			h.tr.SendCommand(&hci.RejectConnectionRequest{Addr: e.Addr, Reason: hci.StatusConnTerminatedLocally})
+		}
+
+	case *hci.ConnectionComplete:
+		h.onConnectionComplete(e)
+
+	case *hci.DisconnectionComplete:
+		h.onDisconnection(e)
+
+	case *hci.AuthenticationComplete:
+		h.onAuthComplete(e)
+
+	case *hci.LinkKeyRequest:
+		if h.hooks.IgnoreLinkKeyRequest {
+			// Fig. 9 patch: the event is dropped; the peer's LMP response
+			// timer will eventually detach the link.
+			return
+		}
+		if b := h.bonds.Get(e.Addr); b != nil {
+			h.tr.SendCommand(&hci.LinkKeyRequestReply{Addr: e.Addr, Key: b.Key})
+		} else {
+			h.tr.SendCommand(&hci.LinkKeyRequestNegativeReply{Addr: e.Addr})
+		}
+
+	case *hci.LinkKeyNotification:
+		bond := Bond{Addr: e.Addr, Key: e.Key, KeyType: e.KeyType}
+		if old := h.bonds.Get(e.Addr); old != nil {
+			bond.Name = old.Name
+			bond.Services = old.Services
+		}
+		h.bonds.Put(bond)
+
+	case *hci.PINCodeRequest:
+		if h.cfg.PINCode != "" {
+			h.tr.SendCommand(&hci.PINCodeRequestReply{Addr: e.Addr, PIN: []byte(h.cfg.PINCode)})
+		} else {
+			h.tr.SendCommand(&hci.PINCodeRequestNegativeReply{Addr: e.Addr})
+		}
+
+	case *hci.IOCapabilityRequest:
+		h.tr.SendCommand(&hci.IOCapabilityRequestReply{
+			Addr:             e.Addr,
+			Capability:       h.cfg.IOCap,
+			OOBDataPresent:   h.hasPeerOOB(e.Addr),
+			AuthRequirements: h.cfg.AuthReq,
+		})
+
+	case *hci.IOCapabilityResponse:
+		if c := h.byAddr[e.Addr]; c != nil {
+			c.PeerIOCap = e.Capability
+			c.HavePeerIOCap = true
+		}
+
+	case *hci.UserConfirmationRequest:
+		h.onUserConfirmation(e)
+
+	case *hci.UserPasskeyNotification:
+		h.ui.DisplayPasskey(e.Addr, e.Passkey)
+
+	case *hci.UserPasskeyRequest:
+		h.ui.EnterPasskey(e.Addr, func(passkey uint32, ok bool) {
+			if ok {
+				h.tr.SendCommand(&hci.UserPasskeyRequestReply{Addr: e.Addr, Passkey: passkey})
+			} else {
+				h.tr.SendCommand(&hci.UserPasskeyRequestNegativeReply{Addr: e.Addr})
+			}
+		})
+
+	case *hci.SimplePairingComplete:
+		h.PairingEvents = append(h.PairingEvents, *e)
+
+	case *hci.EncryptionChange:
+		if c := h.conns[e.Handle]; c != nil {
+			waiters := c.encWaiters
+			c.encWaiters = nil
+			var err error
+			if e.Status != hci.StatusSuccess {
+				err = &StatusError{Op: "encryption", Status: e.Status}
+			} else {
+				c.Encrypted = e.Enabled
+			}
+			for _, cb := range waiters {
+				cb(err)
+			}
+		}
+
+	case *hci.CommandStatus:
+		if e.Status != hci.StatusSuccess && e.CommandOpcode == hci.OpCreateConnection {
+			// The controller refused to page (e.g. duplicate connection);
+			// fail every pending connect that has no established link.
+			for addr, cbs := range h.connectWaiters {
+				if h.byAddr[addr] == nil && h.inflightCreate[addr] {
+					delete(h.connectWaiters, addr)
+					delete(h.inflightCreate, addr)
+					for _, cb := range cbs {
+						cb(nil, &StatusError{Op: "create connection", Status: e.Status})
+					}
+				}
+			}
+		}
+	}
+}
+
+func (h *Host) onConnectionComplete(e *hci.ConnectionComplete) {
+	initiator := h.inflightCreate[e.Addr]
+	delete(h.inflightCreate, e.Addr)
+	waiters := h.connectWaiters[e.Addr]
+	delete(h.connectWaiters, e.Addr)
+
+	if e.Status != hci.StatusSuccess {
+		err := &StatusError{Op: "connect", Status: e.Status}
+		for _, cb := range waiters {
+			cb(nil, err)
+		}
+		return
+	}
+	c := &Conn{
+		Handle:      e.Handle,
+		Addr:        e.Addr,
+		Initiator:   initiator,
+		sdpWaiters:  make(map[ServiceUUID][]func(bool, error)),
+		openWaiters: make(map[ServiceUUID][]func(error)),
+		pullWaiters: make(map[ServiceUUID][]func([]byte, error)),
+	}
+	h.conns[e.Handle] = c
+	h.byAddr[e.Addr] = c
+	for _, cb := range waiters {
+		cb(c, nil)
+	}
+	if !initiator && h.cfg.AuthenticateBondedIncoming && h.bonds.Get(e.Addr) != nil {
+		// Accessory behaviour: authenticate a returning bonded peer
+		// immediately (step 3 of the link key extraction attack).
+		h.Authenticate(c, func(error) {})
+	}
+}
+
+func (h *Host) onDisconnection(e *hci.DisconnectionComplete) {
+	c := h.conns[e.Handle]
+	if c == nil {
+		return
+	}
+	delete(h.conns, e.Handle)
+	if h.byAddr[c.Addr] == c {
+		delete(h.byAddr, c.Addr)
+	}
+	h.Disconnects = append(h.Disconnects, DisconnectRecord{At: h.sched.Now(), Addr: c.Addr, Reason: e.Reason})
+	err := fmt.Errorf("%w: %s", ErrDisconnected, e.Reason)
+	for _, cb := range c.authWaiters {
+		cb(err)
+	}
+	for _, cb := range c.encWaiters {
+		cb(err)
+	}
+	for u, cbs := range c.sdpWaiters {
+		delete(c.sdpWaiters, u)
+		for _, cb := range cbs {
+			cb(false, err)
+		}
+	}
+	for u, cbs := range c.openWaiters {
+		delete(c.openWaiters, u)
+		for _, cb := range cbs {
+			cb(err)
+		}
+	}
+	for u, cbs := range c.pullWaiters {
+		delete(c.pullWaiters, u)
+		for _, cb := range cbs {
+			cb(nil, err)
+		}
+	}
+	c.authWaiters, c.encWaiters = nil, nil
+}
+
+func (h *Host) onAuthComplete(e *hci.AuthenticationComplete) {
+	c := h.conns[e.Handle]
+	if c == nil {
+		return
+	}
+	c.pendingAuth = false
+	waiters := c.authWaiters
+	c.authWaiters = nil
+	var err error
+	switch e.Status {
+	case hci.StatusSuccess:
+		c.Authenticated = true
+	case hci.StatusAuthenticationFailure:
+		// A failed challenge invalidates the stored key (the behaviour the
+		// extraction attack must avoid triggering on the victim).
+		h.bonds.Delete(c.Addr)
+		err = &StatusError{Op: "authentication", Status: e.Status}
+	default:
+		err = &StatusError{Op: "authentication", Status: e.Status}
+	}
+	for _, cb := range waiters {
+		cb(err)
+	}
+}
+
+// onUserConfirmation implements the association policy of Fig. 7 plus the
+// implementation-specific behaviours the paper describes in §V-B2.
+func (h *Host) onUserConfirmation(e *hci.UserConfirmationRequest) {
+	respond := func(accept bool) {
+		if accept {
+			h.tr.SendCommand(&hci.UserConfirmationRequestReply{Addr: e.Addr})
+		} else {
+			h.tr.SendCommand(&hci.UserConfirmationRequestNegativeReply{Addr: e.Addr})
+		}
+	}
+	c := h.byAddr[e.Addr]
+	if c == nil || !c.HavePeerIOCap {
+		respond(false)
+		return
+	}
+	var mitm bt.Stage1Mapping
+	if c.PairingInitiator {
+		mitm = bt.Stage1MappingFor(h.cfg.IOCap, c.PeerIOCap, h.cfg.Version)
+	} else {
+		mitm = bt.Stage1MappingFor(c.PeerIOCap, h.cfg.IOCap, h.cfg.Version)
+	}
+	if h.cfg.RequireMITM && !mitm.Authenticated {
+		// Secure-Connections-Only policy: refuse any unauthenticated
+		// association model.
+		h.RoleCheckAlerts = append(h.RoleCheckAlerts, e.Addr)
+		respond(false)
+		return
+	}
+	if h.cfg.EnforceRoleCheck && c.PairingInitiator && !c.Initiator && c.PeerIOCap == bt.NoInputNoOutput {
+		// §VII-B mitigation: the page blocking signature — we initiate a
+		// pairing over a peer-initiated connection whose initiator claims
+		// no IO capability. Drop the pairing.
+		h.RoleCheckAlerts = append(h.RoleCheckAlerts, e.Addr)
+		respond(false)
+		return
+	}
+	var mapping bt.Stage1Mapping
+	if c.PairingInitiator {
+		mapping = bt.Stage1MappingFor(h.cfg.IOCap, c.PeerIOCap, h.cfg.Version)
+	} else {
+		mapping = bt.Stage1MappingFor(c.PeerIOCap, h.cfg.IOCap, h.cfg.Version)
+	}
+	ownConfirm := mapping.ConfirmResponder
+	ownPopup := mapping.PairPopupResponder
+	if c.PairingInitiator {
+		ownConfirm = mapping.ConfirmInitiator
+		ownPopup = mapping.PairPopupInitiator
+	}
+	switch {
+	case h.cfg.IOCap == bt.NoInputNoOutput:
+		// No UI to ask; automatic confirmation.
+		respond(true)
+	case ownConfirm:
+		h.ui.ConfirmPairing(e.Addr, e.NumericValue, KindNumericComparison, respond)
+	case ownPopup:
+		// v5.0+ mandated bare consent dialog (Fig. 7b).
+		h.ui.ConfirmPairing(e.Addr, 0, KindJustWorksConsent, respond)
+	case mapping.Model == bt.JustWorks && !c.PairingInitiator &&
+		h.cfg.ResponderJWConsent && h.cfg.IOCap == bt.DisplayYesNo && !h.cfg.Version.AtLeast5():
+		// Pre-5.0 implementation-specific consent when acting as
+		// responder, to prevent fully silent pairing.
+		h.ui.ConfirmPairing(e.Addr, 0, KindJustWorksConsent, respond)
+	default:
+		// Pre-5.0 pairing initiators auto-confirm Just Works silently.
+		respond(true)
+	}
+}

@@ -1,0 +1,623 @@
+package host
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/controller"
+	"repro/internal/hci"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// hostRig wires two full host+controller stacks over a shared medium.
+type hostRig struct {
+	s      *sim.Scheduler
+	ha, hb *Host
+	ua, ub *SimUser
+}
+
+var (
+	rigAddrA = bt.MustBDADDR("aa:aa:aa:aa:aa:01")
+	rigAddrB = bt.MustBDADDR("bb:bb:bb:bb:bb:02")
+)
+
+func newHostRig(seed int64, cfgA, cfgB Config, hooksA, hooksB Hooks) *hostRig {
+	s := sim.NewScheduler(seed)
+	med := radio.NewMedium(s, radio.DefaultConfig())
+
+	build := func(addr bt.BDADDR, cfg Config, hooks Hooks) (*Host, *SimUser) {
+		tr := hci.NewTransport(s, 100*time.Microsecond)
+		controller.New(s, med, tr, controller.Config{Addr: addr, COD: bt.CODMobilePhone, Name: cfg.Name})
+		if cfg.Name == "" {
+			cfg.Name = addr.String()
+		}
+		cfg.Discoverable, cfg.Connectable = true, true
+		if !cfg.AcceptIncoming {
+			cfg.AcceptIncoming = true
+		}
+		h := New(s, tr, cfg, hooks)
+		h.Start()
+		u := NewSimUser(s)
+		h.SetUI(u)
+		return h, u
+	}
+
+	r := &hostRig{s: s}
+	r.ha, r.ua = build(rigAddrA, cfgA, hooksA)
+	r.hb, r.ub = build(rigAddrB, cfgB, hooksB)
+	s.Run(0)
+	return r
+}
+
+func dyn(v bt.Version) Config {
+	return Config{Version: v, IOCap: bt.DisplayYesNo, ResponderJWConsent: true}
+}
+
+func nino() Config {
+	return Config{Version: bt.V4_2, IOCap: bt.NoInputNoOutput}
+}
+
+func TestPairStoresSymmetricBonds(t *testing.T) {
+	r := newHostRig(1, dyn(bt.V5_0), nino(), Hooks{}, Hooks{})
+	r.ua.ExpectPairing(rigAddrB)
+	var pairErr error
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) { pairErr = err; done = true })
+	r.s.Run(0)
+	if !done || pairErr != nil {
+		t.Fatalf("pair: done=%v err=%v", done, pairErr)
+	}
+	ba := r.ha.Bonds().Get(rigAddrB)
+	bb := r.hb.Bonds().Get(rigAddrA)
+	if ba == nil || bb == nil || ba.Key != bb.Key {
+		t.Fatalf("bonds: %+v %+v", ba, bb)
+	}
+}
+
+func TestNumericComparisonBothConfirm(t *testing.T) {
+	r := newHostRig(2, dyn(bt.V5_0), dyn(bt.V5_0), Hooks{}, Hooks{})
+	r.ua.ExpectPairing(rigAddrB)
+	r.ub.ExpectPairing(rigAddrA)
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) {
+		if err != nil {
+			t.Errorf("pair: %v", err)
+		}
+		done = true
+	})
+	r.s.Run(0)
+	if !done {
+		t.Fatal("pairing never completed")
+	}
+	// Both DisplayYesNo users saw a numeric dialog with the same value.
+	pa, pb := r.ua.Prompts(), r.ub.Prompts()
+	if len(pa) != 1 || len(pb) != 1 {
+		t.Fatalf("prompts: %d %d", len(pa), len(pb))
+	}
+	if pa[0].Kind != KindNumericComparison || pb[0].Kind != KindNumericComparison {
+		t.Fatalf("kinds: %v %v", pa[0].Kind, pb[0].Kind)
+	}
+	if pa[0].Value != pb[0].Value {
+		t.Fatalf("numeric values differ: %d vs %d", pa[0].Value, pb[0].Value)
+	}
+	if pa[0].Value >= 1_000_000 {
+		t.Fatalf("value must be six digits: %d", pa[0].Value)
+	}
+}
+
+func TestNumericComparisonRejectionFailsPairing(t *testing.T) {
+	r := newHostRig(3, dyn(bt.V5_0), dyn(bt.V5_0), Hooks{}, Hooks{})
+	r.ua.ExpectPairing(rigAddrB)
+	// B's user does not expect any pairing and rejects the dialog.
+	var pairErr error
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) { pairErr = err; done = true })
+	r.s.Run(0)
+	if !done {
+		t.Fatal("pairing never resolved")
+	}
+	if pairErr == nil {
+		t.Fatal("rejected pairing reported success")
+	}
+	if r.ha.Bonds().Get(rigAddrB) != nil {
+		t.Fatal("rejected pairing left a bond")
+	}
+}
+
+func TestPre50InitiatorSilentJustWorks(t *testing.T) {
+	// v4.2 initiator against NoInputNoOutput: no dialog at all.
+	r := newHostRig(4, dyn(bt.V4_2), nino(), Hooks{}, Hooks{})
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) {
+		if err != nil {
+			t.Errorf("pair: %v", err)
+		}
+		done = true
+	})
+	r.s.Run(0)
+	if !done {
+		t.Fatal("pairing never completed")
+	}
+	if len(r.ua.Prompts()) != 0 {
+		t.Fatalf("4.2 initiator must pair silently, saw %d prompts", len(r.ua.Prompts()))
+	}
+}
+
+func TestV50InitiatorConsentDialog(t *testing.T) {
+	r := newHostRig(5, dyn(bt.V5_0), nino(), Hooks{}, Hooks{})
+	r.ua.ExpectPairing(rigAddrB)
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) { done = err == nil })
+	r.s.Run(0)
+	if !done {
+		t.Fatal("pairing failed")
+	}
+	prompts := r.ua.Prompts()
+	if len(prompts) != 1 || prompts[0].Kind != KindJustWorksConsent {
+		t.Fatalf("want one bare consent dialog, got %+v", prompts)
+	}
+}
+
+func TestResponderJWConsentPre50(t *testing.T) {
+	// NINO initiator pairs against a 4.2 DisplayYesNo responder with the
+	// implementation-specific consent enabled: the responder's user is
+	// asked.
+	r := newHostRig(6, nino(), dyn(bt.V4_2), Hooks{}, Hooks{})
+	r.ub.AcceptUnexpected = true
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) { done = err == nil })
+	r.s.Run(0)
+	if !done {
+		t.Fatal("pairing failed")
+	}
+	prompts := r.ub.Prompts()
+	if len(prompts) != 1 || prompts[0].Kind != KindJustWorksConsent {
+		t.Fatalf("responder consent missing: %+v", prompts)
+	}
+}
+
+func TestUnexpectedPairingRejected(t *testing.T) {
+	// The victim-user model: dialogs with no pairing intent are rejected.
+	r := newHostRig(7, nino(), dyn(bt.V5_0), Hooks{}, Hooks{})
+	var pairErr error
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) { pairErr = err; done = true })
+	r.s.Run(0)
+	if !done || pairErr == nil {
+		t.Fatalf("unexpected pairing should fail: done=%v err=%v", done, pairErr)
+	}
+	prompts := r.ub.Prompts()
+	if len(prompts) != 1 || prompts[0].Expected || prompts[0].Accepted {
+		t.Fatalf("prompt bookkeeping: %+v", prompts)
+	}
+}
+
+func TestBondedReauthUsesStoredKey(t *testing.T) {
+	r := newHostRig(8, dyn(bt.V4_2), nino(), Hooks{}, Hooks{})
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) { done = err == nil })
+	r.s.Run(0)
+	if !done {
+		t.Fatal("initial pairing failed")
+	}
+	r.ha.Disconnect(rigAddrB)
+	r.s.Run(0)
+
+	// Corrupt B's stored key: re-auth must now fail with authentication
+	// failure and delete A's bond (spec behaviour the paper leans on).
+	bad := r.hb.Bonds().Get(rigAddrA)
+	bad.Key[0] ^= 0xFF
+	r.hb.Bonds().Put(*bad)
+
+	var authErr error
+	done = false
+	r.ha.Pair(rigAddrB, func(err error) { authErr = err; done = true })
+	r.s.Run(0)
+	if !done {
+		t.Fatal("re-auth never resolved")
+	}
+	var se *StatusError
+	if !errors.As(authErr, &se) || se.Status != hci.StatusAuthenticationFailure {
+		t.Fatalf("want authentication failure, got %v", authErr)
+	}
+	if r.ha.Bonds().Get(rigAddrB) != nil {
+		t.Fatal("failed authentication must invalidate the stored key")
+	}
+}
+
+func TestIgnoreLinkKeyRequestHookStallsAuth(t *testing.T) {
+	r := newHostRig(9, dyn(bt.V4_2), nino(), Hooks{}, Hooks{})
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) { done = err == nil })
+	r.s.Run(0)
+	if !done {
+		t.Fatal("initial pairing failed")
+	}
+	r.ha.Disconnect(rigAddrB)
+	r.s.Run(0)
+
+	// B now ignores link key requests (the Fig. 9 patch on the claimant).
+	r.hb.SetHooks(Hooks{IgnoreLinkKeyRequest: true})
+
+	var authErr error
+	done = false
+	r.ha.Pair(rigAddrB, func(err error) { authErr = err; done = true })
+	r.s.RunFor(40 * time.Second)
+	if !done {
+		t.Fatal("stalled auth never resolved")
+	}
+	if !errors.Is(authErr, ErrDisconnected) {
+		t.Fatalf("want disconnect error, got %v", authErr)
+	}
+	// The disconnect reason must be the LMP response timeout, and the
+	// bond must survive on both sides.
+	if len(r.ha.Disconnects) == 0 || r.ha.Disconnects[len(r.ha.Disconnects)-1].Reason != hci.StatusLMPResponseTimeout {
+		t.Fatalf("disconnect log: %+v", r.ha.Disconnects)
+	}
+	if r.ha.Bonds().Get(rigAddrB) == nil || r.hb.Bonds().Get(rigAddrA) == nil {
+		t.Fatal("bonds must survive the timeout")
+	}
+}
+
+func TestPLOCHoldPostponesEvents(t *testing.T) {
+	hold := 5 * time.Second
+	r := newHostRig(10, dyn(bt.V4_2), nino(), Hooks{PLOCHold: hold}, Hooks{})
+	var conn *Conn
+	start := r.s.Now()
+	var connectedAt time.Duration
+	r.ha.Connect(rigAddrB, func(c *Conn, err error) {
+		if err != nil {
+			t.Errorf("connect: %v", err)
+		}
+		conn = c
+		connectedAt = r.s.Now()
+	})
+	r.s.RunFor(20 * time.Second)
+	if conn == nil {
+		t.Fatal("connect callback never fired")
+	}
+	if connectedAt-start < hold {
+		t.Fatalf("PLOC released early: %v", connectedAt-start)
+	}
+	// The link exists at the peer well before the hold releases.
+	if r.hb.Connection(rigAddrA) == nil {
+		t.Fatal("peer lost the connection")
+	}
+}
+
+func TestInquiryDedupsSpoofedResponses(t *testing.T) {
+	// Two radios with the same BDADDR answer one inquiry; the host must
+	// report a single device.
+	s := sim.NewScheduler(11)
+	med := radio.NewMedium(s, radio.DefaultConfig())
+	trM := hci.NewTransport(s, 100*time.Microsecond)
+	controller.New(s, med, trM, controller.Config{Addr: rigAddrA})
+	m := New(s, trM, Config{Name: "M", Version: bt.V5_0, IOCap: bt.DisplayYesNo, AcceptIncoming: true, Discoverable: true, Connectable: true}, Hooks{})
+	m.Start()
+
+	for i := 0; i < 2; i++ {
+		tr := hci.NewTransport(s, 100*time.Microsecond)
+		controller.New(s, med, tr, controller.Config{Addr: rigAddrB, COD: bt.CODHandsFree})
+		h := New(s, tr, Config{Version: bt.V4_2, IOCap: bt.NoInputNoOutput, AcceptIncoming: true, Discoverable: true, Connectable: true}, Hooks{})
+		h.Start()
+	}
+	s.Run(0)
+
+	var got []hci.InquiryResponse
+	m.StartInquiry(2, func(rs []hci.InquiryResponse) { got = rs })
+	s.Run(0)
+	if len(got) != 1 {
+		t.Fatalf("want 1 deduplicated device, got %d", len(got))
+	}
+	if got[0].Addr != rigAddrB {
+		t.Fatalf("addr: %v", got[0].Addr)
+	}
+}
+
+func TestConnectToAbsentPeerFails(t *testing.T) {
+	r := newHostRig(12, dyn(bt.V5_0), nino(), Hooks{}, Hooks{})
+	var gotErr error
+	done := false
+	r.ha.Connect(bt.MustBDADDR("77:77:77:77:77:77"), func(_ *Conn, err error) { gotErr = err; done = true })
+	r.s.Run(0)
+	if !done {
+		t.Fatal("connect never resolved")
+	}
+	var se *StatusError
+	if !errors.As(gotErr, &se) || se.Status != hci.StatusPageTimeout {
+		t.Fatalf("want page timeout, got %v", gotErr)
+	}
+}
+
+func TestConnectReusesExistingLink(t *testing.T) {
+	r := newHostRig(13, dyn(bt.V5_0), nino(), Hooks{}, Hooks{})
+	var first *Conn
+	r.ha.Connect(rigAddrB, func(c *Conn, _ error) { first = c })
+	r.s.Run(0)
+	if first == nil {
+		t.Fatal("no connection")
+	}
+	var second *Conn
+	r.ha.Connect(rigAddrB, func(c *Conn, _ error) { second = c })
+	if second != first {
+		t.Fatal("existing connection must be reused synchronously")
+	}
+}
+
+func TestProfileConnectTimesOutWhenPeerDies(t *testing.T) {
+	r := newHostRig(14, dyn(bt.V4_2), nino(), Hooks{}, Hooks{})
+	r.hb.RegisterService(UUIDNAP)
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) { done = err == nil })
+	r.s.Run(0)
+	if !done {
+		t.Fatal("pairing failed")
+	}
+	// Tear the peer's link down mid-flight and try an SDP exchange.
+	r.hb.Disconnect(rigAddrA)
+	r.s.Run(0)
+	var profErr error
+	resolved := false
+	r.ha.ConnectProfile(rigAddrB, UUIDNAP, func(err error) { profErr = err; resolved = true })
+	r.s.Run(0)
+	if !resolved {
+		t.Fatal("profile connect never resolved")
+	}
+	if profErr != nil {
+		// Re-connection should actually succeed here (peer is alive), so
+		// a nil error is also fine; the point is resolution either way.
+		t.Logf("profile connect resolved with: %v", profErr)
+	}
+}
+
+func TestServiceRegistration(t *testing.T) {
+	r := newHostRig(15, dyn(bt.V4_2), nino(), Hooks{}, Hooks{})
+	done := false
+	var profErr error
+	r.ha.ConnectProfile(rigAddrB, UUIDNAP, func(err error) { profErr = err; done = true })
+	r.s.Run(0)
+	if !done {
+		t.Fatal("never resolved")
+	}
+	if !errors.Is(profErr, ErrServiceNotFound) {
+		t.Fatalf("unregistered service should be rejected: %v", profErr)
+	}
+	r.ha.Disconnect(rigAddrB)
+	r.s.Run(0)
+	r.hb.RegisterService(UUIDNAP)
+	done = false
+	r.ha.ConnectProfile(rigAddrB, UUIDNAP, func(err error) { profErr = err; done = true })
+	r.s.Run(0)
+	if !done || profErr != nil {
+		t.Fatalf("registered service should connect: done=%v err=%v", done, profErr)
+	}
+	// Both ends authenticated and encrypted along the way.
+	if c := r.ha.Connection(rigAddrB); c == nil || !c.Authenticated || !c.Encrypted {
+		t.Fatalf("profile link state: %+v", c)
+	}
+}
+
+func TestDisconnectFailsPendingWaiters(t *testing.T) {
+	r := newHostRig(16, dyn(bt.V5_0), nino(), Hooks{IgnoreLinkKeyRequest: false}, Hooks{})
+	var conn *Conn
+	r.ha.Connect(rigAddrB, func(c *Conn, _ error) { conn = c })
+	r.s.Run(0)
+	if conn == nil {
+		t.Fatal("no connection")
+	}
+	// Queue an auth waiter, then kill the link before it resolves: the
+	// B side never answers because its host hook drops key requests.
+	r.hb.SetHooks(Hooks{IgnoreLinkKeyRequest: true})
+	// B has no bond anyway; instead stall by disconnecting immediately.
+	var authErr error
+	resolved := false
+	r.ha.Authenticate(conn, func(err error) { authErr = err; resolved = true })
+	r.ha.Disconnect(rigAddrB)
+	r.s.RunFor(5 * time.Second)
+	if !resolved {
+		t.Fatal("auth waiter leaked on disconnect")
+	}
+	if authErr == nil {
+		t.Fatal("auth on a dead link must error")
+	}
+}
+
+func TestSimUserReactionDelay(t *testing.T) {
+	s := sim.NewScheduler(17)
+	u := NewSimUser(s)
+	u.ExpectPairing(rigAddrB)
+	var respondedAt time.Duration
+	accepted := false
+	u.ConfirmPairing(rigAddrB, 123456, KindNumericComparison, func(a bool) {
+		accepted = a
+		respondedAt = s.Now()
+	})
+	s.Run(0)
+	if !accepted {
+		t.Fatal("expected pairing must be accepted")
+	}
+	if respondedAt < u.ReactionMin || respondedAt > u.ReactionMax {
+		t.Fatalf("reaction time %v outside [%v,%v]", respondedAt, u.ReactionMin, u.ReactionMax)
+	}
+	u.ClearExpectation(rigAddrB)
+	u.ConfirmPairing(rigAddrB, 1, KindJustWorksConsent, func(a bool) { accepted = a })
+	s.Run(0)
+	if accepted {
+		t.Fatal("cleared expectation must reject")
+	}
+}
+
+func TestAutoUI(t *testing.T) {
+	ok := false
+	AutoUI{}.ConfirmPairing(rigAddrA, 0, KindJustWorksConsent, func(a bool) { ok = a })
+	if !ok {
+		t.Fatal("AutoUI must accept")
+	}
+	AutoUI{Reject: true}.ConfirmPairing(rigAddrA, 0, KindJustWorksConsent, func(a bool) { ok = a })
+	if ok {
+		t.Fatal("rejecting AutoUI must reject")
+	}
+}
+
+func TestRequireMITMRejectsJustWorks(t *testing.T) {
+	cfg := dyn(bt.V5_0)
+	cfg.RequireMITM = true
+	r := newHostRig(60, cfg, nino(), Hooks{}, Hooks{})
+	r.ua.ExpectPairing(rigAddrB)
+	var pairErr error
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) { pairErr = err; done = true })
+	r.s.RunFor(30 * time.Second)
+	if !done {
+		t.Fatal("pairing never resolved")
+	}
+	if pairErr == nil {
+		t.Fatal("SCO-mode host must reject Just Works pairing — even legitimate ones")
+	}
+	if len(r.ha.RoleCheckAlerts) == 0 {
+		t.Fatal("rejection should be logged")
+	}
+}
+
+func TestRequireMITMAllowsNumericComparison(t *testing.T) {
+	cfg := dyn(bt.V5_0)
+	cfg.RequireMITM = true
+	r := newHostRig(61, cfg, dyn(bt.V5_0), Hooks{}, Hooks{})
+	r.ua.ExpectPairing(rigAddrB)
+	r.ub.ExpectPairing(rigAddrA)
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) { done = err == nil })
+	r.s.RunFor(30 * time.Second)
+	if !done {
+		t.Fatal("authenticated pairing must pass the MITM policy")
+	}
+	if r.ha.Bonds().Get(rigAddrB).KeyType != bt.KeyTypeAuthenticatedP256 {
+		t.Fatal("expected an authenticated key")
+	}
+}
+
+func TestHostAccessors(t *testing.T) {
+	r := newHostRig(62, dyn(bt.V5_0), nino(), Hooks{IgnoreLinkKeyRequest: true}, Hooks{})
+	if r.ha.Config().IOCap != bt.DisplayYesNo {
+		t.Error("Config")
+	}
+	if !r.ha.Hooks().IgnoreLinkKeyRequest {
+		t.Error("Hooks")
+	}
+	if r.ha.UIModel() != r.ua {
+		t.Error("UIModel")
+	}
+	if len(r.ha.Connections()) != 0 {
+		t.Error("Connections should start empty")
+	}
+	se := &StatusError{Op: "x", Status: hci.StatusPageTimeout}
+	if se.Error() == "" {
+		t.Error("StatusError.Error")
+	}
+	if KindNumericComparison.String() == "" || KindJustWorksConsent.String() == "" {
+		t.Error("ConfirmKind strings")
+	}
+
+	// SetScan propagates to the controller: turning page scan off makes
+	// the device unreachable.
+	r.hb.SetScan(false, false)
+	r.s.RunFor(time.Second)
+	var gotErr error
+	done := false
+	r.ha.Connect(rigAddrB, func(_ *Conn, err error) { gotErr = err; done = true })
+	r.s.RunFor(10 * time.Second)
+	if !done || gotErr == nil {
+		t.Fatalf("non-connectable peer should page-timeout: done=%v err=%v", done, gotErr)
+	}
+}
+
+func TestSendDataAndPing(t *testing.T) {
+	r := newHostRig(63, dyn(bt.V4_2), nino(), Hooks{}, Hooks{})
+	var conn *Conn
+	r.ha.Connect(rigAddrB, func(c *Conn, _ error) { conn = c })
+	r.s.RunFor(2 * time.Second)
+	if conn == nil {
+		t.Fatal("no connection")
+	}
+	r.ha.SendPing(conn)
+	r.ha.SendData(conn, []byte("hello"))
+	r.s.RunFor(time.Second)
+	if len(r.hb.ReceivedData) != 1 || string(r.hb.ReceivedData[0]) != "hello" {
+		t.Fatalf("received: %q", r.hb.ReceivedData)
+	}
+}
+
+func TestPullDataRequiresEncryption(t *testing.T) {
+	r := newHostRig(64, dyn(bt.V4_2), nino(), Hooks{}, Hooks{})
+	r.hb.RegisterService(UUIDPBAP)
+	r.hb.ProfileData[UUIDPBAP] = []byte("secret phonebook")
+
+	var conn *Conn
+	r.ha.Connect(rigAddrB, func(c *Conn, _ error) { conn = c })
+	r.s.RunFor(2 * time.Second)
+
+	// Unencrypted pull is refused.
+	var pullErr error
+	done := false
+	r.ha.PullData(conn, UUIDPBAP, func(_ []byte, err error) { pullErr = err; done = true })
+	r.s.RunFor(2 * time.Second)
+	if !done || pullErr == nil {
+		t.Fatalf("unencrypted pull must fail: done=%v err=%v", done, pullErr)
+	}
+
+	// After authentication + encryption it succeeds.
+	r.ha.Authenticate(conn, func(err error) {
+		if err != nil {
+			t.Errorf("auth: %v", err)
+			return
+		}
+		r.ha.Encrypt(conn, func(err error) {
+			if err != nil {
+				t.Errorf("encrypt: %v", err)
+			}
+		})
+	})
+	r.s.RunFor(10 * time.Second)
+	var got []byte
+	done = false
+	r.ha.PullData(conn, UUIDPBAP, func(data []byte, err error) {
+		if err != nil {
+			t.Errorf("pull: %v", err)
+		}
+		got = data
+		done = true
+	})
+	r.s.RunFor(2 * time.Second)
+	if !done || string(got) != "secret phonebook" {
+		t.Fatalf("encrypted pull: done=%v got=%q", done, got)
+	}
+}
+
+func TestRequestRemoteName(t *testing.T) {
+	cfgB := nino()
+	cfgB.Name = "CarKit 9000"
+	r := newHostRig(65, dyn(bt.V5_0), cfgB, Hooks{}, Hooks{})
+	// The simulated controller resolves names for connected peers.
+	var conn *Conn
+	r.ha.Connect(rigAddrB, func(c *Conn, _ error) { conn = c })
+	r.s.RunFor(2 * time.Second)
+	if conn == nil {
+		t.Fatal("no connection")
+	}
+	var name string
+	done := false
+	r.ha.RequestRemoteName(rigAddrB, func(n string, err error) {
+		if err != nil {
+			t.Errorf("name request: %v", err)
+		}
+		name = n
+		done = true
+	})
+	r.s.RunFor(2 * time.Second)
+	if !done || name != "CarKit 9000" {
+		t.Fatalf("remote name: done=%v %q", done, name)
+	}
+}

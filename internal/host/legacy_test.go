@@ -1,0 +1,94 @@
+package host
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bt"
+)
+
+func legacyCfg(pin string) Config {
+	return Config{
+		Version:       bt.V2_1,
+		IOCap:         bt.NoInputNoOutput,
+		LegacyPairing: true,
+		PINCode:       pin,
+	}
+}
+
+func TestLegacyPINPairingBonds(t *testing.T) {
+	r := newHostRig(40, legacyCfg("0000"), legacyCfg("0000"), Hooks{}, Hooks{})
+	var pairErr error
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) { pairErr = err; done = true })
+	r.s.RunFor(10 * time.Second)
+	if !done || pairErr != nil {
+		t.Fatalf("legacy pairing: done=%v err=%v", done, pairErr)
+	}
+	ba := r.ha.Bonds().Get(rigAddrB)
+	bb := r.hb.Bonds().Get(rigAddrA)
+	if ba == nil || bb == nil {
+		t.Fatal("missing bonds")
+	}
+	if ba.Key != bb.Key {
+		t.Fatalf("combination keys disagree: %s vs %s", ba.Key, bb.Key)
+	}
+	if ba.KeyType != bt.KeyTypeCombination {
+		t.Fatalf("key type %s, want Combination", ba.KeyType)
+	}
+}
+
+func TestLegacyPINMismatchFailsAuthentication(t *testing.T) {
+	r := newHostRig(41, legacyCfg("0000"), legacyCfg("1234"), Hooks{}, Hooks{})
+	var pairErr error
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) { pairErr = err; done = true })
+	r.s.RunFor(10 * time.Second)
+	if !done {
+		t.Fatal("pairing never resolved")
+	}
+	if pairErr == nil {
+		t.Fatal("mismatched PINs must fail the concluding authentication")
+	}
+	// The failed challenge-response also wipes any half-made bond.
+	if r.ha.Bonds().Get(rigAddrB) != nil {
+		t.Fatal("failed legacy pairing left a bond on A")
+	}
+}
+
+func TestLegacyPairingRefusedWithoutPIN(t *testing.T) {
+	r := newHostRig(42, legacyCfg("0000"), legacyCfg(""), Hooks{}, Hooks{})
+	var pairErr error
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) { pairErr = err; done = true })
+	r.s.RunFor(10 * time.Second)
+	if !done {
+		t.Fatal("pairing never resolved")
+	}
+	if pairErr == nil {
+		t.Fatal("pairing must fail when the responder refuses the PIN request")
+	}
+}
+
+func TestLegacyRebondReusesKey(t *testing.T) {
+	r := newHostRig(43, legacyCfg("9999"), legacyCfg("9999"), Hooks{}, Hooks{})
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) { done = err == nil })
+	r.s.RunFor(10 * time.Second)
+	if !done {
+		t.Fatal("initial legacy pairing failed")
+	}
+	key := r.ha.Bonds().Get(rigAddrB).Key
+	r.ha.Disconnect(rigAddrB)
+	r.s.RunFor(time.Second)
+
+	done = false
+	r.ha.Pair(rigAddrB, func(err error) { done = err == nil })
+	r.s.RunFor(10 * time.Second)
+	if !done {
+		t.Fatal("legacy re-authentication failed")
+	}
+	if r.ha.Bonds().Get(rigAddrB).Key != key {
+		t.Fatal("re-authentication must reuse the stored combination key")
+	}
+}

@@ -1,0 +1,76 @@
+package host
+
+import (
+	"repro/internal/bt"
+	"repro/internal/hci"
+)
+
+// Host-side Out of Band support: reading the local controller's OOB
+// payload (to be carried to the peer over NFC), storing a peer's payload
+// received the same way, and answering the controller's OOB data request
+// during pairing.
+
+// OOBPayload is the (hash, randomizer) pair exchanged out of band.
+type OOBPayload struct {
+	C [16]byte
+	R [16]byte
+}
+
+// ReadLocalOOBData fetches this device's OOB payload from the controller.
+func (h *Host) ReadLocalOOBData(cb func(OOBPayload, error)) {
+	h.oobReadWaiters = append(h.oobReadWaiters, cb)
+	if len(h.oobReadWaiters) == 1 {
+		h.tr.SendCommand(&hci.ReadLocalOOBData{})
+	}
+}
+
+// SetPeerOOBData stores a peer's out-of-band payload (the NFC tap).
+// Subsequent pairings with addr will advertise OOB data present and run
+// the OOB association model when the peer does the same.
+func (h *Host) SetPeerOOBData(addr bt.BDADDR, p OOBPayload) {
+	h.peerOOB[addr] = p
+}
+
+// ClearPeerOOBData forgets a stored payload.
+func (h *Host) ClearPeerOOBData(addr bt.BDADDR) { delete(h.peerOOB, addr) }
+
+// hasPeerOOB reports whether OOB data is on file for addr — the
+// OOB_Data_Present flag of the IO capability reply.
+func (h *Host) hasPeerOOB(addr bt.BDADDR) bool {
+	_, ok := h.peerOOB[addr]
+	return ok
+}
+
+// handleOOBEvents processes the OOB-related controller events; returns
+// true when the event was consumed.
+func (h *Host) handleOOBEvents(evt hci.Event) bool {
+	switch e := evt.(type) {
+	case *hci.RemoteOOBDataRequest:
+		if p, ok := h.peerOOB[e.Addr]; ok {
+			h.tr.SendCommand(&hci.RemoteOOBDataRequestReply{Addr: e.Addr, C: p.C, R: p.R})
+		} else {
+			h.tr.SendCommand(&hci.RemoteOOBDataRequestNegativeReply{Addr: e.Addr})
+		}
+		return true
+
+	case *hci.CommandComplete:
+		if e.CommandOpcode != hci.OpReadLocalOOBData {
+			return false
+		}
+		waiters := h.oobReadWaiters
+		h.oobReadWaiters = nil
+		var p OOBPayload
+		var err error
+		if len(e.ReturnParams) >= 33 && hci.Status(e.ReturnParams[0]) == hci.StatusSuccess {
+			copy(p.C[:], e.ReturnParams[1:17])
+			copy(p.R[:], e.ReturnParams[17:33])
+		} else {
+			err = &StatusError{Op: "read local OOB data", Status: hci.StatusUnknownConnectionID}
+		}
+		for _, cb := range waiters {
+			cb(p, err)
+		}
+		return true
+	}
+	return false
+}

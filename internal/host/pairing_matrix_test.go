@@ -1,0 +1,66 @@
+package host
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bt"
+)
+
+// TestPairingMatrixAllCapabilityCombinations pairs every combination of
+// the four IO capabilities on both spec generations and checks that the
+// outcome matches the Fig. 7 mapping: the right association model runs,
+// keys agree, and the key's authenticated/unauthenticated classification
+// follows the model.
+func TestPairingMatrixAllCapabilityCombinations(t *testing.T) {
+	caps := []bt.IOCapability{bt.DisplayOnly, bt.DisplayYesNo, bt.KeyboardOnly, bt.NoInputNoOutput}
+	versions := []bt.Version{bt.V4_2, bt.V5_0}
+	seed := int64(9000)
+	for _, v := range versions {
+		for _, initCap := range caps {
+			for _, respCap := range caps {
+				seed++
+				name := fmt.Sprintf("%s/init=%s/resp=%s", v, initCap, respCap)
+				t.Run(name, func(t *testing.T) {
+					mapping := bt.Stage1MappingFor(initCap, respCap, v)
+					r := newHostRig(seed,
+						Config{Version: v, IOCap: initCap, ResponderJWConsent: false},
+						Config{Version: v, IOCap: respCap, ResponderJWConsent: false},
+						Hooks{}, Hooks{})
+					board := &PasskeyBoard{}
+					if mapping.Model == bt.PasskeyEntry && !mapping.DisplayInitiator && !mapping.DisplayResponder {
+						// Both keyboards: the user invents a value.
+						board.Show(271828)
+					}
+					for _, u := range []*SimUser{r.ua, r.ub} {
+						u.AcceptUnexpected = true
+						u.Board = board
+					}
+
+					var pairErr error
+					done := false
+					r.ha.Pair(rigAddrB, func(err error) { pairErr = err; done = true })
+					r.s.RunFor(60 * time.Second)
+					if !done {
+						t.Fatal("pairing never resolved")
+					}
+					if pairErr != nil {
+						t.Fatalf("pairing failed: %v", pairErr)
+					}
+					ba := r.ha.Bonds().Get(rigAddrB)
+					bb := r.hb.Bonds().Get(rigAddrA)
+					if ba == nil || bb == nil || ba.Key != bb.Key {
+						t.Fatalf("key agreement broken: %v %v", ba, bb)
+					}
+					wantAuth := mapping.Authenticated
+					gotAuth := ba.KeyType == bt.KeyTypeAuthenticatedP256
+					if wantAuth != gotAuth {
+						t.Fatalf("model %s: authenticated=%v but key type %s",
+							mapping.Model, wantAuth, ba.KeyType)
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package host
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bt"
+)
+
+func keyboard(v bt.Version) Config { return Config{Version: v, IOCap: bt.KeyboardOnly} }
+
+func TestPasskeyEntryPairs(t *testing.T) {
+	// A keyboard-only device pairs with a phone: the phone displays the
+	// passkey, the keyboard user types it (via the shared board).
+	r := newHostRig(70, keyboard(bt.V5_0), dyn(bt.V5_0), Hooks{}, Hooks{})
+	board := &PasskeyBoard{}
+	r.ua.Board = board
+	r.ub.Board = board
+	r.ua.ExpectPairing(rigAddrB)
+	r.ub.ExpectPairing(rigAddrA)
+
+	var pairErr error
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) { pairErr = err; done = true })
+	r.s.RunFor(30 * time.Second)
+	if !done || pairErr != nil {
+		t.Fatalf("passkey pairing: done=%v err=%v", done, pairErr)
+	}
+	ba := r.ha.Bonds().Get(rigAddrB)
+	bb := r.hb.Bonds().Get(rigAddrA)
+	if ba == nil || bb == nil || ba.Key != bb.Key {
+		t.Fatalf("bonds: %+v %+v", ba, bb)
+	}
+	// Passkey entry between two IO-capable devices yields an
+	// authenticated (MITM-protected) key.
+	if ba.KeyType != bt.KeyTypeAuthenticatedP256 {
+		t.Fatalf("key type %s, want authenticated P-256", ba.KeyType)
+	}
+	// The display side saw the passkey; the board holds a 6-digit value.
+	v, ok := board.Read()
+	if !ok || v >= 1_000_000 {
+		t.Fatalf("board: %d %v", v, ok)
+	}
+}
+
+func TestPasskeyEntryWrongKeyFails(t *testing.T) {
+	r := newHostRig(71, keyboard(bt.V5_0), dyn(bt.V5_0), Hooks{}, Hooks{})
+	board := &PasskeyBoard{}
+	r.ub.Board = board
+	// The keyboard user fat-fingers a fixed wrong value.
+	wrong := uint32(999_999)
+	r.ua.TypedPasskey = &wrong
+	r.ua.ExpectPairing(rigAddrB)
+	r.ub.ExpectPairing(rigAddrA)
+
+	var pairErr error
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) { pairErr = err; done = true })
+	r.s.RunFor(30 * time.Second)
+	if !done {
+		t.Fatal("pairing never resolved")
+	}
+	if pairErr == nil {
+		// The displayed key could coincide with 999999 only with
+		// probability 1e-6; treat success as failure.
+		if v, _ := board.Read(); v != wrong {
+			t.Fatal("wrong passkey must fail the commitment rounds")
+		}
+	}
+	if pairErr != nil && r.ha.Bonds().Get(rigAddrB) != nil {
+		t.Fatal("failed passkey pairing left a bond")
+	}
+}
+
+func TestPasskeyEntryNoBoardFails(t *testing.T) {
+	// Keyboard user with nothing to read: the host answers the passkey
+	// request negatively and pairing fails cleanly.
+	r := newHostRig(72, keyboard(bt.V5_0), dyn(bt.V5_0), Hooks{}, Hooks{})
+	r.ua.ExpectPairing(rigAddrB)
+	var pairErr error
+	done := false
+	r.ha.Pair(rigAddrB, func(err error) { pairErr = err; done = true })
+	r.s.RunFor(30 * time.Second)
+	if !done {
+		t.Fatal("pairing never resolved")
+	}
+	if pairErr == nil {
+		t.Fatal("pairing without a passkey source must fail")
+	}
+}
+
+func TestPasskeyEntryBothKeyboards(t *testing.T) {
+	// Two keyboards: both users type the same value.
+	r := newHostRig(73, keyboard(bt.V4_2), keyboard(bt.V4_2), Hooks{}, Hooks{})
+	same := uint32(428913)
+	r.ua.TypedPasskey = &same
+	r.ub.TypedPasskey = &same
+	done := false
+	var pairErr error
+	r.ha.Pair(rigAddrB, func(err error) { pairErr = err; done = true })
+	r.s.RunFor(30 * time.Second)
+	if !done || pairErr != nil {
+		t.Fatalf("both-keyboard passkey pairing: done=%v err=%v", done, pairErr)
+	}
+}

@@ -1,0 +1,37 @@
+package host
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+
+	"repro/internal/bt"
+)
+
+// On-disk persistence of the security database in the bt_config.conf
+// format — the file the paper's attacker edits on the rooted Nexus 5x
+// (Fig. 10, '/data/misc/bluedroid/bt_config.conf').
+
+// SaveConfigFile writes the store to path in bt_config.conf format.
+func (s *BondStore) SaveConfigFile(path string) error {
+	if err := os.WriteFile(path, []byte(s.EncodeConfig()), 0o600); err != nil {
+		return fmt.Errorf("host: saving bond store: %w", err)
+	}
+	return nil
+}
+
+// LoadConfigFile replaces the store contents from a bt_config.conf file.
+// A missing file loads an empty store (first boot).
+func (s *BondStore) LoadConfigFile(path string) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		s.bonds = make(map[bt.BDADDR]*Bond)
+		s.order = nil
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("host: loading bond store: %w", err)
+	}
+	return s.LoadConfig(string(data))
+}

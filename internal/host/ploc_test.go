@@ -1,0 +1,95 @@
+package host
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bt"
+)
+
+// PLOC hold semantics (the Fig. 13 postponement) in isolation.
+
+func TestPLOCQueuesAllSubsequentEvents(t *testing.T) {
+	// While holding, nothing is processed — including SSP events from the
+	// peer — and on release everything processes in arrival order.
+	hold := 6 * time.Second
+	r := newHostRig(50, dyn(bt.V4_2), dyn(bt.V5_0), Hooks{PLOCHold: hold}, Hooks{})
+	r.ha.SetIOCapability(bt.NoInputNoOutput)
+
+	start := r.s.Now()
+	r.ha.Connect(rigAddrB, func(*Conn, error) {})
+	// B's user pairs through the held link at t≈2 s, well inside the hold.
+	r.s.RunFor(2 * time.Second)
+	r.ub.ExpectPairing(rigAddrA)
+	var pairErr error
+	var pairedAt time.Duration
+	done := false
+	r.hb.Pair(rigAddrA, func(err error) {
+		pairErr = err
+		pairedAt = r.s.Now() - start
+		done = true
+	})
+	r.s.RunFor(60 * time.Second)
+
+	if !done || pairErr != nil {
+		t.Fatalf("pairing through the hold: done=%v err=%v", done, pairErr)
+	}
+	// The pairing cannot complete before A releases the hold (its IO
+	// capability reply is queued behind the ConnectionComplete).
+	if pairedAt < hold {
+		t.Fatalf("pairing completed at %v, inside the %v hold", pairedAt, hold)
+	}
+	if r.hb.Bonds().Get(rigAddrA) == nil {
+		t.Fatal("no bond after the held pairing")
+	}
+}
+
+func TestPLOCHoldTriggersOnlyOnOutgoingConnection(t *testing.T) {
+	// An *incoming* connection must not trigger the hold: the PoC patch
+	// postpones btu_hcif processing for the connection A itself created.
+	r := newHostRig(51, dyn(bt.V5_0), nino(), Hooks{PLOCHold: 5 * time.Second}, Hooks{})
+	// B connects to A (incoming from A's perspective).
+	var conn *Conn
+	r.hb.Connect(rigAddrA, func(c *Conn, _ error) { conn = c })
+	r.s.RunFor(2 * time.Second)
+	if conn == nil {
+		t.Fatal("incoming connection blocked by the hold")
+	}
+	if r.ha.Connection(rigAddrB) == nil {
+		t.Fatal("A should have processed the incoming connection immediately")
+	}
+}
+
+func TestPLOCHoldFiresOnce(t *testing.T) {
+	// After the first hold releases, later outgoing connections process
+	// normally (holdUsed latches).
+	r := newHostRig(52, dyn(bt.V4_2), nino(), Hooks{PLOCHold: 2 * time.Second}, Hooks{})
+	start := r.s.Now()
+	var firstAt, secondAt time.Duration
+	r.ha.Connect(rigAddrB, func(*Conn, error) { firstAt = r.s.Now() - start })
+	r.s.RunFor(10 * time.Second)
+	r.ha.Disconnect(rigAddrB)
+	r.s.RunFor(time.Second)
+
+	mark := r.s.Now()
+	r.ha.Connect(rigAddrB, func(*Conn, error) { secondAt = r.s.Now() - mark })
+	r.s.RunFor(10 * time.Second)
+
+	if firstAt < 2*time.Second {
+		t.Fatalf("first connect must be held: %v", firstAt)
+	}
+	if secondAt >= time.Second {
+		t.Fatalf("second connect must be immediate: %v", secondAt)
+	}
+}
+
+func TestNoHoldWithoutHook(t *testing.T) {
+	r := newHostRig(53, dyn(bt.V4_2), nino(), Hooks{}, Hooks{})
+	start := r.s.Now()
+	var at time.Duration
+	r.ha.Connect(rigAddrB, func(*Conn, error) { at = r.s.Now() - start })
+	r.s.RunFor(5 * time.Second)
+	if at > time.Second {
+		t.Fatalf("connect without the hook should be fast, took %v", at)
+	}
+}

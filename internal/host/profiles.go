@@ -1,0 +1,212 @@
+package host
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/hci"
+)
+
+// A minimal profile layer over ACL data: SDP service search and a profile
+// channel open handshake, enough to model the paper's PAN (Bluetooth
+// tethering) validation flow and the dummy-traffic keep-alive mentioned
+// for PLOC.
+
+// ACL message kinds.
+const (
+	aclSDPQuery       = 0x01
+	aclSDPResponse    = 0x02
+	aclProfileOpen    = 0x03
+	aclProfileOpenAck = 0x04
+	aclPing           = 0x05
+	aclUserData       = 0x06
+	aclDataPull       = 0x07
+	aclDataPullResp   = 0x08
+)
+
+// sdpTimeout bounds SDP and profile-open round trips.
+const sdpTimeout = 10 * time.Second
+
+func encodeACLMsg(kind byte, uuid ServiceUUID, flag byte) []byte {
+	out := make([]byte, 6)
+	out[0] = kind
+	binary.LittleEndian.PutUint32(out[1:5], uint32(uuid))
+	out[5] = flag
+	return out
+}
+
+func decodeACLMsg(data []byte) (kind byte, uuid ServiceUUID, flag byte, ok bool) {
+	if len(data) < 6 {
+		return 0, 0, 0, false
+	}
+	return data[0], ServiceUUID(binary.LittleEndian.Uint32(data[1:5])), data[5], true
+}
+
+func (h *Host) sendACL(c *Conn, data []byte) {
+	h.tr.Send(hci.EncodeACL(hci.DirHostToController, c.Handle, data))
+}
+
+// SendPing emits a dummy ACL frame, refreshing any link supervision timer
+// (the paper's "exchanging some dummy data, such as SDP query" keep-alive
+// for long PLOC holds).
+func (h *Host) SendPing(c *Conn) {
+	h.sendACL(c, encodeACLMsg(aclPing, 0, 0))
+}
+
+// SendData transfers application payload over the link (e.g. phone book
+// entries over PBAP, the sensitive data the paper's attacker is after).
+// The peer host appends it to its ReceivedData log.
+func (h *Host) SendData(c *Conn, payload []byte) {
+	msg := append(encodeACLMsg(aclUserData, 0, 0), payload...)
+	h.sendACL(c, msg)
+}
+
+// QueryService performs a bare SDP lookup over an existing connection —
+// deliberately with no security requirement, per GAP.
+func (h *Host) QueryService(c *Conn, service ServiceUUID, cb func(bool, error)) {
+	h.sdpQuery(c, service, cb)
+}
+
+// OpenProfileRaw attempts a profile channel open without the usual
+// authenticate/encrypt preamble; the serving side's GAP enforcement is
+// expected to refuse it. Exposed for the security-probe tests and the
+// BIAS-style access experiment.
+func (h *Host) OpenProfileRaw(c *Conn, service ServiceUUID, cb func(error)) {
+	h.profileOpen(c, service, cb)
+}
+
+// PullData requests the peer's stored data for a profile (e.g. the phone
+// book over PBAP). The serving side answers only on an encrypted link —
+// this is the "sensitive Bluetooth data" the paper's attacker is after.
+func (h *Host) PullData(c *Conn, service ServiceUUID, cb func([]byte, error)) {
+	c.pullWaiters[service] = append(c.pullWaiters[service], cb)
+	if len(c.pullWaiters[service]) == 1 {
+		h.sendACL(c, encodeACLMsg(aclDataPull, service, 0))
+	}
+	h.sched.Schedule(sdpTimeout, func() {
+		cbs := c.pullWaiters[service]
+		if len(cbs) == 0 {
+			return
+		}
+		delete(c.pullWaiters, service)
+		for _, cb := range cbs {
+			cb(nil, ErrTimeout)
+		}
+	})
+}
+
+// sdpQuery asks the peer whether it advertises service.
+func (h *Host) sdpQuery(c *Conn, service ServiceUUID, cb func(bool, error)) {
+	c.sdpWaiters[service] = append(c.sdpWaiters[service], cb)
+	if len(c.sdpWaiters[service]) == 1 {
+		h.sendACL(c, encodeACLMsg(aclSDPQuery, service, 0))
+	}
+	h.sched.Schedule(sdpTimeout, func() {
+		cbs := c.sdpWaiters[service]
+		if len(cbs) == 0 {
+			return
+		}
+		delete(c.sdpWaiters, service)
+		for _, cb := range cbs {
+			cb(false, ErrTimeout)
+		}
+	})
+}
+
+// profileOpen opens a profile channel for service on an authenticated,
+// encrypted link.
+func (h *Host) profileOpen(c *Conn, service ServiceUUID, cb func(error)) {
+	c.openWaiters[service] = append(c.openWaiters[service], cb)
+	if len(c.openWaiters[service]) == 1 {
+		h.sendACL(c, encodeACLMsg(aclProfileOpen, service, 0))
+	}
+	h.sched.Schedule(sdpTimeout, func() {
+		cbs := c.openWaiters[service]
+		if len(cbs) == 0 {
+			return
+		}
+		delete(c.openWaiters, service)
+		for _, cb := range cbs {
+			cb(ErrTimeout)
+		}
+	})
+}
+
+// handleACL serves the peer's profile traffic.
+func (h *Host) handleACL(c *Conn, data []byte) {
+	kind, uuid, flag, ok := decodeACLMsg(data)
+	if !ok {
+		return
+	}
+	switch kind {
+	case aclSDPQuery:
+		var has byte
+		if h.services[uuid] {
+			has = 1
+		}
+		h.sendACL(c, encodeACLMsg(aclSDPResponse, uuid, has))
+
+	case aclSDPResponse:
+		cbs := c.sdpWaiters[uuid]
+		delete(c.sdpWaiters, uuid)
+		for _, cb := range cbs {
+			cb(flag == 1, nil)
+		}
+
+	case aclProfileOpen:
+		// GAP security enforcement: unlike SDP — which the specification
+		// leaves open precisely so devices can browse before pairing
+		// (paper §VII-B) — profile channels require a secured link. The
+		// gate is link encryption: it is visible to both sides (the
+		// responder of an authentication never sees
+		// HCI_Authentication_Complete) and it implies a successful
+		// challenge-response, since E3 needs the shared key.
+		var ok byte
+		if h.services[uuid] && c.Encrypted {
+			ok = 1
+		}
+		h.sendACL(c, encodeACLMsg(aclProfileOpenAck, uuid, ok))
+
+	case aclProfileOpenAck:
+		cbs := c.openWaiters[uuid]
+		delete(c.openWaiters, uuid)
+		var err error
+		if flag != 1 {
+			err = ErrServiceNotFound
+		}
+		for _, cb := range cbs {
+			cb(err)
+		}
+
+	case aclPing:
+		// Dummy traffic; nothing to do — its arrival already refreshed the
+		// peer's supervision timer.
+
+	case aclUserData:
+		h.ReceivedData = append(h.ReceivedData, append([]byte(nil), data[6:]...))
+
+	case aclDataPull:
+		// Serve profile data only on a secured link for an advertised
+		// service; otherwise answer empty (flag 0).
+		if h.services[uuid] && c.Encrypted && len(h.ProfileData[uuid]) > 0 {
+			msg := append(encodeACLMsg(aclDataPullResp, uuid, 1), h.ProfileData[uuid]...)
+			h.sendACL(c, msg)
+		} else {
+			h.sendACL(c, encodeACLMsg(aclDataPullResp, uuid, 0))
+		}
+
+	case aclDataPullResp:
+		cbs := c.pullWaiters[uuid]
+		delete(c.pullWaiters, uuid)
+		var payload []byte
+		var err error
+		if flag == 1 {
+			payload = append([]byte(nil), data[6:]...)
+		} else {
+			err = ErrServiceNotFound
+		}
+		for _, cb := range cbs {
+			cb(payload, err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package host
+
+import (
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/sim"
+)
+
+// ConfirmKind distinguishes the two pairing dialogs of the paper's Fig. 7:
+// numeric comparison shows a six-digit value; the Just Works consent
+// dialog (mandated on DisplayYesNo devices from v5.0) only asks whether to
+// pair.
+type ConfirmKind int
+
+// Dialog kinds.
+const (
+	KindNumericComparison ConfirmKind = iota
+	KindJustWorksConsent
+)
+
+func (k ConfirmKind) String() string {
+	if k == KindNumericComparison {
+		return "numeric-comparison"
+	}
+	return "just-works-consent"
+}
+
+// UI is the host's channel to the (simulated) user. respond callbacks may
+// be invoked asynchronously, later in virtual time.
+type UI interface {
+	ConfirmPairing(peer bt.BDADDR, value uint32, kind ConfirmKind, respond func(accept bool))
+	// DisplayPasskey shows a generated passkey during passkey entry.
+	DisplayPasskey(peer bt.BDADDR, passkey uint32)
+	// EnterPasskey asks the user to type the passkey shown on the peer.
+	EnterPasskey(peer bt.BDADDR, respond func(passkey uint32, ok bool))
+}
+
+// PasskeyBoard is the "human channel" of passkey entry: the display-side
+// user writes the passkey on it, the keyboard-side user reads it off.
+// Share one board between the two simulated users of a pairing.
+type PasskeyBoard struct {
+	value uint32
+	set   bool
+}
+
+// Show records a displayed passkey.
+func (b *PasskeyBoard) Show(v uint32) { b.value, b.set = v, true }
+
+// Read returns the displayed passkey, if any.
+func (b *PasskeyBoard) Read() (uint32, bool) { return b.value, b.set }
+
+// Prompt records one dialog shown to a simulated user.
+type Prompt struct {
+	At       time.Duration
+	Peer     bt.BDADDR
+	Value    uint32
+	Kind     ConfirmKind
+	Expected bool
+	Accepted bool
+}
+
+// SimUser models the victim-side user of the paper's experiments: they
+// accept pairing dialogs that appear while they are deliberately pairing
+// (the paper's §V-B2 argument — the popup arrives right after the intended
+// pairing initiation, so the victim accepts), and reject dialogs that
+// appear out of the blue.
+type SimUser struct {
+	sched *sim.Scheduler
+
+	// ReactionMin/Max bound the simulated time to tap a dialog.
+	ReactionMin, ReactionMax time.Duration
+	// AcceptUnexpected makes the user accept dialogs outside any pairing
+	// intent (for ablations).
+	AcceptUnexpected bool
+
+	// Board is the shared passkey whiteboard; when nil the user cannot
+	// complete passkey entry (no value to read, nowhere to show one).
+	Board *PasskeyBoard
+	// TypedPasskey overrides the board value when set (for wrong-passkey
+	// experiments).
+	TypedPasskey *uint32
+
+	expecting map[bt.BDADDR]bool
+	prompts   []Prompt
+}
+
+// NewSimUser returns a user with a 0.5–2 s reaction time.
+func NewSimUser(s *sim.Scheduler) *SimUser {
+	return &SimUser{
+		sched:       s,
+		ReactionMin: 500 * time.Millisecond,
+		ReactionMax: 2 * time.Second,
+		expecting:   make(map[bt.BDADDR]bool),
+	}
+}
+
+// ExpectPairing marks that the user is deliberately pairing with peer, so
+// dialogs about peer will be accepted.
+func (u *SimUser) ExpectPairing(peer bt.BDADDR) { u.expecting[peer] = true }
+
+// ClearExpectation withdraws a pairing intent.
+func (u *SimUser) ClearExpectation(peer bt.BDADDR) { delete(u.expecting, peer) }
+
+// Prompts returns every dialog the user has seen.
+func (u *SimUser) Prompts() []Prompt { return u.prompts }
+
+// ConfirmPairing implements UI.
+func (u *SimUser) ConfirmPairing(peer bt.BDADDR, value uint32, kind ConfirmKind, respond func(accept bool)) {
+	expected := u.expecting[peer]
+	accept := expected || u.AcceptUnexpected
+	u.prompts = append(u.prompts, Prompt{
+		At:       u.sched.Now(),
+		Peer:     peer,
+		Value:    value,
+		Kind:     kind,
+		Expected: expected,
+		Accepted: accept,
+	})
+	delay := u.sched.JitterRange(u.ReactionMin, u.ReactionMax)
+	u.sched.Schedule(delay, func() { respond(accept) })
+}
+
+// DisplayPasskey implements UI: the user copies the value to the shared
+// board so the keyboard-side user can type it.
+func (u *SimUser) DisplayPasskey(peer bt.BDADDR, passkey uint32) {
+	u.prompts = append(u.prompts, Prompt{
+		At: u.sched.Now(), Peer: peer, Value: passkey, Kind: KindNumericComparison,
+		Expected: u.expecting[peer], Accepted: true,
+	})
+	if u.Board != nil {
+		u.Board.Show(passkey)
+	}
+}
+
+// EnterPasskey implements UI: after the reaction delay, the user types
+// what the board shows (or their override).
+func (u *SimUser) EnterPasskey(peer bt.BDADDR, respond func(passkey uint32, ok bool)) {
+	delay := u.sched.JitterRange(u.ReactionMin, u.ReactionMax)
+	u.sched.Schedule(delay, func() {
+		if u.TypedPasskey != nil {
+			respond(*u.TypedPasskey, true)
+			return
+		}
+		if u.Board != nil {
+			if v, ok := u.Board.Read(); ok {
+				respond(v, true)
+				return
+			}
+		}
+		respond(0, false)
+	})
+}
+
+// AutoUI accepts (or rejects) everything instantly; it models the
+// attacker's host, which has no human in the loop.
+type AutoUI struct {
+	Reject bool
+	// Passkey is typed verbatim when passkey entry is requested.
+	Passkey uint32
+}
+
+// ConfirmPairing implements UI.
+func (a AutoUI) ConfirmPairing(_ bt.BDADDR, _ uint32, _ ConfirmKind, respond func(accept bool)) {
+	respond(!a.Reject)
+}
+
+// DisplayPasskey implements UI (nothing to do — no human watching).
+func (AutoUI) DisplayPasskey(bt.BDADDR, uint32) {}
+
+// EnterPasskey implements UI.
+func (a AutoUI) EnterPasskey(_ bt.BDADDR, respond func(uint32, bool)) {
+	respond(a.Passkey, !a.Reject)
+}

@@ -1,0 +1,328 @@
+// Package radio simulates the shared 2.4 GHz medium of Bluetooth BR/EDR at
+// the abstraction level the BLAP attacks need: inquiry broadcast and
+// response, paging with per-responder jitter (including the race between
+// multiple radios scanning with the same BDADDR, which the page blocking
+// attack defeats), and point-to-point physical links carrying LMP and ACL
+// traffic.
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/sim"
+)
+
+// Config tunes medium timing. The zero value is not useful; use
+// DefaultConfig.
+type Config struct {
+	// PropagationDelay is the one-way frame flight time.
+	PropagationDelay time.Duration
+	// ResponseJitterMin/Max bound the uniform random delay before a
+	// scanning device answers an inquiry or page. The page-response race
+	// between an attacker and the genuine accessory — the source of the
+	// paper's 42-60% baseline MITM success rate — is decided by this
+	// jitter.
+	ResponseJitterMin time.Duration
+	ResponseJitterMax time.Duration
+	// PageTimeout is how long a pager waits for any response.
+	PageTimeout time.Duration
+	// InquiryUnit is the duration of one inquiry-length unit (1.28 s).
+	InquiryUnit time.Duration
+}
+
+// DefaultConfig returns the timing used by the paper-reproduction
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		PropagationDelay:  100 * time.Microsecond,
+		ResponseJitterMin: 10 * time.Millisecond,
+		ResponseJitterMax: 40 * time.Millisecond,
+		PageTimeout:       5120 * time.Millisecond,
+		InquiryUnit:       1280 * time.Millisecond,
+	}
+}
+
+// DeviceInfo is the identity a radio advertises in inquiry responses and
+// page handshakes.
+type DeviceInfo struct {
+	Addr bt.BDADDR
+	COD  bt.ClassOfDevice
+	Name string
+}
+
+// Receiver is the controller-side interface a Port delivers to.
+type Receiver interface {
+	// Info returns the current advertised identity. Called at response
+	// time so BDADDR spoofing takes effect immediately.
+	Info() DeviceInfo
+	// InquiryScanEnabled reports discoverability.
+	InquiryScanEnabled() bool
+	// PageScanEnabled reports connectability.
+	PageScanEnabled() bool
+	// AcceptPage decides whether an incoming page from the given identity
+	// may proceed to a baseband link.
+	AcceptPage(from DeviceInfo) bool
+	// LinkEstablished notifies the receiver of a new physical link. The
+	// initiator reports via the Page callback instead, so this fires only
+	// on the responder side.
+	LinkEstablished(l *Link, peer DeviceInfo)
+	// LinkData delivers a frame from the peer.
+	LinkData(l *Link, payload any)
+	// LinkClosed notifies that the peer (or the medium) tore the link down.
+	LinkClosed(l *Link, reason error)
+}
+
+// SniffedFrame is one over-the-air frame as seen by a passive sniffer:
+// source and destination identity plus the payload (an LMP PDU or
+// encrypted ACL frame). Air sniffers see everything the baseband carries —
+// which is why an extracted link key breaks past traffic too (§IV).
+type SniffedFrame struct {
+	At      time.Duration
+	From    bt.BDADDR
+	To      bt.BDADDR
+	Payload any
+}
+
+// Medium is the shared radio environment. All methods must be called from
+// scheduler context (the simulation is single-threaded).
+type Medium struct {
+	sched    *sim.Scheduler
+	cfg      Config
+	ports    []*Port
+	sniffers []func(SniffedFrame)
+}
+
+// Sniff registers a passive air sniffer observing every link frame at
+// transmission time.
+func (m *Medium) Sniff(fn func(SniffedFrame)) {
+	m.sniffers = append(m.sniffers, fn)
+}
+
+// NewMedium creates an empty medium.
+func NewMedium(s *sim.Scheduler, cfg Config) *Medium {
+	if cfg.ResponseJitterMax < cfg.ResponseJitterMin {
+		cfg.ResponseJitterMax = cfg.ResponseJitterMin
+	}
+	return &Medium{sched: s, cfg: cfg}
+}
+
+// Config returns the medium timing configuration.
+func (m *Medium) Config() Config { return m.cfg }
+
+// Attach registers a receiver and returns its Port.
+func (m *Medium) Attach(r Receiver) *Port {
+	p := &Port{medium: m, recv: r}
+	m.ports = append(m.ports, p)
+	return p
+}
+
+// Detach removes a port from the medium; its links are closed.
+func (m *Medium) Detach(p *Port) {
+	for i, q := range m.ports {
+		if q == p {
+			m.ports = append(m.ports[:i], m.ports[i+1:]...)
+			break
+		}
+	}
+	for _, l := range append([]*Link(nil), p.links...) {
+		l.close(p, ErrLinkClosed)
+	}
+}
+
+// Port is one radio attached to the medium.
+type Port struct {
+	medium *Medium
+	recv   Receiver
+	links  []*Link
+}
+
+// Info exposes the receiver's current identity.
+func (p *Port) Info() DeviceInfo { return p.recv.Info() }
+
+// Medium errors.
+var (
+	ErrPageTimeout  = errors.New("radio: page timeout")
+	ErrLinkClosed   = errors.New("radio: link closed")
+	ErrPortDetached = errors.New("radio: port detached")
+)
+
+// InquiryResult is one discovered device.
+type InquiryResult struct {
+	Info        DeviceInfo
+	ClockOffset uint16
+}
+
+// StartInquiry broadcasts an inquiry for the given duration. Each
+// discoverable port (other than the inquirer) responds after jitter via
+// onResult; onDone fires when the inquiry window closes. Responses landing
+// after the window are discarded.
+func (m *Medium) StartInquiry(from *Port, duration time.Duration, onResult func(InquiryResult), onDone func()) {
+	deadline := m.sched.Now() + duration
+	for _, p := range m.ports {
+		if p == from {
+			continue
+		}
+		p := p
+		delay := m.cfg.PropagationDelay + m.sched.JitterRange(m.cfg.ResponseJitterMin, m.cfg.ResponseJitterMax)
+		m.sched.Schedule(delay, func() {
+			if !p.attached() || !p.recv.InquiryScanEnabled() {
+				return
+			}
+			if m.sched.Now()+m.cfg.PropagationDelay > deadline {
+				return
+			}
+			res := InquiryResult{Info: p.recv.Info(), ClockOffset: uint16(m.sched.Rand().Intn(0x8000))}
+			m.sched.Schedule(m.cfg.PropagationDelay, func() { onResult(res) })
+		})
+	}
+	m.sched.Schedule(duration, onDone)
+}
+
+func (p *Port) attached() bool {
+	for _, q := range p.medium.ports {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Page initiates connection establishment toward target. Every port whose
+// *current* BDADDR equals target, is page-scanning, and accepts the page
+// responds after independent jitter; the first response wins and a Link is
+// created between pager and winner. Losing responders are never notified —
+// exactly like a real page, where the responder only learns it "won" when
+// the FHS/poll exchange continues. cb receives the established link or
+// ErrPageTimeout.
+func (m *Medium) Page(from *Port, target bt.BDADDR, cb func(*Link, DeviceInfo, error)) {
+	won := false
+	timedOut := false
+
+	timeout := m.sched.Schedule(m.cfg.PageTimeout, func() {
+		if won {
+			return
+		}
+		timedOut = true
+		cb(nil, DeviceInfo{}, ErrPageTimeout)
+	})
+
+	fromInfo := from.recv.Info()
+	for _, p := range m.ports {
+		if p == from {
+			continue
+		}
+		p := p
+		arrival := m.cfg.PropagationDelay
+		m.sched.Schedule(arrival, func() {
+			if won || timedOut || !p.attached() {
+				return
+			}
+			if !p.recv.PageScanEnabled() || p.recv.Info().Addr != target {
+				return
+			}
+			if !p.recv.AcceptPage(fromInfo) {
+				return
+			}
+			respDelay := m.sched.JitterRange(m.cfg.ResponseJitterMin, m.cfg.ResponseJitterMax) + m.cfg.PropagationDelay
+			m.sched.Schedule(respDelay, func() {
+				if won || timedOut || !p.attached() || !from.attached() {
+					return
+				}
+				// First response to arrive establishes the link; later
+				// responders for transaction txn are silently dropped.
+				won = true
+				m.sched.Cancel(timeout)
+				l := m.link(from, p)
+				peerInfo := p.recv.Info()
+				p.recv.LinkEstablished(l, fromInfo)
+				cb(l, peerInfo, nil)
+			})
+		})
+	}
+}
+
+func (m *Medium) link(a, b *Port) *Link {
+	l := &Link{medium: m, a: a, b: b}
+	a.links = append(a.links, l)
+	b.links = append(b.links, l)
+	return l
+}
+
+// Link is an established point-to-point baseband connection.
+type Link struct {
+	medium *Medium
+	a, b   *Port
+	closed bool
+}
+
+// Peer returns the port on the other end from p.
+func (l *Link) Peer(p *Port) *Port {
+	if p == l.a {
+		return l.b
+	}
+	return l.a
+}
+
+// Closed reports whether the link has been torn down.
+func (l *Link) Closed() bool { return l.closed }
+
+// Send delivers payload to the peer of from after the propagation delay.
+// Frames in flight when the link closes are dropped.
+func (l *Link) Send(from *Port, payload any) {
+	if l.closed {
+		return
+	}
+	peer := l.Peer(from)
+	for _, sniff := range l.medium.sniffers {
+		sniff(SniffedFrame{
+			At:      l.medium.sched.Now(),
+			From:    from.recv.Info().Addr,
+			To:      peer.recv.Info().Addr,
+			Payload: payload,
+		})
+	}
+	l.medium.sched.Schedule(l.medium.cfg.PropagationDelay, func() {
+		if l.closed || !peer.attached() {
+			return
+		}
+		peer.recv.LinkData(l, payload)
+	})
+}
+
+// Close tears the link down; the peer observes LinkClosed with reason.
+func (l *Link) Close(from *Port, reason error) { l.close(from, reason) }
+
+func (l *Link) close(from *Port, reason error) {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	if reason == nil {
+		reason = ErrLinkClosed
+	}
+	l.a.dropLink(l)
+	l.b.dropLink(l)
+	peer := l.Peer(from)
+	l.medium.sched.Schedule(l.medium.cfg.PropagationDelay, func() {
+		if peer.attached() {
+			peer.recv.LinkClosed(l, reason)
+		}
+	})
+}
+
+func (p *Port) dropLink(l *Link) {
+	for i, q := range p.links {
+		if q == l {
+			p.links = append(p.links[:i], p.links[i+1:]...)
+			return
+		}
+	}
+}
+
+// String describes the link endpoints for diagnostics.
+func (l *Link) String() string {
+	return fmt.Sprintf("link(%s <-> %s)", l.a.recv.Info().Addr, l.b.recv.Info().Addr)
+}

@@ -1,0 +1,320 @@
+package radio
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/sim"
+)
+
+// stubReceiver is a scriptable radio endpoint.
+type stubReceiver struct {
+	info        DeviceInfo
+	inqScan     bool
+	pageScan    bool
+	acceptPage  bool
+	established []*Link
+	data        []any
+	closed      []error
+}
+
+func (r *stubReceiver) Info() DeviceInfo           { return r.info }
+func (r *stubReceiver) InquiryScanEnabled() bool   { return r.inqScan }
+func (r *stubReceiver) PageScanEnabled() bool      { return r.pageScan }
+func (r *stubReceiver) AcceptPage(DeviceInfo) bool { return r.acceptPage }
+func (r *stubReceiver) LinkEstablished(l *Link, _ DeviceInfo) {
+	r.established = append(r.established, l)
+}
+func (r *stubReceiver) LinkData(_ *Link, payload any)    { r.data = append(r.data, payload) }
+func (r *stubReceiver) LinkClosed(_ *Link, reason error) { r.closed = append(r.closed, reason) }
+
+func newStub(addr string, scan bool) *stubReceiver {
+	return &stubReceiver{
+		info:       DeviceInfo{Addr: bt.MustBDADDR(addr), COD: bt.CODHandsFree, Name: addr},
+		inqScan:    scan,
+		pageScan:   scan,
+		acceptPage: true,
+	}
+}
+
+func world(seed int64) (*sim.Scheduler, *Medium) {
+	s := sim.NewScheduler(seed)
+	return s, NewMedium(s, DefaultConfig())
+}
+
+func TestInquiryDiscoversScanningDevices(t *testing.T) {
+	s, m := world(1)
+	a := newStub("aa:00:00:00:00:01", true)
+	b := newStub("aa:00:00:00:00:02", true)
+	c := newStub("aa:00:00:00:00:03", false) // not discoverable
+	pa := m.Attach(a)
+	m.Attach(b)
+	m.Attach(c)
+
+	var results []InquiryResult
+	done := false
+	m.StartInquiry(pa, 2*DefaultConfig().InquiryUnit, func(r InquiryResult) { results = append(results, r) }, func() { done = true })
+	s.Run(0)
+
+	if !done {
+		t.Fatal("inquiry never completed")
+	}
+	if len(results) != 1 || results[0].Info.Addr != b.info.Addr {
+		t.Fatalf("results: %+v", results)
+	}
+}
+
+func TestInquiryWindowCutsLateResponses(t *testing.T) {
+	s, m := world(2)
+	a := newStub("aa:00:00:00:00:01", true)
+	b := newStub("aa:00:00:00:00:02", true)
+	pa := m.Attach(a)
+	m.Attach(b)
+
+	var results []InquiryResult
+	// Window shorter than the minimum response jitter: nothing lands.
+	m.StartInquiry(pa, 5*time.Millisecond, func(r InquiryResult) { results = append(results, r) }, func() {})
+	s.Run(0)
+	if len(results) != 0 {
+		t.Fatalf("late responses delivered: %+v", results)
+	}
+}
+
+func TestPageConnectsMatchingScanner(t *testing.T) {
+	s, m := world(3)
+	a := newStub("aa:00:00:00:00:01", true)
+	b := newStub("aa:00:00:00:00:02", true)
+	pa := m.Attach(a)
+	m.Attach(b)
+
+	var link *Link
+	var gotErr error
+	m.Page(pa, b.info.Addr, func(l *Link, info DeviceInfo, err error) {
+		link, gotErr = l, err
+		if err == nil && info.Addr != b.info.Addr {
+			t.Errorf("peer info %v", info)
+		}
+	})
+	s.Run(0)
+	if gotErr != nil || link == nil {
+		t.Fatalf("page failed: %v", gotErr)
+	}
+	if len(b.established) != 1 {
+		t.Fatalf("responder saw %d links", len(b.established))
+	}
+}
+
+func TestPageTimeoutWhenNobodyScans(t *testing.T) {
+	s, m := world(4)
+	a := newStub("aa:00:00:00:00:01", true)
+	b := newStub("aa:00:00:00:00:02", false) // page scan off
+	pa := m.Attach(a)
+	m.Attach(b)
+
+	var gotErr error
+	m.Page(pa, b.info.Addr, func(_ *Link, _ DeviceInfo, err error) { gotErr = err })
+	s.Run(0)
+	if gotErr != ErrPageTimeout {
+		t.Fatalf("want page timeout, got %v", gotErr)
+	}
+}
+
+func TestPageTimeoutWhenResponderRefuses(t *testing.T) {
+	s, m := world(5)
+	a := newStub("aa:00:00:00:00:01", true)
+	b := newStub("aa:00:00:00:00:02", true)
+	b.acceptPage = false
+	pa := m.Attach(a)
+	m.Attach(b)
+
+	var gotErr error
+	m.Page(pa, b.info.Addr, func(_ *Link, _ DeviceInfo, err error) { gotErr = err })
+	s.Run(0)
+	if gotErr != ErrPageTimeout {
+		t.Fatalf("want page timeout, got %v", gotErr)
+	}
+}
+
+// TestPageRaceWithSpoofedAddress is the heart of Table II's baseline: two
+// radios with the same BDADDR both page-scan; the first responder wins,
+// and over many seeds both must win sometimes.
+func TestPageRaceWithSpoofedAddress(t *testing.T) {
+	winsB, winsC := 0, 0
+	for seed := int64(0); seed < 60; seed++ {
+		s, m := world(seed)
+		a := newStub("aa:00:00:00:00:01", true)
+		b := newStub("aa:00:00:00:00:02", true)
+		c := newStub("aa:00:00:00:00:02", true) // spoofed: same BDADDR as b
+		pa := m.Attach(a)
+		m.Attach(b)
+		m.Attach(c)
+
+		m.Page(pa, b.info.Addr, func(l *Link, _ DeviceInfo, err error) {
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		})
+		s.Run(0)
+		switch {
+		case len(b.established) == 1 && len(c.established) == 0:
+			winsB++
+		case len(c.established) == 1 && len(b.established) == 0:
+			winsC++
+		default:
+			t.Fatalf("seed %d: exactly one responder must win (b=%d c=%d)",
+				seed, len(b.established), len(c.established))
+		}
+	}
+	if winsB == 0 || winsC == 0 {
+		t.Fatalf("race is degenerate: b=%d c=%d", winsB, winsC)
+	}
+}
+
+func TestLinkSendAndClose(t *testing.T) {
+	s, m := world(6)
+	a := newStub("aa:00:00:00:00:01", true)
+	b := newStub("aa:00:00:00:00:02", true)
+	pa := m.Attach(a)
+	pb := m.Attach(b)
+
+	var link *Link
+	m.Page(pa, b.info.Addr, func(l *Link, _ DeviceInfo, _ error) { link = l })
+	s.Run(0)
+	if link == nil {
+		t.Fatal("no link")
+	}
+
+	link.Send(pa, "hello")
+	link.Send(pb, "world")
+	s.Run(0)
+	if len(b.data) != 1 || b.data[0] != "hello" {
+		t.Fatalf("b.data=%v", b.data)
+	}
+	if len(a.data) != 1 || a.data[0] != "world" {
+		t.Fatalf("a.data=%v", a.data)
+	}
+
+	link.Close(pa, nil)
+	s.Run(0)
+	if !link.Closed() {
+		t.Fatal("link should be closed")
+	}
+	if len(b.closed) != 1 {
+		t.Fatalf("peer close notifications: %d", len(b.closed))
+	}
+	if len(a.closed) != 0 {
+		t.Fatal("closer must not be notified of its own close")
+	}
+	// Sending on a closed link is a silent no-op.
+	link.Send(pa, "late")
+	s.Run(0)
+	if len(b.data) != 1 {
+		t.Fatal("frame delivered after close")
+	}
+}
+
+func TestFramesInFlightDroppedOnClose(t *testing.T) {
+	s, m := world(7)
+	a := newStub("aa:00:00:00:00:01", true)
+	b := newStub("aa:00:00:00:00:02", true)
+	pa := m.Attach(a)
+	m.Attach(b)
+
+	var link *Link
+	m.Page(pa, b.info.Addr, func(l *Link, _ DeviceInfo, _ error) { link = l })
+	s.Run(0)
+
+	link.Send(pa, "in-flight")
+	link.Close(pa, nil) // close before propagation completes
+	s.Run(0)
+	if len(b.data) != 0 {
+		t.Fatalf("in-flight frame survived close: %v", b.data)
+	}
+}
+
+func TestDetachClosesLinks(t *testing.T) {
+	s, m := world(8)
+	a := newStub("aa:00:00:00:00:01", true)
+	b := newStub("aa:00:00:00:00:02", true)
+	pa := m.Attach(a)
+	m.Attach(b)
+
+	var link *Link
+	m.Page(pa, b.info.Addr, func(l *Link, _ DeviceInfo, _ error) { link = l })
+	s.Run(0)
+
+	m.Detach(pa)
+	s.Run(0)
+	if !link.Closed() {
+		t.Fatal("detach must close links")
+	}
+	if len(b.closed) != 1 {
+		t.Fatalf("peer notified %d times", len(b.closed))
+	}
+	// A detached port is no longer discoverable.
+	pb2 := m.Attach(newStub("aa:00:00:00:00:03", true))
+	got := 0
+	m.StartInquiry(pb2, 2*DefaultConfig().InquiryUnit, func(InquiryResult) { got++ }, func() {})
+	s.Run(0)
+	if got != 1 { // only b remains
+		t.Fatalf("inquiry after detach found %d", got)
+	}
+}
+
+func TestSpoofTakesEffectAtResponseTime(t *testing.T) {
+	// Changing a receiver's Info between attach and page must be honoured
+	// (the attacker rewrites bdaddr.txt after boot).
+	s, m := world(9)
+	a := newStub("aa:00:00:00:00:01", true)
+	b := newStub("aa:00:00:00:00:02", true)
+	pa := m.Attach(a)
+	m.Attach(b)
+
+	b.info.Addr = bt.MustBDADDR("aa:00:00:00:00:99") // spoof
+
+	var gotErr error
+	m.Page(pa, bt.MustBDADDR("aa:00:00:00:00:02"), func(_ *Link, _ DeviceInfo, err error) { gotErr = err })
+	s.Run(0)
+	if gotErr != ErrPageTimeout {
+		t.Fatal("old address should no longer match")
+	}
+	m.Page(pa, bt.MustBDADDR("aa:00:00:00:00:99"), func(_ *Link, _ DeviceInfo, err error) { gotErr = err })
+	s.Run(0)
+	if gotErr != nil {
+		t.Fatalf("new address should match: %v", gotErr)
+	}
+}
+
+func TestSniffersObserveLinkFrames(t *testing.T) {
+	s, m := world(10)
+	a := newStub("aa:00:00:00:00:01", true)
+	b := newStub("aa:00:00:00:00:02", true)
+	pa := m.Attach(a)
+	m.Attach(b)
+
+	var sniffed []SniffedFrame
+	m.Sniff(func(f SniffedFrame) { sniffed = append(sniffed, f) })
+
+	var link *Link
+	m.Page(pa, b.info.Addr, func(l *Link, _ DeviceInfo, _ error) { link = l })
+	s.Run(0)
+	link.Send(pa, "payload-1")
+	s.Run(0)
+
+	if len(sniffed) != 1 {
+		t.Fatalf("sniffed %d frames, want 1", len(sniffed))
+	}
+	f := sniffed[0]
+	if f.From != a.info.Addr || f.To != b.info.Addr || f.Payload != "payload-1" {
+		t.Fatalf("frame: %+v", f)
+	}
+	// Frames dropped by a closing link are still sniffed at send time —
+	// an air sniffer sits on the radio, not in the receiver.
+	link.Close(pa, nil)
+	link.Send(pa, "late")
+	s.Run(0)
+	if len(sniffed) != 1 {
+		t.Fatalf("closed-link send should emit nothing: %d", len(sniffed))
+	}
+}

@@ -1,0 +1,202 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All BLAP components run on virtual time: radios, controllers, and host
+// stacks schedule callbacks on a Scheduler instead of sleeping on the wall
+// clock. Determinism comes from two properties: events that fire at the
+// same virtual instant are executed in scheduling order, and all randomness
+// flows from a single seeded source owned by the scheduler.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. The zero Event is invalid.
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 once popped or cancelled
+	cancel bool
+}
+
+// Cancelled reports whether the event was cancelled before it fired.
+func (e *Event) Cancelled() bool { return e != nil && e.cancel }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is a single-threaded discrete-event executor with virtual time.
+// It is not safe for concurrent use; the simulation model is strictly
+// sequential, which is what makes runs reproducible.
+type Scheduler struct {
+	now    time.Duration
+	seq    uint64
+	queue  eventQueue
+	rng    *rand.Rand
+	nsteps uint64
+}
+
+// NewScheduler returns a scheduler whose random source is seeded with seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand exposes the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Steps returns the number of events executed so far.
+func (s *Scheduler) Steps() uint64 { return s.nsteps }
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero. The returned Event may be passed to Cancel.
+func (s *Scheduler) Schedule(delay time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: Schedule called with nil fn")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	e := &Event{at: s.now + delay, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel removes a pending event. Cancelling a fired or already-cancelled
+// event is a no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.cancel || e.index < 0 {
+		if e != nil {
+			e.cancel = true
+		}
+		return
+	}
+	e.cancel = true
+	heap.Remove(&s.queue, e.index)
+	e.index = -1
+}
+
+// Step executes the earliest pending event, advancing virtual time to its
+// deadline. It reports whether an event was executed.
+func (s *Scheduler) Step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		if e.at < s.now {
+			panic(fmt.Sprintf("sim: event scheduled in the past: %v < %v", e.at, s.now))
+		}
+		s.now = e.at
+		s.nsteps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or the event budget is
+// exhausted, returning the number of events executed. A budget of 0 means
+// unlimited; the kernel panics after an internal hard cap to surface
+// accidental livelock in tests.
+func (s *Scheduler) Run(budget uint64) uint64 {
+	const hardCap = 50_000_000
+	var n uint64
+	for s.Step() {
+		n++
+		if budget != 0 && n >= budget {
+			break
+		}
+		if n >= hardCap {
+			panic("sim: event hard cap exceeded; simulation livelock?")
+		}
+	}
+	return n
+}
+
+// RunUntil executes events with deadlines at or before t (absolute virtual
+// time), then advances the clock to t even if the queue drained early.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	for s.queue.Len() > 0 {
+		next := s.peek()
+		if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor executes events for d of virtual time starting now.
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// Pending returns the number of events waiting to fire.
+func (s *Scheduler) Pending() int { return s.queue.Len() }
+
+func (s *Scheduler) peek() *Event {
+	for s.queue.Len() > 0 {
+		e := s.queue[0]
+		if !e.cancel {
+			return e
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}
+
+// Jitter returns a uniformly distributed duration in [0, max). It returns 0
+// when max <= 0.
+func (s *Scheduler) Jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(s.rng.Int63n(int64(max)))
+}
+
+// JitterRange returns a uniformly distributed duration in [lo, hi). It
+// returns lo when hi <= lo.
+func (s *Scheduler) JitterRange(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(s.rng.Int63n(int64(hi-lo)))
+}

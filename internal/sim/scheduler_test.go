@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	s.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	s.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	s.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("wrong order: %v", got)
+	}
+	if s.Now() != 3*time.Millisecond {
+		t.Fatalf("clock = %v, want 3ms", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events must run in scheduling order: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayIsImmediate(t *testing.T) {
+	s := NewScheduler(1)
+	ran := false
+	s.Schedule(-5*time.Second, func() { ran = true })
+	s.Step()
+	if !ran || s.Now() != 0 {
+		t.Fatalf("negative delay should run at t=0; ran=%v now=%v", ran, s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler(1)
+	ran := false
+	e := s.Schedule(time.Millisecond, func() { ran = true })
+	s.Cancel(e)
+	s.Run(0)
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event should report cancelled")
+	}
+	// Double cancel and cancel-after-fire are no-ops.
+	s.Cancel(e)
+	e2 := s.Schedule(time.Millisecond, func() {})
+	s.Run(0)
+	s.Cancel(e2)
+	s.Cancel(nil)
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewScheduler(1)
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 5 {
+			s.Schedule(time.Millisecond, rec)
+		}
+	}
+	s.Schedule(0, rec)
+	n := s.Run(0)
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+	if n != 5 {
+		t.Fatalf("executed %d events, want 5", n)
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := NewScheduler(1)
+	ran := false
+	s.Schedule(10*time.Millisecond, func() { ran = true })
+	s.RunUntil(5 * time.Millisecond)
+	if ran {
+		t.Fatal("future event ran early")
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Fatalf("clock should advance to the horizon, got %v", s.Now())
+	}
+	s.RunFor(5 * time.Millisecond)
+	if !ran {
+		t.Fatal("event inside horizon did not run")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	var loop func()
+	loop = func() {
+		count++
+		s.Schedule(time.Microsecond, loop)
+	}
+	s.Schedule(0, loop)
+	n := s.Run(100)
+	if n != 100 || count != 100 {
+		t.Fatalf("budget ignored: n=%d count=%d", n, count)
+	}
+}
+
+func TestJitterDeterminismAndBounds(t *testing.T) {
+	s1 := NewScheduler(42)
+	s2 := NewScheduler(42)
+	for i := 0; i < 1000; i++ {
+		a := s1.JitterRange(time.Millisecond, 10*time.Millisecond)
+		b := s2.JitterRange(time.Millisecond, 10*time.Millisecond)
+		if a != b {
+			t.Fatal("same seed must give same jitter stream")
+		}
+		if a < time.Millisecond || a >= 10*time.Millisecond {
+			t.Fatalf("jitter %v out of range", a)
+		}
+	}
+	if s1.Jitter(0) != 0 || s1.Jitter(-time.Second) != 0 {
+		t.Fatal("non-positive max must yield 0")
+	}
+	if s1.JitterRange(5, 5) != 5 {
+		t.Fatal("empty range returns lo")
+	}
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	s := NewScheduler(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil fn must panic")
+		}
+	}()
+	s.Schedule(0, nil)
+}
+
+func TestTimerRestartAndStop(t *testing.T) {
+	s := NewScheduler(1)
+	fired := 0
+	tm := NewTimer(s, func() { fired++ })
+	tm.Start(10 * time.Millisecond)
+	s.RunFor(5 * time.Millisecond)
+	tm.Start(10 * time.Millisecond) // restart pushes deadline out
+	s.RunFor(7 * time.Millisecond)
+	if fired != 0 {
+		t.Fatal("restarted timer fired early")
+	}
+	s.RunFor(5 * time.Millisecond)
+	if fired != 1 {
+		t.Fatalf("fired=%d, want 1", fired)
+	}
+	if tm.Running() {
+		t.Fatal("fired timer should not report running")
+	}
+	tm.Start(time.Millisecond)
+	tm.Stop()
+	s.RunFor(time.Second)
+	if fired != 1 {
+		t.Fatal("stopped timer fired")
+	}
+	tm.Stop() // double stop is a no-op
+}
+
+func TestStepsCounter(t *testing.T) {
+	s := NewScheduler(1)
+	for i := 0; i < 7; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run(0)
+	if s.Steps() != 7 {
+		t.Fatalf("steps=%d", s.Steps())
+	}
+}

@@ -1,0 +1,40 @@
+package sim
+
+import "time"
+
+// Timer is a restartable one-shot timer bound to a Scheduler. Its zero value
+// is unusable; create timers with NewTimer. Timers are the building block
+// for protocol timeouts (LMP response timeout, page timeout, PLOC hold).
+type Timer struct {
+	s       *Scheduler
+	fn      func()
+	pending *Event
+}
+
+// NewTimer returns a stopped timer that invokes fn on expiry.
+func NewTimer(s *Scheduler, fn func()) *Timer {
+	if s == nil || fn == nil {
+		panic("sim: NewTimer requires a scheduler and callback")
+	}
+	return &Timer{s: s, fn: fn}
+}
+
+// Start arms the timer to fire after d. Starting a running timer restarts it.
+func (t *Timer) Start(d time.Duration) {
+	t.Stop()
+	t.pending = t.s.Schedule(d, func() {
+		t.pending = nil
+		t.fn()
+	})
+}
+
+// Stop disarms the timer. Stopping a stopped timer is a no-op.
+func (t *Timer) Stop() {
+	if t.pending != nil {
+		t.s.Cancel(t.pending)
+		t.pending = nil
+	}
+}
+
+// Running reports whether the timer is armed.
+func (t *Timer) Running() bool { return t.pending != nil }

@@ -1,0 +1,162 @@
+package snoop
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/hci"
+)
+
+// CaptureBase is the wall-clock instant corresponding to virtual time zero
+// in capture timestamps. Fixed for reproducibility; it is the date of the
+// paper's responsible disclosure note.
+var CaptureBase = time.Date(2022, time.April, 5, 0, 0, 0, 0, time.UTC)
+
+// HCIDump is an hci.Tap that records all transport traffic as btsnoop
+// records, mirroring Android's "Bluetooth HCI snoop log" and BlueZ's
+// hcidump. Records accumulate in memory and can be serialized with Bytes,
+// the way the paper's attacker pulls the log via an Android bug report.
+//
+// An optional Filter rewrites records before they are stored; the
+// link-key-filtering mitigation of §VII-A is implemented that way.
+type HCIDump struct {
+	// Filter, when non-nil, may rewrite or suppress a record. Returning
+	// ok=false drops the record (counted in CumulativeDrops).
+	Filter func(rec Record) (out Record, ok bool)
+
+	records []Record
+	drops   uint32
+	enabled bool
+}
+
+// NewHCIDump returns an enabled dump module.
+func NewHCIDump() *HCIDump { return &HCIDump{enabled: true} }
+
+// SetEnabled toggles background logging, like the developer-options
+// switch on Android.
+func (d *HCIDump) SetEnabled(on bool) { d.enabled = on }
+
+// Enabled reports whether the dump is recording.
+func (d *HCIDump) Enabled() bool { return d.enabled }
+
+// Observe implements hci.Tap.
+func (d *HCIDump) Observe(at time.Duration, dir hci.Direction, wire []byte) {
+	if !d.enabled || len(wire) == 0 {
+		return
+	}
+	var flags uint32
+	if dir == hci.DirControllerToHost {
+		flags |= FlagDirectionReceived
+	}
+	switch hci.PacketType(wire[0]) {
+	case hci.PTCommand, hci.PTEvent:
+		flags |= FlagCommandEvent
+	}
+	rec := Record{
+		OriginalLength:  uint32(len(wire)),
+		Flags:           flags,
+		CumulativeDrops: d.drops,
+		Timestamp:       CaptureBase.Add(at),
+		Data:            append([]byte(nil), wire...),
+	}
+	if d.Filter != nil {
+		out, ok := d.Filter(rec)
+		if !ok {
+			d.drops++
+			return
+		}
+		rec = out
+	}
+	d.records = append(d.records, rec)
+}
+
+// Records returns the captured records in order.
+func (d *HCIDump) Records() []Record { return d.records }
+
+// Len returns the number of captured records.
+func (d *HCIDump) Len() int { return len(d.records) }
+
+// Reset discards all captured records.
+func (d *HCIDump) Reset() { d.records = nil; d.drops = 0 }
+
+// Bytes serializes the capture as a complete btsnoop file.
+func (d *HCIDump) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, rec := range d.records {
+		if err := w.WriteRecord(rec); err != nil {
+			return nil, fmt.Errorf("snoop: serializing dump: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RandomizeLinkKeyFilter is the §VII-A alternative mitigation ("or
+// replace the link key with a random value"): key-bearing packets keep
+// their shape, but the sixteen key bytes are overwritten with a
+// deterministic scramble of themselves. An extractor still *finds* a key
+// — it is just useless, which also makes the log a honeypot: an attacker
+// who installs the decoy reveals themselves at the failed impersonation.
+func RandomizeLinkKeyFilter(rec Record) (Record, bool) {
+	scramble := func(data []byte, off int) {
+		if len(data) < off+16 {
+			return
+		}
+		for i := 0; i < 16; i++ {
+			// Position-dependent bijective mangling; not reversible
+			// without knowing the rule, and never the identity.
+			data[off+i] = data[off+i]*167 + byte(i)*29 + 0x5A
+		}
+	}
+	if len(rec.Data) == 0 {
+		return rec, true
+	}
+	switch hci.PacketType(rec.Data[0]) {
+	case hci.PTCommand:
+		if len(rec.Data) >= 4 {
+			op := hci.Opcode(uint16(rec.Data[1]) | uint16(rec.Data[2])<<8)
+			if op == hci.OpLinkKeyRequestReply {
+				rec.Data = append([]byte(nil), rec.Data...)
+				scramble(rec.Data, 4+6) // after header + BDADDR
+			}
+		}
+	case hci.PTEvent:
+		if len(rec.Data) >= 3 && hci.EventCode(rec.Data[1]) == hci.EvLinkKeyNotification {
+			rec.Data = append([]byte(nil), rec.Data...)
+			scramble(rec.Data, 3+6)
+		}
+	}
+	return rec, true
+}
+
+// LinkKeyFilter is the §VII-A mitigation: records whose packet carries a
+// link key (HCI_Link_Key_Request_Reply commands and
+// HCI_Link_Key_Notification events) are truncated to their headers so the
+// key never reaches the log. All other records pass unchanged.
+func LinkKeyFilter(rec Record) (Record, bool) {
+	if len(rec.Data) == 0 {
+		return rec, true
+	}
+	switch hci.PacketType(rec.Data[0]) {
+	case hci.PTCommand:
+		if len(rec.Data) >= 4 {
+			op := hci.Opcode(uint16(rec.Data[1]) | uint16(rec.Data[2])<<8)
+			if op == hci.OpLinkKeyRequestReply {
+				// Keep the H4 indicator and the 3-byte command header only
+				// (the "log only the first four bytes" option from §VII-A).
+				rec.Data = append([]byte(nil), rec.Data[:4]...)
+			}
+		}
+	case hci.PTEvent:
+		if len(rec.Data) >= 3 {
+			if hci.EventCode(rec.Data[1]) == hci.EvLinkKeyNotification {
+				rec.Data = append([]byte(nil), rec.Data[:3]...)
+			}
+		}
+	}
+	return rec, true
+}

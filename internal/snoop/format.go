@@ -1,0 +1,205 @@
+// Package snoop implements the RFC 1761 packet capture format as profiled
+// for Bluetooth HCI ("btsnoop"), the on-disk format of Android's
+// "Bluetooth HCI snoop log" and BlueZ's hcidump. It provides a writer, a
+// reader, an HCI-transport tap that records live traffic (the HCI dump
+// module the paper's link key extraction attack exploits), a
+// link-key-filtering variant of that tap (the paper's §VII-A mitigation),
+// and an hcidump-style text renderer used to regenerate the paper's
+// Fig. 3 and Fig. 12 traces.
+package snoop
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// File format constants.
+const (
+	// magic is the 8-byte identification pattern "btsnoop\0".
+	magic = "btsnoop\x00"
+
+	// Version is the only defined format version.
+	Version = 1
+
+	// DatalinkH4 identifies HCI UART (H4) encapsulation: each record is an
+	// H4 packet beginning with the packet-type indicator octet.
+	DatalinkH4 = 1002
+
+	// btsnoopEpochDelta is the number of microseconds between the btsnoop
+	// epoch (0000-01-01 00:00:00) and the Unix epoch, per the Android and
+	// Wireshark implementations.
+	btsnoopEpochDelta = int64(0x00dcddb30f2f8000)
+)
+
+// Record flags (RFC 1761 as profiled for btsnoop).
+const (
+	// FlagDirectionReceived is set on controller-to-host packets.
+	FlagDirectionReceived uint32 = 0x01
+	// FlagCommandEvent is set on command and event packets (as opposed to
+	// ACL/SCO data).
+	FlagCommandEvent uint32 = 0x02
+)
+
+// Record is one captured packet.
+type Record struct {
+	// OriginalLength is the untruncated packet length.
+	OriginalLength uint32
+	// Flags encodes direction and command/event classification.
+	Flags uint32
+	// CumulativeDrops counts packets lost before this record.
+	CumulativeDrops uint32
+	// Timestamp is the capture time.
+	Timestamp time.Time
+	// Data is the captured (possibly truncated) H4 packet bytes.
+	Data []byte
+}
+
+// Received reports whether the packet travelled controller-to-host.
+func (r Record) Received() bool { return r.Flags&FlagDirectionReceived != 0 }
+
+// Truncated reports whether payload bytes were omitted from Data, e.g. by
+// the link-key-filtering mitigation.
+func (r Record) Truncated() bool { return int(r.OriginalLength) != len(r.Data) }
+
+// Format errors.
+var (
+	ErrBadMagic    = errors.New("snoop: bad identification pattern")
+	ErrBadVersion  = errors.New("snoop: unsupported version")
+	ErrBadDatalink = errors.New("snoop: unsupported datalink type")
+	ErrTruncated   = errors.New("snoop: truncated file")
+)
+
+// Writer emits a btsnoop stream.
+type Writer struct {
+	w       io.Writer
+	started bool
+}
+
+// NewWriter returns a Writer that emits the file header on the first
+// record (or on Flush).
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+func (w *Writer) header() error {
+	if w.started {
+		return nil
+	}
+	w.started = true
+	var hdr [16]byte
+	copy(hdr[:8], magic)
+	binary.BigEndian.PutUint32(hdr[8:12], Version)
+	binary.BigEndian.PutUint32(hdr[12:16], DatalinkH4)
+	_, err := w.w.Write(hdr[:])
+	return err
+}
+
+// WriteRecord appends one record.
+func (w *Writer) WriteRecord(r Record) error {
+	if err := w.header(); err != nil {
+		return fmt.Errorf("snoop: writing header: %w", err)
+	}
+	var hdr [24]byte
+	binary.BigEndian.PutUint32(hdr[0:4], r.OriginalLength)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(r.Data)))
+	binary.BigEndian.PutUint32(hdr[8:12], r.Flags)
+	binary.BigEndian.PutUint32(hdr[12:16], r.CumulativeDrops)
+	ts := r.Timestamp.UnixMicro() + btsnoopEpochDelta
+	binary.BigEndian.PutUint64(hdr[16:24], uint64(ts))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("snoop: writing record header: %w", err)
+	}
+	if _, err := w.w.Write(r.Data); err != nil {
+		return fmt.Errorf("snoop: writing record data: %w", err)
+	}
+	return nil
+}
+
+// Flush forces the file header out even if no records were written.
+func (w *Writer) Flush() error { return w.header() }
+
+// Reader parses a btsnoop stream.
+type Reader struct {
+	r        io.Reader
+	datalink uint32
+	started  bool
+}
+
+// NewReader returns a Reader over a btsnoop stream. The header is
+// validated on the first ReadRecord call.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Datalink returns the stream's datalink type; valid after the first
+// successful ReadRecord.
+func (r *Reader) Datalink() uint32 { return r.datalink }
+
+func (r *Reader) readHeader() error {
+	if r.started {
+		return nil
+	}
+	r.started = true
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: file header: %v", ErrTruncated, err)
+	}
+	if string(hdr[:8]) != magic {
+		return ErrBadMagic
+	}
+	if v := binary.BigEndian.Uint32(hdr[8:12]); v != Version {
+		return fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	r.datalink = binary.BigEndian.Uint32(hdr[12:16])
+	if r.datalink != DatalinkH4 {
+		return fmt.Errorf("%w: %d", ErrBadDatalink, r.datalink)
+	}
+	return nil
+}
+
+// ReadRecord returns the next record, or io.EOF at end of stream.
+func (r *Reader) ReadRecord() (Record, error) {
+	if err := r.readHeader(); err != nil {
+		return Record{}, err
+	}
+	var hdr [24]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("%w: record header: %v", ErrTruncated, err)
+	}
+	rec := Record{
+		OriginalLength:  binary.BigEndian.Uint32(hdr[0:4]),
+		Flags:           binary.BigEndian.Uint32(hdr[8:12]),
+		CumulativeDrops: binary.BigEndian.Uint32(hdr[12:16]),
+	}
+	incl := binary.BigEndian.Uint32(hdr[4:8])
+	ts := int64(binary.BigEndian.Uint64(hdr[16:24])) - btsnoopEpochDelta
+	rec.Timestamp = time.UnixMicro(ts).UTC()
+	const maxRecord = 1 << 20
+	if incl > maxRecord {
+		return Record{}, fmt.Errorf("snoop: implausible record length %d", incl)
+	}
+	rec.Data = make([]byte, incl)
+	if _, err := io.ReadFull(r.r, rec.Data); err != nil {
+		return Record{}, fmt.Errorf("%w: record data: %v", ErrTruncated, err)
+	}
+	return rec, nil
+}
+
+// ReadAll parses a complete btsnoop file from a byte slice.
+func ReadAll(data []byte) ([]Record, error) {
+	r := NewReader(bytes.NewReader(data))
+	var out []Record
+	for {
+		rec, err := r.ReadRecord()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

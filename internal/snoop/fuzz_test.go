@@ -1,0 +1,40 @@
+package snoop
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadAll throws arbitrary bytes at the btsnoop reader: no panics, no
+// unbounded allocations, and anything accepted must re-serialize.
+func FuzzReadAll(f *testing.F) {
+	var seed bytes.Buffer
+	w := NewWriter(&seed)
+	_ = w.WriteRecord(Record{Data: []byte{0x01, 0x03, 0x0c, 0x00}, OriginalLength: 4})
+	f.Add(seed.Bytes())
+	f.Add([]byte("btsnoop\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		recs, err := ReadAll(raw)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range recs {
+			if err := w.WriteRecord(r); err != nil {
+				t.Fatalf("re-serialize: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzExtractLinkKeys must tolerate arbitrary record contents.
+func FuzzExtractLinkKeys(f *testing.F) {
+	f.Add([]byte{0x01, 0x0b, 0x04, 0x16}, uint32(0))
+	f.Fuzz(func(t *testing.T, data []byte, flags uint32) {
+		recs := []Record{{Data: data, Flags: flags, OriginalLength: uint32(len(data))}}
+		ExtractLinkKeys(recs)
+		Summarize(recs)
+	})
+}

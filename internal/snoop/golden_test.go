@@ -1,0 +1,64 @@
+package snoop
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"time"
+)
+
+// TestGoldenFileBytes pins the exact on-disk encoding of a one-record
+// btsnoop file, so accidental format drift (endianness, epoch constant,
+// header layout) fails loudly. The expected bytes were computed from the
+// RFC 1761 definitions: big-endian fields, "btsnoop\0" magic, version 1,
+// datalink 1002 (H4), and timestamps in microseconds since year 0
+// (offset 0x00dcddb30f2f8000 from the Unix epoch).
+func TestGoldenFileBytes(t *testing.T) {
+	// One HCI_Reset command (01 03 0c 00) captured at the Unix epoch.
+	rec := Record{
+		OriginalLength: 4,
+		Flags:          FlagCommandEvent,
+		Timestamp:      time.Unix(0, 0).UTC(),
+		Data:           []byte{0x01, 0x03, 0x0c, 0x00},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	want := "" +
+		"6274736e6f6f7000" + // "btsnoop\0"
+		"00000001" + // version 1
+		"000003ea" + // datalink 1002 (H4)
+		"00000004" + // original length
+		"00000004" + // included length
+		"00000002" + // flags: command/event, sent
+		"00000000" + // cumulative drops
+		"00dcddb30f2f8000" + // timestamp: unix epoch in btsnoop µs
+		"01030c00" // the H4 packet
+	got := hex.EncodeToString(buf.Bytes())
+	if got != want {
+		t.Fatalf("golden mismatch:\n got  %s\n want %s", got, want)
+	}
+
+	// And it parses back identically.
+	recs, err := ReadAll(buf.Bytes())
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("parse back: %v %d", err, len(recs))
+	}
+	if !recs[0].Timestamp.Equal(rec.Timestamp) || !bytes.Equal(recs[0].Data, rec.Data) {
+		t.Fatalf("round trip: %+v", recs[0])
+	}
+}
+
+// TestReceivedFlagGolden pins the direction bit.
+func TestReceivedFlagGolden(t *testing.T) {
+	r := Record{Flags: FlagDirectionReceived}
+	if !r.Received() {
+		t.Fatal("direction bit")
+	}
+	if (Record{Flags: FlagCommandEvent}).Received() {
+		t.Fatal("command flag must not read as received")
+	}
+}

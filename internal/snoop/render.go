@@ -1,0 +1,188 @@
+package snoop
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bt"
+	"repro/internal/hci"
+)
+
+// FrameSummary is one row of an hcidump/Frontline-style trace table, the
+// presentation used in the paper's Fig. 3 and Fig. 12.
+type FrameSummary struct {
+	Frame   int
+	Type    string // "Command" or "Event" (data frames are skipped)
+	Command string // opcode name for commands, or the acknowledged opcode
+	Event   string // event name
+	Handle  string // connection handle when present, e.g. "0x0006"
+	Status  string // status name when present
+}
+
+// Summarize decodes command/event records into trace-table rows. Frame
+// numbers are 1-based positions within the capture (all packet types
+// count, matching how real captures number frames).
+func Summarize(records []Record) []FrameSummary {
+	var rows []FrameSummary
+	for i, rec := range records {
+		if len(rec.Data) == 0 {
+			continue
+		}
+		dir := hci.DirHostToController
+		if rec.Received() {
+			dir = hci.DirControllerToHost
+		}
+		pkt, err := hci.ParseWire(dir, rec.Data)
+		if err != nil {
+			continue
+		}
+		row := FrameSummary{Frame: i + 1}
+		switch pkt.PT {
+		case hci.PTCommand:
+			row.Type = "Command"
+			op, _ := pkt.CommandOpcode()
+			row.Command = op.String()
+			if cmd, err := hci.ParseCommand(pkt); err == nil {
+				switch c := cmd.(type) {
+				case *hci.AuthenticationRequested:
+					row.Handle = fmt.Sprintf("0x%04x", uint16(c.Handle))
+				case *hci.Disconnect:
+					row.Handle = fmt.Sprintf("0x%04x", uint16(c.Handle))
+				case *hci.SetConnectionEncryption:
+					row.Handle = fmt.Sprintf("0x%04x", uint16(c.Handle))
+				}
+			}
+		case hci.PTEvent:
+			row.Type = "Event"
+			code, _ := pkt.EventCode()
+			row.Event = code.String()
+			if evt, err := hci.ParseEvent(pkt); err == nil {
+				switch e := evt.(type) {
+				case *hci.CommandStatus:
+					row.Command = e.CommandOpcode.String()
+					row.Status = e.Status.String()
+				case *hci.CommandComplete:
+					row.Command = e.CommandOpcode.String()
+					if len(e.ReturnParams) > 0 {
+						row.Status = hci.Status(e.ReturnParams[0]).String()
+					}
+				case *hci.ConnectionComplete:
+					row.Handle = fmt.Sprintf("0x%04x", uint16(e.Handle))
+					row.Status = e.Status.String()
+				case *hci.DisconnectionComplete:
+					row.Handle = fmt.Sprintf("0x%04x", uint16(e.Handle))
+					row.Status = e.Reason.String()
+				case *hci.AuthenticationComplete:
+					row.Handle = fmt.Sprintf("0x%04x", uint16(e.Handle))
+					row.Status = e.Status.String()
+				case *hci.EncryptionChange:
+					row.Handle = fmt.Sprintf("0x%04x", uint16(e.Handle))
+					row.Status = e.Status.String()
+				case *hci.SimplePairingComplete:
+					row.Status = e.Status.String()
+				case *hci.InquiryComplete:
+					row.Status = e.Status.String()
+				}
+			}
+		default:
+			continue
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable renders rows in the Frontline-style columnar layout of the
+// paper's Fig. 12.
+func RenderTable(rows []FrameSummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-8s %-45s %-35s %-8s %s\n", "Fra", "Type", "Opcode Command", "Event", "Handle", "Status")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5d %-8s %-45s %-35s %-8s %s\n", r.Frame, r.Type, r.Command, r.Event, r.Handle, r.Status)
+	}
+	return b.String()
+}
+
+// CommandEventNames flattens rows to "name" strings (command opcode names
+// for commands, event names for events), for sequence assertions in tests.
+func CommandEventNames(rows []FrameSummary) []string {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		if r.Type == "Command" {
+			out = append(out, r.Command)
+		} else {
+			out = append(out, r.Event)
+		}
+	}
+	return out
+}
+
+// LinkKeyHit is one plaintext link key located in a capture.
+type LinkKeyHit struct {
+	Frame int // 1-based frame number
+	// Source describes the carrying packet: "HCI_Link_Key_Request_Reply"
+	// or "HCI_Link_Key_Notification".
+	Source string
+	Peer   bt.BDADDR
+	Key    bt.LinkKey
+}
+
+// ExtractLinkKeys scans a capture for packets that carry link keys and
+// returns every key found — the core of the paper's link key extraction
+// attack when the HCI dump is the source.
+func ExtractLinkKeys(records []Record) []LinkKeyHit {
+	var hits []LinkKeyHit
+	for i, rec := range records {
+		if len(rec.Data) == 0 {
+			continue
+		}
+		dir := hci.DirHostToController
+		if rec.Received() {
+			dir = hci.DirControllerToHost
+		}
+		pkt, err := hci.ParseWire(dir, rec.Data)
+		if err != nil {
+			continue
+		}
+		switch pkt.PT {
+		case hci.PTCommand:
+			cmd, err := hci.ParseCommand(pkt)
+			if err != nil {
+				continue
+			}
+			if c, ok := cmd.(*hci.LinkKeyRequestReply); ok {
+				hits = append(hits, LinkKeyHit{
+					Frame:  i + 1,
+					Source: hci.OpLinkKeyRequestReply.String(),
+					Peer:   c.Addr,
+					Key:    c.Key,
+				})
+			}
+		case hci.PTEvent:
+			evt, err := hci.ParseEvent(pkt)
+			if err != nil {
+				continue
+			}
+			if e, ok := evt.(*hci.LinkKeyNotification); ok {
+				hits = append(hits, LinkKeyHit{
+					Frame:  i + 1,
+					Source: hci.EvLinkKeyNotification.String(),
+					Peer:   e.Addr,
+					Key:    e.Key,
+				})
+			}
+		}
+	}
+	return hits
+}
+
+// KeysFor filters hits to those whose peer address matches addr.
+func KeysFor(hits []LinkKeyHit, addr bt.BDADDR) []LinkKeyHit {
+	var out []LinkKeyHit
+	for _, h := range hits {
+		if h.Peer == addr {
+			out = append(out, h)
+		}
+	}
+	return out
+}

