@@ -261,7 +261,10 @@ func BenchmarkAblationJitter(b *testing.B) {
 func BenchmarkAblationPLOCWindow(b *testing.B) {
 	var inWindow, outWindow, keptAlive float64
 	for i := 0; i < b.N; i++ {
-		rows := eval.RunPLOCWindowAblation(int64(i+1), []time.Duration{5 * time.Second, 30 * time.Second})
+		rows, err := eval.RunPLOCWindowAblation(int64(i+1), []time.Duration{5 * time.Second, 30 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
 		// rows: [no-ka 5s, no-ka 30s, ka 5s, ka 30s]
 		inWindow += pct(rows[0].Success)
 		outWindow += pct(rows[1].Success)
@@ -581,6 +584,85 @@ func BenchmarkPasskeyPairing(b *testing.B) {
 		if !ok {
 			b.Fatal("passkey pairing failed")
 		}
+	}
+}
+
+// BenchmarkSAFERPlusContext measures the precomputed-key-schedule cipher
+// context against the one-shot Ar above: the round keys are expanded once
+// in NewSAFERPlus and reused every call.
+func BenchmarkSAFERPlusContext(b *testing.B) {
+	c := btcrypto.NewSAFERPlus([16]byte{1, 2, 3})
+	block := [16]byte{4, 5, 6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		block = c.Ar(block)
+	}
+}
+
+// BenchmarkE1Context measures repeated authentications against one link
+// key through the cached E1 context (the controller's hot path).
+func BenchmarkE1Context(b *testing.B) {
+	c := btcrypto.NewE1Context([16]byte{1})
+	challenge := [16]byte{2}
+	addr := [6]byte{3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		challenge[0] = byte(i)
+		_, _ = c.Auth(challenge, addr)
+	}
+}
+
+// --- campaign engine: serial vs parallel ---
+
+// BenchmarkCampaignTableII runs the Table II sweep at several worker
+// counts. The rows are bit-identical across sub-benchmarks (see
+// internal/eval's determinism tests); only the wall clock moves, and only
+// on multi-core hardware.
+func BenchmarkCampaignTableII(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.RunTableIIWorkers(int64(i+1), 10, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPINCrackParallel measures the sharded early-cancel PIN search
+// against the serial scan in BenchmarkPINCrack (same capture, same
+// result, same Tried count).
+func BenchmarkPINCrackParallel(b *testing.B) {
+	s := sim.NewScheduler(5)
+	med := radio.NewMedium(s, radio.DefaultConfig())
+	sniffer := core.NewAirSniffer(med)
+	mk := func(addr bt.BDADDR) *host.Host {
+		tr := hci.NewTransport(s, 100*time.Microsecond)
+		controller.New(s, med, tr, controller.Config{Addr: addr, COD: bt.CODHeadset})
+		h := host.New(s, tr, host.Config{
+			Version: bt.V2_1, IOCap: bt.NoInputNoOutput,
+			LegacyPairing: true, PINCode: "8731",
+			AcceptIncoming: true, Discoverable: true, Connectable: true,
+		}, host.Hooks{})
+		h.Start()
+		return h
+	}
+	a := mk(core.AddrM)
+	mk(core.AddrC)
+	s.Run(0)
+	a.Pair(core.AddrC, func(error) {})
+	s.RunFor(10 * time.Second)
+
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sniffer.CrackPINParallel(core.FourDigitPINs, workers)
+				if err != nil || res.PIN != "8731" {
+					b.Fatalf("crack failed: %v %q", err, res.PIN)
+				}
+			}
+		})
 	}
 }
 

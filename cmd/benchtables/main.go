@@ -5,15 +5,31 @@
 //	benchtables -table1 -table2 -trials 100
 //	benchtables -figs
 //	benchtables -ablations
+//	benchtables -workers 8 -table2          # parallel campaign, same rows
+//	benchtables -benchjson BENCH_pr1.json   # serial-vs-parallel timings
+//
+// The -workers flag sets the campaign engine's worker count for every
+// sweep (0 = GOMAXPROCS). Results are bit-identical at any worker count;
+// see internal/campaign.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"repro/internal/bt"
+	"repro/internal/btcrypto"
+	"repro/internal/controller"
+	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/hci"
+	"repro/internal/host"
+	"repro/internal/radio"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -25,17 +41,30 @@ func main() {
 		figs        = flag.Bool("figs", false, "run figure reproductions (2, 3, 7, 11, 12)")
 		ablations   = flag.Bool("ablations", false, "run ablation studies")
 		mitigations = flag.Bool("mitigations", false, "run the mitigation matrix")
+		workers     = flag.Int("workers", 0, "campaign workers (0 = GOMAXPROCS)")
+		benchjson   = flag.String("benchjson", "", "write serial-vs-parallel bench timings to this JSON file")
 	)
 	flag.Parse()
 
-	all := !*table1 && !*table2 && !*figs && !*ablations && !*mitigations
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(1)
 	}
 
+	if *benchjson != "" {
+		if err := writeBenchJSON(*benchjson, *seed); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", *benchjson)
+		if !*table1 && !*table2 && !*figs && !*ablations && !*mitigations {
+			return
+		}
+	}
+
+	all := !*table1 && !*table2 && !*figs && !*ablations && !*mitigations
+
 	if *table1 || all {
-		rows, err := eval.RunTableI(*seed)
+		rows, err := eval.RunTableIWorkers(*seed, *workers)
 		if err != nil {
 			fail(err)
 		}
@@ -43,7 +72,7 @@ func main() {
 	}
 
 	if *table2 || all {
-		rows, err := eval.RunTableII(*seed, *trials)
+		rows, err := eval.RunTableIIWorkers(*seed, *trials, *workers)
 		if err != nil {
 			fail(err)
 		}
@@ -51,61 +80,48 @@ func main() {
 	}
 
 	if *figs || all {
-		fig2, err := eval.RunFig2(*seed)
+		res, err := eval.RunAllFigures(*seed, *workers)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println("FIG 2a: fresh pairing HCI flow (victim side)")
-		for _, n := range fig2.FreshPairing {
+		for _, n := range res.Fig2.FreshPairing {
 			fmt.Println("  ", n)
 		}
 		fmt.Println("FIG 2b: bonded re-authentication HCI flow")
-		for _, n := range fig2.BondedReauth {
+		for _, n := range res.Fig2.BondedReauth {
 			fmt.Println("  ", n)
 		}
 		fmt.Println()
 
-		fig3, err := eval.RunFig3(*seed)
-		if err != nil {
-			fail(err)
-		}
 		fmt.Println("FIG 3: link key in an HCI dump")
 		fmt.Printf("  key: %s (matches bond: %v, frame %d via %s)\n",
-			fig3.Key, fig3.MatchesBond, fig3.Hit.Frame, fig3.Hit.Source)
-		fmt.Printf("  packet: %s\n\n", fig3.PacketHex)
+			res.Fig3.Key, res.Fig3.MatchesBond, res.Fig3.Hit.Frame, res.Fig3.Hit.Source)
+		fmt.Printf("  packet: %s\n\n", res.Fig3.PacketHex)
 
-		fig7 := eval.RunFig7()
 		fmt.Println("FIG 7: IO capability mapping")
-		fmt.Println(fig7.V42)
-		fmt.Println(fig7.V50)
+		fmt.Println(res.Fig7.V42)
+		fmt.Println(res.Fig7.V50)
 
-		fig11, err := eval.RunFig11(*seed)
-		if err != nil {
-			fail(err)
-		}
 		fmt.Println("FIG 11: link key via USB sniff (C) vs HCI dump (M)")
-		fmt.Printf("  USB:   %s (hex offset %d)\n", fig11.USBKey, fig11.USBOffset)
-		fmt.Printf("  dump:  %s\n  match: %v\n\n", fig11.SnoopKey, fig11.Match)
+		fmt.Printf("  USB:   %s (hex offset %d)\n", res.Fig11.USBKey, res.Fig11.USBOffset)
+		fmt.Printf("  dump:  %s\n  match: %v\n\n", res.Fig11.SnoopKey, res.Fig11.Match)
 
-		fig12, err := eval.RunFig12(*seed)
-		if err != nil {
-			fail(err)
-		}
 		fmt.Println("FIG 12a: HCI dump for normal pairing")
-		fmt.Println(fig12.NormalPairing)
+		fmt.Println(res.Fig12.NormalPairing)
 		fmt.Println("FIG 12b: HCI dump for pairing under page blocking attack")
-		fmt.Println(fig12.PageBlocked)
-		fmt.Printf("page blocking signature present: %v\n\n", fig12.Signature)
+		fmt.Println(res.Fig12.PageBlocked)
+		fmt.Printf("page blocking signature present: %v\n\n", res.Fig12.Signature)
 	}
 
 	if *mitigations || all {
-		rows, err := eval.RunMitigationMatrix(*seed)
+		rows, err := eval.RunMitigationMatrixWorkers(*seed, *workers)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(eval.RenderMitigationMatrix(rows))
 
-		sweep, err := eval.RunForensicsSweep(*seed, 10)
+		sweep, err := eval.RunForensicsSweepWorkers(*seed, 10, *workers)
 		if err != nil {
 			fail(err)
 		}
@@ -113,14 +129,17 @@ func main() {
 	}
 
 	if *ablations || all {
-		jrows := eval.RunJitterAblation(*seed, 40, []time.Duration{
+		jrows := eval.RunJitterAblationWorkers(*seed, 40, []time.Duration{
 			0, 5 * time.Millisecond, 30 * time.Millisecond, 120 * time.Millisecond,
-		})
+		}, *workers)
 		fmt.Println(eval.RenderJitterAblation(jrows))
 
-		prows := eval.RunPLOCWindowAblation(*seed, []time.Duration{
+		prows, err := eval.RunPLOCWindowAblationWorkers(*seed, []time.Duration{
 			5 * time.Second, 15 * time.Second, 25 * time.Second, 40 * time.Second,
-		})
+		}, *workers)
+		if err != nil {
+			fail(err)
+		}
 		fmt.Println(eval.RenderPLOCWindow(prows))
 
 		srows, err := eval.RunStallAblation(*seed)
@@ -129,12 +148,171 @@ func main() {
 		}
 		fmt.Println(eval.RenderStallAblation(srows))
 
-		trows, err := eval.RunLMPTimeoutAblation(*seed, []time.Duration{
+		trows, err := eval.RunLMPTimeoutAblationWorkers(*seed, []time.Duration{
 			time.Second, 5 * time.Second, 30 * time.Second,
-		})
+		}, *workers)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(eval.RenderLMPTimeout(trows))
 	}
+}
+
+// benchEntry is one baseline-vs-optimized timing comparison.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Baseline    string  `json:"baseline"`
+	Optimized   string  `json:"optimized"`
+	BaselineNs  int64   `json:"baseline_ns"`
+	OptimizedNs int64   `json:"optimized_ns"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type benchReport struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
+	Note       string       `json:"note"`
+	Results    []benchEntry `json:"results"`
+}
+
+// writeBenchJSON times the serial path against the parallel campaign (and
+// the one-shot SAFER+ against the precomputed context) and writes the
+// comparison as JSON. On a single-core machine the parallel numbers show
+// only the scheduling overhead; the determinism tests guarantee the rows
+// themselves are identical either way.
+func writeBenchJSON(path string, seed int64) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		// Still exercise the pool path (overhead-only on one core).
+		workers = 2
+	}
+	report := benchReport{
+		GOMAXPROCS: workers,
+		Workers:    workers,
+		Note:       "simulator wall-clock, not radio time; parallel speedup requires >1 CPU",
+	}
+	entry := func(name, baseline, optimized string, base, opt func() error) error {
+		t0 := time.Now()
+		if err := base(); err != nil {
+			return fmt.Errorf("%s baseline: %w", name, err)
+		}
+		bns := time.Since(t0).Nanoseconds()
+		t1 := time.Now()
+		if err := opt(); err != nil {
+			return fmt.Errorf("%s optimized: %w", name, err)
+		}
+		ons := time.Since(t1).Nanoseconds()
+		e := benchEntry{
+			Name: name, Baseline: baseline, Optimized: optimized,
+			BaselineNs: bns, OptimizedNs: ons,
+		}
+		if ons > 0 {
+			e.Speedup = float64(bns) / float64(ons)
+		}
+		report.Results = append(report.Results, e)
+		return nil
+	}
+
+	err := entry("table2_10trials", "workers=1", fmt.Sprintf("workers=%d", workers),
+		func() error { _, err := eval.RunTableIIWorkers(seed, 10, 1); return err },
+		func() error { _, err := eval.RunTableIIWorkers(seed, 10, workers); return err })
+	if err != nil {
+		return err
+	}
+	err = entry("forensics_sweep_10trials", "workers=1", fmt.Sprintf("workers=%d", workers),
+		func() error { _, err := eval.RunForensicsSweepWorkers(seed, 10, 1); return err },
+		func() error { _, err := eval.RunForensicsSweepWorkers(seed, 10, workers); return err })
+	if err != nil {
+		return err
+	}
+
+	sniffer, err := pinCrackWorld()
+	if err != nil {
+		return err
+	}
+	err = entry("pin_crack_8731", "CrackPIN", fmt.Sprintf("CrackPINParallel(workers=%d)", workers),
+		func() error { _, err := sniffer.CrackPIN(core.FourDigitPINs); return err },
+		func() error { _, err := sniffer.CrackPINParallel(core.FourDigitPINs, workers); return err })
+	if err != nil {
+		return err
+	}
+
+	// SAFER+ one-shot (per-call key schedule) vs precomputed context.
+	const n = 20000
+	err = entry("saferplus_ar_20k", "Ar(key, block)", "NewSAFERPlus(key).Ar(block)",
+		func() error {
+			key, block := [16]byte{1, 2, 3}, [16]byte{4, 5, 6}
+			for i := 0; i < n; i++ {
+				block = btcrypto.Ar(key, block)
+			}
+			return nil
+		},
+		func() error {
+			c := btcrypto.NewSAFERPlus([16]byte{1, 2, 3})
+			block := [16]byte{4, 5, 6}
+			for i := 0; i < n; i++ {
+				block = c.Ar(block)
+			}
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	err = entry("e1_auth_20k", "E1(key, rand, addr)", "NewE1Context(key).Auth(rand, addr)",
+		func() error {
+			key, challenge, addr := [16]byte{1}, [16]byte{2}, [6]byte{3}
+			for i := 0; i < n; i++ {
+				challenge[0] = byte(i)
+				_, _ = btcrypto.E1(key, challenge, addr)
+			}
+			return nil
+		},
+		func() error {
+			c := btcrypto.NewE1Context([16]byte{1})
+			challenge, addr := [16]byte{2}, [6]byte{3}
+			for i := 0; i < n; i++ {
+				challenge[0] = byte(i)
+				_, _ = c.Auth(challenge, addr)
+			}
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// pinCrackWorld reproduces the legacy-pairing capture the PIN cracking
+// benchmarks run against: two 2.0 devices pair with PIN 8731 while an air
+// sniffer records the handshake.
+func pinCrackWorld() (*core.AirSniffer, error) {
+	s := sim.NewScheduler(5)
+	med := radio.NewMedium(s, radio.DefaultConfig())
+	sniffer := core.NewAirSniffer(med)
+	mk := func(addr bt.BDADDR) *host.Host {
+		tr := hci.NewTransport(s, 100*time.Microsecond)
+		controller.New(s, med, tr, controller.Config{Addr: addr, COD: bt.CODHeadset})
+		h := host.New(s, tr, host.Config{
+			Version: bt.V2_1, IOCap: bt.NoInputNoOutput,
+			LegacyPairing: true, PINCode: "8731",
+			AcceptIncoming: true, Discoverable: true, Connectable: true,
+		}, host.Hooks{})
+		h.Start()
+		return h
+	}
+	a := mk(core.AddrM)
+	mk(core.AddrC)
+	s.Run(0)
+	a.Pair(core.AddrC, func(error) {})
+	s.RunFor(10 * time.Second)
+	res, err := sniffer.CrackPIN(core.FourDigitPINs)
+	if err != nil || res.PIN != "8731" {
+		return nil, fmt.Errorf("benchtables: PIN crack world broken: %v %q", err, res.PIN)
+	}
+	return sniffer, nil
 }

@@ -1,0 +1,101 @@
+package btcrypto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The cached-context API must be a pure refactoring of the one-shot
+// functions: every (key, input) pair maps to identical outputs.
+
+func TestSAFERPlusContextMatchesOneShot(t *testing.T) {
+	f := func(key, block [16]byte) bool {
+		c := NewSAFERPlus(key)
+		return c.Ar(block) == Ar(key, block) &&
+			c.ArPrime(block) == ArPrime(key, block) &&
+			c.Decrypt(block) == ArDecrypt(key, block)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSAFERPlusContextIsReusable(t *testing.T) {
+	key := [16]byte{0xDE, 0xAD, 0xBE, 0xEF}
+	c := NewSAFERPlus(key)
+	blocks := [][16]byte{{1}, {2, 2}, {3, 3, 3}, {0xFF}}
+	for round := 0; round < 3; round++ {
+		for _, b := range blocks {
+			if c.Ar(b) != Ar(key, b) {
+				t.Fatalf("context drifted after reuse on block %v", b)
+			}
+			if c.Decrypt(c.Ar(b)) != b {
+				t.Fatalf("context decrypt failed on block %v", b)
+			}
+		}
+	}
+}
+
+func TestE1ContextMatchesE1AndE3(t *testing.T) {
+	f := func(key, rand [16]byte, addr [6]byte, cof [12]byte) bool {
+		c := NewE1Context(key)
+		sres, aco := c.Auth(rand, addr)
+		wantSres, wantAco := E1(key, rand, addr)
+		if sres != wantSres || aco != wantAco {
+			return false
+		}
+		return c.EncryptionKey(rand, cof) == E3(key, rand, cof)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE1ContextReusedAcrossChallenges(t *testing.T) {
+	// One bonded key, many challenges — the caching scenario of the
+	// controller's per-link context and the PIN cracker's verify stage.
+	key := [16]byte{7, 7, 7}
+	addr := [6]byte{1, 2, 3, 4, 5, 6}
+	c := NewE1Context(key)
+	for i := 0; i < 16; i++ {
+		rand := [16]byte{byte(i), byte(i * 3)}
+		gotSres, gotAco := c.Auth(rand, addr)
+		wantSres, wantAco := E1(key, rand, addr)
+		if gotSres != wantSres || gotAco != wantAco {
+			t.Fatalf("challenge %d: context diverged from E1", i)
+		}
+	}
+}
+
+func TestBiasTableMatchesSpecFormula(t *testing.T) {
+	// The precomputed biases must equal the specification's double
+	// exponentiation expTab[expTab[(17p+i+1) mod 256]].
+	for p := 2; p <= 17; p++ {
+		for i := 0; i < 16; i++ {
+			want := expTab[expTab[(17*p+i+1)%256]]
+			if got := biasTab[p-2][i]; got != want {
+				t.Fatalf("biasTab[%d][%d] = %d, want %d", p-2, i, got, want)
+			}
+		}
+	}
+}
+
+func TestUnrolledShuffleMatchesPermutationTable(t *testing.T) {
+	f := func(x [16]byte) bool {
+		got := x
+		shuffle(&got)
+		var want [16]byte
+		for i, j := range armenianShuffle {
+			want[i] = x[j]
+		}
+		if got != want {
+			return false
+		}
+		inv := got
+		invShuffle(&inv)
+		return inv == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

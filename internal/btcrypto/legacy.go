@@ -55,6 +55,56 @@ func xorBlocks(a, b [16]byte) [16]byte {
 	return out
 }
 
+// E1Context caches the two SAFER+ key schedules that E1 and E3 share for
+// one link key: the raw key schedule feeding the first Ar stage and the
+// offset-key ("tilde K") schedule feeding the one-way Ar' stage. Both
+// functions run the same two-stage pipeline, so a controller that
+// authenticates and derives encryption keys repeatedly under one bonded
+// key — or an attacker replaying many challenges against one candidate
+// key — expands the schedules once instead of twice per invocation.
+//
+// An E1Context is immutable after construction and safe for concurrent
+// use.
+type E1Context struct {
+	stage1 SAFERPlus // Ar under the link key
+	stage2 SAFERPlus // Ar' under the offset key
+}
+
+// NewE1Context expands the E1/E3 key schedules for linkKey once.
+func NewE1Context(linkKey [16]byte) *E1Context {
+	var c E1Context
+	c.init(linkKey)
+	return &c
+}
+
+func (c *E1Context) init(linkKey [16]byte) {
+	c.stage1.ks = expandKey(linkKey)
+	c.stage2.ks = expandKey(offsetKey(linkKey))
+}
+
+// Auth runs E1 under the cached link key: the verifier's challenge and
+// the claimant's BD_ADDR map to the 32-bit response SRES and the 96-bit
+// Authenticated Ciphering Offset.
+func (c *E1Context) Auth(rand [16]byte, addr [6]byte) (sres [4]byte, aco [12]byte) {
+	stage1 := c.stage1.Ar(rand)
+	mixed := addBlocks(xorBlocks(stage1, rand), expandAddr(addr))
+	out := c.stage2.ArPrime(mixed)
+	copy(sres[:], out[:4])
+	copy(aco[:], out[4:])
+	return sres, aco
+}
+
+// EncryptionKey runs E3 under the cached link key: the public random
+// number and the Ciphering Offset map to the session encryption key.
+func (c *E1Context) EncryptionKey(rand [16]byte, cof [12]byte) [16]byte {
+	var cofBlock [16]byte
+	for i := range cofBlock {
+		cofBlock[i] = cof[i%12]
+	}
+	mixed := addBlocks(xorBlocks(c.stage1.Ar(rand), rand), cofBlock)
+	return c.stage2.ArPrime(mixed)
+}
+
 // E1 is the LMP authentication function. Given the 128-bit link key, the
 // verifier's 128-bit challenge RAND and the claimant's BD_ADDR, it returns
 // the 32-bit signed response SRES and the 96-bit Authenticated Ciphering
@@ -63,14 +113,12 @@ func xorBlocks(a, b [16]byte) [16]byte {
 // Structure per the specification: the first stage runs Ar over the
 // challenge under the link key; its output is XORed with the challenge and
 // the cyclically-expanded address is added bytewise; the second stage runs
-// the one-way Ar' under the offset key.
+// the one-way Ar' under the offset key. Callers holding one key across
+// many invocations should build an E1Context instead.
 func E1(linkKey [16]byte, rand [16]byte, addr [6]byte) (sres [4]byte, aco [12]byte) {
-	stage1 := Ar(linkKey, rand)
-	mixed := addBlocks(xorBlocks(stage1, rand), expandAddr(addr))
-	out := ArPrime(offsetKey(linkKey), mixed)
-	copy(sres[:], out[:4])
-	copy(aco[:], out[4:])
-	return sres, aco
+	var c E1Context
+	c.init(linkKey)
+	return c.Auth(rand, addr)
 }
 
 // E21 generates a unit key or a device's share of a combination key from a
@@ -107,14 +155,12 @@ func E22(rand [16]byte, pin []byte, addr [6]byte) [16]byte {
 
 // E3 generates the encryption key from the link key, a public random
 // number and the Ciphering Offset (COF), which is the ACO from LMP
-// authentication for point-to-point links.
+// authentication for point-to-point links. Callers holding one key across
+// many invocations should build an E1Context instead.
 func E3(linkKey [16]byte, rand [16]byte, cof [12]byte) [16]byte {
-	var cofBlock [16]byte
-	for i := range cofBlock {
-		cofBlock[i] = cof[i%12]
-	}
-	mixed := addBlocks(xorBlocks(Ar(linkKey, rand), rand), cofBlock)
-	return ArPrime(offsetKey(linkKey), mixed)
+	var c E1Context
+	c.init(linkKey)
+	return c.EncryptionKey(rand, cof)
 }
 
 // ShrinkKey reduces the effective entropy of an encryption key to n bytes

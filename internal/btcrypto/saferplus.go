@@ -10,11 +10,25 @@
 // layer over 45^x mod 257, the byte-rotating key schedule with bias words,
 // eight rounds of mixed XOR/ADD key injection, and the linear layer built
 // from 2-PHT levels interleaved with the "Armenian shuffle" permutation.
+//
+// The SAFER+ primitives are on the hot path of the offline attacks (PIN
+// cracking runs five key schedules per candidate, KNOB brute-force one E0
+// derivation per candidate), so the round functions are fully unrolled
+// and allocation-free, the key-schedule bias words are precomputed at
+// init, and SAFERPlus offers a reusable cipher context that expands the
+// key schedule once for any number of Ar/Ar' invocations under the same
+// key.
 package btcrypto
 
 // expTab[x] = (45^x mod 257) mod 256 and logTab is its inverse
 // (logTab[expTab[x]] = x). They implement the SAFER+ nonlinear layer.
 var expTab, logTab [256]byte
+
+// biasTab[p-2][i] holds the key-schedule bias word for subkey p (2..17)
+// at byte i: expTab[expTab[(17p+i+1) mod 256]]. The biases are key
+// independent, so computing them once at init removes 512 table walks
+// and 256 modular reductions from every key schedule expansion.
+var biasTab [16][16]byte
 
 func init() {
 	v := 1
@@ -25,28 +39,44 @@ func init() {
 	for x := 0; x < 256; x++ {
 		logTab[expTab[x]] = byte(x)
 	}
+	for p := 2; p <= 17; p++ {
+		for i := 0; i < 16; i++ {
+			biasTab[p-2][i] = expTab[expTab[(17*p+i+1)%256]]
+		}
+	}
 }
 
 // armenianShuffle is the SAFER+ byte permutation applied between 2-PHT
-// levels of the linear layer; out[i] = in[armenianShuffle[i]].
+// levels of the linear layer; out[i] = in[armenianShuffle[i]]. The
+// unrolled shuffle below is generated from this table; the table itself
+// is retained as the specification-facing definition (and for tests).
 var armenianShuffle = [16]int{8, 11, 12, 15, 2, 1, 6, 5, 10, 9, 14, 13, 0, 7, 4, 3}
 
 // pht applies the 2-point pseudo-Hadamard transform to the eight byte
 // pairs of the block: (a, b) -> (2a+b, a+b) mod 256.
 func pht(b *[16]byte) {
-	for i := 0; i < 16; i += 2 {
-		a, c := b[i], b[i+1]
-		b[i] = 2*a + c
-		b[i+1] = a + c
-	}
+	b[0], b[1] = 2*b[0]+b[1], b[0]+b[1]
+	b[2], b[3] = 2*b[2]+b[3], b[2]+b[3]
+	b[4], b[5] = 2*b[4]+b[5], b[4]+b[5]
+	b[6], b[7] = 2*b[6]+b[7], b[6]+b[7]
+	b[8], b[9] = 2*b[8]+b[9], b[8]+b[9]
+	b[10], b[11] = 2*b[10]+b[11], b[10]+b[11]
+	b[12], b[13] = 2*b[12]+b[13], b[12]+b[13]
+	b[14], b[15] = 2*b[14]+b[15], b[14]+b[15]
 }
 
+// shuffle applies the Armenian shuffle in place without a temporary
+// array: out[i] = in[armenianShuffle[i]]. Indices 6 and 9 are fixed
+// points of the permutation and stay untouched.
 func shuffle(b *[16]byte) {
-	var out [16]byte
-	for i, j := range armenianShuffle {
-		out[i] = b[j]
-	}
-	*b = out
+	b[0], b[1], b[2], b[3],
+		b[4], b[5], b[7],
+		b[8], b[10], b[11],
+		b[12], b[13], b[14], b[15] =
+		b[8], b[11], b[12], b[15],
+		b[2], b[1], b[5],
+		b[10], b[14], b[13],
+		b[0], b[7], b[4], b[3]
 }
 
 // linearLayer applies the SAFER+ 16x16 linear transform M: four 2-PHT
@@ -67,8 +97,8 @@ type roundKeys [17][16]byte
 // expandKey computes the SAFER+ key schedule. A 17-byte register is
 // initialised with the key and a parity byte; each subsequent subkey
 // rotates every register byte left by three bits, selects sixteen bytes
-// cyclically, and adds a bias word derived from the double exponentiation
-// of the subkey/byte position.
+// cyclically, and adds the precomputed bias word of the subkey/byte
+// position.
 func expandKey(key [16]byte) roundKeys {
 	var ks roundKeys
 	var reg [17]byte
@@ -84,9 +114,14 @@ func expandKey(key [16]byte) roundKeys {
 		for i := range reg {
 			reg[i] = reg[i]<<3 | reg[i]>>5
 		}
+		bias := &biasTab[p-2]
+		sub := &ks[p-1]
 		for i := 0; i < 16; i++ {
-			bias := expTab[expTab[(17*p+i+1)%256]]
-			ks[p-1][i] = reg[(p-1+i)%17] + bias
+			j := p - 1 + i
+			if j >= 17 {
+				j -= 17
+			}
+			sub[i] = reg[j] + bias[i]
 		}
 	}
 	return ks
@@ -95,40 +130,64 @@ func expandKey(key [16]byte) roundKeys {
 // keyMixA applies the odd-subkey injection: XOR at positions 0,3,4,7,8,
 // 11,12,15 and addition mod 256 elsewhere.
 func keyMixA(b *[16]byte, k *[16]byte) {
-	for i := 0; i < 16; i++ {
-		switch i & 3 {
-		case 0, 3:
-			b[i] ^= k[i]
-		default:
-			b[i] += k[i]
-		}
-	}
+	b[0] ^= k[0]
+	b[1] += k[1]
+	b[2] += k[2]
+	b[3] ^= k[3]
+	b[4] ^= k[4]
+	b[5] += k[5]
+	b[6] += k[6]
+	b[7] ^= k[7]
+	b[8] ^= k[8]
+	b[9] += k[9]
+	b[10] += k[10]
+	b[11] ^= k[11]
+	b[12] ^= k[12]
+	b[13] += k[13]
+	b[14] += k[14]
+	b[15] ^= k[15]
 }
 
 // keyMixB applies the even-subkey injection: addition mod 256 at positions
 // 0,3,4,7,8,11,12,15 and XOR elsewhere.
 func keyMixB(b *[16]byte, k *[16]byte) {
-	for i := 0; i < 16; i++ {
-		switch i & 3 {
-		case 0, 3:
-			b[i] += k[i]
-		default:
-			b[i] ^= k[i]
-		}
-	}
+	b[0] += k[0]
+	b[1] ^= k[1]
+	b[2] ^= k[2]
+	b[3] += k[3]
+	b[4] += k[4]
+	b[5] ^= k[5]
+	b[6] ^= k[6]
+	b[7] += k[7]
+	b[8] += k[8]
+	b[9] ^= k[9]
+	b[10] ^= k[10]
+	b[11] += k[11]
+	b[12] += k[12]
+	b[13] ^= k[13]
+	b[14] ^= k[14]
+	b[15] += k[15]
 }
 
 // nonlinear applies the e/l substitution: exponentiation at XOR positions,
 // logarithm at ADD positions.
 func nonlinear(b *[16]byte) {
-	for i := 0; i < 16; i++ {
-		switch i & 3 {
-		case 0, 3:
-			b[i] = expTab[b[i]]
-		default:
-			b[i] = logTab[b[i]]
-		}
-	}
+	b[0] = expTab[b[0]]
+	b[1] = logTab[b[1]]
+	b[2] = logTab[b[2]]
+	b[3] = expTab[b[3]]
+	b[4] = expTab[b[4]]
+	b[5] = logTab[b[5]]
+	b[6] = logTab[b[6]]
+	b[7] = expTab[b[7]]
+	b[8] = expTab[b[8]]
+	b[9] = logTab[b[9]]
+	b[10] = logTab[b[10]]
+	b[11] = expTab[b[11]]
+	b[12] = expTab[b[12]]
+	b[13] = logTab[b[13]]
+	b[14] = logTab[b[14]]
+	b[15] = expTab[b[15]]
 }
 
 // ar runs the SAFER+ encryption function Ar on one block. When prime is
@@ -151,6 +210,41 @@ func ar(ks *roundKeys, in [16]byte, prime bool) [16]byte {
 	return b
 }
 
+// SAFERPlus is a precomputed SAFER+ cipher context: the key schedule is
+// expanded once at construction and reused across any number of Ar, Ar'
+// and decrypt invocations under the same key. The offline attacks and
+// the per-link authentication cache are the intended users — anywhere the
+// same 128-bit key feeds repeated E1/E21/E22/E3 evaluations.
+//
+// The zero value is the context of the all-zero key's *unexpanded*
+// schedule and must not be used; always construct via NewSAFERPlus.
+// A SAFERPlus is immutable after construction and safe for concurrent
+// use.
+type SAFERPlus struct {
+	ks roundKeys
+}
+
+// NewSAFERPlus expands the SAFER+ key schedule for key once.
+func NewSAFERPlus(key [16]byte) *SAFERPlus {
+	return &SAFERPlus{ks: expandKey(key)}
+}
+
+// Ar computes the SAFER+ encryption of one block under the cached key.
+func (c *SAFERPlus) Ar(block [16]byte) [16]byte {
+	return ar(&c.ks, block, false)
+}
+
+// ArPrime computes the modified one-way function Ar' (round-1 input
+// re-injected before round 3) under the cached key.
+func (c *SAFERPlus) ArPrime(block [16]byte) [16]byte {
+	return ar(&c.ks, block, true)
+}
+
+// Decrypt inverts Ar under the cached key.
+func (c *SAFERPlus) Decrypt(block [16]byte) [16]byte {
+	return arDecrypt(&c.ks, block)
+}
+
 // Ar computes the SAFER+ encryption of a 16-byte block under a 16-byte key.
 func Ar(key, block [16]byte) [16]byte {
 	ks := expandKey(key)
@@ -167,22 +261,28 @@ func ArPrime(key, block [16]byte) [16]byte {
 
 // --- inverse cipher ---
 
-// invShuffle undoes the Armenian shuffle.
+// invShuffle undoes the Armenian shuffle (same fixed points at 6 and 9).
 func invShuffle(b *[16]byte) {
-	var out [16]byte
-	for i, j := range armenianShuffle {
-		out[j] = b[i]
-	}
-	*b = out
+	b[8], b[11], b[12], b[15],
+		b[2], b[1], b[5],
+		b[10], b[14], b[13],
+		b[0], b[7], b[4], b[3] =
+		b[0], b[1], b[2], b[3],
+		b[4], b[5], b[7],
+		b[8], b[10], b[11],
+		b[12], b[13], b[14], b[15]
 }
 
 // invPHT undoes the 2-PHT: given (x, y) = (2a+b, a+b), a = x-y, b = 2y-x.
 func invPHT(b *[16]byte) {
-	for i := 0; i < 16; i += 2 {
-		x, y := b[i], b[i+1]
-		b[i] = x - y
-		b[i+1] = 2*y - x
-	}
+	b[0], b[1] = b[0]-b[1], 2*b[1]-b[0]
+	b[2], b[3] = b[2]-b[3], 2*b[3]-b[2]
+	b[4], b[5] = b[4]-b[5], 2*b[5]-b[4]
+	b[6], b[7] = b[6]-b[7], 2*b[7]-b[6]
+	b[8], b[9] = b[8]-b[9], 2*b[9]-b[8]
+	b[10], b[11] = b[10]-b[11], 2*b[11]-b[10]
+	b[12], b[13] = b[12]-b[13], 2*b[13]-b[12]
+	b[14], b[15] = b[14]-b[15], 2*b[15]-b[14]
 }
 
 // invLinearLayer inverts linearLayer.
@@ -199,44 +299,66 @@ func invLinearLayer(b *[16]byte) {
 // invKeyMixA undoes keyMixA (XOR positions XOR again; ADD positions
 // subtract).
 func invKeyMixA(b *[16]byte, k *[16]byte) {
-	for i := 0; i < 16; i++ {
-		switch i & 3 {
-		case 0, 3:
-			b[i] ^= k[i]
-		default:
-			b[i] -= k[i]
-		}
-	}
+	b[0] ^= k[0]
+	b[1] -= k[1]
+	b[2] -= k[2]
+	b[3] ^= k[3]
+	b[4] ^= k[4]
+	b[5] -= k[5]
+	b[6] -= k[6]
+	b[7] ^= k[7]
+	b[8] ^= k[8]
+	b[9] -= k[9]
+	b[10] -= k[10]
+	b[11] ^= k[11]
+	b[12] ^= k[12]
+	b[13] -= k[13]
+	b[14] -= k[14]
+	b[15] ^= k[15]
 }
 
 // invKeyMixB undoes keyMixB.
 func invKeyMixB(b *[16]byte, k *[16]byte) {
-	for i := 0; i < 16; i++ {
-		switch i & 3 {
-		case 0, 3:
-			b[i] -= k[i]
-		default:
-			b[i] ^= k[i]
-		}
-	}
+	b[0] -= k[0]
+	b[1] ^= k[1]
+	b[2] ^= k[2]
+	b[3] -= k[3]
+	b[4] -= k[4]
+	b[5] ^= k[5]
+	b[6] ^= k[6]
+	b[7] -= k[7]
+	b[8] -= k[8]
+	b[9] ^= k[9]
+	b[10] ^= k[10]
+	b[11] -= k[11]
+	b[12] -= k[12]
+	b[13] ^= k[13]
+	b[14] ^= k[14]
+	b[15] -= k[15]
 }
 
 // invNonlinear undoes the e/l substitution.
 func invNonlinear(b *[16]byte) {
-	for i := 0; i < 16; i++ {
-		switch i & 3 {
-		case 0, 3:
-			b[i] = logTab[b[i]]
-		default:
-			b[i] = expTab[b[i]]
-		}
-	}
+	b[0] = logTab[b[0]]
+	b[1] = expTab[b[1]]
+	b[2] = expTab[b[2]]
+	b[3] = logTab[b[3]]
+	b[4] = logTab[b[4]]
+	b[5] = expTab[b[5]]
+	b[6] = expTab[b[6]]
+	b[7] = logTab[b[7]]
+	b[8] = logTab[b[8]]
+	b[9] = expTab[b[9]]
+	b[10] = expTab[b[10]]
+	b[11] = logTab[b[11]]
+	b[12] = logTab[b[12]]
+	b[13] = expTab[b[13]]
+	b[14] = expTab[b[14]]
+	b[15] = logTab[b[15]]
 }
 
-// ArDecrypt inverts Ar under the same key: ArDecrypt(key, Ar(key, x)) == x.
-// (Ar' has no inverse — the round-3 re-injection makes it one-way.)
-func ArDecrypt(key, block [16]byte) [16]byte {
-	ks := expandKey(key)
+// arDecrypt inverts ar (non-prime) under an expanded schedule.
+func arDecrypt(ks *roundKeys, block [16]byte) [16]byte {
 	b := block
 	invKeyMixA(&b, &ks[16])
 	for r := 8; r >= 1; r-- {
@@ -246,4 +368,11 @@ func ArDecrypt(key, block [16]byte) [16]byte {
 		invKeyMixA(&b, &ks[2*r-2])
 	}
 	return b
+}
+
+// ArDecrypt inverts Ar under the same key: ArDecrypt(key, Ar(key, x)) == x.
+// (Ar' has no inverse — the round-3 re-injection makes it one-way.)
+func ArDecrypt(key, block [16]byte) [16]byte {
+	ks := expandKey(key)
+	return arDecrypt(&ks, block)
 }

@@ -27,6 +27,16 @@ type authState struct {
 	fromPairing bool
 }
 
+// e1For returns the link's cached E1/E3 schedule context for key,
+// expanding it only when the key changed (re-pairing, key rotation).
+func (c *Controller) e1For(lk *link, key bt.LinkKey) *btcrypto.E1Context {
+	if lk.e1ctx == nil || lk.e1ctxKey != key {
+		lk.e1ctx = btcrypto.NewE1Context(key)
+		lk.e1ctxKey = key
+	}
+	return lk.e1ctx
+}
+
 // startAuthentication begins LMP authentication as verifier. Per the
 // specification the controller first asks its host for the stored link
 // key; the host's reply (carrying the key in plaintext) is what HCI dumps
@@ -85,7 +95,7 @@ func (c *Controller) hostDeniedKey(addr bt.BDADDR) {
 // initiator (the piconet master here) acted as verifier — so the claimant
 // stores it only when the peer is the master.
 func (c *Controller) respondToChallenge(lk *link, key bt.LinkKey, challenge [16]byte) {
-	sres, aco := btcrypto.E1(key, challenge, c.cfg.Addr)
+	sres, aco := c.e1For(lk, key).Auth(challenge, c.cfg.Addr)
 	lk.currentKey = key
 	lk.haveKey = true
 	if !lk.initiator {
@@ -140,7 +150,7 @@ func (c *Controller) onSres(lk *link, pdu SresPDU) {
 	}
 	c.stopLMPTimer(lk)
 	lk.auth = nil
-	expected, aco := btcrypto.E1(a.key, a.challenge, lk.peer)
+	expected, aco := c.e1For(lk, a.key).Auth(a.challenge, lk.peer)
 	if expected != pdu.Sres {
 		c.tr.SendEvent(&hci.AuthenticationComplete{Status: hci.StatusAuthenticationFailure, Handle: lk.handle})
 		return
@@ -226,7 +236,7 @@ func (c *Controller) onEncStart(lk *link, pdu EncStartPDU) {
 		c.send(lk, NotAcceptedPDU{Op: "LMP_encryption_key_size", Reason: hci.StatusAuthenticationFailure}, false)
 		return
 	}
-	kc := btcrypto.E3(lk.currentKey, pdu.Rand, lk.aco)
+	kc := c.e1For(lk, lk.currentKey).EncryptionKey(pdu.Rand, lk.aco)
 	lk.encKey = btcrypto.ShrinkKey(kc, agreed)
 	lk.encKeySize = agreed
 	lk.encrypted = true
@@ -244,7 +254,7 @@ func (c *Controller) onEncAccept(lk *link, pdu EncAcceptPDU) {
 		c.tr.SendEvent(&hci.EncryptionChange{Status: hci.StatusAuthenticationFailure, Handle: lk.handle})
 		return
 	}
-	kc := btcrypto.E3(lk.currentKey, lk.pendingEncRnd, lk.aco)
+	kc := c.e1For(lk, lk.currentKey).EncryptionKey(lk.pendingEncRnd, lk.aco)
 	lk.encKey = btcrypto.ShrinkKey(kc, pdu.KeySize)
 	lk.encKeySize = pdu.KeySize
 	lk.encrypted = true

@@ -92,6 +92,11 @@ type link struct {
 	// encryption key generation.
 	currentKey    bt.LinkKey
 	haveKey       bool
+	// e1ctx caches the SAFER+ key schedules for e1ctxKey so repeated
+	// E1 authentications and E3 derivations under one bonded key skip
+	// the schedule expansion (see btcrypto.E1Context).
+	e1ctx         *btcrypto.E1Context
+	e1ctxKey      bt.LinkKey
 	aco           [12]byte
 	encrypted     bool
 	pendingEncist bool

@@ -2,8 +2,10 @@ package core
 
 import (
 	"bytes"
+	"context"
 
 	"repro/internal/btcrypto"
+	"repro/internal/campaign"
 	"repro/internal/controller"
 	"repro/internal/device"
 	"repro/internal/radio"
@@ -58,6 +60,20 @@ func newKNOBWorld(seed int64, clientMax, victimMin int) (*KNOBWorld, error) {
 // It returns the recovered plaintext, the number of keys tried, and
 // whether the search succeeded.
 func (w *KNOBWorld) BruteForce(crib []byte) (plaintext []byte, tried int, ok bool) {
+	return w.bruteForce(crib, 1)
+}
+
+// BruteForceParallel is BruteForce with each frame's key space sharded
+// across a campaign.Search worker pool with early cancellation. The
+// recovered plaintext and the tried count are identical to the serial
+// search for any worker count: the lowest matching key wins and tried is
+// the serial-equivalent count (full exhausted spaces plus the match
+// position). workers <= 0 selects GOMAXPROCS.
+func (w *KNOBWorld) BruteForceParallel(crib []byte, workers int) (plaintext []byte, tried int, ok bool) {
+	return w.bruteForce(crib, workers)
+}
+
+func (w *KNOBWorld) bruteForce(crib []byte, workers int) (plaintext []byte, tried int, ok bool) {
 	// Reconstruct per-session master/clock exactly like an eavesdropper.
 	type session struct {
 		master     [6]byte
@@ -74,10 +90,15 @@ func (w *KNOBWorld) BruteForce(crib []byte) (plaintext []byte, tried int, ok boo
 		return s
 	}
 
+	keyBytes := w.KeySize
+	if keyBytes > 3 {
+		keyBytes = 3
+	}
 	space := 1
-	for i := 0; i < w.KeySize && i < 3; i++ {
+	for i := 0; i < keyBytes; i++ {
 		space *= 256
 	}
+	cfg := campaign.Config{Workers: workers}
 	for _, f := range w.Sniffer.Frames() {
 		switch pdu := f.Payload.(type) {
 		case controller.ConnAcceptPDU:
@@ -92,19 +113,25 @@ func (w *KNOBWorld) BruteForce(crib []byte) (plaintext []byte, tried int, ok boo
 			if !s.haveMaster {
 				continue
 			}
-			for guess := 0; guess < space; guess++ {
+			decs := make([][]byte, space)
+			found, _ := campaign.Search(context.Background(), space, cfg, func(guess int) bool {
 				var cand [16]byte
 				g := guess
-				for b := 0; b < w.KeySize && b < 3; b++ {
+				for b := 0; b < keyBytes; b++ {
 					cand[b] = byte(g)
 					g >>= 8
 				}
-				tried++
 				dec := btcrypto.EncryptPayload(cand, s.master, pdu.Clock, pdu.Data)
 				if bytes.Contains(dec, crib) {
-					return dec, tried, true
+					decs[guess] = dec
+					return true
 				}
+				return false
+			})
+			if found >= 0 {
+				return decs[found], tried + found + 1, true
 			}
+			tried += space
 		}
 	}
 	return nil, tried, false

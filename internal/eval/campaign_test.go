@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"testing"
+	"time"
+)
+
+// The campaign engine's contract is that the worker count never changes a
+// single output bit. These tests pin the serial reference (workers == 1)
+// against parallel runs for the paper tables and one ablation sweep; the
+// rows are plain comparable structs, so == is a byte-level comparison.
+
+var determinismWorkers = []int{2, 4, 8}
+
+func TestTableIParallelMatchesSerial(t *testing.T) {
+	want, err := RunTableIWorkers(7, 1)
+	if err != nil {
+		t.Fatalf("serial Table I: %v", err)
+	}
+	for _, w := range determinismWorkers {
+		got, err := RunTableIWorkers(7, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d rows, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d row %d: %+v != serial %+v", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTableIIParallelMatchesSerial(t *testing.T) {
+	const trials = 3
+	want, err := RunTableIIWorkers(11, trials, 1)
+	if err != nil {
+		t.Fatalf("serial Table II: %v", err)
+	}
+	for _, w := range determinismWorkers {
+		got, err := RunTableIIWorkers(11, trials, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d rows, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d row %d: %+v != serial %+v", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPLOCWindowAblationParallelMatchesSerial(t *testing.T) {
+	delays := []time.Duration{5 * time.Second, 30 * time.Second}
+	want, err := RunPLOCWindowAblationWorkers(13, delays, 1)
+	if err != nil {
+		t.Fatalf("serial PLOC sweep: %v", err)
+	}
+	for _, w := range determinismWorkers {
+		got, err := RunPLOCWindowAblationWorkers(13, delays, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d rows, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d row %d: %+v != serial %+v", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestJitterAblationParallelMatchesSerial(t *testing.T) {
+	spreads := []time.Duration{0, 30 * time.Millisecond}
+	want := RunJitterAblationWorkers(17, 6, spreads, 1)
+	for _, w := range determinismWorkers {
+		got := RunJitterAblationWorkers(17, 6, spreads, w)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d rows, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d row %d: %+v != serial %+v", w, i, got[i], want[i])
+			}
+		}
+	}
+}

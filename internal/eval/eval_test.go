@@ -264,7 +264,10 @@ func TestJitterAblationDegeneratesWithoutSpread(t *testing.T) {
 }
 
 func TestPLOCWindowAblationShape(t *testing.T) {
-	rows := RunPLOCWindowAblation(12, []time.Duration{5 * time.Second, 30 * time.Second})
+	rows, err := RunPLOCWindowAblation(12, []time.Duration{5 * time.Second, 30 * time.Second})
+	if err != nil {
+		t.Fatalf("RunPLOCWindowAblation: %v", err)
+	}
 	if len(rows) != 4 {
 		t.Fatalf("rows: %d", len(rows))
 	}

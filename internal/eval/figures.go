@@ -1,16 +1,53 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"repro/internal/bt"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/snoop"
 	"repro/internal/usbsniff"
 )
+
+// FiguresResult bundles every figure reproduction of one evaluation run.
+type FiguresResult struct {
+	Fig2  Fig2Result
+	Fig3  Fig3Result
+	Fig7  Fig7Result
+	Fig11 Fig11Result
+	Fig12 Fig12Result
+}
+
+// RunAllFigures regenerates the five figure reproductions as one
+// campaign: each figure builds its own worlds from the shared seed, so
+// they are independent trials and their results match the sequential
+// RunFigN calls exactly. workers <= 0 selects GOMAXPROCS.
+func RunAllFigures(seed int64, workers int) (FiguresResult, error) {
+	var out FiguresResult
+	_, err := campaign.Run(context.Background(), 5, campaign.Config{Workers: workers},
+		func(_ context.Context, i int) (struct{}, error) {
+			var err error
+			switch i {
+			case 0:
+				out.Fig2, err = RunFig2(seed)
+			case 1:
+				out.Fig3, err = RunFig3(seed)
+			case 2:
+				out.Fig7 = RunFig7()
+			case 3:
+				out.Fig11, err = RunFig11(seed)
+			case 4:
+				out.Fig12, err = RunFig12(seed)
+			}
+			return struct{}{}, err
+		})
+	return out, err
+}
 
 // Fig2Result carries the message sequences of Fig. 2: the HCI-visible
 // flows for a first pairing (SSP) and for a bonded reconnection (LMP

@@ -1,10 +1,12 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/forensics"
@@ -28,46 +30,68 @@ type ForensicsSweepResult struct {
 // RunForensicsSweep measures the capture analyzer's detection and
 // false-positive rates across `trials` independent worlds per scenario.
 func RunForensicsSweep(seed int64, trials int) (ForensicsSweepResult, error) {
+	return RunForensicsSweepWorkers(seed, trials, 0)
+}
+
+// RunForensicsSweepWorkers is RunForensicsSweep with an explicit campaign
+// worker count. The trials × 3 scenario worlds (attacked victim, attacked
+// accessory, innocent pairing) form one flat campaign; the aggregate
+// counters are order-independent sums, so the result is bit-identical for
+// any worker count.
+func RunForensicsSweepWorkers(seed int64, trials, workers int) (ForensicsSweepResult, error) {
 	res := ForensicsSweepResult{Trials: trials}
-	for i := 0; i < trials; i++ {
-		// Attacked victim.
-		tb, err := core.NewTestbed(seed+int64(i)*3, core.TestbedOptions{})
-		if err != nil {
-			return res, err
-		}
-		rep := core.RunPageBlocking(tb.Sched, core.PageBlockingConfig{
-			Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser, UsePLOC: true,
+	flagged, err := campaign.Run(context.Background(), trials*3, campaign.Config{Workers: workers},
+		func(_ context.Context, idx int) (bool, error) {
+			i, scenario := idx/3, idx%3
+			switch scenario {
+			case 0: // Attacked victim.
+				tb, err := core.NewTestbed(seed+int64(i)*3, core.TestbedOptions{})
+				if err != nil {
+					return false, err
+				}
+				rep := core.RunPageBlocking(tb.Sched, core.PageBlockingConfig{
+					Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser, UsePLOC: true,
+				})
+				return rep.MITMEstablished &&
+					forensics.Analyze(tb.M.Snoop.Records()).HasFinding(forensics.FindingPageBlocking), nil
+			case 1: // Attacked accessory.
+				tb2, err := core.NewTestbed(seed+int64(i)*3+1, core.TestbedOptions{
+					ClientPlatform: device.GalaxyS21Android11, Bond: true,
+				})
+				if err != nil {
+					return false, err
+				}
+				_, extractErr := core.RunLinkKeyExtraction(tb2.Sched, core.LinkKeyExtractionConfig{
+					Attacker: tb2.A, Client: tb2.C, Target: tb2.M.Addr(), Channel: core.ChannelHCISnoop,
+				})
+				return extractErr == nil &&
+					forensics.Analyze(tb2.C.Snoop.Records()).HasFinding(forensics.FindingStalledAuthTimeout), nil
+			default: // Innocent pairing.
+				tb3, err := core.NewTestbed(seed+int64(i)*3+2, core.TestbedOptions{})
+				if err != nil {
+					return false, err
+				}
+				tb3.MUser.ExpectPairing(tb3.C.Addr())
+				tb3.M.Host.Pair(tb3.C.Addr(), func(error) {})
+				tb3.Sched.RunFor(30 * time.Second)
+				report := forensics.Analyze(tb3.M.Snoop.Records())
+				return report.HasFinding(forensics.FindingPageBlocking) ||
+					report.HasFinding(forensics.FindingStalledAuthTimeout), nil
+			}
 		})
-		if rep.MITMEstablished &&
-			forensics.Analyze(tb.M.Snoop.Records()).HasFinding(forensics.FindingPageBlocking) {
+	if err != nil {
+		return res, err
+	}
+	for idx, hit := range flagged {
+		if !hit {
+			continue
+		}
+		switch idx % 3 {
+		case 0:
 			res.PageBlockingDetected++
-		}
-
-		// Attacked accessory.
-		tb2, err := core.NewTestbed(seed+int64(i)*3+1, core.TestbedOptions{
-			ClientPlatform: device.GalaxyS21Android11, Bond: true,
-		})
-		if err != nil {
-			return res, err
-		}
-		if _, err := core.RunLinkKeyExtraction(tb2.Sched, core.LinkKeyExtractionConfig{
-			Attacker: tb2.A, Client: tb2.C, Target: tb2.M.Addr(), Channel: core.ChannelHCISnoop,
-		}); err == nil &&
-			forensics.Analyze(tb2.C.Snoop.Records()).HasFinding(forensics.FindingStalledAuthTimeout) {
+		case 1:
 			res.ExtractionDetected++
-		}
-
-		// Innocent pairing.
-		tb3, err := core.NewTestbed(seed+int64(i)*3+2, core.TestbedOptions{})
-		if err != nil {
-			return res, err
-		}
-		tb3.MUser.ExpectPairing(tb3.C.Addr())
-		tb3.M.Host.Pair(tb3.C.Addr(), func(error) {})
-		tb3.Sched.RunFor(30 * time.Second)
-		report := forensics.Analyze(tb3.M.Snoop.Records())
-		if report.HasFinding(forensics.FindingPageBlocking) ||
-			report.HasFinding(forensics.FindingStalledAuthTimeout) {
+		default:
 			res.CleanFalsePositives++
 		}
 	}

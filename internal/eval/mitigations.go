@@ -1,10 +1,12 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/device"
 )
@@ -21,8 +23,13 @@ type MitigationRow struct {
 // RunMitigationMatrix evaluates each §VII defence (plus the post-KNOB
 // hardening) against its attack, with and without the defence armed.
 func RunMitigationMatrix(seed int64) ([]MitigationRow, error) {
-	var rows []MitigationRow
+	return RunMitigationMatrixWorkers(seed, 0)
+}
 
+// RunMitigationMatrixWorkers is RunMitigationMatrix with an explicit
+// campaign worker count: the six attack×defence worlds (three pairings,
+// armed and unarmed) are independent and run as one campaign.
+func RunMitigationMatrixWorkers(seed int64, workers int) ([]MitigationRow, error) {
 	// 1. Link key extraction vs the snoop link-key filter (§VII-A).
 	extraction := func(filter bool) (bool, error) {
 		tb, err := core.NewTestbed(seed, core.TestbedOptions{
@@ -39,19 +46,6 @@ func RunMitigationMatrix(seed int64) ([]MitigationRow, error) {
 		})
 		return err == nil && rep.Key == tb.BondKey, nil
 	}
-	plain, err := extraction(false)
-	if err != nil {
-		return nil, err
-	}
-	filtered, err := extraction(true)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, MitigationRow{
-		Attack: "link key extraction (HCI dump)", Mitigation: "snoop link-key filter (§VII-A)",
-		Unmitigated: plain, Mitigated: filtered, DefenceWorked: plain && !filtered,
-	})
-
 	// 2. Page blocking vs the pairing/connection role check (§VII-B).
 	pageBlock := func(enforce bool) (bool, error) {
 		tb, err := core.NewTestbed(seed+1, core.TestbedOptions{
@@ -66,19 +60,6 @@ func RunMitigationMatrix(seed int64) ([]MitigationRow, error) {
 		})
 		return rep.MITMEstablished, nil
 	}
-	pb, err := pageBlock(false)
-	if err != nil {
-		return nil, err
-	}
-	pbDef, err := pageBlock(true)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, MitigationRow{
-		Attack: "page blocking + SSP downgrade", Mitigation: "pairing/connection role check (§VII-B)",
-		Unmitigated: pb, Mitigated: pbDef, DefenceWorked: pb && !pbDef,
-	})
-
 	// 3. KNOB-style entropy reduction vs a minimum encryption key size.
 	knob := func(minKeySize int) (bool, error) {
 		var w *core.KNOBWorld
@@ -104,23 +85,36 @@ func RunMitigationMatrix(seed int64) ([]MitigationRow, error) {
 			})
 		})
 		w.Testbed.Sched.RunFor(10 * time.Second)
-		_, _, ok := w.BruteForce(secret[:4])
+		_, _, ok := w.BruteForceParallel(secret[:4], 0)
 		return ok, nil
 	}
-	weak, err := knob(1)
+	// Six independent worlds: each attack without and with its defence.
+	runs := []func() (bool, error){
+		func() (bool, error) { return extraction(false) },
+		func() (bool, error) { return extraction(true) },
+		func() (bool, error) { return pageBlock(false) },
+		func() (bool, error) { return pageBlock(true) },
+		func() (bool, error) { return knob(1) },
+		func() (bool, error) { return knob(7) },
+	}
+	outcomes, err := campaign.Run(context.Background(), len(runs), campaign.Config{Workers: workers},
+		func(_ context.Context, i int) (bool, error) { return runs[i]() })
 	if err != nil {
 		return nil, err
 	}
-	hardened, err := knob(7)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, MitigationRow{
-		Attack: "1-byte key brute force (KNOB)", Mitigation: "minimum encryption key size 7",
-		Unmitigated: weak, Mitigated: hardened, DefenceWorked: weak && !hardened,
-	})
 
-	return rows, nil
+	row := func(attack, mitigation string, unmitigated, mitigated bool) MitigationRow {
+		return MitigationRow{
+			Attack: attack, Mitigation: mitigation,
+			Unmitigated: unmitigated, Mitigated: mitigated,
+			DefenceWorked: unmitigated && !mitigated,
+		}
+	}
+	return []MitigationRow{
+		row("link key extraction (HCI dump)", "snoop link-key filter (§VII-A)", outcomes[0], outcomes[1]),
+		row("page blocking + SSP downgrade", "pairing/connection role check (§VII-B)", outcomes[2], outcomes[3]),
+		row("1-byte key brute force (KNOB)", "minimum encryption key size 7", outcomes[4], outcomes[5]),
+	}, nil
 }
 
 // RenderMitigationMatrix formats the matrix.

@@ -65,15 +65,21 @@ func RenderTableII(rows []TableIIRow) string {
 	return b.String()
 }
 
-// RenderJitterAblation formats the page-race jitter sweep.
+// RenderJitterAblation formats the page-race jitter sweep. Trials whose
+// world failed to build are called out rather than silently folded into
+// the loss column.
 func RenderJitterAblation(rows []JitterAblationRow) string {
 	var b strings.Builder
 	b.WriteString("Ablation: baseline MITM success vs page-response jitter spread\n")
 	fmt.Fprintf(&b, "%-24s %-8s %-10s\n", "jitter window", "trials", "attacker wins")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "[%v, %v)%*s %-8d %.0f%%\n", r.JitterMin, r.JitterMax,
+		fmt.Fprintf(&b, "[%v, %v)%*s %-8d %.0f%%", r.JitterMin, r.JitterMax,
 			max(1, 22-len(fmt.Sprintf("[%v, %v)", r.JitterMin, r.JitterMax))), "",
 			r.Trials, r.Pct())
+		if r.Failures > 0 {
+			fmt.Fprintf(&b, "  (%d trials failed to build)", r.Failures)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }

@@ -3,13 +3,22 @@
 // success rates with and without page blocking), the HCI-trace figures
 // (Fig. 3, 11, 12), the IO-capability mapping figure (Fig. 7), and the
 // ablation studies called out in DESIGN.md.
+//
+// Every sweep in the package runs on the campaign engine
+// (internal/campaign): trials are pure functions of their derived seeds,
+// dispatched to a worker pool, with results collected in trial order —
+// so any worker count, including the serial reference (workers == 1),
+// produces bit-identical tables. The Run* entry points use GOMAXPROCS
+// workers; the Run*Workers variants expose the worker count for the
+// determinism tests and the CLI's -workers flag.
 package eval
 
 import (
+	"context"
 	"fmt"
-	"hash/fnv"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/device"
 )
@@ -38,59 +47,66 @@ type TableIRow struct {
 // every channel the paper demonstrated, and validate the recovered key by
 // impersonating C against M.
 func RunTableI(seed int64) ([]TableIRow, error) {
-	var rows []TableIRow
-	for i, entry := range device.TableIPlatforms() {
-		p := entry.Platform
-		row := TableIRow{
-			OS:          p.OS,
-			HostStack:   p.StackName,
-			Device:      p.Model,
-			SUPrivilege: p.SnoopRequiresSU,
-		}
-		tb, err := core.NewTestbed(seed+int64(i)*1000, core.TestbedOptions{
-			ClientPlatform:   p,
-			ClientUSBSniffer: entry.ViaUSB,
-			Bond:             true,
-		})
-		if err != nil {
-			return rows, fmt.Errorf("eval: testbed for %s/%s: %w", p.OS, p.StackName, err)
-		}
+	return RunTableIWorkers(seed, 0)
+}
 
-		var key core.LinkKeyExtractionReport
-		if entry.ViaSnoop {
-			row.SnoopTried = true
-			rep, err := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
-				Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(),
-				Channel: core.ChannelHCISnoop,
-			})
-			if err == nil {
-				row.SnoopOK = true
-				key = rep
+// RunTableIWorkers is RunTableI with an explicit campaign worker count
+// (0 = GOMAXPROCS, 1 = serial reference).
+func RunTableIWorkers(seed int64, workers int) ([]TableIRow, error) {
+	entries := device.TableIPlatforms()
+	return campaign.Run(context.Background(), len(entries), campaign.Config{Workers: workers},
+		func(_ context.Context, i int) (TableIRow, error) {
+			entry := entries[i]
+			p := entry.Platform
+			row := TableIRow{
+				OS:          p.OS,
+				HostStack:   p.StackName,
+				Device:      p.Model,
+				SUPrivilege: p.SnoopRequiresSU,
 			}
-		}
-		if entry.ViaUSB {
-			row.USBTried = true
-			rep, err := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
-				Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(),
-				Channel: core.ChannelUSBSniff,
+			tb, err := core.NewTestbed(seed+int64(i)*1000, core.TestbedOptions{
+				ClientPlatform:   p,
+				ClientUSBSniffer: entry.ViaUSB,
+				Bond:             true,
 			})
-			if err == nil {
-				row.USBOK = true
-				if !row.SnoopOK {
+			if err != nil {
+				return row, fmt.Errorf("eval: testbed for %s/%s: %w", p.OS, p.StackName, err)
+			}
+
+			var key core.LinkKeyExtractionReport
+			if entry.ViaSnoop {
+				row.SnoopTried = true
+				rep, err := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
+					Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(),
+					Channel: core.ChannelHCISnoop,
+				})
+				if err == nil {
+					row.SnoopOK = true
 					key = rep
 				}
 			}
-		}
-		row.Vulnerable = row.SnoopOK || row.USBOK
-		if row.Vulnerable {
-			imp := core.RunImpersonation(tb.Sched, core.ImpersonationConfig{
-				Attacker: tb.A, Victim: tb.M, ClientAddr: core.AddrC, Key: key.Key,
-			})
-			row.KeyVerified = imp.Success
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+			if entry.ViaUSB {
+				row.USBTried = true
+				rep, err := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
+					Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(),
+					Channel: core.ChannelUSBSniff,
+				})
+				if err == nil {
+					row.USBOK = true
+					if !row.SnoopOK {
+						key = rep
+					}
+				}
+			}
+			row.Vulnerable = row.SnoopOK || row.USBOK
+			if row.Vulnerable {
+				imp := core.RunImpersonation(tb.Sched, core.ImpersonationConfig{
+					Attacker: tb.A, Victim: tb.M, ClientAddr: core.AddrC, Key: key.Key,
+				})
+				row.KeyVerified = imp.Success
+			}
+			return row, nil
+		})
 }
 
 // TableIIRow is one victim device of the paper's Table II.
@@ -118,19 +134,69 @@ func (r TableIIRow) BlockingPct() float64 {
 
 // deviceSeed derives a stable per-device seed stream, giving each victim
 // its own empirical baseline rate the way the paper's per-device
-// measurements scatter around the 50% race.
+// measurements scatter around the 50% race. It delegates to
+// campaign.DeriveSeed so the CLI and the engine share one derivation (and
+// so the historical per-device streams — and thus every published table —
+// stay unchanged).
 func deviceSeed(base int64, model string, trial int) int64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s/%d", model, trial)
-	return base + int64(h.Sum64()%1_000_003)
+	return campaign.DeriveSeed(base, model, trial)
 }
 
 // RunTableII reproduces Table II: for each victim device, run `trials`
 // independent MITM connection attempts without page blocking (the page
 // race) and with page blocking (PLOC), counting successes.
 func RunTableII(seed int64, trials int) ([]TableIIRow, error) {
-	var rows []TableIIRow
-	for _, entry := range device.TableIIPlatforms() {
+	return RunTableIIWorkers(seed, trials, 0)
+}
+
+// RunTableIIWorkers is RunTableII with an explicit campaign worker count.
+// All devices × trials × {baseline, blocking} attempts form one flat
+// campaign, so the pool stays saturated across device boundaries; the
+// per-trial seeds are the same as the serial sweep's and the success
+// counts are order-independent sums, keeping the rows bit-identical for
+// any worker count.
+func RunTableIIWorkers(seed int64, trials, workers int) ([]TableIIRow, error) {
+	entries := device.TableIIPlatforms()
+	perDevice := 2 * trials // baseline trials then blocking trials
+	n := len(entries) * perDevice
+
+	wins, err := campaign.Run(context.Background(), n, campaign.Config{Workers: workers},
+		func(_ context.Context, i int) (bool, error) {
+			dev, k := i/perDevice, i%perDevice
+			p := entries[dev].Platform
+			blocking := k >= trials
+			trial := k % trials
+			if !blocking {
+				tb, err := core.NewTestbed(deviceSeed(seed, p.Model+p.OS, trial), core.TestbedOptions{
+					VictimPlatform: p,
+				})
+				if err != nil {
+					return false, fmt.Errorf("eval: baseline testbed: %w", err)
+				}
+				rep := core.RunBaselineMITM(tb.Sched, core.BaselineMITMConfig{
+					Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+				})
+				return rep.MITMEstablished, nil
+			}
+			tb, err := core.NewTestbed(deviceSeed(seed+7777, p.Model+p.OS, trial), core.TestbedOptions{
+				VictimPlatform: p,
+			})
+			if err != nil {
+				return false, fmt.Errorf("eval: blocking testbed: %w", err)
+			}
+			rep := core.RunPageBlocking(tb.Sched, core.PageBlockingConfig{
+				Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+				UsePLOC:       true,
+				UserPairDelay: time.Duration(2+trial%6) * time.Second,
+			})
+			return rep.MITMEstablished, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]TableIIRow, 0, len(entries))
+	for dev, entry := range entries {
 		p := entry.Platform
 		row := TableIIRow{
 			Device:           fmt.Sprintf("%s (%s)", p.Model, p.OS),
@@ -138,33 +204,13 @@ func RunTableII(seed int64, trials int) ([]TableIIRow, error) {
 			PaperBaselinePct: entry.PaperBaselinePct,
 			PaperBlockingPct: entry.PaperBlockingPct,
 		}
-		for trial := 0; trial < trials; trial++ {
-			tb, err := core.NewTestbed(deviceSeed(seed, p.Model+p.OS, trial), core.TestbedOptions{
-				VictimPlatform: p,
-			})
-			if err != nil {
-				return rows, fmt.Errorf("eval: baseline testbed: %w", err)
+		for k := 0; k < perDevice; k++ {
+			if !wins[dev*perDevice+k] {
+				continue
 			}
-			rep := core.RunBaselineMITM(tb.Sched, core.BaselineMITMConfig{
-				Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
-			})
-			if rep.MITMEstablished {
+			if k < trials {
 				row.BaselineSuccess++
-			}
-		}
-		for trial := 0; trial < trials; trial++ {
-			tb, err := core.NewTestbed(deviceSeed(seed+7777, p.Model+p.OS, trial), core.TestbedOptions{
-				VictimPlatform: p,
-			})
-			if err != nil {
-				return rows, fmt.Errorf("eval: blocking testbed: %w", err)
-			}
-			rep := core.RunPageBlocking(tb.Sched, core.PageBlockingConfig{
-				Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
-				UsePLOC:       true,
-				UserPairDelay: time.Duration(2+trial%6) * time.Second,
-			})
-			if rep.MITMEstablished {
+			} else {
 				row.BlockingSuccess++
 			}
 		}

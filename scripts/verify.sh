@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 verification: build, vet, tests, race detector, plus a one-shot
+# smoke run of the benchmark suite. Run from the repository root.
+#
+#   scripts/verify.sh          # full tier-1
+#   BENCH_JSON=BENCH_pr1.json scripts/verify.sh   # also regenerate timings
+set -eux
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./...
+go test -run xxx -bench . -benchtime 1x .
+
+if [ -n "${BENCH_JSON:-}" ]; then
+    go run ./cmd/benchtables -benchjson "$BENCH_JSON"
+fi
