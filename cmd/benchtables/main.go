@@ -6,7 +6,8 @@
 //	benchtables -figs
 //	benchtables -ablations
 //	benchtables -workers 8 -table2          # parallel campaign, same rows
-//	benchtables -benchjson BENCH_pr1.json   # serial-vs-parallel timings
+//	benchtables -benchjson BENCH_pr2.json   # baseline-vs-optimized timings
+//	benchtables -checkjson BENCH_pr2.json   # validate a bench JSON file
 //
 // The -workers flag sets the campaign engine's worker count for every
 // sweep (0 = GOMAXPROCS). Results are bit-identical at any worker count;
@@ -14,10 +15,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"time"
 
@@ -26,10 +29,12 @@ import (
 	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/forensics"
 	"repro/internal/hci"
 	"repro/internal/host"
 	"repro/internal/radio"
 	"repro/internal/sim"
+	"repro/internal/snoop"
 )
 
 func main() {
@@ -42,13 +47,22 @@ func main() {
 		ablations   = flag.Bool("ablations", false, "run ablation studies")
 		mitigations = flag.Bool("mitigations", false, "run the mitigation matrix")
 		workers     = flag.Int("workers", 0, "campaign workers (0 = GOMAXPROCS)")
-		benchjson   = flag.String("benchjson", "", "write serial-vs-parallel bench timings to this JSON file")
+		benchjson   = flag.String("benchjson", "", "write baseline-vs-optimized bench timings to this JSON file")
+		checkjson   = flag.String("checkjson", "", "validate a previously written bench JSON file and exit")
 	)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(1)
+	}
+
+	if *checkjson != "" {
+		if err := checkBenchJSON(*checkjson); err != nil {
+			fail(err)
+		}
+		fmt.Println(*checkjson, "ok")
+		return
 	}
 
 	if *benchjson != "" {
@@ -158,7 +172,9 @@ func main() {
 	}
 }
 
-// benchEntry is one baseline-vs-optimized timing comparison.
+// benchEntry is one baseline-vs-optimized timing comparison. The
+// records/allocation fields are populated only by the capture-scan
+// entries, where allocation behavior is the point of the comparison.
 type benchEntry struct {
 	Name        string  `json:"name"`
 	Baseline    string  `json:"baseline"`
@@ -166,6 +182,15 @@ type benchEntry struct {
 	BaselineNs  int64   `json:"baseline_ns"`
 	OptimizedNs int64   `json:"optimized_ns"`
 	Speedup     float64 `json:"speedup"`
+
+	Records            int     `json:"records,omitempty"`
+	CaptureBytes       int64   `json:"capture_bytes,omitempty"`
+	BaselineAllocs     uint64  `json:"baseline_allocs,omitempty"`
+	OptimizedAllocs    uint64  `json:"optimized_allocs,omitempty"`
+	AllocReduction     float64 `json:"alloc_reduction,omitempty"`
+	BaselineRecPerSec  float64 `json:"baseline_records_per_sec,omitempty"`
+	OptimizedRecPerSec float64 `json:"optimized_records_per_sec,omitempty"`
+	OutputsIdentical   bool    `json:"outputs_identical,omitempty"`
 }
 
 type benchReport struct {
@@ -280,11 +305,126 @@ func writeBenchJSON(path string, seed int64) error {
 		return err
 	}
 
+	fe, err := forensicsScanEntry(seed, workers)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, fe)
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// forensicsScanEntry benchmarks the PR's headline comparison: the
+// buffer-everything path (snoop.ReadAll + forensics.Analyze) against the
+// streaming zero-copy pipeline (forensics.AnalyzeStreamWorkers) over a
+// synthetic one-million-record capture. Alongside wall clock it records
+// heap allocation counts (runtime.MemStats.Mallocs deltas) and verifies
+// the two reports are identical.
+func forensicsScanEntry(seed int64, workers int) (benchEntry, error) {
+	const records = 1_000_000
+	var capture bytes.Buffer
+	stats, err := snoop.Synthesize(&capture, snoop.SynthConfig{Records: records, Seed: seed})
+	if err != nil {
+		return benchEntry{}, fmt.Errorf("synthesizing capture: %w", err)
+	}
+	data := capture.Bytes()
+
+	countAllocs := func(f func() error) (int64, uint64, error) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return 0, 0, err
+		}
+		ns := time.Since(t0).Nanoseconds()
+		runtime.ReadMemStats(&after)
+		return ns, after.Mallocs - before.Mallocs, nil
+	}
+
+	var baseRep, optRep *forensics.Report
+	bns, ballocs, err := countAllocs(func() error {
+		recs, err := snoop.ReadAll(data)
+		if err != nil {
+			return err
+		}
+		baseRep = forensics.Analyze(recs)
+		return nil
+	})
+	if err != nil {
+		return benchEntry{}, fmt.Errorf("forensics_scan_1m baseline: %w", err)
+	}
+	ons, oallocs, err := countAllocs(func() error {
+		var err error
+		optRep, err = forensics.AnalyzeStreamWorkers(bytes.NewReader(data), workers)
+		return err
+	})
+	if err != nil {
+		return benchEntry{}, fmt.Errorf("forensics_scan_1m optimized: %w", err)
+	}
+	identical := reflect.DeepEqual(baseRep, optRep)
+	if !identical {
+		return benchEntry{}, fmt.Errorf("forensics_scan_1m: streaming report differs from in-memory report")
+	}
+	if !baseRep.HasFinding(forensics.FindingPageBlocking) || stats.KeyExposures == 0 {
+		return benchEntry{}, fmt.Errorf("forensics_scan_1m: synthetic capture lost its attack signatures")
+	}
+
+	e := benchEntry{
+		Name:     "forensics_scan_1m",
+		Baseline: "snoop.ReadAll + forensics.Analyze",
+		Optimized: fmt.Sprintf("forensics.AnalyzeStreamWorkers(workers=%d)",
+			workers),
+		BaselineNs: bns, OptimizedNs: ons,
+		Records: records, CaptureBytes: int64(len(data)),
+		BaselineAllocs: ballocs, OptimizedAllocs: oallocs,
+		OutputsIdentical: identical,
+	}
+	if ons > 0 {
+		e.Speedup = float64(bns) / float64(ons)
+		e.OptimizedRecPerSec = float64(records) / (float64(ons) / 1e9)
+	}
+	if bns > 0 {
+		e.BaselineRecPerSec = float64(records) / (float64(bns) / 1e9)
+	}
+	if oallocs > 0 {
+		e.AllocReduction = float64(ballocs) / float64(oallocs)
+	}
+	return e, nil
+}
+
+// checkBenchJSON validates the shape of a bench JSON file: it must parse
+// as a benchReport with a non-empty Results list whose entries all carry
+// a name and timings, and any capture-scan entry must have verified
+// output identity. Used by scripts/verify.sh as a CI gate.
+func checkBenchJSON(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("%s: no results", path)
+	}
+	for i, e := range rep.Results {
+		if e.Name == "" {
+			return fmt.Errorf("%s: result %d has no name", path, i)
+		}
+		if e.BaselineNs <= 0 || e.OptimizedNs <= 0 {
+			return fmt.Errorf("%s: result %q missing timings", path, e.Name)
+		}
+		if e.Records > 0 && !e.OutputsIdentical {
+			return fmt.Errorf("%s: result %q did not verify output identity", path, e.Name)
+		}
+	}
+	return nil
 }
 
 // pinCrackWorld reproduces the legacy-pairing capture the PIN cracking

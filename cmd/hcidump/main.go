@@ -1,19 +1,28 @@
 // Command hcidump parses btsnoop capture files (RFC 1761, as written by
 // Android's snoop log, bluez-hcidump, or this project's simulator) and
 // renders them as a trace table. It can also scan a capture for plaintext
-// link keys — the paper's extraction step — and run the §VII-A filter to
-// show what a mitigated log would retain.
+// link keys — the paper's extraction step — and run the forensic analyzer
+// over it. Every btsnoop mode streams the capture through snoop.Scanner /
+// forensics.AnalyzeStream, so multi-gigabyte dumps are processed in
+// bounded memory.
 //
 //	hcidump capture.btsnoop
 //	hcidump -keys capture.btsnoop
 //	hcidump -hex capture.btsnoop
 //	hcidump -analyze capture.btsnoop
 //	hcidump -usb capture.usbraw
+//
+// Exit codes: 0 on success, 1 on error, 2 on usage; -analyze exits 3
+// when the analyzer reports at least one finding, so scripted triage can
+// distinguish "clean capture" from "attack signature present" without
+// parsing the report text.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/forensics"
@@ -21,44 +30,55 @@ import (
 	"repro/internal/usbsniff"
 )
 
+// exitFindings is the -analyze exit code for a capture with findings.
+const exitFindings = 3
+
 func main() {
 	var (
 		keys    = flag.Bool("keys", false, "extract plaintext link keys")
 		hex     = flag.Bool("hex", false, "print raw packet bytes per frame")
 		usb     = flag.Bool("usb", false, "input is a raw sniffed USB stream, not btsnoop")
-		analyze = flag.Bool("analyze", false, "run the forensic analyzer (attack signatures)")
+		analyze = flag.Bool("analyze", false, "run the forensic analyzer (attack signatures); exit 3 on findings")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hcidump [-keys] [-hex] [-usb] <capture>")
+		fmt.Fprintln(os.Stderr, "usage: hcidump [-keys] [-hex] [-usb] [-analyze] <capture>")
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(flag.Arg(0))
+	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fail(err)
 	}
+	defer f.Close()
 
 	if *usb {
+		// The raw URB format has no streaming parser; USB captures are
+		// the paper's small PC-side dumps, not multi-gigabyte snoop logs.
+		data, err := io.ReadAll(f)
+		if err != nil {
+			fail(err)
+		}
 		dumpUSB(data, *keys)
 		return
 	}
 
 	if *analyze {
-		report, err := forensics.AnalyzeFile(data)
+		report, err := forensics.AnalyzeStream(f)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Print(report.Render())
+		if len(report.Findings) > 0 {
+			os.Exit(exitFindings)
+		}
 		return
 	}
 
-	records, err := snoop.ReadAll(data)
-	if err != nil {
-		fail(fmt.Errorf("parsing %s: %w", flag.Arg(0), err))
-	}
-
 	if *keys {
-		hits := snoop.ExtractLinkKeys(records)
+		hits, err := snoop.ScanLinkKeys(f)
+		if err != nil {
+			fail(fmt.Errorf("parsing %s: %w", flag.Arg(0), err))
+		}
 		if len(hits) == 0 {
 			fmt.Println("no plaintext link keys found")
 			return
@@ -69,16 +89,39 @@ func main() {
 		return
 	}
 
-	fmt.Print(snoop.RenderTable(snoop.Summarize(records)))
+	out := bufio.NewWriterSize(os.Stdout, 1<<16)
+	fmt.Fprint(out, snoop.TableHeader())
+	err = snoop.SummarizeStream(f, func(row snoop.FrameSummary) {
+		fmt.Fprint(out, snoop.FormatRow(row))
+	})
+	if err != nil {
+		out.Flush()
+		fail(fmt.Errorf("parsing %s: %w", flag.Arg(0), err))
+	}
 	if *hex {
-		fmt.Println()
-		for i, rec := range records {
+		fmt.Fprintln(out)
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			out.Flush()
+			fail(err)
+		}
+		sc := snoop.NewScanner(f)
+		var hexbuf []byte
+		for sc.Scan() {
+			rec := sc.Record()
 			dir := "TX"
 			if rec.Received() {
 				dir = "RX"
 			}
-			fmt.Printf("%-5d %s %s  %s\n", i+1, rec.Timestamp.Format("15:04:05.000000"), dir, usbsniff.BinaryToHex(rec.Data))
+			hexbuf = usbsniff.AppendHex(hexbuf[:0], rec.Data)
+			fmt.Fprintf(out, "%-5d %s %s  %s\n", sc.Frame(), rec.Timestamp.Format("15:04:05.000000"), dir, hexbuf)
 		}
+		if err := sc.Err(); err != nil {
+			out.Flush()
+			fail(err)
+		}
+	}
+	if err := out.Flush(); err != nil {
+		fail(err)
 	}
 }
 

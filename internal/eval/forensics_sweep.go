@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"strings"
@@ -10,7 +11,22 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/forensics"
+	"repro/internal/snoop"
 )
+
+// analyzeDump runs the forensic analyzer over the serialized btsnoop
+// artifact, the same bytes an investigator would pull off the device —
+// exercising the real capture-file path rather than the in-memory record
+// shortcut. Streaming workers are pinned to 1 because each call already
+// runs inside a campaign trial; nesting decode pools inside the campaign
+// pool would oversubscribe the host for no gain.
+func analyzeDump(d *snoop.HCIDump) (*forensics.Report, error) {
+	data, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	return forensics.AnalyzeStreamWorkers(bytes.NewReader(data), 1)
+}
 
 // ForensicsSweepResult summarizes detector quality over many worlds.
 type ForensicsSweepResult struct {
@@ -52,8 +68,11 @@ func RunForensicsSweepWorkers(seed int64, trials, workers int) (ForensicsSweepRe
 				rep := core.RunPageBlocking(tb.Sched, core.PageBlockingConfig{
 					Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser, UsePLOC: true,
 				})
-				return rep.MITMEstablished &&
-					forensics.Analyze(tb.M.Snoop.Records()).HasFinding(forensics.FindingPageBlocking), nil
+				report, err := analyzeDump(tb.M.Snoop)
+				if err != nil {
+					return false, err
+				}
+				return rep.MITMEstablished && report.HasFinding(forensics.FindingPageBlocking), nil
 			case 1: // Attacked accessory.
 				tb2, err := core.NewTestbed(seed+int64(i)*3+1, core.TestbedOptions{
 					ClientPlatform: device.GalaxyS21Android11, Bond: true,
@@ -64,8 +83,11 @@ func RunForensicsSweepWorkers(seed int64, trials, workers int) (ForensicsSweepRe
 				_, extractErr := core.RunLinkKeyExtraction(tb2.Sched, core.LinkKeyExtractionConfig{
 					Attacker: tb2.A, Client: tb2.C, Target: tb2.M.Addr(), Channel: core.ChannelHCISnoop,
 				})
-				return extractErr == nil &&
-					forensics.Analyze(tb2.C.Snoop.Records()).HasFinding(forensics.FindingStalledAuthTimeout), nil
+				report, err := analyzeDump(tb2.C.Snoop)
+				if err != nil {
+					return false, err
+				}
+				return extractErr == nil && report.HasFinding(forensics.FindingStalledAuthTimeout), nil
 			default: // Innocent pairing.
 				tb3, err := core.NewTestbed(seed+int64(i)*3+2, core.TestbedOptions{})
 				if err != nil {
@@ -74,7 +96,10 @@ func RunForensicsSweepWorkers(seed int64, trials, workers int) (ForensicsSweepRe
 				tb3.MUser.ExpectPairing(tb3.C.Addr())
 				tb3.M.Host.Pair(tb3.C.Addr(), func(error) {})
 				tb3.Sched.RunFor(30 * time.Second)
-				report := forensics.Analyze(tb3.M.Snoop.Records())
+				report, err := analyzeDump(tb3.M.Snoop)
+				if err != nil {
+					return false, err
+				}
 				return report.HasFinding(forensics.FindingPageBlocking) ||
 					report.HasFinding(forensics.FindingStalledAuthTimeout), nil
 			}

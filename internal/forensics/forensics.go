@@ -10,6 +10,10 @@
 //     initiation + a NoInputNoOutput peer);
 //   - suspicious timeout disconnects during authentication (the trace a
 //     link key extraction attack leaves on the *accessory*).
+//
+// Two entry points share one single-pass session reducer: Analyze walks
+// records already in memory; AnalyzeStream (stream.go) digests a btsnoop
+// stream of any size in bounded memory with parallel decode workers.
 package forensics
 
 import (
@@ -79,109 +83,113 @@ type Report struct {
 	Findings  []Finding
 }
 
-// Analyze reconstructs sessions and findings from capture records.
-func Analyze(records []snoop.Record) *Report {
-	rep := &Report{}
-	byHandle := make(map[bt.ConnHandle]*Session)
-	byPeer := make(map[bt.BDADDR]*Session) // latest session per peer
+// sessionState is the single-pass session reducer at the core of both
+// Analyze and AnalyzeStream. It consumes typed HCI messages in capture
+// order; because its input is a pure function of each record, feeding it
+// from a serial loop or from an ordered parallel decode pipeline yields
+// bit-identical reports.
+type sessionState struct {
+	rep      *Report
+	byHandle map[bt.ConnHandle]*Session
+	byPeer   map[bt.BDADDR]*Session // latest session per peer
 	// Peers whose connection arrived inbound but have no handle yet.
-	pendingIncoming := make(map[bt.BDADDR]bool)
+	pendingIncoming map[bt.BDADDR]bool
 	// Handles with an authentication in flight (for timeout correlation).
-	authPending := make(map[bt.ConnHandle]bool)
+	authPending map[bt.ConnHandle]bool
+}
 
-	for i, rec := range records {
-		dir := hci.DirHostToController
-		if rec.Received() {
-			dir = hci.DirControllerToHost
+func newSessionState() *sessionState {
+	return &sessionState{
+		rep:             &Report{},
+		byHandle:        make(map[bt.ConnHandle]*Session),
+		byPeer:          make(map[bt.BDADDR]*Session),
+		pendingIncoming: make(map[bt.BDADDR]bool),
+		authPending:     make(map[bt.ConnHandle]bool),
+	}
+}
+
+// apply folds one decoded message (a typed *hci.Command or *hci.Event
+// from decodeRecord) into the session state. frame is the record's
+// 1-based capture position, ts its timestamp.
+func (st *sessionState) apply(frame int, ts time.Time, msg any) {
+	rep := st.rep
+	switch m := msg.(type) {
+	case *hci.AcceptConnectionRequest:
+		st.pendingIncoming[m.Addr] = true
+	case *hci.AuthenticationRequested:
+		if s := st.byHandle[m.Handle]; s != nil {
+			s.LocalPairingInitiation = true
+			st.authPending[m.Handle] = true
 		}
-		pkt, err := hci.ParseWire(dir, rec.Data)
-		if err != nil {
-			continue
+	case *hci.LinkKeyRequestReply:
+		rep.Exposures = append(rep.Exposures, KeyExposure{
+			Frame: frame, Source: hci.OpLinkKeyRequestReply.String(), Peer: m.Addr, Key: m.Key,
+		})
+
+	case *hci.ConnectionComplete:
+		if m.Status != hci.StatusSuccess {
+			// A failed completion still consumes the pending accept:
+			// leaving it would misflag a later outgoing session to the
+			// same peer as incoming (a false page-blocking signature).
+			delete(st.pendingIncoming, m.Addr)
+			return
 		}
-		switch pkt.PT {
-		case hci.PTCommand:
-			cmd, err := hci.ParseCommand(pkt)
-			if err != nil {
-				continue
+		s := &Session{
+			Handle:      m.Handle,
+			Peer:        m.Addr,
+			Incoming:    st.pendingIncoming[m.Addr],
+			ConnectedAt: ts,
+		}
+		delete(st.pendingIncoming, m.Addr)
+		st.byHandle[m.Handle] = s
+		st.byPeer[m.Addr] = s
+		rep.Sessions = append(rep.Sessions, s)
+	case *hci.IOCapabilityResponse:
+		if s := st.byPeer[m.Addr]; s != nil {
+			s.PeerIOCap = m.Capability
+			s.HavePeerIOCap = true
+		}
+	case *hci.SimplePairingComplete:
+		if s := st.byPeer[m.Addr]; s != nil {
+			s.PairingCompleted = m.Status == hci.StatusSuccess
+			s.PairingStatus = m.Status
+		}
+	case *hci.AuthenticationComplete:
+		if s := st.byHandle[m.Handle]; s != nil {
+			s.AuthOutcomes = append(s.AuthOutcomes, m.Status)
+			delete(st.authPending, m.Handle)
+		}
+	case *hci.LinkKeyNotification:
+		rep.Exposures = append(rep.Exposures, KeyExposure{
+			Frame: frame, Source: hci.EvLinkKeyNotification.String(), Peer: m.Addr, Key: m.Key,
+		})
+	case *hci.DisconnectionComplete:
+		if s := st.byHandle[m.Handle]; s != nil {
+			s.Disconnected = true
+			s.DisconnectReason = m.Reason
+			s.EndsAt = ts
+			delete(st.byHandle, m.Handle)
+			if st.byPeer[s.Peer] == s {
+				delete(st.byPeer, s.Peer)
 			}
-			switch c := cmd.(type) {
-			case *hci.AcceptConnectionRequest:
-				pendingIncoming[c.Addr] = true
-			case *hci.AuthenticationRequested:
-				if s := byHandle[c.Handle]; s != nil {
-					s.LocalPairingInitiation = true
-					authPending[c.Handle] = true
-				}
-			case *hci.LinkKeyRequestReply:
-				rep.Exposures = append(rep.Exposures, KeyExposure{
-					Frame: i + 1, Source: hci.OpLinkKeyRequestReply.String(), Peer: c.Addr, Key: c.Key,
+			if st.authPending[s.Handle] && isTimeout(m.Reason) {
+				rep.Findings = append(rep.Findings, Finding{
+					Kind: FindingStalledAuthTimeout,
+					Peer: s.Peer,
+					Detail: fmt.Sprintf(
+						"authentication on handle 0x%04x never completed; link dropped with %s — the trace a link key extraction stall leaves behind",
+						uint16(s.Handle), m.Reason),
+					Session: s,
 				})
 			}
-
-		case hci.PTEvent:
-			evt, err := hci.ParseEvent(pkt)
-			if err != nil {
-				continue
-			}
-			switch e := evt.(type) {
-			case *hci.ConnectionComplete:
-				if e.Status != hci.StatusSuccess {
-					continue
-				}
-				s := &Session{
-					Handle:      e.Handle,
-					Peer:        e.Addr,
-					Incoming:    pendingIncoming[e.Addr],
-					ConnectedAt: rec.Timestamp,
-				}
-				delete(pendingIncoming, e.Addr)
-				byHandle[e.Handle] = s
-				byPeer[e.Addr] = s
-				rep.Sessions = append(rep.Sessions, s)
-			case *hci.IOCapabilityResponse:
-				if s := byPeer[e.Addr]; s != nil {
-					s.PeerIOCap = e.Capability
-					s.HavePeerIOCap = true
-				}
-			case *hci.SimplePairingComplete:
-				if s := byPeer[e.Addr]; s != nil {
-					s.PairingCompleted = e.Status == hci.StatusSuccess
-					s.PairingStatus = e.Status
-				}
-			case *hci.AuthenticationComplete:
-				if s := byHandle[e.Handle]; s != nil {
-					s.AuthOutcomes = append(s.AuthOutcomes, e.Status)
-					delete(authPending, e.Handle)
-				}
-			case *hci.LinkKeyNotification:
-				rep.Exposures = append(rep.Exposures, KeyExposure{
-					Frame: i + 1, Source: hci.EvLinkKeyNotification.String(), Peer: e.Addr, Key: e.Key,
-				})
-			case *hci.DisconnectionComplete:
-				if s := byHandle[e.Handle]; s != nil {
-					s.Disconnected = true
-					s.DisconnectReason = e.Reason
-					s.EndsAt = rec.Timestamp
-					delete(byHandle, e.Handle)
-					if byPeer[s.Peer] == s {
-						delete(byPeer, s.Peer)
-					}
-					if authPending[s.Handle] && isTimeout(e.Reason) {
-						rep.Findings = append(rep.Findings, Finding{
-							Kind: FindingStalledAuthTimeout,
-							Peer: s.Peer,
-							Detail: fmt.Sprintf(
-								"authentication on handle 0x%04x never completed; link dropped with %s — the trace a link key extraction stall leaves behind",
-								uint16(s.Handle), e.Reason),
-							Session: s,
-						})
-					}
-					delete(authPending, s.Handle)
-				}
-			}
+			delete(st.authPending, s.Handle)
 		}
 	}
+}
 
+// finish derives the capture-wide findings and returns the report.
+func (st *sessionState) finish() *Report {
+	rep := st.rep
 	for _, exp := range rep.Exposures {
 		rep.Findings = append(rep.Findings, Finding{
 			Kind:   FindingKeyExposure,
@@ -203,13 +211,65 @@ func Analyze(records []snoop.Record) *Report {
 	return rep
 }
 
-// AnalyzeFile parses a btsnoop file and analyzes it.
-func AnalyzeFile(data []byte) (*Report, error) {
-	records, err := snoop.ReadAll(data)
-	if err != nil {
-		return nil, fmt.Errorf("forensics: parsing capture: %w", err)
+// decodeRecord classifies one raw H4 record and fully parses only the
+// packet kinds the reducer consumes, returning nil for everything else.
+// The opcode/event peek means the overwhelming bulk of a real capture
+// (ACL data, unrelated events) is dismissed in a few byte comparisons
+// with zero allocation, and the borrow-parse never copies the body — the
+// typed results copy the fields they keep.
+func decodeRecord(dir hci.Direction, raw []byte) any {
+	if op, ok := hci.PeekCommandOpcode(raw); ok {
+		switch op {
+		case hci.OpAcceptConnectionRequest, hci.OpAuthenticationRequested, hci.OpLinkKeyRequestReply:
+		default:
+			return nil
+		}
+		pkt, err := hci.ParseWireBorrow(dir, raw)
+		if err != nil {
+			return nil
+		}
+		cmd, err := hci.ParseCommand(pkt)
+		if err != nil {
+			return nil
+		}
+		return cmd
 	}
-	return Analyze(records), nil
+	if code, ok := hci.PeekEventCode(raw); ok {
+		switch code {
+		case hci.EvConnectionComplete, hci.EvIOCapabilityResponse, hci.EvSimplePairingComplete,
+			hci.EvAuthenticationComplete, hci.EvLinkKeyNotification, hci.EvDisconnectionComplete:
+		default:
+			return nil
+		}
+		pkt, err := hci.ParseWireBorrow(dir, raw)
+		if err != nil {
+			return nil
+		}
+		evt, err := hci.ParseEvent(pkt)
+		if err != nil {
+			return nil
+		}
+		return evt
+	}
+	return nil
+}
+
+func recordDir(rec snoop.Record) hci.Direction {
+	if rec.Received() {
+		return hci.DirControllerToHost
+	}
+	return hci.DirHostToController
+}
+
+// Analyze reconstructs sessions and findings from capture records.
+func Analyze(records []snoop.Record) *Report {
+	st := newSessionState()
+	for i, rec := range records {
+		if msg := decodeRecord(recordDir(rec), rec.Data); msg != nil {
+			st.apply(i+1, rec.Timestamp, msg)
+		}
+	}
+	return st.finish()
 }
 
 func isTimeout(s hci.Status) bool {

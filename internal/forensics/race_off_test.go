@@ -1,0 +1,5 @@
+//go:build !race
+
+package forensics
+
+const raceEnabled = false

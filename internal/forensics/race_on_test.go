@@ -1,0 +1,7 @@
+//go:build race
+
+package forensics
+
+// raceEnabled skips allocation-accounting assertions, which the race
+// detector's instrumentation would distort.
+const raceEnabled = true

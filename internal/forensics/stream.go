@@ -1,0 +1,161 @@
+package forensics
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/hci"
+	"repro/internal/snoop"
+)
+
+// Pipeline shape. A batch holds up to batchRecords payloads packed into
+// one contiguous arena; the scanner goroutine fills batches, a worker
+// pool decodes them, and the caller's goroutine reduces them in
+// submission order. Peak memory is bounded by the in-flight batch count
+// (the ordered channel's capacity plus the ones held by scanner,
+// workers, and reducer) regardless of capture size.
+const (
+	batchRecords = 512
+	batchArena   = 128 << 10
+)
+
+type recMeta struct {
+	off, n int
+	frame  int
+	ts     time.Time
+	dir    hci.Direction
+}
+
+type batch struct {
+	arena []byte
+	meta  []recMeta
+	msgs  []any
+	done  chan struct{}
+}
+
+// AnalyzeStream reconstructs sessions and findings from a btsnoop
+// stream, producing a report bit-identical to Analyze over the same
+// records while reading the capture incrementally in bounded memory.
+// Decoding runs on runtime.GOMAXPROCS(0) workers.
+func AnalyzeStream(r io.Reader) (*Report, error) {
+	return AnalyzeStreamWorkers(r, 0)
+}
+
+// AnalyzeStreamWorkers is AnalyzeStream with an explicit decode worker
+// count; values <= 0 select runtime.GOMAXPROCS(0). workers == 1 runs the
+// whole pipeline on the calling goroutine — the serial reference path.
+// Because records are decoded independently and reduced strictly in
+// capture order, the report is invariant across worker counts.
+func AnalyzeStreamWorkers(r io.Reader, workers int) (*Report, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return analyzeSerial(r)
+	}
+	return analyzeParallel(r, workers)
+}
+
+// AnalyzeFile parses a btsnoop file and analyzes it.
+func AnalyzeFile(data []byte) (*Report, error) {
+	return AnalyzeStream(bytes.NewReader(data))
+}
+
+func analyzeSerial(r io.Reader) (*Report, error) {
+	sc := snoop.NewScanner(r)
+	st := newSessionState()
+	for sc.Scan() {
+		rec := sc.Record()
+		if msg := decodeRecord(recordDir(rec), rec.Data); msg != nil {
+			st.apply(sc.Frame(), rec.Timestamp, msg)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("forensics: parsing capture: %w", err)
+	}
+	return st.finish(), nil
+}
+
+func analyzeParallel(r io.Reader, workers int) (*Report, error) {
+	var pool sync.Pool
+	pool.New = func() any { return &batch{} }
+	getBatch := func() *batch {
+		b := pool.Get().(*batch)
+		b.arena = b.arena[:0]
+		b.meta = b.meta[:0]
+		b.done = make(chan struct{})
+		return b
+	}
+
+	work := make(chan *batch, workers)
+	// ordered carries every batch in submission order; its capacity (plus
+	// the batches held by the scanner and reducer) bounds memory.
+	ordered := make(chan *batch, 2*workers)
+
+	for g := 0; g < workers; g++ {
+		go func() {
+			for b := range work {
+				if cap(b.msgs) < len(b.meta) {
+					b.msgs = make([]any, len(b.meta))
+				}
+				b.msgs = b.msgs[:len(b.meta)]
+				for i, m := range b.meta {
+					b.msgs[i] = decodeRecord(m.dir, b.arena[m.off:m.off+m.n])
+				}
+				close(b.done)
+			}
+		}()
+	}
+
+	var scanErr error
+	go func() {
+		defer close(work)
+		defer close(ordered)
+		sc := snoop.NewScanner(r)
+		b := getBatch()
+		flush := func() {
+			if len(b.meta) == 0 {
+				return
+			}
+			ordered <- b
+			work <- b
+			b = getBatch()
+		}
+		for sc.Scan() {
+			rec := sc.Record()
+			if len(b.meta) >= batchRecords || (len(b.arena)+len(rec.Data) > batchArena && len(b.meta) > 0) {
+				flush()
+			}
+			off := len(b.arena)
+			b.arena = append(b.arena, rec.Data...)
+			b.meta = append(b.meta, recMeta{
+				off: off, n: len(rec.Data),
+				frame: sc.Frame(), ts: rec.Timestamp, dir: recordDir(rec),
+			})
+		}
+		scanErr = sc.Err()
+		flush()
+	}()
+
+	st := newSessionState()
+	for b := range ordered {
+		<-b.done
+		for i, m := range b.meta {
+			if msg := b.msgs[i]; msg != nil {
+				st.apply(m.frame, m.ts, msg)
+			}
+		}
+		b.done = nil
+		pool.Put(b)
+	}
+	// The scanner goroutine wrote scanErr before closing ordered, so the
+	// read below is ordered after it.
+	if scanErr != nil {
+		return nil, fmt.Errorf("forensics: parsing capture: %w", scanErr)
+	}
+	return st.finish(), nil
+}

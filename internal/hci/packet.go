@@ -73,44 +73,89 @@ func (p Packet) Wire() []byte {
 	return out
 }
 
+// validateBody checks the length framing of an H4 packet body for pt.
+func validateBody(pt PacketType, body []byte) error {
+	switch pt {
+	case PTCommand:
+		if len(body) < 3 {
+			return fmt.Errorf("%w: command header", ErrTruncated)
+		}
+		if int(body[2]) != len(body)-3 {
+			return fmt.Errorf("%w: command declares %d params, has %d", ErrBadLength, body[2], len(body)-3)
+		}
+	case PTEvent:
+		if len(body) < 2 {
+			return fmt.Errorf("%w: event header", ErrTruncated)
+		}
+		if int(body[1]) != len(body)-2 {
+			return fmt.Errorf("%w: event declares %d params, has %d", ErrBadLength, body[1], len(body)-2)
+		}
+	case PTACLData:
+		if len(body) < 4 {
+			return fmt.Errorf("%w: ACL header", ErrTruncated)
+		}
+		declared := int(body[2]) | int(body[3])<<8
+		if declared != len(body)-4 {
+			return fmt.Errorf("%w: ACL declares %d bytes, has %d", ErrBadLength, declared, len(body)-4)
+		}
+	case PTSCOData:
+		if len(body) < 3 {
+			return fmt.Errorf("%w: SCO header", ErrTruncated)
+		}
+	default:
+		return fmt.Errorf("%w: 0x%02x", ErrBadPacketType, uint8(pt))
+	}
+	return nil
+}
+
 // ParseWire decodes an H4 byte string into a Packet, validating the
-// length field of command/event bodies.
+// length field of command/event bodies. The returned Body is a copy and
+// may be retained freely.
 func ParseWire(dir Direction, raw []byte) (Packet, error) {
+	p, err := ParseWireBorrow(dir, raw)
+	if err != nil {
+		return Packet{}, err
+	}
+	p.Body = append([]byte(nil), p.Body...)
+	return p, nil
+}
+
+// ParseWireBorrow is ParseWire without the defensive copy: the returned
+// Packet's Body aliases raw[1:] and is valid only as long as raw is.
+// ParseCommand and ParseEvent copy every field they extract, so typed
+// parse results never alias the body and survive buffer reuse — the
+// contract the streaming capture pipeline relies on.
+func ParseWireBorrow(dir Direction, raw []byte) (Packet, error) {
 	if len(raw) < 1 {
 		return Packet{}, ErrTruncated
 	}
-	p := Packet{Dir: dir, PT: PacketType(raw[0]), Body: append([]byte(nil), raw[1:]...)}
-	switch p.PT {
-	case PTCommand:
-		if len(p.Body) < 3 {
-			return Packet{}, fmt.Errorf("%w: command header", ErrTruncated)
-		}
-		if int(p.Body[2]) != len(p.Body)-3 {
-			return Packet{}, fmt.Errorf("%w: command declares %d params, has %d", ErrBadLength, p.Body[2], len(p.Body)-3)
-		}
-	case PTEvent:
-		if len(p.Body) < 2 {
-			return Packet{}, fmt.Errorf("%w: event header", ErrTruncated)
-		}
-		if int(p.Body[1]) != len(p.Body)-2 {
-			return Packet{}, fmt.Errorf("%w: event declares %d params, has %d", ErrBadLength, p.Body[1], len(p.Body)-2)
-		}
-	case PTACLData:
-		if len(p.Body) < 4 {
-			return Packet{}, fmt.Errorf("%w: ACL header", ErrTruncated)
-		}
-		declared := int(p.Body[2]) | int(p.Body[3])<<8
-		if declared != len(p.Body)-4 {
-			return Packet{}, fmt.Errorf("%w: ACL declares %d bytes, has %d", ErrBadLength, declared, len(p.Body)-4)
-		}
-	case PTSCOData:
-		if len(p.Body) < 3 {
-			return Packet{}, fmt.Errorf("%w: SCO header", ErrTruncated)
-		}
-	default:
-		return Packet{}, fmt.Errorf("%w: 0x%02x", ErrBadPacketType, raw[0])
+	p := Packet{Dir: dir, PT: PacketType(raw[0]), Body: raw[1:]}
+	if err := validateBody(p.PT, p.Body); err != nil {
+		return Packet{}, err
 	}
 	return p, nil
+}
+
+// PeekCommandOpcode reads the opcode of a raw H4 command packet without
+// validating or parsing the body. It reports false for any other packet
+// type or for inputs too short to carry an opcode. Classifier for the
+// zero-copy fast path: callers peek first and full-parse only the packet
+// kinds they consume.
+func PeekCommandOpcode(raw []byte) (Opcode, bool) {
+	if len(raw) < 3 || PacketType(raw[0]) != PTCommand {
+		return 0, false
+	}
+	return Opcode(uint16(raw[1]) | uint16(raw[2])<<8), true
+}
+
+// PeekEventCode reads the event code of a raw H4 event packet without
+// validating or parsing the body, the event-side mirror of
+// PeekCommandOpcode.
+func PeekEventCode(raw []byte) (EventCode, bool) {
+	if len(raw) < 2 || PacketType(raw[0]) != PTEvent {
+		return 0, false
+	}
+	return EventCode(raw[1]), true
 }
 
 // CommandOpcode returns the opcode of a command packet.

@@ -3,6 +3,7 @@ package snoop
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/hci"
@@ -80,16 +81,37 @@ func (d *HCIDump) Len() int { return len(d.records) }
 // Reset discards all captured records.
 func (d *HCIDump) Reset() { d.records = nil; d.drops = 0 }
 
+// WriteTo streams the capture to w as a complete btsnoop file without
+// building an intermediate byte slice, implementing io.WriterTo.
+func (d *HCIDump) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	sw := NewWriter(cw)
+	for _, rec := range d.records {
+		if err := sw.WriteRecord(rec); err != nil {
+			return cw.n, fmt.Errorf("snoop: serializing dump: %w", err)
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // Bytes serializes the capture as a complete btsnoop file.
 func (d *HCIDump) Bytes() ([]byte, error) {
 	var buf bytes.Buffer
-	w := NewWriter(&buf)
-	for _, rec := range d.records {
-		if err := w.WriteRecord(rec); err != nil {
-			return nil, fmt.Errorf("snoop: serializing dump: %w", err)
-		}
-	}
-	if err := w.Flush(); err != nil {
+	if _, err := d.WriteTo(&buf); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil

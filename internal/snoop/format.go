@@ -71,6 +71,7 @@ var (
 	ErrBadVersion  = errors.New("snoop: unsupported version")
 	ErrBadDatalink = errors.New("snoop: unsupported datalink type")
 	ErrTruncated   = errors.New("snoop: truncated file")
+	ErrBadFraming  = errors.New("snoop: included length exceeds original length")
 )
 
 // Writer emits a btsnoop stream.
@@ -101,8 +102,16 @@ func (w *Writer) WriteRecord(r Record) error {
 	if err := w.header(); err != nil {
 		return fmt.Errorf("snoop: writing header: %w", err)
 	}
+	orig := r.OriginalLength
+	if orig == 0 {
+		// An unset OriginalLength means "nothing was truncated": default
+		// to the captured length instead of silently writing a record
+		// that every reader would treat as truncated (and that the
+		// framing validation below would reject on read-back).
+		orig = uint32(len(r.Data))
+	}
 	var hdr [24]byte
-	binary.BigEndian.PutUint32(hdr[0:4], r.OriginalLength)
+	binary.BigEndian.PutUint32(hdr[0:4], orig)
 	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(r.Data)))
 	binary.BigEndian.PutUint32(hdr[8:12], r.Flags)
 	binary.BigEndian.PutUint32(hdr[12:16], r.CumulativeDrops)
@@ -135,26 +144,63 @@ func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 // successful ReadRecord.
 func (r *Reader) Datalink() uint32 { return r.datalink }
 
+// readFileHeader consumes and validates the 16-byte file header,
+// returning the datalink type. Shared by Reader and Scanner.
+func readFileHeader(r io.Reader) (uint32, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: file header: %v", ErrTruncated, err)
+	}
+	if string(hdr[:8]) != magic {
+		return 0, ErrBadMagic
+	}
+	if v := binary.BigEndian.Uint32(hdr[8:12]); v != Version {
+		return 0, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	datalink := binary.BigEndian.Uint32(hdr[12:16])
+	if datalink != DatalinkH4 {
+		return 0, fmt.Errorf("%w: %d", ErrBadDatalink, datalink)
+	}
+	return datalink, nil
+}
+
 func (r *Reader) readHeader() error {
 	if r.started {
 		return nil
 	}
 	r.started = true
-	var hdr [16]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-		return fmt.Errorf("%w: file header: %v", ErrTruncated, err)
+	dl, err := readFileHeader(r.r)
+	if err != nil {
+		return err
 	}
-	if string(hdr[:8]) != magic {
-		return ErrBadMagic
-	}
-	if v := binary.BigEndian.Uint32(hdr[8:12]); v != Version {
-		return fmt.Errorf("%w: %d", ErrBadVersion, v)
-	}
-	r.datalink = binary.BigEndian.Uint32(hdr[12:16])
-	if r.datalink != DatalinkH4 {
-		return fmt.Errorf("%w: %d", ErrBadDatalink, r.datalink)
-	}
+	r.datalink = dl
 	return nil
+}
+
+// maxRecord bounds a single record payload; no real H4 packet comes
+// close, and the cap keeps hostile length fields from forcing huge
+// allocations.
+const maxRecord = 1 << 20
+
+// decodeRecordHeader parses the 24-byte record header into everything
+// but the payload, validating the length framing. Shared by Reader and
+// Scanner so both enforce identical rules.
+func decodeRecordHeader(hdr *[24]byte) (rec Record, incl uint32, err error) {
+	rec = Record{
+		OriginalLength:  binary.BigEndian.Uint32(hdr[0:4]),
+		Flags:           binary.BigEndian.Uint32(hdr[8:12]),
+		CumulativeDrops: binary.BigEndian.Uint32(hdr[12:16]),
+	}
+	incl = binary.BigEndian.Uint32(hdr[4:8])
+	ts := int64(binary.BigEndian.Uint64(hdr[16:24])) - btsnoopEpochDelta
+	rec.Timestamp = time.UnixMicro(ts).UTC()
+	if incl > maxRecord {
+		return Record{}, 0, fmt.Errorf("snoop: implausible record length %d", incl)
+	}
+	if incl > rec.OriginalLength {
+		return Record{}, 0, fmt.Errorf("%w: included %d > original %d", ErrBadFraming, incl, rec.OriginalLength)
+	}
+	return rec, incl, nil
 }
 
 // ReadRecord returns the next record, or io.EOF at end of stream.
@@ -169,17 +215,9 @@ func (r *Reader) ReadRecord() (Record, error) {
 		}
 		return Record{}, fmt.Errorf("%w: record header: %v", ErrTruncated, err)
 	}
-	rec := Record{
-		OriginalLength:  binary.BigEndian.Uint32(hdr[0:4]),
-		Flags:           binary.BigEndian.Uint32(hdr[8:12]),
-		CumulativeDrops: binary.BigEndian.Uint32(hdr[12:16]),
-	}
-	incl := binary.BigEndian.Uint32(hdr[4:8])
-	ts := int64(binary.BigEndian.Uint64(hdr[16:24])) - btsnoopEpochDelta
-	rec.Timestamp = time.UnixMicro(ts).UTC()
-	const maxRecord = 1 << 20
-	if incl > maxRecord {
-		return Record{}, fmt.Errorf("snoop: implausible record length %d", incl)
+	rec, incl, err := decodeRecordHeader(&hdr)
+	if err != nil {
+		return Record{}, err
 	}
 	rec.Data = make([]byte, incl)
 	if _, err := io.ReadFull(r.r, rec.Data); err != nil {

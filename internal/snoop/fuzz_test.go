@@ -29,6 +29,42 @@ func FuzzReadAll(f *testing.F) {
 	})
 }
 
+// FuzzScanner runs the incremental reader against ReadAll on arbitrary
+// bytes: both must accept the same record count and agree on whether the
+// input is an error, with no panics. Seeds cover truncation at the file
+// header, record header, and payload boundaries, plus bad framing.
+func FuzzScanner(f *testing.F) {
+	var seed bytes.Buffer
+	w := NewWriter(&seed)
+	_ = w.WriteRecord(Record{Data: []byte{0x01, 0x03, 0x0c, 0x00}, OriginalLength: 4})
+	_ = w.WriteRecord(Record{Data: []byte{0x04, 0x01, 0x00}, OriginalLength: 3, Flags: FlagDirectionReceived})
+	full := seed.Bytes()
+	f.Add(full)
+	for _, cut := range []int{0, 7, 15, 16, 17, 39, 40, 41, 43, len(full) - 1} {
+		if cut >= 0 && cut < len(full) {
+			f.Add(append([]byte(nil), full[:cut]...))
+		}
+	}
+	bad := append([]byte(nil), full...)
+	bad[16+3] = 2 // included length exceeds original: ErrBadFraming
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		recs, readErr := ReadAll(raw)
+		sc := NewScanner(bytes.NewReader(raw))
+		n := 0
+		for sc.Scan() {
+			n++
+		}
+		scanErr := sc.Err()
+		if (readErr == nil) != (scanErr == nil) {
+			t.Fatalf("ReadAll err=%v, Scanner err=%v", readErr, scanErr)
+		}
+		if n != len(recs) {
+			t.Fatalf("ReadAll %d records, Scanner %d", len(recs), n)
+		}
+	})
+}
+
 // FuzzExtractLinkKeys must tolerate arbitrary record contents.
 func FuzzExtractLinkKeys(f *testing.F) {
 	f.Add([]byte{0x01, 0x0b, 0x04, 0x16}, uint32(0))

@@ -2,6 +2,7 @@ package snoop
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/bt"
@@ -25,80 +26,112 @@ type FrameSummary struct {
 func Summarize(records []Record) []FrameSummary {
 	var rows []FrameSummary
 	for i, rec := range records {
-		if len(rec.Data) == 0 {
-			continue
+		if row, ok := summarizeRecord(i+1, rec); ok {
+			rows = append(rows, row)
 		}
-		dir := hci.DirHostToController
-		if rec.Received() {
-			dir = hci.DirControllerToHost
-		}
-		pkt, err := hci.ParseWire(dir, rec.Data)
-		if err != nil {
-			continue
-		}
-		row := FrameSummary{Frame: i + 1}
-		switch pkt.PT {
-		case hci.PTCommand:
-			row.Type = "Command"
-			op, _ := pkt.CommandOpcode()
-			row.Command = op.String()
-			if cmd, err := hci.ParseCommand(pkt); err == nil {
-				switch c := cmd.(type) {
-				case *hci.AuthenticationRequested:
-					row.Handle = fmt.Sprintf("0x%04x", uint16(c.Handle))
-				case *hci.Disconnect:
-					row.Handle = fmt.Sprintf("0x%04x", uint16(c.Handle))
-				case *hci.SetConnectionEncryption:
-					row.Handle = fmt.Sprintf("0x%04x", uint16(c.Handle))
-				}
-			}
-		case hci.PTEvent:
-			row.Type = "Event"
-			code, _ := pkt.EventCode()
-			row.Event = code.String()
-			if evt, err := hci.ParseEvent(pkt); err == nil {
-				switch e := evt.(type) {
-				case *hci.CommandStatus:
-					row.Command = e.CommandOpcode.String()
-					row.Status = e.Status.String()
-				case *hci.CommandComplete:
-					row.Command = e.CommandOpcode.String()
-					if len(e.ReturnParams) > 0 {
-						row.Status = hci.Status(e.ReturnParams[0]).String()
-					}
-				case *hci.ConnectionComplete:
-					row.Handle = fmt.Sprintf("0x%04x", uint16(e.Handle))
-					row.Status = e.Status.String()
-				case *hci.DisconnectionComplete:
-					row.Handle = fmt.Sprintf("0x%04x", uint16(e.Handle))
-					row.Status = e.Reason.String()
-				case *hci.AuthenticationComplete:
-					row.Handle = fmt.Sprintf("0x%04x", uint16(e.Handle))
-					row.Status = e.Status.String()
-				case *hci.EncryptionChange:
-					row.Handle = fmt.Sprintf("0x%04x", uint16(e.Handle))
-					row.Status = e.Status.String()
-				case *hci.SimplePairingComplete:
-					row.Status = e.Status.String()
-				case *hci.InquiryComplete:
-					row.Status = e.Status.String()
-				}
-			}
-		default:
-			continue
-		}
-		rows = append(rows, row)
 	}
 	return rows
+}
+
+// SummarizeStream is Summarize over a btsnoop stream: rows are emitted
+// one at a time as the capture is scanned, so arbitrarily large files
+// render in constant memory.
+func SummarizeStream(r io.Reader, emit func(FrameSummary)) error {
+	sc := NewScanner(r)
+	for sc.Scan() {
+		if row, ok := summarizeRecord(sc.Frame(), sc.Record()); ok {
+			emit(row)
+		}
+	}
+	return sc.Err()
+}
+
+// summarizeRecord decodes one record into a trace-table row. The record
+// body is only borrowed (never retained), so scanner-owned buffers are
+// safe here.
+func summarizeRecord(frame int, rec Record) (FrameSummary, bool) {
+	if len(rec.Data) == 0 {
+		return FrameSummary{}, false
+	}
+	dir := hci.DirHostToController
+	if rec.Received() {
+		dir = hci.DirControllerToHost
+	}
+	pkt, err := hci.ParseWireBorrow(dir, rec.Data)
+	if err != nil {
+		return FrameSummary{}, false
+	}
+	row := FrameSummary{Frame: frame}
+	switch pkt.PT {
+	case hci.PTCommand:
+		row.Type = "Command"
+		op, _ := pkt.CommandOpcode()
+		row.Command = op.String()
+		if cmd, err := hci.ParseCommand(pkt); err == nil {
+			switch c := cmd.(type) {
+			case *hci.AuthenticationRequested:
+				row.Handle = fmt.Sprintf("0x%04x", uint16(c.Handle))
+			case *hci.Disconnect:
+				row.Handle = fmt.Sprintf("0x%04x", uint16(c.Handle))
+			case *hci.SetConnectionEncryption:
+				row.Handle = fmt.Sprintf("0x%04x", uint16(c.Handle))
+			}
+		}
+	case hci.PTEvent:
+		row.Type = "Event"
+		code, _ := pkt.EventCode()
+		row.Event = code.String()
+		if evt, err := hci.ParseEvent(pkt); err == nil {
+			switch e := evt.(type) {
+			case *hci.CommandStatus:
+				row.Command = e.CommandOpcode.String()
+				row.Status = e.Status.String()
+			case *hci.CommandComplete:
+				row.Command = e.CommandOpcode.String()
+				if len(e.ReturnParams) > 0 {
+					row.Status = hci.Status(e.ReturnParams[0]).String()
+				}
+			case *hci.ConnectionComplete:
+				row.Handle = fmt.Sprintf("0x%04x", uint16(e.Handle))
+				row.Status = e.Status.String()
+			case *hci.DisconnectionComplete:
+				row.Handle = fmt.Sprintf("0x%04x", uint16(e.Handle))
+				row.Status = e.Reason.String()
+			case *hci.AuthenticationComplete:
+				row.Handle = fmt.Sprintf("0x%04x", uint16(e.Handle))
+				row.Status = e.Status.String()
+			case *hci.EncryptionChange:
+				row.Handle = fmt.Sprintf("0x%04x", uint16(e.Handle))
+				row.Status = e.Status.String()
+			case *hci.SimplePairingComplete:
+				row.Status = e.Status.String()
+			case *hci.InquiryComplete:
+				row.Status = e.Status.String()
+			}
+		}
+	default:
+		return FrameSummary{}, false
+	}
+	return row, true
+}
+
+// TableHeader returns the header line of the Frontline-style trace table.
+func TableHeader() string {
+	return fmt.Sprintf("%-5s %-8s %-45s %-35s %-8s %s\n", "Fra", "Type", "Opcode Command", "Event", "Handle", "Status")
+}
+
+// FormatRow renders one trace-table row, newline-terminated.
+func FormatRow(r FrameSummary) string {
+	return fmt.Sprintf("%-5d %-8s %-45s %-35s %-8s %s\n", r.Frame, r.Type, r.Command, r.Event, r.Handle, r.Status)
 }
 
 // RenderTable renders rows in the Frontline-style columnar layout of the
 // paper's Fig. 12.
 func RenderTable(rows []FrameSummary) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-5s %-8s %-45s %-35s %-8s %s\n", "Fra", "Type", "Opcode Command", "Event", "Handle", "Status")
+	b.WriteString(TableHeader())
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-5d %-8s %-45s %-35s %-8s %s\n", r.Frame, r.Type, r.Command, r.Event, r.Handle, r.Status)
+		b.WriteString(FormatRow(r))
 	}
 	return b.String()
 }
@@ -133,47 +166,68 @@ type LinkKeyHit struct {
 func ExtractLinkKeys(records []Record) []LinkKeyHit {
 	var hits []LinkKeyHit
 	for i, rec := range records {
-		if len(rec.Data) == 0 {
-			continue
-		}
-		dir := hci.DirHostToController
-		if rec.Received() {
-			dir = hci.DirControllerToHost
-		}
-		pkt, err := hci.ParseWire(dir, rec.Data)
-		if err != nil {
-			continue
-		}
-		switch pkt.PT {
-		case hci.PTCommand:
-			cmd, err := hci.ParseCommand(pkt)
-			if err != nil {
-				continue
-			}
-			if c, ok := cmd.(*hci.LinkKeyRequestReply); ok {
-				hits = append(hits, LinkKeyHit{
-					Frame:  i + 1,
-					Source: hci.OpLinkKeyRequestReply.String(),
-					Peer:   c.Addr,
-					Key:    c.Key,
-				})
-			}
-		case hci.PTEvent:
-			evt, err := hci.ParseEvent(pkt)
-			if err != nil {
-				continue
-			}
-			if e, ok := evt.(*hci.LinkKeyNotification); ok {
-				hits = append(hits, LinkKeyHit{
-					Frame:  i + 1,
-					Source: hci.EvLinkKeyNotification.String(),
-					Peer:   e.Addr,
-					Key:    e.Key,
-				})
-			}
+		if hit, ok := linkKeyFromRecord(i+1, rec); ok {
+			hits = append(hits, hit)
 		}
 	}
 	return hits
+}
+
+// ScanLinkKeys is ExtractLinkKeys over a btsnoop stream: the capture is
+// scanned record by record with a reused buffer, so multi-gigabyte dumps
+// are searched in constant memory.
+func ScanLinkKeys(r io.Reader) ([]LinkKeyHit, error) {
+	sc := NewScanner(r)
+	var hits []LinkKeyHit
+	for sc.Scan() {
+		if hit, ok := linkKeyFromRecord(sc.Frame(), sc.Record()); ok {
+			hits = append(hits, hit)
+		}
+	}
+	return hits, sc.Err()
+}
+
+// linkKeyFromRecord extracts a link key from one record, if it carries
+// one. The opcode/event peek keeps the hot path allocation-free: only
+// the two key-bearing packet kinds are ever fully parsed.
+func linkKeyFromRecord(frame int, rec Record) (LinkKeyHit, bool) {
+	raw := rec.Data
+	interesting := false
+	if op, ok := hci.PeekCommandOpcode(raw); ok {
+		interesting = op == hci.OpLinkKeyRequestReply
+	} else if code, ok := hci.PeekEventCode(raw); ok {
+		interesting = code == hci.EvLinkKeyNotification
+	}
+	if !interesting {
+		return LinkKeyHit{}, false
+	}
+	dir := hci.DirHostToController
+	if rec.Received() {
+		dir = hci.DirControllerToHost
+	}
+	pkt, err := hci.ParseWireBorrow(dir, raw)
+	if err != nil {
+		return LinkKeyHit{}, false
+	}
+	switch pkt.PT {
+	case hci.PTCommand:
+		cmd, err := hci.ParseCommand(pkt)
+		if err != nil {
+			return LinkKeyHit{}, false
+		}
+		if c, ok := cmd.(*hci.LinkKeyRequestReply); ok {
+			return LinkKeyHit{Frame: frame, Source: hci.OpLinkKeyRequestReply.String(), Peer: c.Addr, Key: c.Key}, true
+		}
+	case hci.PTEvent:
+		evt, err := hci.ParseEvent(pkt)
+		if err != nil {
+			return LinkKeyHit{}, false
+		}
+		if e, ok := evt.(*hci.LinkKeyNotification); ok {
+			return LinkKeyHit{Frame: frame, Source: hci.EvLinkKeyNotification.String(), Peer: e.Addr, Key: e.Key}, true
+		}
+	}
+	return LinkKeyHit{}, false
 }
 
 // KeysFor filters hits to those whose peer address matches addr.

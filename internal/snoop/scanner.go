@@ -1,0 +1,148 @@
+package snoop
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Scanner is an incremental btsnoop reader built for multi-gigabyte
+// captures: it yields one record at a time from an io.Reader, reusing a
+// single payload buffer across records so a full-file pass performs a
+// bounded, file-size-independent number of allocations. Contrast with
+// ReadAll, which materializes every record (one allocation each) before
+// analysis can start.
+//
+//	sc := snoop.NewScanner(f)
+//	for sc.Scan() {
+//		rec := sc.Record() // rec.Data valid only until the next Scan
+//	}
+//	if err := sc.Err(); err != nil { ... }
+//
+// The current record's Data aliases the internal buffer and is
+// invalidated by the next Scan call; callers that retain payloads must
+// copy them (Record.Clone). Typed HCI parses (hci.ParseCommand,
+// hci.ParseEvent) copy every field they extract, so parse-then-discard
+// consumers need no copies at all.
+type Scanner struct {
+	r        io.Reader
+	buf      []byte // reused payload buffer, aliased by the current record
+	hdr      [24]byte
+	rec      Record
+	frame    int
+	err      error
+	started  bool
+	datalink uint32
+}
+
+// NewScanner returns a Scanner over a btsnoop stream. Plain readers
+// (files, pipes, sockets) are wrapped in a bufio.Reader; in-memory
+// readers that already deliver bytes without syscalls are used as-is.
+func NewScanner(r io.Reader) *Scanner {
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReaderSize(r, 64<<10)
+	}
+	return &Scanner{r: r}
+}
+
+// Scan advances to the next record. It returns false at end of stream or
+// on error; Err distinguishes the two.
+func (s *Scanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	if !s.started {
+		s.started = true
+		dl, err := readFileHeader(s.r)
+		if err != nil {
+			s.err = err
+			return false
+		}
+		s.datalink = dl
+	}
+	if _, err := io.ReadFull(s.r, s.hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			s.err = io.EOF
+		} else {
+			s.err = fmt.Errorf("%w: record header: %v", ErrTruncated, err)
+		}
+		return false
+	}
+	rec, incl, err := decodeRecordHeader(&s.hdr)
+	if err != nil {
+		s.err = err
+		return false
+	}
+	if cap(s.buf) < int(incl) {
+		s.buf = make([]byte, incl)
+	}
+	data := s.buf[:incl]
+	if _, err := io.ReadFull(s.r, data); err != nil {
+		s.err = fmt.Errorf("%w: record data: %v", ErrTruncated, err)
+		return false
+	}
+	rec.Data = data
+	s.rec = rec
+	s.frame++
+	return true
+}
+
+// Record returns the current record. Its Data field aliases the
+// Scanner's internal buffer and is valid only until the next Scan call.
+func (s *Scanner) Record() Record { return s.rec }
+
+// Frame returns the 1-based capture position of the current record,
+// matching how real captures (and ReadAll-based code) number frames.
+func (s *Scanner) Frame() int { return s.frame }
+
+// Err returns the first error encountered, or nil if the stream ended
+// cleanly at a record boundary.
+func (s *Scanner) Err() error {
+	if s.err == io.EOF {
+		return nil
+	}
+	return s.err
+}
+
+// Datalink returns the stream's datalink type; valid after the first
+// Scan call.
+func (s *Scanner) Datalink() uint32 { return s.datalink }
+
+// Clone returns a deep copy of the record whose Data no longer aliases
+// any scanner buffer.
+func (r Record) Clone() Record {
+	r.Data = append([]byte(nil), r.Data...)
+	return r
+}
+
+// Rewrite is the Writer-side mirror of Scanner: it streams records from
+// src through filter into dst without ever buffering more than one
+// record, so a multi-gigabyte capture can be filtered (e.g. with
+// LinkKeyFilter) in constant memory. A nil filter copies the capture
+// verbatim. Filters must not retain the record's Data across calls; the
+// stock filters copy before rewriting. It returns how many records were
+// kept and dropped.
+func Rewrite(dst io.Writer, src io.Reader, filter func(Record) (Record, bool)) (kept, dropped int, err error) {
+	sc := NewScanner(src)
+	w := NewWriter(dst)
+	for sc.Scan() {
+		rec := sc.Record()
+		if filter != nil {
+			out, ok := filter(rec)
+			if !ok {
+				dropped++
+				continue
+			}
+			rec = out
+		}
+		if err := w.WriteRecord(rec); err != nil {
+			return kept, dropped, err
+		}
+		kept++
+	}
+	if err := sc.Err(); err != nil {
+		return kept, dropped, err
+	}
+	return kept, dropped, w.Flush()
+}

@@ -1,0 +1,291 @@
+package snoop
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/bt"
+	"repro/internal/hci"
+)
+
+// synthCapture builds a small deterministic synthetic capture for tests.
+func synthCapture(t testing.TB, records int, seed int64) ([]byte, SynthStats) {
+	t.Helper()
+	var buf bytes.Buffer
+	stats, err := Synthesize(&buf, SynthConfig{Records: records, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), stats
+}
+
+func serializeRecords(t testing.TB, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.WriteRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestScannerMatchesReadAll(t *testing.T) {
+	captures := map[string][]byte{
+		"sample": serializeRecords(t, fixLengths(sampleRecords())),
+	}
+	captures["synthetic"], _ = synthCapture(t, 2000, 7)
+
+	for name, data := range captures {
+		want, err := ReadAll(data)
+		if err != nil {
+			t.Fatalf("%s: ReadAll: %v", name, err)
+		}
+		sc := NewScanner(bytes.NewReader(data))
+		var got []Record
+		for sc.Scan() {
+			if sc.Frame() != len(got)+1 {
+				t.Fatalf("%s: frame %d at position %d", name, sc.Frame(), len(got))
+			}
+			got = append(got, sc.Record().Clone())
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("%s: scanner: %v", name, err)
+		}
+		if sc.Datalink() != DatalinkH4 {
+			t.Fatalf("%s: datalink %d", name, sc.Datalink())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: scanner %d records, ReadAll %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(got[i].Data, want[i].Data) ||
+				got[i].Flags != want[i].Flags ||
+				got[i].OriginalLength != want[i].OriginalLength ||
+				got[i].CumulativeDrops != want[i].CumulativeDrops ||
+				!got[i].Timestamp.Equal(want[i].Timestamp) {
+				t.Fatalf("%s: record %d differs:\n scanner %+v\n readall %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScannerTruncationBoundaries truncates a valid capture at every byte
+// offset and checks that Scanner and ReadAll agree on the record count
+// and on whether the prefix is an error.
+func TestScannerTruncationBoundaries(t *testing.T) {
+	data := serializeRecords(t, fixLengths(sampleRecords()))
+	for cut := 0; cut <= len(data); cut++ {
+		prefix := data[:cut]
+		want, wantErr := ReadAll(prefix)
+
+		sc := NewScanner(bytes.NewReader(prefix))
+		got := 0
+		for sc.Scan() {
+			got++
+		}
+		gotErr := sc.Err()
+
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("cut %d: ReadAll err %v, Scanner err %v", cut, wantErr, gotErr)
+		}
+		if got != len(want) {
+			t.Fatalf("cut %d: ReadAll %d records, Scanner %d", cut, len(want), got)
+		}
+		// Scanning past the failure must stay stopped.
+		if sc.Scan() {
+			t.Fatalf("cut %d: Scan returned true after stop", cut)
+		}
+	}
+}
+
+func TestFramingValidationRejectsInflatedLength(t *testing.T) {
+	data := serializeRecords(t, []Record{
+		{Data: []byte{0x01, 0x03, 0x0c, 0x00}, OriginalLength: 4},
+	})
+	// Record header starts at byte 16: original length [0:4], included
+	// length [4:8], both big-endian. Claim more captured than original.
+	bad := append([]byte(nil), data...)
+	bad[16+3] = 2 // original length = 2, included stays 4
+
+	if _, err := ReadAll(bad); !errors.Is(err, ErrBadFraming) {
+		t.Errorf("ReadAll: want ErrBadFraming, got %v", err)
+	}
+	sc := NewScanner(bytes.NewReader(bad))
+	for sc.Scan() {
+	}
+	if err := sc.Err(); !errors.Is(err, ErrBadFraming) {
+		t.Errorf("Scanner: want ErrBadFraming, got %v", err)
+	}
+}
+
+func TestWriterDefaultsOriginalLength(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	wire := []byte{0x01, 0x03, 0x0c, 0x00}
+	if err := w.WriteRecord(Record{Data: wire}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].OriginalLength != uint32(len(wire)) {
+		t.Fatalf("original length %d, want %d", recs[0].OriginalLength, len(wire))
+	}
+	if recs[0].Truncated() {
+		t.Fatal("defaulted record must not read as truncated")
+	}
+}
+
+func TestRewriteStreamsFilter(t *testing.T) {
+	key := bt.MustLinkKey("c4f16e949f04ee9c0fd6b1330289c324")
+	addr := bt.MustBDADDR("00:1a:7d:da:71:0a")
+	recs := fixLengths([]Record{
+		{Flags: FlagCommandEvent, Data: hci.EncodeCommand(&hci.LinkKeyRequestReply{Addr: addr, Key: key}).Wire()},
+		{Flags: FlagCommandEvent, Data: hci.EncodeCommand(&hci.AuthenticationRequested{Handle: 3}).Wire()},
+		{Flags: FlagCommandEvent | FlagDirectionReceived, Data: hci.EncodeEvent(&hci.LinkKeyNotification{Addr: addr, Key: key}).Wire()},
+	})
+	src := serializeRecords(t, recs)
+
+	var out bytes.Buffer
+	kept, dropped, err := Rewrite(&out, bytes.NewReader(src), LinkKeyFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 3 || dropped != 0 {
+		t.Fatalf("kept=%d dropped=%d", kept, dropped)
+	}
+	filtered, err := ReadAll(out.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := ExtractLinkKeys(filtered); len(hits) != 0 {
+		t.Fatalf("filter leaked %d keys through Rewrite", len(hits))
+	}
+	if !filtered[0].Truncated() || !filtered[2].Truncated() {
+		t.Fatal("key carriers must read as truncated after filtering")
+	}
+
+	// Dropping filter: keep nothing.
+	out.Reset()
+	kept, dropped, err = Rewrite(&out, bytes.NewReader(src), func(Record) (Record, bool) { return Record{}, false })
+	if err != nil || kept != 0 || dropped != 3 {
+		t.Fatalf("drop-all: kept=%d dropped=%d err=%v", kept, dropped, err)
+	}
+
+	// Nil filter: verbatim copy.
+	out.Reset()
+	if _, _, err := Rewrite(&out, bytes.NewReader(src), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), src) {
+		t.Fatal("nil filter must copy the capture verbatim")
+	}
+}
+
+func TestSynthesizeDeterministicAndScannable(t *testing.T) {
+	a, stats := synthCapture(t, 5000, 42)
+	b, stats2 := synthCapture(t, 5000, 42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same config must produce byte-identical captures")
+	}
+	if stats != stats2 {
+		t.Fatalf("stats differ: %+v vs %+v", stats, stats2)
+	}
+	if stats.Records != 5000 {
+		t.Fatalf("records %d, want 5000", stats.Records)
+	}
+	if int64(len(a)) != stats.Bytes {
+		t.Fatalf("stats.Bytes %d, file %d", stats.Bytes, len(a))
+	}
+	if stats.Sessions == 0 || stats.KeyExposures == 0 || stats.BlockedSessions == 0 ||
+		stats.StalledSessions == 0 || stats.FailedConnects == 0 {
+		t.Fatalf("capture missing scenario coverage: %+v", stats)
+	}
+
+	c, _ := synthCapture(t, 5000, 43)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds must differ")
+	}
+
+	hits, err := ScanLinkKeys(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != stats.KeyExposures {
+		t.Fatalf("ScanLinkKeys found %d keys, stats say %d", len(hits), stats.KeyExposures)
+	}
+}
+
+func TestStreamingRendersMatchInMemory(t *testing.T) {
+	data, _ := synthCapture(t, 1500, 3)
+	recs, err := ReadAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := Summarize(recs)
+	var got []FrameSummary
+	if err := SummarizeStream(bytes.NewReader(data), func(r FrameSummary) { got = append(got, r) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream %d rows, in-memory %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d differs:\n stream %+v\n memory %+v", i, got[i], want[i])
+		}
+	}
+
+	wantKeys := ExtractLinkKeys(recs)
+	gotKeys, err := ScanLinkKeys(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("stream %d keys, in-memory %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("key %d differs: %+v vs %+v", i, gotKeys[i], wantKeys[i])
+		}
+	}
+
+	// RenderTable output decomposes into TableHeader + FormatRow lines.
+	var streamed bytes.Buffer
+	streamed.WriteString(TableHeader())
+	for _, r := range got {
+		streamed.WriteString(FormatRow(r))
+	}
+	if streamed.String() != RenderTable(want) {
+		t.Fatal("streamed table differs from RenderTable")
+	}
+}
+
+func TestHCIDumpWriteTo(t *testing.T) {
+	d := NewHCIDump()
+	d.Observe(0, hci.DirHostToController, hci.EncodeCommand(&hci.Reset{}).Wire())
+	d.Observe(0, hci.DirControllerToHost, hci.EncodeEvent(&hci.InquiryComplete{Status: hci.StatusSuccess}).Wire())
+
+	want, err := d.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := d.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("WriteTo differs from Bytes")
+	}
+	var _ io.WriterTo = d
+}

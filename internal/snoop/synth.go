@@ -1,0 +1,223 @@
+package snoop
+
+import (
+	"bufio"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/hci"
+)
+
+// SynthConfig tunes the synthetic capture generator. The zero value of
+// every field selects a sensible default, so SynthConfig{Records: n,
+// Seed: s} is the common call.
+type SynthConfig struct {
+	// Records is the total number of records to emit.
+	Records int
+	// Seed makes the capture deterministic: equal configs produce
+	// byte-identical files.
+	Seed int64
+	// SessionEvery opens a new ACL session every N records; the records
+	// in between are ACL/command/event noise on the open handle, like the
+	// background chatter of a long-running device. Default 200.
+	SessionEvery int
+	// BlockedEvery makes every Nth session carry the page-blocking
+	// signature (incoming + local pairing initiation + NoInputNoOutput
+	// peer + Link_Key_Notification exposure). Default 8.
+	BlockedEvery int
+	// StalledEvery makes every Nth session end in a stalled
+	// authentication (auth requested, no completion, timeout disconnect)
+	// — the accessory-side trace of a link key extraction. Default 7.
+	StalledEvery int
+	// FailedEvery prefixes every Nth session with an inbound page whose
+	// Connection_Complete fails, followed by an outgoing retry — the
+	// sequence that used to leak pendingIncoming state in the analyzer.
+	// Default 5.
+	FailedEvery int
+}
+
+// SynthStats reports what a Synthesize call actually wrote.
+type SynthStats struct {
+	Records         int
+	Sessions        int
+	KeyExposures    int
+	BlockedSessions int
+	StalledSessions int
+	FailedConnects  int
+	// Bytes is the total encoded file size including the 16-byte header.
+	Bytes int64
+}
+
+func (c *SynthConfig) defaults() {
+	if c.SessionEvery <= 0 {
+		c.SessionEvery = 200
+	}
+	if c.BlockedEvery <= 0 {
+		c.BlockedEvery = 8
+	}
+	if c.StalledEvery <= 0 {
+		c.StalledEvery = 7
+	}
+	if c.FailedEvery <= 0 {
+		c.FailedEvery = 5
+	}
+}
+
+// Synthesize writes a deterministic synthetic btsnoop capture of exactly
+// cfg.Records records, shaped like the multi-gigabyte always-on HCI logs
+// the forensic pipeline must digest: mostly ACL data noise, with
+// periodic connection/pairing flows that exercise every analyzer finding
+// (plaintext key exposures, page-blocking signatures, stalled
+// authentications, failed inbound pages). Records scale to millions;
+// generation streams through a buffered writer in constant memory.
+func Synthesize(w io.Writer, cfg SynthConfig) (SynthStats, error) {
+	cfg.defaults()
+	bw := bufio.NewWriterSize(w, 1<<18)
+	sw := NewWriter(bw)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var st SynthStats
+	var errOut error
+	at := time.Duration(0)
+	emit := func(flags uint32, wire []byte) bool {
+		if st.Records >= cfg.Records || errOut != nil {
+			return false
+		}
+		at += time.Duration(50+rng.Intn(1950)) * time.Microsecond
+		rec := Record{
+			OriginalLength: uint32(len(wire)),
+			Flags:          flags,
+			Timestamp:      CaptureBase.Add(at),
+			Data:           wire,
+		}
+		if err := sw.WriteRecord(rec); err != nil {
+			errOut = err
+			return false
+		}
+		st.Records++
+		st.Bytes += 24 + int64(len(wire))
+		return true
+	}
+	emitCmd := func(c hci.Command) bool {
+		return emit(FlagCommandEvent, hci.EncodeCommand(c).Wire())
+	}
+	emitEvt := func(e hci.Event) bool {
+		return emit(FlagCommandEvent|FlagDirectionReceived, hci.EncodeEvent(e).Wire())
+	}
+
+	// Reused noise templates; only the ACL handle bytes are patched, so
+	// the noise path does no per-record encoding work.
+	aclPayload := make([]byte, 27)
+	rng.Read(aclPayload)
+	aclOut := hci.EncodeACL(hci.DirHostToController, 0, aclPayload).Wire()
+	aclIn := hci.EncodeACL(hci.DirControllerToHost, 0, aclPayload).Wire()
+	patchHandle := func(wire []byte, h bt.ConnHandle) {
+		hf := uint16(h)&0x0FFF | 0x2000
+		wire[1] = byte(hf)
+		wire[2] = byte(hf >> 8)
+	}
+	noiseEvt := hci.EncodeEvent(&hci.CommandStatus{
+		Status: hci.StatusSuccess, NumPackets: 1, CommandOpcode: hci.OpRemoteNameRequest,
+	}).Wire()
+	noiseCmd := hci.EncodeCommand(&hci.RemoteNameRequest{}).Wire()
+
+	peers := make([]bt.BDADDR, 8)
+	for i := range peers {
+		peers[i] = bt.BDADDRFromLittleEndian([6]byte{byte(i + 1), 0x5b, 0xc9, 0x7d, 0x1a, 0x00})
+	}
+
+	// session opens connection si and runs its pairing flow, returning
+	// the open handle and whether its authentication was left stalled.
+	session := func(si int, handle bt.ConnHandle) (open bt.ConnHandle, stalled bool) {
+		peer := peers[si%len(peers)]
+		var key bt.LinkKey
+		rng.Read(key[:])
+		if si%cfg.FailedEvery == 0 {
+			// Inbound page that dies with a failed completion: the accept
+			// must not taint the outgoing retry below as "incoming".
+			emitEvt(&hci.ConnectionRequest{Addr: peer, COD: bt.CODHeadset, LinkType: hci.LinkTypeACL})
+			emitCmd(&hci.AcceptConnectionRequest{Addr: peer, Role: 1})
+			emitEvt(&hci.ConnectionComplete{Status: hci.StatusPageTimeout, Addr: peer})
+			st.FailedConnects++
+		}
+		switch {
+		case si%cfg.BlockedEvery == 1:
+			// The Fig. 12b signature: incoming connection, locally
+			// initiated pairing, NoInputNoOutput peer, fresh key exposed.
+			emitEvt(&hci.ConnectionRequest{Addr: peer, COD: bt.CODHeadset, LinkType: hci.LinkTypeACL})
+			emitCmd(&hci.AcceptConnectionRequest{Addr: peer, Role: 1})
+			emitEvt(&hci.ConnectionComplete{Status: hci.StatusSuccess, Handle: handle, Addr: peer, LinkType: hci.LinkTypeACL})
+			emitCmd(&hci.AuthenticationRequested{Handle: handle})
+			emitEvt(&hci.IOCapabilityResponse{Addr: peer, Capability: bt.NoInputNoOutput})
+			emitEvt(&hci.SimplePairingComplete{Status: hci.StatusSuccess, Addr: peer})
+			if emitEvt(&hci.LinkKeyNotification{Addr: peer, Key: key, KeyType: bt.KeyTypeUnauthenticatedP256}) {
+				st.KeyExposures++
+			}
+			emitEvt(&hci.AuthenticationComplete{Status: hci.StatusSuccess, Handle: handle})
+			st.BlockedSessions++
+		case si%cfg.StalledEvery == 2:
+			// Outgoing re-authentication that never completes; the
+			// timeout disconnect is emitted when the session closes.
+			emitEvt(&hci.ConnectionComplete{Status: hci.StatusSuccess, Handle: handle, Addr: peer, LinkType: hci.LinkTypeACL})
+			emitCmd(&hci.AuthenticationRequested{Handle: handle})
+			st.StalledSessions++
+			stalled = true
+		default:
+			// Ordinary bonded re-authentication, key served from the
+			// host's bond store in plaintext (the §IV exposure).
+			emitEvt(&hci.ConnectionComplete{Status: hci.StatusSuccess, Handle: handle, Addr: peer, LinkType: hci.LinkTypeACL})
+			emitCmd(&hci.AuthenticationRequested{Handle: handle})
+			if emitCmd(&hci.LinkKeyRequestReply{Addr: peer, Key: key}) {
+				st.KeyExposures++
+			}
+			emitEvt(&hci.AuthenticationComplete{Status: hci.StatusSuccess, Handle: handle})
+		}
+		st.Sessions++
+		return handle, stalled
+	}
+
+	var (
+		si           int
+		open         bt.ConnHandle
+		openStalled  bool
+		sinceSession = 0
+	)
+	for st.Records < cfg.Records && errOut == nil {
+		if sinceSession == 0 || sinceSession >= cfg.SessionEvery {
+			if open != 0 {
+				reason := hci.StatusRemoteUserTerminated
+				if openStalled {
+					reason = hci.StatusLMPResponseTimeout
+				}
+				emitEvt(&hci.DisconnectionComplete{Status: hci.StatusSuccess, Handle: open, Reason: reason})
+			}
+			open, openStalled = session(si, bt.ConnHandle(si%0x0eff+1))
+			si++
+			sinceSession = 1
+			continue
+		}
+		switch {
+		case sinceSession%13 == 0:
+			emit(FlagCommandEvent|FlagDirectionReceived, noiseEvt)
+		case sinceSession%11 == 0:
+			emit(FlagCommandEvent, noiseCmd)
+		case sinceSession%2 == 0:
+			patchHandle(aclOut, open)
+			emit(0, aclOut)
+		default:
+			patchHandle(aclIn, open)
+			emit(FlagDirectionReceived, aclIn)
+		}
+		sinceSession++
+	}
+	if errOut != nil {
+		return st, errOut
+	}
+	if err := sw.Flush(); err != nil { // header even for Records == 0
+		return st, err
+	}
+	st.Bytes += 16
+	return st, bw.Flush()
+}

@@ -124,18 +124,29 @@ func ParseURBs(raw []byte) ([]URB, error) {
 	return out, nil
 }
 
+const hexDigits = "0123456789abcdef"
+
+// AppendHex appends the space-separated lowercase hex ASCII form of data
+// to dst and returns the extended slice. The append form lets streaming
+// consumers (hcidump's -hex mode, the converter below) reuse one buffer
+// across millions of records instead of building a fresh string each.
+func AppendHex(dst, data []byte) []byte {
+	for i, c := range data {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = append(dst, hexDigits[c>>4], hexDigits[c&0x0f])
+	}
+	return dst
+}
+
 // BinaryToHex converts a binary capture to the space-separated lowercase
 // hex ASCII form the paper's converter tool produces [27].
 func BinaryToHex(data []byte) string {
-	var b strings.Builder
-	b.Grow(len(data) * 3)
-	for i, c := range data {
-		if i > 0 {
-			b.WriteByte(' ')
-		}
-		fmt.Fprintf(&b, "%02x", c)
+	if len(data) == 0 {
+		return ""
 	}
-	return b.String()
+	return string(AppendHex(make([]byte, 0, len(data)*3-1), data))
 }
 
 // ExtractedKey is one link key recovered from a USB capture.

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Tier-1 verification: build, vet, tests, race detector, plus a one-shot
-# smoke run of the benchmark suite. Run from the repository root.
+# smoke run of the benchmark suite and the streaming-pipeline benches.
+# Run from the repository root.
 #
 #   scripts/verify.sh          # full tier-1
-#   BENCH_JSON=BENCH_pr1.json scripts/verify.sh   # also regenerate timings
+#   BENCH_JSON=BENCH_pr2.json scripts/verify.sh   # also regenerate timings
 set -eux
 
 go build ./...
@@ -12,6 +13,16 @@ go test ./...
 go test -race ./...
 go test -run xxx -bench . -benchtime 1x .
 
+# Streaming forensics pipeline: smoke the synthetic capture generator and
+# the capture-scan benchmarks (baseline vs zero-copy stream).
+go test -run xxx -bench 'BenchmarkForensicsScan|BenchmarkSnoopScanner|BenchmarkSynthesize' -benchtime 1x .
+
 if [ -n "${BENCH_JSON:-}" ]; then
     go run ./cmd/benchtables -benchjson "$BENCH_JSON"
+    go run ./cmd/benchtables -checkjson "$BENCH_JSON"
+fi
+
+# The committed bench JSON must stay well-formed.
+if [ -f BENCH_pr2.json ]; then
+    go run ./cmd/benchtables -checkjson BENCH_pr2.json
 fi
