@@ -15,11 +15,15 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"time"
@@ -33,6 +37,7 @@ import (
 	"repro/internal/hci"
 	"repro/internal/host"
 	"repro/internal/radio"
+	"repro/internal/sentinel"
 	"repro/internal/sim"
 	"repro/internal/snoop"
 )
@@ -140,6 +145,12 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(eval.RenderForensicsSweep(sweep))
+
+		lat, err := eval.RunDetectionLatencyWorkers(*seed, 10, *workers)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(eval.RenderDetectionLatency(lat))
 	}
 
 	if *ablations || all {
@@ -311,6 +322,12 @@ func writeBenchJSON(path string, seed int64) error {
 	}
 	report.Results = append(report.Results, fe)
 
+	se, err := sentinelIngestEntry(seed)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, se)
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -393,6 +410,103 @@ func forensicsScanEntry(seed int64, workers int) (benchEntry, error) {
 	}
 	if oallocs > 0 {
 		e.AllocReduction = float64(ballocs) / float64(oallocs)
+	}
+	return e, nil
+}
+
+// sentinelIngestEntry benchmarks the live daemon path against the batch
+// analyzer over the same one-million-record capture: baseline is the
+// in-process streaming scan (forensics.AnalyzeStream), "optimized" is a
+// sentinel server fed through a real Unix socket with JSONL events
+// enabled — i.e. the full blapd data path including framing, per-record
+// metrics, and event emission. Identity is verified the way the daemon's
+// contract states it: every live finding event must match the batch
+// findings in order, frame, kind, peer, and detail.
+func sentinelIngestEntry(seed int64) (benchEntry, error) {
+	const records = 1_000_000
+	var capture bytes.Buffer
+	if _, err := snoop.Synthesize(&capture, snoop.SynthConfig{Records: records, Seed: seed}); err != nil {
+		return benchEntry{}, fmt.Errorf("synthesizing capture: %w", err)
+	}
+	data := capture.Bytes()
+
+	t0 := time.Now()
+	batchRep, err := forensics.AnalyzeStream(bytes.NewReader(data))
+	if err != nil {
+		return benchEntry{}, fmt.Errorf("sentinel_ingest_1m baseline: %w", err)
+	}
+	bns := time.Since(t0).Nanoseconds()
+
+	sock := filepath.Join(os.TempDir(), fmt.Sprintf("blapd-bench-%d.sock", os.Getpid()))
+	var events bytes.Buffer
+	done := make(chan sentinel.StreamSummary, 1)
+	srv := sentinel.New(sentinel.Config{
+		UnixAddr:    sock,
+		Output:      &events,
+		OnStreamEnd: func(sum sentinel.StreamSummary) { done <- sum },
+	})
+	if err := srv.Start(); err != nil {
+		return benchEntry{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	t1 := time.Now()
+	conn, err := net.Dial("unix", srv.UnixAddr())
+	if err != nil {
+		return benchEntry{}, err
+	}
+	if _, err := conn.Write(data); err != nil {
+		return benchEntry{}, fmt.Errorf("streaming capture: %w", err)
+	}
+	conn.Close()
+	sum := <-done
+	ons := time.Since(t1).Nanoseconds()
+	if sum.Status != sentinel.StatusClean || sum.Records != records {
+		return benchEntry{}, fmt.Errorf("sentinel_ingest_1m: stream ended %q with %d records: %v",
+			sum.Status, sum.Records, sum.Err)
+	}
+
+	// Verify the live/batch parity contract on the real event stream.
+	var live []sentinel.Event
+	sc := bufio.NewScanner(bytes.NewReader(events.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev sentinel.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return benchEntry{}, fmt.Errorf("sentinel_ingest_1m: bad event line: %w", err)
+		}
+		if ev.Type == sentinel.EventFinding {
+			live = append(live, ev)
+		}
+	}
+	identical := len(live) == len(batchRep.Findings)
+	for i := 0; identical && i < len(live); i++ {
+		w := batchRep.Findings[i]
+		identical = live[i].Frame == w.Frame && live[i].Kind == w.Kind &&
+			live[i].Peer == w.Peer.String() && live[i].Detail == w.Detail
+	}
+	if !identical {
+		return benchEntry{}, fmt.Errorf("sentinel_ingest_1m: live events diverge from batch findings")
+	}
+
+	e := benchEntry{
+		Name:       "sentinel_ingest_1m",
+		Baseline:   "forensics.AnalyzeStream (in-process batch)",
+		Optimized:  "sentinel unix-socket ingest + JSONL events (live)",
+		BaselineNs: bns, OptimizedNs: ons,
+		Records: records, CaptureBytes: int64(len(data)),
+		OutputsIdentical: identical,
+	}
+	if ons > 0 {
+		e.Speedup = float64(bns) / float64(ons)
+		e.OptimizedRecPerSec = float64(records) / (float64(ons) / 1e9)
+	}
+	if bns > 0 {
+		e.BaselineRecPerSec = float64(records) / (float64(bns) / 1e9)
 	}
 	return e, nil
 }

@@ -1,0 +1,159 @@
+// Command blapd is the live BLAP detection daemon: it accepts btsnoop
+// streams over TCP and Unix sockets, runs the incremental forensic
+// detector on each connection as bytes arrive, and emits findings as
+// JSONL events on stdout the moment they are detected — not at EOF.
+// An HTTP endpoint serves /metrics (JSON counters, per-stream lag) and
+// /healthz (503 once draining).
+//
+//	blapd -tcp 127.0.0.1:9011 -http 127.0.0.1:9012
+//	blapd -unix /run/blapd.sock
+//	blapd -stdin < capture.btsnoop        # one-shot; exit 3 on findings
+//	blapd -send capture.btsnoop -tcp host:9011   # stream a file to a daemon
+//	blapd -smoke                          # self-contained end-to-end check
+//
+// SIGINT/SIGTERM drain the daemon: listeners close, in-flight streams
+// get -drain-timeout to finish, stragglers are force-closed.
+//
+// Exit codes: 0 on success, 1 on error, 2 on usage; -stdin exits 3 when
+// the capture produced at least one finding (the same contract as
+// hcidump -analyze).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/sentinel"
+)
+
+// exitFindings matches hcidump -analyze: one-shot analysis found signatures.
+const exitFindings = 3
+
+func main() {
+	var (
+		tcpAddr      = flag.String("tcp", "", "btsnoop ingestion TCP address (empty disables)")
+		unixAddr     = flag.String("unix", "", "btsnoop ingestion Unix socket path (empty disables)")
+		httpAddr     = flag.String("http", "", "metrics/health HTTP address (empty disables)")
+		maxStreams   = flag.Int("max-streams", 64, "max concurrent ingestion streams; excess connections are rejected")
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "per-read idle deadline on ingestion sockets (0 = default, negative disables)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight streams on shutdown")
+		stdin        = flag.Bool("stdin", false, "one-shot: ingest a single capture from stdin and exit (3 if findings)")
+		send         = flag.String("send", "", "client mode: stream the given capture file to a running daemon at -tcp or -unix")
+		smoke        = flag.Bool("smoke", false, "self-contained end-to-end check on ephemeral sockets; exit 0/1")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: blapd [-tcp addr] [-unix path] [-http addr] [-stdin] [-send capture] [-smoke]")
+		os.Exit(2)
+	}
+
+	switch {
+	case *smoke:
+		if err := runSmoke(os.Stderr); err != nil {
+			fail(err)
+		}
+		fmt.Println("blapd smoke: ok")
+	case *send != "":
+		if err := runSend(*send, *tcpAddr, *unixAddr); err != nil {
+			fail(err)
+		}
+	case *stdin:
+		os.Exit(runStdin(*maxStreams))
+	default:
+		if *tcpAddr == "" && *unixAddr == "" {
+			fmt.Fprintln(os.Stderr, "blapd: no ingestion listener; set -tcp and/or -unix (or use -stdin/-send/-smoke)")
+			os.Exit(2)
+		}
+		if err := runDaemon(sentinel.Config{
+			TCPAddr:     *tcpAddr,
+			UnixAddr:    *unixAddr,
+			HTTPAddr:    *httpAddr,
+			MaxStreams:  *maxStreams,
+			ReadTimeout: *readTimeout,
+			Output:      os.Stdout,
+		}, *drainTimeout); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// runDaemon serves until SIGINT/SIGTERM, then drains.
+func runDaemon(cfg sentinel.Config, drain time.Duration) error {
+	s := sentinel.New(cfg)
+	if err := s.Start(); err != nil {
+		return err
+	}
+	for _, l := range []struct{ name, addr string }{
+		{"tcp", s.TCPAddr()}, {"unix", s.UnixAddr()}, {"http", s.HTTPAddr()},
+	} {
+		if l.addr != "" {
+			fmt.Fprintf(os.Stderr, "blapd: listening %s %s\n", l.name, l.addr)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "blapd: %s, draining (up to %s)\n", got, drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "blapd: drain deadline hit; streams force-closed")
+	}
+	return nil
+}
+
+// runStdin ingests one capture from stdin, emitting events on stdout.
+func runStdin(maxStreams int) int {
+	s := sentinel.New(sentinel.Config{MaxStreams: maxStreams, Output: os.Stdout})
+	sum := s.Ingest("stdin", "stdin", os.Stdin)
+	if sum.Err != nil && sum.Status != sentinel.StatusClean {
+		fmt.Fprintf(os.Stderr, "blapd: stream ended %s: %v\n", sum.Status, sum.Err)
+		return 1
+	}
+	if sum.Findings > 0 {
+		return exitFindings
+	}
+	return 0
+}
+
+// runSend streams a capture file to a running daemon — the companion
+// client for testing a deployed blapd without a phone in hand.
+func runSend(path, tcpAddr, unixAddr string) error {
+	network, addr := "tcp", tcpAddr
+	if unixAddr != "" {
+		network, addr = "unix", unixAddr
+	}
+	if addr == "" {
+		return fmt.Errorf("-send needs a daemon address via -tcp or -unix")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	n, err := io.Copy(conn, f)
+	if err != nil {
+		return fmt.Errorf("streaming %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "blapd: sent %d bytes from %s to %s %s\n", n, path, network, addr)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "blapd:", err)
+	os.Exit(1)
+}

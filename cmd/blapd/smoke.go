@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/forensics"
+	"repro/internal/sentinel"
+	"repro/internal/snoop"
+)
+
+// runSmoke is blapd's self-contained end-to-end check, wired into
+// scripts/verify.sh: start a server on ephemeral sockets, stream a
+// synthesized capture through the Unix socket like a real client, and
+// verify the live JSONL events match a batch forensics.Analyze of the
+// same capture — plus that /metrics and /healthz answer sanely.
+func runSmoke(log io.Writer) error {
+	const records = 25_000
+	var capture bytes.Buffer
+	if _, err := snoop.Synthesize(&capture, snoop.SynthConfig{Records: records, Seed: 42}); err != nil {
+		return fmt.Errorf("synthesize: %w", err)
+	}
+	recs, err := snoop.ReadAll(capture.Bytes())
+	if err != nil {
+		return err
+	}
+	want := forensics.Analyze(recs).Findings
+	if len(want) == 0 {
+		return fmt.Errorf("smoke fixture produced no findings; synth config is broken")
+	}
+
+	var events bytes.Buffer
+	done := make(chan sentinel.StreamSummary, 1)
+	sock := filepath.Join(os.TempDir(), fmt.Sprintf("blapd-smoke-%d.sock", os.Getpid()))
+	s := sentinel.New(sentinel.Config{
+		UnixAddr:    sock,
+		HTTPAddr:    "127.0.0.1:0",
+		Output:      &events,
+		OnStreamEnd: func(sum sentinel.StreamSummary) { done <- sum },
+	})
+	if err := s.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+
+	conn, err := net.Dial("unix", s.UnixAddr())
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Write(capture.Bytes()); err != nil {
+		return fmt.Errorf("streaming capture: %w", err)
+	}
+	conn.Close()
+
+	var sum sentinel.StreamSummary
+	select {
+	case sum = <-done:
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("stream never finished")
+	}
+	if sum.Status != sentinel.StatusClean {
+		return fmt.Errorf("stream ended %q: %v", sum.Status, sum.Err)
+	}
+	if sum.Records != records {
+		return fmt.Errorf("ingested %d records, sent %d", sum.Records, records)
+	}
+
+	// Live events must equal the batch findings record-for-record.
+	var live []sentinel.Event
+	sc := bufio.NewScanner(bytes.NewReader(events.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev sentinel.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("bad JSONL line %q: %w", sc.Text(), err)
+		}
+		if ev.Type == sentinel.EventFinding {
+			live = append(live, ev)
+		}
+	}
+	if len(live) != len(want) {
+		return fmt.Errorf("live emitted %d findings, batch found %d", len(live), len(want))
+	}
+	for i, ev := range live {
+		w := want[i]
+		if ev.Frame != w.Frame || ev.Kind != w.Kind || ev.Peer != w.Peer.String() || ev.Detail != w.Detail {
+			return fmt.Errorf("finding %d diverges:\nlive:  %+v\nbatch: %+v", i, ev, w)
+		}
+	}
+
+	// Metrics and health must be served and consistent.
+	resp, err := http.Get("http://" + s.HTTPAddr() + "/metrics")
+	if err != nil {
+		return fmt.Errorf("/metrics: %w", err)
+	}
+	var snap sentinel.MetricsSnapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("/metrics decode: %w", err)
+	}
+	if snap.Records != records || snap.StreamsTotal != 1 {
+		return fmt.Errorf("metrics inconsistent: %+v", snap)
+	}
+	hresp, err := http.Get("http://" + s.HTTPAddr() + "/healthz")
+	if err != nil {
+		return fmt.Errorf("/healthz: %w", err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/healthz returned %d", hresp.StatusCode)
+	}
+
+	fmt.Fprintf(log, "blapd smoke: %d records, %d live findings == batch, metrics/healthz ok\n",
+		records, len(live))
+	return nil
+}

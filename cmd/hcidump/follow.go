@@ -1,0 +1,57 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/forensics"
+	"repro/internal/snoop"
+)
+
+// tailReader reads from a file that another process may still be
+// appending to — the live Android btsnoop log case. On EOF it polls for
+// growth; only after the file has delivered no new bytes for idle does
+// it report EOF to the caller. io.ReadFull in the snoop scanner then
+// naturally blocks mid-record until the writer catches up or goes
+// quiet.
+type tailReader struct {
+	f    *os.File
+	idle time.Duration
+	poll time.Duration
+}
+
+func (t *tailReader) Read(p []byte) (int, error) {
+	deadline := time.Now().Add(t.idle)
+	for {
+		n, err := t.f.Read(p)
+		if n > 0 || !errors.Is(err, io.EOF) {
+			return n, err
+		}
+		if time.Now().After(deadline) {
+			return 0, io.EOF
+		}
+		time.Sleep(t.poll)
+	}
+}
+
+// followFile tails a growing capture through the incremental detector,
+// printing findings the moment the records that complete them land in
+// the file. It returns the finished report once the file has been idle
+// for the full idle window (the writer stopped), plus the scan error if
+// the capture ended mid-record.
+func followFile(f *os.File, idle time.Duration, out io.Writer) (*forensics.Report, error) {
+	sc := snoop.NewScanner(&tailReader{f: f, idle: idle, poll: 50 * time.Millisecond})
+	det := forensics.NewDetector()
+	for sc.Scan() {
+		det.Push(sc.Record())
+		for _, ev := range det.Drain() {
+			fmt.Fprintf(out, "%s frame %-5d [%s] peer %s: %s\n",
+				ev.Time.Format("15:04:05.000000"), ev.Frame,
+				ev.Finding.Kind, ev.Finding.Peer, ev.Finding.Detail)
+		}
+	}
+	return det.Finish(), sc.Err()
+}

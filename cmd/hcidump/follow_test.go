@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/forensics"
+	"repro/internal/snoop"
+)
+
+// TestFollowGrowingFile pins the tail contract: a writer appends a
+// capture in small slices with pauses, and followFile must keep reading
+// across the EOFs in between, end only after the idle window, and
+// produce the exact batch report.
+func TestFollowGrowingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := snoop.Synthesize(&buf, snoop.SynthConfig{Records: 3000, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	recs, err := snoop.ReadAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := forensics.Analyze(recs)
+	if len(want.Findings) == 0 {
+		t.Fatal("fixture has no findings")
+	}
+
+	path := filepath.Join(t.TempDir(), "growing.btsnoop")
+	w, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer w.Close()
+		// Deliberately misaligned slices so the reader repeatedly hits
+		// EOF mid-record and must wait for the writer.
+		const chunk = 1017
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, err := w.Write(data[off:end]); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out strings.Builder
+	report, scanErr := followFile(f, 500*time.Millisecond, &out)
+	if scanErr != nil {
+		t.Fatalf("follow ended with scan error: %v", scanErr)
+	}
+	if !reflect.DeepEqual(report, want) {
+		t.Fatalf("follow report diverges from batch:\nfollow: %+v\nbatch:  %+v", report, want)
+	}
+	lines := strings.Count(out.String(), "\n")
+	if lines != len(want.Findings) {
+		t.Fatalf("printed %d live finding lines, want %d", lines, len(want.Findings))
+	}
+}
+
+// TestFollowIdleTruncated checks the other ending: the writer dies
+// mid-record and never comes back, so the tail must give up after the
+// idle window and report the truncation instead of hanging forever.
+func TestFollowIdleTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := snoop.Synthesize(&buf, snoop.SynthConfig{Records: 50, Seed: 12}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	path := filepath.Join(t.TempDir(), "dead.btsnoop")
+	if err := os.WriteFile(path, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	start := time.Now()
+	report, scanErr := followFile(f, 200*time.Millisecond, io.Discard)
+	if scanErr == nil {
+		t.Fatal("truncated tail reported a clean end")
+	}
+	if !errors.Is(scanErr, snoop.ErrTruncated) {
+		t.Fatalf("scan error %v, want ErrTruncated", scanErr)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("follow took %v to give up on an idle file", elapsed)
+	}
+	if report == nil || len(report.Sessions) == 0 {
+		t.Fatal("records before the truncation were not analyzed")
+	}
+}

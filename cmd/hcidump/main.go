@@ -10,12 +10,18 @@
 //	hcidump -keys capture.btsnoop
 //	hcidump -hex capture.btsnoop
 //	hcidump -analyze capture.btsnoop
+//	hcidump -follow capture.btsnoop
 //	hcidump -usb capture.usbraw
 //
 // Exit codes: 0 on success, 1 on error, 2 on usage; -analyze exits 3
 // when the analyzer reports at least one finding, so scripted triage can
 // distinguish "clean capture" from "attack signature present" without
 // parsing the report text.
+//
+// -follow tails a capture another process is still appending to (the
+// live Android btsnoop log): findings print the moment they complete,
+// and once the file stops growing for -idle the final report renders
+// with the same exit-3 contract as -analyze.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/forensics"
 	"repro/internal/snoop"
@@ -39,10 +46,12 @@ func main() {
 		hex     = flag.Bool("hex", false, "print raw packet bytes per frame")
 		usb     = flag.Bool("usb", false, "input is a raw sniffed USB stream, not btsnoop")
 		analyze = flag.Bool("analyze", false, "run the forensic analyzer (attack signatures); exit 3 on findings")
+		follow  = flag.Bool("follow", false, "tail a growing capture, printing findings live; exit 3 on findings once the file goes idle")
+		idle    = flag.Duration("idle", 2*time.Second, "with -follow: stop once the file has not grown for this long")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hcidump [-keys] [-hex] [-usb] [-analyze] <capture>")
+		fmt.Fprintln(os.Stderr, "usage: hcidump [-keys] [-hex] [-usb] [-analyze] [-follow [-idle d]] <capture>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -50,6 +59,18 @@ func main() {
 		fail(err)
 	}
 	defer f.Close()
+
+	if *follow {
+		report, scanErr := followFile(f, *idle, os.Stdout)
+		fmt.Print(report.Render())
+		if scanErr != nil {
+			fail(fmt.Errorf("tailing %s: %w", flag.Arg(0), scanErr))
+		}
+		if len(report.Findings) > 0 {
+			os.Exit(exitFindings)
+		}
+		return
+	}
 
 	if *usb {
 		// The raw URB format has no streaming parser; USB captures are

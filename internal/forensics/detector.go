@@ -1,0 +1,93 @@
+package forensics
+
+import (
+	"time"
+
+	"repro/internal/snoop"
+)
+
+// Event is one live finding: the Finding itself plus the stream metadata
+// an online consumer needs — a monotonic 1-based sequence number and the
+// capture position/timestamp of the record that completed it.
+type Event struct {
+	Seq     uint64
+	Frame   int
+	Time    time.Time
+	Finding Finding
+}
+
+// Detector is the incremental form of the analyzer: push snoop.Records
+// as they arrive (from a socket, a growing file, or a slice) and drain
+// findings the moment the session reducer produces them. Analyze and
+// AnalyzeStream are thin wrappers over a Detector, so a live path that
+// pushes the same records in the same order emits byte-identical
+// findings to a batch run — detection parity is structural, not tested
+// into existence.
+//
+// A Detector is not safe for concurrent use; the daemon runs one per
+// connection.
+type Detector struct {
+	st      *sessionState
+	pending []Event
+	seq     uint64
+	frames  int
+}
+
+// NewDetector returns an empty Detector.
+func NewDetector() *Detector {
+	d := &Detector{st: newSessionState()}
+	d.st.onFinding = func(f Finding) {
+		d.seq++
+		d.pending = append(d.pending, Event{
+			Seq: d.seq, Frame: d.st.frame, Time: d.st.ts, Finding: f,
+		})
+	}
+	return d
+}
+
+// Push folds one capture record into the detector. Frames are numbered
+// 1..n in push order, matching how Analyze numbers a record slice. The
+// record's Data may alias a reused scanner buffer: decoding copies every
+// field it keeps, so nothing of rec is retained.
+func (d *Detector) Push(rec snoop.Record) {
+	d.frames++
+	if msg := decodeRecord(recordDir(rec), rec.Data); msg != nil {
+		d.st.apply(d.frames, rec.Timestamp, msg)
+	}
+}
+
+// pushDecoded feeds an already-decoded message at an explicit frame
+// position — the parallel stream pipeline's entry, whose workers decode
+// out of band and reduce in submission order.
+func (d *Detector) pushDecoded(frame int, ts time.Time, msg any) {
+	if frame > d.frames {
+		d.frames = frame
+	}
+	if msg != nil {
+		d.st.apply(frame, ts, msg)
+	}
+}
+
+// Drain returns the events produced since the previous Drain call, in
+// emission order, or nil when there are none. The returned slice is
+// owned by the caller.
+func (d *Detector) Drain() []Event {
+	if len(d.pending) == 0 {
+		return nil
+	}
+	ev := d.pending
+	d.pending = nil
+	return ev
+}
+
+// Frames returns how many records have been pushed so far.
+func (d *Detector) Frames() int { return d.frames }
+
+// Findings returns how many findings have been emitted so far (drained
+// or not).
+func (d *Detector) Findings() uint64 { return d.seq }
+
+// Finish returns the accumulated batch report. The detector may keep
+// receiving pushes afterwards (the report is live state), but callers
+// that want a stable snapshot should stop pushing first.
+func (d *Detector) Finish() *Report { return d.st.finish() }

@@ -1,0 +1,128 @@
+package forensics
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/snoop"
+)
+
+// TestDetectorEventsMatchBatchFindings pins live detection to batch
+// analysis: pushing records one at a time and draining after every push
+// must yield the same findings, in the same order, as Analyze over the
+// same slice — and the final report must be deeply identical.
+func TestDetectorEventsMatchBatchFindings(t *testing.T) {
+	for name, data := range streamTestCaptures(t) {
+		recs, err := snoop.ReadAll(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := Analyze(recs)
+
+		d := NewDetector()
+		var events []Event
+		for i, rec := range recs {
+			d.Push(rec)
+			for _, ev := range d.Drain() {
+				// A finding can only ever be emitted by the record just
+				// pushed — that is what makes the detector "live".
+				if ev.Frame != i+1 {
+					t.Fatalf("%s: event %d drained after frame %d but stamped frame %d",
+						name, ev.Seq, i+1, ev.Frame)
+				}
+				events = append(events, ev)
+			}
+		}
+		got := d.Finish()
+
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: incremental report differs from Analyze\nlive:  %s\nbatch: %s",
+				name, got.Render(), want.Render())
+		}
+		if len(events) != len(want.Findings) {
+			t.Fatalf("%s: %d events, %d batch findings", name, len(events), len(want.Findings))
+		}
+		for i, ev := range events {
+			if ev.Seq != uint64(i+1) {
+				t.Fatalf("%s: event %d has seq %d", name, i, ev.Seq)
+			}
+			if !reflect.DeepEqual(ev.Finding, want.Findings[i]) {
+				t.Fatalf("%s: event %d finding differs:\nlive:  %+v\nbatch: %+v",
+					name, i, ev.Finding, want.Findings[i])
+			}
+			if ev.Frame != ev.Finding.Frame {
+				t.Fatalf("%s: event frame %d != finding frame %d", name, ev.Frame, ev.Finding.Frame)
+			}
+		}
+		if d.Frames() != len(recs) {
+			t.Fatalf("%s: Frames() = %d, pushed %d", name, d.Frames(), len(recs))
+		}
+		if d.Findings() != uint64(len(events)) {
+			t.Fatalf("%s: Findings() = %d, drained %d", name, d.Findings(), len(events))
+		}
+	}
+}
+
+// TestDetectorFiresBeforeEOF is the point of the subsystem: on a long
+// capture with early attack flows, the first finding must surface long
+// before the last record arrives — batch-at-EOF analysis cannot do this.
+func TestDetectorFiresBeforeEOF(t *testing.T) {
+	data, stats := synthCapture(t, 20_000, 9)
+	if stats.BlockedSessions == 0 {
+		t.Fatal("fixture lost its page-blocking sessions")
+	}
+	recs, err := snoop.ReadAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDetector()
+	first := 0
+	for _, rec := range recs {
+		d.Push(rec)
+		if evs := d.Drain(); first == 0 && len(evs) > 0 {
+			first = evs[0].Frame
+		}
+	}
+	if first == 0 {
+		t.Fatal("no events emitted")
+	}
+	if first > len(recs)/10 {
+		t.Fatalf("first finding at frame %d of %d — not incremental", first, len(recs))
+	}
+}
+
+// TestFindingFramesMonotonic checks the frame stamps advance with the
+// stream (sequence numbers are pinned elsewhere; frames may repeat when
+// one record completes several findings).
+func TestFindingFramesMonotonic(t *testing.T) {
+	data, _ := synthCapture(t, 5_000, 4)
+	recs, err := snoop.ReadAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(recs)
+	if len(rep.Findings) == 0 {
+		t.Fatal("no findings")
+	}
+	last := 0
+	for _, f := range rep.Findings {
+		if f.Frame <= 0 || f.Frame > len(recs) {
+			t.Fatalf("finding frame %d out of range 1..%d", f.Frame, len(recs))
+		}
+		if f.Frame < last {
+			t.Fatalf("finding frames regress: %d after %d", f.Frame, last)
+		}
+		last = f.Frame
+	}
+}
+
+func synthCapture(t testing.TB, records int, seed int64) ([]byte, snoop.SynthStats) {
+	t.Helper()
+	var buf bytes.Buffer
+	stats, err := snoop.Synthesize(&buf, snoop.SynthConfig{Records: records, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), stats
+}

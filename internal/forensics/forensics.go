@@ -11,9 +11,13 @@
 //   - suspicious timeout disconnects during authentication (the trace a
 //     link key extraction attack leaves on the *accessory*).
 //
-// Two entry points share one single-pass session reducer: Analyze walks
-// records already in memory; AnalyzeStream (stream.go) digests a btsnoop
-// stream of any size in bounded memory with parallel decode workers.
+// Three entry points share one single-pass session reducer: Analyze
+// walks records already in memory; AnalyzeStream (stream.go) digests a
+// btsnoop stream of any size in bounded memory with parallel decode
+// workers; Detector (detector.go) is the incremental core both wrap —
+// push records as they arrive, drain findings as soon as the reducer
+// produces them — and is what the blapd live-ingestion daemon and
+// hcidump's tail mode run against a capture that is still growing.
 package forensics
 
 import (
@@ -51,6 +55,10 @@ type Session struct {
 	DisconnectReason    hci.Status
 	Disconnected        bool
 	ConnectedAt, EndsAt time.Time
+
+	// flaggedPageBlocking keeps the page-blocking finding one-shot per
+	// session as its signature elements accumulate.
+	flaggedPageBlocking bool
 }
 
 // KeyExposure is one plaintext link key found in the capture.
@@ -61,9 +69,12 @@ type KeyExposure struct {
 	Key    bt.LinkKey
 }
 
-// Finding is one flagged anomaly.
+// Finding is one flagged anomaly. Frame is the 1-based capture position
+// of the record that completed the finding — the earliest point at which
+// an online detector could have raised it.
 type Finding struct {
 	Kind    string
+	Frame   int
 	Peer    bt.BDADDR
 	Detail  string
 	Session *Session
@@ -83,11 +94,14 @@ type Report struct {
 	Findings  []Finding
 }
 
-// sessionState is the single-pass session reducer at the core of both
-// Analyze and AnalyzeStream. It consumes typed HCI messages in capture
-// order; because its input is a pure function of each record, feeding it
-// from a serial loop or from an ordered parallel decode pipeline yields
-// bit-identical reports.
+// sessionState is the single-pass session reducer at the core of every
+// entry point (Analyze, AnalyzeStream, the live Detector). It consumes
+// typed HCI messages in capture order; because its input is a pure
+// function of each record, feeding it from a serial loop, an ordered
+// parallel decode pipeline, or a live socket yields bit-identical
+// reports. Findings are emitted the moment the last record completing
+// them is applied — never deferred to end-of-capture — which is what
+// lets the Detector surface them while a capture is still being written.
 type sessionState struct {
 	rep      *Report
 	byHandle map[bt.ConnHandle]*Session
@@ -96,6 +110,13 @@ type sessionState struct {
 	pendingIncoming map[bt.BDADDR]bool
 	// Handles with an authentication in flight (for timeout correlation).
 	authPending map[bt.ConnHandle]bool
+	// frame/ts describe the record currently being applied; emit stamps
+	// them onto each finding.
+	frame int
+	ts    time.Time
+	// onFinding, when set, observes each finding as it is appended to the
+	// report — the Detector's live event hook.
+	onFinding func(Finding)
 }
 
 func newSessionState() *sessionState {
@@ -108,10 +129,55 @@ func newSessionState() *sessionState {
 	}
 }
 
+// emit appends one finding to the report, stamped with the frame that
+// completed it, and forwards it to the live hook if one is installed.
+func (st *sessionState) emit(f Finding) {
+	f.Frame = st.frame
+	st.rep.Findings = append(st.rep.Findings, f)
+	if st.onFinding != nil {
+		st.onFinding(f)
+	}
+}
+
+// exposure records one plaintext link key sighting and raises its
+// finding immediately.
+func (st *sessionState) exposure(source string, peer bt.BDADDR, key bt.LinkKey) {
+	st.rep.Exposures = append(st.rep.Exposures, KeyExposure{
+		Frame: st.frame, Source: source, Peer: peer, Key: key,
+	})
+	st.emit(Finding{
+		Kind:   FindingKeyExposure,
+		Peer:   peer,
+		Detail: fmt.Sprintf("frame %d: 128-bit link key in plaintext via %s", st.frame, source),
+	})
+}
+
+// checkPageBlocking raises the page-blocking finding the moment a
+// session's signature completes (incoming connection + local pairing
+// initiation + NoInputNoOutput peer). The flag keeps it one-shot: the
+// signature elements can arrive in any order, and each later element
+// re-runs the check.
+func (st *sessionState) checkPageBlocking(s *Session) {
+	if s == nil || s.flaggedPageBlocking {
+		return
+	}
+	if s.Incoming && s.LocalPairingInitiation && s.HavePeerIOCap && s.PeerIOCap == bt.NoInputNoOutput {
+		s.flaggedPageBlocking = true
+		st.emit(Finding{
+			Kind: FindingPageBlocking,
+			Peer: s.Peer,
+			Detail: "pairing initiated locally over an incoming connection whose initiator " +
+				"claims NoInputNoOutput (the Fig. 12b signature)",
+			Session: s,
+		})
+	}
+}
+
 // apply folds one decoded message (a typed *hci.Command or *hci.Event
 // from decodeRecord) into the session state. frame is the record's
 // 1-based capture position, ts its timestamp.
 func (st *sessionState) apply(frame int, ts time.Time, msg any) {
+	st.frame, st.ts = frame, ts
 	rep := st.rep
 	switch m := msg.(type) {
 	case *hci.AcceptConnectionRequest:
@@ -120,11 +186,10 @@ func (st *sessionState) apply(frame int, ts time.Time, msg any) {
 		if s := st.byHandle[m.Handle]; s != nil {
 			s.LocalPairingInitiation = true
 			st.authPending[m.Handle] = true
+			st.checkPageBlocking(s)
 		}
 	case *hci.LinkKeyRequestReply:
-		rep.Exposures = append(rep.Exposures, KeyExposure{
-			Frame: frame, Source: hci.OpLinkKeyRequestReply.String(), Peer: m.Addr, Key: m.Key,
-		})
+		st.exposure(hci.OpLinkKeyRequestReply.String(), m.Addr, m.Key)
 
 	case *hci.ConnectionComplete:
 		if m.Status != hci.StatusSuccess {
@@ -148,6 +213,7 @@ func (st *sessionState) apply(frame int, ts time.Time, msg any) {
 		if s := st.byPeer[m.Addr]; s != nil {
 			s.PeerIOCap = m.Capability
 			s.HavePeerIOCap = true
+			st.checkPageBlocking(s)
 		}
 	case *hci.SimplePairingComplete:
 		if s := st.byPeer[m.Addr]; s != nil {
@@ -160,9 +226,7 @@ func (st *sessionState) apply(frame int, ts time.Time, msg any) {
 			delete(st.authPending, m.Handle)
 		}
 	case *hci.LinkKeyNotification:
-		rep.Exposures = append(rep.Exposures, KeyExposure{
-			Frame: frame, Source: hci.EvLinkKeyNotification.String(), Peer: m.Addr, Key: m.Key,
-		})
+		st.exposure(hci.EvLinkKeyNotification.String(), m.Addr, m.Key)
 	case *hci.DisconnectionComplete:
 		if s := st.byHandle[m.Handle]; s != nil {
 			s.Disconnected = true
@@ -173,7 +237,7 @@ func (st *sessionState) apply(frame int, ts time.Time, msg any) {
 				delete(st.byPeer, s.Peer)
 			}
 			if st.authPending[s.Handle] && isTimeout(m.Reason) {
-				rep.Findings = append(rep.Findings, Finding{
+				st.emit(Finding{
 					Kind: FindingStalledAuthTimeout,
 					Peer: s.Peer,
 					Detail: fmt.Sprintf(
@@ -187,28 +251,10 @@ func (st *sessionState) apply(frame int, ts time.Time, msg any) {
 	}
 }
 
-// finish derives the capture-wide findings and returns the report.
+// finish returns the report. Every finding has already been emitted by
+// apply — detection is fully incremental, so end-of-capture adds nothing.
 func (st *sessionState) finish() *Report {
-	rep := st.rep
-	for _, exp := range rep.Exposures {
-		rep.Findings = append(rep.Findings, Finding{
-			Kind:   FindingKeyExposure,
-			Peer:   exp.Peer,
-			Detail: fmt.Sprintf("frame %d: 128-bit link key in plaintext via %s", exp.Frame, exp.Source),
-		})
-	}
-	for _, s := range rep.Sessions {
-		if s.Incoming && s.LocalPairingInitiation && s.HavePeerIOCap && s.PeerIOCap == bt.NoInputNoOutput {
-			rep.Findings = append(rep.Findings, Finding{
-				Kind: FindingPageBlocking,
-				Peer: s.Peer,
-				Detail: "pairing initiated locally over an incoming connection whose initiator " +
-					"claims NoInputNoOutput (the Fig. 12b signature)",
-				Session: s,
-			})
-		}
-	}
-	return rep
+	return st.rep
 }
 
 // decodeRecord classifies one raw H4 record and fully parses only the
@@ -261,15 +307,15 @@ func recordDir(rec snoop.Record) hci.Direction {
 	return hci.DirHostToController
 }
 
-// Analyze reconstructs sessions and findings from capture records.
+// Analyze reconstructs sessions and findings from capture records. It is
+// a thin wrapper over the incremental Detector, so batch analysis and
+// live detection are bit-identical by construction.
 func Analyze(records []snoop.Record) *Report {
-	st := newSessionState()
-	for i, rec := range records {
-		if msg := decodeRecord(recordDir(rec), rec.Data); msg != nil {
-			st.apply(i+1, rec.Timestamp, msg)
-		}
+	d := NewDetector()
+	for _, rec := range records {
+		d.Push(rec)
 	}
-	return st.finish()
+	return d.Finish()
 }
 
 func isTimeout(s hci.Status) bool {
@@ -304,7 +350,7 @@ func (r *Report) Render() string {
 			uint16(s.Handle), s.Peer, role, s.LocalPairingInitiation, end)
 	}
 	for _, f := range r.Findings {
-		fmt.Fprintf(&b, "  [%s] peer %s: %s\n", f.Kind, f.Peer, f.Detail)
+		fmt.Fprintf(&b, "  [%s] frame %d peer %s: %s\n", f.Kind, f.Frame, f.Peer, f.Detail)
 	}
 	return b.String()
 }

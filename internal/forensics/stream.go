@@ -67,17 +67,14 @@ func AnalyzeFile(data []byte) (*Report, error) {
 
 func analyzeSerial(r io.Reader) (*Report, error) {
 	sc := snoop.NewScanner(r)
-	st := newSessionState()
+	d := NewDetector()
 	for sc.Scan() {
-		rec := sc.Record()
-		if msg := decodeRecord(recordDir(rec), rec.Data); msg != nil {
-			st.apply(sc.Frame(), rec.Timestamp, msg)
-		}
+		d.Push(sc.Record())
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("forensics: parsing capture: %w", err)
 	}
-	return st.finish(), nil
+	return d.Finish(), nil
 }
 
 func analyzeParallel(r io.Reader, workers int) (*Report, error) {
@@ -141,13 +138,11 @@ func analyzeParallel(r io.Reader, workers int) (*Report, error) {
 		flush()
 	}()
 
-	st := newSessionState()
+	d := NewDetector()
 	for b := range ordered {
 		<-b.done
 		for i, m := range b.meta {
-			if msg := b.msgs[i]; msg != nil {
-				st.apply(m.frame, m.ts, msg)
-			}
+			d.pushDecoded(m.frame, m.ts, b.msgs[i])
 		}
 		b.done = nil
 		pool.Put(b)
@@ -157,5 +152,5 @@ func analyzeParallel(r io.Reader, workers int) (*Report, error) {
 	if scanErr != nil {
 		return nil, fmt.Errorf("forensics: parsing capture: %w", scanErr)
 	}
-	return st.finish(), nil
+	return d.Finish(), nil
 }

@@ -287,3 +287,25 @@ func TestEveryOpcodeAndEventHasAName(t *testing.T) {
 		t.Error("direction names must differ")
 	}
 }
+
+func TestPeekPacketType(t *testing.T) {
+	for _, cmd := range allCommands() {
+		if pt, ok := PeekPacketType(EncodeCommand(cmd).Wire()); !ok || pt != PTCommand {
+			t.Errorf("%T: peek %v %v", cmd, pt, ok)
+		}
+	}
+	for _, evt := range allEvents() {
+		if pt, ok := PeekPacketType(EncodeEvent(evt).Wire()); !ok || pt != PTEvent {
+			t.Errorf("%T: peek %v %v", evt, pt, ok)
+		}
+	}
+	if pt, ok := PeekPacketType(EncodeACL(DirHostToController, 3, []byte{1}).Wire()); !ok || pt != PTACLData {
+		t.Errorf("ACL: peek %v %v", pt, ok)
+	}
+	if _, ok := PeekPacketType(nil); ok {
+		t.Error("nil buffer peeked")
+	}
+	if _, ok := PeekPacketType([]byte{0x00}); ok {
+		t.Error("unknown indicator peeked")
+	}
+}

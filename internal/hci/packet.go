@@ -136,6 +136,23 @@ func ParseWireBorrow(dir Direction, raw []byte) (Packet, error) {
 	return p, nil
 }
 
+// PeekPacketType classifies a raw H4 packet by its indicator octet
+// without parsing anything, reporting false for an empty buffer or an
+// unknown type. It is the cheapest possible classifier — one byte
+// compare — used by the live-ingestion metrics to count commands,
+// events, and ACL/SCO data per stream without touching the decode path.
+func PeekPacketType(raw []byte) (PacketType, bool) {
+	if len(raw) < 1 {
+		return 0, false
+	}
+	pt := PacketType(raw[0])
+	switch pt {
+	case PTCommand, PTACLData, PTSCOData, PTEvent:
+		return pt, true
+	}
+	return 0, false
+}
+
 // PeekCommandOpcode reads the opcode of a raw H4 command packet without
 // validating or parsing the body. It reports false for any other packet
 // type or for inputs too short to carry an opcode. Classifier for the

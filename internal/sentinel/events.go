@@ -1,0 +1,102 @@
+package sentinel
+
+import (
+	"errors"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/forensics"
+	"repro/internal/snoop"
+)
+
+// Event is one JSONL line on the daemon's event output. Every line
+// carries Type and Stream; the remaining fields depend on the type:
+//
+//	stream-start    proto, label
+//	finding         seq, frame, kind, peer, detail, capture_ts
+//	stream-end      status, offset, records, bytes, findings[, error]
+//	stream-rejected proto, label, error
+//
+// Finding events are emitted the moment the incremental detector
+// produces them — mid-stream, not at EOF — and their seq/frame/kind
+// match what a batch forensics.Analyze over the same records would
+// report, in the same order (the live/batch parity contract).
+type Event struct {
+	Type   string `json:"type"`
+	Stream uint64 `json:"stream"`
+	Proto  string `json:"proto,omitempty"`
+	Label  string `json:"label,omitempty"`
+
+	// Finding fields.
+	Seq       uint64 `json:"seq,omitempty"`
+	Frame     int    `json:"frame,omitempty"`
+	Kind      string `json:"kind,omitempty"`
+	Peer      string `json:"peer,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+	CaptureTS string `json:"capture_ts,omitempty"`
+
+	// Stream-end fields.
+	Status   string `json:"status,omitempty"`
+	Offset   int64  `json:"offset,omitempty"`
+	Records  int    `json:"records,omitempty"`
+	Bytes    int64  `json:"bytes,omitempty"`
+	Findings uint64 `json:"findings,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Event types.
+const (
+	EventStreamStart    = "stream-start"
+	EventFinding        = "finding"
+	EventStreamEnd      = "stream-end"
+	EventStreamRejected = "stream-rejected"
+)
+
+// Stream-end statuses: how a stream died. Operators branch on these to
+// tell a phone log that was closed cleanly from a capture mangled in
+// transit from a client that simply stopped sending.
+const (
+	// StatusClean: the stream ended on a record boundary — a complete log.
+	StatusClean = "clean"
+	// StatusTruncated: the stream died mid-record (io.ErrUnexpectedEOF);
+	// Offset says where.
+	StatusTruncated = "truncated"
+	// StatusBadFraming: a record header's lengths are inconsistent
+	// (snoop.ErrBadFraming); Offset points at the offending header.
+	StatusBadFraming = "bad-framing"
+	// StatusTimeout: the per-connection read deadline expired.
+	StatusTimeout = "timeout"
+	// StatusError: anything else (bad magic, transport failure, ...).
+	StatusError = "error"
+)
+
+// ClassifyStreamError maps a snoop.Scanner error to a stream-end status.
+func ClassifyStreamError(err error) string {
+	switch {
+	case err == nil:
+		return StatusClean
+	case errors.Is(err, snoop.ErrBadFraming):
+		return StatusBadFraming
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		return StatusTimeout
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		return StatusTruncated
+	default:
+		return StatusError
+	}
+}
+
+// findingEvent renders one detector event for a stream.
+func findingEvent(id uint64, ev forensics.Event) Event {
+	return Event{
+		Type:      EventFinding,
+		Stream:    id,
+		Seq:       ev.Seq,
+		Frame:     ev.Frame,
+		Kind:      ev.Finding.Kind,
+		Peer:      ev.Finding.Peer.String(),
+		Detail:    ev.Finding.Detail,
+		CaptureTS: ev.Time.UTC().Format(time.RFC3339Nano),
+	}
+}

@@ -1,0 +1,184 @@
+package sentinel
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hci"
+)
+
+// metrics aggregates daemon-wide counters. Hot-path counters (records,
+// bytes, packet types) are atomics bumped per record; low-rate maps
+// (findings by kind, stream ends by status) take a mutex.
+type metrics struct {
+	start time.Time
+
+	streamsActive   atomic.Int64
+	streamsTotal    atomic.Uint64
+	streamsRejected atomic.Uint64
+	records         atomic.Uint64
+	bytes           atomic.Uint64
+	events          atomic.Uint64
+
+	pktCommand atomic.Uint64
+	pktEvent   atomic.Uint64
+	pktACL     atomic.Uint64
+	pktSCO     atomic.Uint64
+	pktOther   atomic.Uint64
+
+	mu           sync.Mutex
+	findings     map[string]uint64
+	endsByStatus map[string]uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:        time.Now(),
+		findings:     make(map[string]uint64),
+		endsByStatus: make(map[string]uint64),
+	}
+}
+
+func (m *metrics) countPacket(raw []byte) {
+	pt, ok := hci.PeekPacketType(raw)
+	if !ok {
+		m.pktOther.Add(1)
+		return
+	}
+	switch pt {
+	case hci.PTCommand:
+		m.pktCommand.Add(1)
+	case hci.PTEvent:
+		m.pktEvent.Add(1)
+	case hci.PTACLData:
+		m.pktACL.Add(1)
+	case hci.PTSCOData:
+		m.pktSCO.Add(1)
+	}
+}
+
+func (m *metrics) countFinding(kind string) {
+	m.mu.Lock()
+	m.findings[kind]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) countEnd(status string) {
+	m.mu.Lock()
+	m.endsByStatus[status]++
+	m.mu.Unlock()
+}
+
+// StreamMetrics is the live per-stream row of a metrics snapshot.
+type StreamMetrics struct {
+	ID       uint64 `json:"id"`
+	Proto    string `json:"proto"`
+	Label    string `json:"label"`
+	Records  uint64 `json:"records"`
+	Bytes    int64  `json:"bytes"`
+	Findings uint64 `json:"findings"`
+	// LagMS is how long ago the stream last delivered a record — the
+	// operator's staleness signal for a client that connected and hung.
+	LagMS int64 `json:"lag_ms"`
+}
+
+// MetricsSnapshot is the JSON document served at /metrics.
+type MetricsSnapshot struct {
+	UptimeSec float64 `json:"uptime_sec"`
+
+	StreamsActive   int64  `json:"streams_active"`
+	StreamsTotal    uint64 `json:"streams_total"`
+	StreamsRejected uint64 `json:"streams_rejected"`
+	MaxStreams      int    `json:"max_streams"`
+
+	Records       uint64  `json:"records"`
+	Bytes         uint64  `json:"bytes"`
+	BytesPerSec   float64 `json:"bytes_per_sec"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	EventsEmitted uint64  `json:"events_emitted"`
+
+	Packets      map[string]uint64 `json:"packets"`
+	FindingsKind map[string]uint64 `json:"findings_by_kind"`
+	StreamEnds   map[string]uint64 `json:"stream_ends_by_status"`
+
+	Streams []StreamMetrics `json:"streams"`
+}
+
+// Snapshot assembles a point-in-time view of the daemon's counters and
+// every active stream.
+func (s *Server) Snapshot() MetricsSnapshot {
+	m := s.metrics
+	up := time.Since(m.start).Seconds()
+	snap := MetricsSnapshot{
+		UptimeSec:       up,
+		StreamsActive:   m.streamsActive.Load(),
+		StreamsTotal:    m.streamsTotal.Load(),
+		StreamsRejected: m.streamsRejected.Load(),
+		MaxStreams:      s.cfg.MaxStreams,
+		Records:         m.records.Load(),
+		Bytes:           m.bytes.Load(),
+		EventsEmitted:   m.events.Load(),
+		Packets: map[string]uint64{
+			"command": m.pktCommand.Load(),
+			"event":   m.pktEvent.Load(),
+			"acl":     m.pktACL.Load(),
+			"sco":     m.pktSCO.Load(),
+			"other":   m.pktOther.Load(),
+		},
+		FindingsKind: map[string]uint64{},
+		StreamEnds:   map[string]uint64{},
+	}
+	if up > 0 {
+		snap.BytesPerSec = float64(snap.Bytes) / up
+		snap.RecordsPerSec = float64(snap.Records) / up
+	}
+	m.mu.Lock()
+	for k, v := range m.findings {
+		snap.FindingsKind[k] = v
+	}
+	for k, v := range m.endsByStatus {
+		snap.StreamEnds[k] = v
+	}
+	m.mu.Unlock()
+
+	now := time.Now()
+	s.connMu.Lock()
+	for _, st := range s.streams {
+		snap.Streams = append(snap.Streams, StreamMetrics{
+			ID:       st.id,
+			Proto:    st.proto,
+			Label:    st.label,
+			Records:  st.records.Load(),
+			Bytes:    st.bytes.Load(),
+			Findings: st.findings.Load(),
+			LagMS:    now.Sub(time.Unix(0, st.lastActive.Load())).Milliseconds(),
+		})
+	}
+	s.connMu.Unlock()
+	sort.Slice(snap.Streams, func(i, j int) bool { return snap.Streams[i].ID < snap.Streams[j].ID })
+	return snap
+}
+
+// httpHandler serves /metrics (JSON snapshot) and /healthz (200 while
+// serving, 503 once draining — the load balancer's cue to stop routing).
+func (s *Server) httpHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package sentinel
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package sentinel
+
+// raceEnabled mirrors the forensics package's build-tag probe: allocation
+// accounting tests skip under the race detector.
+const raceEnabled = true

@@ -1,0 +1,403 @@
+// Package sentinel is the live side of the forensic analyzer: a
+// long-running ingestion server that accepts btsnoop streams over TCP
+// and Unix sockets (plus arbitrary io.Readers for one-shot use), runs
+// the incremental forensics.Detector per connection as bytes arrive,
+// and emits findings as JSONL events the moment the session reducer
+// produces them — while the capture is still being written, which is
+// the only time the paper's attack signatures are actionable.
+//
+// Parity by construction: every stream is fed through the same Detector
+// that forensics.Analyze wraps, so the events a live socket produces are
+// identical (kind, frame, order) to a batch run over the same records.
+//
+// Memory is bounded by design, not by luck: each connection owns one
+// snoop.Scanner (a single reused payload buffer, ≤1 MiB per record) and
+// one Detector; the JSONL output is written synchronously under a lock,
+// so a slow event consumer exerts backpressure through the scanner into
+// the kernel socket buffer instead of queueing events on the heap; and
+// MaxStreams caps the number of simultaneous connections. Peak memory is
+// O(MaxStreams × scanner buffer), independent of stream length — the
+// same discipline as the PR 2 batch pipeline's bounded window.
+//
+// Failure is classified, not swallowed: a stream that ends on a record
+// boundary is "clean", one that dies mid-record is "truncated" (with the
+// byte offset where it died), corrupt length framing is "bad-framing",
+// and an idle client is "timeout" — so operators can tell a closed phone
+// log from a mangled capture from a hung uploader.
+package sentinel
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/forensics"
+	"repro/internal/snoop"
+)
+
+// Config tunes a Server. The zero value of every field selects a
+// sensible default; listeners are only opened for the addresses set.
+type Config struct {
+	// TCPAddr is the btsnoop ingestion TCP address ("127.0.0.1:0" for an
+	// ephemeral port). Empty disables TCP.
+	TCPAddr string
+	// UnixAddr is the ingestion Unix socket path. Empty disables it. A
+	// stale socket file is removed on Start.
+	UnixAddr string
+	// HTTPAddr serves /metrics and /healthz. Empty disables HTTP.
+	HTTPAddr string
+
+	// MaxStreams caps concurrent ingestion streams; connections beyond
+	// the cap are rejected immediately (with a stream-rejected event)
+	// rather than queued, so a flood cannot build unbounded state.
+	// Default 64.
+	MaxStreams int
+	// ReadTimeout is the per-read deadline on ingestion sockets: a
+	// client that delivers no bytes for this long is classified as
+	// "timeout" and dropped. Default 30s; <0 disables.
+	ReadTimeout time.Duration
+
+	// Output receives the JSONL event stream. Default io.Discard.
+	Output io.Writer
+
+	// OnStreamEnd, when set, observes every finished stream — the hook
+	// tests and benchmarks use to wait for completion.
+	OnStreamEnd func(StreamSummary)
+}
+
+func (c *Config) defaults() {
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 64
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.Output == nil {
+		c.Output = io.Discard
+	}
+}
+
+// StreamSummary describes one completed ingestion stream.
+type StreamSummary struct {
+	ID       uint64
+	Proto    string
+	Label    string
+	Records  int
+	Bytes    int64
+	Findings uint64
+	// Status is the stream-end classification (StatusClean, ...).
+	Status string
+	// Offset is the byte position where the stream ended or died.
+	Offset int64
+	Err    error
+}
+
+// streamState is the live bookkeeping for one in-flight stream.
+type streamState struct {
+	id           uint64
+	proto, label string
+	conn         net.Conn // nil for reader-fed streams
+	records      atomic.Uint64
+	bytes        atomic.Int64
+	findings     atomic.Uint64
+	lastActive   atomic.Int64 // unix nanos of the last ingested record
+}
+
+// Server ingests btsnoop streams and emits detection events.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+
+	outMu sync.Mutex // serializes JSONL lines on cfg.Output
+
+	lns     []net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	acceptWg sync.WaitGroup
+	streamWg sync.WaitGroup
+
+	connMu  sync.Mutex
+	streams map[uint64]*streamState
+
+	sem      chan struct{}
+	nextID   atomic.Uint64
+	draining atomic.Bool
+	started  bool
+}
+
+// New returns an unstarted Server.
+func New(cfg Config) *Server {
+	cfg.defaults()
+	return &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		streams: make(map[uint64]*streamState),
+		sem:     make(chan struct{}, cfg.MaxStreams),
+	}
+}
+
+// Start binds every configured listener and begins accepting streams.
+// It returns immediately; ingestion runs on per-connection goroutines.
+func (s *Server) Start() error {
+	if s.started {
+		return fmt.Errorf("sentinel: already started")
+	}
+	s.started = true
+	if s.cfg.TCPAddr != "" {
+		ln, err := net.Listen("tcp", s.cfg.TCPAddr)
+		if err != nil {
+			return fmt.Errorf("sentinel: tcp listen: %w", err)
+		}
+		s.lns = append(s.lns, ln)
+		s.acceptLoop(ln, "tcp")
+	}
+	if s.cfg.UnixAddr != "" {
+		// A stale socket file from a crashed daemon would fail the bind.
+		_ = os.Remove(s.cfg.UnixAddr)
+		ln, err := net.Listen("unix", s.cfg.UnixAddr)
+		if err != nil {
+			s.closeListeners()
+			return fmt.Errorf("sentinel: unix listen: %w", err)
+		}
+		s.lns = append(s.lns, ln)
+		s.acceptLoop(ln, "unix")
+	}
+	if s.cfg.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+		if err != nil {
+			s.closeListeners()
+			return fmt.Errorf("sentinel: http listen: %w", err)
+		}
+		s.httpLn = ln
+		s.httpSrv = &http.Server{Handler: s.httpHandler()}
+		s.acceptWg.Add(1)
+		go func() {
+			defer s.acceptWg.Done()
+			_ = s.httpSrv.Serve(ln) // returns on Shutdown/Close
+		}()
+	}
+	return nil
+}
+
+// TCPAddr returns the bound ingestion TCP address, or "".
+func (s *Server) TCPAddr() string { return s.lnAddr("tcp") }
+
+// UnixAddr returns the bound ingestion Unix socket path, or "".
+func (s *Server) UnixAddr() string { return s.lnAddr("unix") }
+
+// HTTPAddr returns the bound metrics/health address, or "".
+func (s *Server) HTTPAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+func (s *Server) lnAddr(network string) string {
+	for _, ln := range s.lns {
+		if ln.Addr().Network() == network {
+			return ln.Addr().String()
+		}
+	}
+	return ""
+}
+
+func (s *Server) closeListeners() {
+	for _, ln := range s.lns {
+		_ = ln.Close()
+	}
+}
+
+// acceptLoop runs one listener. Each accepted connection either claims a
+// stream slot immediately or is rejected — never queued.
+func (s *Server) acceptLoop(ln net.Listener, proto string) {
+	s.acceptWg.Add(1)
+	go func() {
+		defer s.acceptWg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed (Shutdown) or fatal
+			}
+			label := conn.RemoteAddr().String()
+			if label == "" || label == "@" {
+				label = proto // anonymous unix peers have no useful address
+			}
+			select {
+			case s.sem <- struct{}{}:
+			default:
+				s.metrics.streamsRejected.Add(1)
+				s.emit(Event{
+					Type: EventStreamRejected, Stream: s.nextID.Add(1),
+					Proto: proto, Label: label,
+					Error: fmt.Sprintf("stream cap %d reached", s.cfg.MaxStreams),
+				})
+				_ = conn.Close()
+				continue
+			}
+			s.streamWg.Add(1)
+			go func() {
+				defer s.streamWg.Done()
+				defer func() { <-s.sem }()
+				defer conn.Close()
+				st := &streamState{
+					id: s.nextID.Add(1), proto: proto, label: label, conn: conn,
+				}
+				s.ingest(st, deadlineReader{conn: conn, timeout: s.cfg.ReadTimeout})
+			}()
+		}
+	}()
+}
+
+// Ingest feeds one btsnoop stream from an arbitrary reader through the
+// detector, blocking until it ends; the stdin one-shot path and tests
+// use it directly, bypassing the listeners. It shares the slot cap with
+// socket streams.
+func (s *Server) Ingest(proto, label string, r io.Reader) StreamSummary {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	st := &streamState{id: s.nextID.Add(1), proto: proto, label: label}
+	return s.ingest(st, r)
+}
+
+// ingest is the per-stream core: scan records as they arrive, push each
+// into the stream's own Detector, drain and emit findings immediately.
+func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
+	s.metrics.streamsActive.Add(1)
+	s.metrics.streamsTotal.Add(1)
+	st.lastActive.Store(time.Now().UnixNano())
+	s.connMu.Lock()
+	s.streams[st.id] = st
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.streams, st.id)
+		s.connMu.Unlock()
+		s.metrics.streamsActive.Add(-1)
+	}()
+
+	s.emit(Event{Type: EventStreamStart, Stream: st.id, Proto: st.proto, Label: st.label})
+
+	sc := snoop.NewScanner(r)
+	det := forensics.NewDetector()
+	var prevOff int64
+	for sc.Scan() {
+		rec := sc.Record()
+		det.Push(rec)
+		st.records.Add(1)
+		st.lastActive.Store(time.Now().UnixNano())
+		s.metrics.records.Add(1)
+		off := sc.Offset()
+		st.bytes.Store(off)
+		s.metrics.bytes.Add(uint64(off - prevOff))
+		prevOff = off
+		s.metrics.countPacket(rec.Data)
+		for _, ev := range det.Drain() {
+			st.findings.Add(1)
+			s.metrics.countFinding(ev.Finding.Kind)
+			s.emit(findingEvent(st.id, ev))
+		}
+	}
+
+	err := sc.Err()
+	status := ClassifyStreamError(err)
+	s.metrics.countEnd(status)
+	sum := StreamSummary{
+		ID: st.id, Proto: st.proto, Label: st.label,
+		Records:  det.Frames(),
+		Bytes:    sc.Offset(),
+		Findings: det.Findings(),
+		Status:   status,
+		Offset:   sc.Offset(),
+		Err:      err,
+	}
+	end := Event{
+		Type: EventStreamEnd, Stream: st.id, Proto: st.proto, Label: st.label,
+		Status: status, Offset: sum.Offset,
+		Records: sum.Records, Bytes: sum.Bytes, Findings: sum.Findings,
+	}
+	if err != nil {
+		end.Error = err.Error()
+	}
+	s.emit(end)
+	if s.cfg.OnStreamEnd != nil {
+		s.cfg.OnStreamEnd(sum)
+	}
+	return sum
+}
+
+// emit writes one JSONL event. The lock makes lines atomic across
+// streams; the synchronous write is the backpressure point (see the
+// package comment).
+func (s *Server) emit(ev Event) {
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return // Event marshals by construction; defensive only
+	}
+	line = append(line, '\n')
+	s.outMu.Lock()
+	_, _ = s.cfg.Output.Write(line)
+	s.outMu.Unlock()
+	s.metrics.events.Add(1)
+}
+
+// Shutdown drains the server: stop accepting, let in-flight streams
+// finish until ctx expires, then force-close whatever remains. Safe to
+// call once; returns ctx.Err() if the drain deadline forced closes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.closeListeners()
+	if s.httpSrv != nil {
+		_ = s.httpSrv.Shutdown(ctx)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.streamWg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		// Force the stragglers: closing a connection makes its scanner
+		// return a transport error, which ends the stream as "error".
+		s.connMu.Lock()
+		for _, st := range s.streams {
+			if st.conn != nil {
+				_ = st.conn.Close()
+			}
+		}
+		s.connMu.Unlock()
+		<-done
+	}
+	s.acceptWg.Wait()
+	if s.cfg.UnixAddr != "" {
+		_ = os.Remove(s.cfg.UnixAddr)
+	}
+	return err
+}
+
+// deadlineReader arms a fresh read deadline before every read, so the
+// timeout is per-delivery (an active stream never expires) rather than
+// per-connection.
+type deadlineReader struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (r deadlineReader) Read(p []byte) (int, error) {
+	if r.timeout > 0 {
+		_ = r.conn.SetReadDeadline(time.Now().Add(r.timeout))
+	}
+	return r.conn.Read(p)
+}

@@ -1,0 +1,430 @@
+package sentinel
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/forensics"
+	"repro/internal/snoop"
+)
+
+// syncBuffer is a mutex-guarded event sink for in-process servers.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Lines() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+func parseEvents(t *testing.T, raw []byte) []Event {
+	t.Helper()
+	var out []Event
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func synthCapture(t testing.TB, records int, seed int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := snoop.Synthesize(&buf, snoop.SynthConfig{Records: records, Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+// TestConcurrentStreamsMatchBatch is the subsystem's acceptance test:
+// many concurrent clients stream synthesized captures over real TCP and
+// Unix sockets, and for every stream the live finding events must equal
+// the batch forensics.Analyze findings over the same records —
+// kind, frame, sequence, peer, and detail, record for record.
+func TestConcurrentStreamsMatchBatch(t *testing.T) {
+	const clients = 10 // ≥8 concurrent streams, per the acceptance bar
+
+	var out syncBuffer
+	ends := make(chan StreamSummary, clients)
+	sock := filepath.Join(t.TempDir(), "blapd.sock")
+	s := startServer(t, Config{
+		TCPAddr:     "127.0.0.1:0",
+		UnixAddr:    sock,
+		HTTPAddr:    "127.0.0.1:0",
+		Output:      &out,
+		OnStreamEnd: func(sum StreamSummary) { ends <- sum },
+	})
+
+	// Unique record counts let us match stream IDs back to captures from
+	// the stream-end events alone.
+	captures := make(map[int][]byte) // record count -> capture
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		records := 4000 + 17*i
+		data := synthCapture(t, records, int64(100+i))
+		captures[records] = data
+		network, addr := "tcp", s.TCPAddr()
+		if i%2 == 1 {
+			network, addr = "unix", s.UnixAddr()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial(network, addr)
+			if err != nil {
+				t.Errorf("dial %s: %v", network, err)
+				return
+			}
+			defer conn.Close()
+			if _, err := conn.Write(data); err != nil {
+				t.Errorf("stream %s: %v", network, err)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		select {
+		case sum := <-ends:
+			if sum.Status != StatusClean {
+				t.Fatalf("stream %d ended %q (%v)", sum.ID, sum.Status, sum.Err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("timed out waiting for stream %d of %d to finish", i+1, clients)
+		}
+	}
+
+	events := parseEvents(t, out.Lines())
+	byStream := make(map[uint64][]Event)
+	for _, ev := range events {
+		byStream[ev.Stream] = append(byStream[ev.Stream], ev)
+	}
+	if len(byStream) != clients {
+		t.Fatalf("events for %d streams, want %d", len(byStream), clients)
+	}
+
+	totalFindings := 0
+	for id, evs := range byStream {
+		if evs[0].Type != EventStreamStart {
+			t.Fatalf("stream %d: first event %q", id, evs[0].Type)
+		}
+		end := evs[len(evs)-1]
+		if end.Type != EventStreamEnd || end.Status != StatusClean {
+			t.Fatalf("stream %d: last event %+v", id, end)
+		}
+		data, ok := captures[end.Records]
+		if !ok {
+			t.Fatalf("stream %d: no capture with %d records", id, end.Records)
+		}
+		if end.Offset != int64(len(data)) {
+			t.Fatalf("stream %d: end offset %d, capture is %d bytes", id, end.Offset, len(data))
+		}
+
+		recs, err := snoop.ReadAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := forensics.Analyze(recs).Findings
+		live := evs[1 : len(evs)-1]
+		if len(live) != len(want) {
+			t.Fatalf("stream %d: %d live findings, batch has %d", id, len(live), len(want))
+		}
+		for j, ev := range live {
+			if ev.Type != EventFinding {
+				t.Fatalf("stream %d: mid-stream event %q", id, ev.Type)
+			}
+			w := want[j]
+			if ev.Seq != uint64(j+1) || ev.Frame != w.Frame || ev.Kind != w.Kind ||
+				ev.Peer != w.Peer.String() || ev.Detail != w.Detail {
+				t.Fatalf("stream %d finding %d:\nlive:  %+v\nbatch: %+v", id, j, ev, w)
+			}
+		}
+		totalFindings += len(want)
+	}
+
+	// Daemon-wide metrics must add up across streams.
+	snap := s.Snapshot()
+	if snap.StreamsTotal != clients || snap.StreamsActive != 0 {
+		t.Fatalf("streams total=%d active=%d", snap.StreamsTotal, snap.StreamsActive)
+	}
+	var kinds uint64
+	for _, n := range snap.FindingsKind {
+		kinds += n
+	}
+	if kinds != uint64(totalFindings) {
+		t.Fatalf("metrics count %d findings, events show %d", kinds, totalFindings)
+	}
+	if snap.Packets["acl"] == 0 || snap.Packets["command"] == 0 || snap.Packets["event"] == 0 {
+		t.Fatalf("packet-type counters empty: %+v", snap.Packets)
+	}
+
+	// The HTTP surface serves the same snapshot and reports healthy.
+	resp, err := http.Get("http://" + s.HTTPAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var httpSnap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&httpSnap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if httpSnap.StreamsTotal != clients || httpSnap.Records != snap.Records {
+		t.Fatalf("http snapshot %+v", httpSnap)
+	}
+	hresp, err := http.Get("http://" + s.HTTPAddr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d", hresp.StatusCode)
+	}
+}
+
+// TestStreamEndClassification drives each way a stream can die through
+// the reader-fed Ingest path and checks the operator-facing status.
+func TestStreamEndClassification(t *testing.T) {
+	data := synthCapture(t, 500, 3)
+	s := New(Config{})
+
+	if sum := s.Ingest("test", "clean", bytes.NewReader(data)); sum.Status != StatusClean ||
+		sum.Err != nil || sum.Offset != int64(len(data)) {
+		t.Fatalf("clean: %+v", sum)
+	}
+
+	cut := len(data) - 7
+	sum := s.Ingest("test", "cut", bytes.NewReader(data[:cut]))
+	if sum.Status != StatusTruncated || !errors.Is(sum.Err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated: %+v", sum)
+	}
+	if sum.Offset != int64(cut) {
+		t.Fatalf("truncated at offset %d, reported %d", cut, sum.Offset)
+	}
+
+	bad := append([]byte(nil), data...)
+	bad[16+3] = 0 // first record header: original length 0 < included
+	sum = s.Ingest("test", "framing", bytes.NewReader(bad))
+	if sum.Status != StatusBadFraming || !errors.Is(sum.Err, snoop.ErrBadFraming) {
+		t.Fatalf("bad framing: %+v", sum)
+	}
+	if sum.Offset != 16 {
+		t.Fatalf("bad framing offset %d, want 16", sum.Offset)
+	}
+
+	if sum := s.Ingest("test", "garbage", bytes.NewReader([]byte("not a snoop file"))); sum.Status != StatusError {
+		t.Fatalf("garbage: %+v", sum)
+	}
+}
+
+// TestReadTimeoutClassifiesHungClient pins the per-read deadline: a
+// client that connects, sends half a capture, and goes silent must be
+// dropped as "timeout", not left holding a stream slot forever.
+func TestReadTimeoutClassifiesHungClient(t *testing.T) {
+	var out syncBuffer
+	ends := make(chan StreamSummary, 1)
+	s := startServer(t, Config{
+		TCPAddr:     "127.0.0.1:0",
+		ReadTimeout: 150 * time.Millisecond,
+		Output:      &out,
+		OnStreamEnd: func(sum StreamSummary) { ends <- sum },
+	})
+	data := synthCapture(t, 100, 5)
+	conn, err := net.Dial("tcp", s.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(data[:len(data)/2]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case sum := <-ends:
+		if sum.Status != StatusTimeout {
+			t.Fatalf("hung client classified %q (%v)", sum.Status, sum.Err)
+		}
+		if sum.Records == 0 {
+			t.Fatal("records delivered before the hang were not counted")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("read deadline never fired")
+	}
+}
+
+// TestMaxStreamsRejectsExcess checks the cap: connection N+1 is refused
+// immediately with a stream-rejected event, not queued.
+func TestMaxStreamsRejectsExcess(t *testing.T) {
+	var out syncBuffer
+	s := startServer(t, Config{
+		TCPAddr:    "127.0.0.1:0",
+		MaxStreams: 1,
+		Output:     &out,
+	})
+
+	hold, err := net.Dial("tcp", s.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Close()
+	waitFor(t, "first stream active", func() bool { return s.Snapshot().StreamsActive == 1 })
+
+	over, err := net.Dial("tcp", s.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer over.Close()
+	waitFor(t, "second stream rejected", func() bool { return s.Snapshot().StreamsRejected == 1 })
+
+	// The server closed the excess connection.
+	_ = over.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := over.Read(make([]byte, 1)); !errors.Is(err, io.EOF) {
+		t.Fatalf("excess conn read: %v, want EOF", err)
+	}
+	found := false
+	for _, ev := range parseEvents(t, out.Lines()) {
+		if ev.Type == EventStreamRejected {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no stream-rejected event emitted")
+	}
+}
+
+// TestShutdownDrains covers the SIGTERM path: draining flips /healthz to
+// 503, in-flight streams get the grace period, and the deadline
+// force-closes stragglers instead of hanging forever.
+func TestShutdownDrains(t *testing.T) {
+	var out syncBuffer
+	ends := make(chan StreamSummary, 1)
+	sock := filepath.Join(t.TempDir(), "drain.sock")
+	s := New(Config{
+		TCPAddr:     "127.0.0.1:0",
+		UnixAddr:    sock,
+		HTTPAddr:    "127.0.0.1:0",
+		Output:      &out,
+		OnStreamEnd: func(sum StreamSummary) { ends <- sum },
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stream that will never finish on its own.
+	conn, err := net.Dial("tcp", s.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	data := synthCapture(t, 200, 6)
+	if _, err := conn.Write(data[:len(data)-5]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "stream registered", func() bool { return s.Snapshot().StreamsActive == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded (forced drain)", err)
+	}
+	sum := <-ends
+	if sum.Status == StatusClean {
+		t.Fatal("forced stream reported clean")
+	}
+	if _, err := net.Dial("unix", sock); err == nil {
+		t.Fatal("unix socket still accepting after shutdown")
+	}
+}
+
+// TestIngestBoundedMemory streams a large capture through a real unix
+// socket and checks the server side allocates far less than the capture
+// size — the backpressure/bounded-memory claim, measured.
+func TestIngestBoundedMemory(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is distorted by the race detector")
+	}
+	data := synthCapture(t, 200_000, 8)
+	ends := make(chan StreamSummary, 1)
+	sock := filepath.Join(t.TempDir(), "mem.sock")
+	startServer(t, Config{
+		UnixAddr:    sock,
+		OnStreamEnd: func(sum StreamSummary) { ends <- sum },
+	})
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	sum := <-ends
+	runtime.ReadMemStats(&after)
+
+	if sum.Status != StatusClean || sum.Records != 200_000 {
+		t.Fatalf("stream: %+v", sum)
+	}
+	if sum.Findings == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	allocated := after.TotalAlloc - before.TotalAlloc
+	if allocated > uint64(len(data))/2 {
+		t.Fatalf("live ingest allocated %d bytes over a %d-byte capture — not bounded", allocated, len(data))
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

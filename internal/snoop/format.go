@@ -145,23 +145,30 @@ func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 func (r *Reader) Datalink() uint32 { return r.datalink }
 
 // readFileHeader consumes and validates the 16-byte file header,
-// returning the datalink type. Shared by Reader and Scanner.
-func readFileHeader(r io.Reader) (uint32, error) {
+// returning the datalink type and how many bytes were consumed. Shared
+// by Reader and Scanner. A stream that ends inside the header — including
+// an empty stream — is classified as io.ErrUnexpectedEOF (there is no
+// record boundary to end cleanly at before the header).
+func readFileHeader(r io.Reader) (uint32, int, error) {
 	var hdr [16]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, fmt.Errorf("%w: file header: %v", ErrTruncated, err)
+	n, err := io.ReadFull(r, hdr[:])
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, n, fmt.Errorf("%w: file header: %w", ErrTruncated, err)
 	}
 	if string(hdr[:8]) != magic {
-		return 0, ErrBadMagic
+		return 0, n, ErrBadMagic
 	}
 	if v := binary.BigEndian.Uint32(hdr[8:12]); v != Version {
-		return 0, fmt.Errorf("%w: %d", ErrBadVersion, v)
+		return 0, n, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
 	datalink := binary.BigEndian.Uint32(hdr[12:16])
 	if datalink != DatalinkH4 {
-		return 0, fmt.Errorf("%w: %d", ErrBadDatalink, datalink)
+		return 0, n, fmt.Errorf("%w: %d", ErrBadDatalink, datalink)
 	}
-	return datalink, nil
+	return datalink, n, nil
 }
 
 func (r *Reader) readHeader() error {
@@ -169,7 +176,7 @@ func (r *Reader) readHeader() error {
 		return nil
 	}
 	r.started = true
-	dl, err := readFileHeader(r.r)
+	dl, _, err := readFileHeader(r.r)
 	if err != nil {
 		return err
 	}
@@ -203,7 +210,10 @@ func decodeRecordHeader(hdr *[24]byte) (rec Record, incl uint32, err error) {
 	return rec, incl, nil
 }
 
-// ReadRecord returns the next record, or io.EOF at end of stream.
+// ReadRecord returns the next record, or io.EOF at end of stream. A
+// stream that dies mid-record wraps both ErrTruncated and
+// io.ErrUnexpectedEOF, so callers can distinguish a cleanly closed log
+// from one cut off mid-write; Scanner applies the same classification.
 func (r *Reader) ReadRecord() (Record, error) {
 	if err := r.readHeader(); err != nil {
 		return Record{}, err
@@ -213,7 +223,7 @@ func (r *Reader) ReadRecord() (Record, error) {
 		if errors.Is(err, io.EOF) {
 			return Record{}, io.EOF
 		}
-		return Record{}, fmt.Errorf("%w: record header: %v", ErrTruncated, err)
+		return Record{}, fmt.Errorf("%w: record header: %w", ErrTruncated, eofUnexpected(err))
 	}
 	rec, incl, err := decodeRecordHeader(&hdr)
 	if err != nil {
@@ -221,9 +231,21 @@ func (r *Reader) ReadRecord() (Record, error) {
 	}
 	rec.Data = make([]byte, incl)
 	if _, err := io.ReadFull(r.r, rec.Data); err != nil {
-		return Record{}, fmt.Errorf("%w: record data: %v", ErrTruncated, err)
+		return Record{}, fmt.Errorf("%w: record data: %w", ErrTruncated, eofUnexpected(err))
 	}
 	return rec, nil
+}
+
+// eofUnexpected maps any flavor of end-of-stream to io.ErrUnexpectedEOF:
+// once part of an element has been consumed, running out of bytes is
+// mid-record truncation no matter which sentinel the reader returned.
+// Non-EOF errors (real I/O failures, deadline expiries) pass through so
+// errors.Is can still see them.
+func eofUnexpected(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 // ReadAll parses a complete btsnoop file from a byte slice.

@@ -31,6 +31,7 @@ type Scanner struct {
 	hdr      [24]byte
 	rec      Record
 	frame    int
+	off      int64 // bytes of the stream consumed so far
 	err      error
 	started  bool
 	datalink uint32
@@ -54,32 +55,44 @@ func (s *Scanner) Scan() bool {
 	}
 	if !s.started {
 		s.started = true
-		dl, err := readFileHeader(s.r)
+		dl, n, err := readFileHeader(s.r)
+		s.off += int64(n)
 		if err != nil {
 			s.err = err
 			return false
 		}
 		s.datalink = dl
 	}
-	if _, err := io.ReadFull(s.r, s.hdr[:]); err != nil {
+	hdrStart := s.off
+	n, err := io.ReadFull(s.r, s.hdr[:])
+	s.off += int64(n)
+	if err != nil {
 		if errors.Is(err, io.EOF) {
+			// Zero bytes at a record boundary: the clean end of a log.
 			s.err = io.EOF
 		} else {
-			s.err = fmt.Errorf("%w: record header: %v", ErrTruncated, err)
+			s.err = fmt.Errorf("%w: record header at offset %d: %w",
+				ErrTruncated, hdrStart, eofUnexpected(err))
 		}
 		return false
 	}
 	rec, incl, err := decodeRecordHeader(&s.hdr)
 	if err != nil {
-		s.err = err
+		// The bytes were all present but the header is nonsense; the
+		// failure is the header itself, so point the offset back at it.
+		s.off = hdrStart
+		s.err = fmt.Errorf("record header at offset %d: %w", hdrStart, err)
 		return false
 	}
 	if cap(s.buf) < int(incl) {
 		s.buf = make([]byte, incl)
 	}
 	data := s.buf[:incl]
-	if _, err := io.ReadFull(s.r, data); err != nil {
-		s.err = fmt.Errorf("%w: record data: %v", ErrTruncated, err)
+	n, err = io.ReadFull(s.r, data)
+	s.off += int64(n)
+	if err != nil {
+		s.err = fmt.Errorf("%w: record data at offset %d: %w",
+			ErrTruncated, s.off, eofUnexpected(err))
 		return false
 	}
 	rec.Data = data
@@ -96,8 +109,22 @@ func (s *Scanner) Record() Record { return s.rec }
 // matching how real captures (and ReadAll-based code) number frames.
 func (s *Scanner) Frame() int { return s.frame }
 
+// Offset returns the byte offset reached in the stream: after a
+// successful Scan, the end of the current record; after Scan returns
+// false, the position at which the stream ended or died — the exact
+// point bytes ran out for truncation (Err wraps io.ErrUnexpectedEOF),
+// or the start of the offending record header for framing errors (Err
+// wraps ErrBadFraming). Operators use this to report *where* a capture
+// was cut off, not just that it was.
+func (s *Scanner) Offset() int64 { return s.off }
+
 // Err returns the first error encountered, or nil if the stream ended
-// cleanly at a record boundary.
+// cleanly at a record boundary. Errors are classified so callers can
+// triage how a stream died: a capture cut off mid-record wraps
+// io.ErrUnexpectedEOF (distinct from the clean end-of-log case, which
+// reports nil), corrupt length framing wraps ErrBadFraming, and
+// transport failures (e.g. a socket read deadline) keep their underlying
+// error in the chain.
 func (s *Scanner) Err() error {
 	if s.err == io.EOF {
 		return nil

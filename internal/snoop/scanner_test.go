@@ -102,6 +102,83 @@ func TestScannerTruncationBoundaries(t *testing.T) {
 	}
 }
 
+// TestScannerClassifiesDeathOffsets cuts a capture at every byte offset:
+// a cut on a record boundary is a cleanly closed log (nil Err), any
+// other cut is mid-record truncation that must wrap io.ErrUnexpectedEOF
+// (and still ErrTruncated for older callers), with Offset reporting
+// exactly where the bytes ran out.
+func TestScannerClassifiesDeathOffsets(t *testing.T) {
+	data, _ := synthCapture(t, 50, 21)
+
+	boundaries := map[int64]bool{16: true} // after the file header
+	sc := NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		boundaries[sc.Offset()] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Offset(); got != int64(len(data)) {
+		t.Fatalf("full scan offset %d, want %d", got, len(data))
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		sc := NewScanner(bytes.NewReader(data[:cut]))
+		for sc.Scan() {
+		}
+		err := sc.Err()
+		if boundaries[int64(cut)] {
+			if err != nil {
+				t.Fatalf("cut %d (boundary): unexpected error %v", cut, err)
+			}
+		} else {
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("cut %d: want io.ErrUnexpectedEOF in chain, got %v", cut, err)
+			}
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut %d: want ErrTruncated in chain, got %v", cut, err)
+			}
+			if errors.Is(err, ErrBadFraming) {
+				t.Fatalf("cut %d: truncation misclassified as framing error: %v", cut, err)
+			}
+		}
+		if got := sc.Offset(); got != int64(cut) {
+			t.Fatalf("cut %d: Offset() = %d", cut, got)
+		}
+	}
+}
+
+// TestScannerBadFramingOffset pins the failure offset for a misframed
+// record to the start of its header, not wherever reading stopped.
+func TestScannerBadFramingOffset(t *testing.T) {
+	recs := fixLengths(sampleRecords())
+	data := serializeRecords(t, recs)
+	bad := append([]byte(nil), data...)
+	// Second record's header begins after the file header plus the first
+	// record; claim original < included there.
+	secondHdr := 16 + 24 + len(recs[0].Data)
+	bad[secondHdr+3] = 1 // original length = 1, included length unchanged
+
+	sc := NewScanner(bytes.NewReader(bad))
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("scanned %d records before the bad header, want 1", n)
+	}
+	err := sc.Err()
+	if !errors.Is(err, ErrBadFraming) {
+		t.Fatalf("want ErrBadFraming, got %v", err)
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("framing error misclassified as truncation: %v", err)
+	}
+	if got := sc.Offset(); got != int64(secondHdr) {
+		t.Fatalf("Offset() = %d, want bad header start %d", got, secondHdr)
+	}
+}
+
 func TestFramingValidationRejectsInflatedLength(t *testing.T) {
 	data := serializeRecords(t, []Record{
 		{Data: []byte{0x01, 0x03, 0x0c, 0x00}, OriginalLength: 4},

@@ -22,7 +22,14 @@ if [ -n "${BENCH_JSON:-}" ]; then
     go run ./cmd/benchtables -checkjson "$BENCH_JSON"
 fi
 
-# The committed bench JSON must stay well-formed.
-if [ -f BENCH_pr2.json ]; then
-    go run ./cmd/benchtables -checkjson BENCH_pr2.json
-fi
+# Live detection daemon: self-contained end-to-end smoke (ephemeral
+# sockets, live JSONL events verified against the batch analyzer,
+# /metrics + /healthz probed).
+go run ./cmd/blapd -smoke
+
+# The committed bench JSONs must stay well-formed.
+for bj in BENCH_pr2.json BENCH_pr3.json; do
+    if [ -f "$bj" ]; then
+        go run ./cmd/benchtables -checkjson "$bj"
+    fi
+done
