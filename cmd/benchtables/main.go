@@ -51,6 +51,7 @@ func main() {
 		figs        = flag.Bool("figs", false, "run figure reproductions (2, 3, 7, 11, 12)")
 		ablations   = flag.Bool("ablations", false, "run ablation studies")
 		mitigations = flag.Bool("mitigations", false, "run the mitigation matrix")
+		degraded    = flag.Bool("degraded", false, "run the degraded-channel sweep")
 		workers     = flag.Int("workers", 0, "campaign workers (0 = GOMAXPROCS)")
 		benchjson   = flag.String("benchjson", "", "write baseline-vs-optimized bench timings to this JSON file")
 		checkjson   = flag.String("checkjson", "", "validate a previously written bench JSON file and exit")
@@ -75,12 +76,12 @@ func main() {
 			fail(err)
 		}
 		fmt.Println("wrote", *benchjson)
-		if !*table1 && !*table2 && !*figs && !*ablations && !*mitigations {
+		if !*table1 && !*table2 && !*figs && !*ablations && !*mitigations && !*degraded {
 			return
 		}
 	}
 
-	all := !*table1 && !*table2 && !*figs && !*ablations && !*mitigations
+	all := !*table1 && !*table2 && !*figs && !*ablations && !*mitigations && !*degraded
 
 	if *table1 || all {
 		rows, err := eval.RunTableIWorkers(*seed, *workers)
@@ -181,6 +182,20 @@ func main() {
 		}
 		fmt.Println(eval.RenderLMPTimeout(trows))
 	}
+
+	if *degraded || all {
+		trials := *trials
+		if trials > 25 {
+			// Each degraded setting runs three full campaigns; cap the
+			// default Table II trial count at something proportionate.
+			trials = 25
+		}
+		rows, err := eval.RunDegradedSweepWorkers(*seed, trials, *workers)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(eval.RenderDegraded(rows))
+	}
 }
 
 // benchEntry is one baseline-vs-optimized timing comparison. The
@@ -209,6 +224,9 @@ type benchReport struct {
 	Workers    int          `json:"workers"`
 	Note       string       `json:"note"`
 	Results    []benchEntry `json:"results"`
+	// DegradedSweep carries the degraded-channel evaluation rows (PR 4):
+	// attack and legitimate-traffic outcomes per loss setting.
+	DegradedSweep []eval.DegradedRow `json:"degraded_sweep,omitempty"`
 }
 
 // writeBenchJSON times the serial path against the parallel campaign (and
@@ -327,6 +345,31 @@ func writeBenchJSON(path string, seed int64) error {
 		return err
 	}
 	report.Results = append(report.Results, se)
+
+	// Degraded-channel sweep (PR 4): serial vs parallel timing plus the
+	// rows themselves. The parallel rows must be bit-identical to the
+	// serial ones — that identity is the determinism contract.
+	const degradedTrials = 10
+	var serialRows, parallelRows []eval.DegradedRow
+	err = entry("degraded_sweep_10trials", "workers=1", fmt.Sprintf("workers=%d", workers),
+		func() error {
+			var err error
+			serialRows, err = eval.RunDegradedSweepWorkers(seed, degradedTrials, 1)
+			return err
+		},
+		func() error {
+			var err error
+			parallelRows, err = eval.RunDegradedSweepWorkers(seed, degradedTrials, workers)
+			return err
+		})
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(serialRows, parallelRows) {
+		return fmt.Errorf("degraded sweep rows differ between worker counts")
+	}
+	report.Results[len(report.Results)-1].OutputsIdentical = true
+	report.DegradedSweep = parallelRows
 
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -537,6 +580,46 @@ func checkBenchJSON(path string) error {
 		if e.Records > 0 && !e.OutputsIdentical {
 			return fmt.Errorf("%s: result %q did not verify output identity", path, e.Name)
 		}
+	}
+	if len(rep.DegradedSweep) > 0 {
+		if err := checkDegradedSweep(path, rep.DegradedSweep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkDegradedSweep validates the PR 4 acceptance criteria on emitted
+// degraded-channel rows: at least four loss settings, a clean reference
+// row with full success, and legitimate pairing surviving every uniform
+// loss setting at or below 5% via baseband retransmission.
+func checkDegradedSweep(path string, rows []eval.DegradedRow) error {
+	if len(rows) < 4 {
+		return fmt.Errorf("%s: degraded sweep has %d settings, want >= 4", path, len(rows))
+	}
+	var sawClean, sawModerateLoss bool
+	for _, r := range rows {
+		if r.Trials <= 0 {
+			return fmt.Errorf("%s: degraded row %q ran no trials", path, r.Label)
+		}
+		switch r.PlanSpec {
+		case "none":
+			sawClean = true
+			if r.ExtractionOK != r.Trials || r.PageBlockingOK != r.Trials || r.LegitPairOK != r.Trials {
+				return fmt.Errorf("%s: clean degraded row is not all-success: %+v", path, r)
+			}
+		case "drop=0.02", "drop=0.05":
+			sawModerateLoss = true
+			if r.LegitPairOK != r.Trials {
+				return fmt.Errorf("%s: legitimate pairing must survive %s via ARQ: %+v", path, r.PlanSpec, r)
+			}
+		}
+	}
+	if !sawClean {
+		return fmt.Errorf("%s: degraded sweep lacks a clean reference row", path)
+	}
+	if !sawModerateLoss {
+		return fmt.Errorf("%s: degraded sweep lacks a <=5%% uniform loss row", path)
 	}
 	return nil
 }

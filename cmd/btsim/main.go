@@ -7,6 +7,14 @@
 //	btsim -scenario pair -o captures/
 //	btsim -scenario bond-reconnect -o captures/
 //	btsim -scenario extraction -o captures/
+//	btsim -scenario extraction -faults 'drop=0.05,burst=0.02:0.25:0.6' -o captures/
+//	btsim -scenario flaky-extraction -o captures/
+//
+// The -faults flag degrades the simulated medium with a deterministic
+// fault plan (see internal/faults: drop, corrupt, dup, reorder, burst,
+// outage). The plan draws from the same seeded scheduler RNG as the rest
+// of the simulation, so identical -seed and -faults values reproduce the
+// captures byte for byte.
 package main
 
 import (
@@ -18,15 +26,37 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/faults"
 )
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "pair", "scenario: pair, bond-reconnect, extraction, pageblock")
+		scenario = flag.String("scenario", "pair", "scenario: pair, bond-reconnect, extraction, flaky-extraction, pageblock")
 		out      = flag.String("o", ".", "output directory for capture files")
 		seed     = flag.Int64("seed", 1, "random seed")
+		faultStr = flag.String("faults", "", "deterministic fault plan, e.g. 'drop=0.05,burst=0.02:0.25:0.6,outage=C@2s+500ms'")
 	)
 	flag.Parse()
+
+	plan, err := faults.ParsePlan(*faultStr)
+	if err != nil {
+		fail(err)
+	}
+	action := *scenario
+	if action == "flaky-extraction" {
+		// The canned chaos scenario: extraction over a lossy, bursty
+		// channel with a mid-attack outage of the client's radio. The
+		// attack rides it out via ARQ, paging retries, and backoff.
+		if *faultStr == "" {
+			plan = faults.Plan{
+				Drop:    0.05,
+				Burst:   &faults.Burst{PEnter: 0.02, PExit: 0.25, BadLoss: 0.6},
+				Outages: []faults.Outage{{Device: "C", Start: 2 * time.Second, Duration: 3 * time.Second}},
+			}
+		}
+		action = "extraction"
+		fmt.Printf("fault plan: %s\n", plan)
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fail(err)
@@ -35,13 +65,14 @@ func main() {
 	tb, err := core.NewTestbed(*seed, core.TestbedOptions{
 		ClientPlatform:   device.GalaxyS21Android11,
 		ClientUSBSniffer: false,
-		Bond:             *scenario != "pair",
+		Bond:             action != "pair",
+		Faults:           plan,
 	})
 	if err != nil {
 		fail(err)
 	}
 
-	switch *scenario {
+	switch action {
 	case "pair":
 		tb.MUser.ExpectPairing(tb.C.Addr())
 		tb.M.Host.Pair(tb.C.Addr(), func(err error) {

@@ -13,18 +13,24 @@ import (
 
 // tailReader reads from a file that another process may still be
 // appending to — the live Android btsnoop log case. On EOF it polls for
-// growth; only after the file has delivered no new bytes for idle does
-// it report EOF to the caller. io.ReadFull in the snoop scanner then
-// naturally blocks mid-record until the writer catches up or goes
-// quiet.
+// growth with capped exponential backoff: the first empty poll waits
+// pollMin, each consecutive empty poll doubles the wait up to pollMax,
+// and any delivered byte resets the backoff — so a bursty writer is
+// picked up at pollMin latency while a quiet file costs a few wakeups
+// per second instead of hundreds. Only after the file has delivered no
+// new bytes for idle does it report EOF to the caller. io.ReadFull in
+// the snoop scanner then naturally blocks mid-record until the writer
+// catches up or goes quiet.
 type tailReader struct {
-	f    *os.File
-	idle time.Duration
-	poll time.Duration
+	f       io.Reader
+	idle    time.Duration
+	pollMin time.Duration
+	pollMax time.Duration
 }
 
 func (t *tailReader) Read(p []byte) (int, error) {
 	deadline := time.Now().Add(t.idle)
+	wait := t.pollMin
 	for {
 		n, err := t.f.Read(p)
 		if n > 0 || !errors.Is(err, io.EOF) {
@@ -33,17 +39,25 @@ func (t *tailReader) Read(p []byte) (int, error) {
 		if time.Now().After(deadline) {
 			return 0, io.EOF
 		}
-		time.Sleep(t.poll)
+		time.Sleep(wait)
+		if wait *= 2; wait > t.pollMax {
+			wait = t.pollMax
+		}
 	}
 }
 
 // followFile tails a growing capture through the incremental detector,
 // printing findings the moment the records that complete them land in
-// the file. It returns the finished report once the file has been idle
-// for the full idle window (the writer stopped), plus the scan error if
-// the capture ended mid-record.
-func followFile(f *os.File, idle time.Duration, out io.Writer) (*forensics.Report, error) {
-	sc := snoop.NewScanner(&tailReader{f: f, idle: idle, poll: 50 * time.Millisecond})
+// the file. pollMax caps the tail's poll backoff (values below the 10 ms
+// floor are raised to it). It returns the finished report once the file
+// has been idle for the full idle window (the writer stopped), plus the
+// scan error if the capture ended mid-record.
+func followFile(f *os.File, idle, pollMax time.Duration, out io.Writer) (*forensics.Report, error) {
+	const pollMin = 10 * time.Millisecond
+	if pollMax < pollMin {
+		pollMax = pollMin
+	}
+	sc := snoop.NewScanner(&tailReader{f: f, idle: idle, pollMin: pollMin, pollMax: pollMax})
 	det := forensics.NewDetector()
 	for sc.Scan() {
 		det.Push(sc.Record())

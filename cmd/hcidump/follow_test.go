@@ -63,7 +63,7 @@ func TestFollowGrowingFile(t *testing.T) {
 	}
 	defer f.Close()
 	var out strings.Builder
-	report, scanErr := followFile(f, 500*time.Millisecond, &out)
+	report, scanErr := followFile(f, 500*time.Millisecond, 100*time.Millisecond, &out)
 	if scanErr != nil {
 		t.Fatalf("follow ended with scan error: %v", scanErr)
 	}
@@ -97,7 +97,7 @@ func TestFollowIdleTruncated(t *testing.T) {
 	defer f.Close()
 
 	start := time.Now()
-	report, scanErr := followFile(f, 200*time.Millisecond, io.Discard)
+	report, scanErr := followFile(f, 200*time.Millisecond, 50*time.Millisecond, io.Discard)
 	if scanErr == nil {
 		t.Fatal("truncated tail reported a clean end")
 	}
@@ -109,5 +109,31 @@ func TestFollowIdleTruncated(t *testing.T) {
 	}
 	if report == nil || len(report.Sessions) == 0 {
 		t.Fatal("records before the truncation were not analyzed")
+	}
+}
+
+// eofReader always reports EOF and counts how often it was asked.
+type eofReader struct{ reads int }
+
+func (r *eofReader) Read([]byte) (int, error) { r.reads++; return 0, io.EOF }
+
+// TestTailBackoffIsCapped pins the polling shape: over a one-second idle
+// window the tail must back off exponentially toward the cap — a handful
+// of polls — instead of spinning at a fixed short interval.
+func TestTailBackoffIsCapped(t *testing.T) {
+	r := &eofReader{}
+	tr := &tailReader{f: r, idle: time.Second, pollMin: 10 * time.Millisecond, pollMax: 250 * time.Millisecond}
+	start := time.Now()
+	n, err := tr.Read(make([]byte, 16))
+	if n != 0 || !errors.Is(err, io.EOF) {
+		t.Fatalf("idle tail must end in EOF, got n=%d err=%v", n, err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("gave up after %v, before the idle window", elapsed)
+	}
+	// 10+20+40+80+160+250+250+250 ms covers the window in ~8 polls; a
+	// fixed 10 ms interval would need ~100. Leave slack for scheduling.
+	if r.reads > 20 {
+		t.Fatalf("tail polled %d times over a 1 s idle window — backoff not applied", r.reads)
 	}
 }

@@ -21,7 +21,9 @@
 // -follow tails a capture another process is still appending to (the
 // live Android btsnoop log): findings print the moment they complete,
 // and once the file stops growing for -idle the final report renders
-// with the same exit-3 contract as -analyze.
+// with the same exit-3 contract as -analyze. The tail polls with capped
+// exponential backoff — 10 ms after fresh bytes, doubling to -poll-max
+// while the file is quiet — instead of a fixed interval.
 package main
 
 import (
@@ -48,6 +50,7 @@ func main() {
 		analyze = flag.Bool("analyze", false, "run the forensic analyzer (attack signatures); exit 3 on findings")
 		follow  = flag.Bool("follow", false, "tail a growing capture, printing findings live; exit 3 on findings once the file goes idle")
 		idle    = flag.Duration("idle", 2*time.Second, "with -follow: stop once the file has not grown for this long")
+		pollMax = flag.Duration("poll-max", 500*time.Millisecond, "with -follow: cap on the exponential poll backoff while the file is quiet")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -61,7 +64,7 @@ func main() {
 	defer f.Close()
 
 	if *follow {
-		report, scanErr := followFile(f, *idle, os.Stdout)
+		report, scanErr := followFile(f, *idle, *pollMax, os.Stdout)
 		fmt.Print(report.Render())
 		if scanErr != nil {
 			fail(fmt.Errorf("tailing %s: %w", flag.Arg(0), scanErr))

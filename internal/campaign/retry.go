@@ -1,0 +1,88 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+)
+
+// RetryPolicy tells RunRetry which per-trial failures are worth another
+// attempt. Degraded-channel sweeps use it to separate channel faults
+// (the medium ate the page train — retry on a fresh derived seed) from
+// terminal outcomes (an authentication result, however unwelcome, is
+// the measurement).
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts per trial, first try included.
+	// Values <= 1 mean no retries.
+	MaxAttempts int
+	// Retryable classifies a trial error; nil means nothing is
+	// retryable.
+	Retryable func(error) bool
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Attempt identifies one execution of one trial: the attempt ordinal
+// (0-based) is folded into the seed domain, so every attempt runs a
+// distinct-but-deterministic world and a retried trial produces the
+// same bytes at any worker count.
+type Attempt struct {
+	Trial   int
+	Attempt int
+}
+
+// RetryResult wraps a trial's final outcome with how it was reached.
+type RetryResult[T any] struct {
+	Value T
+	// Attempts is how many executions the trial took (1 = clean first
+	// try).
+	Attempts int
+	// Err is the final error when even the last attempt failed (either
+	// a terminal error, or a retryable one with the budget exhausted).
+	Err error
+}
+
+// RunRetry executes trial for every index in [0, n) on a worker pool
+// like Run, but re-invokes a failed trial — entirely within the worker
+// that owns it, preserving worker-count invariance — while pol.Retryable
+// approves the error and attempts remain. The trial receives the
+// Attempt identity and must derive all randomness from it (e.g. via
+// DeriveSeed(base, fmt.Sprintf("%s/attempt%d", domain, a.Attempt),
+// a.Trial)). Results arrive in trial order; like Run, the error of the
+// lowest ultimately-failing trial is returned alongside the full result
+// set, wrapped with its trial index.
+func RunRetry[T any](ctx context.Context, n int, cfg Config, pol RetryPolicy, trial func(ctx context.Context, a Attempt) (T, error)) ([]RetryResult[T], error) {
+	max := pol.attempts()
+	results, err := Run(ctx, n, cfg, func(ctx context.Context, i int) (RetryResult[T], error) {
+		var r RetryResult[T]
+		for attempt := 0; ; attempt++ {
+			r.Attempts = attempt + 1
+			r.Value, r.Err = trial(ctx, Attempt{Trial: i, Attempt: attempt})
+			if r.Err == nil {
+				return r, nil
+			}
+			if attempt+1 >= max || pol.Retryable == nil || !pol.Retryable(r.Err) {
+				return r, r.Err
+			}
+			if err := ctx.Err(); err != nil {
+				r.Err = err
+				return r, err
+			}
+		}
+	})
+	return results, err
+}
+
+// AttemptDomain is the canonical seed-domain string for an attempt:
+// attempt 0 is the bare domain (so retry-free sweeps reproduce historic
+// seeds exactly), later attempts get a distinct stream.
+func AttemptDomain(domain string, attempt int) string {
+	if attempt == 0 {
+		return domain
+	}
+	return fmt.Sprintf("%s#retry%d", domain, attempt)
+}

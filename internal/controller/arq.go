@@ -1,0 +1,189 @@
+package controller
+
+import (
+	"time"
+
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// Baseband ARQ: every LMP/ACL payload travels in a BBFrame carrying a
+// sequence number and a piggybacked cumulative acknowledgement, and each
+// received data frame is answered with a pure BBAck. Lost or
+// CRC-corrupted frames (dropped by the fault-injected medium) are
+// retransmitted with a deterministically doubling timeout, a bounded
+// number of times; receivers deliver strictly in order, absorb bounded
+// reordering, and discard duplicates by sequence number. The scheme uses
+// no randomness, so on a clean channel a run with ARQ is bit-identical
+// to one without faults installed.
+//
+// When retransmissions exhaust, the frame is flushed — baseband gives
+// up silently and the LMP response timer or the link supervision timer
+// ends the link. That ordering is the point: a peer that stays
+// radio-alive (keeps acking) but never answers an LMP challenge runs
+// the LMP response timeout down and the link dies with
+// StatusLMPResponseTimeout, not an authentication failure — the stall
+// the extraction attack exploits. A peer that goes completely dark
+// instead exhausts the supervision timer (StatusConnectionTimeout).
+
+// BBFrame is the baseband envelope around every link payload.
+type BBFrame struct {
+	// Seq is the transmitter's sequence number, starting at 1.
+	Seq uint32
+	// Ack is cumulative: every sequence number below Ack has been
+	// received in order by the transmitter of this frame.
+	Ack uint32
+	// Payload is the LMP PDU or ACLPDU being carried.
+	Payload any
+}
+
+// BBAck is a pure acknowledgement. Acks are never acknowledged and
+// never retransmitted.
+type BBAck struct {
+	Ack uint32
+}
+
+// UnwrapBB strips the baseband envelope from a sniffed link payload:
+// it returns (inner, true) for a BBFrame, (nil, false) for a BBAck
+// (no LMP content), and (payload, true) for anything else.
+func UnwrapBB(payload any) (any, bool) {
+	switch f := payload.(type) {
+	case BBFrame:
+		return f.Payload, true
+	case BBAck:
+		return nil, false
+	default:
+		return payload, true
+	}
+}
+
+// Defaults for the ARQ knobs in Config.
+const (
+	DefaultARQRetransmitTimeout  = 50 * time.Millisecond
+	DefaultARQMaxRetransmissions = 6
+)
+
+// arqReorderWindow bounds the out-of-order receive buffer: frames more
+// than this many sequence numbers ahead of the next expected one are
+// discarded and must be retransmitted.
+const arqReorderWindow = 64
+
+type arqPending struct {
+	frame    BBFrame
+	attempts int
+	timer    *sim.Event
+}
+
+type arqState struct {
+	nextSeq  uint32                 // last sequence number assigned
+	pending  map[uint32]*arqPending // sent, not yet cumulatively acked
+	expected uint32                 // next sequence number to deliver
+	recvBuf  map[uint32]any         // bounded out-of-order buffer
+}
+
+func (st *arqState) init() {
+	st.expected = 1
+	st.pending = make(map[uint32]*arqPending)
+	st.recvBuf = make(map[uint32]any)
+}
+
+// arqSend wraps a payload and transmits it with retransmission armed.
+func (c *Controller) arqSend(lk *link, pdu any) {
+	st := &lk.arq
+	if st.pending == nil {
+		st.init()
+	}
+	st.nextSeq++
+	p := &arqPending{frame: BBFrame{Seq: st.nextSeq, Ack: st.expected, Payload: pdu}}
+	st.pending[p.frame.Seq] = p
+	c.arqTransmit(lk, p)
+}
+
+func (c *Controller) arqTransmit(lk *link, p *arqPending) {
+	lk.phy.Send(c.port, p.frame)
+	rto := c.cfg.ARQRetransmitTimeout << uint(p.attempts)
+	p.timer = c.sched.Schedule(rto, func() { c.arqRetransmit(lk, p) })
+}
+
+func (c *Controller) arqRetransmit(lk *link, p *arqPending) {
+	if _, live := c.links[lk.handle]; !live {
+		return
+	}
+	if _, waiting := lk.arq.pending[p.frame.Seq]; !waiting {
+		return
+	}
+	p.attempts++
+	if p.attempts > c.cfg.ARQMaxRetransmissions {
+		// Flush: baseband gives up on this frame. The LMP response
+		// timer or supervision timer decides the link's fate.
+		delete(lk.arq.pending, p.frame.Seq)
+		return
+	}
+	p.frame.Ack = lk.arq.expected // refresh the piggybacked ack
+	c.arqTransmit(lk, p)
+}
+
+// arqAcked processes a cumulative acknowledgement: everything below ack
+// is delivered and stops being retransmitted.
+func (c *Controller) arqAcked(lk *link, ack uint32) {
+	for seq, p := range lk.arq.pending {
+		if seq < ack {
+			c.sched.Cancel(p.timer)
+			delete(lk.arq.pending, seq)
+		}
+	}
+}
+
+// arqReceive handles an incoming data frame: dedup, bounded reorder,
+// in-order delivery, and a pure ack back to the transmitter.
+func (c *Controller) arqReceive(lk *link, f BBFrame) {
+	st := &lk.arq
+	if st.pending == nil {
+		st.init()
+	}
+	if f.Seq < st.expected {
+		// Duplicate of an already-delivered frame (our ack was lost):
+		// re-ack so the peer stops retransmitting, deliver nothing.
+		lk.phy.Send(c.port, BBAck{Ack: st.expected})
+		return
+	}
+	if f.Seq >= st.expected+arqReorderWindow {
+		// Beyond the bounded buffer; drop and force a retransmission.
+		return
+	}
+	st.recvBuf[f.Seq] = f.Payload
+	var deliver []any
+	for {
+		payload, ok := st.recvBuf[st.expected]
+		if !ok {
+			break
+		}
+		delete(st.recvBuf, st.expected)
+		st.expected++
+		deliver = append(deliver, payload)
+	}
+	lk.phy.Send(c.port, BBAck{Ack: st.expected})
+	for _, payload := range deliver {
+		if _, live := c.links[lk.handle]; !live {
+			return // an earlier PDU tore the link down
+		}
+		c.handleLMP(lk, payload)
+	}
+}
+
+// arqDrop cancels every outstanding retransmission for a dying link.
+func (c *Controller) arqDrop(lk *link) {
+	for seq, p := range lk.arq.pending {
+		c.sched.Cancel(p.timer)
+		delete(lk.arq.pending, seq)
+	}
+}
+
+// ARQPendingFrames reports how many transmitted frames on the link to
+// peer are still awaiting acknowledgement (testing/diagnostics).
+func (c *Controller) ARQPendingFrames(peer radio.DeviceInfo) int {
+	if lk := c.findByAddr(peer.Addr); lk != nil {
+		return len(lk.arq.pending)
+	}
+	return 0
+}

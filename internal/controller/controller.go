@@ -42,6 +42,15 @@ type Config struct {
 	// specification floor; hardened stacks raise the minimum to 7).
 	MaxEncKeySize int
 	MinEncKeySize int
+
+	// ARQRetransmitTimeout is the baseband ARQ base retransmission
+	// timeout; each retry doubles it (deterministic, no jitter). Default
+	// DefaultARQRetransmitTimeout.
+	ARQRetransmitTimeout time.Duration
+
+	// ARQMaxRetransmissions bounds retries per frame before the baseband
+	// flushes it. Default DefaultARQMaxRetransmissions.
+	ARQMaxRetransmissions int
 }
 
 // DefaultLMPResponseTimeout is the specification's LMP response timeout.
@@ -59,6 +68,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinEncKeySize > c.MaxEncKeySize {
 		c.MinEncKeySize = c.MaxEncKeySize
+	}
+	if c.ARQRetransmitTimeout <= 0 {
+		c.ARQRetransmitTimeout = DefaultARQRetransmitTimeout
+	}
+	if c.ARQMaxRetransmissions <= 0 {
+		c.ARQMaxRetransmissions = DefaultARQMaxRetransmissions
 	}
 	return c
 }
@@ -107,6 +122,7 @@ type link struct {
 
 	lmpTimer   *sim.Timer
 	superTimer *sim.Timer
+	arq        arqState
 }
 
 // Controller is one simulated BR/EDR controller instance.
@@ -173,6 +189,11 @@ func (c *Controller) SetCOD(cod bt.ClassOfDevice) { c.cfg.COD = cod }
 // Detach removes the controller from the medium.
 func (c *Controller) Detach() { c.med.Detach(c.port) }
 
+// Reattach restores a previously detached controller to the medium,
+// modelling recovery from a radio outage. Links do not survive the
+// outage; the device must be re-paged.
+func (c *Controller) Reattach() { c.med.Reattach(c.port) }
+
 // --- radio.Receiver ---
 
 // Info implements radio.Receiver.
@@ -202,14 +223,26 @@ func (c *Controller) LinkEstablished(l *radio.Link, peer radio.DeviceInfo) {
 	c.tr.SendEvent(&hci.ConnectionRequest{Addr: peer.Addr, COD: peer.COD, LinkType: hci.LinkTypeACL})
 }
 
-// LinkData implements radio.Receiver.
+// LinkData implements radio.Receiver. Any received frame — data or pure
+// ack — proves radio contact and refreshes the supervision timer; only
+// in-order ARQ delivery reaches the LMP state machines.
 func (c *Controller) LinkData(l *radio.Link, payload any) {
 	lk := c.findByPhy(l)
 	if lk == nil {
 		return
 	}
 	c.touchSupervision(lk)
-	c.handleLMP(lk, payload)
+	switch f := payload.(type) {
+	case BBAck:
+		c.arqAcked(lk, f.Ack)
+	case BBFrame:
+		c.arqAcked(lk, f.Ack)
+		c.arqReceive(lk, f)
+	default:
+		// Raw (non-ARQ) payloads keep working for tests that drive the
+		// phy link directly.
+		c.handleLMP(lk, payload)
+	}
 }
 
 // LinkClosed implements radio.Receiver.
@@ -277,12 +310,7 @@ func (c *Controller) dropLink(lk *link, reason hci.Status, notify bool) {
 		return
 	}
 	delete(c.links, lk.handle)
-	if lk.lmpTimer != nil {
-		lk.lmpTimer.Stop()
-	}
-	if lk.superTimer != nil {
-		lk.superTimer.Stop()
-	}
+	c.stopLinkTimers(lk)
 	if !notify {
 		return
 	}
@@ -296,9 +324,22 @@ func (c *Controller) dropLink(lk *link, reason hci.Status, notify bool) {
 	}
 }
 
-// send transmits an LMP PDU and optionally arms the LMP response timer.
+// stopLinkTimers quiesces everything armed on behalf of a link: LMP
+// response, supervision, and outstanding ARQ retransmissions.
+func (c *Controller) stopLinkTimers(lk *link) {
+	if lk.lmpTimer != nil {
+		lk.lmpTimer.Stop()
+	}
+	if lk.superTimer != nil {
+		lk.superTimer.Stop()
+	}
+	c.arqDrop(lk)
+}
+
+// send transmits an LMP PDU through the baseband ARQ layer and
+// optionally arms the LMP response timer.
 func (c *Controller) send(lk *link, pdu any, expectResponse bool) {
-	lk.phy.Send(c.port, pdu)
+	c.arqSend(lk, pdu)
 	if expectResponse {
 		c.armLMPTimer(lk)
 	}
@@ -479,12 +520,7 @@ func (c *Controller) handleCommand(cmd hci.Command) {
 		c.commandStatus(v.Opcode(), hci.StatusSuccess)
 		lk.phy.Close(c.port, detachError{v.Reason})
 		delete(c.links, v.Handle)
-		if lk.lmpTimer != nil {
-			lk.lmpTimer.Stop()
-		}
-		if lk.superTimer != nil {
-			lk.superTimer.Stop()
-		}
+		c.stopLinkTimers(lk)
 		c.tr.SendEvent(&hci.DisconnectionComplete{Status: hci.StatusSuccess, Handle: v.Handle, Reason: hci.StatusConnTerminatedLocally})
 
 	case *hci.PINCodeRequestReply:

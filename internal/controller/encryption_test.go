@@ -129,7 +129,8 @@ func TestEncryptedTrafficIsCiphertextOnAir(t *testing.T) {
 	seen := false
 	payload := []byte{0x11, 0x22, 0x33, 0x44, 0x55, 0x66}
 	r.med.Sniff(func(f radio.SniffedFrame) {
-		pdu, ok := f.Payload.(ACLPDU)
+		inner, _ := UnwrapBB(f.Payload)
+		pdu, ok := inner.(ACLPDU)
 		if !ok {
 			return
 		}

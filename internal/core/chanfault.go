@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/hci"
+	"repro/internal/host"
+	"repro/internal/sim"
+)
+
+// ErrChannelFault marks a run that failed because the degraded channel
+// got in the way (lost page trains, supervision kills, radio outages)
+// rather than because of an authentication outcome. Campaign retry
+// policies treat these as retryable; auth outcomes are terminal.
+var ErrChannelFault = errors.New("core: channel fault")
+
+// IsChannelFault classifies an attack-flow error: true for anything
+// wrapped in ErrChannelFault and for the HCI statuses a lossy medium
+// produces on its own (page timeout, supervision connection timeout).
+// An LMP response timeout is NOT a channel fault — it is the outcome
+// the extraction stall works towards.
+func IsChannelFault(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrChannelFault) {
+		return true
+	}
+	var se *host.StatusError
+	if errors.As(err, &se) {
+		switch se.Status {
+		case hci.StatusPageTimeout, hci.StatusConnectionTimeout:
+			return true
+		}
+	}
+	return errors.Is(err, host.ErrDisconnected)
+}
+
+// BackoffPolicy shapes paging retries in attacker flows: exponential
+// backoff with scheduler-seeded jitter. The zero value means
+// DefaultBackoff. On a clean channel the first attempt succeeds and the
+// retry path — the only place the policy draws randomness — never runs,
+// preserving bit-identical zero-fault executions.
+type BackoffPolicy struct {
+	// Attempts is the total number of page attempts (default 4).
+	Attempts int
+	// Initial is the delay before the first retry; each further retry
+	// doubles it (default 500 ms).
+	Initial time.Duration
+	// Max caps the (pre-jitter) delay (default 8 s).
+	Max time.Duration
+}
+
+// DefaultBackoff is the attacker flows' paging retry policy.
+var DefaultBackoff = BackoffPolicy{Attempts: 4, Initial: 500 * time.Millisecond, Max: 8 * time.Second}
+
+func (p BackoffPolicy) withDefaults() BackoffPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = DefaultBackoff.Attempts
+	}
+	if p.Initial <= 0 {
+		p.Initial = DefaultBackoff.Initial
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultBackoff.Max
+	}
+	return p
+}
+
+// delay returns the post-jitter backoff before retry attempt n (1-based
+// retry count). Jitter is ±25% from the scheduler RNG — drawn only here,
+// on the retry path.
+func (p BackoffPolicy) delay(s *sim.Scheduler, retry int) time.Duration {
+	d := p.Initial << uint(retry-1)
+	if d > p.Max || d <= 0 {
+		d = p.Max
+	}
+	return s.JitterRange(d-d/4, d+d/4)
+}
+
+// RetryingConnect pages addr, retrying channel faults (page timeouts,
+// supervision kills) with exponential backoff + jitter, up to
+// pol.Attempts attempts. Terminal errors and successes are passed
+// through to cb as soon as they are known; a final channel-fault failure
+// arrives wrapped in ErrChannelFault. The scheduler is not advanced —
+// callers drive it.
+func RetryingConnect(s *sim.Scheduler, h *host.Host, addr bt.BDADDR, pol BackoffPolicy, cb func(*host.Conn, error)) {
+	pol = pol.withDefaults()
+	var attempt func(n int)
+	attempt = func(n int) {
+		h.Connect(addr, func(conn *host.Conn, err error) {
+			if err == nil || !IsChannelFault(err) {
+				cb(conn, err)
+				return
+			}
+			if n >= pol.Attempts {
+				cb(nil, errors.Join(ErrChannelFault, err))
+				return
+			}
+			s.Schedule(pol.delay(s, n), func() { attempt(n + 1) })
+		})
+	}
+	attempt(1)
+}

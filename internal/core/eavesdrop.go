@@ -23,10 +23,20 @@ type AirSniffer struct {
 }
 
 // NewAirSniffer attaches a sniffer to the medium. Frames sent after this
-// call are recorded.
+// call are recorded. The baseband ARQ envelope is stripped at capture
+// time: pure acks carry no LMP content and are skipped, and data frames
+// are recorded as their inner payload — so retransmissions of one PDU
+// appear as repeated captures, exactly as an air sniffer would see them.
 func NewAirSniffer(med *radio.Medium) *AirSniffer {
 	s := &AirSniffer{}
-	med.Sniff(func(f radio.SniffedFrame) { s.frames = append(s.frames, f) })
+	med.Sniff(func(f radio.SniffedFrame) {
+		inner, ok := controller.UnwrapBB(f.Payload)
+		if !ok {
+			return
+		}
+		f.Payload = inner
+		s.frames = append(s.frames, f)
+	})
 	return s
 }
 

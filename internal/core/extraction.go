@@ -62,6 +62,10 @@ type LinkKeyExtractionConfig struct {
 	// the stalled authentication; defaults to the attacker controller's
 	// LMP response timeout plus slack.
 	SettleTime time.Duration
+	// Backoff shapes the attacker's paging retries on a lossy channel
+	// (zero value: DefaultBackoff). The retry path is the only part that
+	// draws randomness, so clean-channel runs are unaffected.
+	Backoff BackoffPolicy
 }
 
 // LinkKeyExtractionReport is the outcome of one extraction run.
@@ -125,10 +129,12 @@ func RunLinkKeyExtraction(s *sim.Scheduler, cfg LinkKeyExtractionConfig) (LinkKe
 	a.Host.SetHooks(hooks)
 
 	// Step 3: connect to C; C authenticates the returning "M", asking its
-	// host for the bonded key — which the capture records (step 4).
+	// host for the bonded key — which the capture records (step 4). On a
+	// degraded channel the page train itself can be lost, so the attacker
+	// retries with exponential backoff.
 	connectDone := false
 	var connectErr error
-	a.Host.Connect(c.Addr(), func(_ *host.Conn, err error) { connectErr = err; connectDone = true })
+	RetryingConnect(s, a.Host, c.Addr(), cfg.Backoff, func(_ *host.Conn, err error) { connectErr = err; connectDone = true })
 
 	settle := cfg.SettleTime
 	if settle <= 0 {
@@ -150,7 +156,7 @@ func RunLinkKeyExtraction(s *sim.Scheduler, cfg LinkKeyExtractionConfig) (LinkKe
 		s.RunFor(500 * time.Millisecond)
 	}
 	if !connectDone {
-		return rep, errors.New("core: connection to client never completed")
+		return rep, fmt.Errorf("%w: connection to client never completed", ErrChannelFault)
 	}
 	if connectErr != nil {
 		return rep, fmt.Errorf("core: connecting to client: %w", connectErr)

@@ -45,6 +45,9 @@ type PageBlockingConfig struct {
 	KeepAlive time.Duration
 	// SettleTime bounds the run; defaults to UserPairDelay + 90 s.
 	SettleTime time.Duration
+	// Backoff shapes the attacker's paging retries on a lossy channel
+	// (zero value: DefaultBackoff); jitter is drawn only on retries.
+	Backoff BackoffPolicy
 }
 
 // PageBlockingReport is the outcome of one page blocking run.
@@ -103,7 +106,9 @@ func RunPageBlocking(s *sim.Scheduler, cfg PageBlockingConfig) PageBlockingRepor
 		// Step 3: establish the connection and stay in PLOC. The connect
 		// callback fires only when the hold releases; from then on the
 		// attacker optionally keeps the link alive with dummy traffic.
-		a.Host.Connect(m.Addr(), func(conn *host.Conn, err error) {
+		// Paging retries with backoff so a lossy channel doesn't end the
+		// attack before it starts.
+		RetryingConnect(s, a.Host, m.Addr(), cfg.Backoff, func(conn *host.Conn, err error) {
 			if err != nil || cfg.KeepAlive <= 0 {
 				return
 			}
@@ -121,7 +126,7 @@ func RunPageBlocking(s *sim.Scheduler, cfg PageBlockingConfig) PageBlockingRepor
 		// Unpatched-attacker strawman (§V-B1): connect and immediately
 		// pair, producing a popup on M at an unexpected time; on failure
 		// the attacker drops the link.
-		a.Host.Connect(m.Addr(), func(conn *host.Conn, err error) {
+		RetryingConnect(s, a.Host, m.Addr(), cfg.Backoff, func(conn *host.Conn, err error) {
 			if err != nil {
 				return
 			}
@@ -145,7 +150,28 @@ func RunPageBlocking(s *sim.Scheduler, cfg PageBlockingConfig) PageBlockingRepor
 			})
 		}
 		if cfg.RunInquiry {
-			m.Host.StartInquiry(2, func([]hci.InquiryResponse) { pair() })
+			// The user scans again when the accessory didn't show up —
+			// inquiry responses are single unprotected frames, so on a
+			// lossy channel a scan can legitimately come back empty. On a
+			// clean channel C always answers the first scan, so the extra
+			// attempts never run.
+			var scan func(attempt int)
+			scan = func(attempt int) {
+				m.Host.StartInquiry(2, func(resps []hci.InquiryResponse) {
+					found := false
+					for _, r := range resps {
+						if r.Addr == c.Addr() {
+							found = true
+						}
+					}
+					if !found && attempt < 3 {
+						scan(attempt + 1)
+						return
+					}
+					pair()
+				})
+			}
+			scan(1)
 		} else {
 			pair()
 		}

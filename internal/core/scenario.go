@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bt"
 	"repro/internal/device"
+	"repro/internal/faults"
 	"repro/internal/host"
 	"repro/internal/radio"
 	"repro/internal/sim"
@@ -28,6 +29,11 @@ type Testbed struct {
 	// BondKey is the link key shared by M and C after the setup pairing
 	// (zero when Bond was false).
 	BondKey bt.LinkKey
+
+	// Injector is the fault injector installed on the medium when the
+	// options carried a non-zero fault plan; nil otherwise. Its Stats
+	// expose the realized channel behaviour of a run.
+	Injector *faults.Injector
 }
 
 // TestbedOptions tunes world construction.
@@ -60,6 +66,18 @@ type TestbedOptions struct {
 	VictimEnforceRoleCheck bool
 	// MediumConfig overrides the radio timing (zero value uses defaults).
 	MediumConfig *radio.Config
+
+	// Faults is the deterministic fault plan for the degraded-channel
+	// scenarios. A zero plan installs nothing at all — no injector, no
+	// RNG draws, no scheduled events — so runs are bit-identical to a
+	// faultless build. By default the plan (and its outages) arms after
+	// the setup bond: the victim paired at home on a clean channel and
+	// the attack happens on a degraded one.
+	Faults faults.Plan
+	// FaultsDuringSetup arms Faults before the setup bond as well, so the
+	// legitimate pairing itself runs on the degraded channel (the ARQ
+	// resilience sweep).
+	FaultsDuringSetup bool
 
 	// VictimServices extends M's SDP database (NAP/PANU are always
 	// present, matching Android's tethering support).
@@ -122,12 +140,54 @@ func NewTestbed(seed int64, opts TestbedOptions) (*Testbed, error) {
 		ForceSnoop: true,
 	})
 
+	if opts.FaultsDuringSetup {
+		if err := tb.installFaults(opts.Faults); err != nil {
+			return nil, err
+		}
+	}
 	if opts.Bond {
 		if err := tb.bondMC(); err != nil {
 			return nil, err
 		}
 	}
+	if !opts.FaultsDuringSetup {
+		if err := tb.installFaults(opts.Faults); err != nil {
+			return nil, err
+		}
+	}
 	return tb, nil
+}
+
+// installFaults arms a fault plan on the medium and schedules its
+// outages relative to the current virtual time. A zero plan is a
+// complete no-op, preserving bit-identical faultless runs.
+func (tb *Testbed) installFaults(plan faults.Plan) error {
+	if plan.IsZero() {
+		return nil
+	}
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	tb.Injector = faults.NewInjector(tb.Sched, plan)
+	tb.Medium.SetFaultModel(tb.Injector)
+	return faults.ScheduleOutages(tb.Sched, plan, tb.resolveOutage)
+}
+
+// resolveOutage maps a fault-plan device name to the testbed role whose
+// radio the outage detaches and reattaches.
+func (tb *Testbed) resolveOutage(name string) (detach, attach func(), err error) {
+	var d *device.Device
+	switch name {
+	case "M":
+		d = tb.M
+	case "C":
+		d = tb.C
+	case "A":
+		d = tb.A
+	default:
+		return nil, nil, fmt.Errorf("unknown device %q (want M, C, or A)", name)
+	}
+	return d.Controller.Detach, d.Controller.Reattach, nil
 }
 
 // bondMC pairs M with C and tears the connection down, leaving both with

@@ -1,0 +1,261 @@
+// Package faults is the deterministic fault-injection subsystem for the
+// simulated 2.4 GHz medium. A Plan describes what a degraded channel does
+// to frames — independent loss, CRC-failing corruption, duplication,
+// bounded reordering, Gilbert–Elliott burst loss for interference, and
+// scheduled mid-session radio outages — and an Injector executes the plan
+// against a radio.Medium, drawing every random decision from the
+// simulation scheduler's seeded RNG.
+//
+// Determinism contract: the injector draws from the RNG only for fault
+// classes the plan actually enables, in a fixed per-frame order. A zero
+// Plan therefore draws nothing and schedules nothing, so installing it is
+// bit-identical to running without fault injection at all — the property
+// the eval sweeps rely on to prove the clean-channel tables are unchanged.
+// Because each simulated world owns its scheduler and RNG, identical
+// (seed, plan) pairs produce bit-identical runs at any campaign worker
+// count.
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// Plan describes the fault behaviour of a degraded channel. The zero
+// value is a perfect channel.
+type Plan struct {
+	// Drop is the independent per-frame loss probability in [0, 1].
+	Drop float64
+	// Corrupt is the per-frame probability of payload corruption in
+	// flight. The receiving baseband's CRC check fails and the frame is
+	// discarded — the same outcome as a drop at the LMP layer, but
+	// counted separately (and retransmitted separately by ARQ).
+	Corrupt float64
+	// Duplicate is the per-frame probability of a second delivery.
+	Duplicate float64
+	// Reorder is the per-frame probability of the frame being delayed by
+	// a uniform draw from (0, ReorderWindow], letting later frames
+	// overtake it.
+	Reorder float64
+	// ReorderWindow bounds the reordering delay; defaults to 20 ms when
+	// Reorder is set.
+	ReorderWindow time.Duration
+
+	// Burst, when non-nil, adds Gilbert–Elliott two-state burst loss on
+	// top of the independent faults — the model for 2.4 GHz interference
+	// (microwave ovens, Wi-Fi beacons) where losses cluster.
+	Burst *Burst
+
+	// Outages are scheduled radio blackouts: the named device's port is
+	// detached from the medium at Start and reattached Duration later.
+	// Links do not survive an outage.
+	Outages []Outage
+}
+
+// Burst is a Gilbert–Elliott two-state loss model. The chain starts in
+// the good state and is advanced once per frame.
+type Burst struct {
+	// PEnter is the per-frame good→bad transition probability.
+	PEnter float64
+	// PExit is the per-frame bad→good transition probability.
+	PExit float64
+	// GoodLoss is the loss probability while in the good state
+	// (usually 0).
+	GoodLoss float64
+	// BadLoss is the loss probability while in the bad state.
+	BadLoss float64
+}
+
+// Outage is one scheduled radio blackout.
+type Outage struct {
+	// Device names which radio goes dark. The binder interprets it: the
+	// core testbed accepts the role letters "M", "C", and "A".
+	Device string
+	// Start is when (virtual time from binding) the radio detaches.
+	Start time.Duration
+	// Duration is how long the radio stays dark before reattaching.
+	Duration time.Duration
+}
+
+// IsZero reports whether the plan injects nothing at all.
+func (p Plan) IsZero() bool {
+	return p.Drop == 0 && p.Corrupt == 0 && p.Duplicate == 0 && p.Reorder == 0 &&
+		p.Burst == nil && len(p.Outages) == 0
+}
+
+// Validate rejects probabilities outside [0, 1] and malformed outages.
+func (p Plan) Validate() error {
+	check := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("faults: %s probability %v outside [0, 1]", name, v)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{{"drop", p.Drop}, {"corrupt", p.Corrupt}, {"dup", p.Duplicate}, {"reorder", p.Reorder}} {
+		if err := check(c.name, c.v); err != nil {
+			return err
+		}
+	}
+	if p.Reorder > 0 && p.ReorderWindow < 0 {
+		return fmt.Errorf("faults: negative reorder window %v", p.ReorderWindow)
+	}
+	if b := p.Burst; b != nil {
+		for _, c := range []struct {
+			name string
+			v    float64
+		}{{"burst enter", b.PEnter}, {"burst exit", b.PExit}, {"burst good-loss", b.GoodLoss}, {"burst bad-loss", b.BadLoss}} {
+			if err := check(c.name, c.v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, o := range p.Outages {
+		if o.Device == "" {
+			return fmt.Errorf("faults: outage without a device")
+		}
+		if o.Start < 0 || o.Duration <= 0 {
+			return fmt.Errorf("faults: outage %s@%v+%v must have start >= 0 and duration > 0",
+				o.Device, o.Start, o.Duration)
+		}
+	}
+	return nil
+}
+
+// Stats counts what the injector did to the channel.
+type Stats struct {
+	// Frames is the number of Frame consultations (transmission
+	// attempts, including ARQ retransmissions).
+	Frames uint64
+	// Dropped counts independent-loss drops.
+	Dropped uint64
+	// BurstDropped counts drops charged to the Gilbert–Elliott chain.
+	BurstDropped uint64
+	// Corrupted counts CRC-failing corruptions.
+	Corrupted uint64
+	// Duplicated counts second deliveries.
+	Duplicated uint64
+	// Reordered counts delayed frames.
+	Reordered uint64
+	// BadFrames counts frames transmitted while the burst chain was in
+	// its bad state.
+	BadFrames uint64
+}
+
+// LossRate is the realized fraction of frames that never reached the
+// peer (independent drops, burst drops, and corruptions).
+func (s Stats) LossRate() float64 {
+	if s.Frames == 0 {
+		return 0
+	}
+	return float64(s.Dropped+s.BurstDropped+s.Corrupted) / float64(s.Frames)
+}
+
+// Injector executes a Plan against a medium. It implements
+// radio.FaultModel; create one per simulated world with NewInjector and
+// install it with radio.Medium.SetFaultModel.
+type Injector struct {
+	sched *sim.Scheduler
+	plan  Plan
+	bad   bool // Gilbert–Elliott state
+	stats Stats
+}
+
+// NewInjector binds a validated plan to a scheduler's RNG. It panics on
+// an invalid plan — plans are operator input, validated at parse time;
+// reaching here with a bad one is a programming error.
+func NewInjector(s *sim.Scheduler, p Plan) *Injector {
+	if err := p.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if p.Reorder > 0 && p.ReorderWindow == 0 {
+		p.ReorderWindow = 20 * time.Millisecond
+	}
+	return &Injector{sched: s, plan: p}
+}
+
+// Plan returns the injector's (normalized) plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Stats returns a snapshot of the injection counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Frame implements radio.FaultModel: one verdict per transmission
+// attempt. RNG draws happen in a fixed order — burst chain, burst loss,
+// drop, corrupt, duplicate, reorder — and only for classes the plan
+// enables, so disabled classes cost no randomness.
+func (in *Injector) Frame() radio.FrameVerdict {
+	in.stats.Frames++
+	rng := in.sched.Rand()
+	var v radio.FrameVerdict
+
+	if b := in.plan.Burst; b != nil {
+		if in.bad {
+			if b.PExit > 0 && rng.Float64() < b.PExit {
+				in.bad = false
+			}
+		} else {
+			if b.PEnter > 0 && rng.Float64() < b.PEnter {
+				in.bad = true
+			}
+		}
+		loss := b.GoodLoss
+		if in.bad {
+			in.stats.BadFrames++
+			loss = b.BadLoss
+		}
+		if loss > 0 && rng.Float64() < loss {
+			in.stats.BurstDropped++
+			v.Drop = true
+			return v
+		}
+	}
+	if in.plan.Drop > 0 && rng.Float64() < in.plan.Drop {
+		in.stats.Dropped++
+		v.Drop = true
+		return v
+	}
+	if in.plan.Corrupt > 0 && rng.Float64() < in.plan.Corrupt {
+		in.stats.Corrupted++
+		v.Corrupt = true
+		return v
+	}
+	if in.plan.Duplicate > 0 && rng.Float64() < in.plan.Duplicate {
+		in.stats.Duplicated++
+		v.Duplicate = true
+	}
+	if in.plan.Reorder > 0 && rng.Float64() < in.plan.Reorder {
+		in.stats.Reordered++
+		v.Delay = time.Duration(1 + rng.Int63n(int64(in.plan.ReorderWindow)))
+	}
+	return v
+}
+
+// PortOutage is one bound outage: the detach/reattach pair acting on a
+// specific radio.
+type PortOutage struct {
+	Outage Outage
+	Detach func()
+	Attach func()
+}
+
+// ScheduleOutages arms the plan's outages on the scheduler. resolve maps
+// an Outage.Device name to its detach/reattach actions; it returns an
+// error for unknown names. Install happens relative to the scheduler's
+// current time.
+func ScheduleOutages(s *sim.Scheduler, plan Plan, resolve func(device string) (detach, attach func(), err error)) error {
+	for _, o := range plan.Outages {
+		detach, attach, err := resolve(o.Device)
+		if err != nil {
+			return fmt.Errorf("faults: outage %s@%v: %w", o.Device, o.Start, err)
+		}
+		s.Schedule(o.Start, detach)
+		s.Schedule(o.Start+o.Duration, attach)
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package faults
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestZeroPlanDrawsNoRNG(t *testing.T) {
+	// The determinism contract: an injector with a zero plan must not
+	// consume any randomness, so installing it is bit-identical to not
+	// installing a fault model at all.
+	s := sim.NewScheduler(1)
+	in := NewInjector(s, Plan{})
+	for i := 0; i < 1000; i++ {
+		if v := in.Frame(); v.Lost() || v.Duplicate || v.Delay != 0 {
+			t.Fatalf("zero plan injected a fault: %+v", v)
+		}
+	}
+	// After 1000 zero-plan frames the scheduler's RNG must be in the
+	// same state as a completely fresh one.
+	s2 := sim.NewScheduler(1)
+	if got, want := s.Rand().Int63(), s2.Rand().Int63(); got != want {
+		t.Fatalf("zero plan consumed RNG: next draw %d, want %d", got, want)
+	}
+	if st := in.Stats(); st.Frames != 1000 || st.Dropped+st.Corrupted+st.Duplicated+st.Reordered+st.BurstDropped != 0 {
+		t.Fatalf("zero plan stats: %+v", st)
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	plan := Plan{Drop: 0.1, Corrupt: 0.05, Duplicate: 0.05, Reorder: 0.1, ReorderWindow: 10 * time.Millisecond,
+		Burst: &Burst{PEnter: 0.02, PExit: 0.3, BadLoss: 0.6}}
+	run := func() []byte {
+		s := sim.NewScheduler(42)
+		in := NewInjector(s, plan)
+		var out []byte
+		for i := 0; i < 5000; i++ {
+			v := in.Frame()
+			var b byte
+			if v.Drop {
+				b |= 1
+			}
+			if v.Corrupt {
+				b |= 2
+			}
+			if v.Duplicate {
+				b |= 4
+			}
+			if v.Delay > 0 {
+				b |= 8
+			}
+			out = append(out, b)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at frame %d", i)
+		}
+	}
+}
+
+func TestInjectorRatesConverge(t *testing.T) {
+	s := sim.NewScheduler(7)
+	in := NewInjector(s, Plan{Drop: 0.1, Corrupt: 0.05, Duplicate: 0.05})
+	const n = 50000
+	for i := 0; i < n; i++ {
+		in.Frame()
+	}
+	st := in.Stats()
+	if got := float64(st.Dropped) / n; math.Abs(got-0.1) > 0.01 {
+		t.Errorf("drop rate %.3f, want ~0.10", got)
+	}
+	// Corruption is only tested on frames that survived the drop draw:
+	// realized rate ≈ 0.05 * 0.9.
+	if got := float64(st.Corrupted) / n; math.Abs(got-0.045) > 0.01 {
+		t.Errorf("corrupt rate %.3f, want ~0.045", got)
+	}
+	if lr := st.LossRate(); math.Abs(lr-(0.1+0.045)) > 0.01 {
+		t.Errorf("loss rate %.3f, want ~0.145", lr)
+	}
+}
+
+func TestBurstLossClusters(t *testing.T) {
+	// Gilbert–Elliott with sticky states must produce clustered losses:
+	// the chance a loss is followed immediately by another loss should be
+	// far above the marginal loss rate.
+	s := sim.NewScheduler(11)
+	in := NewInjector(s, Plan{Burst: &Burst{PEnter: 0.01, PExit: 0.1, BadLoss: 0.8}})
+	const n = 100000
+	var losses, pairs, afterLoss int
+	prev := false
+	for i := 0; i < n; i++ {
+		lost := in.Frame().Lost()
+		if lost {
+			losses++
+		}
+		if prev {
+			afterLoss++
+			if lost {
+				pairs++
+			}
+		}
+		prev = lost
+	}
+	marginal := float64(losses) / n
+	conditional := float64(pairs) / float64(afterLoss)
+	if conditional < 3*marginal {
+		t.Fatalf("losses not bursty: P(loss|loss)=%.3f vs marginal %.3f", conditional, marginal)
+	}
+	st := in.Stats()
+	if st.BadFrames == 0 || st.BurstDropped != uint64(losses) {
+		t.Fatalf("burst stats inconsistent: %+v vs %d losses", st, losses)
+	}
+}
+
+func TestScheduleOutages(t *testing.T) {
+	s := sim.NewScheduler(1)
+	plan := Plan{Outages: []Outage{{Device: "C", Start: 2 * time.Second, Duration: time.Second}}}
+	var trace []string
+	err := ScheduleOutages(s, plan, func(dev string) (func(), func(), error) {
+		return func() { trace = append(trace, "detach-"+dev+"@"+s.Now().String()) },
+			func() { trace = append(trace, "attach-"+dev+"@"+s.Now().String()) }, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(0)
+	if len(trace) != 2 || trace[0] != "detach-C@2s" || trace[1] != "attach-C@3s" {
+		t.Fatalf("outage trace: %v", trace)
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("drop=0.05, corrupt=0.01,dup=0.02,reorder=0.03:50ms,burst=0.05:0.3:0.5,outage=C@2s+500ms,outage=M@1s+250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Drop != 0.05 || p.Corrupt != 0.01 || p.Duplicate != 0.02 {
+		t.Fatalf("probs: %+v", p)
+	}
+	if p.Reorder != 0.03 || p.ReorderWindow != 50*time.Millisecond {
+		t.Fatalf("reorder: %+v", p)
+	}
+	if p.Burst == nil || *p.Burst != (Burst{PEnter: 0.05, PExit: 0.3, BadLoss: 0.5}) {
+		t.Fatalf("burst: %+v", p.Burst)
+	}
+	if len(p.Outages) != 2 || p.Outages[0] != (Outage{Device: "C", Start: 2 * time.Second, Duration: 500 * time.Millisecond}) {
+		t.Fatalf("outages: %+v", p.Outages)
+	}
+
+	if p, err := ParsePlan(""); err != nil || !p.IsZero() {
+		t.Fatalf("empty spec: %+v, %v", p, err)
+	}
+	if p, err := ParsePlan("burst=0.05:0.3:0.01:0.5"); err != nil || p.Burst.GoodLoss != 0.01 || p.Burst.BadLoss != 0.5 {
+		t.Fatalf("4-field burst: %+v, %v", p.Burst, err)
+	}
+
+	for _, bad := range []string{
+		"drop=1.5", "drop=x", "frob=1", "drop", "reorder=0.1:xyz",
+		"burst=0.1:0.2", "outage=C@2s", "outage=@2s+1s", "outage=C@-1s+1s", "outage=C@1s+0s",
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPlanStringRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"drop=0.05",
+		"drop=0.05,corrupt=0.01,dup=0.02,reorder=0.03:50ms,burst=0.05:0.3:0.5,outage=C@2s+500ms",
+		"burst=0.1:0.2:0.01:0.6",
+	} {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		p2, err := ParsePlan(p.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", p.String(), err)
+		}
+		// Compare rendered forms (Burst is a pointer).
+		if p.String() != p2.String() {
+			t.Fatalf("round trip: %q -> %q", p.String(), p2.String())
+		}
+	}
+	if (Plan{}).String() != "none" {
+		t.Fatal("zero plan should render as none")
+	}
+}

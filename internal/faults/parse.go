@@ -1,0 +1,162 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParsePlan parses the operator-facing fault plan mini-language used by
+// the btsim -faults flag. The spec is a comma-separated key=value list:
+//
+//	drop=0.05                 independent per-frame loss probability
+//	corrupt=0.01              CRC-failing corruption probability
+//	dup=0.01                  duplication probability
+//	reorder=0.02:50ms         reorder probability : window (window optional)
+//	burst=0.05:0.3:0.5        Gilbert–Elliott enter : exit : bad-loss
+//	burst=0.05:0.3:0.01:0.5   ... or enter : exit : good-loss : bad-loss
+//	outage=C@2s+500ms         device @ start + duration (repeatable)
+//
+// An empty spec parses to the zero plan.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("faults: %q is not key=value", field)
+		}
+		var err error
+		switch key {
+		case "drop":
+			p.Drop, err = parseProb(key, val)
+		case "corrupt":
+			p.Corrupt, err = parseProb(key, val)
+		case "dup":
+			p.Duplicate, err = parseProb(key, val)
+		case "reorder":
+			prob, window, hasWindow := strings.Cut(val, ":")
+			if p.Reorder, err = parseProb(key, prob); err == nil && hasWindow {
+				p.ReorderWindow, err = time.ParseDuration(window)
+				if err != nil {
+					err = fmt.Errorf("faults: reorder window %q: %w", window, err)
+				}
+			}
+		case "burst":
+			p.Burst, err = parseBurst(val)
+		case "outage":
+			var o Outage
+			if o, err = parseOutage(val); err == nil {
+				p.Outages = append(p.Outages, o)
+			}
+		default:
+			return Plan{}, fmt.Errorf("faults: unknown key %q (want drop, corrupt, dup, reorder, burst, outage)", key)
+		}
+		if err != nil {
+			return Plan{}, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+func parseProb(name, s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("faults: %s=%q is not a number", name, s)
+	}
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("faults: %s=%v outside [0, 1]", name, v)
+	}
+	return v, nil
+}
+
+func parseBurst(s string) (*Burst, error) {
+	parts := strings.Split(s, ":")
+	probs := make([]float64, len(parts))
+	for i, part := range parts {
+		v, err := parseProb("burst", part)
+		if err != nil {
+			return nil, err
+		}
+		probs[i] = v
+	}
+	switch len(probs) {
+	case 3:
+		return &Burst{PEnter: probs[0], PExit: probs[1], BadLoss: probs[2]}, nil
+	case 4:
+		return &Burst{PEnter: probs[0], PExit: probs[1], GoodLoss: probs[2], BadLoss: probs[3]}, nil
+	default:
+		return nil, fmt.Errorf("faults: burst=%q wants enter:exit:bad-loss or enter:exit:good-loss:bad-loss", s)
+	}
+}
+
+func parseOutage(s string) (Outage, error) {
+	device, when, ok := strings.Cut(s, "@")
+	if !ok || device == "" {
+		return Outage{}, fmt.Errorf("faults: outage=%q wants device@start+duration", s)
+	}
+	start, dur, ok := strings.Cut(when, "+")
+	if !ok {
+		return Outage{}, fmt.Errorf("faults: outage=%q wants device@start+duration", s)
+	}
+	o := Outage{Device: device}
+	var err error
+	if o.Start, err = time.ParseDuration(start); err != nil {
+		return Outage{}, fmt.Errorf("faults: outage start %q: %w", start, err)
+	}
+	if o.Duration, err = time.ParseDuration(dur); err != nil {
+		return Outage{}, fmt.Errorf("faults: outage duration %q: %w", dur, err)
+	}
+	return o, nil
+}
+
+// String renders the plan back in ParsePlan's mini-language (canonical
+// key order). The zero plan renders as "none".
+func (p Plan) String() string {
+	if p.IsZero() {
+		return "none"
+	}
+	var parts []string
+	add := func(key string, v float64) {
+		if v > 0 {
+			parts = append(parts, key+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	add("drop", p.Drop)
+	add("corrupt", p.Corrupt)
+	add("dup", p.Duplicate)
+	if p.Reorder > 0 {
+		part := "reorder=" + strconv.FormatFloat(p.Reorder, 'g', -1, 64)
+		if p.ReorderWindow > 0 {
+			part += ":" + p.ReorderWindow.String()
+		}
+		parts = append(parts, part)
+	}
+	if b := p.Burst; b != nil {
+		f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+		part := "burst=" + f(b.PEnter) + ":" + f(b.PExit)
+		if b.GoodLoss > 0 {
+			part += ":" + f(b.GoodLoss)
+		}
+		part += ":" + f(b.BadLoss)
+		parts = append(parts, part)
+	}
+	outages := append([]Outage(nil), p.Outages...)
+	sort.SliceStable(outages, func(i, j int) bool { return outages[i].Start < outages[j].Start })
+	for _, o := range outages {
+		parts = append(parts, fmt.Sprintf("outage=%s@%v+%v", o.Device, o.Start, o.Duration))
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,233 @@
+package radio
+
+import (
+	"testing"
+	"time"
+)
+
+// Outage semantics: a port detaching mid-operation must resolve every
+// in-flight callback exactly once, with the distinct outage error
+// (ErrPortDetached) rather than a generic close or a lingering timeout.
+
+func TestDetachMidPageFailsPagerOnce(t *testing.T) {
+	s, m := world(20)
+	a := newStub("aa:00:00:00:00:01", true)
+	b := newStub("aa:00:00:00:00:02", true)
+	pa := m.Attach(a)
+	m.Attach(b)
+
+	calls := 0
+	var gotErr error
+	m.Page(pa, b.info.Addr, func(l *Link, _ DeviceInfo, err error) {
+		calls++
+		gotErr = err
+		if l != nil {
+			t.Error("no link may be produced by an aborted page")
+		}
+	})
+	// The pager goes dark before any response jitter can elapse.
+	s.Schedule(time.Millisecond, func() { m.Detach(pa) })
+	s.Run(0)
+
+	if calls != 1 {
+		t.Fatalf("page callback fired %d times, want exactly 1", calls)
+	}
+	if gotErr != ErrPortDetached {
+		t.Fatalf("want ErrPortDetached, got %v", gotErr)
+	}
+}
+
+func TestDetachMidLinkClosesPeerOnceWithOutageError(t *testing.T) {
+	s, m := world(21)
+	a := newStub("aa:00:00:00:00:01", true)
+	b := newStub("aa:00:00:00:00:02", true)
+	pa := m.Attach(a)
+	m.Attach(b)
+
+	var link *Link
+	m.Page(pa, b.info.Addr, func(l *Link, _ DeviceInfo, _ error) { link = l })
+	s.Run(0)
+	if link == nil {
+		t.Fatal("no link")
+	}
+
+	m.Detach(pa)
+	s.Run(0)
+
+	if !link.Closed() {
+		t.Fatal("detach must close the link")
+	}
+	if len(b.closed) != 1 {
+		t.Fatalf("peer LinkClosed fired %d times, want exactly 1", len(b.closed))
+	}
+	if b.closed[0] != ErrPortDetached {
+		t.Fatalf("peer close reason: want ErrPortDetached, got %v", b.closed[0])
+	}
+	// The detaching side hears about its own dead links too (its
+	// controller must report them to its host), exactly once.
+	if len(a.closed) != 1 || a.closed[0] != ErrPortDetached {
+		t.Fatalf("detaching side close notifications: %v", a.closed)
+	}
+}
+
+func TestDetachMidPageTargetSideTimesOut(t *testing.T) {
+	// The *target* detaching mid-page leaves the pager to its normal page
+	// timeout — the pager cannot know the difference between a dark radio
+	// and an absent one.
+	s, m := world(22)
+	a := newStub("aa:00:00:00:00:01", true)
+	b := newStub("aa:00:00:00:00:02", true)
+	pa := m.Attach(a)
+	pb := m.Attach(b)
+
+	calls := 0
+	var gotErr error
+	m.Page(pa, b.info.Addr, func(_ *Link, _ DeviceInfo, err error) { calls++; gotErr = err })
+	s.Schedule(time.Millisecond, func() { m.Detach(pb) })
+	s.Run(0)
+
+	if calls != 1 || gotErr != ErrPageTimeout {
+		t.Fatalf("calls=%d err=%v, want one ErrPageTimeout", calls, gotErr)
+	}
+}
+
+func TestReattachRestoresReachability(t *testing.T) {
+	s, m := world(23)
+	a := newStub("aa:00:00:00:00:01", true)
+	b := newStub("aa:00:00:00:00:02", true)
+	pa := m.Attach(a)
+	pb := m.Attach(b)
+
+	m.Detach(pb)
+	var errBefore error
+	m.Page(pa, b.info.Addr, func(_ *Link, _ DeviceInfo, err error) { errBefore = err })
+	s.Run(0)
+	if errBefore != ErrPageTimeout {
+		t.Fatalf("detached port must be unreachable: %v", errBefore)
+	}
+
+	m.Reattach(pb)
+	m.Reattach(pb) // idempotent
+	var errAfter error
+	var link *Link
+	m.Page(pa, b.info.Addr, func(l *Link, _ DeviceInfo, err error) { link, errAfter = l, err })
+	s.Run(0)
+	if errAfter != nil || link == nil {
+		t.Fatalf("reattached port must be pageable again: %v", errAfter)
+	}
+}
+
+// scriptedFaults replays a fixed verdict sequence (then delivers).
+type scriptedFaults struct {
+	verdicts []FrameVerdict
+	calls    int
+}
+
+func (f *scriptedFaults) Frame() FrameVerdict {
+	f.calls++
+	if len(f.verdicts) == 0 {
+		return FrameVerdict{}
+	}
+	v := f.verdicts[0]
+	f.verdicts = f.verdicts[1:]
+	return v
+}
+
+func TestFaultModelDropCorruptDuplicateDelay(t *testing.T) {
+	s, m := world(24)
+	a := newStub("aa:00:00:00:00:01", true)
+	b := newStub("aa:00:00:00:00:02", true)
+	pa := m.Attach(a)
+	m.Attach(b)
+
+	var link *Link
+	m.Page(pa, b.info.Addr, func(l *Link, _ DeviceInfo, _ error) { link = l })
+	s.Run(0)
+	if link == nil {
+		t.Fatal("no link")
+	}
+
+	fm := &scriptedFaults{verdicts: []FrameVerdict{
+		{Drop: true},
+		{Corrupt: true},
+		{Duplicate: true},
+		{Delay: 50 * time.Millisecond},
+		{},
+	}}
+	m.SetFaultModel(fm)
+
+	link.Send(pa, "dropped")
+	link.Send(pa, "corrupted")
+	link.Send(pa, "duplicated")
+	link.Send(pa, "delayed")
+	link.Send(pa, "overtaker")
+	s.Run(0)
+
+	// All five frames leave at the same instant: the duplicate's second
+	// copy lands one propagation delay after the first, so the overtaker
+	// (plain delivery) slots between them; the delayed frame arrives last.
+	want := []any{"duplicated", "overtaker", "duplicated", "delayed"}
+	if len(b.data) != len(want) {
+		t.Fatalf("delivered %v, want %v", b.data, want)
+	}
+	for i := range want {
+		if b.data[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", b.data, want)
+		}
+	}
+	if fm.calls != 5 {
+		t.Fatalf("fault model consulted %d times, want once per frame", fm.calls)
+	}
+}
+
+// blackoutFaults drops every frame, forever.
+type blackoutFaults struct{ calls int }
+
+func (f *blackoutFaults) Frame() FrameVerdict {
+	f.calls++
+	return FrameVerdict{Drop: true}
+}
+
+func TestFaultModelLosesPageFrames(t *testing.T) {
+	// Total loss: every repeated page train is eaten, so the pager must
+	// still time out even though the target is scanning.
+	s, m := world(25)
+	a := newStub("aa:00:00:00:00:01", true)
+	b := newStub("aa:00:00:00:00:02", true)
+	pa := m.Attach(a)
+	m.Attach(b)
+	fm := &blackoutFaults{}
+	m.SetFaultModel(fm)
+
+	var gotErr error
+	m.Page(pa, b.info.Addr, func(_ *Link, _ DeviceInfo, err error) { gotErr = err })
+	s.Run(0)
+	if gotErr != ErrPageTimeout {
+		t.Fatalf("want page timeout under total loss, got %v", gotErr)
+	}
+	// The page train repeated across the timeout window (5120 ms at one
+	// train per 640 ms), not just once.
+	if fm.calls < 8 {
+		t.Fatalf("page train consulted the channel %d times, want the full repeating train", fm.calls)
+	}
+}
+
+func TestPageRetrainsThroughLoss(t *testing.T) {
+	// The first train and the first response are both lost; the repeating
+	// train still lands the page inside the timeout window — loss delays
+	// the page instead of killing it.
+	s, m := world(26)
+	a := newStub("aa:00:00:00:00:01", true)
+	b := newStub("aa:00:00:00:00:02", true)
+	pa := m.Attach(a)
+	m.Attach(b)
+	m.SetFaultModel(&scriptedFaults{verdicts: []FrameVerdict{{Drop: true}, {Drop: true}}})
+
+	var link *Link
+	var gotErr error
+	m.Page(pa, b.info.Addr, func(l *Link, _ DeviceInfo, err error) { link, gotErr = l, err })
+	s.Run(0)
+	if gotErr != nil || link == nil {
+		t.Fatalf("page must survive early train loss via retraining: link=%v err=%v", link, gotErr)
+	}
+}

@@ -29,6 +29,13 @@ type Config struct {
 	ResponseJitterMax time.Duration
 	// PageTimeout is how long a pager waits for any response.
 	PageTimeout time.Duration
+	// PageRetrainInterval is how soon the pager's repeating page train
+	// reaches the scanner again after a train (or its response) was lost
+	// on the air. Real paging repeats trains for the whole page-timeout
+	// window, so a lossy channel delays — rather than kills — the page.
+	// Only consulted when a fault model is installed: on a clean channel
+	// the first train always lands.
+	PageRetrainInterval time.Duration
 	// InquiryUnit is the duration of one inquiry-length unit (1.28 s).
 	InquiryUnit time.Duration
 }
@@ -37,11 +44,12 @@ type Config struct {
 // experiments.
 func DefaultConfig() Config {
 	return Config{
-		PropagationDelay:  100 * time.Microsecond,
-		ResponseJitterMin: 10 * time.Millisecond,
-		ResponseJitterMax: 40 * time.Millisecond,
-		PageTimeout:       5120 * time.Millisecond,
-		InquiryUnit:       1280 * time.Millisecond,
+		PropagationDelay:    100 * time.Microsecond,
+		ResponseJitterMin:   10 * time.Millisecond,
+		ResponseJitterMax:   40 * time.Millisecond,
+		PageTimeout:         5120 * time.Millisecond,
+		PageRetrainInterval: 640 * time.Millisecond,
+		InquiryUnit:         1280 * time.Millisecond,
 	}
 }
 
@@ -75,6 +83,50 @@ type Receiver interface {
 	LinkClosed(l *Link, reason error)
 }
 
+// FrameVerdict is a fault model's decision for one transmitted frame.
+// The zero value delivers the frame normally.
+type FrameVerdict struct {
+	// Drop loses the frame outright (collision, fade).
+	Drop bool
+	// Corrupt flips payload bits in flight; the receiving baseband's CRC
+	// check fails and the frame is discarded. Indistinguishable from Drop
+	// at the LMP layer, but counted separately by injectors.
+	Corrupt bool
+	// Duplicate delivers the frame a second time one propagation delay
+	// after the first copy.
+	Duplicate bool
+	// Delay holds the frame back by this much extra flight time, letting
+	// later frames overtake it (bounded reordering).
+	Delay time.Duration
+}
+
+// Lost reports whether the frame never reaches the peer's LMP layer.
+func (v FrameVerdict) Lost() bool { return v.Drop || v.Corrupt }
+
+// FaultModel decides the fate of each frame on the medium. Implementations
+// must be deterministic given the scheduler's RNG (see internal/faults);
+// Frame is called once per transmission attempt, in scheduling order.
+type FaultModel interface {
+	Frame() FrameVerdict
+}
+
+// SetFaultModel installs a fault model consulted for every link frame,
+// page frame, and inquiry response. A nil model (the default) is a perfect
+// channel and costs nothing — no RNG draws, no extra events — so runs
+// without faults are bit-identical to builds before fault injection
+// existed.
+func (m *Medium) SetFaultModel(fm FaultModel) { m.faults = fm }
+
+// lost consults the fault model for frames where only loss matters
+// (page and inquiry handshakes, where duplication and reordering have no
+// observable effect at this abstraction level).
+func (m *Medium) lost() bool {
+	if m.faults == nil {
+		return false
+	}
+	return m.faults.Frame().Lost()
+}
+
 // SniffedFrame is one over-the-air frame as seen by a passive sniffer:
 // source and destination identity plus the payload (an LMP PDU or
 // encrypted ACL frame). Air sniffers see everything the baseband carries —
@@ -93,6 +145,8 @@ type Medium struct {
 	cfg      Config
 	ports    []*Port
 	sniffers []func(SniffedFrame)
+	faults   FaultModel
+	pages    []*pageOp
 }
 
 // Sniff registers a passive air sniffer observing every link frame at
@@ -105,6 +159,11 @@ func (m *Medium) Sniff(fn func(SniffedFrame)) {
 func NewMedium(s *sim.Scheduler, cfg Config) *Medium {
 	if cfg.ResponseJitterMax < cfg.ResponseJitterMin {
 		cfg.ResponseJitterMax = cfg.ResponseJitterMin
+	}
+	if cfg.PageRetrainInterval <= 0 {
+		// A zero interval would respin lost trains at the same virtual
+		// instant forever; fall back to the default cadence.
+		cfg.PageRetrainInterval = 640 * time.Millisecond
 	}
 	return &Medium{sched: s, cfg: cfg}
 }
@@ -119,7 +178,13 @@ func (m *Medium) Attach(r Receiver) *Port {
 	return p
 }
 
-// Detach removes a port from the medium; its links are closed.
+// Detach removes a port from the medium, modelling the radio going dark
+// (powered off, out of range, or an injected outage). Its links are closed
+// with ErrPortDetached — on both sides: the peer observes LinkClosed with
+// the outage reason, and the detaching receiver itself is notified so its
+// controller can report the dead connections to its host. Any page the
+// port initiated fails immediately with ErrPortDetached instead of
+// lingering until the page timeout. Each callback fires exactly once.
 func (m *Medium) Detach(p *Port) {
 	for i, q := range m.ports {
 		if q == p {
@@ -128,8 +193,28 @@ func (m *Medium) Detach(p *Port) {
 		}
 	}
 	for _, l := range append([]*Link(nil), p.links...) {
-		l.close(p, ErrLinkClosed)
+		l.close(p, ErrPortDetached)
+		p.recv.LinkClosed(l, ErrPortDetached)
 	}
+	for _, op := range append([]*pageOp(nil), m.pages...) {
+		if op.from == p {
+			m.finishPage(op, nil, DeviceInfo{}, ErrPortDetached)
+		}
+	}
+}
+
+// Reattach restores a previously detached port to the medium, modelling
+// the radio coming back after an outage. Links do not survive the outage;
+// the port simply becomes reachable again. Reattaching an attached port
+// is a no-op.
+func (m *Medium) Reattach(p *Port) {
+	if p.medium != m {
+		panic("radio: Reattach of a port from another medium")
+	}
+	if p.attached() {
+		return
+	}
+	m.ports = append(m.ports, p)
 }
 
 // Port is one radio attached to the medium.
@@ -174,6 +259,9 @@ func (m *Medium) StartInquiry(from *Port, duration time.Duration, onResult func(
 			if m.sched.Now()+m.cfg.PropagationDelay > deadline {
 				return
 			}
+			if m.lost() { // inquiry response lost on the air
+				return
+			}
 			res := InquiryResult{Info: p.recv.Info(), ClockOffset: uint16(m.sched.Rand().Intn(0x8000))}
 			m.sched.Schedule(m.cfg.PropagationDelay, func() { onResult(res) })
 		})
@@ -198,15 +286,10 @@ func (p *Port) attached() bool {
 // the FHS/poll exchange continues. cb receives the established link or
 // ErrPageTimeout.
 func (m *Medium) Page(from *Port, target bt.BDADDR, cb func(*Link, DeviceInfo, error)) {
-	won := false
-	timedOut := false
-
-	timeout := m.sched.Schedule(m.cfg.PageTimeout, func() {
-		if won {
-			return
-		}
-		timedOut = true
-		cb(nil, DeviceInfo{}, ErrPageTimeout)
+	op := &pageOp{from: from, cb: cb}
+	m.pages = append(m.pages, op)
+	op.timeout = m.sched.Schedule(m.cfg.PageTimeout, func() {
+		m.finishPage(op, nil, DeviceInfo{}, ErrPageTimeout)
 	})
 
 	fromInfo := from.recv.Info()
@@ -216,8 +299,9 @@ func (m *Medium) Page(from *Port, target bt.BDADDR, cb func(*Link, DeviceInfo, e
 		}
 		p := p
 		arrival := m.cfg.PropagationDelay
-		m.sched.Schedule(arrival, func() {
-			if won || timedOut || !p.attached() {
+		var train func()
+		train = func() {
+			if op.done || !p.attached() {
 				return
 			}
 			if !p.recv.PageScanEnabled() || p.recv.Info().Addr != target {
@@ -226,22 +310,55 @@ func (m *Medium) Page(from *Port, target bt.BDADDR, cb func(*Link, DeviceInfo, e
 			if !p.recv.AcceptPage(fromInfo) {
 				return
 			}
+			if m.lost() { // this train lost on the air; the next one repeats
+				m.sched.Schedule(m.cfg.PageRetrainInterval, train)
+				return
+			}
 			respDelay := m.sched.JitterRange(m.cfg.ResponseJitterMin, m.cfg.ResponseJitterMax) + m.cfg.PropagationDelay
 			m.sched.Schedule(respDelay, func() {
-				if won || timedOut || !p.attached() || !from.attached() {
+				if op.done || !p.attached() || !from.attached() {
+					return
+				}
+				if m.lost() { // response lost; the page train keeps repeating
+					m.sched.Schedule(m.cfg.PageRetrainInterval, train)
 					return
 				}
 				// First response to arrive establishes the link; later
 				// responders for transaction txn are silently dropped.
-				won = true
-				m.sched.Cancel(timeout)
 				l := m.link(from, p)
 				peerInfo := p.recv.Info()
 				p.recv.LinkEstablished(l, fromInfo)
-				cb(l, peerInfo, nil)
+				m.finishPage(op, l, peerInfo, nil)
 			})
-		})
+		}
+		m.sched.Schedule(arrival, train)
 	}
+}
+
+// pageOp tracks one in-flight page so it resolves exactly once: by the
+// winning response, by the page timeout, or by the pager detaching.
+type pageOp struct {
+	from    *Port
+	done    bool
+	timeout *sim.Event
+	cb      func(*Link, DeviceInfo, error)
+}
+
+// finishPage resolves a page operation, untracking it and cancelling its
+// timeout. Calls after the first are no-ops.
+func (m *Medium) finishPage(op *pageOp, l *Link, peer DeviceInfo, err error) {
+	if op.done {
+		return
+	}
+	op.done = true
+	m.sched.Cancel(op.timeout)
+	for i, q := range m.pages {
+		if q == op {
+			m.pages = append(m.pages[:i], m.pages[i+1:]...)
+			break
+		}
+	}
+	op.cb(l, peer, err)
 }
 
 func (m *Medium) link(a, b *Port) *Link {
@@ -269,7 +386,11 @@ func (l *Link) Peer(p *Port) *Port {
 // Closed reports whether the link has been torn down.
 func (l *Link) Closed() bool { return l.closed }
 
-// Send delivers payload to the peer of from after the propagation delay.
+// Send delivers payload to the peer of from after the propagation delay,
+// subject to the medium's fault model: a frame may be dropped, corrupted
+// (CRC fail at the receiver — equivalent to a drop), duplicated, or
+// delayed past later frames. Sniffers observe the transmission itself, so
+// a dropped frame is still on the air (loss happens at the receiver).
 // Frames in flight when the link closes are dropped.
 func (l *Link) Send(from *Port, payload any) {
 	if l.closed {
@@ -284,12 +405,26 @@ func (l *Link) Send(from *Port, payload any) {
 			Payload: payload,
 		})
 	}
-	l.medium.sched.Schedule(l.medium.cfg.PropagationDelay, func() {
+	delay := l.medium.cfg.PropagationDelay
+	duplicate := false
+	if fm := l.medium.faults; fm != nil {
+		v := fm.Frame()
+		if v.Lost() {
+			return
+		}
+		delay += v.Delay
+		duplicate = v.Duplicate
+	}
+	deliver := func() {
 		if l.closed || !peer.attached() {
 			return
 		}
 		peer.recv.LinkData(l, payload)
-	})
+	}
+	l.medium.sched.Schedule(delay, deliver)
+	if duplicate {
+		l.medium.sched.Schedule(delay+l.medium.cfg.PropagationDelay, deliver)
+	}
 }
 
 // Close tears the link down; the peer observes LinkClosed with reason.

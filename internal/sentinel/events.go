@@ -42,7 +42,11 @@ type Event struct {
 	Records  int    `json:"records,omitempty"`
 	Bytes    int64  `json:"bytes,omitempty"`
 	Findings uint64 `json:"findings,omitempty"`
-	Error    string `json:"error,omitempty"`
+	// EventsDropped counts this stream's events lost to the per-write
+	// deadline before the end line was written: nonzero means the event
+	// consumer stalled and the JSONL record is incomplete.
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
+	Error         string `json:"error,omitempty"`
 }
 
 // Event types.

@@ -23,6 +23,7 @@ type metrics struct {
 	records         atomic.Uint64
 	bytes           atomic.Uint64
 	events          atomic.Uint64
+	eventsDropped   atomic.Uint64
 
 	pktCommand atomic.Uint64
 	pktEvent   atomic.Uint64
@@ -100,6 +101,9 @@ type MetricsSnapshot struct {
 	BytesPerSec   float64 `json:"bytes_per_sec"`
 	RecordsPerSec float64 `json:"records_per_sec"`
 	EventsEmitted uint64  `json:"events_emitted"`
+	// EventsDropped counts JSONL events lost to the per-write deadline —
+	// the operator's signal that the event consumer is stalled.
+	EventsDropped uint64 `json:"events_dropped"`
 
 	Packets      map[string]uint64 `json:"packets"`
 	FindingsKind map[string]uint64 `json:"findings_by_kind"`
@@ -122,6 +126,7 @@ func (s *Server) Snapshot() MetricsSnapshot {
 		Records:         m.records.Load(),
 		Bytes:           m.bytes.Load(),
 		EventsEmitted:   m.events.Load(),
+		EventsDropped:   m.eventsDropped.Load(),
 		Packets: map[string]uint64{
 			"command": m.pktCommand.Load(),
 			"event":   m.pktEvent.Load(),

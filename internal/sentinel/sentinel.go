@@ -12,12 +12,14 @@
 //
 // Memory is bounded by design, not by luck: each connection owns one
 // snoop.Scanner (a single reused payload buffer, ≤1 MiB per record) and
-// one Detector; the JSONL output is written synchronously under a lock,
-// so a slow event consumer exerts backpressure through the scanner into
-// the kernel socket buffer instead of queueing events on the heap; and
-// MaxStreams caps the number of simultaneous connections. Peak memory is
-// O(MaxStreams × scanner buffer), independent of stream length — the
-// same discipline as the PR 2 batch pipeline's bounded window.
+// one Detector; JSONL events flow through a single bounded queue drained
+// by one writer goroutine, and an enqueue that cannot progress within
+// WriteTimeout drops the event (counted in events_dropped and surfaced
+// on the stream-end line) instead of stalling ingestion — a wedged event
+// consumer costs events, never detection; and MaxStreams caps the number
+// of simultaneous connections. Peak memory is O(MaxStreams × scanner
+// buffer + EventBuffer), independent of stream length — the same
+// discipline as the PR 2 batch pipeline's bounded window.
 //
 // Failure is classified, not swallowed: a stream that ends on a record
 // boundary is "clean", one that dies mid-record is "truncated" (with the
@@ -66,6 +68,15 @@ type Config struct {
 
 	// Output receives the JSONL event stream. Default io.Discard.
 	Output io.Writer
+	// WriteTimeout is the per-write deadline on the JSONL event path:
+	// when the event queue is full and stays full this long, the event is
+	// dropped (and counted) rather than blocking ingestion on a wedged
+	// consumer. Default 5s; <0 blocks forever (the pre-deadline
+	// backpressure behavior).
+	WriteTimeout time.Duration
+	// EventBuffer is the bounded event queue capacity between ingestion
+	// and the writer goroutine. Default 256.
+	EventBuffer int
 
 	// OnStreamEnd, when set, observes every finished stream — the hook
 	// tests and benchmarks use to wait for completion.
@@ -82,6 +93,12 @@ func (c *Config) defaults() {
 	if c.Output == nil {
 		c.Output = io.Discard
 	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 256
+	}
 }
 
 // StreamSummary describes one completed ingestion stream.
@@ -96,7 +113,11 @@ type StreamSummary struct {
 	Status string
 	// Offset is the byte position where the stream ended or died.
 	Offset int64
-	Err    error
+	// EventsDropped counts this stream's JSONL events lost to the
+	// per-write deadline — nonzero means the event consumer stalled and
+	// the emitted record is incomplete (detection itself never stalls).
+	EventsDropped uint64
+	Err           error
 }
 
 // streamState is the live bookkeeping for one in-flight stream.
@@ -107,6 +128,7 @@ type streamState struct {
 	records      atomic.Uint64
 	bytes        atomic.Int64
 	findings     atomic.Uint64
+	dropped      atomic.Uint64
 	lastActive   atomic.Int64 // unix nanos of the last ingested record
 }
 
@@ -115,7 +137,10 @@ type Server struct {
 	cfg     Config
 	metrics *metrics
 
-	outMu sync.Mutex // serializes JSONL lines on cfg.Output
+	// events is the bounded queue between ingestion and the single
+	// writer goroutine; writerDone closes when the writer drains out.
+	events     chan outLine
+	writerDone chan struct{}
 
 	lns     []net.Listener
 	httpLn  net.Listener
@@ -133,14 +158,41 @@ type Server struct {
 	started  bool
 }
 
-// New returns an unstarted Server.
+// outLine is one unit on the event queue: a marshaled JSONL line, or a
+// flush token (data nil) whose channel the writer closes once every line
+// queued before it has been written.
+type outLine struct {
+	data  []byte
+	flush chan struct{}
+}
+
+// New returns an unstarted Server. The event writer goroutine runs from
+// New so reader-fed Ingest works without Start; Shutdown retires it.
 func New(cfg Config) *Server {
 	cfg.defaults()
-	return &Server{
-		cfg:     cfg,
-		metrics: newMetrics(),
-		streams: make(map[uint64]*streamState),
-		sem:     make(chan struct{}, cfg.MaxStreams),
+	s := &Server{
+		cfg:        cfg,
+		metrics:    newMetrics(),
+		streams:    make(map[uint64]*streamState),
+		sem:        make(chan struct{}, cfg.MaxStreams),
+		events:     make(chan outLine, cfg.EventBuffer),
+		writerDone: make(chan struct{}),
+	}
+	go s.writeLoop()
+	return s
+}
+
+// writeLoop is the single consumer of the event queue; it exits when
+// Shutdown closes the queue.
+func (s *Server) writeLoop() {
+	defer close(s.writerDone)
+	for l := range s.events {
+		if l.flush != nil {
+			close(l.flush)
+			continue
+		}
+		_, _ = s.cfg.Output.Write(l.data)
+		s.metrics.events.Add(1)
 	}
 }
 
@@ -235,7 +287,7 @@ func (s *Server) acceptLoop(ln net.Listener, proto string) {
 			case s.sem <- struct{}{}:
 			default:
 				s.metrics.streamsRejected.Add(1)
-				s.emit(Event{
+				s.emit(nil, Event{
 					Type: EventStreamRejected, Stream: s.nextID.Add(1),
 					Proto: proto, Label: label,
 					Error: fmt.Sprintf("stream cap %d reached", s.cfg.MaxStreams),
@@ -264,6 +316,10 @@ func (s *Server) acceptLoop(ln net.Listener, proto string) {
 func (s *Server) Ingest(proto, label string, r io.Reader) StreamSummary {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
+	// Join the stream group so Shutdown cannot retire the event writer
+	// out from under a reader-fed stream.
+	s.streamWg.Add(1)
+	defer s.streamWg.Done()
 	st := &streamState{id: s.nextID.Add(1), proto: proto, label: label}
 	return s.ingest(st, r)
 }
@@ -284,7 +340,7 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 		s.metrics.streamsActive.Add(-1)
 	}()
 
-	s.emit(Event{Type: EventStreamStart, Stream: st.id, Proto: st.proto, Label: st.label})
+	s.emit(st, Event{Type: EventStreamStart, Stream: st.id, Proto: st.proto, Label: st.label})
 
 	sc := snoop.NewScanner(r)
 	det := forensics.NewDetector()
@@ -303,7 +359,7 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 		for _, ev := range det.Drain() {
 			st.findings.Add(1)
 			s.metrics.countFinding(ev.Finding.Kind)
-			s.emit(findingEvent(st.id, ev))
+			s.emit(st, findingEvent(st.id, ev))
 		}
 	}
 
@@ -323,30 +379,82 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 		Type: EventStreamEnd, Stream: st.id, Proto: st.proto, Label: st.label,
 		Status: status, Offset: sum.Offset,
 		Records: sum.Records, Bytes: sum.Bytes, Findings: sum.Findings,
+		EventsDropped: st.dropped.Load(),
 	}
 	if err != nil {
 		end.Error = err.Error()
 	}
-	s.emit(end)
+	s.emit(st, end)
+	// Flush before OnStreamEnd so observers (tests, benchmarks) read a
+	// complete JSONL stream; the dropped total then includes an end event
+	// the deadline may have eaten.
+	s.flushEvents()
+	sum.EventsDropped = st.dropped.Load()
 	if s.cfg.OnStreamEnd != nil {
 		s.cfg.OnStreamEnd(sum)
 	}
 	return sum
 }
 
-// emit writes one JSONL event. The lock makes lines atomic across
-// streams; the synchronous write is the backpressure point (see the
-// package comment).
-func (s *Server) emit(ev Event) {
+// emit queues one JSONL event under the per-write deadline. st (nil for
+// rejection events) receives the per-stream dropped count when the
+// deadline expires.
+func (s *Server) emit(st *streamState, ev Event) {
 	line, err := json.Marshal(ev)
 	if err != nil {
 		return // Event marshals by construction; defensive only
 	}
-	line = append(line, '\n')
-	s.outMu.Lock()
-	_, _ = s.cfg.Output.Write(line)
-	s.outMu.Unlock()
-	s.metrics.events.Add(1)
+	if !s.enqueue(outLine{data: append(line, '\n')}) {
+		s.metrics.eventsDropped.Add(1)
+		if st != nil {
+			st.dropped.Add(1)
+		}
+	}
+}
+
+// enqueue places one line (or flush token) on the event queue, waiting
+// at most WriteTimeout when the queue is full. Reports whether the line
+// was accepted.
+func (s *Server) enqueue(l outLine) bool {
+	select {
+	case s.events <- l:
+		return true
+	default:
+	}
+	if s.cfg.WriteTimeout < 0 { // unbounded: classic backpressure
+		s.events <- l
+		return true
+	}
+	t := time.NewTimer(s.cfg.WriteTimeout)
+	defer t.Stop()
+	select {
+	case s.events <- l:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// flushEvents waits (bounded by WriteTimeout) until every event queued
+// so far has reached cfg.Output, so OnStreamEnd observers read a
+// complete event stream. Reports whether the flush completed.
+func (s *Server) flushEvents() bool {
+	done := make(chan struct{})
+	if !s.enqueue(outLine{flush: done}) {
+		return false
+	}
+	if s.cfg.WriteTimeout < 0 {
+		<-done
+		return true
+	}
+	t := time.NewTimer(s.cfg.WriteTimeout)
+	defer t.Stop()
+	select {
+	case <-done:
+		return true
+	case <-t.C:
+		return false
+	}
 }
 
 // Shutdown drains the server: stop accepting, let in-flight streams
@@ -381,6 +489,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.acceptWg.Wait()
+	// All emitters are gone; retire the writer. A consumer wedged in
+	// Write keeps the writer alive — bound the wait on ctx instead of
+	// hanging Shutdown on it.
+	close(s.events)
+	select {
+	case <-s.writerDone:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
 	if s.cfg.UnixAddr != "" {
 		_ = os.Remove(s.cfg.UnixAddr)
 	}

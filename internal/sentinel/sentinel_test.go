@@ -428,3 +428,84 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 	}
 	t.Fatalf("timed out waiting for %s", what)
 }
+
+// wedgedWriter accepts writes until a trigger count, then blocks forever
+// (until released) — a stand-in for an event consumer that stops reading.
+type wedgedWriter struct {
+	mu      sync.Mutex
+	writes  int
+	wedgeAt int
+	release chan struct{}
+}
+
+func (w *wedgedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	w.writes++
+	wedged := w.writes > w.wedgeAt
+	w.mu.Unlock()
+	if wedged {
+		<-w.release
+	}
+	return len(p), nil
+}
+
+// A wedged event consumer must cost events — counted per stream and
+// daemon-wide — but never stall ingestion or Shutdown.
+func TestWedgedEventConsumerDropsEventsNotIngestion(t *testing.T) {
+	w := &wedgedWriter{wedgeAt: 1, release: make(chan struct{})}
+	defer close(w.release)
+	srv := New(Config{
+		Output:       w,
+		WriteTimeout: 50 * time.Millisecond,
+		EventBuffer:  2,
+	})
+
+	data := synthCapture(t, 5000, 3)
+	start := time.Now()
+	sum := srv.Ingest("reader", "wedged", bytes.NewReader(data))
+	elapsed := time.Since(start)
+
+	if sum.Status != StatusClean || sum.Records != 5000 {
+		t.Fatalf("ingestion must complete despite the wedged consumer: %+v", sum)
+	}
+	if sum.EventsDropped == 0 {
+		t.Fatal("a wedged consumer must surface dropped events in the stream summary")
+	}
+	if snap := srv.Snapshot(); snap.EventsDropped == 0 {
+		t.Fatalf("events_dropped missing from /metrics snapshot: %+v", snap)
+	}
+	// The whole ingest must be bounded by a handful of write deadlines,
+	// not by one deadline per emitted event.
+	if elapsed > 5*time.Second {
+		t.Fatalf("ingestion stalled behind the wedged consumer: %v", elapsed)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx) // must return (bounded by ctx), not hang on the writer
+}
+
+// With a live consumer, the per-write deadline path must not drop
+// anything, and the stream-end line must carry events_dropped: 0.
+func TestHealthyConsumerDropsNothing(t *testing.T) {
+	var out syncBuffer
+	srv := New(Config{Output: &out, WriteTimeout: time.Second, EventBuffer: 4})
+	data := synthCapture(t, 2000, 4)
+	sum := srv.Ingest("reader", "healthy", bytes.NewReader(data))
+	if sum.EventsDropped != 0 {
+		t.Fatalf("healthy consumer dropped events: %+v", sum)
+	}
+	evs := parseEvents(t, out.Lines())
+	var end *Event
+	for i := range evs {
+		if evs[i].Type == EventStreamEnd {
+			end = &evs[i]
+		}
+	}
+	if end == nil {
+		t.Fatal("no stream-end event")
+	}
+	if end.EventsDropped != 0 {
+		t.Fatalf("stream-end reports dropped events on a healthy consumer: %+v", end)
+	}
+}

@@ -27,8 +27,25 @@ fi
 # /metrics + /healthz probed).
 go run ./cmd/blapd -smoke
 
-# The committed bench JSONs must stay well-formed.
-for bj in BENCH_pr2.json BENCH_pr3.json; do
+# Chaos smoke: the same seed and fault plan must reproduce the capture
+# byte for byte, and blapd must still flag the degraded-channel attack
+# (exit 3 == findings present).
+chaos_dir=$(mktemp -d)
+trap 'rm -rf "$chaos_dir"' EXIT
+go run ./cmd/btsim -scenario flaky-extraction -seed 7 -o "$chaos_dir/a"
+go run ./cmd/btsim -scenario flaky-extraction -seed 7 -o "$chaos_dir/b"
+cmp "$chaos_dir/a/flaky-extraction_C.btsnoop" "$chaos_dir/b/flaky-extraction_C.btsnoop"
+cmp "$chaos_dir/a/flaky-extraction_A.btsnoop" "$chaos_dir/b/flaky-extraction_A.btsnoop"
+# go run swallows the child's exit code (it reports 1 and prints
+# "exit status 3"), so the exit-3 contract needs the built binary.
+go build -o "$chaos_dir/blapd" ./cmd/blapd
+rc=0
+"$chaos_dir/blapd" -stdin < "$chaos_dir/a/flaky-extraction_C.btsnoop" || rc=$?
+[ "$rc" -eq 3 ]
+
+# The committed bench JSONs must stay well-formed (the pr4 check also
+# enforces the degraded-sweep acceptance criteria).
+for bj in BENCH_pr2.json BENCH_pr3.json BENCH_pr4.json; do
     if [ -f "$bj" ]; then
         go run ./cmd/benchtables -checkjson "$bj"
     fi
