@@ -2,10 +2,13 @@
 // streams over TCP and Unix sockets, runs the incremental forensic
 // detector on each connection as bytes arrive, and emits findings as
 // JSONL events on stdout the moment they are detected — not at EOF.
-// An HTTP endpoint serves /metrics (JSON counters, per-stream lag) and
-// /healthz (503 once draining).
+// An HTTP endpoint serves /metrics (JSON counters, per-stream lag, and
+// ingest/detect latency histograms with p50/p90/p99 — per stream and
+// aggregate, plus scan/push/drain/emit stage timings), /healthz (503
+// once draining), and — with -pprof — the standard /debug/pprof mux.
 //
 //	blapd -tcp 127.0.0.1:9011 -http 127.0.0.1:9012
+//	blapd -tcp 127.0.0.1:9011 -http 127.0.0.1:9012 -pprof   # + /debug/pprof
 //	blapd -unix /run/blapd.sock
 //	blapd -stdin < capture.btsnoop        # one-shot; exit 3 on findings
 //	blapd -send capture.btsnoop -tcp host:9011   # stream a file to a daemon
@@ -44,6 +47,7 @@ func main() {
 		maxStreams   = flag.Int("max-streams", 64, "max concurrent ingestion streams; excess connections are rejected")
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "per-read idle deadline on ingestion sockets (0 = default, negative disables)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight streams on shutdown")
+		pprofFlag    = flag.Bool("pprof", false, "expose /debug/pprof profiling handlers on the -http address")
 		stdin        = flag.Bool("stdin", false, "one-shot: ingest a single capture from stdin and exit (3 if findings)")
 		send         = flag.String("send", "", "client mode: stream the given capture file to a running daemon at -tcp or -unix")
 		smoke        = flag.Bool("smoke", false, "self-contained end-to-end check on ephemeral sockets; exit 0/1")
@@ -71,12 +75,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "blapd: no ingestion listener; set -tcp and/or -unix (or use -stdin/-send/-smoke)")
 			os.Exit(2)
 		}
+		if *pprofFlag && *httpAddr == "" {
+			fmt.Fprintln(os.Stderr, "blapd: -pprof needs -http")
+			os.Exit(2)
+		}
 		if err := runDaemon(sentinel.Config{
 			TCPAddr:     *tcpAddr,
 			UnixAddr:    *unixAddr,
 			HTTPAddr:    *httpAddr,
 			MaxStreams:  *maxStreams,
 			ReadTimeout: *readTimeout,
+			EnablePprof: *pprofFlag,
 			Output:      os.Stdout,
 		}, *drainTimeout); err != nil {
 			fail(err)

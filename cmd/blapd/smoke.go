@@ -44,6 +44,7 @@ func runSmoke(log io.Writer) error {
 	s := sentinel.New(sentinel.Config{
 		UnixAddr:    sock,
 		HTTPAddr:    "127.0.0.1:0",
+		EnablePprof: true,
 		Output:      &events,
 		OnStreamEnd: func(sum sentinel.StreamSummary) { done <- sum },
 	})
@@ -115,6 +116,20 @@ func runSmoke(log io.Writer) error {
 	if snap.Records != records || snap.StreamsTotal != 1 {
 		return fmt.Errorf("metrics inconsistent: %+v", snap)
 	}
+	// The PR 5 observability contract: /metrics must carry populated
+	// latency histograms — sampled ingest timing, one detect observation
+	// per finding, and the scan/push/drain/emit stage breakdown.
+	if snap.IngestLatency.Count == 0 {
+		return fmt.Errorf("ingest latency histogram empty: %+v", snap.IngestLatency)
+	}
+	if snap.DetectLatency.Count != uint64(len(live)) {
+		return fmt.Errorf("detect latency observed %d findings, want %d", snap.DetectLatency.Count, len(live))
+	}
+	for _, stage := range []string{"scan", "push", "drain", "emit"} {
+		if snap.Stages[stage].Count == 0 {
+			return fmt.Errorf("stage %q histogram empty: %+v", stage, snap.Stages)
+		}
+	}
 	hresp, err := http.Get("http://" + s.HTTPAddr() + "/healthz")
 	if err != nil {
 		return fmt.Errorf("/healthz: %w", err)
@@ -123,8 +138,21 @@ func runSmoke(log io.Writer) error {
 	if hresp.StatusCode != http.StatusOK {
 		return fmt.Errorf("/healthz returned %d", hresp.StatusCode)
 	}
+	// pprof was opted in above, so the profiling mux must answer.
+	presp, err := http.Get("http://" + s.HTTPAddr() + "/debug/pprof/cmdline")
+	if err != nil {
+		return fmt.Errorf("/debug/pprof/cmdline: %w", err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/pprof/cmdline returned %d", presp.StatusCode)
+	}
 
-	fmt.Fprintf(log, "blapd smoke: %d records, %d live findings == batch, metrics/healthz ok\n",
-		records, len(live))
+	fmt.Fprintf(log, "blapd smoke: %d records, %d live findings == batch, ingest p99 %s, detect p99 %s, metrics/healthz/pprof ok\n",
+		records, len(live), usStr(snap.IngestLatency.P99US), usStr(snap.DetectLatency.P99US))
 	return nil
+}
+
+func usStr(us float64) string {
+	return time.Duration(us * 1e3).Round(time.Microsecond).String()
 }

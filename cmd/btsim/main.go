@@ -18,12 +18,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/faults"
@@ -35,6 +37,8 @@ func main() {
 		out      = flag.String("o", ".", "output directory for capture files")
 		seed     = flag.Int64("seed", 1, "random seed")
 		faultStr = flag.String("faults", "", "deterministic fault plan, e.g. 'drop=0.05,burst=0.02:0.25:0.6,outage=C@2s+500ms'")
+		repeat   = flag.Int("repeat", 1, "run the scenario this many times as a deterministic campaign (no capture files), with live progress on stderr")
+		workers  = flag.Int("workers", 0, "campaign workers for -repeat (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -56,6 +60,13 @@ func main() {
 		}
 		action = "extraction"
 		fmt.Printf("fault plan: %s\n", plan)
+	}
+
+	if *repeat > 1 {
+		if err := runRepeated(action, plan, *seed, *repeat, *workers); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -142,6 +153,112 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("wrote %s (%d bytes)\n", path, len(tb.C.USB.Raw()))
+	}
+}
+
+// runRepeated runs the scenario as a deterministic campaign: one
+// hermetic testbed per trial seeded from the trial index, channel
+// faults retried like the degraded-channel sweeps, and the engine's
+// progress telemetry (trials/sec, retry count, ETA) reported live on
+// stderr — the operator's view into a long sweep that single-run btsim
+// never had. Capture files are not written; the output is the outcome
+// tally.
+func runRepeated(action string, plan faults.Plan, seed int64, n, workers int) error {
+	trial, err := repeatTrial(action, plan, seed)
+	if err != nil {
+		return err
+	}
+	p := &campaign.Progress{}
+	stop := p.Report(os.Stderr, 500*time.Millisecond)
+	pol := campaign.RetryPolicy{MaxAttempts: 3, Retryable: core.IsChannelFault}
+	res, err := campaign.RunRetry(context.Background(), n, campaign.Config{Workers: workers, Progress: p}, pol, trial)
+	stop()
+	if err != nil && !core.IsChannelFault(err) {
+		return err
+	}
+	ok := 0
+	var attempts int
+	for _, r := range res {
+		if r.Err == nil && r.Value {
+			ok++
+		}
+		attempts += r.Attempts
+	}
+	s := p.Snapshot()
+	fmt.Printf("%s x %d: %d/%d succeeded, %.2f mean attempts, %.1f trials/s, trial p50 %s p99 %s\n",
+		action, n, ok, n, float64(attempts)/float64(n), s.TrialsPerSec,
+		time.Duration(s.Latency.P50US*1e3).Round(time.Microsecond),
+		time.Duration(s.Latency.P99US*1e3).Round(time.Microsecond))
+	return nil
+}
+
+// repeatTrial maps a scenario name to its campaign trial function. Each
+// trial derives its world from (seed, scenario, trial, attempt) so the
+// sweep is bit-identical at any worker count, and reports channel
+// faults as retryable errors.
+func repeatTrial(action string, plan faults.Plan, seed int64) (func(context.Context, campaign.Attempt) (bool, error), error) {
+	domain := "btsim/" + action
+	world := func(a campaign.Attempt, opts core.TestbedOptions) (*core.Testbed, error) {
+		s := campaign.DeriveSeed(seed, campaign.AttemptDomain(domain, a.Attempt), a.Trial)
+		return core.NewTestbed(s, opts)
+	}
+	switch action {
+	case "pair":
+		return func(_ context.Context, a campaign.Attempt) (bool, error) {
+			// The setup bond IS the pairing under test; a world that fails
+			// to build lost its pairing to the channel.
+			_, err := world(a, core.TestbedOptions{
+				ClientPlatform: device.GalaxyS21Android11,
+				Bond:           true, Faults: plan, FaultsDuringSetup: true,
+			})
+			return err == nil, nil
+		}, nil
+	case "bond-reconnect":
+		return func(_ context.Context, a campaign.Attempt) (bool, error) {
+			tb, err := world(a, core.TestbedOptions{
+				ClientPlatform: device.GalaxyS21Android11, Bond: true, Faults: plan,
+			})
+			if err != nil {
+				return false, err
+			}
+			reconnectErr := fmt.Errorf("reconnect never completed")
+			tb.M.Host.Pair(tb.C.Addr(), func(err error) { reconnectErr = err })
+			tb.Sched.RunFor(30 * time.Second)
+			return reconnectErr == nil, nil
+		}, nil
+	case "extraction":
+		return func(_ context.Context, a campaign.Attempt) (bool, error) {
+			tb, err := world(a, core.TestbedOptions{
+				ClientPlatform: device.GalaxyS21Android11, Bond: true, Faults: plan,
+			})
+			if err != nil {
+				return false, err
+			}
+			rep, err := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
+				Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(), Channel: core.ChannelHCISnoop,
+			})
+			if err != nil {
+				if core.IsChannelFault(err) {
+					return false, err // retryable
+				}
+				return false, nil // terminal outcome: a failed trial
+			}
+			return rep.Key == tb.BondKey, nil
+		}, nil
+	case "pageblock":
+		return func(_ context.Context, a campaign.Attempt) (bool, error) {
+			tb, err := world(a, core.TestbedOptions{Faults: plan})
+			if err != nil {
+				return false, err
+			}
+			rep := core.RunPageBlocking(tb.Sched, core.PageBlockingConfig{
+				Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+				UsePLOC: true, RunInquiry: true,
+			})
+			return rep.MITMEstablished, nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("-repeat does not support scenario %q", action)
 	}
 }
 

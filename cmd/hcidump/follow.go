@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"time"
 
 	"repro/internal/forensics"
@@ -36,10 +35,20 @@ func (t *tailReader) Read(p []byte) (int, error) {
 		if n > 0 || !errors.Is(err, io.EOF) {
 			return n, err
 		}
-		if time.Now().After(deadline) {
+		// Sleep only as long as the idle budget allows: an unclamped
+		// backoff sleep could overshoot the deadline by up to pollMax,
+		// making a quiet file take idle+pollMax to report EOF instead of
+		// ~idle — a real stall with the multi-second poll caps operators
+		// use on battery-powered captures.
+		remain := time.Until(deadline)
+		if remain <= 0 {
 			return 0, io.EOF
 		}
-		time.Sleep(wait)
+		sleep := wait
+		if sleep > remain {
+			sleep = remain
+		}
+		time.Sleep(sleep)
 		if wait *= 2; wait > t.pollMax {
 			wait = t.pollMax
 		}
@@ -51,8 +60,9 @@ func (t *tailReader) Read(p []byte) (int, error) {
 // the file. pollMax caps the tail's poll backoff (values below the 10 ms
 // floor are raised to it). It returns the finished report once the file
 // has been idle for the full idle window (the writer stopped), plus the
-// scan error if the capture ended mid-record.
-func followFile(f *os.File, idle, pollMax time.Duration, out io.Writer) (*forensics.Report, error) {
+// scan error if the capture ended mid-record. st (nil for none)
+// collects -stats telemetry per record and finding.
+func followFile(f io.Reader, idle, pollMax time.Duration, out io.Writer, st *scanStats) (*forensics.Report, error) {
 	const pollMin = 10 * time.Millisecond
 	if pollMax < pollMin {
 		pollMax = pollMin
@@ -60,8 +70,10 @@ func followFile(f *os.File, idle, pollMax time.Duration, out io.Writer) (*forens
 	sc := snoop.NewScanner(&tailReader{f: f, idle: idle, pollMin: pollMin, pollMax: pollMax})
 	det := forensics.NewDetector()
 	for sc.Scan() {
+		st.record(sc.Record())
 		det.Push(sc.Record())
 		for _, ev := range det.Drain() {
+			st.finding(ev)
 			fmt.Fprintf(out, "%s frame %-5d [%s] peer %s: %s\n",
 				ev.Time.Format("15:04:05.000000"), ev.Frame,
 				ev.Finding.Kind, ev.Finding.Peer, ev.Finding.Detail)

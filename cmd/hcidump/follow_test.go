@@ -63,7 +63,7 @@ func TestFollowGrowingFile(t *testing.T) {
 	}
 	defer f.Close()
 	var out strings.Builder
-	report, scanErr := followFile(f, 500*time.Millisecond, 100*time.Millisecond, &out)
+	report, scanErr := followFile(f, 500*time.Millisecond, 100*time.Millisecond, &out, nil)
 	if scanErr != nil {
 		t.Fatalf("follow ended with scan error: %v", scanErr)
 	}
@@ -97,7 +97,7 @@ func TestFollowIdleTruncated(t *testing.T) {
 	defer f.Close()
 
 	start := time.Now()
-	report, scanErr := followFile(f, 200*time.Millisecond, 50*time.Millisecond, io.Discard)
+	report, scanErr := followFile(f, 200*time.Millisecond, 50*time.Millisecond, io.Discard, nil)
 	if scanErr == nil {
 		t.Fatal("truncated tail reported a clean end")
 	}
@@ -135,5 +135,29 @@ func TestTailBackoffIsCapped(t *testing.T) {
 	// fixed 10 ms interval would need ~100. Leave slack for scheduling.
 	if r.reads > 20 {
 		t.Fatalf("tail polled %d times over a 1 s idle window — backoff not applied", r.reads)
+	}
+}
+
+// TestTailIdleDeadlineIsSharp is the regression test for the backoff
+// overshoot bug: the sleep must be clamped to the remaining idle budget,
+// so a quiet file reports EOF within ~idle even when pollMax is huge.
+// The broken reader slept a full unclamped backoff step past the
+// deadline — with idle=320ms and pollMin=10ms the doubling sequence
+// (10+20+40+80+160=310ms) left 10ms of budget and then slept another
+// 320ms, reporting EOF at ~630ms instead of ~320ms.
+func TestTailIdleDeadlineIsSharp(t *testing.T) {
+	const idle = 320 * time.Millisecond
+	tr := &tailReader{f: &eofReader{}, idle: idle, pollMin: 10 * time.Millisecond, pollMax: 5 * time.Second}
+	start := time.Now()
+	n, err := tr.Read(make([]byte, 16))
+	elapsed := time.Since(start)
+	if n != 0 || !errors.Is(err, io.EOF) {
+		t.Fatalf("idle tail must end in EOF, got n=%d err=%v", n, err)
+	}
+	if elapsed < idle {
+		t.Fatalf("gave up after %v, before the %v idle window", elapsed, idle)
+	}
+	if elapsed > idle+150*time.Millisecond {
+		t.Fatalf("EOF took %v for a %v idle window — backoff sleep not clamped to the deadline", elapsed, idle)
 	}
 }

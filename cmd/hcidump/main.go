@@ -51,10 +51,11 @@ func main() {
 		follow  = flag.Bool("follow", false, "tail a growing capture, printing findings live; exit 3 on findings once the file goes idle")
 		idle    = flag.Duration("idle", 2*time.Second, "with -follow: stop once the file has not grown for this long")
 		pollMax = flag.Duration("poll-max", 500*time.Millisecond, "with -follow: cap on the exponential poll backoff while the file is quiet")
+		stats   = flag.Bool("stats", false, "print scan statistics to stderr: records/sec, bytes/sec, and (when analyzing) capture-time finding latency percentiles")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hcidump [-keys] [-hex] [-usb] [-analyze] [-follow [-idle d]] <capture>")
+		fmt.Fprintln(os.Stderr, "usage: hcidump [-keys] [-hex] [-usb] [-analyze] [-follow [-idle d]] [-stats] <capture>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -63,8 +64,19 @@ func main() {
 	}
 	defer f.Close()
 
+	// -stats routes btsnoop modes through a counting reader and a
+	// per-record collector; a nil collector keeps the fast paths exact.
+	var st *scanStats
+	var in io.Reader = f
+	if *stats && !*usb && !*keys {
+		cr := &countingReader{r: f}
+		st = newScanStats(cr)
+		in = cr
+	}
+
 	if *follow {
-		report, scanErr := followFile(f, *idle, *pollMax, os.Stdout)
+		report, scanErr := followFile(in, *idle, *pollMax, os.Stdout, st)
+		st.report(os.Stderr)
 		fmt.Print(report.Render())
 		if scanErr != nil {
 			fail(fmt.Errorf("tailing %s: %w", flag.Arg(0), scanErr))
@@ -87,9 +99,32 @@ func main() {
 	}
 
 	if *analyze {
-		report, err := forensics.AnalyzeStream(f)
-		if err != nil {
-			fail(err)
+		var report *forensics.Report
+		if st != nil {
+			// The stats collector needs to see every record and every
+			// finding as it completes, so drive the incremental detector
+			// directly; the report is bit-identical to AnalyzeStream.
+			sc := snoop.NewScanner(in)
+			det := forensics.NewDetector()
+			for sc.Scan() {
+				rec := sc.Record()
+				st.record(rec)
+				det.Push(rec)
+				for _, ev := range det.Drain() {
+					st.finding(ev)
+				}
+			}
+			if err := sc.Err(); err != nil {
+				fail(fmt.Errorf("forensics: parsing capture: %w", err))
+			}
+			report = det.Finish()
+			st.report(os.Stderr)
+		} else {
+			var err error
+			report, err = forensics.AnalyzeStream(in)
+			if err != nil {
+				fail(err)
+			}
 		}
 		fmt.Print(report.Render())
 		if len(report.Findings) > 0 {
@@ -115,9 +150,21 @@ func main() {
 
 	out := bufio.NewWriterSize(os.Stdout, 1<<16)
 	fmt.Fprint(out, snoop.TableHeader())
-	err = snoop.SummarizeStream(f, func(row snoop.FrameSummary) {
-		fmt.Fprint(out, snoop.FormatRow(row))
-	})
+	if st != nil {
+		sc := snoop.NewScanner(in)
+		for sc.Scan() {
+			st.record(sc.Record())
+			if row, ok := snoop.SummarizeRecord(sc.Frame(), sc.Record()); ok {
+				fmt.Fprint(out, snoop.FormatRow(row))
+			}
+		}
+		err = sc.Err()
+		st.report(os.Stderr)
+	} else {
+		err = snoop.SummarizeStream(in, func(row snoop.FrameSummary) {
+			fmt.Fprint(out, snoop.FormatRow(row))
+		})
+	}
 	if err != nil {
 		out.Flush()
 		fail(fmt.Errorf("parsing %s: %w", flag.Arg(0), err))

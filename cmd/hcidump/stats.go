@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/forensics"
+	"repro/internal/obs"
+	"repro/internal/snoop"
+)
+
+// countingReader counts the bytes delivered to the parser so -stats can
+// report wall throughput without a second pass over the file.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// scanStats accumulates -stats telemetry during a scan: wall throughput
+// (records/sec, bytes/sec) plus, for analyzing modes, where in the
+// capture each finding landed — the capture-time distance from the first
+// record to the record that completed the finding, which is how long a
+// live detector watching the same traffic would have waited. A nil
+// *scanStats is a valid no-op collector, so scan loops stay
+// unconditional.
+type scanStats struct {
+	start    time.Time
+	bytes    *countingReader
+	records  uint64
+	findings uint64
+	first    time.Time
+	findLat  obs.Histogram
+}
+
+func newScanStats(cr *countingReader) *scanStats {
+	return &scanStats{start: time.Now(), bytes: cr}
+}
+
+func (s *scanStats) record(rec snoop.Record) {
+	if s == nil {
+		return
+	}
+	s.records++
+	if s.first.IsZero() {
+		s.first = rec.Timestamp
+	}
+}
+
+func (s *scanStats) finding(ev forensics.Event) {
+	if s == nil {
+		return
+	}
+	s.findings++
+	s.findLat.Observe(ev.Time.Sub(s.first))
+}
+
+func (s *scanStats) report(w io.Writer) {
+	if s == nil {
+		return
+	}
+	el := time.Since(s.start)
+	sec := el.Seconds()
+	if sec <= 0 {
+		sec = 1e-9
+	}
+	var n int64
+	if s.bytes != nil {
+		n = s.bytes.n
+	}
+	fmt.Fprintf(w, "stats: %d records, %d bytes in %s (%.0f records/s, %.2f MB/s)\n",
+		s.records, n, el.Round(time.Millisecond),
+		float64(s.records)/sec, float64(n)/sec/1e6)
+	if s.findings > 0 {
+		snap := s.findLat.Snapshot()
+		fmt.Fprintf(w, "stats: %d findings, capture-time latency p50 %s p90 %s p99 %s (max %s)\n",
+			s.findings, usDur(snap.P50US), usDur(snap.P90US), usDur(snap.P99US), usDur(snap.MaxUS))
+	}
+}
+
+func usDur(us float64) time.Duration {
+	return time.Duration(us * 1e3).Round(time.Microsecond)
+}

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Config tunes a campaign run.
@@ -33,6 +34,11 @@ type Config struct {
 	// values <= 0 select 64. Smaller blocks cancel earlier on a hit,
 	// larger blocks amortize coordination over cheap predicates.
 	BlockSize int
+	// Progress, when non-nil, receives live telemetry (completed trials,
+	// per-trial wall latency, retry counts) as the engine runs. It is
+	// observation only — results, seeds, and scheduling are untouched, so
+	// rows stay bit-identical with or without it. Nil costs nothing.
+	Progress *Progress
 }
 
 func (c Config) workers() int {
@@ -80,19 +86,33 @@ func Run[T any](ctx context.Context, n int, cfg Config, trial func(ctx context.C
 	if n <= 0 {
 		return nil, ctx.Err()
 	}
+	cfg.Progress.Begin(n)
 	results := make([]T, n)
 	errs := make([]error, n)
+	// runOne executes trial i into its slot, reporting wall time to the
+	// progress sink. The clock is read only when someone is watching.
+	runOne := func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			cfg.Progress.trialDone(err, 0)
+			return
+		}
+		var t0 time.Time
+		if cfg.Progress != nil {
+			t0 = time.Now()
+		}
+		results[i], errs[i] = trial(ctx, i)
+		if cfg.Progress != nil {
+			cfg.Progress.trialDone(errs[i], time.Since(t0))
+		}
+	}
 	w := cfg.workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				errs[i] = err
-				continue
-			}
-			results[i], errs[i] = trial(ctx, i)
+			runOne(i)
 		}
 	} else {
 		var next atomic.Int64
@@ -106,11 +126,7 @@ func Run[T any](ctx context.Context, n int, cfg Config, trial func(ctx context.C
 					if i >= n {
 						return
 					}
-					if err := ctx.Err(); err != nil {
-						errs[i] = err
-						continue
-					}
-					results[i], errs[i] = trial(ctx, i)
+					runOne(i)
 				}
 			}()
 		}

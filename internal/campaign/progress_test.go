@@ -1,0 +1,159 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProgressNil pins the nil no-op contract on every entry point the
+// engine calls.
+func TestProgressNil(t *testing.T) {
+	var p *Progress
+	p.Begin(10)
+	p.trialDone(nil, time.Second)
+	p.retried()
+	if s := p.Snapshot(); s != (ProgressSnapshot{}) {
+		t.Fatalf("nil progress snapshot not zero: %+v", s)
+	}
+	stop := p.Report(&bytes.Buffer{}, time.Millisecond)
+	stop()
+	stop() // idempotent
+}
+
+// TestProgressCounts runs a campaign with a sink attached and checks
+// the counters add up: every trial done, failures tallied, a latency
+// observation per trial.
+func TestProgressCounts(t *testing.T) {
+	p := &Progress{}
+	const n = 40
+	_, err := Run(context.Background(), n, Config{Workers: 4, Progress: p},
+		func(_ context.Context, i int) (int, error) {
+			if i%10 == 3 {
+				return 0, errors.New("boom")
+			}
+			return i, nil
+		})
+	if err == nil {
+		t.Fatal("want the lowest failing trial's error")
+	}
+	s := p.Snapshot()
+	if s.Total != n || s.Done != n {
+		t.Fatalf("total/done = %d/%d, want %d/%d", s.Total, s.Done, n, n)
+	}
+	if s.Failed != 4 {
+		t.Fatalf("failed = %d, want 4", s.Failed)
+	}
+	if s.Latency.Count != n {
+		t.Fatalf("latency observations = %d, want %d", s.Latency.Count, n)
+	}
+	if s.TrialsPerSec <= 0 || s.Elapsed <= 0 {
+		t.Fatalf("rate not computed: %+v", s)
+	}
+	if s.ETA != 0 {
+		t.Fatalf("finished campaign still has ETA %s", s.ETA)
+	}
+}
+
+// TestProgressRetries checks RunRetry reports one retry per extra
+// attempt, summed across trials and worker counts.
+func TestProgressRetries(t *testing.T) {
+	fail := errors.New("channel fault")
+	pol := RetryPolicy{MaxAttempts: 3, Retryable: func(err error) bool { return errors.Is(err, fail) }}
+	for _, workers := range []int{1, 4} {
+		p := &Progress{}
+		res, err := RunRetry(context.Background(), 6, Config{Workers: workers, Progress: p}, pol,
+			func(_ context.Context, a Attempt) (int, error) {
+				// Even trials succeed on attempt 1 (one retry each); odd
+				// trials succeed immediately.
+				if a.Trial%2 == 0 && a.Attempt == 0 {
+					return 0, fail
+				}
+				return a.Trial, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRetries := int64(3) // trials 0, 2, 4
+		if got := p.Snapshot().Retries; got != wantRetries {
+			t.Fatalf("workers=%d: retries = %d, want %d", workers, got, wantRetries)
+		}
+		for i, r := range res {
+			want := 1
+			if i%2 == 0 {
+				want = 2
+			}
+			if r.Attempts != want {
+				t.Fatalf("workers=%d trial %d: attempts = %d, want %d", workers, i, r.Attempts, want)
+			}
+		}
+	}
+}
+
+// TestProgressDoesNotPerturbResults is the determinism guard: the same
+// campaign with and without a progress sink, at several worker counts,
+// must produce byte-identical results.
+func TestProgressDoesNotPerturbResults(t *testing.T) {
+	trial := func(_ context.Context, i int) (string, error) {
+		return fmt.Sprintf("row-%d-%d", i, DeriveSeed(1, "progress", i)), nil
+	}
+	bare, err := Run(context.Background(), 50, Config{Workers: 1}, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got, err := Run(context.Background(), 50, Config{Workers: workers, Progress: &Progress{}}, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, bare) {
+			t.Fatalf("workers=%d: instrumented rows diverge from bare serial rows", workers)
+		}
+	}
+}
+
+// TestProgressSpansCampaigns checks totals accumulate across successive
+// Run calls on one sink — the sweep-wide view.
+func TestProgressSpansCampaigns(t *testing.T) {
+	p := &Progress{}
+	cfg := Config{Workers: 2, Progress: p}
+	for c := 0; c < 3; c++ {
+		if _, err := Run(context.Background(), 5, cfg, func(_ context.Context, i int) (int, error) {
+			return i, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := p.Snapshot()
+	if s.Total != 15 || s.Done != 15 {
+		t.Fatalf("accumulated total/done = %d/%d, want 15/15", s.Total, s.Done)
+	}
+}
+
+// TestProgressReport exercises the reporter goroutine end to end.
+func TestProgressReport(t *testing.T) {
+	p := &Progress{}
+	var buf bytes.Buffer
+	stop := p.Report(&buf, time.Millisecond)
+	_, err := Run(context.Background(), 10, Config{Workers: 2, Progress: p},
+		func(_ context.Context, i int) (int, error) {
+			time.Sleep(time.Millisecond)
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	out := buf.String()
+	if !strings.Contains(out, "trials 10/10") {
+		t.Fatalf("final report missing completion line: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("stop did not terminate the status line: %q", out)
+	}
+}

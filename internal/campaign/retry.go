@@ -72,6 +72,7 @@ func RunRetry[T any](ctx context.Context, n int, cfg Config, pol RetryPolicy, tr
 				r.Err = err
 				return r, err
 			}
+			cfg.Progress.retried()
 		}
 	})
 	return results, err

@@ -55,7 +55,7 @@ func RunJitterAblationWorkers(seed int64, trials int, spreads []time.Duration, w
 	// Testbed construction errors are folded into the outcome (counted
 	// per row), so the trial function never errors and the campaign
 	// always yields the full grid.
-	outcomes, _ := campaign.Run(context.Background(), n, campaign.Config{Workers: workers},
+	outcomes, _ := campaign.Run(context.Background(), n, sweepCfg(workers),
 		func(_ context.Context, i int) (jitterOutcome, error) {
 			spread, trial := spreads[i/trials], i%trials
 			cfg := radio.DefaultConfig()
@@ -120,7 +120,7 @@ func RunPLOCWindowAblation(seed int64, delays []time.Duration) ([]PLOCWindowRow,
 func RunPLOCWindowAblationWorkers(seed int64, delays []time.Duration, workers int) ([]PLOCWindowRow, error) {
 	const supervision = 20 * time.Second
 	n := 2 * len(delays) // keep-alive off, then on — the serial row order
-	return campaign.Run(context.Background(), n, campaign.Config{Workers: workers},
+	return campaign.Run(context.Background(), n, sweepCfg(workers),
 		func(_ context.Context, idx int) (PLOCWindowRow, error) {
 			keepAlive := idx >= len(delays)
 			i := idx % len(delays)
@@ -174,7 +174,7 @@ type StallAblationRow struct {
 // attack needs and leaving forensic traces. The two strategy worlds are
 // independent and run as a two-trial campaign.
 func RunStallAblation(seed int64) ([]StallAblationRow, error) {
-	return campaign.Run(context.Background(), 2, campaign.Config{},
+	return campaign.Run(context.Background(), 2, sweepCfg(0),
 		func(_ context.Context, i int) (StallAblationRow, error) {
 			if i == 0 {
 				return runStallStrategy(seed)
@@ -263,7 +263,7 @@ func RunLMPTimeoutAblation(seed int64, timeouts []time.Duration) ([]LMPTimeoutRo
 // RunLMPTimeoutAblationWorkers is RunLMPTimeoutAblation with an explicit
 // campaign worker count.
 func RunLMPTimeoutAblationWorkers(seed int64, timeouts []time.Duration, workers int) ([]LMPTimeoutRow, error) {
-	return campaign.Run(context.Background(), len(timeouts), campaign.Config{Workers: workers},
+	return campaign.Run(context.Background(), len(timeouts), sweepCfg(workers),
 		func(_ context.Context, i int) (LMPTimeoutRow, error) {
 			to := timeouts[i]
 			tb, err := core.NewTestbed(seed+int64(i)*17, core.TestbedOptions{

@@ -85,7 +85,7 @@ type degradedPB struct {
 func RunDegradedSweepWorkers(seed int64, trials, workers int) ([]DegradedRow, error) {
 	settings := DefaultDegradedSettings()
 	rows := make([]DegradedRow, len(settings))
-	cfg := campaign.Config{Workers: workers}
+	cfg := sweepCfg(workers)
 	pol := campaign.RetryPolicy{MaxAttempts: 3, Retryable: core.IsChannelFault}
 
 	for si, setting := range settings {

@@ -50,7 +50,7 @@ type latencySample struct {
 // an order-independent mean and identical at any worker count.
 func RunDetectionLatencyWorkers(seed int64, trials, workers int) (DetectionLatencyResult, error) {
 	res := DetectionLatencyResult{Trials: trials}
-	samples, err := campaign.Run(context.Background(), trials, campaign.Config{Workers: workers},
+	samples, err := campaign.Run(context.Background(), trials, sweepCfg(workers),
 		func(_ context.Context, i int) (latencySample, error) {
 			tb, err := core.NewTestbed(seed+int64(i), core.TestbedOptions{})
 			if err != nil {

@@ -29,7 +29,7 @@ type FiguresResult struct {
 // RunFigN calls exactly. workers <= 0 selects GOMAXPROCS.
 func RunAllFigures(seed int64, workers int) (FiguresResult, error) {
 	var out FiguresResult
-	_, err := campaign.Run(context.Background(), 5, campaign.Config{Workers: workers},
+	_, err := campaign.Run(context.Background(), 5, sweepCfg(workers),
 		func(_ context.Context, i int) (struct{}, error) {
 			var err error
 			switch i {

@@ -56,7 +56,7 @@ func RunForensicsSweep(seed int64, trials int) (ForensicsSweepResult, error) {
 // any worker count.
 func RunForensicsSweepWorkers(seed int64, trials, workers int) (ForensicsSweepResult, error) {
 	res := ForensicsSweepResult{Trials: trials}
-	flagged, err := campaign.Run(context.Background(), trials*3, campaign.Config{Workers: workers},
+	flagged, err := campaign.Run(context.Background(), trials*3, sweepCfg(workers),
 		func(_ context.Context, idx int) (bool, error) {
 			i, scenario := idx/3, idx%3
 			switch scenario {

@@ -97,7 +97,7 @@ func RunMitigationMatrixWorkers(seed int64, workers int) ([]MitigationRow, error
 		func() (bool, error) { return knob(1) },
 		func() (bool, error) { return knob(7) },
 	}
-	outcomes, err := campaign.Run(context.Background(), len(runs), campaign.Config{Workers: workers},
+	outcomes, err := campaign.Run(context.Background(), len(runs), sweepCfg(workers),
 		func(_ context.Context, i int) (bool, error) { return runs[i]() })
 	if err != nil {
 		return nil, err

@@ -1,0 +1,33 @@
+package eval
+
+import (
+	"sync/atomic"
+
+	"repro/internal/campaign"
+)
+
+// sweepProgress is the package's progress sink: every sweep builds its
+// campaign.Config through sweepCfg, so one SetProgress call makes the
+// whole evaluation surface (tables, figures, ablations, mitigations,
+// degraded sweep) report live trial telemetry. The default is nil — no
+// sink, no cost — preserving the historical silent behavior.
+//
+// A process-wide sink is the right scope here: the CLI runs one sweep
+// at a time and wants a single progress line across the dozens of
+// campaigns a full evaluation chains together. The sink observes only
+// completion counters and wall time, never seeds or scheduling, so
+// rows remain bit-identical with or without it (pinned by
+// campaign.TestProgressDoesNotPerturbResults).
+var sweepProgress atomic.Pointer[campaign.Progress]
+
+// SetProgress installs (or, with nil, removes) the progress sink every
+// subsequent sweep in this package reports to. Safe to call
+// concurrently with running sweeps; in-flight campaigns keep the sink
+// they started with.
+func SetProgress(p *campaign.Progress) { sweepProgress.Store(p) }
+
+// sweepCfg is the package-standard campaign configuration: the caller's
+// worker count plus the installed progress sink.
+func sweepCfg(workers int) campaign.Config {
+	return campaign.Config{Workers: workers, Progress: sweepProgress.Load()}
+}

@@ -54,7 +54,7 @@ func RunTableI(seed int64) ([]TableIRow, error) {
 // (0 = GOMAXPROCS, 1 = serial reference).
 func RunTableIWorkers(seed int64, workers int) ([]TableIRow, error) {
 	entries := device.TableIPlatforms()
-	return campaign.Run(context.Background(), len(entries), campaign.Config{Workers: workers},
+	return campaign.Run(context.Background(), len(entries), sweepCfg(workers),
 		func(_ context.Context, i int) (TableIRow, error) {
 			entry := entries[i]
 			p := entry.Platform
@@ -160,7 +160,7 @@ func RunTableIIWorkers(seed int64, trials, workers int) ([]TableIIRow, error) {
 	perDevice := 2 * trials // baseline trials then blocking trials
 	n := len(entries) * perDevice
 
-	wins, err := campaign.Run(context.Background(), n, campaign.Config{Workers: workers},
+	wins, err := campaign.Run(context.Background(), n, sweepCfg(workers),
 		func(_ context.Context, i int) (bool, error) {
 			dev, k := i/perDevice, i%perDevice
 			p := entries[dev].Platform

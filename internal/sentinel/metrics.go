@@ -3,17 +3,21 @@ package sentinel
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/hci"
+	"repro/internal/obs"
 )
 
 // metrics aggregates daemon-wide counters. Hot-path counters (records,
 // bytes, packet types) are atomics bumped per record; low-rate maps
-// (findings by kind, stream ends by status) take a mutex.
+// (findings by kind, stream ends by status) take a mutex. The latency
+// histograms (internal/obs) are lock-free and fed by the sampled stage
+// timing in ingest — see ingestSampleEvery.
 type metrics struct {
 	start time.Time
 
@@ -30,6 +34,20 @@ type metrics struct {
 	pktACL     atomic.Uint64
 	pktSCO     atomic.Uint64
 	pktOther   atomic.Uint64
+
+	// ingest is per-record processing latency (scan completion through
+	// push, drain, and any finding emission), sampled 1-in-ingestSampleEvery.
+	// detect is per-finding detection latency (completing record read to
+	// finding event queued), observed for every finding.
+	ingest obs.Histogram
+	detect obs.Histogram
+	// Stage timers, sampled like ingest: scan (byte wait + framing),
+	// push (detector state machine), drain (finding collection), emit
+	// (JSONL marshal + enqueue; timed whenever findings are emitted).
+	stageScan  obs.Histogram
+	stagePush  obs.Histogram
+	stageDrain obs.Histogram
+	stageEmit  obs.Histogram
 
 	mu           sync.Mutex
 	findings     map[string]uint64
@@ -85,6 +103,10 @@ type StreamMetrics struct {
 	// LagMS is how long ago the stream last delivered a record — the
 	// operator's staleness signal for a client that connected and hung.
 	LagMS int64 `json:"lag_ms"`
+	// IngestLatency is this stream's sampled per-record processing
+	// latency; DetectLatency its per-finding detection latency.
+	IngestLatency obs.Snapshot `json:"ingest_latency"`
+	DetectLatency obs.Snapshot `json:"detect_latency"`
 }
 
 // MetricsSnapshot is the JSON document served at /metrics.
@@ -108,6 +130,17 @@ type MetricsSnapshot struct {
 	Packets      map[string]uint64 `json:"packets"`
 	FindingsKind map[string]uint64 `json:"findings_by_kind"`
 	StreamEnds   map[string]uint64 `json:"stream_ends_by_status"`
+
+	// IngestLatency is the aggregate sampled per-record processing
+	// latency across all streams (scan completion through push, drain,
+	// and finding emission); DetectLatency is the aggregate per-finding
+	// detection latency (completing record read to finding event
+	// queued). Quantiles in microseconds; see internal/obs.
+	IngestLatency obs.Snapshot `json:"ingest_latency"`
+	DetectLatency obs.Snapshot `json:"detect_latency"`
+	// Stages breaks the ingest hot path into its timed stages: scan,
+	// push, drain, emit.
+	Stages map[string]obs.Snapshot `json:"stages"`
 
 	Streams []StreamMetrics `json:"streams"`
 }
@@ -134,8 +167,16 @@ func (s *Server) Snapshot() MetricsSnapshot {
 			"sco":     m.pktSCO.Load(),
 			"other":   m.pktOther.Load(),
 		},
-		FindingsKind: map[string]uint64{},
-		StreamEnds:   map[string]uint64{},
+		FindingsKind:  map[string]uint64{},
+		StreamEnds:    map[string]uint64{},
+		IngestLatency: m.ingest.Snapshot(),
+		DetectLatency: m.detect.Snapshot(),
+		Stages: map[string]obs.Snapshot{
+			"scan":  m.stageScan.Snapshot(),
+			"push":  m.stagePush.Snapshot(),
+			"drain": m.stageDrain.Snapshot(),
+			"emit":  m.stageEmit.Snapshot(),
+		},
 	}
 	if up > 0 {
 		snap.BytesPerSec = float64(snap.Bytes) / up
@@ -154,13 +195,15 @@ func (s *Server) Snapshot() MetricsSnapshot {
 	s.connMu.Lock()
 	for _, st := range s.streams {
 		snap.Streams = append(snap.Streams, StreamMetrics{
-			ID:       st.id,
-			Proto:    st.proto,
-			Label:    st.label,
-			Records:  st.records.Load(),
-			Bytes:    st.bytes.Load(),
-			Findings: st.findings.Load(),
-			LagMS:    now.Sub(time.Unix(0, st.lastActive.Load())).Milliseconds(),
+			ID:            st.id,
+			Proto:         st.proto,
+			Label:         st.label,
+			Records:       st.records.Load(),
+			Bytes:         st.bytes.Load(),
+			Findings:      st.findings.Load(),
+			LagMS:         now.Sub(time.Unix(0, st.lastActive.Load())).Milliseconds(),
+			IngestLatency: st.ingest.Snapshot(),
+			DetectLatency: st.detect.Snapshot(),
 		})
 	}
 	s.connMu.Unlock()
@@ -170,8 +213,18 @@ func (s *Server) Snapshot() MetricsSnapshot {
 
 // httpHandler serves /metrics (JSON snapshot) and /healthz (200 while
 // serving, 503 once draining — the load balancer's cue to stop routing).
+// With Config.EnablePprof it also mounts the standard /debug/pprof
+// profiling mux, so an operator can grab a CPU or heap profile from a
+// live daemon without redeploying.
 func (s *Server) httpHandler() http.Handler {
 	mux := http.NewServeMux()
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/forensics"
+	"repro/internal/obs"
 	"repro/internal/snoop"
 )
 
@@ -77,6 +78,12 @@ type Config struct {
 	// EventBuffer is the bounded event queue capacity between ingestion
 	// and the writer goroutine. Default 256.
 	EventBuffer int
+
+	// EnablePprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof on the HTTPAddr mux. Off by default: profiling
+	// endpoints are operator tools, not something to expose wherever
+	// /metrics is scraped.
+	EnablePprof bool
 
 	// OnStreamEnd, when set, observes every finished stream — the hook
 	// tests and benchmarks use to wait for completion.
@@ -130,6 +137,10 @@ type streamState struct {
 	findings     atomic.Uint64
 	dropped      atomic.Uint64
 	lastActive   atomic.Int64 // unix nanos of the last ingested record
+	// ingest/detect mirror the aggregate latency histograms for this
+	// stream alone (see metrics); fixed ~1.2 KiB per stream.
+	ingest obs.Histogram
+	detect obs.Histogram
 }
 
 // Server ingests btsnoop streams and emits detection events.
@@ -324,6 +335,13 @@ func (s *Server) Ingest(proto, label string, r io.Reader) StreamSummary {
 	return s.ingest(st, r)
 }
 
+// ingestSampleEvery is the stage-timing sampling stride: one record in
+// every ingestSampleEvery (a power of two, so the modulo is a mask)
+// gets full scan/push/drain latency timing (the clock read itself costs
+// tens of nanoseconds on some hosts). The first record of every
+// stream is always sampled.
+const ingestSampleEvery = 256
+
 // ingest is the per-stream core: scan records as they arrive, push each
 // into the stream's own Detector, drain and emit findings immediately.
 func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
@@ -344,22 +362,99 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 
 	sc := snoop.NewScanner(r)
 	det := forensics.NewDetector()
+	m := s.metrics
 	var prevOff int64
-	for sc.Scan() {
+	var nRec uint64
+	for {
+		// Stage/latency timing is sampled 1-in-ingestSampleEvery: at
+		// millions of records per second the per-record budget is ~150 ns,
+		// so even one unconditional extra clock read (or the zeroing of
+		// timestamp locals) would be a measurable tax. The unsampled fast
+		// path below is therefore kept instruction-identical to the
+		// uninstrumented loop — one clock read, shared with the staleness
+		// signal — and only the 1-in-64 sampled records pay for full
+		// scan/push/drain/emit stage timing. Findings are rare enough
+		// that the detection-latency path is always timed.
+		if nRec&(ingestSampleEvery-1) != 0 {
+			nRec++
+			if !sc.Scan() {
+				break
+			}
+			now := time.Now()
+			rec := sc.Record()
+			det.Push(rec)
+			st.records.Add(1)
+			st.lastActive.Store(now.UnixNano())
+			m.records.Add(1)
+			off := sc.Offset()
+			st.bytes.Store(off)
+			m.bytes.Add(uint64(off - prevOff))
+			prevOff = off
+			m.countPacket(rec.Data)
+			evs := det.Drain()
+			if len(evs) == 0 {
+				continue
+			}
+			t0 := time.Now()
+			for _, ev := range evs {
+				st.findings.Add(1)
+				m.countFinding(ev.Finding.Kind)
+				s.emit(st, findingEvent(st.id, ev))
+			}
+			tEnd := time.Now()
+			m.stageEmit.Observe(tEnd.Sub(t0))
+			// Detection latency: the completing record was read at now;
+			// its findings are on the event queue at tEnd.
+			d := tEnd.Sub(now)
+			for range evs {
+				m.detect.Observe(d)
+				st.detect.Observe(d)
+			}
+			continue
+		}
+
+		// Sampled record: every stage boundary gets a clock read.
+		nRec++
+		tPre := time.Now()
+		if !sc.Scan() {
+			break
+		}
+		now := time.Now()
+		m.stageScan.Observe(now.Sub(tPre))
 		rec := sc.Record()
 		det.Push(rec)
+		tPush := time.Now()
+		m.stagePush.Observe(tPush.Sub(now))
 		st.records.Add(1)
-		st.lastActive.Store(time.Now().UnixNano())
-		s.metrics.records.Add(1)
+		st.lastActive.Store(now.UnixNano())
+		m.records.Add(1)
 		off := sc.Offset()
 		st.bytes.Store(off)
-		s.metrics.bytes.Add(uint64(off - prevOff))
+		m.bytes.Add(uint64(off - prevOff))
 		prevOff = off
-		s.metrics.countPacket(rec.Data)
-		for _, ev := range det.Drain() {
-			st.findings.Add(1)
-			s.metrics.countFinding(ev.Finding.Kind)
-			s.emit(st, findingEvent(st.id, ev))
+		m.countPacket(rec.Data)
+		evs := det.Drain()
+		tDrain := time.Now()
+		m.stageDrain.Observe(tDrain.Sub(tPush))
+		if len(evs) > 0 {
+			for _, ev := range evs {
+				st.findings.Add(1)
+				m.countFinding(ev.Finding.Kind)
+				s.emit(st, findingEvent(st.id, ev))
+			}
+			tEnd := time.Now()
+			m.stageEmit.Observe(tEnd.Sub(tDrain))
+			d := tEnd.Sub(now)
+			for range evs {
+				m.detect.Observe(d)
+				st.detect.Observe(d)
+			}
+			m.ingest.Observe(tEnd.Sub(now))
+			st.ingest.Observe(tEnd.Sub(now))
+		} else {
+			d := tDrain.Sub(now)
+			m.ingest.Observe(d)
+			st.ingest.Observe(d)
 		}
 	}
 

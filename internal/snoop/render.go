@@ -46,6 +46,14 @@ func SummarizeStream(r io.Reader, emit func(FrameSummary)) error {
 	return sc.Err()
 }
 
+// SummarizeRecord decodes one record into a trace-table row, reporting
+// false for frames the table skips (data packets). It is the per-record
+// form of SummarizeStream for callers that drive their own Scanner —
+// e.g. to observe every record, not just the rendered ones.
+func SummarizeRecord(frame int, rec Record) (FrameSummary, bool) {
+	return summarizeRecord(frame, rec)
+}
+
 // summarizeRecord decodes one record into a trace-table row. The record
 // body is only borrowed (never retained), so scanner-owned buffers are
 // safe here.

@@ -28,6 +28,7 @@ import (
 type Scanner struct {
 	r        io.Reader
 	buf      []byte // reused payload buffer, aliased by the current record
+	smallRun int    // consecutive records that fit in shrinkTo
 	hdr      [24]byte
 	rec      Record
 	frame    int
@@ -36,6 +37,20 @@ type Scanner struct {
 	started  bool
 	datalink uint32
 }
+
+// Buffer-shrink policy: one giant record (up to maxRecord, 1 MiB) grows
+// the reused payload buffer, and without a release valve the Scanner
+// would pin that high-water allocation for the rest of the stream —
+// per-connection in blapd, that is max-record-sized ballast per idle
+// stream. After shrinkAfter consecutive records that fit in shrinkTo,
+// a buffer beyond shrinkCap is traded for a fresh shrinkTo one. The
+// run-length condition keeps a genuinely mixed stream (periodic big
+// vendor events) from thrashing allocations.
+const (
+	shrinkCap   = 64 << 10
+	shrinkTo    = 4 << 10
+	shrinkAfter = 64
+)
 
 // NewScanner returns a Scanner over a btsnoop stream. Plain readers
 // (files, pipes, sockets) are wrapped in a bufio.Reader; in-memory
@@ -52,6 +67,12 @@ func NewScanner(r io.Reader) *Scanner {
 func (s *Scanner) Scan() bool {
 	if s.err != nil {
 		return false
+	}
+	// Shrink at the top of Scan, where the previous record's Data alias
+	// has just expired per the documented contract — never mid-record.
+	if s.smallRun >= shrinkAfter && cap(s.buf) > shrinkCap {
+		s.buf = make([]byte, shrinkTo)
+		s.smallRun = 0
 	}
 	if !s.started {
 		s.started = true
@@ -83,6 +104,11 @@ func (s *Scanner) Scan() bool {
 		s.off = hdrStart
 		s.err = fmt.Errorf("record header at offset %d: %w", hdrStart, err)
 		return false
+	}
+	if int(incl) <= shrinkTo {
+		s.smallRun++
+	} else {
+		s.smallRun = 0
 	}
 	if cap(s.buf) < int(incl) {
 		s.buf = make([]byte, incl)

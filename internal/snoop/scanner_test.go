@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"reflect"
 	"testing"
 
 	"repro/internal/bt"
@@ -365,4 +366,49 @@ func TestHCIDumpWriteTo(t *testing.T) {
 		t.Fatal("WriteTo differs from Bytes")
 	}
 	var _ io.WriterTo = d
+}
+
+// TestScannerShrinksBufferAfterGiantRecord is the regression test for
+// payload-buffer retention: one giant record grows the reused buffer,
+// and a long run of ordinary records after it must release that
+// high-water allocation — not pin it for the rest of the stream — while
+// yielding exactly the records ReadAll sees.
+func TestScannerShrinksBufferAfterGiantRecord(t *testing.T) {
+	const giant = 200 << 10
+	recs := []Record{{Flags: FlagCommandEvent, Timestamp: CaptureBase, Data: make([]byte, giant)}}
+	for i := 0; i < shrinkAfter+8; i++ {
+		recs = append(recs, Record{
+			Flags:     FlagCommandEvent,
+			Timestamp: CaptureBase,
+			Data:      hci.EncodeCommand(&hci.Reset{}).Wire(),
+		})
+	}
+	data := serializeRecords(t, fixLengths(recs))
+	want, err := ReadAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc := NewScanner(bytes.NewReader(data))
+	var got []Record
+	peak := 0
+	for sc.Scan() {
+		if cap(sc.buf) > peak {
+			peak = cap(sc.buf)
+		}
+		got = append(got, sc.Record().Clone())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if peak < giant {
+		t.Fatalf("buffer peaked at %d bytes, the giant record needed %d", peak, giant)
+	}
+	if cap(sc.buf) > shrinkCap {
+		t.Fatalf("buffer still holds %d bytes after %d small records; want <= %d",
+			cap(sc.buf), shrinkAfter+8, shrinkCap)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scanner records diverge from ReadAll after shrink: got %d records, want %d", len(got), len(want))
+	}
 }

@@ -24,8 +24,24 @@ fi
 
 # Live detection daemon: self-contained end-to-end smoke (ephemeral
 # sockets, live JSONL events verified against the batch analyzer,
-# /metrics + /healthz probed).
+# /metrics + /healthz probed; since PR 5 the smoke also asserts the
+# ingest/detect latency histograms and stage timers are populated and
+# that the opt-in /debug/pprof mux answers).
 go run ./cmd/blapd -smoke
+
+# Observability smoke: hcidump -stats must report throughput and
+# capture-time finding latency without disturbing the exit-3 contract,
+# and a repeated btsim campaign must run with live progress.
+obs_dir=$(mktemp -d)
+go run ./cmd/btsim -scenario extraction -seed 7 -o "$obs_dir"
+go build -o "$obs_dir/hcidump" ./cmd/hcidump
+rc=0
+"$obs_dir/hcidump" -analyze -stats "$obs_dir/extraction_C.btsnoop" >/dev/null 2>"$obs_dir/stats.err" || rc=$?
+[ "$rc" -eq 3 ]
+grep -q '^stats: .*records/s' "$obs_dir/stats.err"
+go run ./cmd/btsim -scenario extraction -repeat 20 -workers 4 -seed 7 > "$obs_dir/repeat.out" 2>/dev/null
+grep -q 'succeeded' "$obs_dir/repeat.out"
+rm -rf "$obs_dir"
 
 # Chaos smoke: the same seed and fault plan must reproduce the capture
 # byte for byte, and blapd must still flag the degraded-channel attack
@@ -45,8 +61,15 @@ rc=0
 
 # The committed bench JSONs must stay well-formed (the pr4 check also
 # enforces the degraded-sweep acceptance criteria).
-for bj in BENCH_pr2.json BENCH_pr3.json BENCH_pr4.json; do
+for bj in BENCH_pr2.json BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json; do
     if [ -f "$bj" ]; then
         go run ./cmd/benchtables -checkjson "$bj"
     fi
 done
+
+# Observability overhead gate: the instrumented sentinel ingest path
+# (BENCH_pr5, with sampled stage timing compiled in) must stay within
+# 5% of the pre-instrumentation throughput artifact (BENCH_pr3).
+if [ -f BENCH_pr5.json ] && [ -f BENCH_pr3.json ]; then
+    go run ./cmd/benchtables -checkjson BENCH_pr5.json -baseline BENCH_pr3.json
+fi
