@@ -2,9 +2,10 @@
 // Android's snoop log, bluez-hcidump, or this project's simulator) and
 // renders them as a trace table. It can also scan a capture for plaintext
 // link keys — the paper's extraction step — and run the forensic analyzer
-// over it. Every btsnoop mode streams the capture through snoop.Scanner /
-// forensics.AnalyzeStream, so multi-gigabyte dumps are processed in
-// bounded memory.
+// over it. Every btsnoop mode streams the capture in bounded memory;
+// -analyze runs the block-scanning batch pipeline (snoop.BatchScanner /
+// forensics.AnalyzeBatch), so multi-gigabyte dumps decode a few hundred
+// KiB at a time.
 //
 //	hcidump capture.btsnoop
 //	hcidump -keys capture.btsnoop
@@ -102,14 +103,17 @@ func main() {
 		var report *forensics.Report
 		if st != nil {
 			// The stats collector needs to see every record and every
-			// finding as it completes, so drive the incremental detector
-			// directly; the report is bit-identical to AnalyzeStream.
-			sc := snoop.NewScanner(in)
+			// finding as it completes, so drive the batch scanner and
+			// detector directly; the report is bit-identical to
+			// AnalyzeBatch (and so to Analyze).
+			sc := snoop.NewBatchScannerSize(in, 256<<10)
 			det := forensics.NewDetector()
-			for sc.Scan() {
-				rec := sc.Record()
-				st.record(rec)
-				det.Push(rec)
+			var b snoop.RecordBatch
+			for sc.ScanBatch(&b) {
+				for i := range b.Records {
+					st.record(b.Records[i])
+				}
+				det.PushBatch(b.Records)
 				for _, ev := range det.Drain() {
 					st.finding(ev)
 				}
@@ -121,7 +125,7 @@ func main() {
 			st.report(os.Stderr)
 		} else {
 			var err error
-			report, err = forensics.AnalyzeStream(in)
+			report, err = forensics.AnalyzeBatch(in)
 			if err != nil {
 				fail(err)
 			}

@@ -3,6 +3,7 @@ package forensics
 import (
 	"time"
 
+	"repro/internal/hci"
 	"repro/internal/snoop"
 )
 
@@ -53,6 +54,68 @@ func (d *Detector) Push(rec snoop.Record) {
 	d.frames++
 	if msg := decodeRecord(recordDir(rec), rec.Data); msg != nil {
 		d.st.apply(d.frames, rec.Timestamp, msg)
+	}
+}
+
+// PushBatch folds a batch of capture records into the detector,
+// equivalent to calling Push on each in order but with the prefilter
+// hoisted into the loop: irrelevant records (the overwhelming bulk) cost
+// one classification branch each, and only records the reducer consumes
+// reach the typed parse. Frame numbering and emitted findings are
+// bit-identical to the record-at-a-time path.
+func (d *Detector) PushBatch(recs []snoop.Record) {
+	base := d.frames
+	for i := range recs {
+		raw := recs[i].Data
+		// Hand-inlined RelevantRecord (the call is beyond the inliner's
+		// budget and this loop is the hottest in the repo): dismiss on
+		// the indicator octet plus one event-table load or opcode
+		// compare. TestPushBatchMatchesPush pins the two paths together.
+		if len(raw) < 2 {
+			continue
+		}
+		switch raw[0] {
+		case byte(hci.PTEvent):
+			if !wantEvents[raw[1]] {
+				continue
+			}
+		case byte(hci.PTCommand):
+			if len(raw) < 3 {
+				continue
+			}
+			op := hci.Opcode(uint16(raw[1]) | uint16(raw[2])<<8)
+			if op != hci.OpAcceptConnectionRequest &&
+				op != hci.OpAuthenticationRequested &&
+				op != hci.OpLinkKeyRequestReply {
+				continue
+			}
+		default:
+			continue
+		}
+		d.frames = base + i + 1
+		if msg := decodeRelevant(recordDir(recs[i]), raw); msg != nil {
+			d.st.apply(d.frames, recs[i].Timestamp, msg)
+		}
+	}
+	d.frames = base + len(recs)
+}
+
+// PushKept folds a batch of records that already passed the
+// RelevantRecord prefilter — the output of snoop.ScanBatchKeep, where
+// frames[i] is the absolute 1-based capture frame of recs[i]. Findings
+// are bit-identical to PushBatch over the full stream, because on
+// either path only relevant records ever reach the reducer and they
+// arrive with the same frame numbers; the difference is that rejected
+// records were never materialized at all. Note Frames then reports the
+// last relevant frame, not the capture total — callers that account
+// for every record (the sentinel pipeline) track the scanner's frame
+// counter instead.
+func (d *Detector) PushKept(frames []int, recs []snoop.Record) {
+	for i := range recs {
+		rec := &recs[i]
+		if msg := decodeRelevant(recordDir(*rec), rec.Data); msg != nil {
+			d.pushDecoded(frames[i], rec.Timestamp, msg)
+		}
 	}
 }
 

@@ -64,6 +64,51 @@ func TestDetectorEventsMatchBatchFindings(t *testing.T) {
 	}
 }
 
+// TestPushBatchMatchesPush pins the prefiltered batch entry to the
+// record-at-a-time path: for every capture and for awkward batch splits
+// (including empty and single-record batches), PushBatch must yield the
+// same frame count, the same drained events, and a deeply identical
+// report.
+func TestPushBatchMatchesPush(t *testing.T) {
+	for name, data := range streamTestCaptures(t) {
+		recs, err := snoop.ReadAll(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ref := NewDetector()
+		var wantEvents []Event
+		for _, rec := range recs {
+			ref.Push(rec)
+			wantEvents = append(wantEvents, ref.Drain()...)
+		}
+		want := ref.Finish()
+
+		for _, chunk := range []int{1, 3, 7, 64, 4096, len(recs) + 1} {
+			d := NewDetector()
+			var events []Event
+			for i := 0; i < len(recs); i += chunk {
+				end := i + chunk
+				if end > len(recs) {
+					end = len(recs)
+				}
+				d.PushBatch(recs[i:end])
+				events = append(events, d.Drain()...)
+			}
+			d.PushBatch(nil) // empty batches are no-ops
+			if d.Frames() != len(recs) {
+				t.Fatalf("%s chunk=%d: Frames()=%d, want %d", name, chunk, d.Frames(), len(recs))
+			}
+			if !reflect.DeepEqual(d.Finish(), want) {
+				t.Fatalf("%s chunk=%d: batch report differs from Push", name, chunk)
+			}
+			if !reflect.DeepEqual(events, wantEvents) {
+				t.Fatalf("%s chunk=%d: %d batch events, %d push events (or contents differ)",
+					name, chunk, len(events), len(wantEvents))
+			}
+		}
+	}
+}
+
 // TestDetectorFiresBeforeEOF is the point of the subsystem: on a long
 // capture with early attack flows, the first finding must surface long
 // before the last record arrives — batch-at-EOF analysis cannot do this.

@@ -22,6 +22,7 @@ package forensics
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -145,10 +146,12 @@ func (st *sessionState) exposure(source string, peer bt.BDADDR, key bt.LinkKey) 
 	st.rep.Exposures = append(st.rep.Exposures, KeyExposure{
 		Frame: st.frame, Source: source, Peer: peer, Key: key,
 	})
+	// Built by concatenation rather than fmt.Sprintf: exposures are the
+	// most common finding by far and this runs inside the hot ingest loop.
 	st.emit(Finding{
 		Kind:   FindingKeyExposure,
 		Peer:   peer,
-		Detail: fmt.Sprintf("frame %d: 128-bit link key in plaintext via %s", st.frame, source),
+		Detail: "frame " + strconv.Itoa(st.frame) + ": 128-bit link key in plaintext via " + source,
 	})
 }
 
@@ -257,47 +260,76 @@ func (st *sessionState) finish() *Report {
 	return st.rep
 }
 
-// decodeRecord classifies one raw H4 record and fully parses only the
-// packet kinds the reducer consumes, returning nil for everything else.
-// The opcode/event peek means the overwhelming bulk of a real capture
-// (ACL data, unrelated events) is dismissed in a few byte comparisons
-// with zero allocation, and the borrow-parse never copies the body — the
-// typed results copy the fields they keep.
-func decodeRecord(dir hci.Direction, raw []byte) any {
-	if op, ok := hci.PeekCommandOpcode(raw); ok {
-		switch op {
-		case hci.OpAcceptConnectionRequest, hci.OpAuthenticationRequested, hci.OpLinkKeyRequestReply:
-		default:
-			return nil
-		}
-		pkt, err := hci.ParseWireBorrow(dir, raw)
-		if err != nil {
-			return nil
-		}
+// wantEvents is the skip-parse prefilter table: the six event codes the
+// session reducer consumes, indexed by the event-code byte, so batch
+// classification of the dominant irrelevant-event case is one branch and
+// one table load.
+var wantEvents = buildEventTable()
+
+func buildEventTable() (t [256]bool) {
+	for _, e := range []hci.EventCode{
+		hci.EvConnectionComplete, hci.EvIOCapabilityResponse, hci.EvSimplePairingComplete,
+		hci.EvAuthenticationComplete, hci.EvLinkKeyNotification, hci.EvDisconnectionComplete,
+	} {
+		t[byte(e)] = true
+	}
+	return t
+}
+
+// RelevantRecord classifies one raw H4 record before any copy or typed
+// parse: only the three command opcodes and six event codes the session
+// reducer consumes pass. Everything else — ACL data above all, plus
+// unrelated commands and events — is dismissed on the indicator octet
+// and at most one opcode/event-code peek, with zero allocation. This is
+// the batch pipeline's first gate; in a realistic capture it retires
+// ~99% of records.
+func RelevantRecord(raw []byte) bool {
+	pt, ok := hci.PeekPacketType(raw)
+	if !ok {
+		return false
+	}
+	switch pt {
+	case hci.PTCommand:
+		op, ok := hci.PeekCommandOpcode(raw)
+		return ok && (op == hci.OpAcceptConnectionRequest ||
+			op == hci.OpAuthenticationRequested ||
+			op == hci.OpLinkKeyRequestReply)
+	case hci.PTEvent:
+		code, ok := hci.PeekEventCode(raw)
+		return ok && wantEvents[byte(code)]
+	}
+	return false
+}
+
+// decodeRelevant fully parses a record that passed RelevantRecord. The
+// borrow-parse never copies the body; the typed results copy the fields
+// they keep, so nothing of raw is retained.
+func decodeRelevant(dir hci.Direction, raw []byte) any {
+	pkt, err := hci.ParseWireBorrow(dir, raw)
+	if err != nil {
+		return nil
+	}
+	if pkt.PT == hci.PTCommand {
 		cmd, err := hci.ParseCommand(pkt)
 		if err != nil {
 			return nil
 		}
 		return cmd
 	}
-	if code, ok := hci.PeekEventCode(raw); ok {
-		switch code {
-		case hci.EvConnectionComplete, hci.EvIOCapabilityResponse, hci.EvSimplePairingComplete,
-			hci.EvAuthenticationComplete, hci.EvLinkKeyNotification, hci.EvDisconnectionComplete:
-		default:
-			return nil
-		}
-		pkt, err := hci.ParseWireBorrow(dir, raw)
-		if err != nil {
-			return nil
-		}
-		evt, err := hci.ParseEvent(pkt)
-		if err != nil {
-			return nil
-		}
-		return evt
+	evt, err := hci.ParseEvent(pkt)
+	if err != nil {
+		return nil
 	}
-	return nil
+	return evt
+}
+
+// decodeRecord classifies one raw H4 record and fully parses only the
+// packet kinds the reducer consumes, returning nil for everything else.
+func decodeRecord(dir hci.Direction, raw []byte) any {
+	if !RelevantRecord(raw) {
+		return nil
+	}
+	return decodeRelevant(dir, raw)
 }
 
 func recordDir(rec snoop.Record) hci.Direction {

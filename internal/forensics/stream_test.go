@@ -82,6 +82,20 @@ func TestAnalyzeStreamMatchesAnalyze(t *testing.T) {
 					name, workers, got.Render(), want.Render())
 			}
 		}
+		for mode, run := range map[string]func() (*Report, error){
+			"batch": func() (*Report, error) { return AnalyzeBatch(bytes.NewReader(data)) },
+			"bytes": func() (*Report, error) { return AnalyzeBytes(data) },
+			"file":  func() (*Report, error) { return AnalyzeFile(data) },
+		} {
+			got, err := run()
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, mode, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s %s: batch report differs from Analyze\nbatch:  %s\nmemory: %s",
+					name, mode, got.Render(), want.Render())
+			}
+		}
 	}
 }
 

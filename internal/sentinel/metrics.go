@@ -14,10 +14,10 @@ import (
 )
 
 // metrics aggregates daemon-wide counters. Hot-path counters (records,
-// bytes, packet types) are atomics bumped per record; low-rate maps
-// (findings by kind, stream ends by status) take a mutex. The latency
-// histograms (internal/obs) are lock-free and fed by the sampled stage
-// timing in ingest — see ingestSampleEvery.
+// bytes, packet types) are atomics bumped once per batch from local
+// tallies; low-rate maps (findings by kind, stream ends by status) take
+// a mutex. The latency histograms (internal/obs) are lock-free and fed
+// by the per-batch stage timing in ingest.
 type metrics struct {
 	start time.Time
 
@@ -35,15 +35,16 @@ type metrics struct {
 	pktSCO     atomic.Uint64
 	pktOther   atomic.Uint64
 
-	// ingest is per-record processing latency (scan completion through
-	// push, drain, and any finding emission), sampled 1-in-ingestSampleEvery.
-	// detect is per-finding detection latency (completing record read to
-	// finding event queued), observed for every finding.
+	// ingest is per-batch processing latency (scan completion through
+	// push, drain, and any finding emission). detect is per-finding
+	// detection latency (completing batch scanned to finding event
+	// queued), observed for every finding.
 	ingest obs.Histogram
 	detect obs.Histogram
-	// Stage timers, sampled like ingest: scan (byte wait + framing),
-	// push (detector state machine), drain (finding collection), emit
-	// (JSONL marshal + enqueue; timed whenever findings are emitted).
+	// Stage timers, observed once per batch: scan (byte wait + block
+	// decode), push (detector state machine), drain (finding
+	// collection), emit (JSONL marshal + enqueue; timed whenever
+	// findings are emitted).
 	stageScan  obs.Histogram
 	stagePush  obs.Histogram
 	stageDrain obs.Histogram
@@ -62,21 +63,51 @@ func newMetrics() *metrics {
 	}
 }
 
-func (m *metrics) countPacket(raw []byte) {
+// packetTally is one batch's worth of per-type packet counts. The
+// reader goroutine accumulates it lock-free inside the scan sweep's
+// keep callback (the only pass that sees rejected records' payloads)
+// and ships it through the ring with the batch; the detector loop folds
+// it into the shared atomics, at most one Add per type per batch
+// instead of one per record.
+type packetTally struct {
+	cmd, evt, acl, sco, other uint64
+}
+
+// count classifies one raw record payload by its H4 indicator octet.
+func (t *packetTally) count(raw []byte) {
 	pt, ok := hci.PeekPacketType(raw)
 	if !ok {
-		m.pktOther.Add(1)
+		t.other++
 		return
 	}
 	switch pt {
 	case hci.PTCommand:
-		m.pktCommand.Add(1)
+		t.cmd++
 	case hci.PTEvent:
-		m.pktEvent.Add(1)
+		t.evt++
 	case hci.PTACLData:
-		m.pktACL.Add(1)
+		t.acl++
 	case hci.PTSCOData:
-		m.pktSCO.Add(1)
+		t.sco++
+	}
+}
+
+// addPacketTally folds a batch tally into the shared counters.
+func (m *metrics) addPacketTally(t packetTally) {
+	if t.cmd > 0 {
+		m.pktCommand.Add(t.cmd)
+	}
+	if t.evt > 0 {
+		m.pktEvent.Add(t.evt)
+	}
+	if t.acl > 0 {
+		m.pktACL.Add(t.acl)
+	}
+	if t.sco > 0 {
+		m.pktSCO.Add(t.sco)
+	}
+	if t.other > 0 {
+		m.pktOther.Add(t.other)
 	}
 }
 

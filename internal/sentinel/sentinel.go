@@ -11,14 +11,15 @@
 // identical (kind, frame, order) to a batch run over the same records.
 //
 // Memory is bounded by design, not by luck: each connection owns one
-// snoop.Scanner (a single reused payload buffer, ≤1 MiB per record) and
-// one Detector; JSONL events flow through a single bounded queue drained
+// batch pipeline — a snoop.BatchScanner feeding a fixed set of
+// ingestRingDepth record batches through a pair of SPSC rings — and one
+// Detector; JSONL events flow through a single bounded queue drained
 // by one writer goroutine, and an enqueue that cannot progress within
 // WriteTimeout drops the event (counted in events_dropped and surfaced
 // on the stream-end line) instead of stalling ingestion — a wedged event
 // consumer costs events, never detection; and MaxStreams caps the number
-// of simultaneous connections. Peak memory is O(MaxStreams × scanner
-// buffer + EventBuffer), independent of stream length — the same
+// of simultaneous connections. Peak memory is O(MaxStreams × ring of
+// block buffers + EventBuffer), independent of stream length — the same
 // discipline as the PR 2 batch pipeline's bounded window.
 //
 // Failure is classified, not swallowed: a stream that ends on a record
@@ -43,6 +44,7 @@ import (
 	"repro/internal/forensics"
 	"repro/internal/obs"
 	"repro/internal/snoop"
+	"repro/internal/spsc"
 )
 
 // Config tunes a Server. The zero value of every field selects a
@@ -335,15 +337,56 @@ func (s *Server) Ingest(proto, label string, r io.Reader) StreamSummary {
 	return s.ingest(st, r)
 }
 
-// ingestSampleEvery is the stage-timing sampling stride: one record in
-// every ingestSampleEvery (a power of two, so the modulo is a mask)
-// gets full scan/push/drain latency timing (the clock read itself costs
-// tens of nanoseconds on some hosts). The first record of every
-// stream is always sampled.
-const ingestSampleEvery = 256
+// ingestRingDepth is how many record batches circulate between a
+// stream's reader and detector goroutines: enough that the reader can
+// buffer a block ahead while the detector drains one, small enough that
+// MaxStreams concurrent pipelines stay cheap. The free ring is never
+// closed and exactly ingestRingDepth batches circulate, so neither side
+// can deadlock: the reader blocks only when the detector holds every
+// batch (backpressure), and the detector always recycles before
+// popping the next.
+const ingestRingDepth = 4
 
-// ingest is the per-stream core: scan records as they arrive, push each
-// into the stream's own Detector, drain and emit findings immediately.
+// ingestBlockBytes is the scanner block size for live streams; see the
+// comment at the NewBatchScannerSize call in ingest.
+const ingestBlockBytes = 256 << 10
+
+// ingestItem is one filled batch in flight from reader to detector:
+// the kept records plus everything the detector side needs to account
+// for the full swept span — the scan-completion clock (the anchor for
+// ingest and detection latency), the stream offset and cumulative frame
+// count after the batch, and the packet-type tally of every record the
+// sweep classified (kept or rejected).
+type ingestItem struct {
+	b      *snoop.RecordBatch
+	at     time.Time
+	off    int64
+	frames int
+	tally  packetTally
+}
+
+// ingest is the per-stream core, a two-stage pipeline over a pair of
+// SPSC rings. The reader goroutine owns the socket and the
+// BatchScanner: one large read per block, one sweep that classifies
+// every record in it — the keep callback tallies packet types and
+// applies the forensics prefilter, so the ~97% of records the reducer
+// ignores are never materialized — then a ring handoff of the kept
+// records. The batch stays valid until the reader gets it back through
+// the free ring, which is the scanner's reuse contract. The detector
+// side (this goroutine) owns the Detector and all counters:
+// records/bytes/packet tallies are bumped once per batch (covering the
+// full swept span, rejected records included), findings are drained and
+// emitted the moment the completing batch is pushed. Stage latency
+// (scan, push, drain, emit) is observed per batch rather than sampled
+// per record — the batch amortizes the clock reads that used to need a
+// sampling stride.
+//
+// Liveness: ScanBatchKeep returns as soon as the sweep advances, even
+// when every record in the block was rejected, so counters track a
+// trickling phone log record by record and a one-record batch flows at
+// one-record latency. A wedged event consumer still costs events, never
+// detection: emit drops on its write deadline, and the reader at worst
+// idles until the detector recycles a batch.
 func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 	s.metrics.streamsActive.Add(1)
 	s.metrics.streamsTotal.Add(1)
@@ -360,79 +403,75 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 
 	s.emit(st, Event{Type: EventStreamStart, Stream: st.id, Proto: st.proto, Label: st.label})
 
-	sc := snoop.NewScanner(r)
+	// 256 KiB blocks: a unix-socket read costs the same syscall whether
+	// it returns 64 KiB or 256 KiB, and larger blocks mean fuller
+	// batches and fewer ring handoffs per captured megabyte.
+	sc := snoop.NewBatchScannerSize(r, ingestBlockBytes)
 	det := forensics.NewDetector()
 	m := s.metrics
-	var prevOff int64
-	var nRec uint64
-	for {
-		// Stage/latency timing is sampled 1-in-ingestSampleEvery: at
-		// millions of records per second the per-record budget is ~150 ns,
-		// so even one unconditional extra clock read (or the zeroing of
-		// timestamp locals) would be a measurable tax. The unsampled fast
-		// path below is therefore kept instruction-identical to the
-		// uninstrumented loop — one clock read, shared with the staleness
-		// signal — and only the 1-in-64 sampled records pay for full
-		// scan/push/drain/emit stage timing. Findings are rare enough
-		// that the detection-latency path is always timed.
-		if nRec&(ingestSampleEvery-1) != 0 {
-			nRec++
-			if !sc.Scan() {
-				break
+
+	filled := spsc.New[ingestItem](ingestRingDepth)
+	free := spsc.New[*snoop.RecordBatch](ingestRingDepth)
+	for i := 0; i < ingestRingDepth; i++ {
+		free.TryPush(&snoop.RecordBatch{})
+	}
+
+	// residual carries what the reader's final, failed scan call swept
+	// before the stream ended (records ahead of a corrupt header, say):
+	// written before readerDone.Done, read after Wait.
+	var residual struct {
+		frames int
+		tally  packetTally
+	}
+	var readerDone sync.WaitGroup
+	readerDone.Add(1)
+	go func() {
+		defer readerDone.Done()
+		// Closing filled (after the final push) is what hands the stream
+		// end to the detector loop; readerDone.Wait below then orders the
+		// scanner's terminal Err/Offset before this goroutine reads them.
+		defer filled.Close()
+		var tally packetTally
+		keep := func(raw []byte) bool {
+			tally.count(raw)
+			return forensics.RelevantRecord(raw)
+		}
+		for {
+			b, ok := free.Pop()
+			if !ok {
+				return
+			}
+			tPre := time.Now()
+			if !sc.ScanBatchKeep(b, keep) {
+				residual.frames, residual.tally = sc.Frame(), tally
+				return
 			}
 			now := time.Now()
-			rec := sc.Record()
-			det.Push(rec)
-			st.records.Add(1)
+			m.stageScan.Observe(now.Sub(tPre))
 			st.lastActive.Store(now.UnixNano())
-			m.records.Add(1)
-			off := sc.Offset()
-			st.bytes.Store(off)
-			m.bytes.Add(uint64(off - prevOff))
-			prevOff = off
-			m.countPacket(rec.Data)
-			evs := det.Drain()
-			if len(evs) == 0 {
-				continue
-			}
-			t0 := time.Now()
-			for _, ev := range evs {
-				st.findings.Add(1)
-				m.countFinding(ev.Finding.Kind)
-				s.emit(st, findingEvent(st.id, ev))
-			}
-			tEnd := time.Now()
-			m.stageEmit.Observe(tEnd.Sub(t0))
-			// Detection latency: the completing record was read at now;
-			// its findings are on the event queue at tEnd.
-			d := tEnd.Sub(now)
-			for range evs {
-				m.detect.Observe(d)
-				st.detect.Observe(d)
-			}
-			continue
+			filled.Push(ingestItem{b: b, at: now, off: sc.Offset(), frames: sc.Frame(), tally: tally})
+			tally = packetTally{}
 		}
+	}()
 
-		// Sampled record: every stage boundary gets a clock read.
-		nRec++
-		tPre := time.Now()
-		if !sc.Scan() {
+	var prevOff int64
+	var prevFrames int
+	for {
+		it, ok := filled.Pop()
+		if !ok {
 			break
 		}
-		now := time.Now()
-		m.stageScan.Observe(now.Sub(tPre))
-		rec := sc.Record()
-		det.Push(rec)
+		det.PushKept(it.b.Frames, it.b.Records)
 		tPush := time.Now()
-		m.stagePush.Observe(tPush.Sub(now))
-		st.records.Add(1)
-		st.lastActive.Store(now.UnixNano())
-		m.records.Add(1)
-		off := sc.Offset()
-		st.bytes.Store(off)
-		m.bytes.Add(uint64(off - prevOff))
-		prevOff = off
-		m.countPacket(rec.Data)
+		m.stagePush.Observe(tPush.Sub(it.at))
+		n := uint64(it.frames - prevFrames)
+		prevFrames = it.frames
+		st.records.Add(n)
+		m.records.Add(n)
+		st.bytes.Store(it.off)
+		m.bytes.Add(uint64(it.off - prevOff))
+		prevOff = it.off
+		m.addPacketTally(it.tally)
 		evs := det.Drain()
 		tDrain := time.Now()
 		m.stageDrain.Observe(tDrain.Sub(tPush))
@@ -444,18 +483,30 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 			}
 			tEnd := time.Now()
 			m.stageEmit.Observe(tEnd.Sub(tDrain))
-			d := tEnd.Sub(now)
+			// Detection latency: the completing batch was scanned at
+			// it.at; its findings are on the event queue at tEnd.
+			d := tEnd.Sub(it.at)
 			for range evs {
 				m.detect.Observe(d)
 				st.detect.Observe(d)
 			}
-			m.ingest.Observe(tEnd.Sub(now))
-			st.ingest.Observe(tEnd.Sub(now))
+			m.ingest.Observe(tEnd.Sub(it.at))
+			st.ingest.Observe(tEnd.Sub(it.at))
 		} else {
-			d := tDrain.Sub(now)
+			d := tDrain.Sub(it.at)
 			m.ingest.Observe(d)
 			st.ingest.Observe(d)
 		}
+		// Depth batches circulate and free is never closed, so recycling
+		// cannot fail; the guard only drops the batch to the GC.
+		free.TryPush(it.b)
+	}
+	readerDone.Wait()
+	if residual.frames > prevFrames {
+		n := uint64(residual.frames - prevFrames)
+		st.records.Add(n)
+		m.records.Add(n)
+		m.addPacketTally(residual.tally)
 	}
 
 	err := sc.Err()
@@ -463,7 +514,7 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 	s.metrics.countEnd(status)
 	sum := StreamSummary{
 		ID: st.id, Proto: st.proto, Label: st.label,
-		Records:  det.Frames(),
+		Records:  sc.Frame(),
 		Bytes:    sc.Offset(),
 		Findings: det.Findings(),
 		Status:   status,

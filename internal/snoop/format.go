@@ -9,7 +9,6 @@
 package snoop
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -25,9 +24,18 @@ const (
 	// Version is the only defined format version.
 	Version = 1
 
+	// DatalinkH1 identifies un-encapsulated HCI (H1) records.
+	DatalinkH1 = 1001
+
 	// DatalinkH4 identifies HCI UART (H4) encapsulation: each record is an
 	// H4 packet beginning with the packet-type indicator octet.
 	DatalinkH4 = 1002
+
+	// DatalinkBCSP identifies BCSP-encapsulated records.
+	DatalinkBCSP = 1003
+
+	// DatalinkH5 identifies 3-wire UART (H5) encapsulated records.
+	DatalinkH5 = 1004
 
 	// btsnoopEpochDelta is the number of microseconds between the btsnoop
 	// epoch (0000-01-01 00:00:00) and the Unix epoch, per the Android and
@@ -76,13 +84,24 @@ var (
 
 // Writer emits a btsnoop stream.
 type Writer struct {
-	w       io.Writer
-	started bool
+	w        io.Writer
+	datalink uint32
+	started  bool
 }
 
 // NewWriter returns a Writer that emits the file header on the first
-// record (or on Flush).
-func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+// record (or on Flush). The datalink defaults to DatalinkH4; use
+// SetDatalink before the first record to emit a different one (Rewrite
+// does this to preserve the source stream's datalink).
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w, datalink: DatalinkH4} }
+
+// SetDatalink sets the datalink type stamped into the file header. It
+// has no effect once the header has been written.
+func (w *Writer) SetDatalink(datalink uint32) {
+	if !w.started {
+		w.datalink = datalink
+	}
+}
 
 func (w *Writer) header() error {
 	if w.started {
@@ -92,7 +111,7 @@ func (w *Writer) header() error {
 	var hdr [16]byte
 	copy(hdr[:8], magic)
 	binary.BigEndian.PutUint32(hdr[8:12], Version)
-	binary.BigEndian.PutUint32(hdr[12:16], DatalinkH4)
+	binary.BigEndian.PutUint32(hdr[12:16], w.datalink)
 	_, err := w.w.Write(hdr[:])
 	return err
 }
@@ -158,17 +177,28 @@ func readFileHeader(r io.Reader) (uint32, int, error) {
 		}
 		return 0, n, fmt.Errorf("%w: file header: %w", ErrTruncated, err)
 	}
+	dl, err := parseFileHeader(&hdr)
+	return dl, n, err
+}
+
+// parseFileHeader validates a fully buffered 16-byte file header and
+// returns the datalink type. Shared by readFileHeader and BatchScanner
+// so both enforce identical rules. All datalink types btsnoop defines
+// are accepted (H1/H4/BCSP/H5 — Rewrite must round-trip any of them);
+// anything else is ErrBadDatalink.
+func parseFileHeader(hdr *[16]byte) (uint32, error) {
 	if string(hdr[:8]) != magic {
-		return 0, n, ErrBadMagic
+		return 0, ErrBadMagic
 	}
 	if v := binary.BigEndian.Uint32(hdr[8:12]); v != Version {
-		return 0, n, fmt.Errorf("%w: %d", ErrBadVersion, v)
+		return 0, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
 	datalink := binary.BigEndian.Uint32(hdr[12:16])
-	if datalink != DatalinkH4 {
-		return 0, n, fmt.Errorf("%w: %d", ErrBadDatalink, datalink)
+	switch datalink {
+	case DatalinkH1, DatalinkH4, DatalinkBCSP, DatalinkH5:
+		return datalink, nil
 	}
-	return datalink, n, nil
+	return 0, fmt.Errorf("%w: %d", ErrBadDatalink, datalink)
 }
 
 func (r *Reader) readHeader() error {
@@ -248,18 +278,21 @@ func eofUnexpected(err error) error {
 	return err
 }
 
-// ReadAll parses a complete btsnoop file from a byte slice.
+// ReadAll parses a complete btsnoop file from a byte slice. Payloads
+// are carved from a Slab rather than allocated per record, so
+// materializing a million-record capture costs hundreds of allocations,
+// not millions.
 func ReadAll(data []byte) ([]Record, error) {
-	r := NewReader(bytes.NewReader(data))
-	var out []Record
-	for {
-		rec, err := r.ReadRecord()
-		if errors.Is(err, io.EOF) {
-			return out, nil
+	sc := NewBatchScannerBytes(data)
+	var (
+		out  []Record
+		slab Slab
+		b    RecordBatch
+	)
+	for sc.ScanBatch(&b) {
+		for _, rec := range b.Records {
+			out = append(out, rec.CloneInto(&slab))
 		}
-		if err != nil {
-			return out, err
-		}
-		out = append(out, rec)
 	}
+	return out, sc.Err()
 }

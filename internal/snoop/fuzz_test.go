@@ -3,6 +3,7 @@ package snoop
 import (
 	"bytes"
 	"testing"
+	"testing/iotest"
 )
 
 // FuzzReadAll throws arbitrary bytes at the btsnoop reader: no panics, no
@@ -29,10 +30,14 @@ func FuzzReadAll(f *testing.F) {
 	})
 }
 
-// FuzzScanner runs the incremental reader against ReadAll on arbitrary
-// bytes: both must accept the same record count and agree on whether the
-// input is an error, with no panics. Seeds cover truncation at the file
-// header, record header, and payload boundaries, plus bad framing.
+// FuzzScanner is the three-way differential: ReadAll, the incremental
+// Scanner, and the BatchScanner must yield identical record sequences,
+// frame numbers, final Offset, and error classification (clean EOF /
+// ErrTruncated / ErrBadFraming / bad header) on arbitrary bytes, with no
+// panics. Seeds cover truncation at the file header, record header, and
+// payload boundaries, plus bad framing. The batch path additionally runs
+// over a one-byte-per-Read stream to exercise every partial-buffer
+// carry path.
 func FuzzScanner(f *testing.F) {
 	var seed bytes.Buffer
 	w := NewWriter(&seed)
@@ -50,17 +55,59 @@ func FuzzScanner(f *testing.F) {
 	f.Add(bad)
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		recs, readErr := ReadAll(raw)
+
 		sc := NewScanner(bytes.NewReader(raw))
-		n := 0
+		var scanned []Record
 		for sc.Scan() {
-			n++
+			if sc.Frame() != len(scanned)+1 {
+				t.Fatalf("Scanner frame %d at position %d", sc.Frame(), len(scanned)+1)
+			}
+			scanned = append(scanned, sc.Record().Clone())
 		}
 		scanErr := sc.Err()
 		if (readErr == nil) != (scanErr == nil) {
 			t.Fatalf("ReadAll err=%v, Scanner err=%v", readErr, scanErr)
 		}
-		if n != len(recs) {
-			t.Fatalf("ReadAll %d records, Scanner %d", len(recs), n)
+		if len(scanned) != len(recs) {
+			t.Fatalf("ReadAll %d records, Scanner %d", len(recs), len(scanned))
+		}
+
+		for name, bs := range map[string]*BatchScanner{
+			"block":   NewBatchScanner(bytes.NewReader(raw)),
+			"trickle": NewBatchScanner(iotest.OneByteReader(bytes.NewReader(raw))),
+			"bytes":   NewBatchScannerBytes(raw),
+		} {
+			var (
+				b    RecordBatch
+				slab Slab
+				got  []Record
+			)
+			for bs.ScanBatch(&b) {
+				if b.First != len(got)+1 {
+					t.Fatalf("%s: batch First=%d at position %d", name, b.First, len(got)+1)
+				}
+				for _, rec := range b.Records {
+					got = append(got, rec.CloneInto(&slab))
+				}
+			}
+			if gc, wc := errClass(bs.Err()), errClass(scanErr); gc != wc {
+				t.Fatalf("%s: batch error %q (%v), scanner %q (%v)", name, gc, bs.Err(), wc, scanErr)
+			}
+			if bs.Offset() != sc.Offset() {
+				t.Fatalf("%s: batch offset %d, scanner %d", name, bs.Offset(), sc.Offset())
+			}
+			if len(got) != len(scanned) {
+				t.Fatalf("%s: batch %d records, scanner %d", name, len(got), len(scanned))
+			}
+			for i := range scanned {
+				if !bytes.Equal(got[i].Data, scanned[i].Data) ||
+					got[i].Flags != scanned[i].Flags ||
+					got[i].OriginalLength != scanned[i].OriginalLength ||
+					got[i].CumulativeDrops != scanned[i].CumulativeDrops ||
+					!got[i].Timestamp.Equal(scanned[i].Timestamp) {
+					t.Fatalf("%s: record %d differs:\n batch   %+v\n scanner %+v", name, i, got[i], scanned[i])
+				}
+			}
 		}
 	})
 }

@@ -175,11 +175,16 @@ func (r Record) Clone() Record {
 // LinkKeyFilter) in constant memory. A nil filter copies the capture
 // verbatim. Filters must not retain the record's Data across calls; the
 // stock filters copy before rewriting. It returns how many records were
-// kept and dropped.
+// kept and dropped. The source stream's datalink type is propagated to
+// the output header, so a non-H4 capture round-trips instead of being
+// silently restamped as H4.
 func Rewrite(dst io.Writer, src io.Reader, filter func(Record) (Record, bool)) (kept, dropped int, err error) {
 	sc := NewScanner(src)
 	w := NewWriter(dst)
 	for sc.Scan() {
+		// The datalink is known once the first Scan has consumed the
+		// file header; latch it before the Writer emits its own header.
+		w.SetDatalink(sc.Datalink())
 		rec := sc.Record()
 		if filter != nil {
 			out, ok := filter(rec)
@@ -197,5 +202,8 @@ func Rewrite(dst io.Writer, src io.Reader, filter func(Record) (Record, bool)) (
 	if err := sc.Err(); err != nil {
 		return kept, dropped, err
 	}
+	// A record-free source still read its file header; preserve its
+	// datalink on the header-only output too.
+	w.SetDatalink(sc.Datalink())
 	return kept, dropped, w.Flush()
 }

@@ -122,10 +122,16 @@ func TestReaderRejectsBadInput(t *testing.T) {
 	if _, err := ReadAll(bad); !errors.Is(err, ErrBadVersion) {
 		t.Errorf("bad version: %v", err)
 	}
-	// Correct version, wrong datalink (H1 = 1001).
-	bad2 := append([]byte("btsnoop\x00"), 0, 0, 0, 1, 0, 0, 3, 0xE9)
+	// Correct version, unknown datalink (9999 — not one of the four
+	// btsnoop-defined types).
+	bad2 := append([]byte("btsnoop\x00"), 0, 0, 0, 1, 0, 0, 0x27, 0x0F)
 	if _, err := ReadAll(bad2); !errors.Is(err, ErrBadDatalink) {
 		t.Errorf("bad datalink: %v", err)
+	}
+	// Known non-H4 datalinks parse (Rewrite must round-trip them).
+	h1 := append([]byte("btsnoop\x00"), 0, 0, 0, 1, 0, 0, 3, 0xE9)
+	if recs, err := ReadAll(h1); err != nil || len(recs) != 0 {
+		t.Errorf("H1 datalink header: %v %d", err, len(recs))
 	}
 	// Truncated record payload.
 	var buf bytes.Buffer

@@ -1,0 +1,141 @@
+package spsc
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFIFOAndCapacity(t *testing.T) {
+	r := New[int](3) // rounds up to 4
+	if r.Cap() != 4 {
+		t.Fatalf("cap %d, want 4", r.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		if !r.TryPush(i) {
+			t.Fatalf("push %d refused below capacity", i)
+		}
+	}
+	if r.TryPush(99) {
+		t.Fatal("push accepted on a full ring")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := r.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %d ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("pop succeeded on an empty ring")
+	}
+}
+
+func TestCloseDrainsThenStops(t *testing.T) {
+	r := New[int](4)
+	for i := 0; i < 3; i++ {
+		r.TryPush(i)
+	}
+	r.Close()
+	if r.Push(9) {
+		t.Fatal("push succeeded after close")
+	}
+	for i := 0; i < 3; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("drain %d: got %d ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop yielded after drain of a closed ring")
+	}
+}
+
+func TestCloseWakesBlockedPop(t *testing.T) {
+	r := New[int](2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := r.Pop(); ok {
+			t.Error("blocked pop returned a value from an empty closed ring")
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pop stayed blocked after Close")
+	}
+}
+
+func TestCloseWakesBlockedPush(t *testing.T) {
+	r := New[int](2)
+	r.TryPush(1)
+	r.TryPush(2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if r.Push(3) {
+			t.Error("blocked push succeeded on a closed ring")
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Push stayed blocked after Close")
+	}
+}
+
+// TestStress pumps a counter through a small ring between two
+// goroutines; under -race this doubles as the memory-model check for
+// the publish/consume edges (the slot write is ordered by the tail
+// store, the slot read by the tail load).
+func TestStress(t *testing.T) {
+	const n = 200_000
+	r := New[int](8)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if !r.Push(i) {
+				t.Error("push failed mid-stream")
+				return
+			}
+		}
+		r.Close()
+	}()
+	for i := 0; i < n; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %d ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("ring yielded beyond the close")
+	}
+	wg.Wait()
+}
+
+// TestStressPointer moves heap objects across the ring under -race: the
+// consumer dereferences what the producer allocated, so any missing
+// happens-before edge trips the detector.
+func TestStressPointer(t *testing.T) {
+	const n = 100_000
+	type box struct{ v int }
+	r := New[*box](4)
+	go func() {
+		for i := 0; i < n; i++ {
+			r.Push(&box{v: i})
+		}
+		r.Close()
+	}()
+	for i := 0; i < n; i++ {
+		b, ok := r.Pop()
+		if !ok || b.v != i {
+			t.Fatalf("pop %d: got %+v ok=%v", i, b, ok)
+		}
+	}
+}

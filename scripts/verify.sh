@@ -59,9 +59,31 @@ rc=0
 "$chaos_dir/blapd" -stdin < "$chaos_dir/a/flaky-extraction_C.btsnoop" || rc=$?
 [ "$rc" -eq 3 ]
 
+# Batch-pipeline smoke: a 1M-record synthetic capture fed through the
+# one-shot blapd batch path twice must produce byte-identical finding
+# lines (no wall-clock leakage, deterministic batch boundaries) and the
+# exit-3 contract, and hcidump -analyze must agree on the same capture.
+batch_dir=$(mktemp -d)
+go run ./cmd/benchtables -synth "$batch_dir/batch.btsnoop" -synthrecords 1000000 -seed 9
+go build -o "$batch_dir/blapd" ./cmd/blapd
+go build -o "$batch_dir/hcidump" ./cmd/hcidump
+rc=0
+"$batch_dir/blapd" -stdin < "$batch_dir/batch.btsnoop" > "$batch_dir/run1.jsonl" || rc=$?
+[ "$rc" -eq 3 ]
+rc=0
+"$batch_dir/blapd" -stdin < "$batch_dir/batch.btsnoop" > "$batch_dir/run2.jsonl" || rc=$?
+[ "$rc" -eq 3 ]
+grep '"type":"finding"' "$batch_dir/run1.jsonl" > "$batch_dir/f1"
+grep '"type":"finding"' "$batch_dir/run2.jsonl" > "$batch_dir/f2"
+cmp "$batch_dir/f1" "$batch_dir/f2"
+rc=0
+"$batch_dir/hcidump" -analyze "$batch_dir/batch.btsnoop" >/dev/null || rc=$?
+[ "$rc" -eq 3 ]
+rm -rf "$batch_dir"
+
 # The committed bench JSONs must stay well-formed (the pr4 check also
 # enforces the degraded-sweep acceptance criteria).
-for bj in BENCH_pr2.json BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json; do
+for bj in BENCH_pr2.json BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json; do
     if [ -f "$bj" ]; then
         go run ./cmd/benchtables -checkjson "$bj"
     fi
@@ -72,4 +94,12 @@ done
 # 5% of the pre-instrumentation throughput artifact (BENCH_pr3).
 if [ -f BENCH_pr5.json ] && [ -f BENCH_pr3.json ]; then
     go run ./cmd/benchtables -checkjson BENCH_pr5.json -baseline BENCH_pr3.json
+fi
+
+# Batch-pipeline speedup gate: the PR 6 block-scanning ingest must run
+# sentinel_ingest_1m and forensics_scan_1m at least 3x faster than the
+# PR 5 artifact, with allocations per record no worse. Both JSONs are
+# committed, so this check is deterministic.
+if [ -f BENCH_pr6.json ] && [ -f BENCH_pr5.json ]; then
+    go run ./cmd/benchtables -checkjson BENCH_pr6.json -baseline BENCH_pr5.json -minspeedup 3
 fi
