@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/bt"
@@ -250,6 +251,7 @@ type benchEntry struct {
 	Speedup     float64 `json:"speedup"`
 
 	Records            int     `json:"records,omitempty"`
+	Streams            int     `json:"streams,omitempty"`
 	CaptureBytes       int64   `json:"capture_bytes,omitempty"`
 	BaselineAllocs     uint64  `json:"baseline_allocs,omitempty"`
 	OptimizedAllocs    uint64  `json:"optimized_allocs,omitempty"`
@@ -286,7 +288,10 @@ func writeBenchJSON(path string, seed int64) error {
 		workers = 2
 	}
 	report := benchReport{
-		GOMAXPROCS: workers,
+		// Record the real core count, not the min-2 worker clamp: the
+		// baseline gates use it to decide whether parallel-speedup
+		// requirements are meaningful on the recording machine.
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    workers,
 		Note:       "simulator wall-clock, not radio time; parallel speedup requires >1 CPU",
 	}
@@ -391,29 +396,59 @@ func writeBenchJSON(path string, seed int64) error {
 	}
 	report.Results = append(report.Results, se)
 
-	// Degraded-channel sweep (PR 4): serial vs parallel timing plus the
-	// rows themselves. The parallel rows must be bit-identical to the
-	// serial ones — that identity is the determinism contract.
-	const degradedTrials = 10
-	var serialRows, parallelRows []eval.DegradedRow
-	err = entry("degraded_sweep_10trials", "workers=1", fmt.Sprintf("workers=%d", workers),
-		func() error {
-			var err error
-			serialRows, err = eval.RunDegradedSweepWorkers(seed, degradedTrials, 1)
-			return err
-		},
-		func() error {
-			var err error
-			parallelRows, err = eval.RunDegradedSweepWorkers(seed, degradedTrials, workers)
-			return err
-		})
+	me, err := sentinelIngestMultiEntry(seed)
 	if err != nil {
 		return err
+	}
+	report.Results = append(report.Results, me)
+
+	// Degraded-channel sweep (PR 4): serial vs parallel timing plus the
+	// rows themselves. The parallel rows must be bit-identical to the
+	// serial ones — that identity is the determinism contract. Each side
+	// is best-of-3 behind a forced GC: the sweep is dominated by P-256
+	// pairing work whose one-shot timing swings with collector and
+	// scheduler luck by more than any engine overhead (the BENCH_pr6
+	// artifact recorded a phantom 0.77x "regression" exactly that way).
+	const degradedTrials = 10
+	var serialRows, parallelRows []eval.DegradedRow
+	timeSweep := func(w int, dst *[]eval.DegradedRow) (int64, error) {
+		var best int64
+		for pass := 0; pass < 3; pass++ {
+			runtime.GC()
+			t0 := time.Now()
+			rows, err := eval.RunDegradedSweepWorkers(seed, degradedTrials, w)
+			ns := time.Since(t0).Nanoseconds()
+			if err != nil {
+				return 0, err
+			}
+			*dst = rows
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best, nil
+	}
+	sns, err := timeSweep(1, &serialRows)
+	if err != nil {
+		return fmt.Errorf("degraded_sweep_10trials baseline: %w", err)
+	}
+	pns, err := timeSweep(workers, &parallelRows)
+	if err != nil {
+		return fmt.Errorf("degraded_sweep_10trials optimized: %w", err)
 	}
 	if !reflect.DeepEqual(serialRows, parallelRows) {
 		return fmt.Errorf("degraded sweep rows differ between worker counts")
 	}
-	report.Results[len(report.Results)-1].OutputsIdentical = true
+	de := benchEntry{
+		Name:     "degraded_sweep_10trials",
+		Baseline: "workers=1", Optimized: fmt.Sprintf("workers=%d", workers),
+		BaselineNs: sns, OptimizedNs: pns,
+		OutputsIdentical: true,
+	}
+	if pns > 0 {
+		de.Speedup = float64(sns) / float64(pns)
+	}
+	report.Results = append(report.Results, de)
 	report.DegradedSweep = parallelRows
 
 	buf, err := json.MarshalIndent(report, "", "  ")
@@ -619,6 +654,190 @@ func sentinelIngestEntry(seed int64) (benchEntry, error) {
 	return e, nil
 }
 
+// sentinelIngestMultiEntry benchmarks the sharded fan-in: N concurrent
+// unix-socket streams, each carrying the same one-million-record
+// synthetic capture, against the same N streams run back to back. The
+// concurrent side is what the per-core shards exist for — N detector
+// pipelines and N shard writers with no shared queue and no global
+// writer lock — so on a multi-core machine the aggregate records/sec
+// must scale past the single-stream figure (the -checkjson baseline
+// gate enforces >=2x on >=2 CPUs). Both sides are best-of-3; parity is
+// verified per stream on the last concurrent pass: every stream's live
+// finding events must match the batch findings in order, frame, kind,
+// peer, and detail.
+func sentinelIngestMultiEntry(seed int64) (benchEntry, error) {
+	const records = 1_000_000
+	streams := runtime.GOMAXPROCS(0)
+	if streams < 2 {
+		streams = 2 // still exercise the multi-stream path (no speedup on one core)
+	}
+	if streams > 8 {
+		streams = 8
+	}
+
+	var capture bytes.Buffer
+	if _, err := snoop.Synthesize(&capture, snoop.SynthConfig{Records: records, Seed: seed}); err != nil {
+		return benchEntry{}, fmt.Errorf("synthesizing capture: %w", err)
+	}
+	data := capture.Bytes()
+	batchRep, err := forensics.AnalyzeStream(bytes.NewReader(data))
+	if err != nil {
+		return benchEntry{}, fmt.Errorf("sentinel_ingest_multi batch reference: %w", err)
+	}
+
+	sock := filepath.Join(os.TempDir(), fmt.Sprintf("blapd-multi-%d.sock", os.Getpid()))
+	var mu sync.Mutex
+	var events bytes.Buffer
+	sink := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return events.Write(p)
+	})
+	done := make(chan sentinel.StreamSummary, streams)
+	srv := sentinel.New(sentinel.Config{
+		UnixAddr:    sock,
+		MaxStreams:  streams,
+		Output:      sink,
+		OnStreamEnd: func(sum sentinel.StreamSummary) { done <- sum },
+	})
+	if err := srv.Start(); err != nil {
+		return benchEntry{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	oneStream := func() error {
+		conn, err := net.Dial("unix", srv.UnixAddr())
+		if err != nil {
+			return err
+		}
+		if _, err := conn.Write(data); err != nil {
+			conn.Close()
+			return fmt.Errorf("streaming capture: %w", err)
+		}
+		return conn.Close()
+	}
+	waitAll := func(n int) error {
+		for i := 0; i < n; i++ {
+			sum := <-done
+			if sum.Status != sentinel.StatusClean || sum.Records != records || sum.EventsDropped != 0 {
+				return fmt.Errorf("stream %d ended %q with %d records (%d events dropped): %v",
+					sum.ID, sum.Status, sum.Records, sum.EventsDropped, sum.Err)
+			}
+		}
+		return nil
+	}
+
+	// Baseline: the same N captures, one stream at a time — the work a
+	// single-writer funnel serializes regardless of core count.
+	var bns int64
+	for pass := 0; pass < 3; pass++ {
+		mu.Lock()
+		events.Reset()
+		mu.Unlock()
+		t0 := time.Now()
+		for i := 0; i < streams; i++ {
+			if err := oneStream(); err != nil {
+				return benchEntry{}, fmt.Errorf("sentinel_ingest_multi baseline: %w", err)
+			}
+			if err := waitAll(1); err != nil {
+				return benchEntry{}, fmt.Errorf("sentinel_ingest_multi baseline: %w", err)
+			}
+		}
+		ns := time.Since(t0).Nanoseconds()
+		if bns == 0 || ns < bns {
+			bns = ns
+		}
+	}
+
+	// Optimized: the same N captures, all streams in flight at once.
+	var ons int64
+	for pass := 0; pass < 3; pass++ {
+		mu.Lock()
+		events.Reset()
+		mu.Unlock()
+		errs := make(chan error, streams)
+		t0 := time.Now()
+		for i := 0; i < streams; i++ {
+			go func() { errs <- oneStream() }()
+		}
+		for i := 0; i < streams; i++ {
+			if err := <-errs; err != nil {
+				return benchEntry{}, fmt.Errorf("sentinel_ingest_multi optimized: %w", err)
+			}
+		}
+		if err := waitAll(streams); err != nil {
+			return benchEntry{}, fmt.Errorf("sentinel_ingest_multi optimized: %w", err)
+		}
+		ns := time.Since(t0).Nanoseconds()
+		if ons == 0 || ns < ons {
+			ons = ns
+		}
+	}
+
+	// Live-vs-batch parity per stream, on the last concurrent pass: the
+	// shard writers interleave whole batches, so split by stream id and
+	// compare each stream's findings against the one batch reference.
+	mu.Lock()
+	raw := append([]byte(nil), events.Bytes()...)
+	mu.Unlock()
+	liveByStream := make(map[uint64][]sentinel.Event)
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev sentinel.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return benchEntry{}, fmt.Errorf("sentinel_ingest_multi: bad event line: %w", err)
+		}
+		if ev.Type == sentinel.EventFinding {
+			liveByStream[ev.Stream] = append(liveByStream[ev.Stream], ev)
+		}
+	}
+	if len(liveByStream) != streams {
+		return benchEntry{}, fmt.Errorf("sentinel_ingest_multi: findings from %d streams, want %d", len(liveByStream), streams)
+	}
+	for id, live := range liveByStream {
+		if len(live) != len(batchRep.Findings) {
+			return benchEntry{}, fmt.Errorf("sentinel_ingest_multi: stream %d has %d findings, batch has %d",
+				id, len(live), len(batchRep.Findings))
+		}
+		for i, ev := range live {
+			w := batchRep.Findings[i]
+			if ev.Seq != uint64(i+1) || ev.Frame != w.Frame || ev.Kind != w.Kind ||
+				ev.Peer != w.Peer.String() || ev.Detail != w.Detail {
+				return benchEntry{}, fmt.Errorf("sentinel_ingest_multi: stream %d finding %d diverges from batch", id, i)
+			}
+		}
+	}
+
+	e := benchEntry{
+		Name:      "sentinel_ingest_multi",
+		Baseline:  fmt.Sprintf("%d streams sequential (single-stream funnel)", streams),
+		Optimized: fmt.Sprintf("%d streams concurrent (sharded writers, shards=GOMAXPROCS)", streams),
+		BaselineNs: bns, OptimizedNs: ons,
+		Records: streams * records, Streams: streams,
+		CaptureBytes:     int64(len(data)) * int64(streams),
+		OutputsIdentical: true,
+	}
+	if ons > 0 {
+		e.Speedup = float64(bns) / float64(ons)
+		e.OptimizedRecPerSec = float64(streams*records) / (float64(ons) / 1e9)
+	}
+	if bns > 0 {
+		e.BaselineRecPerSec = float64(streams*records) / (float64(bns) / 1e9)
+	}
+	return e, nil
+}
+
+// writerFunc adapts a function to io.Writer (the multi-stream bench's
+// mutex-guarded event sink).
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
 // checkBenchJSON validates the shape of a bench JSON file: it must parse
 // as a benchReport with a non-empty Results list whose entries all carry
 // a name and timings, and any capture-scan entry must have verified
@@ -724,6 +943,53 @@ func checkAgainstBaseline(path, basePath string, minSpeedup float64) error {
 	if minSpeedup > 0 {
 		return compare("forensics_scan_1m")
 	}
+
+	// PR 7 gates, triggered by the artifact itself: when the fresh file
+	// carries a sentinel_ingest_multi entry it was produced by the
+	// sharded daemon, so enforce the sharding acceptance criteria —
+	// multi-stream aggregate throughput at least 2x the single-stream
+	// figure (meaningful only when the recording machine had >=2 CPUs),
+	// and the degraded sweep's parallel speedup restored to >=0.95.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]benchEntry, len(rep.Results))
+	for _, e := range rep.Results {
+		byName[e.Name] = e
+	}
+	multi, ok := byName["sentinel_ingest_multi"]
+	if !ok {
+		return nil // pre-shard artifact; nothing more to enforce
+	}
+	single, ok := byName["sentinel_ingest_1m"]
+	if !ok || single.OptimizedRecPerSec <= 0 {
+		return fmt.Errorf("%s: sentinel_ingest_multi without a single-stream figure to compare against", path)
+	}
+	ratio := multi.OptimizedRecPerSec / single.OptimizedRecPerSec
+	if rep.GOMAXPROCS >= 2 {
+		if ratio < 2 {
+			return fmt.Errorf("sentinel_ingest_multi aggregate %.2fM rec/s is %.2fx the single-stream %.2fM rec/s (floor 2x on %d CPUs)",
+				multi.OptimizedRecPerSec/1e6, ratio, single.OptimizedRecPerSec/1e6, rep.GOMAXPROCS)
+		}
+		fmt.Printf("sentinel_ingest_multi: %d streams, %.2fM rec/s aggregate = %.2fx single-stream (floor 2x)\n",
+			multi.Streams, multi.OptimizedRecPerSec/1e6, ratio)
+	} else {
+		fmt.Printf("sentinel_ingest_multi: %d streams, %.2fM rec/s aggregate = %.2fx single-stream (2x floor waived: recorded on %d CPU)\n",
+			multi.Streams, multi.OptimizedRecPerSec/1e6, ratio, rep.GOMAXPROCS)
+	}
+	deg, ok := byName["degraded_sweep_10trials"]
+	if !ok {
+		return fmt.Errorf("%s: missing degraded_sweep_10trials entry", path)
+	}
+	if deg.Speedup < 0.95 {
+		return fmt.Errorf("degraded_sweep_10trials workers=%d speedup %.2fx below the 0.95 floor", rep.Workers, deg.Speedup)
+	}
+	fmt.Printf("degraded_sweep_10trials: workers=%d speedup %.2fx (floor 0.95)\n", rep.Workers, deg.Speedup)
 	return nil
 }
 

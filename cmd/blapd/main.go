@@ -45,6 +45,7 @@ func main() {
 		unixAddr     = flag.String("unix", "", "btsnoop ingestion Unix socket path (empty disables)")
 		httpAddr     = flag.String("http", "", "metrics/health HTTP address (empty disables)")
 		maxStreams   = flag.Int("max-streams", 64, "max concurrent ingestion streams; excess connections are rejected")
+		shards       = flag.Int("shards", 0, "event shard count for the output fan-in (0 = GOMAXPROCS); -shards 1 keeps the single-writer layout and reproduces the pre-shard output byte-for-byte on a single stream")
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "per-read idle deadline on ingestion sockets (0 = default, negative disables)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight streams on shutdown")
 		pprofFlag    = flag.Bool("pprof", false, "expose /debug/pprof profiling handlers on the -http address")
@@ -60,7 +61,7 @@ func main() {
 
 	switch {
 	case *smoke:
-		if err := runSmoke(os.Stderr); err != nil {
+		if err := runSmoke(os.Stderr, *shards); err != nil {
 			fail(err)
 		}
 		fmt.Println("blapd smoke: ok")
@@ -69,7 +70,7 @@ func main() {
 			fail(err)
 		}
 	case *stdin:
-		os.Exit(runStdin(*maxStreams))
+		os.Exit(runStdin(*maxStreams, *shards))
 	default:
 		if *tcpAddr == "" && *unixAddr == "" {
 			fmt.Fprintln(os.Stderr, "blapd: no ingestion listener; set -tcp and/or -unix (or use -stdin/-send/-smoke)")
@@ -84,6 +85,7 @@ func main() {
 			UnixAddr:    *unixAddr,
 			HTTPAddr:    *httpAddr,
 			MaxStreams:  *maxStreams,
+			Shards:      *shards,
 			ReadTimeout: *readTimeout,
 			EnablePprof: *pprofFlag,
 			Output:      os.Stdout,
@@ -121,8 +123,8 @@ func runDaemon(cfg sentinel.Config, drain time.Duration) error {
 }
 
 // runStdin ingests one capture from stdin, emitting events on stdout.
-func runStdin(maxStreams int) int {
-	s := sentinel.New(sentinel.Config{MaxStreams: maxStreams, Output: os.Stdout})
+func runStdin(maxStreams, shards int) int {
+	s := sentinel.New(sentinel.Config{MaxStreams: maxStreams, Shards: shards, Output: os.Stdout})
 	sum := s.Ingest("stdin", "stdin", os.Stdin)
 	if sum.Err != nil && sum.Status != sentinel.StatusClean {
 		fmt.Fprintf(os.Stderr, "blapd: stream ended %s: %v\n", sum.Status, sum.Err)

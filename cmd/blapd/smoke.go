@@ -11,6 +11,8 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/forensics"
@@ -18,12 +20,19 @@ import (
 	"repro/internal/snoop"
 )
 
+// smokeStreams is how many concurrent clients the smoke run drives
+// through the Unix socket. Four is enough to land on more than one
+// shard under the default shard count while keeping the check fast.
+const smokeStreams = 4
+
 // runSmoke is blapd's self-contained end-to-end check, wired into
 // scripts/verify.sh: start a server on ephemeral sockets, stream a
-// synthesized capture through the Unix socket like a real client, and
-// verify the live JSONL events match a batch forensics.Analyze of the
-// same capture — plus that /metrics and /healthz answer sanely.
-func runSmoke(log io.Writer) error {
+// synthesized capture through the Unix socket over several concurrent
+// connections like real clients, and verify every stream's live JSONL
+// events match a batch forensics.Analyze of the same capture — plus
+// that /metrics reports per-shard counters that sum to the aggregate,
+// and /healthz answers sanely.
+func runSmoke(log io.Writer, shards int) error {
 	const records = 25_000
 	var capture bytes.Buffer
 	if _, err := snoop.Synthesize(&capture, snoop.SynthConfig{Records: records, Seed: 42}); err != nil {
@@ -39,11 +48,13 @@ func runSmoke(log io.Writer) error {
 	}
 
 	var events bytes.Buffer
-	done := make(chan sentinel.StreamSummary, 1)
+	done := make(chan sentinel.StreamSummary, smokeStreams)
 	sock := filepath.Join(os.TempDir(), fmt.Sprintf("blapd-smoke-%d.sock", os.Getpid()))
 	s := sentinel.New(sentinel.Config{
 		UnixAddr:    sock,
 		HTTPAddr:    "127.0.0.1:0",
+		MaxStreams:  smokeStreams,
+		Shards:      shards,
 		EnablePprof: true,
 		Output:      &events,
 		OnStreamEnd: func(sum sentinel.StreamSummary) { done <- sum },
@@ -57,30 +68,52 @@ func runSmoke(log io.Writer) error {
 		_ = s.Shutdown(ctx)
 	}()
 
-	conn, err := net.Dial("unix", s.UnixAddr())
-	if err != nil {
-		return err
+	errs := make(chan error, smokeStreams)
+	var wg sync.WaitGroup
+	for i := 0; i < smokeStreams; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("unix", s.UnixAddr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			if _, err := conn.Write(capture.Bytes()); err != nil {
+				errs <- fmt.Errorf("streaming capture: %w", err)
+			}
+		}()
 	}
-	if _, err := conn.Write(capture.Bytes()); err != nil {
-		return fmt.Errorf("streaming capture: %w", err)
-	}
-	conn.Close()
-
-	var sum sentinel.StreamSummary
+	wg.Wait()
 	select {
-	case sum = <-done:
-	case <-time.After(30 * time.Second):
-		return fmt.Errorf("stream never finished")
-	}
-	if sum.Status != sentinel.StatusClean {
-		return fmt.Errorf("stream ended %q: %v", sum.Status, sum.Err)
-	}
-	if sum.Records != records {
-		return fmt.Errorf("ingested %d records, sent %d", sum.Records, records)
+	case err := <-errs:
+		return err
+	default:
 	}
 
-	// Live events must equal the batch findings record-for-record.
-	var live []sentinel.Event
+	for i := 0; i < smokeStreams; i++ {
+		var sum sentinel.StreamSummary
+		select {
+		case sum = <-done:
+		case <-time.After(30 * time.Second):
+			return fmt.Errorf("stream %d/%d never finished", i+1, smokeStreams)
+		}
+		if sum.Status != sentinel.StatusClean {
+			return fmt.Errorf("stream %d ended %q: %v", sum.ID, sum.Status, sum.Err)
+		}
+		if sum.Records != records {
+			return fmt.Errorf("stream %d ingested %d records, sent %d", sum.ID, sum.Records, records)
+		}
+		if sum.EventsDropped != 0 {
+			return fmt.Errorf("stream %d dropped %d events in a healthy smoke run", sum.ID, sum.EventsDropped)
+		}
+	}
+
+	// Every stream's live events must equal the batch findings
+	// record-for-record — the aggregate parity the sharded fan-in must
+	// preserve even with all streams interleaving on one output.
+	live := map[uint64][]sentinel.Event{}
 	sc := bufio.NewScanner(bytes.NewReader(events.Bytes()))
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -89,16 +122,21 @@ func runSmoke(log io.Writer) error {
 			return fmt.Errorf("bad JSONL line %q: %w", sc.Text(), err)
 		}
 		if ev.Type == sentinel.EventFinding {
-			live = append(live, ev)
+			live[ev.Stream] = append(live[ev.Stream], ev)
 		}
 	}
-	if len(live) != len(want) {
-		return fmt.Errorf("live emitted %d findings, batch found %d", len(live), len(want))
+	if len(live) != smokeStreams {
+		return fmt.Errorf("findings seen on %d streams, want %d", len(live), smokeStreams)
 	}
-	for i, ev := range live {
-		w := want[i]
-		if ev.Frame != w.Frame || ev.Kind != w.Kind || ev.Peer != w.Peer.String() || ev.Detail != w.Detail {
-			return fmt.Errorf("finding %d diverges:\nlive:  %+v\nbatch: %+v", i, ev, w)
+	for id, evs := range live {
+		if len(evs) != len(want) {
+			return fmt.Errorf("stream %d emitted %d findings, batch found %d", id, len(evs), len(want))
+		}
+		for i, ev := range evs {
+			w := want[i]
+			if ev.Frame != w.Frame || ev.Kind != w.Kind || ev.Peer != w.Peer.String() || ev.Detail != w.Detail {
+				return fmt.Errorf("stream %d finding %d diverges:\nlive:  %+v\nbatch: %+v", id, i, ev, w)
+			}
 		}
 	}
 
@@ -113,8 +151,30 @@ func runSmoke(log io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("/metrics decode: %w", err)
 	}
-	if snap.Records != records || snap.StreamsTotal != 1 {
+	if snap.Records != smokeStreams*records || snap.StreamsTotal != smokeStreams {
 		return fmt.Errorf("metrics inconsistent: %+v", snap)
+	}
+	// The PR 7 shard contract: /metrics carries one row per event shard,
+	// and the shard rows sum to the aggregates they replaced.
+	wantShards := shards
+	if wantShards <= 0 {
+		wantShards = runtime.GOMAXPROCS(0)
+	}
+	if len(snap.Shards) != wantShards {
+		return fmt.Errorf("/metrics has %d shard rows, want %d", len(snap.Shards), wantShards)
+	}
+	var shardRecords, shardStreams, shardDropped uint64
+	for _, row := range snap.Shards {
+		shardRecords += row.Records
+		shardStreams += row.StreamsTotal
+		shardDropped += row.EventsDropped
+	}
+	if shardRecords != snap.Records || shardStreams != snap.StreamsTotal {
+		return fmt.Errorf("shard rows sum to %d records / %d streams, aggregate says %d / %d",
+			shardRecords, shardStreams, snap.Records, snap.StreamsTotal)
+	}
+	if shardDropped != 0 {
+		return fmt.Errorf("shards dropped %d events in a healthy smoke run", shardDropped)
 	}
 	// The PR 5 observability contract: /metrics must carry populated
 	// latency histograms — sampled ingest timing, one detect observation
@@ -122,8 +182,8 @@ func runSmoke(log io.Writer) error {
 	if snap.IngestLatency.Count == 0 {
 		return fmt.Errorf("ingest latency histogram empty: %+v", snap.IngestLatency)
 	}
-	if snap.DetectLatency.Count != uint64(len(live)) {
-		return fmt.Errorf("detect latency observed %d findings, want %d", snap.DetectLatency.Count, len(live))
+	if snap.DetectLatency.Count != uint64(smokeStreams*len(want)) {
+		return fmt.Errorf("detect latency observed %d findings, want %d", snap.DetectLatency.Count, smokeStreams*len(want))
 	}
 	for _, stage := range []string{"scan", "push", "drain", "emit"} {
 		if snap.Stages[stage].Count == 0 {
@@ -148,8 +208,8 @@ func runSmoke(log io.Writer) error {
 		return fmt.Errorf("/debug/pprof/cmdline returned %d", presp.StatusCode)
 	}
 
-	fmt.Fprintf(log, "blapd smoke: %d records, %d live findings == batch, ingest p99 %s, detect p99 %s, metrics/healthz/pprof ok\n",
-		records, len(live), usStr(snap.IngestLatency.P99US), usStr(snap.DetectLatency.P99US))
+	fmt.Fprintf(log, "blapd smoke: %d streams x %d records over %d shards, live findings == batch on every stream, ingest p99 %s, detect p99 %s, metrics/healthz/pprof ok\n",
+		smokeStreams, records, wantShards, usStr(snap.IngestLatency.P99US), usStr(snap.DetectLatency.P99US))
 	return nil
 }
 

@@ -140,25 +140,52 @@ type Snapshot struct {
 // (the count can lag a bucket bump by one); callers get a monotone,
 // never-torn view. A nil receiver returns the zero Snapshot.
 func (h *Histogram) Snapshot() Snapshot {
-	if h == nil {
-		return Snapshot{}
-	}
+	return Fold(h)
+}
+
+// Fold summarizes several histograms as if every observation had been
+// recorded into one: bucket counts, totals, and sums add; min and max
+// take the extremes; quantiles interpolate over the merged buckets.
+// This is how sharded instruments (one Histogram per shard, bumped
+// contention-free on its own cache lines) fold back into a single
+// operator-facing summary at snapshot time — the shards pay no
+// synchronization on the hot path and Fold pays the merge cost once per
+// scrape. Nil entries are skipped; no histograms (or all-empty) returns
+// the zero Snapshot. Fold(h) is exactly h.Snapshot().
+func Fold(hs ...*Histogram) Snapshot {
 	var counts [histBuckets]uint64
 	var total uint64
-	for i := range counts {
-		counts[i] = h.buckets[i].Load()
-		total += counts[i]
+	var sum int64
+	minNS := int64(-1)
+	var maxNS int64
+	for _, h := range hs {
+		if h == nil {
+			continue
+		}
+		for i := range counts {
+			c := h.buckets[i].Load()
+			counts[i] += c
+			total += c
+		}
+		sum += h.sum.Load()
+		if mp1 := h.minP1.Load(); mp1 != 0 {
+			if m := mp1 - 1; minNS < 0 || m < minNS {
+				minNS = m
+			}
+		}
+		if mx := h.max.Load(); mx > maxNS {
+			maxNS = mx
+		}
 	}
 	if total == 0 {
 		return Snapshot{}
 	}
-	minNS, maxNS := h.minP1.Load()-1, h.max.Load()
 	if minNS < 0 {
 		minNS = 0 // writer between bucket add and min store; transient
 	}
 	s := Snapshot{
 		Count:  total,
-		MeanUS: float64(h.sum.Load()) / float64(total) / 1e3,
+		MeanUS: float64(sum) / float64(total) / 1e3,
 		MinUS:  float64(minNS) / 1e3,
 		MaxUS:  float64(maxNS) / 1e3,
 	}

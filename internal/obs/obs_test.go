@@ -129,6 +129,39 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+// TestFoldMergesHistograms pins Fold's defining property: folding N
+// histograms yields the same snapshot as observing every duration into
+// one — sharded instruments must summarize exactly like the shared
+// instrument they replaced.
+func TestFoldMergesHistograms(t *testing.T) {
+	durations := []time.Duration{
+		0, time.Nanosecond, 100 * time.Microsecond, 100 * time.Microsecond,
+		3 * time.Millisecond, 10 * time.Millisecond, time.Second,
+	}
+	one := &Histogram{}
+	shards := []*Histogram{{}, {}, {}}
+	for i, d := range durations {
+		one.Observe(d)
+		shards[i%len(shards)].Observe(d)
+	}
+	want := one.Snapshot()
+	got := Fold(shards...)
+	if got != want {
+		t.Fatalf("Fold:\n got %+v\nwant %+v", got, want)
+	}
+	// Nil entries are skipped, single-histogram Fold is Snapshot.
+	if got := Fold(nil, shards[0], nil); got != shards[0].Snapshot() {
+		t.Fatalf("Fold with nils: %+v", got)
+	}
+	if got := Fold(); got != (Snapshot{}) {
+		t.Fatalf("empty Fold not zero: %+v", got)
+	}
+	// Min/max come from different shards; check they survive the merge.
+	if want.MinUS != 0 || want.MaxUS != 1e6 {
+		t.Fatalf("fixture min/max unexpected: %+v", want)
+	}
+}
+
 // TestSnapshotJSONShape pins the wire format other layers embed into
 // /metrics: the exact key set, in microsecond units.
 func TestSnapshotJSONShape(t *testing.T) {

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"io"
 	"os"
+	"strconv"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/forensics"
 	"repro/internal/snoop"
@@ -103,4 +105,140 @@ func findingEvent(id uint64, ev forensics.Event) Event {
 		Detail:    ev.Finding.Detail,
 		CaptureTS: ev.Time.UTC().Format(time.RFC3339Nano),
 	}
+}
+
+// appendJSON appends the event's JSON object to b and returns the
+// extended slice. The output is byte-identical to encoding/json's
+// rendering of the same value — field order, omitempty behavior, and
+// string escaping included — so shard writers can encode findings into
+// a reused buffer without the per-event allocations of json.Marshal
+// while every consumer of the JSONL stream sees the format PR 3
+// shipped. TestAppendJSONMatchesEncodingJSON pins the identity for
+// every event type; keep this encoder and the Event struct in lockstep.
+func (ev *Event) appendJSON(b []byte) []byte {
+	b = append(b, `{"type":`...)
+	b = appendJSONString(b, ev.Type)
+	b = append(b, `,"stream":`...)
+	b = strconv.AppendUint(b, ev.Stream, 10)
+	if ev.Proto != "" {
+		b = append(b, `,"proto":`...)
+		b = appendJSONString(b, ev.Proto)
+	}
+	if ev.Label != "" {
+		b = append(b, `,"label":`...)
+		b = appendJSONString(b, ev.Label)
+	}
+	if ev.Seq != 0 {
+		b = append(b, `,"seq":`...)
+		b = strconv.AppendUint(b, ev.Seq, 10)
+	}
+	if ev.Frame != 0 {
+		b = append(b, `,"frame":`...)
+		b = strconv.AppendInt(b, int64(ev.Frame), 10)
+	}
+	if ev.Kind != "" {
+		b = append(b, `,"kind":`...)
+		b = appendJSONString(b, ev.Kind)
+	}
+	if ev.Peer != "" {
+		b = append(b, `,"peer":`...)
+		b = appendJSONString(b, ev.Peer)
+	}
+	if ev.Detail != "" {
+		b = append(b, `,"detail":`...)
+		b = appendJSONString(b, ev.Detail)
+	}
+	if ev.CaptureTS != "" {
+		b = append(b, `,"capture_ts":`...)
+		b = appendJSONString(b, ev.CaptureTS)
+	}
+	if ev.Status != "" {
+		b = append(b, `,"status":`...)
+		b = appendJSONString(b, ev.Status)
+	}
+	if ev.Offset != 0 {
+		b = append(b, `,"offset":`...)
+		b = strconv.AppendInt(b, ev.Offset, 10)
+	}
+	if ev.Records != 0 {
+		b = append(b, `,"records":`...)
+		b = strconv.AppendInt(b, int64(ev.Records), 10)
+	}
+	if ev.Bytes != 0 {
+		b = append(b, `,"bytes":`...)
+		b = strconv.AppendInt(b, ev.Bytes, 10)
+	}
+	if ev.Findings != 0 {
+		b = append(b, `,"findings":`...)
+		b = strconv.AppendUint(b, ev.Findings, 10)
+	}
+	if ev.EventsDropped != 0 {
+		b = append(b, `,"events_dropped":`...)
+		b = strconv.AppendUint(b, ev.EventsDropped, 10)
+	}
+	if ev.Error != "" {
+		b = append(b, `,"error":`...)
+		b = appendJSONString(b, ev.Error)
+	}
+	return append(b, '}')
+}
+
+const jsonHex = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal using exactly
+// encoding/json's escaping rules (HTML-escaping on, as json.Marshal
+// defaults): quote, backslash, and control bytes are escaped (the JSON
+// short forms where they exist, \u00xx otherwise), '<', '>', and '&'
+// become </>/&, invalid UTF-8 bytes become �, and
+// U+2028/U+2029 are escaped for JS embedding. Everything else is
+// copied verbatim in bulk runs between escapes.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\b':
+				b = append(b, '\\', 'b')
+			case '\f':
+				b = append(b, '\\', 'f')
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', jsonHex[c>>4], jsonHex[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', jsonHex[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
 }

@@ -13,27 +13,56 @@ import (
 	"repro/internal/obs"
 )
 
-// metrics aggregates daemon-wide counters. Hot-path counters (records,
-// bytes, packet types) are atomics bumped once per batch from local
-// tallies; low-rate maps (findings by kind, stream ends by status) take
-// a mutex. The latency histograms (internal/obs) are lock-free and fed
-// by the per-batch stage timing in ingest.
+// metrics holds the daemon-wide cold state: the start clock and the
+// accept-path rejection counter. Everything hot — records, bytes,
+// packet tallies, event counts, latency histograms, findings-by-kind —
+// lives in the per-shard shardMetrics blocks (see shard) so concurrent
+// streams on different shards never contend on a counter or bounce a
+// shared cache line; Snapshot folds the shards back into one
+// operator-facing view per scrape.
 type metrics struct {
 	start time.Time
 
-	streamsActive   atomic.Int64
-	streamsTotal    atomic.Uint64
+	// streamsRejected is bumped on the accept path before a stream has
+	// an id (and therefore a shard); it is cold by definition — a flood
+	// of rejections is bounded by accept throughput, not ingest.
 	streamsRejected atomic.Uint64
-	records         atomic.Uint64
-	bytes           atomic.Uint64
-	events          atomic.Uint64
-	eventsDropped   atomic.Uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now()}
+}
+
+// pad is one cache line of padding. shardMetrics interleaves these
+// around its hot counter block so two shards' counters never share a
+// line even when the shard structs are allocated adjacently — the
+// whole point of sharding the metrics is that stream A's record counter
+// bump does not invalidate the line stream B is bumping.
+type pad [64]byte
+
+// shardMetrics is one shard's counter block: everything the ingest hot
+// path bumps, owned by the streams pinned to this shard. Counters are
+// atomics (several streams can share a shard), histograms are
+// internal/obs lock-free instruments, and the low-rate maps (findings
+// by kind, stream ends by status) take the shard's mutex — contended
+// only by the shard's own streams.
+type shardMetrics struct {
+	_ pad
+
+	streamsActive atomic.Int64
+	streamsTotal  atomic.Uint64
+	records       atomic.Uint64
+	bytes         atomic.Uint64
+	events        atomic.Uint64
+	eventsDropped atomic.Uint64
 
 	pktCommand atomic.Uint64
 	pktEvent   atomic.Uint64
 	pktACL     atomic.Uint64
 	pktSCO     atomic.Uint64
 	pktOther   atomic.Uint64
+
+	_ pad
 
 	// ingest is per-batch processing latency (scan completion through
 	// push, drain, and any finding emission). detect is per-finding
@@ -43,7 +72,7 @@ type metrics struct {
 	detect obs.Histogram
 	// Stage timers, observed once per batch: scan (byte wait + block
 	// decode), push (detector state machine), drain (finding
-	// collection), emit (JSONL marshal + enqueue; timed whenever
+	// collection), emit (event append + shard enqueue; timed whenever
 	// findings are emitted).
 	stageScan  obs.Histogram
 	stagePush  obs.Histogram
@@ -55,19 +84,16 @@ type metrics struct {
 	endsByStatus map[string]uint64
 }
 
-func newMetrics() *metrics {
-	return &metrics{
-		start:        time.Now(),
-		findings:     make(map[string]uint64),
-		endsByStatus: make(map[string]uint64),
-	}
+func (m *shardMetrics) init() {
+	m.findings = make(map[string]uint64)
+	m.endsByStatus = make(map[string]uint64)
 }
 
 // packetTally is one batch's worth of per-type packet counts. The
 // reader goroutine accumulates it lock-free inside the scan sweep's
 // keep callback (the only pass that sees rejected records' payloads)
 // and ships it through the ring with the batch; the detector loop folds
-// it into the shared atomics, at most one Add per type per batch
+// it into the stream's shard block, at most one Add per type per batch
 // instead of one per record.
 type packetTally struct {
 	cmd, evt, acl, sco, other uint64
@@ -92,8 +118,8 @@ func (t *packetTally) count(raw []byte) {
 	}
 }
 
-// addPacketTally folds a batch tally into the shared counters.
-func (m *metrics) addPacketTally(t packetTally) {
+// addPacketTally folds a batch tally into the shard's counters.
+func (m *shardMetrics) addPacketTally(t packetTally) {
 	if t.cmd > 0 {
 		m.pktCommand.Add(t.cmd)
 	}
@@ -111,13 +137,13 @@ func (m *metrics) addPacketTally(t packetTally) {
 	}
 }
 
-func (m *metrics) countFinding(kind string) {
+func (m *shardMetrics) countFinding(kind string) {
 	m.mu.Lock()
 	m.findings[kind]++
 	m.mu.Unlock()
 }
 
-func (m *metrics) countEnd(status string) {
+func (m *shardMetrics) countEnd(status string) {
 	m.mu.Lock()
 	m.endsByStatus[status]++
 	m.mu.Unlock()
@@ -125,9 +151,11 @@ func (m *metrics) countEnd(status string) {
 
 // StreamMetrics is the live per-stream row of a metrics snapshot.
 type StreamMetrics struct {
-	ID       uint64 `json:"id"`
-	Proto    string `json:"proto"`
-	Label    string `json:"label"`
+	ID    uint64 `json:"id"`
+	Proto string `json:"proto"`
+	Label string `json:"label"`
+	// Shard is the event/metrics shard the stream is pinned to.
+	Shard    int    `json:"shard"`
 	Records  uint64 `json:"records"`
 	Bytes    int64  `json:"bytes"`
 	Findings uint64 `json:"findings"`
@@ -138,6 +166,21 @@ type StreamMetrics struct {
 	// latency; DetectLatency its per-finding detection latency.
 	IngestLatency obs.Snapshot `json:"ingest_latency"`
 	DetectLatency obs.Snapshot `json:"detect_latency"`
+}
+
+// ShardMetricsSnapshot is one shard's row in the additive "shards"
+// section of /metrics: the shard's own contribution to the folded
+// totals, so an operator can spot a hot or wedged shard (events_dropped
+// climbing on one row) without per-stream spelunking.
+type ShardMetricsSnapshot struct {
+	Shard         int          `json:"shard"`
+	StreamsActive int64        `json:"streams_active"`
+	StreamsTotal  uint64       `json:"streams_total"`
+	Records       uint64       `json:"records"`
+	Bytes         uint64       `json:"bytes"`
+	EventsEmitted uint64       `json:"events_emitted"`
+	EventsDropped uint64       `json:"events_dropped"`
+	IngestLatency obs.Snapshot `json:"ingest_latency"`
 }
 
 // MetricsSnapshot is the JSON document served at /metrics.
@@ -166,61 +209,91 @@ type MetricsSnapshot struct {
 	// latency across all streams (scan completion through push, drain,
 	// and finding emission); DetectLatency is the aggregate per-finding
 	// detection latency (completing record read to finding event
-	// queued). Quantiles in microseconds; see internal/obs.
+	// queued). Quantiles in microseconds; see internal/obs. Both are
+	// folds of the per-shard histograms (obs.Fold).
 	IngestLatency obs.Snapshot `json:"ingest_latency"`
 	DetectLatency obs.Snapshot `json:"detect_latency"`
 	// Stages breaks the ingest hot path into its timed stages: scan,
 	// push, drain, emit.
 	Stages map[string]obs.Snapshot `json:"stages"`
 
+	// Shards is the per-shard breakdown of the totals above (additive
+	// section; the folded fields keep their pre-shard meaning).
+	Shards []ShardMetricsSnapshot `json:"shards"`
+
 	Streams []StreamMetrics `json:"streams"`
 }
 
 // Snapshot assembles a point-in-time view of the daemon's counters and
-// every active stream.
+// every active stream, folding the per-shard counter blocks and
+// histograms into the same aggregate fields the single-writer daemon
+// served, plus the per-shard breakdown.
 func (s *Server) Snapshot() MetricsSnapshot {
-	m := s.metrics
-	up := time.Since(m.start).Seconds()
+	up := time.Since(s.metrics.start).Seconds()
 	snap := MetricsSnapshot{
 		UptimeSec:       up,
-		StreamsActive:   m.streamsActive.Load(),
-		StreamsTotal:    m.streamsTotal.Load(),
-		StreamsRejected: m.streamsRejected.Load(),
+		StreamsRejected: s.metrics.streamsRejected.Load(),
 		MaxStreams:      s.cfg.MaxStreams,
-		Records:         m.records.Load(),
-		Bytes:           m.bytes.Load(),
-		EventsEmitted:   m.events.Load(),
-		EventsDropped:   m.eventsDropped.Load(),
-		Packets: map[string]uint64{
-			"command": m.pktCommand.Load(),
-			"event":   m.pktEvent.Load(),
-			"acl":     m.pktACL.Load(),
-			"sco":     m.pktSCO.Load(),
-			"other":   m.pktOther.Load(),
-		},
-		FindingsKind:  map[string]uint64{},
-		StreamEnds:    map[string]uint64{},
-		IngestLatency: m.ingest.Snapshot(),
-		DetectLatency: m.detect.Snapshot(),
-		Stages: map[string]obs.Snapshot{
-			"scan":  m.stageScan.Snapshot(),
-			"push":  m.stagePush.Snapshot(),
-			"drain": m.stageDrain.Snapshot(),
-			"emit":  m.stageEmit.Snapshot(),
-		},
+		Packets:         map[string]uint64{"command": 0, "event": 0, "acl": 0, "sco": 0, "other": 0},
+		FindingsKind:    map[string]uint64{},
+		StreamEnds:      map[string]uint64{},
+	}
+	ingests := make([]*obs.Histogram, 0, len(s.shards))
+	detects := make([]*obs.Histogram, 0, len(s.shards))
+	scans := make([]*obs.Histogram, 0, len(s.shards))
+	pushes := make([]*obs.Histogram, 0, len(s.shards))
+	drains := make([]*obs.Histogram, 0, len(s.shards))
+	emits := make([]*obs.Histogram, 0, len(s.shards))
+	for _, sh := range s.shards {
+		m := &sh.m
+		snap.StreamsActive += m.streamsActive.Load()
+		snap.StreamsTotal += m.streamsTotal.Load()
+		snap.Records += m.records.Load()
+		snap.Bytes += m.bytes.Load()
+		snap.EventsEmitted += m.events.Load()
+		snap.EventsDropped += m.eventsDropped.Load()
+		snap.Packets["command"] += m.pktCommand.Load()
+		snap.Packets["event"] += m.pktEvent.Load()
+		snap.Packets["acl"] += m.pktACL.Load()
+		snap.Packets["sco"] += m.pktSCO.Load()
+		snap.Packets["other"] += m.pktOther.Load()
+		m.mu.Lock()
+		for k, v := range m.findings {
+			snap.FindingsKind[k] += v
+		}
+		for k, v := range m.endsByStatus {
+			snap.StreamEnds[k] += v
+		}
+		m.mu.Unlock()
+		ingests = append(ingests, &m.ingest)
+		detects = append(detects, &m.detect)
+		scans = append(scans, &m.stageScan)
+		pushes = append(pushes, &m.stagePush)
+		drains = append(drains, &m.stageDrain)
+		emits = append(emits, &m.stageEmit)
+		snap.Shards = append(snap.Shards, ShardMetricsSnapshot{
+			Shard:         sh.idx,
+			StreamsActive: m.streamsActive.Load(),
+			StreamsTotal:  m.streamsTotal.Load(),
+			Records:       m.records.Load(),
+			Bytes:         m.bytes.Load(),
+			EventsEmitted: m.events.Load(),
+			EventsDropped: m.eventsDropped.Load(),
+			IngestLatency: m.ingest.Snapshot(),
+		})
+	}
+	snap.IngestLatency = obs.Fold(ingests...)
+	snap.DetectLatency = obs.Fold(detects...)
+	snap.Stages = map[string]obs.Snapshot{
+		"scan":  obs.Fold(scans...),
+		"push":  obs.Fold(pushes...),
+		"drain": obs.Fold(drains...),
+		"emit":  obs.Fold(emits...),
 	}
 	if up > 0 {
 		snap.BytesPerSec = float64(snap.Bytes) / up
 		snap.RecordsPerSec = float64(snap.Records) / up
 	}
-	m.mu.Lock()
-	for k, v := range m.findings {
-		snap.FindingsKind[k] = v
-	}
-	for k, v := range m.endsByStatus {
-		snap.StreamEnds[k] = v
-	}
-	m.mu.Unlock()
 
 	now := time.Now()
 	s.connMu.Lock()
@@ -229,6 +302,7 @@ func (s *Server) Snapshot() MetricsSnapshot {
 			ID:            st.id,
 			Proto:         st.proto,
 			Label:         st.label,
+			Shard:         st.sh.idx,
 			Records:       st.records.Load(),
 			Bytes:         st.bytes.Load(),
 			Findings:      st.findings.Load(),

@@ -130,6 +130,8 @@ func TestMetricsJSONSchema(t *testing.T) {
 		"stream_ends_by_status", "streams",
 		// PR 5 additive fields:
 		"ingest_latency", "detect_latency", "stages",
+		// PR 7 additive field: the per-shard breakdown.
+		"shards",
 	})
 
 	var streams []map[string]json.RawMessage
@@ -142,6 +144,20 @@ func TestMetricsJSONSchema(t *testing.T) {
 	assertKeys(t, "stream row", streams[0], []string{
 		"id", "proto", "label", "records", "bytes", "findings", "lag_ms",
 		"ingest_latency", "detect_latency",
+		// PR 7 additive field: the shard the stream is pinned to.
+		"shard",
+	})
+
+	var shards []map[string]json.RawMessage
+	if err := json.Unmarshal(doc["shards"], &shards); err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) == 0 {
+		t.Fatal("shards section empty")
+	}
+	assertKeys(t, "shard row", shards[0], []string{
+		"shard", "streams_active", "streams_total", "records", "bytes",
+		"events_emitted", "events_dropped", "ingest_latency",
 	})
 
 	var hist map[string]json.RawMessage

@@ -10,16 +10,31 @@
 // that forensics.Analyze wraps, so the events a live socket produces are
 // identical (kind, frame, order) to a batch run over the same records.
 //
+// Fan-in is sharded, not funneled: the server runs Config.Shards event
+// shards (default GOMAXPROCS), each accepted stream is pinned to one
+// shard by a hash of its stream id, and each shard owns a bounded event
+// queue drained by its own writer goroutine. The writer append-encodes
+// events into a reused buffer (no per-event json.Marshal allocation)
+// and flushes whole buffers to the shared Output under one short-held
+// lock — so N cores ingesting N streams never serialize on a single
+// writer goroutine or bounce a global queue's cache lines, and the
+// per-stream hot counters live in per-shard padded blocks folded only
+// at Snapshot time. Per-stream event order is preserved (a stream's
+// events enter one FIFO queue from one goroutine); cross-stream
+// interleaving was never specified and remains so. With Shards=1 the
+// event path collapses to exactly the pre-shard single-writer behavior.
+//
 // Memory is bounded by design, not by luck: each connection owns one
 // batch pipeline — a snoop.BatchScanner feeding a fixed set of
 // ingestRingDepth record batches through a pair of SPSC rings — and one
-// Detector; JSONL events flow through a single bounded queue drained
-// by one writer goroutine, and an enqueue that cannot progress within
-// WriteTimeout drops the event (counted in events_dropped and surfaced
-// on the stream-end line) instead of stalling ingestion — a wedged event
-// consumer costs events, never detection; and MaxStreams caps the number
-// of simultaneous connections. Peak memory is O(MaxStreams × ring of
-// block buffers + EventBuffer), independent of stream length — the same
+// Detector; JSONL events flow through the stream's shard queue, and an
+// enqueue that cannot progress within WriteTimeout drops the event
+// (counted in events_dropped, accounted per shard, and surfaced on the
+// stream-end line) instead of stalling ingestion — a wedged shard
+// writer costs that shard's events, never detection and never the other
+// shards' events; and MaxStreams caps the number of simultaneous
+// connections. Peak memory is O(MaxStreams × ring of block buffers +
+// Shards × EventBuffer), independent of stream length — the same
 // discipline as the PR 2 batch pipeline's bounded window.
 //
 // Failure is classified, not swallowed: a stream that ends on a record
@@ -31,12 +46,12 @@ package sentinel
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,16 +85,24 @@ type Config struct {
 	ReadTimeout time.Duration
 
 	// Output receives the JSONL event stream. Default io.Discard.
+	// Writes are whole shard buffers under one lock, so any io.Writer
+	// works; lines from different shards interleave at line granularity.
 	Output io.Writer
 	// WriteTimeout is the per-write deadline on the JSONL event path:
-	// when the event queue is full and stays full this long, the event is
-	// dropped (and counted) rather than blocking ingestion on a wedged
-	// consumer. Default 5s; <0 blocks forever (the pre-deadline
+	// when a shard's event queue is full and stays full this long, the
+	// event is dropped (and counted) rather than blocking ingestion on a
+	// wedged consumer. Default 5s; <0 blocks forever (the pre-deadline
 	// backpressure behavior).
 	WriteTimeout time.Duration
-	// EventBuffer is the bounded event queue capacity between ingestion
-	// and the writer goroutine. Default 256.
+	// EventBuffer is the bounded event queue capacity per shard between
+	// ingestion and that shard's writer goroutine. Default 256.
 	EventBuffer int
+	// Shards is the number of event/metrics shards. Streams are pinned
+	// to shards by a hash of their stream id; each shard has its own
+	// bounded queue, writer goroutine, and padded counter block. 0 (the
+	// default) means GOMAXPROCS. Shards=1 reproduces the pre-shard
+	// single-writer event path exactly.
+	Shards int
 
 	// EnablePprof mounts net/http/pprof's profiling handlers under
 	// /debug/pprof on the HTTPAddr mux. Off by default: profiling
@@ -90,6 +113,11 @@ type Config struct {
 	// OnStreamEnd, when set, observes every finished stream — the hook
 	// tests and benchmarks use to wait for completion.
 	OnStreamEnd func(StreamSummary)
+
+	// beforeFlush, when set, runs on a shard's writer goroutine before
+	// each buffer flush, outside the output lock. Test hook: stalling it
+	// wedges exactly one shard without touching the shared Output.
+	beforeFlush func(shard int)
 }
 
 func (c *Config) defaults() {
@@ -107,6 +135,9 @@ func (c *Config) defaults() {
 	}
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = 256
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -133,6 +164,7 @@ type StreamSummary struct {
 type streamState struct {
 	id           uint64
 	proto, label string
+	sh           *shard   // the event/metrics shard this stream is pinned to
 	conn         net.Conn // nil for reader-fed streams
 	records      atomic.Uint64
 	bytes        atomic.Int64
@@ -149,11 +181,12 @@ type streamState struct {
 type Server struct {
 	cfg     Config
 	metrics *metrics
+	shards  []*shard
 
-	// events is the bounded queue between ingestion and the single
-	// writer goroutine; writerDone closes when the writer drains out.
-	events     chan outLine
-	writerDone chan struct{}
+	// outMu serializes whole-buffer flushes from shard writers onto
+	// cfg.Output — the only cross-shard synchronization on the event
+	// path, held for exactly one Write per flushed batch.
+	outMu sync.Mutex
 
 	lns     []net.Listener
 	httpLn  net.Listener
@@ -171,41 +204,145 @@ type Server struct {
 	started  bool
 }
 
-// outLine is one unit on the event queue: a marshaled JSONL line, or a
-// flush token (data nil) whose channel the writer closes once every line
-// queued before it has been written.
-type outLine struct {
-	data  []byte
+// shardItem is one unit on a shard's event queue: an event to encode,
+// or a flush token (flush non-nil) the writer closes once every event
+// queued before it has been flushed to the output.
+type shardItem struct {
+	ev    Event
 	flush chan struct{}
 }
 
-// New returns an unstarted Server. The event writer goroutine runs from
-// New so reader-fed Ingest works without Start; Shutdown retires it.
+// shardFlushBytes caps how much a shard writer batches into its reused
+// encode buffer before flushing mid-drain, bounding both buffer growth
+// and how long a burst keeps other shards waiting on the output lock.
+const shardFlushBytes = 64 << 10
+
+// shard is one event/metrics shard: a bounded MPSC queue (every stream
+// pinned here produces; one writer consumes), the writer's reused
+// encode buffer, and the padded counter block this shard's streams bump
+// instead of global atomics.
+type shard struct {
+	srv    *Server
+	idx    int
+	events chan shardItem
+	done   chan struct{} // closed when the writer goroutine exits
+	buf    []byte        // writer-owned; reused across batches
+	m      shardMetrics
+}
+
+// New returns an unstarted Server. The shard writer goroutines run from
+// New so reader-fed Ingest works without Start; Shutdown retires them.
 func New(cfg Config) *Server {
 	cfg.defaults()
 	s := &Server{
-		cfg:        cfg,
-		metrics:    newMetrics(),
-		streams:    make(map[uint64]*streamState),
-		sem:        make(chan struct{}, cfg.MaxStreams),
-		events:     make(chan outLine, cfg.EventBuffer),
-		writerDone: make(chan struct{}),
+		cfg:     cfg,
+		metrics: newMetrics(),
+		streams: make(map[uint64]*streamState),
+		sem:     make(chan struct{}, cfg.MaxStreams),
+		shards:  make([]*shard, cfg.Shards),
 	}
-	go s.writeLoop()
+	for i := range s.shards {
+		sh := &shard{
+			srv:    s,
+			idx:    i,
+			events: make(chan shardItem, cfg.EventBuffer),
+			done:   make(chan struct{}),
+		}
+		sh.m.init()
+		s.shards[i] = sh
+		go sh.writeLoop()
+	}
 	return s
 }
 
-// writeLoop is the single consumer of the event queue; it exits when
-// Shutdown closes the queue.
-func (s *Server) writeLoop() {
-	defer close(s.writerDone)
-	for l := range s.events {
-		if l.flush != nil {
-			close(l.flush)
-			continue
+// shardFor pins a stream id to a shard. The id is sequential, so it is
+// mixed through a splitmix64-style finalizer first: consecutive streams
+// land on well-spread shards and the pinning is stable for the life of
+// the stream (every event a stream emits goes through one queue, which
+// is what preserves its event order).
+func (s *Server) shardFor(id uint64) *shard {
+	x := id
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return s.shards[x%uint64(len(s.shards))]
+}
+
+// writeLoop is a shard's single consumer: it drains the queue greedily,
+// append-encoding each event into the reused buffer, and flushes the
+// whole buffer to the shared output under one short-held lock — once
+// per drained batch (or per shardFlushBytes during a burst), not once
+// per event. It exits when Shutdown closes the queue.
+func (sh *shard) writeLoop() {
+	defer close(sh.done)
+	for it := range sh.events {
+	drain:
+		for {
+			if it.flush != nil {
+				// Everything queued before the token is in the buffer;
+				// flush so the waiter observes its lines on the output.
+				sh.flushBuf()
+				close(it.flush)
+			} else {
+				sh.buf = it.ev.appendJSON(sh.buf)
+				sh.buf = append(sh.buf, '\n')
+				sh.m.events.Add(1)
+				if len(sh.buf) >= shardFlushBytes {
+					sh.flushBuf()
+				}
+			}
+			select {
+			case next, ok := <-sh.events:
+				if !ok {
+					sh.flushBuf()
+					return
+				}
+				it = next
+			default:
+				break drain // queue momentarily empty; flush, block again
+			}
 		}
-		_, _ = s.cfg.Output.Write(l.data)
-		s.metrics.events.Add(1)
+		sh.flushBuf()
+	}
+	sh.flushBuf()
+}
+
+// flushBuf writes the shard's buffered lines to the shared output and
+// resets the buffer. The output lock is held for exactly the Write.
+func (sh *shard) flushBuf() {
+	if len(sh.buf) == 0 {
+		return
+	}
+	if hook := sh.srv.cfg.beforeFlush; hook != nil {
+		hook(sh.idx)
+	}
+	sh.srv.outMu.Lock()
+	_, _ = sh.srv.cfg.Output.Write(sh.buf)
+	sh.srv.outMu.Unlock()
+	sh.buf = sh.buf[:0]
+}
+
+// enqueue places one item on the shard's queue, waiting at most
+// WriteTimeout when the queue is full. Reports whether it was accepted.
+func (sh *shard) enqueue(it shardItem) bool {
+	select {
+	case sh.events <- it:
+		return true
+	default:
+	}
+	if sh.srv.cfg.WriteTimeout < 0 { // unbounded: classic backpressure
+		sh.events <- it
+		return true
+	}
+	t := time.NewTimer(sh.srv.cfg.WriteTimeout)
+	defer t.Stop()
+	select {
+	case sh.events <- it:
+		return true
+	case <-t.C:
+		return false
 	}
 }
 
@@ -316,6 +453,7 @@ func (s *Server) acceptLoop(ln net.Listener, proto string) {
 				st := &streamState{
 					id: s.nextID.Add(1), proto: proto, label: label, conn: conn,
 				}
+				st.sh = s.shardFor(st.id)
 				s.ingest(st, deadlineReader{conn: conn, timeout: s.cfg.ReadTimeout})
 			}()
 		}
@@ -329,11 +467,12 @@ func (s *Server) acceptLoop(ln net.Listener, proto string) {
 func (s *Server) Ingest(proto, label string, r io.Reader) StreamSummary {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
-	// Join the stream group so Shutdown cannot retire the event writer
+	// Join the stream group so Shutdown cannot retire the shard writers
 	// out from under a reader-fed stream.
 	s.streamWg.Add(1)
 	defer s.streamWg.Done()
 	st := &streamState{id: s.nextID.Add(1), proto: proto, label: label}
+	st.sh = s.shardFor(st.id)
 	return s.ingest(st, r)
 }
 
@@ -375,21 +514,23 @@ type ingestItem struct {
 // the free ring, which is the scanner's reuse contract. The detector
 // side (this goroutine) owns the Detector and all counters:
 // records/bytes/packet tallies are bumped once per batch (covering the
-// full swept span, rejected records included), findings are drained and
-// emitted the moment the completing batch is pushed. Stage latency
-// (scan, push, drain, emit) is observed per batch rather than sampled
-// per record — the batch amortizes the clock reads that used to need a
-// sampling stride.
+// full swept span, rejected records included) into the stream's shard
+// block — streams on different shards never touch the same cache
+// lines — and findings are drained and emitted the moment the
+// completing batch is pushed. Stage latency (scan, push, drain, emit)
+// is observed per batch rather than sampled per record — the batch
+// amortizes the clock reads that used to need a sampling stride.
 //
 // Liveness: ScanBatchKeep returns as soon as the sweep advances, even
 // when every record in the block was rejected, so counters track a
 // trickling phone log record by record and a one-record batch flows at
 // one-record latency. A wedged event consumer still costs events, never
-// detection: emit drops on its write deadline, and the reader at worst
-// idles until the detector recycles a batch.
+// detection: emit drops on its shard's write deadline, and the reader
+// at worst idles until the detector recycles a batch.
 func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
-	s.metrics.streamsActive.Add(1)
-	s.metrics.streamsTotal.Add(1)
+	sm := &st.sh.m
+	sm.streamsActive.Add(1)
+	sm.streamsTotal.Add(1)
 	st.lastActive.Store(time.Now().UnixNano())
 	s.connMu.Lock()
 	s.streams[st.id] = st
@@ -398,7 +539,7 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 		s.connMu.Lock()
 		delete(s.streams, st.id)
 		s.connMu.Unlock()
-		s.metrics.streamsActive.Add(-1)
+		sm.streamsActive.Add(-1)
 	}()
 
 	s.emit(st, Event{Type: EventStreamStart, Stream: st.id, Proto: st.proto, Label: st.label})
@@ -408,7 +549,6 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 	// batches and fewer ring handoffs per captured megabyte.
 	sc := snoop.NewBatchScannerSize(r, ingestBlockBytes)
 	det := forensics.NewDetector()
-	m := s.metrics
 
 	filled := spsc.New[ingestItem](ingestRingDepth)
 	free := spsc.New[*snoop.RecordBatch](ingestRingDepth)
@@ -447,7 +587,7 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 				return
 			}
 			now := time.Now()
-			m.stageScan.Observe(now.Sub(tPre))
+			sm.stageScan.Observe(now.Sub(tPre))
 			st.lastActive.Store(now.UnixNano())
 			filled.Push(ingestItem{b: b, at: now, off: sc.Offset(), frames: sc.Frame(), tally: tally})
 			tally = packetTally{}
@@ -463,38 +603,38 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 		}
 		det.PushKept(it.b.Frames, it.b.Records)
 		tPush := time.Now()
-		m.stagePush.Observe(tPush.Sub(it.at))
+		sm.stagePush.Observe(tPush.Sub(it.at))
 		n := uint64(it.frames - prevFrames)
 		prevFrames = it.frames
 		st.records.Add(n)
-		m.records.Add(n)
+		sm.records.Add(n)
 		st.bytes.Store(it.off)
-		m.bytes.Add(uint64(it.off - prevOff))
+		sm.bytes.Add(uint64(it.off - prevOff))
 		prevOff = it.off
-		m.addPacketTally(it.tally)
+		sm.addPacketTally(it.tally)
 		evs := det.Drain()
 		tDrain := time.Now()
-		m.stageDrain.Observe(tDrain.Sub(tPush))
+		sm.stageDrain.Observe(tDrain.Sub(tPush))
 		if len(evs) > 0 {
 			for _, ev := range evs {
 				st.findings.Add(1)
-				m.countFinding(ev.Finding.Kind)
+				sm.countFinding(ev.Finding.Kind)
 				s.emit(st, findingEvent(st.id, ev))
 			}
 			tEnd := time.Now()
-			m.stageEmit.Observe(tEnd.Sub(tDrain))
+			sm.stageEmit.Observe(tEnd.Sub(tDrain))
 			// Detection latency: the completing batch was scanned at
 			// it.at; its findings are on the event queue at tEnd.
 			d := tEnd.Sub(it.at)
 			for range evs {
-				m.detect.Observe(d)
+				sm.detect.Observe(d)
 				st.detect.Observe(d)
 			}
-			m.ingest.Observe(tEnd.Sub(it.at))
+			sm.ingest.Observe(tEnd.Sub(it.at))
 			st.ingest.Observe(tEnd.Sub(it.at))
 		} else {
 			d := tDrain.Sub(it.at)
-			m.ingest.Observe(d)
+			sm.ingest.Observe(d)
 			st.ingest.Observe(d)
 		}
 		// Depth batches circulate and free is never closed, so recycling
@@ -505,13 +645,13 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 	if residual.frames > prevFrames {
 		n := uint64(residual.frames - prevFrames)
 		st.records.Add(n)
-		m.records.Add(n)
-		m.addPacketTally(residual.tally)
+		sm.records.Add(n)
+		sm.addPacketTally(residual.tally)
 	}
 
 	err := sc.Err()
 	status := ClassifyStreamError(err)
-	s.metrics.countEnd(status)
+	sm.countEnd(status)
 	sum := StreamSummary{
 		ID: st.id, Proto: st.proto, Label: st.label,
 		Records:  sc.Frame(),
@@ -534,7 +674,7 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 	// Flush before OnStreamEnd so observers (tests, benchmarks) read a
 	// complete JSONL stream; the dropped total then includes an end event
 	// the deadline may have eaten.
-	s.flushEvents()
+	s.flushEvents(st.sh)
 	sum.EventsDropped = st.dropped.Load()
 	if s.cfg.OnStreamEnd != nil {
 		s.cfg.OnStreamEnd(sum)
@@ -542,51 +682,30 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 	return sum
 }
 
-// emit queues one JSONL event under the per-write deadline. st (nil for
-// rejection events) receives the per-stream dropped count when the
-// deadline expires.
+// emit queues one JSONL event on the stream's shard under the per-write
+// deadline. st (nil for rejection events, which are pinned by event
+// stream id) receives the per-stream dropped count when the deadline
+// expires. The event itself is encoded by the shard writer, off the
+// ingest hot path.
 func (s *Server) emit(st *streamState, ev Event) {
-	line, err := json.Marshal(ev)
-	if err != nil {
-		return // Event marshals by construction; defensive only
+	sh := s.shardFor(ev.Stream)
+	if st != nil {
+		sh = st.sh
 	}
-	if !s.enqueue(outLine{data: append(line, '\n')}) {
-		s.metrics.eventsDropped.Add(1)
+	if !sh.enqueue(shardItem{ev: ev}) {
+		sh.m.eventsDropped.Add(1)
 		if st != nil {
 			st.dropped.Add(1)
 		}
 	}
 }
 
-// enqueue places one line (or flush token) on the event queue, waiting
-// at most WriteTimeout when the queue is full. Reports whether the line
-// was accepted.
-func (s *Server) enqueue(l outLine) bool {
-	select {
-	case s.events <- l:
-		return true
-	default:
-	}
-	if s.cfg.WriteTimeout < 0 { // unbounded: classic backpressure
-		s.events <- l
-		return true
-	}
-	t := time.NewTimer(s.cfg.WriteTimeout)
-	defer t.Stop()
-	select {
-	case s.events <- l:
-		return true
-	case <-t.C:
-		return false
-	}
-}
-
 // flushEvents waits (bounded by WriteTimeout) until every event queued
-// so far has reached cfg.Output, so OnStreamEnd observers read a
-// complete event stream. Reports whether the flush completed.
-func (s *Server) flushEvents() bool {
+// on the shard so far has reached cfg.Output, so OnStreamEnd observers
+// read a complete event stream. Reports whether the flush completed.
+func (s *Server) flushEvents(sh *shard) bool {
 	done := make(chan struct{})
-	if !s.enqueue(outLine{flush: done}) {
+	if !sh.enqueue(shardItem{flush: done}) {
 		return false
 	}
 	if s.cfg.WriteTimeout < 0 {
@@ -635,15 +754,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.acceptWg.Wait()
-	// All emitters are gone; retire the writer. A consumer wedged in
-	// Write keeps the writer alive — bound the wait on ctx instead of
+	// All emitters are gone; retire the shard writers. A consumer wedged
+	// in Write keeps a writer alive — bound the wait on ctx instead of
 	// hanging Shutdown on it.
-	close(s.events)
-	select {
-	case <-s.writerDone:
-	case <-ctx.Done():
-		if err == nil {
-			err = ctx.Err()
+	for _, sh := range s.shards {
+		close(sh.events)
+	}
+	for _, sh := range s.shards {
+		select {
+		case <-sh.done:
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
 		}
 	}
 	if s.cfg.UnixAddr != "" {

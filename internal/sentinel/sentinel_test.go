@@ -80,11 +80,14 @@ func startServer(t *testing.T, cfg Config) *Server {
 
 // TestConcurrentStreamsMatchBatch is the subsystem's acceptance test:
 // many concurrent clients stream synthesized captures over real TCP and
-// Unix sockets, and for every stream the live finding events must equal
-// the batch forensics.Analyze findings over the same records —
-// kind, frame, sequence, peer, and detail, record for record.
+// Unix sockets — enough of them that every event shard carries several
+// streams at once — and for every stream the live finding events must
+// equal the batch forensics.Analyze findings over the same records:
+// kind, frame, sequence, peer, and detail, record for record, in
+// per-stream order even though four shard writers interleave their
+// batches on the shared output.
 func TestConcurrentStreamsMatchBatch(t *testing.T) {
-	const clients = 10 // ≥8 concurrent streams, per the acceptance bar
+	const clients = 64 // several streams per shard, per the acceptance bar
 
 	var out syncBuffer
 	ends := make(chan StreamSummary, clients)
@@ -93,6 +96,8 @@ func TestConcurrentStreamsMatchBatch(t *testing.T) {
 		TCPAddr:     "127.0.0.1:0",
 		UnixAddr:    sock,
 		HTTPAddr:    "127.0.0.1:0",
+		MaxStreams:  clients,
+		Shards:      4,
 		Output:      &out,
 		OnStreamEnd: func(sum StreamSummary) { ends <- sum },
 	})

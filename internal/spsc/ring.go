@@ -7,6 +7,14 @@
 // broken, which is why it lives behind the sentinel rather than in a
 // general toolbox.
 //
+// That contract is also why the ring stops at the stream boundary in
+// the sentinel's sharded fan-in: within one stream the reader→detector
+// handoff is genuinely single-producer single-consumer, so batches ride
+// rings; but an event shard aggregates events from every stream pinned
+// to it — many producers, one shard writer — so the shard queues are
+// bounded channels (MPSC), not rings. Use this package only where both
+// singulars hold.
+//
 // The fast path is two atomic loads and one atomic store per operation
 // — no locks, no channel send. Channels appear only on the blocking
 // edges (full ring, empty ring), each a capacity-1 notification that

@@ -23,11 +23,16 @@ if [ -n "${BENCH_JSON:-}" ]; then
 fi
 
 # Live detection daemon: self-contained end-to-end smoke (ephemeral
-# sockets, live JSONL events verified against the batch analyzer,
-# /metrics + /healthz probed; since PR 5 the smoke also asserts the
-# ingest/detect latency histograms and stage timers are populated and
-# that the opt-in /debug/pprof mux answers).
+# sockets, live JSONL events verified against the batch analyzer on
+# several concurrent streams, /metrics + /healthz probed; since PR 5
+# the smoke also asserts the ingest/detect latency histograms and stage
+# timers are populated and that the opt-in /debug/pprof mux answers;
+# since PR 7 it asserts per-shard metric rows sum to the aggregates and
+# every stream keeps live-vs-batch parity). Run once with the default
+# shard count and once with -shards 1, the single-writer layout that
+# reproduces the pre-shard fan-in.
 go run ./cmd/blapd -smoke
+go run ./cmd/blapd -smoke -shards 1
 
 # Observability smoke: hcidump -stats must report throughput and
 # capture-time finding latency without disturbing the exit-3 contract,
@@ -83,7 +88,7 @@ rm -rf "$batch_dir"
 
 # The committed bench JSONs must stay well-formed (the pr4 check also
 # enforces the degraded-sweep acceptance criteria).
-for bj in BENCH_pr2.json BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json; do
+for bj in BENCH_pr2.json BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json; do
     if [ -f "$bj" ]; then
         go run ./cmd/benchtables -checkjson "$bj"
     fi
@@ -102,4 +107,12 @@ fi
 # committed, so this check is deterministic.
 if [ -f BENCH_pr6.json ] && [ -f BENCH_pr5.json ]; then
     go run ./cmd/benchtables -checkjson BENCH_pr6.json -baseline BENCH_pr5.json -minspeedup 3
+fi
+
+# Sharded-sentinel gate: the PR 7 artifact must keep sentinel_ingest_1m
+# within 5% of PR 6, restore the degraded-sweep workers=2 speedup to
+# >= 0.95, and — when the artifact was recorded on >= 2 CPUs — show the
+# multi-stream aggregate at >= 2x the single-stream throughput.
+if [ -f BENCH_pr7.json ] && [ -f BENCH_pr6.json ]; then
+    go run ./cmd/benchtables -checkjson BENCH_pr7.json -baseline BENCH_pr6.json
 fi
