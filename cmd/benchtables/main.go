@@ -42,6 +42,7 @@ import (
 	"repro/internal/sentinel"
 	"repro/internal/sim"
 	"repro/internal/snoop"
+	"repro/internal/tsdb"
 )
 
 func main() {
@@ -62,6 +63,7 @@ func main() {
 		minspeedup  = flag.Float64("minspeedup", 0, "with -checkjson -baseline: require sentinel_ingest_1m and forensics_scan_1m optimized throughput >= this multiple of the baseline's, with allocs/record no worse")
 		synth       = flag.String("synth", "", "write a synthetic btsnoop capture (for pipeline smoke tests) to this path and exit")
 		synthN      = flag.Int("synthrecords", 1_000_000, "with -synth: capture size in records")
+		tsdbsmoke   = flag.String("tsdbsmoke", "", "deterministic tsdb store smoke: append 1M findings into a store at this directory, compact, query, print counts and digests, exit")
 	)
 	flag.Parse()
 
@@ -87,6 +89,13 @@ func main() {
 		}
 		fmt.Printf("wrote %s: %d records, %d bytes, %d key exposures, %d blocked sessions\n",
 			*synth, stats.Records, stats.Bytes, stats.KeyExposures, stats.BlockedSessions)
+		return
+	}
+
+	if *tsdbsmoke != "" {
+		if err := runTSDBSmoke(*tsdbsmoke); err != nil {
+			fail(err)
+		}
 		return
 	}
 
@@ -402,6 +411,12 @@ func writeBenchJSON(path string, seed int64) error {
 	}
 	report.Results = append(report.Results, me)
 
+	te, err := tsdbEntries()
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, te...)
+
 	// Degraded-channel sweep (PR 4): serial vs parallel timing plus the
 	// rows themselves. The parallel rows must be bit-identical to the
 	// serial ones — that identity is the determinism contract. Each side
@@ -569,12 +584,29 @@ func sentinelIngestEntry(seed int64) (benchEntry, error) {
 	}
 	bns := time.Since(t0).Nanoseconds()
 
+	// Since PR 8 the measured configuration includes persistence: a real
+	// store receives every finding and stream end through the bounded
+	// persist queues while ingest runs. The -checkjson baseline gate
+	// holds this number to >= 95% of the store-less PR 7 figure — the
+	// durability path must stay off the hot path.
+	storeDir, err := os.MkdirTemp("", "blapd-bench-store-")
+	if err != nil {
+		return benchEntry{}, err
+	}
+	defer os.RemoveAll(storeDir)
+	store, err := tsdb.Open(tsdb.Options{Dir: storeDir})
+	if err != nil {
+		return benchEntry{}, err
+	}
+	defer store.Close()
+
 	sock := filepath.Join(os.TempDir(), fmt.Sprintf("blapd-bench-%d.sock", os.Getpid()))
 	var events bytes.Buffer
 	done := make(chan sentinel.StreamSummary, 1)
 	srv := sentinel.New(sentinel.Config{
 		UnixAddr:    sock,
 		Output:      &events,
+		Store:       store,
 		OnStreamEnd: func(sum sentinel.StreamSummary) { done <- sum },
 	})
 	if err := srv.Start(); err != nil {
@@ -586,12 +618,19 @@ func sentinelIngestEntry(seed int64) (benchEntry, error) {
 		_ = srv.Shutdown(ctx)
 	}()
 
-	// Best-of-3: a ~170 ms single-shot socket measurement swings ±10%
-	// with scheduler noise, which is larger than the regressions this
-	// number exists to catch. The last pass's event stream is verified.
+	// Best-of-5: a single-shot socket measurement swings ±10% (and the
+	// occasional pass lands 30%+ out) with scheduler noise, which is
+	// larger than the regressions this number exists to catch; the first
+	// store-backed pass also pays one-time segment-creation cost. The
+	// last pass's event stream is verified.
 	var ons int64
 	var sum sentinel.StreamSummary
-	for pass := 0; pass < 3; pass++ {
+	for pass := 0; pass < 5; pass++ {
+		// Forced GC per pass, the degraded-sweep remedy from PR 7: by the
+		// time the suite reaches this entry the heap carries the earlier
+		// sweeps' garbage, and a collection landing inside the ~50 ms
+		// measured window reads as a phantom 30%+ regression on one core.
+		runtime.GC()
 		events.Reset()
 		t1 := time.Now()
 		conn, err := net.Dial("unix", srv.UnixAddr())
@@ -635,11 +674,14 @@ func sentinelIngestEntry(seed int64) (benchEntry, error) {
 	if !identical {
 		return benchEntry{}, fmt.Errorf("sentinel_ingest_1m: live events diverge from batch findings")
 	}
+	if dropped := srv.Snapshot().Persist.Dropped; dropped != 0 {
+		return benchEntry{}, fmt.Errorf("sentinel_ingest_1m: persistence dropped %d events in a healthy run", dropped)
+	}
 
 	e := benchEntry{
 		Name:       "sentinel_ingest_1m",
 		Baseline:   "forensics.AnalyzeStream (in-process batch)",
-		Optimized:  "sentinel unix-socket ingest + JSONL events (live)",
+		Optimized:  "sentinel unix-socket ingest + JSONL events + tsdb persistence (live)",
 		BaselineNs: bns, OptimizedNs: ons,
 		Records: records, CaptureBytes: int64(len(data)),
 		OutputsIdentical: identical,

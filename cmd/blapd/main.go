@@ -6,9 +6,13 @@
 // ingest/detect latency histograms with p50/p90/p99 — per stream and
 // aggregate, plus scan/push/drain/emit stage timings), /healthz (503
 // once draining), and — with -pprof — the standard /debug/pprof mux.
+// With -store, findings, stream ends, and periodic metrics snapshots
+// also persist to an embedded time-series store, queryable over HTTP
+// via /query?series=findings|ends|hist.
 //
 //	blapd -tcp 127.0.0.1:9011 -http 127.0.0.1:9012
 //	blapd -tcp 127.0.0.1:9011 -http 127.0.0.1:9012 -pprof   # + /debug/pprof
+//	blapd -tcp 127.0.0.1:9011 -http 127.0.0.1:9012 -store /var/lib/blapd -retention 168h
 //	blapd -unix /run/blapd.sock
 //	blapd -stdin < capture.btsnoop        # one-shot; exit 3 on findings
 //	blapd -send capture.btsnoop -tcp host:9011   # stream a file to a daemon
@@ -34,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/sentinel"
+	"repro/internal/tsdb"
 )
 
 // exitFindings matches hcidump -analyze: one-shot analysis found signatures.
@@ -52,6 +57,9 @@ func main() {
 		stdin        = flag.Bool("stdin", false, "one-shot: ingest a single capture from stdin and exit (3 if findings)")
 		send         = flag.String("send", "", "client mode: stream the given capture file to a running daemon at -tcp or -unix")
 		smoke        = flag.Bool("smoke", false, "self-contained end-to-end check on ephemeral sockets; exit 0/1")
+		storeDir     = flag.String("store", "", "persist findings, stream ends, and metrics snapshots to an embedded time-series store at this directory (adds /query to -http)")
+		retention    = flag.Duration("retention", 0, "drop stored segments older than this; 0 keeps everything (needs -store)")
+		metricsEvery = flag.Duration("metrics-every", 10*time.Second, "interval between persisted metrics snapshots (negative disables; needs -store)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -80,7 +88,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "blapd: -pprof needs -http")
 			os.Exit(2)
 		}
-		if err := runDaemon(sentinel.Config{
+		if *storeDir == "" && *retention != 0 {
+			fmt.Fprintln(os.Stderr, "blapd: -retention needs -store")
+			os.Exit(2)
+		}
+		cfg := sentinel.Config{
 			TCPAddr:     *tcpAddr,
 			UnixAddr:    *unixAddr,
 			HTTPAddr:    *httpAddr,
@@ -89,7 +101,35 @@ func main() {
 			ReadTimeout: *readTimeout,
 			EnablePprof: *pprofFlag,
 			Output:      os.Stdout,
-		}, *drainTimeout); err != nil {
+		}
+		var store *tsdb.Store
+		if *storeDir != "" {
+			var err error
+			store, err = tsdb.Open(tsdb.Options{
+				Dir:       *storeDir,
+				Retention: *retention,
+				// Metrics snapshots decay to 10-minute resolution once an
+				// hour old; event series persist verbatim until retention.
+				Downsample: map[string]tsdb.Downsampler{
+					sentinel.SeriesHist: sentinel.HistDownsample(time.Hour, 10*time.Minute),
+				},
+			})
+			if err != nil {
+				fail(fmt.Errorf("opening store: %w", err))
+			}
+			cfg.Store = store
+			cfg.MetricsEvery = *metricsEvery
+			fmt.Fprintf(os.Stderr, "blapd: persisting to %s\n", *storeDir)
+		}
+		err := runDaemon(cfg, *drainTimeout)
+		if store != nil {
+			// The daemon has drained (persist queues flushed) by now; seal
+			// and fsync the tail segments before exiting.
+			if cerr := store.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "blapd: closing store: %v\n", cerr)
+			}
+		}
+		if err != nil {
 			fail(err)
 		}
 	}

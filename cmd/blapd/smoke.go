@@ -18,6 +18,7 @@ import (
 	"repro/internal/forensics"
 	"repro/internal/sentinel"
 	"repro/internal/snoop"
+	"repro/internal/tsdb"
 )
 
 // smokeStreams is how many concurrent clients the smoke run drives
@@ -47,17 +48,33 @@ func runSmoke(log io.Writer, shards int) error {
 		return fmt.Errorf("smoke fixture produced no findings; synth config is broken")
 	}
 
+	// The smoke run also exercises the PR 8 persistence path: a real
+	// store in a temp dir, written through by the persist queues and the
+	// metrics snapshotter, then read back over /query.
+	storeDir, err := os.MkdirTemp("", "blapd-smoke-store-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(storeDir)
+	store, err := tsdb.Open(tsdb.Options{Dir: storeDir})
+	if err != nil {
+		return fmt.Errorf("opening store: %w", err)
+	}
+	defer store.Close()
+
 	var events bytes.Buffer
 	done := make(chan sentinel.StreamSummary, smokeStreams)
 	sock := filepath.Join(os.TempDir(), fmt.Sprintf("blapd-smoke-%d.sock", os.Getpid()))
 	s := sentinel.New(sentinel.Config{
-		UnixAddr:    sock,
-		HTTPAddr:    "127.0.0.1:0",
-		MaxStreams:  smokeStreams,
-		Shards:      shards,
-		EnablePprof: true,
-		Output:      &events,
-		OnStreamEnd: func(sum sentinel.StreamSummary) { done <- sum },
+		UnixAddr:     sock,
+		HTTPAddr:     "127.0.0.1:0",
+		MaxStreams:   smokeStreams,
+		Shards:       shards,
+		EnablePprof:  true,
+		Output:       &events,
+		Store:        store,
+		MetricsEvery: 50 * time.Millisecond,
+		OnStreamEnd:  func(sum sentinel.StreamSummary) { done <- sum },
 	})
 	if err := s.Start(); err != nil {
 		return err
@@ -208,9 +225,80 @@ func runSmoke(log io.Writer, shards int) error {
 		return fmt.Errorf("/debug/pprof/cmdline returned %d", presp.StatusCode)
 	}
 
-	fmt.Fprintf(log, "blapd smoke: %d streams x %d records over %d shards, live findings == batch on every stream, ingest p99 %s, detect p99 %s, metrics/healthz/pprof ok\n",
-		smokeStreams, records, wantShards, usStr(snap.IngestLatency.P99US), usStr(snap.DetectLatency.P99US))
+	// The PR 8 persistence contract: every finding written through the
+	// store comes back from /query, the stream filter isolates one
+	// stream, stream ends are recorded, and a hist window query folds the
+	// stored snapshot deltas into populated percentiles. Persistence is
+	// asynchronous (a bounded queue off the hot path), so poll briefly
+	// for the store writer and the snapshotter to catch up.
+	wantFindings := smokeStreams * len(want)
+	var qres sentinel.QueryResult
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if qres, err = smokeQuery(s.HTTPAddr(), "/query?series=findings"); err != nil {
+			return err
+		}
+		if qres.Count >= wantFindings {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("store never caught up: /query has %d of %d findings", qres.Count, wantFindings)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if qres.Count != wantFindings {
+		return fmt.Errorf("/query returned %d findings, wrote %d", qres.Count, wantFindings)
+	}
+	for id := range live {
+		if qres, err = smokeQuery(s.HTTPAddr(), fmt.Sprintf("/query?series=findings&stream=%d", id)); err != nil {
+			return err
+		}
+		if qres.Count != len(want) {
+			return fmt.Errorf("/query stream=%d returned %d findings, want %d", id, qres.Count, len(want))
+		}
+	}
+	if qres, err = smokeQuery(s.HTTPAddr(), "/query?series=ends"); err != nil {
+		return err
+	}
+	if qres.Count != smokeStreams {
+		return fmt.Errorf("/query returned %d stream ends, want %d", qres.Count, smokeStreams)
+	}
+	for {
+		if qres, err = smokeQuery(s.HTTPAddr(), "/query?series=hist"); err != nil {
+			return err
+		}
+		if qres.Count > 0 && qres.Ingest != nil && qres.Ingest.Count > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("hist window never populated: %+v", qres)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if qres.Ingest.P50US <= 0 || qres.Ingest.P99US <= 0 {
+		return fmt.Errorf("hist window percentiles unpopulated: %+v", qres.Ingest)
+	}
+
+	fmt.Fprintf(log, "blapd smoke: %d streams x %d records over %d shards, live findings == batch on every stream, %d findings round-tripped through the store (window p50 %s p99 %s), ingest p99 %s, detect p99 %s, metrics/healthz/pprof/query ok\n",
+		smokeStreams, records, wantShards, wantFindings, usStr(qres.Ingest.P50US), usStr(qres.Ingest.P99US), usStr(snap.IngestLatency.P99US), usStr(snap.DetectLatency.P99US))
 	return nil
+}
+
+// smokeQuery fetches one /query page from the smoke daemon.
+func smokeQuery(addr, path string) (sentinel.QueryResult, error) {
+	var res sentinel.QueryResult
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		return res, fmt.Errorf("%s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return res, fmt.Errorf("%s returned %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return res, fmt.Errorf("%s decode: %w", path, err)
+	}
+	return res, nil
 }
 
 func usStr(us float64) string {

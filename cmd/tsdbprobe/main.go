@@ -1,0 +1,109 @@
+// Command tsdbprobe is a temporary measurement harness.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/sentinel"
+	"repro/internal/snoop"
+	"repro/internal/tsdb"
+)
+
+func run(label string, data []byte, store *tsdb.Store) {
+	sock := filepath.Join(os.TempDir(), fmt.Sprintf("probe-%s-%d.sock", label, os.Getpid()))
+	var events bytes.Buffer
+	done := make(chan sentinel.StreamSummary, 1)
+	srv := sentinel.New(sentinel.Config{
+		UnixAddr:    sock,
+		Output:      &events,
+		Store:       store,
+		OnStreamEnd: func(sum sentinel.StreamSummary) { done <- sum },
+	})
+	if err := srv.Start(); err != nil {
+		panic(err)
+	}
+	for pass := 0; pass < 5; pass++ {
+		events.Reset()
+		t0 := time.Now()
+		conn, err := net.Dial("unix", srv.UnixAddr())
+		if err != nil {
+			panic(err)
+		}
+		if _, err := conn.Write(data); err != nil {
+			panic(err)
+		}
+		conn.Close()
+		sum := <-done
+		ns := time.Since(t0).Nanoseconds()
+		fmt.Printf("%s pass %d: %.1fms (%.1fM rec/s) status=%s findings=%d\n",
+			label, pass, float64(ns)/1e6, float64(sum.Records)/(float64(ns)/1e9)/1e6, sum.Status, sum.Findings)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+}
+
+func runTS(data []byte) {
+	sock := filepath.Join(os.TempDir(), fmt.Sprintf("probe-ts-%d.sock", os.Getpid()))
+	var events bytes.Buffer
+	done := make(chan sentinel.StreamSummary, 1)
+	srv := sentinel.New(sentinel.Config{
+		UnixAddr:    sock,
+		Output:      &events,
+		Timestamps:  true,
+		OnStreamEnd: func(sum sentinel.StreamSummary) { done <- sum },
+	})
+	if err := srv.Start(); err != nil {
+		panic(err)
+	}
+	for pass := 0; pass < 5; pass++ {
+		events.Reset()
+		t0 := time.Now()
+		conn, err := net.Dial("unix", srv.UnixAddr())
+		if err != nil {
+			panic(err)
+		}
+		if _, err := conn.Write(data); err != nil {
+			panic(err)
+		}
+		conn.Close()
+		sum := <-done
+		ns := time.Since(t0).Nanoseconds()
+		fmt.Printf("ts-only pass %d: %.1fms (%.1fM rec/s) findings=%d\n",
+			pass, float64(ns)/1e6, float64(sum.Records)/(float64(ns)/1e9)/1e6, sum.Findings)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+}
+
+func main() {
+	var capture bytes.Buffer
+	if _, err := snoop.Synthesize(&capture, snoop.SynthConfig{Records: 1_000_000, Seed: 1}); err != nil {
+		panic(err)
+	}
+	data := capture.Bytes()
+
+	run("nostore", data, nil)
+	runTS(data)
+
+	dir, _ := os.MkdirTemp("", "probe-store-")
+	defer os.RemoveAll(dir)
+	store, err := tsdb.Open(tsdb.Options{Dir: dir})
+	if err != nil {
+		panic(err)
+	}
+	defer store.Close()
+	pf, _ := os.Create("/tmp/store.pprof")
+	pprof.StartCPUProfile(pf)
+	run("store", data, store)
+	pprof.StopCPUProfile()
+	pf.Close()
+}

@@ -1,0 +1,188 @@
+package obs
+
+// HistogramState is the serializable raw form of a Histogram: the
+// bucket counts and exact aggregates, before any quantile math. It
+// exists for persistence — a Snapshot carries only interpolated
+// percentiles and cannot be merged after the fact, while states can be
+// subtracted (interval deltas), merged (window folds), and restored
+// into a Histogram whose Snapshot is computed over the combined
+// buckets. internal/tsdb stores histogram series as HistogramState
+// deltas so that "p99 over the last hour" is a lossless fold of the
+// stored intervals rather than an average of averages, and so that
+// downsampling adjacent intervals into coarser ones loses no bucket
+// information at all.
+//
+// Buckets is trimmed of trailing zeros to keep the JSON small (an
+// ingest histogram typically occupies a handful of adjacent octaves);
+// absent entries are zero. MinNS is -1 when unknown — the min of a
+// subtraction cannot generally be recovered (see Sub).
+type HistogramState struct {
+	Count   uint64   `json:"count"`
+	SumNS   int64    `json:"sum_ns"`
+	MinNS   int64    `json:"min_ns"` // -1 = unknown
+	MaxNS   int64    `json:"max_ns"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// State captures the histogram's raw cumulative totals. Under
+// concurrent Observe calls each field is individually consistent (the
+// same guarantee as Snapshot). A nil receiver returns the zero state.
+func (h *Histogram) State() HistogramState {
+	st := HistogramState{MinNS: -1}
+	if h == nil {
+		return st
+	}
+	var buckets [histBuckets]uint64
+	last := -1
+	for i := range buckets {
+		c := h.buckets[i].Load()
+		buckets[i] = c
+		if c != 0 {
+			last = i
+		}
+	}
+	st.Count = h.count.Load()
+	st.SumNS = h.sum.Load()
+	st.MinNS = -1
+	if mp1 := h.minP1.Load(); mp1 != 0 {
+		st.MinNS = mp1 - 1
+	}
+	st.MaxNS = h.max.Load()
+	if last >= 0 {
+		st.Buckets = append([]uint64(nil), buckets[:last+1]...)
+	}
+	return st
+}
+
+// Empty reports whether the state holds no observations.
+func (s HistogramState) Empty() bool { return s.Count == 0 }
+
+// Sub returns the interval delta s − prev: the observations recorded
+// after prev was captured, assuming both are cumulative states of the
+// same histogram (prev taken earlier). Bucket counts, Count, and SumNS
+// subtract exactly. MinNS is exact only when prev was empty (the
+// interval then saw every observation); otherwise it is unknowable
+// from cumulative aggregates and reported as -1. MaxNS keeps the
+// cumulative max — an upper bound for the interval, exact whenever the
+// interval contained the new extreme. Fold-time consumers treat these
+// as the documented approximations they are; bucket-derived quantiles
+// are unaffected.
+func (s HistogramState) Sub(prev HistogramState) HistogramState {
+	d := HistogramState{
+		Count: s.Count - prev.Count,
+		SumNS: s.SumNS - prev.SumNS,
+		MinNS: -1,
+		MaxNS: s.MaxNS,
+	}
+	if prev.Empty() {
+		d.MinNS = s.MinNS
+	}
+	if d.Count == 0 {
+		return HistogramState{MinNS: -1}
+	}
+	last := -1
+	n := len(s.Buckets)
+	buckets := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		var p uint64
+		if i < len(prev.Buckets) {
+			p = prev.Buckets[i]
+		}
+		buckets[i] = s.Buckets[i] - p
+		if buckets[i] != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		d.Buckets = buckets[:last+1]
+	}
+	return d
+}
+
+// Merge returns the fold of two states, as if every observation in
+// both had been recorded into one histogram. Exact except for MinNS
+// when either side reports it unknown (the merge is then unknown too
+// unless the other side is empty).
+func (s HistogramState) Merge(o HistogramState) HistogramState {
+	if s.Empty() {
+		return o.clone()
+	}
+	if o.Empty() {
+		return s.clone()
+	}
+	m := HistogramState{
+		Count: s.Count + o.Count,
+		SumNS: s.SumNS + o.SumNS,
+		MinNS: -1,
+		MaxNS: s.MaxNS,
+	}
+	if o.MaxNS > m.MaxNS {
+		m.MaxNS = o.MaxNS
+	}
+	switch {
+	case s.MinNS >= 0 && o.MinNS >= 0:
+		m.MinNS = s.MinNS
+		if o.MinNS < m.MinNS {
+			m.MinNS = o.MinNS
+		}
+	}
+	n := len(s.Buckets)
+	if len(o.Buckets) > n {
+		n = len(o.Buckets)
+	}
+	buckets := make([]uint64, n)
+	for i := range buckets {
+		if i < len(s.Buckets) {
+			buckets[i] += s.Buckets[i]
+		}
+		if i < len(o.Buckets) {
+			buckets[i] += o.Buckets[i]
+		}
+	}
+	m.Buckets = buckets
+	return m
+}
+
+func (s HistogramState) clone() HistogramState {
+	c := s
+	if s.Buckets != nil {
+		c.Buckets = append([]uint64(nil), s.Buckets...)
+	}
+	return c
+}
+
+// Restore materializes the state as a Histogram, so the standard
+// Snapshot/Fold quantile machinery runs over persisted buckets exactly
+// as it does over live ones. An unknown MinNS (-1) restores as "no min
+// recorded yet": Fold reports 0 for it, the conservative floor the
+// state can support.
+func (s HistogramState) Restore() *Histogram {
+	h := &Histogram{}
+	h.count.Store(s.Count)
+	h.sum.Store(s.SumNS)
+	if s.MinNS >= 0 {
+		h.minP1.Store(s.MinNS + 1)
+	}
+	h.max.Store(s.MaxNS)
+	for i, c := range s.Buckets {
+		if i >= histBuckets {
+			break
+		}
+		h.buckets[i].Store(c)
+	}
+	return h
+}
+
+// SnapshotOf folds any number of states into the operator-facing
+// Snapshot — the persisted-world analogue of Fold over live
+// histograms.
+func SnapshotOf(states ...HistogramState) Snapshot {
+	hs := make([]*Histogram, 0, len(states))
+	for _, st := range states {
+		if st.Empty() {
+			continue
+		}
+		hs = append(hs, st.Restore())
+	}
+	return Fold(hs...)
+}

@@ -29,6 +29,12 @@ type Event struct {
 	Stream uint64 `json:"stream"`
 	Proto  string `json:"proto,omitempty"`
 	Label  string `json:"label,omitempty"`
+	// TS is the wall-clock emission time (RFC3339Nano, UTC), stamped
+	// only when Config.Timestamps is set or a persistence store is
+	// wired — the one-shot batch paths leave it off so their output
+	// stays byte-deterministic across runs. Retention and time-window
+	// queries key on this, not on stream offsets.
+	TS string `json:"ts,omitempty"`
 
 	// Finding fields.
 	Seq       uint64 `json:"seq,omitempty"`
@@ -127,6 +133,10 @@ func (ev *Event) appendJSON(b []byte) []byte {
 	if ev.Label != "" {
 		b = append(b, `,"label":`...)
 		b = appendJSONString(b, ev.Label)
+	}
+	if ev.TS != "" {
+		b = append(b, `,"ts":`...)
+		b = appendJSONString(b, ev.TS)
 	}
 	if ev.Seq != 0 {
 		b = append(b, `,"seq":`...)

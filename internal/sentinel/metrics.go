@@ -2,6 +2,7 @@ package sentinel
 
 import (
 	"encoding/json"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -61,6 +62,15 @@ type shardMetrics struct {
 	pktACL     atomic.Uint64
 	pktSCO     atomic.Uint64
 	pktOther   atomic.Uint64
+
+	// persistAppended/persistDropped account the shard's durable event
+	// path: appended is bumped by the persist goroutine per successful
+	// store append, dropped by emit when the bounded persist queue is
+	// full (and by the persist goroutine on store errors). dropped
+	// climbing is the disk-can't-keep-up signal; ingestion is unaffected
+	// by construction.
+	persistAppended atomic.Uint64
+	persistDropped  atomic.Uint64
 
 	_ pad
 
@@ -183,6 +193,13 @@ type ShardMetricsSnapshot struct {
 	IngestLatency obs.Snapshot `json:"ingest_latency"`
 }
 
+// PersistSnapshot is the "persist" section of /metrics: the durable
+// event path's fold across shards.
+type PersistSnapshot struct {
+	Appended uint64 `json:"appended"`
+	Dropped  uint64 `json:"dropped"`
+}
+
 // MetricsSnapshot is the JSON document served at /metrics.
 type MetricsSnapshot struct {
 	UptimeSec float64 `json:"uptime_sec"`
@@ -200,6 +217,11 @@ type MetricsSnapshot struct {
 	// EventsDropped counts JSONL events lost to the per-write deadline —
 	// the operator's signal that the event consumer is stalled.
 	EventsDropped uint64 `json:"events_dropped"`
+
+	// Persist accounts the durable event path (zero when no store is
+	// configured): appended = events written to the embedded store,
+	// dropped = events lost to a full persist queue or a store error.
+	Persist PersistSnapshot `json:"persist"`
 
 	Packets      map[string]uint64 `json:"packets"`
 	FindingsKind map[string]uint64 `json:"findings_by_kind"`
@@ -252,6 +274,8 @@ func (s *Server) Snapshot() MetricsSnapshot {
 		snap.Bytes += m.bytes.Load()
 		snap.EventsEmitted += m.events.Load()
 		snap.EventsDropped += m.eventsDropped.Load()
+		snap.Persist.Appended += m.persistAppended.Load()
+		snap.Persist.Dropped += m.persistDropped.Load()
 		snap.Packets["command"] += m.pktCommand.Load()
 		snap.Packets["event"] += m.pktEvent.Load()
 		snap.Packets["acl"] += m.pktACL.Load()
@@ -316,11 +340,17 @@ func (s *Server) Snapshot() MetricsSnapshot {
 	return snap
 }
 
-// httpHandler serves /metrics (JSON snapshot) and /healthz (200 while
-// serving, 503 once draining — the load balancer's cue to stop routing).
-// With Config.EnablePprof it also mounts the standard /debug/pprof
-// profiling mux, so an operator can grab a CPU or heap profile from a
-// live daemon without redeploying.
+// httpHandler serves /metrics (JSON snapshot), /healthz (200 while
+// serving, 503 once draining — the load balancer's cue to stop
+// routing), and — when a store is configured — /query over the
+// persisted series. With Config.EnablePprof it also mounts the standard
+// /debug/pprof profiling mux, so an operator can grab a CPU or heap
+// profile from a live daemon without redeploying.
+//
+// Every point-in-time endpoint sets Cache-Control: no-store (a cached
+// health probe or metrics scrape is worse than none), and a response
+// write failure is logged once per server rather than silently eaten —
+// one line to say scrapes are failing, not one per flap.
 func (s *Server) httpHandler() http.Handler {
 	mux := http.NewServeMux()
 	if s.cfg.EnablePprof {
@@ -331,17 +361,31 @@ func (s *Server) httpHandler() http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Cache-Control", "no-store")
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(s.Snapshot())
+		s.noteWriteErr("/metrics", enc.Encode(s.Snapshot()))
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Cache-Control", "no-store")
 		if s.draining.Load() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
-		w.Write([]byte("ok\n"))
+		_, err := w.Write([]byte("ok\n"))
+		s.noteWriteErr("/healthz", err)
 	})
+	mux.HandleFunc("/query", s.handleQuery)
 	return mux
+}
+
+// noteWriteErr logs a response-write failure, once per server lifetime.
+func (s *Server) noteWriteErr(path string, err error) {
+	if err == nil {
+		return
+	}
+	s.writeErrOnce.Do(func() {
+		log.Printf("sentinel: %s response write failed: %v (further write errors suppressed)", path, err)
+	})
 }

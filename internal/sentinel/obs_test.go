@@ -132,6 +132,8 @@ func TestMetricsJSONSchema(t *testing.T) {
 		"ingest_latency", "detect_latency", "stages",
 		// PR 7 additive field: the per-shard breakdown.
 		"shards",
+		// PR 8 additive field: the durable event path's counters.
+		"persist",
 	})
 
 	var streams []map[string]json.RawMessage

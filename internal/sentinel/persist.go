@@ -1,0 +1,295 @@
+package sentinel
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/tsdb"
+)
+
+// Store series classes. Finding and stream-end events persist as their
+// exact JSONL bytes keyed by stream id; the histogram series holds
+// interval-delta metrics snapshots keyed 0 (daemon-global).
+const (
+	SeriesFindings = "findings"
+	SeriesEnds     = "ends"
+	SeriesHist     = "hist"
+)
+
+// persistItem is one event on a shard's persist queue: the stamped
+// event and the frame timestamp matching its TS field.
+type persistItem struct {
+	ev Event
+	ts int64
+}
+
+// persistLoop is a shard's persistence consumer: it drains the bounded
+// queue, append-encodes each event into a reused buffer (the same
+// encoder the JSONL writer uses, so the durable bytes equal the emitted
+// line), and appends to the store. Store errors count as drops — the
+// queue keeps draining, so one bad write never wedges the shard.
+func (sh *shard) persistLoop() {
+	defer close(sh.pdone)
+	var buf []byte
+	for it := range sh.persist {
+		if hook := sh.srv.cfg.beforePersist; hook != nil {
+			hook(sh.idx)
+		}
+		series := SeriesFindings
+		if it.ev.Type == EventStreamEnd {
+			series = SeriesEnds
+		}
+		buf = it.ev.appendJSON(buf[:0])
+		if err := sh.srv.cfg.Store.Append(series, it.ts, it.ev.Stream, buf); err != nil {
+			sh.m.persistDropped.Add(1)
+			continue
+		}
+		sh.m.persistAppended.Add(1)
+	}
+}
+
+// histPoint is the persisted form of one metrics snapshotter interval:
+// the raw histogram deltas (not quantiles) for the ingest and detect
+// instruments, folded across shards, plus the interval they cover.
+// Storing deltas rather than cumulative states is what makes both
+// window queries and downsampling lossless bucket merges — "p99 over
+// the last hour" is obs.SnapshotOf over the hour's deltas, and an aged
+// segment merges adjacent deltas without losing a single bucket count.
+type histPoint struct {
+	TS         string             `json:"ts"`
+	IntervalMS int64              `json:"interval_ms"`
+	Ingest     obs.HistogramState `json:"ingest"`
+	Detect     obs.HistogramState `json:"detect"`
+}
+
+// foldStates returns the cumulative ingest and detect histogram states
+// folded across every shard.
+func (s *Server) foldStates() (ingest, detect obs.HistogramState) {
+	ingest = obs.HistogramState{MinNS: -1}
+	detect = obs.HistogramState{MinNS: -1}
+	for _, sh := range s.shards {
+		ingest = ingest.Merge(sh.m.ingest.State())
+		detect = detect.Merge(sh.m.detect.State())
+	}
+	return ingest, detect
+}
+
+// metricsLoop persists one histPoint per MetricsEvery interval: the
+// cumulative fold across shards, diffed against the previous tick.
+// Empty intervals (no observations) are skipped. On shutdown it
+// persists whatever the final partial interval accumulated.
+func (s *Server) metricsLoop() {
+	defer close(s.snapDone)
+	t := time.NewTicker(s.cfg.MetricsEvery)
+	defer t.Stop()
+	var prevIngest, prevDetect obs.HistogramState
+	prevAt := time.Now()
+	snap := func() {
+		now := time.Now()
+		ingest, detect := s.foldStates()
+		dIngest, dDetect := ingest.Sub(prevIngest), detect.Sub(prevDetect)
+		if dIngest.Empty() && dDetect.Empty() {
+			return
+		}
+		prevIngest, prevDetect = ingest, detect
+		pt := histPoint{
+			TS:         now.UTC().Format(time.RFC3339Nano),
+			IntervalMS: now.Sub(prevAt).Milliseconds(),
+			Ingest:     dIngest,
+			Detect:     dDetect,
+		}
+		prevAt = now
+		doc, err := json.Marshal(pt)
+		if err != nil {
+			return
+		}
+		if err := s.cfg.Store.Append(SeriesHist, now.UnixNano(), 0, doc); err == nil {
+			s.shards[0].m.persistAppended.Add(1)
+		} else {
+			s.shards[0].m.persistDropped.Add(1)
+		}
+	}
+	for {
+		select {
+		case <-s.snapStop:
+			snap() // final partial interval
+			return
+		case <-t.C:
+			snap()
+		}
+	}
+}
+
+// HistDownsample returns the retention decay policy for the histogram
+// series: after the given age, every window of interval deltas merges
+// into one coarser delta. The merge is lossless for everything a
+// quantile query reads (bucket counts, totals, sums); the point's TS
+// and frame timestamp keep the newest input's, so time-window pruning
+// stays correct.
+func HistDownsample(after, window time.Duration) tsdb.Downsampler {
+	return tsdb.Downsampler{
+		After:  after,
+		Window: window,
+		Merge: func(frames []tsdb.Frame) (tsdb.Frame, error) {
+			var merged histPoint
+			for i, fr := range frames {
+				var pt histPoint
+				if err := json.Unmarshal(fr.Data, &pt); err != nil {
+					return tsdb.Frame{}, fmt.Errorf("hist point %d: %w", i, err)
+				}
+				merged.TS = pt.TS
+				merged.IntervalMS += pt.IntervalMS
+				merged.Ingest = merged.Ingest.Merge(pt.Ingest)
+				merged.Detect = merged.Detect.Merge(pt.Detect)
+			}
+			doc, err := json.Marshal(merged)
+			if err != nil {
+				return tsdb.Frame{}, err
+			}
+			last := frames[len(frames)-1]
+			return tsdb.Frame{TS: last.TS, Key: last.Key, Data: doc}, nil
+		},
+	}
+}
+
+// QueryEvent is one persisted event row in a /query response: the
+// frame's wall timestamp and stream key, plus the stored JSONL object
+// verbatim (it is the same bytes the live stream emitted).
+type QueryEvent struct {
+	TS     string          `json:"ts"`
+	Stream uint64          `json:"stream"`
+	Event  json.RawMessage `json:"event"`
+}
+
+// QueryResult is the /query response document. Event series
+// (findings, ends) fill Results; the histogram series folds the
+// window's stored deltas into Ingest/Detect percentile snapshots
+// covering IntervalMS of observed run time.
+type QueryResult struct {
+	Series    string       `json:"series"`
+	Count     int          `json:"count"`
+	Truncated bool         `json:"truncated,omitempty"`
+	Results   []QueryEvent `json:"results,omitempty"`
+
+	IntervalMS int64         `json:"interval_ms,omitempty"`
+	Ingest     *obs.Snapshot `json:"ingest,omitempty"`
+	Detect     *obs.Snapshot `json:"detect,omitempty"`
+}
+
+// defaultQueryLimit caps /query result rows unless ?limit= raises it;
+// Truncated tells the caller the cap bit.
+const defaultQueryLimit = 10000
+
+// parseQueryTime accepts RFC3339(Nano) or integer unix seconds.
+func parseQueryTime(v string) (int64, error) {
+	if t, err := time.Parse(time.RFC3339Nano, v); err == nil {
+		return t.UnixNano(), nil
+	}
+	if sec, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return sec * int64(time.Second), nil
+	}
+	return 0, fmt.Errorf("bad time %q (want RFC3339 or unix seconds)", v)
+}
+
+// handleQuery serves GET /query?series=findings|ends|hist with
+// optional stream=, since=, until=, limit= parameters. Served 404 when
+// no store is configured (the endpoint does not exist without one).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	if s.cfg.Store == nil {
+		http.Error(w, "no store configured", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	series := q.Get("series")
+
+	since, until := int64(0), time.Now().UnixNano()
+	var err error
+	if v := q.Get("since"); v != "" {
+		if since, err = parseQueryTime(v); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if v := q.Get("until"); v != "" {
+		if until, err = parseQueryTime(v); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	var key uint64
+	if v := q.Get("stream"); v != "" {
+		if key, err = strconv.ParseUint(v, 10, 64); err != nil || key == 0 {
+			http.Error(w, fmt.Sprintf("bad stream %q", v), http.StatusBadRequest)
+			return
+		}
+	}
+	limit := defaultQueryLimit
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit <= 0 {
+			http.Error(w, fmt.Sprintf("bad limit %q", v), http.StatusBadRequest)
+			return
+		}
+	}
+
+	res := QueryResult{Series: series}
+	switch series {
+	case SeriesFindings, SeriesEnds:
+		qerr := s.cfg.Store.Query(series, since, until, key, func(fr tsdb.Frame) error {
+			if len(res.Results) >= limit {
+				res.Truncated = true
+				return errQueryLimit
+			}
+			res.Results = append(res.Results, QueryEvent{
+				TS:     time.Unix(0, fr.TS).UTC().Format(time.RFC3339Nano),
+				Stream: fr.Key,
+				Event:  json.RawMessage(append([]byte(nil), fr.Data...)),
+			})
+			return nil
+		})
+		if qerr != nil && qerr != errQueryLimit {
+			http.Error(w, qerr.Error(), http.StatusInternalServerError)
+			return
+		}
+		res.Count = len(res.Results)
+	case SeriesHist:
+		var points int
+		ingest := obs.HistogramState{MinNS: -1}
+		detect := obs.HistogramState{MinNS: -1}
+		qerr := s.cfg.Store.Query(series, since, until, 0, func(fr tsdb.Frame) error {
+			var pt histPoint
+			if err := json.Unmarshal(fr.Data, &pt); err != nil {
+				return fmt.Errorf("corrupt hist point: %w", err)
+			}
+			points++
+			res.IntervalMS += pt.IntervalMS
+			ingest = ingest.Merge(pt.Ingest)
+			detect = detect.Merge(pt.Detect)
+			return nil
+		})
+		if qerr != nil {
+			http.Error(w, qerr.Error(), http.StatusInternalServerError)
+			return
+		}
+		res.Count = points
+		iSnap, dSnap := obs.SnapshotOf(ingest), obs.SnapshotOf(detect)
+		res.Ingest, res.Detect = &iSnap, &dSnap
+	default:
+		http.Error(w, fmt.Sprintf("bad series %q (want %s, %s, or %s)",
+			series, SeriesFindings, SeriesEnds, SeriesHist), http.StatusBadRequest)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	s.noteWriteErr("/query", enc.Encode(res))
+}
+
+// errQueryLimit is the internal sentinel Query callbacks return to stop
+// iteration once the response row cap is hit.
+var errQueryLimit = fmt.Errorf("query limit reached")

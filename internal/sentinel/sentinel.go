@@ -60,6 +60,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/snoop"
 	"repro/internal/spsc"
+	"repro/internal/tsdb"
 )
 
 // Config tunes a Server. The zero value of every field selects a
@@ -110,6 +111,32 @@ type Config struct {
 	// /metrics is scraped.
 	EnablePprof bool
 
+	// Store, when set, persists finding and stream-end events (and
+	// periodic histogram snapshots) to the embedded time-series store,
+	// and mounts the /query API on the HTTP mux. Persistence rides a
+	// per-shard bounded queue drained off the hot path: a slow disk
+	// degrades to counted drops (the "persist" section of /metrics),
+	// never blocked ingestion. The Server does not Close the store —
+	// its owner does, after Shutdown.
+	Store *tsdb.Store
+	// PersistBuffer is the bounded persist queue capacity per shard
+	// between the event path and that shard's persist goroutine.
+	// Default 8192 — deep enough to absorb the finding burst batch
+	// ingest can emit within a single scheduler quantum on a busy
+	// one-core box (thousands of findings at >20M records/sec) while
+	// still bounding queue memory to a few MB per shard.
+	PersistBuffer int
+	// MetricsEvery is the interval at which a cumulative metrics
+	// snapshot is folded, diffed against the previous one, and the
+	// delta persisted to the store's histogram series. Default 10s
+	// when Store is set; <0 disables the snapshotter.
+	MetricsEvery time.Duration
+	// Timestamps stamps every event with the wall-clock emission time
+	// (the JSONL "ts" field). Implied by Store (retention needs a wall
+	// key); off by default so the one-shot batch paths stay
+	// byte-deterministic across runs.
+	Timestamps bool
+
 	// OnStreamEnd, when set, observes every finished stream — the hook
 	// tests and benchmarks use to wait for completion.
 	OnStreamEnd func(StreamSummary)
@@ -118,6 +145,11 @@ type Config struct {
 	// each buffer flush, outside the output lock. Test hook: stalling it
 	// wedges exactly one shard without touching the shared Output.
 	beforeFlush func(shard int)
+	// beforePersist, when set, runs on a shard's persist goroutine
+	// before each store append. Test hook: stalling it backs up exactly
+	// one shard's persist queue without touching the store or the event
+	// path.
+	beforePersist func(shard int)
 }
 
 func (c *Config) defaults() {
@@ -138,6 +170,12 @@ func (c *Config) defaults() {
 	}
 	if c.Shards <= 0 {
 		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.PersistBuffer <= 0 {
+		c.PersistBuffer = 8192
+	}
+	if c.MetricsEvery == 0 {
+		c.MetricsEvery = 10 * time.Second
 	}
 }
 
@@ -202,6 +240,15 @@ type Server struct {
 	nextID   atomic.Uint64
 	draining atomic.Bool
 	started  bool
+
+	// snapStop/snapDone bracket the metrics snapshotter goroutine
+	// (running only when a store and MetricsEvery are configured).
+	snapStop chan struct{}
+	snapDone chan struct{}
+
+	// writeErrOnce gates the one-time log line for HTTP response write
+	// failures — a flapping scraper should not be able to spam stderr.
+	writeErrOnce sync.Once
 }
 
 // shardItem is one unit on a shard's event queue: an event to encode,
@@ -228,6 +275,13 @@ type shard struct {
 	done   chan struct{} // closed when the writer goroutine exits
 	buf    []byte        // writer-owned; reused across batches
 	m      shardMetrics
+
+	// persist is the shard's bounded queue to its persist goroutine
+	// (nil without a store). Same MPSC discipline as events, but the
+	// overflow policy is an immediate counted drop — durability is
+	// best-effort by design; ingestion never waits on a disk.
+	persist chan persistItem
+	pdone   chan struct{} // closed when the persist goroutine exits
 }
 
 // New returns an unstarted Server. The shard writer goroutines run from
@@ -251,6 +305,16 @@ func New(cfg Config) *Server {
 		sh.m.init()
 		s.shards[i] = sh
 		go sh.writeLoop()
+		if cfg.Store != nil {
+			sh.persist = make(chan persistItem, cfg.PersistBuffer)
+			sh.pdone = make(chan struct{})
+			go sh.persistLoop()
+		}
+	}
+	if cfg.Store != nil && cfg.MetricsEvery > 0 {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.metricsLoop()
 	}
 	return s
 }
@@ -616,10 +680,15 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 		tDrain := time.Now()
 		sm.stageDrain.Observe(tDrain.Sub(tPush))
 		if len(evs) > 0 {
+			// One wall-clock read and one RFC3339Nano format for the whole
+			// drained burst: findings surfaced by the same batch share an
+			// emission instant, and per-event formatting is measurable at
+			// block-scan throughput (thousands of findings per quantum).
+			ts, tss := s.stamp()
 			for _, ev := range evs {
 				st.findings.Add(1)
 				sm.countFinding(ev.Finding.Kind)
-				s.emit(st, findingEvent(st.id, ev))
+				s.emitStamped(st, findingEvent(st.id, ev), ts, tss)
 			}
 			tEnd := time.Now()
 			sm.stageEmit.Observe(tEnd.Sub(tDrain))
@@ -687,7 +756,36 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 // stream id) receives the per-stream dropped count when the deadline
 // expires. The event itself is encoded by the shard writer, off the
 // ingest hot path.
+//
+// When timestamps are on (explicitly, or implied by a store) the event
+// is stamped here — once, so the JSONL line and the persisted frame
+// carry the same instant. Finding and stream-end events additionally
+// fan out to the shard's persist queue; a full queue is an immediate
+// counted drop, never a stall (the JSONL line still goes out — the
+// durable copy is the best-effort one).
 func (s *Server) emit(st *streamState, ev Event) {
+	ts, tss := s.stamp()
+	s.emitStamped(st, ev, ts, tss)
+}
+
+// stamp reads the wall clock once and returns the frame timestamp and
+// its RFC3339Nano rendering, or zero values when timestamps are off.
+// Formatting is the expensive half (~0.5µs plus an allocation), so the
+// ingest drain loop calls this once per finding batch and shares the
+// string across the burst rather than paying it per event.
+func (s *Server) stamp() (int64, string) {
+	if !s.cfg.Timestamps && s.cfg.Store == nil {
+		return 0, ""
+	}
+	now := time.Now()
+	return now.UnixNano(), now.UTC().Format(time.RFC3339Nano)
+}
+
+// emitStamped is emit with the timestamp pair already computed; ts and
+// tss must come from the same stamp() call so the JSONL line and the
+// persisted frame carry the same instant.
+func (s *Server) emitStamped(st *streamState, ev Event, ts int64, tss string) {
+	ev.TS = tss
 	sh := s.shardFor(ev.Stream)
 	if st != nil {
 		sh = st.sh
@@ -696,6 +794,13 @@ func (s *Server) emit(st *streamState, ev Event) {
 		sh.m.eventsDropped.Add(1)
 		if st != nil {
 			st.dropped.Add(1)
+		}
+	}
+	if sh.persist != nil && (ev.Type == EventFinding || ev.Type == EventStreamEnd) {
+		select {
+		case sh.persist <- persistItem{ev: ev, ts: ts}:
+		default:
+			sh.m.persistDropped.Add(1)
 		}
 	}
 }
@@ -766,6 +871,38 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		case <-ctx.Done():
 			if err == nil {
 				err = ctx.Err()
+			}
+		}
+	}
+	// Emitters are gone, so the persist queues can drain to completion;
+	// then stop the snapshotter (it persists one final delta on the way
+	// out). The store itself stays open — its owner closes it.
+	if s.cfg.Store != nil {
+		for _, sh := range s.shards {
+			if sh.persist != nil {
+				close(sh.persist)
+			}
+		}
+		for _, sh := range s.shards {
+			if sh.pdone == nil {
+				continue
+			}
+			select {
+			case <-sh.pdone:
+			case <-ctx.Done():
+				if err == nil {
+					err = ctx.Err()
+				}
+			}
+		}
+		if s.snapStop != nil {
+			close(s.snapStop)
+			select {
+			case <-s.snapDone:
+			case <-ctx.Done():
+				if err == nil {
+					err = ctx.Err()
+				}
 			}
 		}
 	}

@@ -18,15 +18,18 @@ import (
 // separators U+2028/U+2029, multi-byte runes, and negative numbers.
 var encoderFixtures = []Event{
 	{Type: EventStreamStart, Stream: 1, Proto: "tcp", Label: "127.0.0.1:52113"},
-	{Type: EventStreamStart, Stream: 18446744073709551615, Proto: "unix", Label: "unix"},
+	{Type: EventStreamStart, Stream: 18446744073709551615, Proto: "unix", Label: "unix",
+		TS: "2026-08-08T12:00:00.000000001Z"},
 	{
 		Type: EventFinding, Stream: 7, Seq: 3, Frame: 4521,
 		Kind: "link-key-extraction", Peer: "AA:BB:CC:DD:EE:FF",
 		Detail:    "HCI_Read_Stored_Link_Key burst",
 		CaptureTS: "2026-08-08T12:00:00.123456789Z",
+		TS:        "2026-08-08T12:00:00.223456789Z",
 	},
 	{
 		Type: EventStreamEnd, Stream: 7, Proto: "tcp", Label: "phone",
+		TS:     "2026-08-08T12:00:01Z",
 		Status: StatusClean, Offset: 52095345, Records: 1000000,
 		Bytes: 52095345, Findings: 41, EventsDropped: 2,
 	},
@@ -36,7 +39,8 @@ var encoderFixtures = []Event{
 		Error: "snoop: bad framing at offset 16",
 	},
 	{Type: EventStreamRejected, Stream: 65, Proto: "tcp", Label: "10.0.0.9:1", Error: "stream cap 64 reached"},
-	{Type: EventFinding, Stream: 2, Seq: 1, Frame: 1, Kind: "quote\"back\\slash", Detail: "tabs\tand\nnewlines\rhere"},
+	{Type: EventFinding, Stream: 2, Seq: 1, Frame: 1, Kind: "quote\"back\\slash", Detail: "tabs\tand\nnewlines\rhere",
+		TS: "ts with \"quotes\" and \xffbad bytes"},
 	{Type: EventFinding, Stream: 2, Seq: 2, Frame: 2, Kind: "ctrl\b\f\x00\x1f", Detail: "html <b>&amp;</b>"},
 	{Type: EventFinding, Stream: 2, Seq: 3, Frame: 3, Kind: "bad\xffutf8\xc3(", Detail: "seps\u2028and\u2029here"},
 	{Type: EventFinding, Stream: 2, Seq: 4, Frame: 4, Kind: "日本語 ünïcode ✓", Detail: "� literal replacement"},
@@ -99,7 +103,7 @@ func TestAppendJSONMatchesEncodingJSON(t *testing.T) {
 		check(Event{
 			Type:   randStr(),
 			Stream: rng.Uint64(),
-			Proto:  randStr(), Label: randStr(),
+			Proto:  randStr(), Label: randStr(), TS: randStr(),
 			Seq: rng.Uint64() >> uint(rng.Intn(64)), Frame: int(int32(rng.Uint32())),
 			Kind: randStr(), Peer: randStr(), Detail: randStr(), CaptureTS: randStr(),
 			Status: randStr(), Offset: int64(rng.Uint64()), Records: int(int32(rng.Uint32())),
@@ -131,6 +135,7 @@ func sanitizeEvent(ev Event) Event {
 	ev.Type = fix(ev.Type)
 	ev.Proto = fix(ev.Proto)
 	ev.Label = fix(ev.Label)
+	ev.TS = fix(ev.TS)
 	ev.Kind = fix(ev.Kind)
 	ev.Peer = fix(ev.Peer)
 	ev.Detail = fix(ev.Detail)

@@ -1,0 +1,429 @@
+package tsdb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a deterministic Options.Now.
+func fixedClock(t time.Time) func() time.Time {
+	return func() time.Time { return t }
+}
+
+var t0 = time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+
+func openTest(t *testing.T, dir string, mut func(*Options)) *Store {
+	t.Helper()
+	opts := Options{
+		Dir:          dir,
+		CompactEvery: -1, // tests drive Compact explicitly
+		SyncEvery:    -1,
+		Now:          fixedClock(t0),
+	}
+	if mut != nil {
+		mut(&opts)
+	}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func collect(t *testing.T, s *Store, series string, since, until int64, key uint64) []Frame {
+	t.Helper()
+	var out []Frame
+	err := s.Query(series, since, until, key, func(fr Frame) error {
+		data := make([]byte, len(fr.Data))
+		copy(data, fr.Data)
+		out = append(out, Frame{TS: fr.TS, Key: fr.Key, Data: data})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	return out
+}
+
+func TestAppendQueryRoundTrip(t *testing.T) {
+	s := openTest(t, t.TempDir(), nil)
+	base := t0.UnixNano()
+	for i := 0; i < 100; i++ {
+		data := []byte(fmt.Sprintf(`{"seq":%d}`, i))
+		if err := s.Append("findings", base+int64(i), uint64(1+i%4), data); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	got := collect(t, s, "findings", 0, base+1000, KeyAny)
+	if len(got) != 100 {
+		t.Fatalf("got %d frames, want 100", len(got))
+	}
+	for i, fr := range got {
+		if fr.TS != base+int64(i) {
+			t.Fatalf("frame %d: ts %d, want %d", i, fr.TS, base+int64(i))
+		}
+		if want := fmt.Sprintf(`{"seq":%d}`, i); string(fr.Data) != want {
+			t.Fatalf("frame %d: data %q, want %q", i, fr.Data, want)
+		}
+		if fr.Key != uint64(1+i%4) {
+			t.Fatalf("frame %d: key %d, want %d", i, fr.Key, 1+i%4)
+		}
+	}
+}
+
+func TestQueryKeyAndWindowFilter(t *testing.T) {
+	s := openTest(t, t.TempDir(), nil)
+	base := t0.UnixNano()
+	for i := 0; i < 60; i++ {
+		if err := s.Append("ends", base+int64(i)*1e9, uint64(1+i%3), []byte{byte(i)}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	// Key filter: every third frame has key 2.
+	byKey := collect(t, s, "ends", 0, base+100e9, 2)
+	if len(byKey) != 20 {
+		t.Fatalf("key filter: got %d frames, want 20", len(byKey))
+	}
+	for _, fr := range byKey {
+		if fr.Key != 2 {
+			t.Fatalf("key filter leaked key %d", fr.Key)
+		}
+	}
+	// Window: seconds [10, 19] inclusive.
+	win := collect(t, s, "ends", base+10e9, base+19e9, KeyAny)
+	if len(win) != 10 {
+		t.Fatalf("window: got %d frames, want 10", len(win))
+	}
+	if win[0].Data[0] != 10 || win[9].Data[0] != 19 {
+		t.Fatalf("window edges wrong: %d..%d", win[0].Data[0], win[9].Data[0])
+	}
+	// Unknown series: no frames, no error.
+	if got := collect(t, s, "nope", 0, base+100e9, KeyAny); len(got) != 0 {
+		t.Fatalf("unknown series returned %d frames", len(got))
+	}
+}
+
+func TestSegmentRollAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, func(o *Options) { o.SegmentBytes = 1 << 10 })
+	base := t0.UnixNano()
+	payload := bytes.Repeat([]byte("x"), 100)
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := s.Append("findings", base+int64(i), 7, payload); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	st := s.Stats()["findings"]
+	if st.Segments < 3 {
+		t.Fatalf("expected >=3 segments after roll, got %d", st.Segments)
+	}
+	if st.Frames != n {
+		t.Fatalf("stats frames %d, want %d", st.Frames, n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen: everything survives, and appends continue in the tail.
+	s2 := openTest(t, dir, func(o *Options) { o.SegmentBytes = 1 << 10 })
+	if got := collect(t, s2, "findings", 0, base+1e9, KeyAny); len(got) != n {
+		t.Fatalf("after reopen: %d frames, want %d", len(got), n)
+	}
+	if err := s2.Append("findings", base+int64(n), 7, payload); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	if got := collect(t, s2, "findings", 0, base+1e9, KeyAny); len(got) != n+1 {
+		t.Fatalf("after reopen+append: %d frames, want %d", len(got), n+1)
+	}
+}
+
+func TestQuerySkipsNonOverlappingSegments(t *testing.T) {
+	s := openTest(t, t.TempDir(), func(o *Options) { o.SegmentBytes = 1 << 10 })
+	base := t0.UnixNano()
+	payload := bytes.Repeat([]byte("y"), 200)
+	for i := 0; i < 40; i++ {
+		if err := s.Append("findings", base+int64(i)*1e9, 1, payload); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	// Delete the files of segments outside the queried window; if Query
+	// correctly prunes by [minTS, maxTS] it never notices.
+	s.mu.Lock()
+	sr := s.series["findings"]
+	s.mu.Unlock()
+	sr.mu.Lock()
+	if sr.bw != nil {
+		sr.bw.Flush()
+	}
+	since, until := base+35*1e9, base+39*1e9
+	for _, g := range sr.segs {
+		if g != sr.active && !g.overlaps(since, until) {
+			os.Rename(g.path, g.path+".hidden")
+		}
+	}
+	sr.mu.Unlock()
+	got := collect(t, s, "findings", since, until, KeyAny)
+	if len(got) != 5 {
+		t.Fatalf("pruned query: %d frames, want 5", len(got))
+	}
+	// Restore so Close/cleanup sees a sane directory.
+	sr.mu.Lock()
+	for _, g := range sr.segs {
+		os.Rename(g.path+".hidden", g.path)
+	}
+	sr.mu.Unlock()
+}
+
+func TestRetentionCompaction(t *testing.T) {
+	now := t0
+	s := openTest(t, t.TempDir(), func(o *Options) {
+		o.SegmentBytes = 1 << 10
+		o.Retention = time.Hour
+		o.Now = func() time.Time { return now }
+	})
+	payload := bytes.Repeat([]byte("z"), 200)
+	old := t0.Add(-3 * time.Hour).UnixNano()
+	fresh := t0.Add(-time.Minute).UnixNano()
+	for i := 0; i < 20; i++ {
+		if err := s.Append("findings", old+int64(i), 1, payload); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Append("findings", fresh+int64(i), 1, payload); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	before := s.Stats()["findings"]
+	stats, err := s.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if stats.SegmentsDeleted == 0 || stats.FramesDropped == 0 {
+		t.Fatalf("compaction deleted nothing: %+v (before: %+v)", stats, before)
+	}
+	got := collect(t, s, "findings", 0, t0.UnixNano(), KeyAny)
+	for _, fr := range got {
+		if fr.TS < t0.Add(-time.Hour).UnixNano() {
+			t.Fatalf("aged frame survived retention: ts %d", fr.TS)
+		}
+	}
+	if len(got) < 20 {
+		t.Fatalf("retention ate fresh frames: %d left, want >=20", len(got))
+	}
+	// A second pass is a no-op.
+	stats2, err := s.Compact()
+	if err != nil {
+		t.Fatalf("Compact 2: %v", err)
+	}
+	if stats2.SegmentsDeleted != 0 {
+		t.Fatalf("second compaction deleted %d segments", stats2.SegmentsDeleted)
+	}
+}
+
+func TestRetentionNeverTouchesActiveSegment(t *testing.T) {
+	s := openTest(t, t.TempDir(), func(o *Options) { o.Retention = time.Hour })
+	old := t0.Add(-3 * time.Hour).UnixNano()
+	if err := s.Append("findings", old, 1, []byte("keep")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	stats, err := s.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if stats.SegmentsDeleted != 0 {
+		t.Fatalf("compaction deleted the active segment")
+	}
+	if got := collect(t, s, "findings", 0, t0.UnixNano(), KeyAny); len(got) != 1 {
+		t.Fatalf("active frame lost: %d frames", len(got))
+	}
+}
+
+// sumDoc is the trivial mergeable payload used by downsampling tests:
+// an 8-byte LE counter; merging sums the counters.
+func sumMerge(window []Frame) (Frame, error) {
+	var total uint64
+	for _, fr := range window {
+		total += binary.LittleEndian.Uint64(fr.Data)
+	}
+	var data [8]byte
+	binary.LittleEndian.PutUint64(data[:], total)
+	return Frame{TS: window[len(window)-1].TS, Key: window[0].Key, Data: data[:]}, nil
+}
+
+func TestDownsampling(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, func(o *Options) {
+		o.SegmentBytes = 1 << 10
+		o.Downsample = map[string]Downsampler{
+			"hist": {After: time.Hour, Window: 10 * time.Second, Merge: sumMerge},
+		}
+	})
+	// 60 one-per-second frames, all older than After, each counting 1.
+	base := t0.Add(-2 * time.Hour).UnixNano()
+	var one [8]byte
+	binary.LittleEndian.PutUint64(one[:], 1)
+	for i := 0; i < 60; i++ {
+		if err := s.Append("hist", base+int64(i)*1e9, 0, one[:]); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	// Seal the active segment so the whole series is eligible: roll by
+	// appending a fresh frame after forcing a seal via size is fiddly, so
+	// close and reopen — reopened tails stay appendable but the test only
+	// needs the *sealed* segments downsampled.
+	sealedFrames := func() int {
+		st := s.Stats()["hist"]
+		return st.Frames
+	}
+	before := sealedFrames()
+	stats, err := s.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if stats.SegmentsDownsampled == 0 || stats.FramesMerged == 0 {
+		t.Fatalf("downsampling did nothing: %+v (frames before %d)", stats, before)
+	}
+	after := sealedFrames()
+	if after >= before {
+		t.Fatalf("downsampling did not shrink: %d -> %d", before, after)
+	}
+	// The counters must be conserved: total across merged frames == 60.
+	var total uint64
+	for _, fr := range collect(t, s, "hist", 0, t0.UnixNano(), KeyAny) {
+		total += binary.LittleEndian.Uint64(fr.Data)
+	}
+	if total != 60 {
+		t.Fatalf("merge lost data: total %d, want 60", total)
+	}
+	// Downsampled segments are flagged on disk and not re-downsampled.
+	stats2, err := s.Compact()
+	if err != nil {
+		t.Fatalf("Compact 2: %v", err)
+	}
+	if stats2.SegmentsDownsampled != 0 {
+		t.Fatalf("re-downsampled already-coarse segments: %+v", stats2)
+	}
+	// Survives reopen: the flag is in the header, not just memory.
+	s.Close()
+	s2 := openTest(t, dir, func(o *Options) {
+		o.SegmentBytes = 1 << 10
+		o.Downsample = map[string]Downsampler{
+			"hist": {After: time.Hour, Window: 10 * time.Second, Merge: sumMerge},
+		}
+	})
+	stats3, err := s2.Compact()
+	if err != nil {
+		t.Fatalf("Compact 3: %v", err)
+	}
+	if stats3.SegmentsDownsampled != 0 {
+		t.Fatalf("downsampled flag lost across reopen: %+v", stats3)
+	}
+	var total2 uint64
+	for _, fr := range collect(t, s2, "hist", 0, t0.UnixNano(), KeyAny) {
+		total2 += binary.LittleEndian.Uint64(fr.Data)
+	}
+	if total2 != 60 {
+		t.Fatalf("reopen after downsample lost data: total %d, want 60", total2)
+	}
+}
+
+func TestConcurrentAppendAndQuery(t *testing.T) {
+	s := openTest(t, t.TempDir(), func(o *Options) { o.SegmentBytes = 4 << 10 })
+	base := t0.UnixNano()
+	const perSeries = 2000
+	var wg sync.WaitGroup
+	for _, name := range []string{"findings", "ends", "hist"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			for i := 0; i < perSeries; i++ {
+				if err := s.Append(name, base+int64(i), uint64(1+i%8), []byte(name)); err != nil {
+					t.Errorf("Append %s: %v", name, err)
+					return
+				}
+			}
+		}(name)
+	}
+	// Concurrent readers racing the writers: counts may be partial but
+	// frames must never be corrupt.
+	var rg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = s.Query("findings", 0, base+perSeries, KeyAny, func(fr Frame) error {
+					if string(fr.Data) != "findings" {
+						t.Errorf("corrupt frame data %q", fr.Data)
+					}
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	for _, name := range []string{"findings", "ends", "hist"} {
+		if got := collect(t, s, name, 0, base+perSeries, KeyAny); len(got) != perSeries {
+			t.Fatalf("%s: %d frames, want %d", name, len(got), perSeries)
+		}
+	}
+}
+
+func TestBadSeriesName(t *testing.T) {
+	s := openTest(t, t.TempDir(), nil)
+	for _, bad := range []string{"", "a/b", "..", "x y", "série"} {
+		if err := s.Append(bad, 1, 0, []byte("x")); err == nil {
+			t.Fatalf("series name %q accepted", bad)
+		}
+	}
+}
+
+func TestOpenRemovesStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, nil)
+	if err := s.Append("findings", t0.UnixNano(), 1, []byte("x")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	s.Close()
+	tmp := filepath.Join(dir, "findings", "00000001.seg.tmp")
+	if err := os.WriteFile(tmp, []byte("garbage from a dead compactor"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir, nil)
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived Open: %v", err)
+	}
+	if got := collect(t, s2, "findings", 0, t0.UnixNano(), KeyAny); len(got) != 1 {
+		t.Fatalf("reopen with temp garbage lost data: %d frames", len(got))
+	}
+}
+
+func TestCloseIdempotentAndAppendAfterClose(t *testing.T) {
+	s := openTest(t, t.TempDir(), nil)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := s.Append("findings", 1, 0, []byte("x")); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}

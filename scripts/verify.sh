@@ -86,9 +86,20 @@ rc=0
 [ "$rc" -eq 3 ]
 rm -rf "$batch_dir"
 
+# Store smoke: the embedded tsdb must be deterministic — appending 1M
+# findings on a fixed timeline, retention-compacting with a fixed clock,
+# and querying back must print identical counts and digests (covering
+# every byte in the store directory) across two fresh runs.
+tsdb_dir=$(mktemp -d)
+go run ./cmd/benchtables -tsdbsmoke "$tsdb_dir/a" > "$tsdb_dir/run1.out"
+go run ./cmd/benchtables -tsdbsmoke "$tsdb_dir/b" > "$tsdb_dir/run2.out"
+cmp "$tsdb_dir/run1.out" "$tsdb_dir/run2.out"
+grep -q 'window=60000' "$tsdb_dir/run1.out"
+rm -rf "$tsdb_dir"
+
 # The committed bench JSONs must stay well-formed (the pr4 check also
 # enforces the degraded-sweep acceptance criteria).
-for bj in BENCH_pr2.json BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json; do
+for bj in BENCH_pr2.json BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json BENCH_pr8.json; do
     if [ -f "$bj" ]; then
         go run ./cmd/benchtables -checkjson "$bj"
     fi
@@ -115,4 +126,12 @@ fi
 # multi-stream aggregate at >= 2x the single-stream throughput.
 if [ -f BENCH_pr7.json ] && [ -f BENCH_pr6.json ]; then
     go run ./cmd/benchtables -checkjson BENCH_pr7.json -baseline BENCH_pr6.json
+fi
+
+# Persistence overhead gate: the PR 8 artifact records sentinel_ingest_1m
+# with a live tsdb store wired in (every finding and stream end written
+# through the bounded persist queues); that throughput must stay within
+# 5% of the store-less PR 7 figure — durability rides the cold path.
+if [ -f BENCH_pr8.json ] && [ -f BENCH_pr7.json ]; then
+    go run ./cmd/benchtables -checkjson BENCH_pr8.json -baseline BENCH_pr7.json
 fi
