@@ -21,12 +21,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net"
 	"os"
 	"path/filepath"
 	"reflect"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bt"
@@ -64,6 +64,9 @@ func main() {
 		synth       = flag.String("synth", "", "write a synthetic btsnoop capture (for pipeline smoke tests) to this path and exit")
 		synthN      = flag.Int("synthrecords", 1_000_000, "with -synth: capture size in records")
 		tsdbsmoke   = flag.String("tsdbsmoke", "", "deterministic tsdb store smoke: append 1M findings into a store at this directory, compact, query, print counts and digests, exit")
+		chaos       = flag.Bool("chaos", false, "full-sweep transport-chaos differential: cut the session transport at every byte offset of a small synthetic capture, resume, and require findings byte-identical to an uninterrupted run")
+		chaosN      = flag.Int("chaosrecords", 250, "with -chaos: capture size in records (every byte offset of it is a trial)")
+		checkmulti  = flag.Bool("checkmulti", false, "with -checkjson -baseline: also require sentinel_ingest_multi throughput >= 95% of the baseline's")
 	)
 	flag.Parse()
 
@@ -99,12 +102,26 @@ func main() {
 		return
 	}
 
+	if *chaos {
+		var capture bytes.Buffer
+		if _, err := snoop.Synthesize(&capture, snoop.SynthConfig{Records: *chaosN, Seed: *seed}); err != nil {
+			fail(err)
+		}
+		logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+		if err := sentinel.RunResumeDifferential(capture.Bytes(), 1, logf); err != nil {
+			fail(err)
+		}
+		fmt.Printf("chaos differential: %d records, every one of %d cut offsets resumed byte-identically\n",
+			*chaosN, capture.Len())
+		return
+	}
+
 	if *checkjson != "" {
 		if err := checkBenchJSON(*checkjson); err != nil {
 			fail(err)
 		}
 		if *baseline != "" {
-			if err := checkAgainstBaseline(*checkjson, *baseline, *minspeedup); err != nil {
+			if err := checkAgainstBaseline(*checkjson, *baseline, *minspeedup, *checkmulti); err != nil {
 				fail(err)
 			}
 		}
@@ -586,9 +603,12 @@ func sentinelIngestEntry(seed int64) (benchEntry, error) {
 
 	// Since PR 8 the measured configuration includes persistence: a real
 	// store receives every finding and stream end through the bounded
-	// persist queues while ingest runs. The -checkjson baseline gate
-	// holds this number to >= 95% of the store-less PR 7 figure — the
-	// durability path must stay off the hot path.
+	// persist queues while ingest runs. Since PR 9 it also includes the
+	// resilience path: the client speaks the session resume protocol
+	// (chunk framing + offset acks) and the server takes periodic
+	// detector checkpoints through the same persist queues. The
+	// -checkjson baseline gate holds this number to >= 95% of the PR 8
+	// figure — resumability must stay off the hot path too.
 	storeDir, err := os.MkdirTemp("", "blapd-bench-store-")
 	if err != nil {
 		return benchEntry{}, err
@@ -607,7 +627,13 @@ func sentinelIngestEntry(seed int64) (benchEntry, error) {
 		UnixAddr:    sock,
 		Output:      &events,
 		Store:       store,
-		OnStreamEnd: func(sum sentinel.StreamSummary) { done <- sum },
+		ResumeGrace: time.Minute,
+		// Checkpoint fsyncs stall the persist consumer for milliseconds
+		// while the full-speed ingest keeps producing findings; the
+		// default queue depth absorbs a daemon-paced load but not this
+		// bench's burst rate, and the entry asserts zero drops.
+		PersistBuffer: 1 << 16,
+		OnStreamEnd:   func(sum sentinel.StreamSummary) { done <- sum },
 	})
 	if err := srv.Start(); err != nil {
 		return benchEntry{}, err
@@ -633,12 +659,15 @@ func sentinelIngestEntry(seed int64) (benchEntry, error) {
 		runtime.GC()
 		events.Reset()
 		t1 := time.Now()
-		conn, err := net.Dial("unix", srv.UnixAddr())
+		conn, _, err := sentinel.DialSession("unix", srv.UnixAddr(), fmt.Sprintf("bench-%d", pass), "", 10*time.Second)
 		if err != nil {
 			return benchEntry{}, err
 		}
-		if _, err := conn.Write(data); err != nil {
+		if _, err := sentinel.WriteSessionChunks(conn, bytes.NewReader(data)); err != nil {
 			return benchEntry{}, fmt.Errorf("streaming capture: %w", err)
+		}
+		if err := sentinel.WriteSessionFin(conn); err != nil {
+			return benchEntry{}, fmt.Errorf("session fin: %w", err)
 		}
 		conn.Close()
 		sum = <-done
@@ -674,14 +703,18 @@ func sentinelIngestEntry(seed int64) (benchEntry, error) {
 	if !identical {
 		return benchEntry{}, fmt.Errorf("sentinel_ingest_1m: live events diverge from batch findings")
 	}
-	if dropped := srv.Snapshot().Persist.Dropped; dropped != 0 {
-		return benchEntry{}, fmt.Errorf("sentinel_ingest_1m: persistence dropped %d events in a healthy run", dropped)
+	snap := srv.Snapshot()
+	if snap.Persist.Dropped != 0 {
+		return benchEntry{}, fmt.Errorf("sentinel_ingest_1m: persistence dropped %d events in a healthy run", snap.Persist.Dropped)
+	}
+	if snap.Sessions.Checkpoints == 0 {
+		return benchEntry{}, fmt.Errorf("sentinel_ingest_1m: no detector checkpoints taken — the measured config must include checkpointing")
 	}
 
 	e := benchEntry{
 		Name:       "sentinel_ingest_1m",
 		Baseline:   "forensics.AnalyzeStream (in-process batch)",
-		Optimized:  "sentinel unix-socket ingest + JSONL events + tsdb persistence (live)",
+		Optimized:  "sentinel session-protocol ingest + JSONL events + tsdb persistence + detector checkpoints (live)",
 		BaselineNs: bns, OptimizedNs: ons,
 		Records: records, CaptureBytes: int64(len(data)),
 		OutputsIdentical: identical,
@@ -739,6 +772,7 @@ func sentinelIngestMultiEntry(seed int64) (benchEntry, error) {
 	srv := sentinel.New(sentinel.Config{
 		UnixAddr:    sock,
 		MaxStreams:  streams,
+		ResumeGrace: time.Minute,
 		Output:      sink,
 		OnStreamEnd: func(sum sentinel.StreamSummary) { done <- sum },
 	})
@@ -751,14 +785,22 @@ func sentinelIngestMultiEntry(seed int64) (benchEntry, error) {
 		_ = srv.Shutdown(ctx)
 	}()
 
+	// Every stream speaks the PR 9 session protocol (the resilient
+	// configuration this figure gates); ids are unique per dial so no
+	// stream accidentally resumes another.
+	var sid atomic.Int64
 	oneStream := func() error {
-		conn, err := net.Dial("unix", srv.UnixAddr())
+		conn, _, err := sentinel.DialSession("unix", srv.UnixAddr(), fmt.Sprintf("multi-%d", sid.Add(1)), "", 10*time.Second)
 		if err != nil {
 			return err
 		}
-		if _, err := conn.Write(data); err != nil {
+		if _, err := sentinel.WriteSessionChunks(conn, bytes.NewReader(data)); err != nil {
 			conn.Close()
 			return fmt.Errorf("streaming capture: %w", err)
+		}
+		if err := sentinel.WriteSessionFin(conn); err != nil {
+			conn.Close()
+			return fmt.Errorf("session fin: %w", err)
 		}
 		return conn.Close()
 	}
@@ -857,8 +899,8 @@ func sentinelIngestMultiEntry(seed int64) (benchEntry, error) {
 
 	e := benchEntry{
 		Name:      "sentinel_ingest_multi",
-		Baseline:  fmt.Sprintf("%d streams sequential (single-stream funnel)", streams),
-		Optimized: fmt.Sprintf("%d streams concurrent (sharded writers, shards=GOMAXPROCS)", streams),
+		Baseline:  fmt.Sprintf("%d session streams sequential (single-stream funnel)", streams),
+		Optimized: fmt.Sprintf("%d session streams concurrent (sharded writers, shards=GOMAXPROCS)", streams),
 		BaselineNs: bns, OptimizedNs: ons,
 		Records: streams * records, Streams: streams,
 		CaptureBytes:     int64(len(data)) * int64(streams),
@@ -923,9 +965,12 @@ func checkBenchJSON(path string) error {
 // sentinel_ingest_1m and forensics_scan_1m must run at least minSpeedup
 // times faster than the baseline, and when both artifacts record
 // allocations per record the fresh run must not allocate more (2%
-// tolerance for accounting jitter). Both files are committed artifacts,
-// so the check is deterministic in CI.
-func checkAgainstBaseline(path, basePath string, minSpeedup float64) error {
+// tolerance for accounting jitter). checkMulti additionally holds
+// sentinel_ingest_multi to the same 95% floor — the PR 9 gate, opt-in
+// because older artifact pairs predate the resilient configuration.
+// Both files are committed artifacts, so the check is deterministic in
+// CI.
+func checkAgainstBaseline(path, basePath string, minSpeedup float64, checkMulti bool) error {
 	load := func(p, name string) (benchEntry, error) {
 		raw, err := os.ReadFile(p)
 		if err != nil {
@@ -984,6 +1029,11 @@ func checkAgainstBaseline(path, basePath string, minSpeedup float64) error {
 	}
 	if minSpeedup > 0 {
 		return compare("forensics_scan_1m")
+	}
+	if checkMulti {
+		if err := compare("sentinel_ingest_multi"); err != nil {
+			return err
+		}
 	}
 
 	// PR 7 gates, triggered by the artifact itself: when the fresh file

@@ -16,33 +16,57 @@
 //	blapd -unix /run/blapd.sock
 //	blapd -stdin < capture.btsnoop        # one-shot; exit 3 on findings
 //	blapd -send capture.btsnoop -tcp host:9011   # stream a file to a daemon
+//	blapd -send capture.btsnoop -tcp host:9011 -session job-7   # resumable send
 //	blapd -smoke                          # self-contained end-to-end check
 //
+// Clients that pass -session speak the session resume protocol: if the
+// transport dies mid-send, the daemon parks the stream for -resume-grace
+// and the client reconnects with capped exponential backoff + jitter,
+// resuming from the last byte the daemon acknowledged. With -store the
+// daemon also checkpoints detector state every -checkpoint-every capture
+// bytes, so a killed-and-restarted daemon recovers parked sessions from
+// disk (logged at startup).
+//
 // SIGINT/SIGTERM drain the daemon: listeners close, in-flight streams
-// get -drain-timeout to finish, stragglers are force-closed.
+// get -drain-timeout to finish, stragglers are force-closed; parked
+// sessions are checkpointed and end with status "aborted".
 //
 // Exit codes: 0 on success, 1 on error, 2 on usage; -stdin exits 3 when
 // the capture produced at least one finding (the same contract as
-// hcidump -analyze).
+// hcidump -analyze); -send exits 4 when a partial payload was delivered
+// but the send could not be completed (the daemon may still hold the
+// parked remainder).
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/sentinel"
 	"repro/internal/tsdb"
 )
 
 // exitFindings matches hcidump -analyze: one-shot analysis found signatures.
 const exitFindings = 3
+
+// exitPartialSend distinguishes a -send that delivered some payload but
+// could not finish (daemon may hold a parked remainder) from a send that
+// failed outright — operators retry the former with the same -session.
+const exitPartialSend = 4
 
 func main() {
 	var (
@@ -60,6 +84,15 @@ func main() {
 		storeDir     = flag.String("store", "", "persist findings, stream ends, and metrics snapshots to an embedded time-series store at this directory (adds /query to -http)")
 		retention    = flag.Duration("retention", 0, "drop stored segments older than this; 0 keeps everything (needs -store)")
 		metricsEvery = flag.Duration("metrics-every", 10*time.Second, "interval between persisted metrics snapshots (negative disables; needs -store)")
+		resumeGrace  = flag.Duration("resume-grace", 0, "how long a disconnected session-protocol stream is parked awaiting resume (0 = 2m default, negative disables parking)")
+		ckptEvery    = flag.Int64("checkpoint-every", 0, "capture-byte interval between detector checkpoints for session streams (0 = 8MiB default, negative disables; needs -store to matter)")
+		ackEvery     = flag.Int64("ack-every", 0, "payload-byte interval between session acks (0 = 1MiB default)")
+		tenantQuota  = flag.Int("tenant-quota", 0, "max concurrent sessions per tenant, admitted ahead of -max-streams (0 = unlimited)")
+		watchdog     = flag.Duration("watchdog", 0, "force-fail any stream whose detector makes no progress for this long (0 disables)")
+		session      = flag.String("session", "", "with -send: session id for resumable transfer (empty = legacy raw stream)")
+		tenant       = flag.String("tenant", "", "with -send -session: tenant label for per-tenant admission quotas")
+		connTimeout  = flag.Duration("connect-timeout", 5*time.Second, "with -send: per-attempt dial/handshake timeout")
+		cutAt        = flag.Int64("cut", 0, "with -send -session: test hook — kill the transport after this many payload bytes on the first attempt, then reconnect and resume")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -74,7 +107,11 @@ func main() {
 		}
 		fmt.Println("blapd smoke: ok")
 	case *send != "":
-		if err := runSend(*send, *tcpAddr, *unixAddr); err != nil {
+		if err := runSend(*send, *tcpAddr, *unixAddr, *session, *tenant, *connTimeout, *cutAt); err != nil {
+			if errors.Is(err, errPartialSend) {
+				fmt.Fprintln(os.Stderr, "blapd:", err)
+				os.Exit(exitPartialSend)
+			}
 			fail(err)
 		}
 	case *stdin:
@@ -93,14 +130,19 @@ func main() {
 			os.Exit(2)
 		}
 		cfg := sentinel.Config{
-			TCPAddr:     *tcpAddr,
-			UnixAddr:    *unixAddr,
-			HTTPAddr:    *httpAddr,
-			MaxStreams:  *maxStreams,
-			Shards:      *shards,
-			ReadTimeout: *readTimeout,
-			EnablePprof: *pprofFlag,
-			Output:      os.Stdout,
+			TCPAddr:         *tcpAddr,
+			UnixAddr:        *unixAddr,
+			HTTPAddr:        *httpAddr,
+			MaxStreams:      *maxStreams,
+			Shards:          *shards,
+			ReadTimeout:     *readTimeout,
+			EnablePprof:     *pprofFlag,
+			ResumeGrace:     *resumeGrace,
+			CheckpointEvery: *ckptEvery,
+			AckEvery:        *ackEvery,
+			TenantQuota:     *tenantQuota,
+			Watchdog:        *watchdog,
+			Output:          os.Stdout,
 		}
 		var store *tsdb.Store
 		if *storeDir != "" {
@@ -138,6 +180,18 @@ func main() {
 // runDaemon serves until SIGINT/SIGTERM, then drains.
 func runDaemon(cfg sentinel.Config, drain time.Duration) error {
 	s := sentinel.New(cfg)
+	if cfg.Store != nil {
+		// Before accepting connections, replay any detector checkpoints a
+		// previous (killed) daemon left behind: those sessions come back
+		// parked and resumable from their checkpoint offsets.
+		n, err := s.RecoverSessions()
+		if err != nil {
+			return fmt.Errorf("recovering sessions: %w", err)
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "blapd: recovered %d parked session(s) from store\n", n)
+		}
+	}
 	if err := s.Start(); err != nil {
 		return err
 	}
@@ -176,9 +230,18 @@ func runStdin(maxStreams, shards int) int {
 	return 0
 }
 
+// errPartialSend marks a send that delivered some payload but could not
+// finish; main translates it to exitPartialSend so operators know the
+// daemon may hold a parked remainder worth resuming.
+var errPartialSend = errors.New("partial send")
+
 // runSend streams a capture file to a running daemon — the companion
-// client for testing a deployed blapd without a phone in hand.
-func runSend(path, tcpAddr, unixAddr string) error {
+// client for testing a deployed blapd without a phone in hand. Dial
+// failures retry with capped exponential backoff + jitter. With
+// -session the transfer is resumable: a mid-send transport failure
+// reconnects under the same session id and resumes from the byte offset
+// the daemon's hello reports.
+func runSend(path, tcpAddr, unixAddr, session, tenant string, connTimeout time.Duration, cut int64) error {
 	network, addr := "tcp", tcpAddr
 	if unixAddr != "" {
 		network, addr = "unix", unixAddr
@@ -191,17 +254,175 @@ func runSend(path, tcpAddr, unixAddr string) error {
 		return err
 	}
 	defer f.Close()
-	conn, err := net.Dial(network, addr)
-	if err != nil {
-		return err
+	if session != "" {
+		return sendSession(f, path, network, addr, session, tenant, connTimeout, cut)
+	}
+	if cut != 0 {
+		return fmt.Errorf("-cut needs -session (the raw protocol cannot resume)")
+	}
+	pol := core.DefaultBackoff
+	var conn net.Conn
+	for attempt := 1; ; attempt++ {
+		conn, err = net.DialTimeout(network, addr, connTimeout)
+		if err == nil {
+			break
+		}
+		if attempt >= pol.Attempts {
+			return fmt.Errorf("dialing %s %s: %w", network, addr, err)
+		}
+		d := sendJitter(pol.Base(attempt))
+		fmt.Fprintf(os.Stderr, "blapd: dial %s %s failed (%v); retry in %s\n", network, addr, err, d)
+		time.Sleep(d)
 	}
 	defer conn.Close()
 	n, err := io.Copy(conn, f)
 	if err != nil {
+		if n > 0 {
+			return fmt.Errorf("%w: %d bytes of %s delivered before the raw stream died: %v", errPartialSend, n, path, err)
+		}
 		return fmt.Errorf("streaming %s: %w", path, err)
 	}
 	fmt.Fprintf(os.Stderr, "blapd: sent %d bytes from %s to %s %s\n", n, path, network, addr)
 	return nil
+}
+
+// finWaitTimeout bounds how long a session send waits, after writing
+// the fin marker, for the daemon to finish draining the socket and
+// close its side. The daemon's backlog past fin is bounded by socket
+// buffers plus one batch ring, so this only fires if the daemon is
+// wedged — and then the send reports a partial delivery rather than
+// claiming success it cannot confirm.
+const finWaitTimeout = 2 * time.Minute
+
+// sendSession runs the resumable transfer loop: dial with the session
+// handshake, seek to the daemon's hello offset, stream chunks, and on
+// any transport failure reconnect with backoff and resume. `fails`
+// counts consecutive attempts without forward progress; it resets
+// whenever the daemon's acknowledged offset advances, so a flaky link
+// that still moves bytes never exhausts the retry budget.
+//
+// The daemon acks delivery progress on the same connection, and the
+// client MUST drain those acks: closing a TCP socket with unread data
+// in the receive buffer sends RST, which destroys capture bytes the
+// daemon has not yet read. For the same reason a successful send waits
+// for the daemon to process the fin and close its side (EOF) before
+// closing — "sent" here means daemon-confirmed, not buffered-in-flight.
+func sendSession(f *os.File, path, network, addr, session, tenant string, connTimeout time.Duration, cut int64) error {
+	pol := core.DefaultBackoff
+	var (
+		delivered int64 // highest daemon-confirmed resume offset seen
+		pushed    int64 // payload bytes written by this process
+		stream    uint64
+		fails     int
+		cutArmed  = cut > 0
+	)
+	for {
+		conn, hello, err := sentinel.DialSession(network, addr, session, tenant, connTimeout)
+		if err != nil {
+			fails++
+			if fails >= pol.Attempts {
+				if delivered > 0 || pushed > 0 {
+					return fmt.Errorf("%w: %d bytes of %s pushed (daemon confirmed offset %d) under session %q: %v",
+						errPartialSend, pushed, path, delivered, session, err)
+				}
+				return fmt.Errorf("dialing %s %s: %w", network, addr, err)
+			}
+			d := sendJitter(pol.Base(fails))
+			fmt.Fprintf(os.Stderr, "blapd: session dial failed (%v); retry in %s\n", err, d)
+			time.Sleep(d)
+			continue
+		}
+		stream = hello.Stream
+		if hello.Offset > delivered {
+			fails = 0
+			delivered = hello.Offset
+		}
+		if _, err := f.Seek(hello.Offset, io.SeekStart); err != nil {
+			conn.Close()
+			return err
+		}
+		var r io.Reader = f
+		if cutArmed {
+			if rem := cut - hello.Offset; rem > 0 {
+				r = &faults.CutReader{R: f, N: rem}
+			} else {
+				cutArmed = false
+			}
+		}
+		// Drain acks for the lifetime of this connection. The goroutine
+		// ends on EOF (daemon finished the stream and closed), on the
+		// post-fin read deadline, or when this side closes the conn after
+		// a write error.
+		var acked atomic.Int64
+		var drainErr error
+		readDone := make(chan struct{})
+		go func() {
+			defer close(readDone)
+			sc := bufio.NewScanner(conn)
+			for sc.Scan() {
+				var ev sentinel.Event
+				if json.Unmarshal(sc.Bytes(), &ev) != nil {
+					continue
+				}
+				if ev.Type == sentinel.EventSessionAck && ev.Offset > acked.Load() {
+					acked.Store(ev.Offset)
+				}
+			}
+			drainErr = sc.Err()
+		}()
+		n, err := sentinel.WriteSessionChunks(conn, r)
+		pushed += n
+		if err == nil {
+			err = sentinel.WriteSessionFin(conn)
+		}
+		finSent := err == nil
+		if finSent {
+			_ = conn.SetReadDeadline(time.Now().Add(finWaitTimeout))
+			<-readDone
+		}
+		conn.Close()
+		<-readDone
+		if a := acked.Load(); a > delivered {
+			fails = 0
+			delivered = a
+		}
+		if finSent {
+			if drainErr == nil {
+				fmt.Fprintf(os.Stderr, "blapd: sent %d bytes from %s to %s %s (session %q, stream %d, resumed from offset %d)\n",
+					n, path, network, addr, session, stream, hello.Offset)
+				return nil
+			}
+			// Fin went out but the daemon never confirmed the stream end.
+			// Reconnecting could land on a completed session and restream
+			// from zero, so report the partial delivery instead.
+			return fmt.Errorf("%w: fin sent for %s but the daemon did not confirm the stream end (confirmed offset %d) under session %q: %v",
+				errPartialSend, path, delivered, session, drainErr)
+		}
+		if errors.Is(err, faults.ErrCut) {
+			// The -cut test hook fired: an intentional mid-send death, not a
+			// retry-budget failure. Reconnect immediately and resume.
+			cutArmed = false
+			fmt.Fprintf(os.Stderr, "blapd: transport cut at payload byte %d (test hook); reconnecting session %q\n", cut, session)
+			continue
+		}
+		fails++
+		if fails >= pol.Attempts {
+			return fmt.Errorf("%w: %d bytes of %s pushed (daemon confirmed offset %d) under session %q: %v",
+				errPartialSend, pushed, path, delivered, session, err)
+		}
+		d := sendJitter(pol.Base(fails))
+		fmt.Fprintf(os.Stderr, "blapd: session send died (%v); reconnecting in %s\n", err, d)
+		time.Sleep(d)
+	}
+}
+
+// sendJitter spreads a backoff delay ±25% so a fleet of clients
+// retrying against one recovering daemon doesn't thundering-herd it.
+func sendJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d - d/4 + time.Duration(rand.Int63n(int64(d)/2+1))
 }
 
 func fail(err error) {

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -15,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/forensics"
 	"repro/internal/sentinel"
 	"repro/internal/snoop"
@@ -74,7 +76,13 @@ func runSmoke(log io.Writer, shards int) error {
 		Output:       &events,
 		Store:        store,
 		MetricsEvery: 50 * time.Millisecond,
-		OnStreamEnd:  func(sum sentinel.StreamSummary) { done <- sum },
+		// The PR 9 resilience leg below needs parking, frequent acks so a
+		// resume restarts near the cut, and checkpoints small enough to
+		// fire several times over this capture.
+		ResumeGrace:     time.Minute,
+		AckEvery:        4096,
+		CheckpointEvery: 64 << 10,
+		OnStreamEnd:     func(sum sentinel.StreamSummary) { done <- sum },
 	})
 	if err := s.Start(); err != nil {
 		return err
@@ -279,9 +287,110 @@ func runSmoke(log io.Writer, shards int) error {
 		return fmt.Errorf("hist window percentiles unpopulated: %+v", qres.Ingest)
 	}
 
-	fmt.Fprintf(log, "blapd smoke: %d streams x %d records over %d shards, live findings == batch on every stream, %d findings round-tripped through the store (window p50 %s p99 %s), ingest p99 %s, detect p99 %s, metrics/healthz/pprof/query ok\n",
-		smokeStreams, records, wantShards, wantFindings, usStr(qres.Ingest.P50US), usStr(qres.Ingest.P99US), usStr(snap.IngestLatency.P99US), usStr(snap.DetectLatency.P99US))
+	// The PR 9 resilience contract: a session-protocol stream whose
+	// transport dies at the capture midpoint parks, resumes under the
+	// same stream id from the daemon's acknowledged offset, and still
+	// ends clean with the batch findings — while detector checkpoints
+	// flow through the store.
+	const resumeSID = "smoke-resume"
+	rconn, hello, err := sentinel.DialSession("unix", s.UnixAddr(), resumeSID, "", 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("session dial: %w", err)
+	}
+	resumeStream := hello.Stream
+	cut := int64(capture.Len() / 2)
+	if _, err := sentinel.WriteSessionChunks(rconn, &faults.CutReader{R: bytes.NewReader(capture.Bytes()), N: cut}); err != nil && !errors.Is(err, faults.ErrCut) {
+		_ = rconn.Close()
+		return fmt.Errorf("cut send: %w", err)
+	}
+	_ = rconn.Close()
+	// Wait for the daemon to notice the dead transport and park the
+	// session; reconnecting first would exercise only the fast-adopt
+	// path, and this leg wants to prove a parked stream resumes.
+	for {
+		if snap, err = smokeMetrics(s.HTTPAddr()); err != nil {
+			return err
+		}
+		if snap.Sessions.Parked >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("session never parked after transport cut: %+v", snap.Sessions)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rconn, hello, err = sentinel.DialSession("unix", s.UnixAddr(), resumeSID, "", 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("resume dial: %w", err)
+	}
+	defer rconn.Close()
+	if hello.Stream != resumeStream {
+		return fmt.Errorf("resumed as stream %d, was %d", hello.Stream, resumeStream)
+	}
+	if hello.Offset <= 0 || hello.Offset > cut {
+		return fmt.Errorf("resume offset %d outside (0, %d]", hello.Offset, cut)
+	}
+	if _, err := sentinel.WriteSessionChunks(rconn, bytes.NewReader(capture.Bytes()[hello.Offset:])); err != nil {
+		return fmt.Errorf("resumed send: %w", err)
+	}
+	if err := sentinel.WriteSessionFin(rconn); err != nil {
+		return fmt.Errorf("fin: %w", err)
+	}
+	var rsum sentinel.StreamSummary
+	select {
+	case rsum = <-done:
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("resumed stream never ended")
+	}
+	if rsum.ID != resumeStream || rsum.Status != sentinel.StatusClean || rsum.Records != records {
+		return fmt.Errorf("resumed stream ended id=%d status=%q records=%d (err %v), want clean stream %d with %d records",
+			rsum.ID, rsum.Status, rsum.Records, rsum.Err, resumeStream, records)
+	}
+	var resumed []sentinel.Event
+	rsc := bufio.NewScanner(bytes.NewReader(events.Bytes()))
+	rsc.Buffer(make([]byte, 1<<20), 1<<20)
+	for rsc.Scan() {
+		var ev sentinel.Event
+		if err := json.Unmarshal(rsc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("bad JSONL line %q: %w", rsc.Text(), err)
+		}
+		if ev.Type == sentinel.EventFinding && ev.Stream == resumeStream {
+			resumed = append(resumed, ev)
+		}
+	}
+	if len(resumed) != len(want) {
+		return fmt.Errorf("resumed stream emitted %d findings across the cut, batch found %d", len(resumed), len(want))
+	}
+	for i, ev := range resumed {
+		w := want[i]
+		if ev.Frame != w.Frame || ev.Kind != w.Kind || ev.Peer != w.Peer.String() || ev.Detail != w.Detail {
+			return fmt.Errorf("resumed finding %d diverges:\nlive:  %+v\nbatch: %+v", i, ev, w)
+		}
+	}
+	if snap, err = smokeMetrics(s.HTTPAddr()); err != nil {
+		return err
+	}
+	if snap.Sessions.ParkedTotal < 1 || snap.Sessions.Resumed < 1 || snap.Sessions.Checkpoints < 1 {
+		return fmt.Errorf("session lifecycle counters unpopulated after resume: %+v", snap.Sessions)
+	}
+
+	fmt.Fprintf(log, "blapd smoke: %d streams x %d records over %d shards, live findings == batch on every stream, %d findings round-tripped through the store (window p50 %s p99 %s), session cut at byte %d resumed from %d with identical findings (%d checkpoints), ingest p99 %s, detect p99 %s, metrics/healthz/pprof/query ok\n",
+		smokeStreams, records, wantShards, wantFindings, usStr(qres.Ingest.P50US), usStr(qres.Ingest.P99US), cut, hello.Offset, snap.Sessions.Checkpoints, usStr(snap.IngestLatency.P99US), usStr(snap.DetectLatency.P99US))
 	return nil
+}
+
+// smokeMetrics fetches and decodes one /metrics snapshot.
+func smokeMetrics(addr string) (sentinel.MetricsSnapshot, error) {
+	var snap sentinel.MetricsSnapshot
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return snap, fmt.Errorf("/metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("/metrics decode: %w", err)
+	}
+	return snap, nil
 }
 
 // smokeQuery fetches one /query page from the smoke daemon.

@@ -62,16 +62,37 @@ func (t *tailReader) Read(p []byte) (int, error) {
 // has been idle for the full idle window (the writer stopped), plus the
 // scan error if the capture ended mid-record. st (nil for none)
 // collects -stats telemetry per record and finding.
-func followFile(f io.Reader, idle, pollMax time.Duration, out io.Writer, st *scanStats) (*forensics.Report, error) {
+//
+// ckp, when non-nil, resumes a previous follow: the caller has already
+// positioned f at ckp.offset, the scanner continues frame numbering
+// from ckp.frame under ckp.datalink, and the detector is restored from
+// the snapshotted state — findings across the restart are identical to
+// an uninterrupted follow, and the returned report is cumulative. On a
+// clean end the next checkpoint (scan position + drained detector
+// state) comes back for the caller to persist; it is nil after a scan
+// error, because a checkpoint taken mid-record could not be resumed.
+func followFile(f io.Reader, idle, pollMax time.Duration, out io.Writer, st *scanStats, ckp *followCheckpoint) (*forensics.Report, *followCheckpoint, error) {
 	const pollMin = 10 * time.Millisecond
 	if pollMax < pollMin {
 		pollMax = pollMin
 	}
-	sc := snoop.NewScanner(&tailReader{f: f, idle: idle, pollMin: pollMin, pollMax: pollMax})
+	tail := &tailReader{f: f, idle: idle, pollMin: pollMin, pollMax: pollMax}
 	det := forensics.NewDetector()
-	for sc.Scan() {
-		st.record(sc.Record())
-		det.Push(sc.Record())
+	var sc *snoop.BatchScanner
+	if ckp != nil {
+		if err := det.RestoreState(ckp.state); err != nil {
+			return nil, nil, err
+		}
+		sc = snoop.ResumeBatchScanner(tail, 256<<10, ckp.offset, int(ckp.frame), ckp.datalink)
+	} else {
+		sc = snoop.NewBatchScannerSize(tail, 256<<10)
+	}
+	var b snoop.RecordBatch
+	for sc.ScanBatch(&b) {
+		for i := range b.Records {
+			st.record(b.Records[i])
+		}
+		det.PushBatch(b.Records)
 		for _, ev := range det.Drain() {
 			st.finding(ev)
 			fmt.Fprintf(out, "%s frame %-5d [%s] peer %s: %s\n",
@@ -79,5 +100,16 @@ func followFile(f io.Reader, idle, pollMax time.Duration, out io.Writer, st *sca
 				ev.Finding.Kind, ev.Finding.Peer, ev.Finding.Detail)
 		}
 	}
-	return det.Finish(), sc.Err()
+	var next *followCheckpoint
+	if sc.Err() == nil {
+		if state, err := det.SnapshotState(); err == nil {
+			next = &followCheckpoint{
+				datalink: sc.Datalink(),
+				offset:   sc.Offset(),
+				frame:    int64(sc.Frame()),
+				state:    state,
+			}
+		}
+	}
+	return det.Finish(), next, sc.Err()
 }

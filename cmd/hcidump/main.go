@@ -24,7 +24,12 @@
 // and once the file stops growing for -idle the final report renders
 // with the same exit-3 contract as -analyze. The tail polls with capped
 // exponential backoff — 10 ms after fresh bytes, doubling to -poll-max
-// while the file is quiet — instead of a fixed interval.
+// while the file is quiet — instead of a fixed interval. With
+// -checkpoint the follow is restartable: on clean exit the scan
+// position and full detector state are written to a versioned sidecar
+// file, and the next -follow with the same sidecar resumes exactly
+// there — findings that straddle the restart are still detected, and
+// the final report is cumulative across runs.
 package main
 
 import (
@@ -52,11 +57,16 @@ func main() {
 		follow  = flag.Bool("follow", false, "tail a growing capture, printing findings live; exit 3 on findings once the file goes idle")
 		idle    = flag.Duration("idle", 2*time.Second, "with -follow: stop once the file has not grown for this long")
 		pollMax = flag.Duration("poll-max", 500*time.Millisecond, "with -follow: cap on the exponential poll backoff while the file is quiet")
+		ckpPath = flag.String("checkpoint", "", "with -follow: resume scan position + detector state from this sidecar file if it exists, and rewrite it on clean exit")
 		stats   = flag.Bool("stats", false, "print scan statistics to stderr: records/sec, bytes/sec, and (when analyzing) capture-time finding latency percentiles")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hcidump [-keys] [-hex] [-usb] [-analyze] [-follow [-idle d]] [-stats] <capture>")
+		fmt.Fprintln(os.Stderr, "usage: hcidump [-keys] [-hex] [-usb] [-analyze] [-follow [-idle d] [-checkpoint file]] [-stats] <capture>")
+		os.Exit(2)
+	}
+	if *ckpPath != "" && !*follow {
+		fmt.Fprintln(os.Stderr, "hcidump: -checkpoint needs -follow")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -64,6 +74,23 @@ func main() {
 		fail(err)
 	}
 	defer f.Close()
+
+	// A follow checkpoint repositions the capture file before any reader
+	// wraps it, so the counting reader and scanner both start at the
+	// resumed offset.
+	var ckp *followCheckpoint
+	if *follow && *ckpPath != "" {
+		ckp, err = readFollowCheckpoint(*ckpPath)
+		if err != nil {
+			fail(err)
+		}
+		if ckp != nil {
+			if _, err := f.Seek(ckp.offset, io.SeekStart); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "hcidump: resuming from checkpoint: offset %d, frame %d\n", ckp.offset, ckp.frame)
+		}
+	}
 
 	// -stats routes btsnoop modes through a counting reader and a
 	// per-record collector; a nil collector keeps the fast paths exact.
@@ -76,11 +103,17 @@ func main() {
 	}
 
 	if *follow {
-		report, scanErr := followFile(in, *idle, *pollMax, os.Stdout, st)
+		report, next, scanErr := followFile(in, *idle, *pollMax, os.Stdout, st, ckp)
 		st.report(os.Stderr)
 		fmt.Print(report.Render())
 		if scanErr != nil {
 			fail(fmt.Errorf("tailing %s: %w", flag.Arg(0), scanErr))
+		}
+		if *ckpPath != "" && next != nil {
+			if err := writeFollowCheckpoint(*ckpPath, next); err != nil {
+				fail(fmt.Errorf("writing checkpoint: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "hcidump: checkpoint written: offset %d, frame %d\n", next.offset, next.frame)
 		}
 		if len(report.Findings) > 0 {
 			os.Exit(exitFindings)

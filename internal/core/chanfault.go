@@ -69,14 +69,25 @@ func (p BackoffPolicy) withDefaults() BackoffPolicy {
 	return p
 }
 
-// delay returns the post-jitter backoff before retry attempt n (1-based
-// retry count). Jitter is ±25% from the scheduler RNG — drawn only here,
-// on the retry path.
-func (p BackoffPolicy) delay(s *sim.Scheduler, retry int) time.Duration {
+// Base returns the pre-jitter exponential delay before retry attempt
+// `retry` (1-based): Initial doubled per retry, capped at Max. Callers
+// outside the simulator (blapd's reconnecting send client) apply their
+// own wall-clock jitter on top; simulated flows go through delay, which
+// draws jitter from the scheduler RNG to stay deterministic.
+func (p BackoffPolicy) Base(retry int) time.Duration {
+	p = p.withDefaults()
 	d := p.Initial << uint(retry-1)
 	if d > p.Max || d <= 0 {
 		d = p.Max
 	}
+	return d
+}
+
+// delay returns the post-jitter backoff before retry attempt n (1-based
+// retry count). Jitter is ±25% from the scheduler RNG — drawn only here,
+// on the retry path.
+func (p BackoffPolicy) delay(s *sim.Scheduler, retry int) time.Duration {
+	d := p.Base(retry)
 	return s.JitterRange(d-d/4, d+d/4)
 }
 

@@ -32,18 +32,31 @@ type Detector struct {
 	pending []Event
 	seq     uint64
 	frames  int
+	// snapCap remembers the last SnapshotState size so periodic
+	// checkpoints serialize into one right-sized allocation instead of
+	// growing a 512-byte buffer through a dozen realloc copies.
+	snapCap int
 }
 
 // NewDetector returns an empty Detector.
 func NewDetector() *Detector {
-	d := &Detector{st: newSessionState()}
-	d.st.onFinding = func(f Finding) {
+	d := &Detector{}
+	d.install(newSessionState())
+	return d
+}
+
+// install binds st as the detector's live reducer state and hooks its
+// finding emission into the detector's pending event queue. NewDetector
+// and RestoreState both go through here so a restored detector emits
+// events exactly like a fresh one.
+func (d *Detector) install(st *sessionState) {
+	d.st = st
+	st.onFinding = func(f Finding) {
 		d.seq++
 		d.pending = append(d.pending, Event{
 			Seq: d.seq, Frame: d.st.frame, Time: d.st.ts, Finding: f,
 		})
 	}
-	return d
 }
 
 // Push folds one capture record into the detector. Frames are numbered

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBeatStalledOnlyMidUnit(t *testing.T) {
+	var b Beat
+	now := time.Now()
+	if b.Stalled(now, time.Millisecond) {
+		t.Fatal("fresh beat reads stalled")
+	}
+	b.Start()
+	if b.Stalled(time.Now(), time.Hour) {
+		t.Fatal("just-started unit reads stalled")
+	}
+	if !b.Stalled(time.Now().Add(2*time.Hour), time.Hour) {
+		t.Fatal("over-budget unit does not read stalled")
+	}
+	b.Stop()
+	if b.Stalled(time.Now().Add(2*time.Hour), time.Hour) {
+		t.Fatal("idle loop reads stalled")
+	}
+	// A second unit resets the clock.
+	b.Start()
+	if b.Stalled(time.Now(), time.Hour) {
+		t.Fatal("restarted unit inherited the old start time")
+	}
+	if b.Stalled(time.Now().Add(time.Hour), 0) {
+		t.Fatal("after <= 0 must disable the watchdog")
+	}
+}
+
+func TestBeatNilIsNoOp(t *testing.T) {
+	var b *Beat
+	b.Start()
+	b.Stop()
+	if b.Stalled(time.Now(), time.Nanosecond) {
+		t.Fatal("nil beat reads stalled")
+	}
+}

@@ -29,6 +29,11 @@ type Event struct {
 	Stream uint64 `json:"stream"`
 	Proto  string `json:"proto,omitempty"`
 	Label  string `json:"label,omitempty"`
+	// Session is the client-chosen resume identity (session protocol
+	// streams only). Present on stream-start/stream-end and the
+	// session-lifecycle events; findings stay session-free — the stream
+	// id already keys them and the hot path stays lean.
+	Session string `json:"session,omitempty"`
 	// TS is the wall-clock emission time (RFC3339Nano, UTC), stamped
 	// only when Config.Timestamps is set or a persistence store is
 	// wired — the one-shot batch paths leave it off so their output
@@ -63,6 +68,18 @@ const (
 	EventFinding        = "finding"
 	EventStreamEnd      = "stream-end"
 	EventStreamRejected = "stream-rejected"
+	// Session-lifecycle events. session-hello and session-ack are written
+	// to the client connection, not the Output stream; the rest land on
+	// Output like any other event.
+	EventSessionHello   = "session-hello"
+	EventSessionAck     = "session-ack"
+	EventSessionParked  = "session-parked"
+	EventSessionResumed = "session-resumed"
+	EventSessionExpired = "session-expired"
+	// EventCheckpoint reports a detector checkpoint made durable in the
+	// store (emitted after the tsdb append + sync completes, so the line
+	// on Output is a reliable kill-here marker for crash drills).
+	EventCheckpoint = "checkpoint"
 )
 
 // Stream-end statuses: how a stream died. Operators branch on these to
@@ -81,7 +98,21 @@ const (
 	StatusTimeout = "timeout"
 	// StatusError: anything else (bad magic, transport failure, ...).
 	StatusError = "error"
+	// StatusAborted: the daemon shut down (or force-closed after the
+	// drain grace) while the stream was live or parked; the stream's
+	// detector state was checkpointed if a store is wired, so a restart
+	// can resume it.
+	StatusAborted = "aborted"
+	// StatusPanic: the stream's pipeline panicked; Error carries the
+	// recovered value and Offset the capture offset reached before the
+	// panic. The stream is dead but the daemon and its other streams
+	// keep running.
+	StatusPanic = "panic"
 )
+
+// ErrAborted marks a stream torn down by daemon shutdown rather than by
+// anything the transport or the capture did.
+var ErrAborted = errors.New("sentinel: stream aborted by shutdown")
 
 // ClassifyStreamError maps a snoop.Scanner error to a stream-end status.
 func ClassifyStreamError(err error) string {
@@ -92,6 +123,8 @@ func ClassifyStreamError(err error) string {
 		return StatusBadFraming
 	case errors.Is(err, os.ErrDeadlineExceeded):
 		return StatusTimeout
+	case errors.Is(err, ErrAborted):
+		return StatusAborted
 	case errors.Is(err, io.ErrUnexpectedEOF):
 		return StatusTruncated
 	default:
@@ -133,6 +166,10 @@ func (ev *Event) appendJSON(b []byte) []byte {
 	if ev.Label != "" {
 		b = append(b, `,"label":`...)
 		b = appendJSONString(b, ev.Label)
+	}
+	if ev.Session != "" {
+		b = append(b, `,"session":`...)
+		b = appendJSONString(b, ev.Session)
 	}
 	if ev.TS != "" {
 		b = append(b, `,"ts":`...)

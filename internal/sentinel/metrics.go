@@ -200,6 +200,20 @@ type PersistSnapshot struct {
 	Dropped  uint64 `json:"dropped"`
 }
 
+// SessionsSnapshot is the "sessions" section of /metrics: the resume
+// protocol's lifecycle accounting. Parked is the current gauge;
+// ParkedTotal/Resumed/Expired are cumulative; Checkpoints counts
+// detector checkpoints made durable; Restored counts cold sessions
+// rebuilt from the store at startup.
+type SessionsSnapshot struct {
+	Parked      int64  `json:"parked"`
+	ParkedTotal uint64 `json:"parked_total"`
+	Resumed     uint64 `json:"resumed"`
+	Expired     uint64 `json:"expired"`
+	Checkpoints uint64 `json:"checkpoints"`
+	Restored    uint64 `json:"restored"`
+}
+
 // MetricsSnapshot is the JSON document served at /metrics.
 type MetricsSnapshot struct {
 	UptimeSec float64 `json:"uptime_sec"`
@@ -222,6 +236,10 @@ type MetricsSnapshot struct {
 	// configured): appended = events written to the embedded store,
 	// dropped = events lost to a full persist queue or a store error.
 	Persist PersistSnapshot `json:"persist"`
+
+	// Sessions accounts the resume protocol's lifecycle (all zero when no
+	// client uses session framing).
+	Sessions SessionsSnapshot `json:"sessions"`
 
 	Packets      map[string]uint64 `json:"packets"`
 	FindingsKind map[string]uint64 `json:"findings_by_kind"`
@@ -259,6 +277,14 @@ func (s *Server) Snapshot() MetricsSnapshot {
 		Packets:         map[string]uint64{"command": 0, "event": 0, "acl": 0, "sco": 0, "other": 0},
 		FindingsKind:    map[string]uint64{},
 		StreamEnds:      map[string]uint64{},
+		Sessions: SessionsSnapshot{
+			Parked:      s.sess.parked.Load(),
+			ParkedTotal: s.sess.parkedTotal.Load(),
+			Resumed:     s.sess.resumed.Load(),
+			Expired:     s.sess.expired.Load(),
+			Checkpoints: s.sess.checkpoints.Load(),
+			Restored:    s.sess.restored.Load(),
+		},
 	}
 	ingests := make([]*obs.Histogram, 0, len(s.shards))
 	detects := make([]*obs.Histogram, 0, len(s.shards))

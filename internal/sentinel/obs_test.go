@@ -134,6 +134,8 @@ func TestMetricsJSONSchema(t *testing.T) {
 		"shards",
 		// PR 8 additive field: the durable event path's counters.
 		"persist",
+		// PR 9 additive field: the session resume protocol's lifecycle.
+		"sessions",
 	})
 
 	var streams []map[string]json.RawMessage

@@ -1,30 +1,151 @@
 package sentinel
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
 	"time"
 
+	"repro/internal/forensics"
 	"repro/internal/obs"
 	"repro/internal/tsdb"
 )
 
 // Store series classes. Finding and stream-end events persist as their
 // exact JSONL bytes keyed by stream id; the histogram series holds
-// interval-delta metrics snapshots keyed 0 (daemon-global).
+// interval-delta metrics snapshots keyed 0 (daemon-global); the
+// checkpoint series holds detector checkpoints keyed by a hash of the
+// session id (sessionKey).
 const (
 	SeriesFindings = "findings"
 	SeriesEnds     = "ends"
 	SeriesHist     = "hist"
+	SeriesCkpt     = "ckpt"
 )
 
-// persistItem is one event on a shard's persist queue: the stamped
-// event and the frame timestamp matching its TS field.
+// ckptDoc is the stored form of one detector checkpoint: enough to
+// rebuild the session's pipeline after a daemon restart — identity
+// (session, tenant, stream id), position (capture offset, frame count,
+// datalink), a per-session monotonic sequence (highest wins at
+// recovery), and the forensics.SnapshotState blob. A Done doc is a
+// tombstone: the stream finished (or its grace expired) and recovery
+// must not resurrect it; tombstones carry no state.
+type ckptDoc struct {
+	Session  string `json:"session"`
+	Tenant   string `json:"tenant,omitempty"`
+	Stream   uint64 `json:"stream"`
+	Seq      uint64 `json:"seq"`
+	Offset   int64  `json:"offset"`
+	Frames   int    `json:"frames"`
+	Datalink uint32 `json:"datalink"`
+	Done     bool   `json:"done,omitempty"`
+	State    []byte `json:"state,omitempty"`
+}
+
+// ckptFrameMagic marks the binary checkpoint framing: a JSON header
+// (the ckptDoc with State omitted) length-prefixed after the magic,
+// then the raw SnapshotState bytes. Detector states run to megabytes
+// on long captures; base64-ing them through json.Marshal cost more
+// than the snapshot itself, and the persist goroutine shares a core
+// with ingest. Frames starting with '{' decode as the legacy all-JSON
+// form, so stores written before the framing change still recover.
+const ckptFrameMagic = 0xC8
+
+func encodeCkptFrame(d *ckptDoc) ([]byte, error) {
+	hdr := *d
+	hdr.State = nil
+	hj, err := json.Marshal(&hdr)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 5+len(hj)+len(d.State))
+	buf = append(buf, ckptFrameMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hj)))
+	buf = append(buf, hj...)
+	buf = append(buf, d.State...)
+	return buf, nil
+}
+
+func decodeCkptFrame(data []byte, d *ckptDoc) error {
+	if len(data) > 0 && data[0] == '{' {
+		return json.Unmarshal(data, d)
+	}
+	if len(data) < 5 || data[0] != ckptFrameMagic {
+		return fmt.Errorf("sentinel: unrecognized checkpoint frame")
+	}
+	n := int(binary.LittleEndian.Uint32(data[1:5]))
+	if n > len(data)-5 {
+		return fmt.Errorf("sentinel: checkpoint frame header %d bytes exceeds frame", n)
+	}
+	if err := json.Unmarshal(data[5:5+n], d); err != nil {
+		return err
+	}
+	if rest := data[5+n:]; len(rest) > 0 {
+		d.State = append([]byte(nil), rest...)
+	}
+	return nil
+}
+
+// persistItem is one unit on a shard's persist queue: a stamped event
+// (ckpt nil) or a detector checkpoint document.
 type persistItem struct {
-	ev Event
-	ts int64
+	ev   Event
+	ts   int64
+	ckpt *ckptDoc
+}
+
+// tryPersist places one item on the shard's persist queue. Non-blocking
+// by default (durability is best-effort; a full queue is a skipped
+// checkpoint or a counted drop, never a stall); block is used for the
+// park and final checkpoints, whose loss would cost resumability. A
+// send on the closed post-Shutdown queue (only reachable from a wedged
+// stream's abandoned goroutines) reports false instead of crashing.
+func (sh *shard) tryPersist(it persistItem, block bool) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	if block {
+		sh.persist <- it
+		return true
+	}
+	select {
+	case sh.persist <- it:
+		return true
+	default:
+		return false
+	}
+}
+
+// queueCheckpoint snapshots the detector and queues the checkpoint for
+// this session stream. The caller must have drained the detector (the
+// snapshot codec refuses undrained state). seq advances only when the
+// snapshot succeeds, so stored sequences are dense per session.
+func (s *Server) queueCheckpoint(st *streamState, det *forensics.Detector, off int64, frames int, datalink uint32, seq *uint64, block bool) {
+	if st.session == "" || st.sh.persist == nil {
+		return
+	}
+	// Live snapshot, not full: the reducer never reads the accumulated
+	// report back, so resumed findings are byte-identical either way,
+	// and the live set stays kilobytes where the full report grows with
+	// the capture — megabyte snapshots every CheckpointEvery interval
+	// were the single largest ingest overhead at replay speed.
+	state, err := det.SnapshotLiveState()
+	if err != nil {
+		return
+	}
+	*seq++
+	st.sh.tryPersist(persistItem{
+		ts: time.Now().UnixNano(),
+		ckpt: &ckptDoc{
+			Session: st.session, Tenant: st.tenant, Stream: st.id,
+			Seq: *seq, Offset: off, Frames: frames, Datalink: datalink,
+			State: state,
+		},
+	}, block)
 }
 
 // persistLoop is a shard's persistence consumer: it drains the bounded
@@ -39,6 +160,10 @@ func (sh *shard) persistLoop() {
 		if hook := sh.srv.cfg.beforePersist; hook != nil {
 			hook(sh.idx)
 		}
+		if it.ckpt != nil {
+			sh.persistCkpt(it)
+			continue
+		}
 		series := SeriesFindings
 		if it.ev.Type == EventStreamEnd {
 			series = SeriesEnds
@@ -50,6 +175,38 @@ func (sh *shard) persistLoop() {
 		}
 		sh.m.persistAppended.Add(1)
 	}
+}
+
+// persistCkpt makes one checkpoint durable and then announces it.
+// Checkpoints are deliberately outside the persistAppended/Dropped
+// event accounting — those counters mirror the JSONL event stream and
+// tests pin the exact correspondence. The announcement (a "checkpoint"
+// JSONL line) goes out only after the append AND an fsync of the
+// checkpoint series, so
+// the line on Output is a reliable kill-the-daemon-here marker: any
+// checkpoint an operator (or the crash drill in verify.sh) has seen is
+// guaranteed to survive a kill -9.
+func (sh *shard) persistCkpt(it persistItem) {
+	d := it.ckpt
+	doc, err := encodeCkptFrame(d)
+	if err != nil {
+		return
+	}
+	if err := sh.srv.cfg.Store.Append(SeriesCkpt, it.ts, sessionKey(d.Session), doc); err != nil {
+		return
+	}
+	if err := sh.srv.cfg.Store.SyncSeries(SeriesCkpt); err != nil {
+		return
+	}
+	sh.srv.sess.checkpoints.Add(1)
+	if d.Done {
+		return // tombstones are bookkeeping, not operator events
+	}
+	sh.enqueue(shardItem{ev: Event{
+		Type: EventCheckpoint, Stream: d.Stream, Session: d.Session,
+		Offset: d.Offset, Frame: d.Frames,
+		TS: time.Unix(0, it.ts).UTC().Format(time.RFC3339Nano),
+	}})
 }
 
 // histPoint is the persisted form of one metrics snapshotter interval:

@@ -46,6 +46,7 @@ package sentinel
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -137,6 +138,33 @@ type Config struct {
 	// byte-deterministic across runs.
 	Timestamps bool
 
+	// ResumeGrace is how long a session-protocol stream survives the
+	// death of its transport: the pipeline parks (scanner tail, detector
+	// state, counters intact) and a reconnect with the same session id
+	// within the window resumes it mid-capture. Cold entries restored
+	// from checkpoints by RecoverSessions expire on the same clock.
+	// Default 2m; <0 disables parking (a transport cut ends the stream
+	// as "truncated", like the raw protocol).
+	ResumeGrace time.Duration
+	// CheckpointEvery is the capture-byte interval between periodic
+	// detector checkpoints for session streams (persisted through the
+	// shard persist queues; requires Store). Checkpoints also happen at
+	// every park regardless of the interval. Default 8 MiB; <0 disables
+	// the periodic ones.
+	CheckpointEvery int64
+	// AckEvery is the payload-byte interval between session-ack lines
+	// written back to a session client. Default 1 MiB.
+	AckEvery int64
+	// TenantQuota caps concurrent sessions per tenant, admitted ahead of
+	// the global MaxStreams cap; 0 means unlimited. Sessions with no
+	// tenant are never quota-limited.
+	TenantQuota int
+	// Watchdog, when >0, force-fails any stream whose detector stage
+	// stays busy on a single batch longer than this: the stream ends as
+	// "error", its goroutines are abandoned, and the daemon keeps
+	// serving. 0 disables the watchdog.
+	Watchdog time.Duration
+
 	// OnStreamEnd, when set, observes every finished stream — the hook
 	// tests and benchmarks use to wait for completion.
 	OnStreamEnd func(StreamSummary)
@@ -150,6 +178,11 @@ type Config struct {
 	// one shard's persist queue without touching the store or the event
 	// path.
 	beforePersist func(shard int)
+	// beforeBatch, when set, runs on a stream's detector goroutine
+	// before each batch is pushed into the detector. Test hook: panicking
+	// or blocking it exercises exactly one stream's failure containment
+	// (panic isolation, watchdog) without touching the detector itself.
+	beforeBatch func(stream uint64)
 }
 
 func (c *Config) defaults() {
@@ -177,6 +210,15 @@ func (c *Config) defaults() {
 	if c.MetricsEvery == 0 {
 		c.MetricsEvery = 10 * time.Second
 	}
+	if c.ResumeGrace == 0 {
+		c.ResumeGrace = 2 * time.Minute
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 8 << 20
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = 1 << 20
+	}
 }
 
 // StreamSummary describes one completed ingestion stream.
@@ -203,12 +245,33 @@ type streamState struct {
 	id           uint64
 	proto, label string
 	sh           *shard   // the event/metrics shard this stream is pinned to
-	conn         net.Conn // nil for reader-fed streams
+	conn         net.Conn // nil for reader-fed streams (guarded by connMu)
 	records      atomic.Uint64
 	bytes        atomic.Int64
 	findings     atomic.Uint64
 	dropped      atomic.Uint64
 	lastActive   atomic.Int64 // unix nanos of the last ingested record
+	// session/tenant/ent bind a session-protocol stream to its entry in
+	// the session table (empty/nil for raw streams). Immutable once the
+	// pipeline starts.
+	session string
+	tenant  string
+	ent     *sessionEntry
+	// beat tracks the detector stage's busy window for the watchdog.
+	beat obs.Beat
+	// finalized is the once-guard on stream teardown: the natural finale
+	// and the watchdog race through finalize, loser skips everything.
+	finalized atomic.Bool
+	// dead gates late emissions from abandoned goroutines after a
+	// finalize: everything but the stream-end line is dropped.
+	dead atomic.Bool
+	// aborted marks a force-close by shutdown or the watchdog so the
+	// finale classifies the stream "aborted" rather than "error".
+	aborted atomic.Bool
+	// release frees the stream's slot (semaphore + wait group), exactly
+	// once — callable from the pipeline's own exit or from the watchdog
+	// finalizing a wedged stream whose goroutines never exit.
+	release func()
 	// ingest/detect mirror the aggregate latency histograms for this
 	// stream alone (see metrics); fixed ~1.2 KiB per stream.
 	ingest obs.Histogram
@@ -240,6 +303,18 @@ type Server struct {
 	nextID   atomic.Uint64
 	draining atomic.Bool
 	started  bool
+
+	// sessMu guards the session table and tenant admission counts; it is
+	// never held while connMu is taken (and vice versa) — the two sides
+	// communicate through channels and atomics, not nested locks.
+	sessMu   sync.Mutex
+	sessions map[string]*sessionEntry
+	tenants  map[string]int
+	sess     sessionCounters
+
+	// wdStop/wdDone bracket the watchdog goroutine (Config.Watchdog>0).
+	wdStop chan struct{}
+	wdDone chan struct{}
 
 	// snapStop/snapDone bracket the metrics snapshotter goroutine
 	// (running only when a store and MetricsEvery are configured).
@@ -289,11 +364,13 @@ type shard struct {
 func New(cfg Config) *Server {
 	cfg.defaults()
 	s := &Server{
-		cfg:     cfg,
-		metrics: newMetrics(),
-		streams: make(map[uint64]*streamState),
-		sem:     make(chan struct{}, cfg.MaxStreams),
-		shards:  make([]*shard, cfg.Shards),
+		cfg:      cfg,
+		metrics:  newMetrics(),
+		streams:  make(map[uint64]*streamState),
+		sessions: make(map[string]*sessionEntry),
+		tenants:  make(map[string]int),
+		sem:      make(chan struct{}, cfg.MaxStreams),
+		shards:   make([]*shard, cfg.Shards),
 	}
 	for i := range s.shards {
 		sh := &shard{
@@ -315,6 +392,11 @@ func New(cfg Config) *Server {
 		s.snapStop = make(chan struct{})
 		s.snapDone = make(chan struct{})
 		go s.metricsLoop()
+	}
+	if cfg.Watchdog > 0 {
+		s.wdStop = make(chan struct{})
+		s.wdDone = make(chan struct{})
+		go s.watchdogLoop()
 	}
 	return s
 }
@@ -390,7 +472,14 @@ func (sh *shard) flushBuf() {
 
 // enqueue places one item on the shard's queue, waiting at most
 // WriteTimeout when the queue is full. Reports whether it was accepted.
-func (sh *shard) enqueue(it shardItem) bool {
+// A send on the closed post-Shutdown queue (only reachable from a
+// wedged stream's abandoned goroutines) counts as a drop, not a crash.
+func (sh *shard) enqueue(it shardItem) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
 	select {
 	case sh.events <- it:
 		return true
@@ -511,17 +600,45 @@ func (s *Server) acceptLoop(ln net.Listener, proto string) {
 			}
 			s.streamWg.Add(1)
 			go func() {
-				defer s.streamWg.Done()
-				defer func() { <-s.sem }()
-				defer conn.Close()
 				st := &streamState{
 					id: s.nextID.Add(1), proto: proto, label: label, conn: conn,
 				}
 				st.sh = s.shardFor(st.id)
-				s.ingest(st, deadlineReader{conn: conn, timeout: s.cfg.ReadTimeout})
+				var once sync.Once
+				st.release = func() {
+					once.Do(func() { <-s.sem; s.streamWg.Done() })
+				}
+				// The slot is released through st.release, not a goroutine
+				// defer: the watchdog must be able to free a wedged stream's
+				// slot while its goroutines are still stuck. The defer here
+				// only backstops panics on the teardown path itself.
+				defer st.release()
+				// Register before sniffing the protocol: the stream occupies
+				// its slot (and shows in streams_active) from accept, even
+				// while a slow client dribbles out the handshake.
+				s.register(st)
+				s.handleConn(st, conn)
 			}()
 		}
 	}()
+}
+
+// register makes a stream visible to metrics, Shutdown's force-close,
+// and the watchdog. Paired with unregister (finalize does it for
+// streams that ran a pipeline).
+func (s *Server) register(st *streamState) {
+	st.lastActive.Store(time.Now().UnixNano())
+	st.sh.m.streamsActive.Add(1)
+	s.connMu.Lock()
+	s.streams[st.id] = st
+	s.connMu.Unlock()
+}
+
+func (s *Server) unregister(st *streamState) {
+	s.connMu.Lock()
+	delete(s.streams, st.id)
+	s.connMu.Unlock()
+	st.sh.m.streamsActive.Add(-1)
 }
 
 // Ingest feeds one btsnoop stream from an arbitrary reader through the
@@ -530,14 +647,18 @@ func (s *Server) acceptLoop(ln net.Listener, proto string) {
 // socket streams.
 func (s *Server) Ingest(proto, label string, r io.Reader) StreamSummary {
 	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
 	// Join the stream group so Shutdown cannot retire the shard writers
 	// out from under a reader-fed stream.
 	s.streamWg.Add(1)
-	defer s.streamWg.Done()
 	st := &streamState{id: s.nextID.Add(1), proto: proto, label: label}
 	st.sh = s.shardFor(st.id)
-	return s.ingest(st, r)
+	var once sync.Once
+	st.release = func() {
+		once.Do(func() { <-s.sem; s.streamWg.Done() })
+	}
+	defer st.release()
+	s.register(st)
+	return s.runPipeline(st, r, nil)
 }
 
 // ingestRingDepth is how many record batches circulate between a
@@ -559,13 +680,31 @@ const ingestBlockBytes = 256 << 10
 // for the full swept span — the scan-completion clock (the anchor for
 // ingest and detection latency), the stream offset and cumulative frame
 // count after the batch, and the packet-type tally of every record the
-// sweep classified (kept or rejected).
+// sweep classified (kept or rejected). An item with ckpt set carries no
+// batch: it is a checkpoint marker the reader pushes when the stream
+// parks, asking the detector side to snapshot its state at exactly this
+// point in the record sequence (the FIFO ring makes the marker pop
+// after every batch that preceded the park, so the snapshot and the
+// offset agree by construction).
 type ingestItem struct {
-	b      *snoop.RecordBatch
-	at     time.Time
-	off    int64
-	frames int
-	tally  packetTally
+	b        *snoop.RecordBatch
+	at       time.Time
+	off      int64
+	frames   int
+	datalink uint32
+	ckpt     bool
+	tally    packetTally
+}
+
+// resumeState carries a restored pipeline position into runPipeline: a
+// detector rebuilt from a checkpoint and the capture offset, frame
+// count, datalink, and checkpoint sequence it was snapshotted at.
+type resumeState struct {
+	det      *forensics.Detector
+	off      int64
+	frames   int
+	datalink uint32
+	ckptSeq  uint64
 }
 
 // ingest is the per-stream core, a two-stage pipeline over a pair of
@@ -591,28 +730,41 @@ type ingestItem struct {
 // one-record latency. A wedged event consumer still costs events, never
 // detection: emit drops on its shard's write deadline, and the reader
 // at worst idles until the detector recycles a batch.
-func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
+func (s *Server) runPipeline(st *streamState, r io.Reader, res *resumeState) StreamSummary {
 	sm := &st.sh.m
-	sm.streamsActive.Add(1)
 	sm.streamsTotal.Add(1)
 	st.lastActive.Store(time.Now().UnixNano())
-	s.connMu.Lock()
-	s.streams[st.id] = st
-	s.connMu.Unlock()
-	defer func() {
-		s.connMu.Lock()
-		delete(s.streams, st.id)
-		s.connMu.Unlock()
-		sm.streamsActive.Add(-1)
-	}()
-
-	s.emit(st, Event{Type: EventStreamStart, Stream: st.id, Proto: st.proto, Label: st.label})
 
 	// 256 KiB blocks: a unix-socket read costs the same syscall whether
 	// it returns 64 KiB or 256 KiB, and larger blocks mean fuller
 	// batches and fewer ring handoffs per captured megabyte.
-	sc := snoop.NewBatchScannerSize(r, ingestBlockBytes)
-	det := forensics.NewDetector()
+	var sc *snoop.BatchScanner
+	var det *forensics.Detector
+	var prevOff int64   // last batch offset the detector consumed
+	var prevFrames int  // last batch frame count the detector consumed
+	var ckptSeq uint64  // last checkpoint sequence written for this session
+	var lastCkpt int64  // capture offset of the last checkpoint
+	if res != nil {
+		// Resuming a checkpoint: the scanner starts mid-capture at the
+		// snapshot position, the detector already holds the state, and the
+		// stream's cumulative counters pick up from the snapshot — only
+		// the shard counters stay this-process-only deltas.
+		sc = snoop.ResumeBatchScanner(r, ingestBlockBytes, res.off, res.frames, res.datalink)
+		det = res.det
+		prevOff, prevFrames, ckptSeq, lastCkpt = res.off, res.frames, res.ckptSeq, res.off
+		st.bytes.Store(res.off)
+		st.records.Store(uint64(res.frames))
+		st.findings.Store(det.Findings())
+	} else {
+		sc = snoop.NewBatchScannerSize(r, ingestBlockBytes)
+		det = forensics.NewDetector()
+	}
+
+	start := Event{Type: EventStreamStart, Stream: st.id, Proto: st.proto, Label: st.label, Session: st.session}
+	if res != nil {
+		start.Offset = res.off
+	}
+	s.emit(st, start)
 
 	filled := spsc.New[ingestItem](ingestRingDepth)
 	free := spsc.New[*snoop.RecordBatch](ingestRingDepth)
@@ -620,13 +772,26 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 		free.TryPush(&snoop.RecordBatch{})
 	}
 
+	// A parking session reader pushes a checkpoint marker through the
+	// batch ring from inside Read — it runs on the reader goroutine, the
+	// ring's producer, so the push is legal and FIFO order puts the
+	// marker exactly after the records that preceded the park.
+	if sr, ok := r.(*sessionReader); ok {
+		sr.onPark = func() {
+			filled.Push(ingestItem{ckpt: true, at: time.Now(),
+				off: sc.Offset(), frames: sc.Frame(), datalink: sc.Datalink()})
+		}
+	}
+
 	// residual carries what the reader's final, failed scan call swept
 	// before the stream ended (records ahead of a corrupt header, say):
-	// written before readerDone.Done, read after Wait.
+	// written before readerDone.Done, read after Wait. rPanic rides the
+	// same ordering.
 	var residual struct {
 		frames int
 		tally  packetTally
 	}
+	var rPanic, detPanic any
 	var readerDone sync.WaitGroup
 	readerDone.Add(1)
 	go func() {
@@ -635,6 +800,14 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 		// end to the detector loop; readerDone.Wait below then orders the
 		// scanner's terminal Err/Offset before this goroutine reads them.
 		defer filled.Close()
+		// The recover defer runs before the two above (LIFO), so a panic
+		// anywhere in the scan loop still closes the ring and releases the
+		// waiter — the stream dies alone, the daemon does not.
+		defer func() {
+			if p := recover(); p != nil {
+				rPanic = p
+			}
+		}()
 		var tally packetTally
 		keep := func(raw []byte) bool {
 			tally.count(raw)
@@ -653,62 +826,122 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 			now := time.Now()
 			sm.stageScan.Observe(now.Sub(tPre))
 			st.lastActive.Store(now.UnixNano())
-			filled.Push(ingestItem{b: b, at: now, off: sc.Offset(), frames: sc.Frame(), tally: tally})
+			filled.Push(ingestItem{b: b, at: now, off: sc.Offset(), frames: sc.Frame(),
+				datalink: sc.Datalink(), tally: tally})
 			tally = packetTally{}
 		}
 	}()
 
-	var prevOff int64
-	var prevFrames int
-	for {
-		it, ok := filled.Pop()
-		if !ok {
-			break
-		}
-		det.PushKept(it.b.Frames, it.b.Records)
-		tPush := time.Now()
-		sm.stagePush.Observe(tPush.Sub(it.at))
-		n := uint64(it.frames - prevFrames)
-		prevFrames = it.frames
-		st.records.Add(n)
-		sm.records.Add(n)
-		st.bytes.Store(it.off)
-		sm.bytes.Add(uint64(it.off - prevOff))
-		prevOff = it.off
-		sm.addPacketTally(it.tally)
-		evs := det.Drain()
-		tDrain := time.Now()
-		sm.stageDrain.Observe(tDrain.Sub(tPush))
-		if len(evs) > 0 {
-			// One wall-clock read and one RFC3339Nano format for the whole
-			// drained burst: findings surfaced by the same batch share an
-			// emission instant, and per-event formatting is measurable at
-			// block-scan throughput (thousands of findings per quantum).
-			ts, tss := s.stamp()
-			for _, ev := range evs {
-				st.findings.Add(1)
-				sm.countFinding(ev.Finding.Kind)
-				s.emitStamped(st, findingEvent(st.id, ev), ts, tss)
+	// The detector loop runs in a recover bracket of its own: a panic in
+	// the detector (or a test hook) is contained to this stream.
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				detPanic = p
 			}
-			tEnd := time.Now()
-			sm.stageEmit.Observe(tEnd.Sub(tDrain))
-			// Detection latency: the completing batch was scanned at
-			// it.at; its findings are on the event queue at tEnd.
-			d := tEnd.Sub(it.at)
-			for range evs {
-				sm.detect.Observe(d)
-				st.detect.Observe(d)
+		}()
+		for {
+			it, ok := filled.Pop()
+			if !ok {
+				return
 			}
-			sm.ingest.Observe(tEnd.Sub(it.at))
-			st.ingest.Observe(tEnd.Sub(it.at))
-		} else {
-			d := tDrain.Sub(it.at)
-			sm.ingest.Observe(d)
-			st.ingest.Observe(d)
+			st.beat.Start()
+			if it.ckpt {
+				// Park marker: snapshot the detector at the marker position.
+				// Drain defensively first (SnapshotState requires it) and emit
+				// anything that surfaces so no finding is ever lost to a park.
+				if evs := det.Drain(); len(evs) > 0 {
+					ts, tss := s.stamp()
+					for _, ev := range evs {
+						st.findings.Add(1)
+						sm.countFinding(ev.Finding.Kind)
+						s.emitStamped(st, findingEvent(st.id, ev), ts, tss)
+					}
+				}
+				s.queueCheckpoint(st, det, it.off, it.frames, it.datalink, &ckptSeq, true)
+				lastCkpt = it.off
+				st.beat.Stop()
+				continue
+			}
+			if hook := s.cfg.beforeBatch; hook != nil {
+				hook(st.id)
+			}
+			det.PushKept(it.b.Frames, it.b.Records)
+			tPush := time.Now()
+			sm.stagePush.Observe(tPush.Sub(it.at))
+			n := uint64(it.frames - prevFrames)
+			prevFrames = it.frames
+			st.records.Add(n)
+			sm.records.Add(n)
+			st.bytes.Store(it.off)
+			sm.bytes.Add(uint64(it.off - prevOff))
+			prevOff = it.off
+			sm.addPacketTally(it.tally)
+			evs := det.Drain()
+			tDrain := time.Now()
+			sm.stageDrain.Observe(tDrain.Sub(tPush))
+			if len(evs) > 0 {
+				// One wall-clock read and one RFC3339Nano format for the whole
+				// drained burst: findings surfaced by the same batch share an
+				// emission instant, and per-event formatting is measurable at
+				// block-scan throughput (thousands of findings per quantum).
+				ts, tss := s.stamp()
+				for _, ev := range evs {
+					st.findings.Add(1)
+					sm.countFinding(ev.Finding.Kind)
+					s.emitStamped(st, findingEvent(st.id, ev), ts, tss)
+				}
+				tEnd := time.Now()
+				sm.stageEmit.Observe(tEnd.Sub(tDrain))
+				// Detection latency: the completing batch was scanned at
+				// it.at; its findings are on the event queue at tEnd.
+				d := tEnd.Sub(it.at)
+				for range evs {
+					sm.detect.Observe(d)
+					st.detect.Observe(d)
+				}
+				sm.ingest.Observe(tEnd.Sub(it.at))
+				st.ingest.Observe(tEnd.Sub(it.at))
+			} else {
+				d := tDrain.Sub(it.at)
+				sm.ingest.Observe(d)
+				st.ingest.Observe(d)
+			}
+			// Periodic checkpoint: the detector is drained (just above), so
+			// the snapshot is legal; non-blocking — a full persist queue
+			// skips this interval rather than stalling detection.
+			if st.session != "" && st.sh.persist != nil && s.cfg.CheckpointEvery > 0 &&
+				it.off-lastCkpt >= s.cfg.CheckpointEvery {
+				s.queueCheckpoint(st, det, it.off, it.frames, it.datalink, &ckptSeq, false)
+				lastCkpt = it.off
+			}
+			st.beat.Stop()
+			// Depth batches circulate and free is never closed, so recycling
+			// cannot fail; the guard only drops the batch to the GC.
+			free.TryPush(it.b)
 		}
-		// Depth batches circulate and free is never closed, so recycling
-		// cannot fail; the guard only drops the batch to the GC.
-		free.TryPush(it.b)
+	}()
+	if detPanic != nil {
+		// The detector died mid-stream; the reader may be blocked on
+		// free.Pop, on filled.Push, or parked waiting for a reconnect.
+		// Close the free ring, kill the transport, abort the session, and
+		// drain the filled ring until the reader's defer closes it.
+		free.Close()
+		s.connMu.Lock()
+		if st.conn != nil {
+			_ = st.conn.Close()
+		}
+		s.connMu.Unlock()
+		if st.ent != nil {
+			s.sessMu.Lock()
+			abortEntryLocked(st.ent)
+			s.sessMu.Unlock()
+		}
+		for {
+			if _, ok := filled.Pop(); !ok {
+				break
+			}
+		}
 	}
 	readerDone.Wait()
 	if residual.frames > prevFrames {
@@ -719,36 +952,112 @@ func (s *Server) ingest(st *streamState, r io.Reader) StreamSummary {
 	}
 
 	err := sc.Err()
-	status := ClassifyStreamError(err)
-	sm.countEnd(status)
+	records := sc.Frame()
+	offset := sc.Offset()
+	var status string
+	endErr := err
+	switch {
+	case detPanic != nil:
+		// The detector's position, not the scanner's: records past prevOff
+		// were swept but never analyzed.
+		status = StatusPanic
+		records, offset = prevFrames, prevOff
+		endErr = fmt.Errorf("panic: %v", detPanic)
+	case rPanic != nil:
+		status = StatusPanic
+		endErr = fmt.Errorf("panic: %v", rPanic)
+	case err != nil && st.aborted.Load():
+		// Force-closed by shutdown after the drain grace: the raw
+		// transport error (use of closed connection) says "error", but the
+		// operator needs to see "aborted, checkpointed, resumable".
+		status = StatusAborted
+		if !errors.Is(err, ErrAborted) {
+			endErr = fmt.Errorf("%w: %v", ErrAborted, err)
+		}
+	default:
+		status = ClassifyStreamError(err)
+	}
+
+	// Final checkpoint bookkeeping for session streams. Skipped entirely
+	// if the watchdog already finalized this stream — a wedged detector's
+	// state is suspect, so the last periodic checkpoint stays the durable
+	// resume point.
+	if st.session != "" && st.sh.persist != nil && !st.finalized.Load() {
+		switch {
+		case status == StatusAborted:
+			// Shutdown mid-stream: persist the detector as of the last
+			// consumed batch so a restarted daemon resumes this session.
+			s.queueCheckpoint(st, det, prevOff, prevFrames, sc.Datalink(), &ckptSeq, true)
+		case ckptSeq > 0:
+			// Any other terminal status with checkpoints on disk gets a
+			// tombstone so a restart does not resurrect a finished stream.
+			d := &ckptDoc{Session: st.session, Tenant: st.tenant, Stream: st.id,
+				Seq: ckptSeq + 1, Offset: prevOff, Frames: prevFrames,
+				Datalink: sc.Datalink(), Done: true}
+			st.sh.tryPersist(persistItem{ckpt: d, ts: time.Now().UnixNano()}, true)
+		}
+	}
+
 	sum := StreamSummary{
 		ID: st.id, Proto: st.proto, Label: st.label,
-		Records:  sc.Frame(),
-		Bytes:    sc.Offset(),
+		Records:  records,
+		Bytes:    offset,
 		Findings: det.Findings(),
 		Status:   status,
-		Offset:   sc.Offset(),
-		Err:      err,
+		Offset:   offset,
+		Err:      endErr,
 	}
 	end := Event{
 		Type: EventStreamEnd, Stream: st.id, Proto: st.proto, Label: st.label,
-		Status: status, Offset: sum.Offset,
+		Session: st.session, Status: status, Offset: sum.Offset,
 		Records: sum.Records, Bytes: sum.Bytes, Findings: sum.Findings,
 		EventsDropped: st.dropped.Load(),
 	}
-	if err != nil {
-		end.Error = err.Error()
+	if endErr != nil {
+		end.Error = endErr.Error()
 	}
+	s.finalize(st, &sum, end)
+	return sum
+}
+
+// finalize is the once-only teardown every stream end funnels through:
+// the natural pipeline finale and the watchdog race here, and the CAS
+// picks exactly one winner to emit the stream-end line, count the
+// status, drop the session entry, unregister, and release the slot. The
+// loser (a wedged pipeline that eventually unwedges, or a finale racing
+// the watchdog) skips everything — its late events are dropped by the
+// dead-stream guard in emitStamped.
+func (s *Server) finalize(st *streamState, sum *StreamSummary, end Event) bool {
+	if !st.finalized.CompareAndSwap(false, true) {
+		return false
+	}
+	st.dead.Store(true)
+	st.sh.m.countEnd(sum.Status)
 	s.emit(st, end)
 	// Flush before OnStreamEnd so observers (tests, benchmarks) read a
 	// complete JSONL stream; the dropped total then includes an end event
 	// the deadline may have eaten.
 	s.flushEvents(st.sh)
 	sum.EventsDropped = st.dropped.Load()
-	if s.cfg.OnStreamEnd != nil {
-		s.cfg.OnStreamEnd(sum)
+	if st.ent != nil {
+		s.sessMu.Lock()
+		s.dropSessionLocked(st.ent)
+		s.sessMu.Unlock()
 	}
-	return sum
+	s.unregister(st)
+	s.connMu.Lock()
+	if st.conn != nil {
+		_ = st.conn.Close()
+		st.conn = nil
+	}
+	s.connMu.Unlock()
+	if st.release != nil {
+		st.release()
+	}
+	if s.cfg.OnStreamEnd != nil {
+		s.cfg.OnStreamEnd(*sum)
+	}
+	return true
 }
 
 // emit queues one JSONL event on the stream's shard under the per-write
@@ -785,6 +1094,12 @@ func (s *Server) stamp() (int64, string) {
 // tss must come from the same stamp() call so the JSONL line and the
 // persisted frame carry the same instant.
 func (s *Server) emitStamped(st *streamState, ev Event, ts int64, tss string) {
+	// A finalized stream's abandoned goroutines (wedged detector that
+	// later unwedges) may still try to emit; everything but the end line
+	// the finalizer itself wrote is dropped silently.
+	if st != nil && st.dead.Load() && ev.Type != EventStreamEnd {
+		return
+	}
 	ev.TS = tss
 	sh := s.shardFor(ev.Stream)
 	if st != nil {
@@ -827,15 +1142,22 @@ func (s *Server) flushEvents(sh *shard) bool {
 	}
 }
 
-// Shutdown drains the server: stop accepting, let in-flight streams
-// finish until ctx expires, then force-close whatever remains. Safe to
-// call once; returns ctx.Err() if the drain deadline forced closes.
+// Shutdown drains the server: stop accepting, abort parked and cold
+// sessions (live pipelines checkpoint and end "aborted"), let in-flight
+// streams finish until ctx expires, then force-close whatever remains.
+// When Shutdown returns the store is no longer touched — its owner can
+// close it. Safe to call once; returns ctx.Err() if the drain deadline
+// forced closes.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.closeListeners()
 	if s.httpSrv != nil {
 		_ = s.httpSrv.Shutdown(ctx)
 	}
+	// Wake every parked stream (they end "aborted" after a final
+	// checkpoint) and drop cold entries — their checkpoints are already
+	// durable, a restarted daemon rebuilds them.
+	s.abortSessions()
 
 	done := make(chan struct{})
 	go func() {
@@ -848,9 +1170,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = ctx.Err()
 		// Force the stragglers: closing a connection makes its scanner
-		// return a transport error, which ends the stream as "error".
+		// return a transport error, and the aborted mark turns the raw
+		// "error" classification into "aborted" (checkpointed, resumable).
 		s.connMu.Lock()
 		for _, st := range s.streams {
+			st.aborted.Store(true)
 			if st.conn != nil {
 				_ = st.conn.Close()
 			}
@@ -859,24 +1183,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.acceptWg.Wait()
-	// All emitters are gone; retire the shard writers. A consumer wedged
-	// in Write keeps a writer alive — bound the wait on ctx instead of
-	// hanging Shutdown on it.
-	for _, sh := range s.shards {
-		close(sh.events)
+	if s.wdStop != nil {
+		close(s.wdStop)
+		<-s.wdDone
 	}
-	for _, sh := range s.shards {
-		select {
-		case <-sh.done:
-		case <-ctx.Done():
-			if err == nil {
-				err = ctx.Err()
-			}
-		}
-	}
-	// Emitters are gone, so the persist queues can drain to completion;
-	// then stop the snapshotter (it persists one final delta on the way
-	// out). The store itself stays open — its owner closes it.
+	// Persist queues retire before the event queues close: the persist
+	// loop enqueues checkpoint events onto the event queues (still open
+	// here), so that send is always legal; and the waits are
+	// unconditional — persistLoop never blocks on anything unbounded
+	// once the emitters are gone, and a Shutdown return must guarantee
+	// the store is quiescent (the caller closes it next).
 	if s.cfg.Store != nil {
 		for _, sh := range s.shards {
 			if sh.persist != nil {
@@ -884,25 +1200,34 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			}
 		}
 		for _, sh := range s.shards {
-			if sh.pdone == nil {
-				continue
-			}
-			select {
-			case <-sh.pdone:
-			case <-ctx.Done():
-				if err == nil {
-					err = ctx.Err()
-				}
+			if sh.pdone != nil {
+				<-sh.pdone
 			}
 		}
 		if s.snapStop != nil {
 			close(s.snapStop)
-			select {
-			case <-s.snapDone:
-			case <-ctx.Done():
-				if err == nil {
-					err = ctx.Err()
-				}
+			<-s.snapDone
+		}
+	}
+	// All emitters are gone; retire the shard writers. A consumer wedged
+	// in Write keeps a writer alive — bound the wait (on a fresh short
+	// timeout if ctx already expired forcing the closes above) instead of
+	// hanging Shutdown on it.
+	for _, sh := range s.shards {
+		close(sh.events)
+	}
+	evCtx := ctx
+	if ctx.Err() != nil {
+		var cancel context.CancelFunc
+		evCtx, cancel = context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+	}
+	for _, sh := range s.shards {
+		select {
+		case <-sh.done:
+		case <-evCtx.Done():
+			if err == nil {
+				err = evCtx.Err()
 			}
 		}
 	}

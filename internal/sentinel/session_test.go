@@ -1,0 +1,545 @@
+package sentinel
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/snoop"
+	"repro/internal/tsdb"
+)
+
+// sendSession streams capture[from:] over an established session conn
+// with the standard chunking and a fin marker.
+func sendSession(t *testing.T, conn io.Writer, capture []byte, from int64) {
+	t.Helper()
+	if _, err := WriteSessionChunks(conn, bytes.NewReader(capture[from:])); err != nil {
+		t.Fatalf("session send: %v", err)
+	}
+	if err := WriteSessionFin(conn); err != nil {
+		t.Fatalf("session fin: %v", err)
+	}
+}
+
+// TestResumeDifferentialCutEveryStride is the transport-chaos
+// differential at test scale: cut the transport at a sweep of payload
+// offsets, resume each time, and demand findings byte-identical to the
+// uninterrupted baseline. The full cut-at-every-byte sweep runs in
+// benchtables' -chaos mode; here the stride keeps the test inside a few
+// seconds (coarser still under the race detector).
+func TestResumeDifferentialCutEveryStride(t *testing.T) {
+	capture := synthCapture(t, 2000, 21)
+	stride := len(capture)/97 + 1
+	if testing.Short() || raceEnabled {
+		stride = len(capture)/23 + 1
+	}
+	if err := RunResumeDifferential(capture, stride, t.Logf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionResumeAcrossReconnect pins the basic warm-resume flow and
+// its observable events: parked and resumed land on the output, the
+// resumed stream keeps its id, and the merged run ends clean with the
+// full capture's totals.
+func TestSessionResumeAcrossReconnect(t *testing.T) {
+	capture := synthCapture(t, 3000, 7)
+	out := &syncBuffer{}
+	ends := make(chan StreamSummary, 1)
+	s := startServer(t, Config{
+		UnixAddr:    filepath.Join(t.TempDir(), "s.sock"),
+		ResumeGrace: time.Minute,
+		Output:      out,
+		OnStreamEnd: func(sum StreamSummary) { ends <- sum },
+	})
+
+	conn, hello, err := DialSession("unix", s.UnixAddr(), "sess-1", "", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := int64(len(capture) / 2)
+	if _, err := WriteSessionChunks(conn, bytes.NewReader(capture[:cut])); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close() // die mid-stream; the server parks
+
+	waitFor(t, "session parked", func() bool { return s.Snapshot().Sessions.Parked == 1 })
+
+	conn2, hello2, err := DialSession("unix", s.UnixAddr(), "sess-1", "", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if hello2.Stream != hello.Stream {
+		t.Fatalf("resumed as stream %d, want %d", hello2.Stream, hello.Stream)
+	}
+	if hello2.Offset <= 0 || hello2.Offset > cut {
+		t.Fatalf("resume offset %d, want in (0, %d]", hello2.Offset, cut)
+	}
+	sendSession(t, conn2, capture, hello2.Offset)
+
+	var sum StreamSummary
+	select {
+	case sum = <-ends:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream never ended")
+	}
+	if sum.Status != StatusClean {
+		t.Fatalf("status %q (err %v), want clean", sum.Status, sum.Err)
+	}
+	if sum.Bytes != int64(len(capture)) {
+		t.Fatalf("bytes %d, want %d", sum.Bytes, len(capture))
+	}
+	recs, err := snoop.ReadAll(capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Records != len(recs) {
+		t.Fatalf("records %d, want %d", sum.Records, len(recs))
+	}
+
+	snap := s.Snapshot().Sessions
+	if snap.Parked != 0 || snap.ParkedTotal != 1 || snap.Resumed != 1 {
+		t.Fatalf("sessions snapshot %+v, want parked 0 / parked_total 1 / resumed 1", snap)
+	}
+	var sawParked, sawResumed bool
+	for _, ev := range parseEvents(t, out.Lines()) {
+		switch ev.Type {
+		case EventSessionParked:
+			sawParked = true
+			if ev.Session != "sess-1" {
+				t.Fatalf("parked event session %q", ev.Session)
+			}
+		case EventSessionResumed:
+			sawResumed = true
+		}
+	}
+	if !sawParked || !sawResumed {
+		t.Fatalf("parked/resumed events on output: %v/%v", sawParked, sawResumed)
+	}
+}
+
+// TestShutdownDuringGraceParksCheckpointed: shutting down with a parked
+// session must end its stream as "aborted" (with a stream-end line),
+// flush its checkpoint to the store, count it in /metrics — and leak no
+// goroutines.
+func TestShutdownDuringGraceParksCheckpointed(t *testing.T) {
+	store, err := tsdb.Open(tsdb.Options{Dir: t.TempDir(), CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	capture := synthCapture(t, 3000, 11)
+	out := &syncBuffer{}
+	ends := make(chan StreamSummary, 1)
+	before := runtime.NumGoroutine()
+	s := New(Config{
+		UnixAddr:    filepath.Join(t.TempDir(), "s.sock"),
+		ResumeGrace: time.Hour, // parked forever unless shutdown aborts it
+		Store:       store,
+		Output:      out,
+		OnStreamEnd: func(sum StreamSummary) { ends <- sum },
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, _, err := DialSession("unix", s.UnixAddr(), "parked-sess", "", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSessionChunks(conn, bytes.NewReader(capture[:len(capture)/2])); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+	waitFor(t, "session parked", func() bool { return s.Snapshot().Sessions.Parked == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown during grace window: %v", err)
+	}
+
+	var sum StreamSummary
+	select {
+	case sum = <-ends:
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked stream emitted no stream-end")
+	}
+	if sum.Status != StatusAborted {
+		t.Fatalf("status %q (err %v), want aborted", sum.Status, sum.Err)
+	}
+	if s.Snapshot().Sessions.Checkpoints == 0 {
+		t.Fatal("no checkpoint persisted for the parked session")
+	}
+	var sawEnd bool
+	for _, ev := range parseEvents(t, out.Lines()) {
+		if ev.Type == EventStreamEnd && ev.Session == "parked-sess" {
+			sawEnd = true
+			if ev.Status != StatusAborted {
+				t.Fatalf("end line status %q, want aborted", ev.Status)
+			}
+		}
+	}
+	if !sawEnd {
+		t.Fatal("no stream-end line for the parked session")
+	}
+
+	// The checkpoint must be durable and resumable: a fresh daemon on the
+	// same store recovers the session.
+	s2 := New(Config{Store: store, ResumeGrace: time.Hour})
+	n, err := s2.RecoverSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d sessions, want 1", n)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := s2.Shutdown(ctx2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Goroutine accounting: both servers are fully down; allow the
+	// runtime a moment to retire exiting goroutines.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestKillRestartRecovery is the crash drill in-process: run a session
+// against a store, abandon it mid-capture (simulating the process
+// dying: no clean shutdown for the stream — but checkpoints already
+// synced), start a second server on the same store, reconnect, and
+// demand the second half's findings pick up where the checkpoint left
+// off with a clean merged end.
+func TestKillRestartRecovery(t *testing.T) {
+	store, err := tsdb.Open(tsdb.Options{Dir: t.TempDir(), CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	capture := synthCapture(t, 6000, 13)
+	recs, err := snoop.ReadAll(capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out1 := &syncBuffer{}
+	s1 := New(Config{
+		UnixAddr:        filepath.Join(t.TempDir(), "s1.sock"),
+		ResumeGrace:     time.Hour,
+		CheckpointEvery: 4 << 10, // checkpoint densely at test scale
+		Store:           store,
+		Output:          out1,
+	})
+	if err := s1.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, hello, err := DialSession("unix", s1.UnixAddr(), "crash-sess", "", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := int64(len(capture) / 2)
+	if _, err := WriteSessionChunks(conn, bytes.NewReader(capture[:cut])); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for a durable checkpoint (the "checkpoint" line is emitted
+	// only after append+sync), then tear the daemon down hard: close the
+	// client and shut down with an already-expired context — the
+	// force-close path, the closest in-process stand-in for kill -9 that
+	// still lets us reuse the store handle.
+	waitFor(t, "durable checkpoint", func() bool { return s1.Snapshot().Sessions.Checkpoints > 0 })
+	_ = conn.Close()
+	ctxDead, cancelDead := context.WithCancel(context.Background())
+	cancelDead()
+	_ = s1.Shutdown(ctxDead)
+
+	out2 := &syncBuffer{}
+	ends := make(chan StreamSummary, 1)
+	s2 := startServer(t, Config{
+		UnixAddr:    filepath.Join(t.TempDir(), "s2.sock"),
+		ResumeGrace: time.Hour,
+		Store:       store,
+		Output:      out2,
+		OnStreamEnd: func(sum StreamSummary) { ends <- sum },
+	})
+	n, err := s2.RecoverSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d sessions, want 1", n)
+	}
+	if got := s2.Snapshot().Sessions.Restored; got != 1 {
+		t.Fatalf("restored counter %d, want 1", got)
+	}
+
+	conn2, hello2, err := DialSession("unix", s2.UnixAddr(), "crash-sess", "", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if hello2.Stream != hello.Stream {
+		t.Fatalf("recovered as stream %d, want %d", hello2.Stream, hello.Stream)
+	}
+	if hello2.Offset <= 0 || hello2.Offset > cut {
+		t.Fatalf("recovery offset %d, want a checkpoint inside (0, %d]", hello2.Offset, cut)
+	}
+	sendSession(t, conn2, capture, hello2.Offset)
+
+	var sum StreamSummary
+	select {
+	case sum = <-ends:
+	case <-time.After(10 * time.Second):
+		t.Fatal("recovered stream never ended")
+	}
+	if sum.Status != StatusClean {
+		t.Fatalf("status %q (err %v), want clean", sum.Status, sum.Err)
+	}
+	if sum.Bytes != int64(len(capture)) || sum.Records != len(recs) {
+		t.Fatalf("merged totals bytes=%d records=%d, want %d/%d",
+			sum.Bytes, sum.Records, len(capture), len(recs))
+	}
+
+	// Findings across both processes must equal one uninterrupted run.
+	baseOut := &syncBuffer{}
+	sb := New(Config{Output: baseOut})
+	bsum := sb.Ingest("test", "baseline", bytes.NewReader(capture))
+	if bsum.Status != StatusClean {
+		t.Fatalf("baseline status %q", bsum.Status)
+	}
+	ctxB, cancelB := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelB()
+	_ = sb.Shutdown(ctxB)
+
+	merged := append(findingKeys(t, out1.Lines(), hello.Stream),
+		findingKeys(t, out2.Lines(), hello.Stream)...)
+	base := findingKeys(t, baseOut.Lines(), bsum.ID)
+	if len(merged) != len(base) {
+		t.Fatalf("merged findings %d, baseline %d", len(merged), len(base))
+	}
+	for i := range merged {
+		if merged[i] != base[i] {
+			t.Fatalf("finding %d differs:\n  got  %s\n  want %s", i, merged[i], base[i])
+		}
+	}
+	if sum.Findings != bsum.Findings {
+		t.Fatalf("findings total %d, baseline %d", sum.Findings, bsum.Findings)
+	}
+}
+
+// findingKeys extracts one stream's finding lines normalized for
+// cross-run comparison (stream id and ts zeroed — store-backed runs
+// stamp wall clocks, the baseline does not).
+func findingKeys(t *testing.T, raw []byte, stream uint64) []string {
+	t.Helper()
+	var res []string
+	for _, ev := range parseEvents(t, raw) {
+		if ev.Type != EventFinding || ev.Stream != stream {
+			continue
+		}
+		ev.Stream, ev.TS = 0, ""
+		res = append(res, string(ev.appendJSON(nil)))
+	}
+	return res
+}
+
+// TestPanicIsolation: a panic inside one stream's detector loop ends
+// that stream with status "panic" and the recovered value on its end
+// line, while a concurrent stream and the daemon itself sail on.
+func TestPanicIsolation(t *testing.T) {
+	capture := synthCapture(t, 2000, 17)
+	out := &syncBuffer{}
+	ends := make(chan StreamSummary, 2)
+	var victim atomic.Uint64
+	cfg := Config{
+		TCPAddr:     "127.0.0.1:0",
+		Output:      out,
+		OnStreamEnd: func(sum StreamSummary) { ends <- sum },
+	}
+	cfg.beforeBatch = func(stream uint64) {
+		if stream == victim.Load() {
+			panic("synthetic detector failure")
+		}
+	}
+	s := startServer(t, cfg)
+
+	// First stream: the victim. Raw protocol; id is nextID+1.
+	victim.Store(s.nextID.Load() + 1)
+	conn, err := netDial(t, s.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(capture); err != nil {
+		t.Fatal(err)
+	}
+
+	var vsum StreamSummary
+	select {
+	case vsum = <-ends:
+	case <-time.After(10 * time.Second):
+		t.Fatal("panicked stream never ended")
+	}
+	_ = conn.Close()
+	if vsum.Status != StatusPanic {
+		t.Fatalf("victim status %q (err %v), want panic", vsum.Status, vsum.Err)
+	}
+	if vsum.Err == nil || vsum.Err.Error() != "panic: synthetic detector failure" {
+		t.Fatalf("victim err %v, want the recovered value", vsum.Err)
+	}
+
+	// Second stream on the same daemon: unaffected.
+	victim.Store(0)
+	sum := s.Ingest("test", "survivor", bytes.NewReader(capture))
+	if sum.Status != StatusClean {
+		t.Fatalf("survivor status %q (err %v), want clean", sum.Status, sum.Err)
+	}
+	var sawPanicEnd bool
+	for _, ev := range parseEvents(t, out.Lines()) {
+		if ev.Type == EventStreamEnd && ev.Stream == vsum.ID {
+			sawPanicEnd = true
+			if ev.Status != StatusPanic || ev.Error == "" {
+				t.Fatalf("panic end line %+v", ev)
+			}
+		}
+	}
+	if !sawPanicEnd {
+		t.Fatal("no stream-end line for the panicked stream")
+	}
+}
+
+// TestWatchdogForceFailsWedgedDetector: a detector loop that stops
+// making progress is force-failed by the watchdog — stream-end line,
+// freed slot — while the daemon keeps serving.
+func TestWatchdogForceFailsWedgedDetector(t *testing.T) {
+	capture := synthCapture(t, 2000, 19)
+	out := &syncBuffer{}
+	ends := make(chan StreamSummary, 2)
+	var victim atomic.Uint64
+	wedge := make(chan struct{}) // never closed: the hook blocks forever
+	cfg := Config{
+		TCPAddr:     "127.0.0.1:0",
+		MaxStreams:  1, // the wedged stream holds the only slot...
+		Watchdog:    75 * time.Millisecond,
+		Output:      out,
+		OnStreamEnd: func(sum StreamSummary) { ends <- sum },
+	}
+	cfg.beforeBatch = func(stream uint64) {
+		if stream == victim.Load() {
+			<-wedge
+		}
+	}
+	s := startServer(t, cfg)
+
+	victim.Store(s.nextID.Load() + 1)
+	conn, err := netDial(t, s.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(capture); err != nil {
+		t.Fatal(err)
+	}
+
+	var vsum StreamSummary
+	select {
+	case vsum = <-ends:
+	case <-time.After(10 * time.Second):
+		t.Fatal("watchdog never fired")
+	}
+	if vsum.Status != StatusError {
+		t.Fatalf("wedged status %q (err %v), want error", vsum.Status, vsum.Err)
+	}
+	if vsum.Err == nil || !bytes.Contains([]byte(vsum.Err.Error()), []byte("watchdog")) {
+		t.Fatalf("wedged err %v, want a watchdog error", vsum.Err)
+	}
+
+	// ...which must now be free again: a second stream runs to completion
+	// even though the wedged goroutines are still blocked.
+	victim.Store(0)
+	sum := s.Ingest("test", "after-wedge", bytes.NewReader(capture))
+	if sum.Status != StatusClean {
+		t.Fatalf("post-wedge status %q (err %v), want clean", sum.Status, sum.Err)
+	}
+}
+
+// TestTenantQuota: per-tenant admission sits ahead of the global cap —
+// the quota'd tenant's third session is rejected while another tenant
+// and anonymous sessions still get in; ending a session frees its slot.
+func TestTenantQuota(t *testing.T) {
+	s := startServer(t, Config{
+		TCPAddr:     "127.0.0.1:0",
+		TenantQuota: 2,
+		ResumeGrace: -1, // keep teardown prompt: no parking in this test
+	})
+
+	dial := func(sid, tenant string) (io.Closer, error) {
+		conn, _, err := DialSession("tcp", s.TCPAddr(), sid, tenant, 5*time.Second)
+		return conn, err
+	}
+	a1, err := dial("a-1", "tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a1.Close()
+	a2, err := dial("a-2", "tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if _, err := dial("a-3", "tenant-a"); err == nil {
+		t.Fatal("third tenant-a session admitted past quota 2")
+	} else if !bytes.Contains([]byte(err.Error()), []byte("tenant quota 2 reached")) {
+		t.Fatalf("rejection error %v, want the quota reason", err)
+	}
+	b1, err := dial("b-1", "tenant-b")
+	if err != nil {
+		t.Fatalf("tenant-b blocked by tenant-a's quota: %v", err)
+	}
+	defer b1.Close()
+	anon, err := dial("anon-1", "")
+	if err != nil {
+		t.Fatalf("anonymous session blocked by quota: %v", err)
+	}
+	defer anon.Close()
+
+	// Finish one tenant-a session cleanly; its slot frees.
+	if err := WriteSessionFin(a1.(io.Writer)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "tenant-a slot freed", func() bool {
+		c, err := dial("a-4", "tenant-a")
+		if err != nil {
+			return false
+		}
+		_ = c.Close()
+		return true
+	})
+}
+
+// netDial connects a raw (non-session) test client.
+func netDial(t *testing.T, addr string) (net.Conn, error) {
+	t.Helper()
+	return net.DialTimeout("tcp", addr, 5*time.Second)
+}

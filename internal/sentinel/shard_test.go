@@ -29,8 +29,9 @@ var encoderFixtures = []Event{
 	},
 	{
 		Type: EventStreamEnd, Stream: 7, Proto: "tcp", Label: "phone",
-		TS:     "2026-08-08T12:00:01Z",
-		Status: StatusClean, Offset: 52095345, Records: 1000000,
+		Session: "phone-7",
+		TS:      "2026-08-08T12:00:01Z",
+		Status:  StatusClean, Offset: 52095345, Records: 1000000,
 		Bytes: 52095345, Findings: 41, EventsDropped: 2,
 	},
 	{
@@ -39,6 +40,13 @@ var encoderFixtures = []Event{
 		Error: "snoop: bad framing at offset 16",
 	},
 	{Type: EventStreamRejected, Stream: 65, Proto: "tcp", Label: "10.0.0.9:1", Error: "stream cap 64 reached"},
+	{Type: EventSessionParked, Stream: 12, Session: "weird \"session\" \xffid", Offset: 4096},
+	{Type: EventSessionResumed, Stream: 12, Session: "phone-12", Label: "127.0.0.1:9", Offset: 4096},
+	{Type: EventSessionExpired, Stream: 12, Session: "phone-12", Offset: 4096},
+	{Type: EventCheckpoint, Stream: 12, Session: "phone-12", Offset: 8 << 20, Frame: 150000},
+	{Type: EventStreamEnd, Stream: 13, Session: "s", Status: StatusPanic,
+		Offset: 77, Error: "panic: index out of range"},
+	{Type: EventStreamEnd, Stream: 14, Session: "s2", Status: StatusAborted, Offset: 99},
 	{Type: EventFinding, Stream: 2, Seq: 1, Frame: 1, Kind: "quote\"back\\slash", Detail: "tabs\tand\nnewlines\rhere",
 		TS: "ts with \"quotes\" and \xffbad bytes"},
 	{Type: EventFinding, Stream: 2, Seq: 2, Frame: 2, Kind: "ctrl\b\f\x00\x1f", Detail: "html <b>&amp;</b>"},
@@ -103,7 +111,7 @@ func TestAppendJSONMatchesEncodingJSON(t *testing.T) {
 		check(Event{
 			Type:   randStr(),
 			Stream: rng.Uint64(),
-			Proto:  randStr(), Label: randStr(), TS: randStr(),
+			Proto:  randStr(), Label: randStr(), Session: randStr(), TS: randStr(),
 			Seq: rng.Uint64() >> uint(rng.Intn(64)), Frame: int(int32(rng.Uint32())),
 			Kind: randStr(), Peer: randStr(), Detail: randStr(), CaptureTS: randStr(),
 			Status: randStr(), Offset: int64(rng.Uint64()), Records: int(int32(rng.Uint32())),
@@ -135,6 +143,7 @@ func sanitizeEvent(ev Event) Event {
 	ev.Type = fix(ev.Type)
 	ev.Proto = fix(ev.Proto)
 	ev.Label = fix(ev.Label)
+	ev.Session = fix(ev.Session)
 	ev.TS = fix(ev.TS)
 	ev.Kind = fix(ev.Kind)
 	ev.Peer = fix(ev.Peer)

@@ -106,6 +106,24 @@ func NewBatchScannerSize(r io.Reader, blockBytes int) *BatchScanner {
 	return &BatchScanner{r: r, batchBytes: blockBytes}
 }
 
+// ResumeBatchScanner returns a BatchScanner that continues a previously
+// interrupted scan: r must deliver the capture's bytes starting at
+// absolute offset off (a record boundary reached by the earlier scan),
+// frame is the 1-based frame count already delivered, and datalink is
+// the file header's datalink type (the header was consumed by the
+// earlier scan and is not expected again). Offsets, frame numbers, and
+// error classification continue exactly as if one scanner had read the
+// whole stream — the resume contract blapd's session checkpoints rely
+// on.
+func ResumeBatchScanner(r io.Reader, blockBytes int, off int64, frame int, datalink uint32) *BatchScanner {
+	s := NewBatchScannerSize(r, blockBytes)
+	s.started = true
+	s.off = off
+	s.frame = frame
+	s.datalink = datalink
+	return s
+}
+
 // NewBatchScannerBytes returns a BatchScanner over an in-memory capture.
 // No bytes are copied: batch records alias data directly, so the caller
 // must not mutate data while batches are in use. Semantics are otherwise

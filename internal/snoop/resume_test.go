@@ -1,0 +1,79 @@
+package snoop
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestResumeBatchScannerMatchesUnbroken: scanning a prefix with one
+// scanner, then the remainder with ResumeBatchScanner seeded from the
+// first scanner's terminal state, must deliver the same records, frame
+// numbers, offsets, and terminal classification as one unbroken scan.
+func TestResumeBatchScannerMatchesUnbroken(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Synthesize(&buf, SynthConfig{Records: 2000, Seed: 21}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	type frameRec struct {
+		Frame int
+		Rec   Record
+	}
+	scanAll := func(sc *BatchScanner) ([]frameRec, int64, int, error) {
+		var out []frameRec
+		var b RecordBatch
+		for sc.ScanBatch(&b) {
+			for i := range b.Records {
+				out = append(out, frameRec{Frame: b.First + i, Rec: b.Records[i].Clone()})
+			}
+		}
+		return out, sc.Offset(), sc.Frame(), sc.Err()
+	}
+
+	want, wantOff, wantFrame, wantErr := scanAll(NewBatchScanner(bytes.NewReader(data)))
+	if wantErr != nil || len(want) != 2000 {
+		t.Fatalf("baseline scan: %d records, err %v", len(want), wantErr)
+	}
+
+	for _, cut := range []int{17, len(data) / 3, len(data) / 2, len(data) - 9} {
+		first := NewBatchScanner(bytes.NewReader(data[:cut]))
+		var got []frameRec
+		var b RecordBatch
+		for first.ScanBatch(&b) {
+			for i := range b.Records {
+				got = append(got, frameRec{Frame: b.First + i, Rec: b.Records[i].Clone()})
+			}
+		}
+		// The prefix scan ends truncated (or clean at a boundary); resume
+		// from its consumed offset — the caller re-delivers the tail bytes.
+		off, frame, dl := first.Offset(), first.Frame(), first.Datalink()
+		if first.Err() == nil {
+			if off != int64(cut) {
+				t.Fatalf("cut %d: clean prefix ended at %d", cut, off)
+			}
+		} else {
+			// Mid-record death: Offset includes the dead partial span, but
+			// the consumed boundary — what a checkpoint records — is where
+			// the last complete record ended.
+			var boundary int64 = 16
+			for _, fr := range got {
+				boundary += 24 + int64(len(fr.Rec.Data))
+			}
+			off = boundary
+		}
+
+		rest, restOff, restFrame, restErr := scanAll(ResumeBatchScanner(bytes.NewReader(data[off:]), 8<<10, off, frame, dl))
+		got = append(got, rest...)
+		if restErr != nil {
+			t.Fatalf("cut %d: resumed scan err %v", cut, restErr)
+		}
+		if restOff != wantOff || restFrame != wantFrame {
+			t.Fatalf("cut %d: resumed terminal off/frame %d/%d, want %d/%d", cut, restOff, restFrame, wantOff, wantFrame)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cut %d: stitched records diverge from unbroken scan (%d vs %d records)", cut, len(got), len(want))
+		}
+	}
+}

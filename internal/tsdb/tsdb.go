@@ -107,6 +107,12 @@ type Options struct {
 	// by the caller — the store itself never stamps data, which is what
 	// keeps a fixed-clock run byte-deterministic.
 	Now func() time.Time
+	// WrapWriter, when set, wraps the active segment file of each series
+	// before the store's buffering layer — a fault-injection seam (e.g.
+	// faults.FullWriter for disk-full chaos) that sees exactly the bytes
+	// the store appends. It must not reorder or drop bytes on success;
+	// Sync and Close still go to the underlying file directly.
+	WrapWriter func(series string, w io.Writer) io.Writer
 }
 
 func (o *Options) defaults() {
@@ -294,7 +300,7 @@ func (s *Store) openSeries(name string) (*series, error) {
 			}
 			sr.active = tail
 			sr.f = f
-			sr.bw = bufio.NewWriterSize(f, 64<<10)
+			sr.bw = bufio.NewWriterSize(s.wrapWriter(name, f), 64<<10)
 		}
 	}
 	return sr, nil
@@ -415,6 +421,15 @@ func appendFrame(buf []byte, ts int64, key uint64, data []byte) []byte {
 }
 
 // getSeries returns (creating on demand) the named series.
+// wrapWriter applies the Options.WrapWriter fault seam, if configured,
+// to a series' active segment file.
+func (s *Store) wrapWriter(name string, f io.Writer) io.Writer {
+	if s.opts.WrapWriter == nil {
+		return f
+	}
+	return s.opts.WrapWriter(name, f)
+}
+
 func (s *Store) getSeries(name string) (*series, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -503,7 +518,7 @@ func (s *Store) rollLocked(sr *series) error {
 	sr.segs = append(sr.segs, g)
 	sr.active = g
 	sr.f = f
-	sr.bw = bufio.NewWriterSize(f, 64<<10)
+	sr.bw = bufio.NewWriterSize(s.wrapWriter(sr.name, f), 64<<10)
 	sr.lastFlush = s.opts.Now()
 	return nil
 }
@@ -656,6 +671,33 @@ func (s *Store) Sync() error {
 		if err != nil {
 			return fmt.Errorf("tsdb: sync %s: %w", sr.name, err)
 		}
+	}
+	return nil
+}
+
+// SyncSeries flushes and fsyncs one series' active segment. Callers
+// with a durability point on a single low-volume series (the sentinel's
+// checkpoint series) use this instead of Sync so they do not pay for
+// forcing the high-volume series' append backlog through the journal on
+// every call. Syncing a series that does not exist yet is a no-op.
+func (s *Store) SyncSeries(name string) error {
+	s.mu.Lock()
+	sr := s.series[name]
+	s.mu.Unlock()
+	if sr == nil {
+		return nil
+	}
+	sr.mu.Lock()
+	var err error
+	if sr.bw != nil {
+		err = sr.bw.Flush()
+	}
+	if err == nil && sr.f != nil {
+		err = sr.f.Sync()
+	}
+	sr.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("tsdb: sync %s: %w", sr.name, err)
 	}
 	return nil
 }

@@ -3,12 +3,16 @@ package tsdb
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // fixedClock returns a deterministic Options.Now.
@@ -425,5 +429,93 @@ func TestCloseIdempotentAndAppendAfterClose(t *testing.T) {
 	}
 	if err := s.Append("findings", 1, 0, []byte("x")); err == nil {
 		t.Fatal("Append after Close succeeded")
+	}
+}
+
+// TestDiskFullSurfacesAndPreservesPrefix drives the WrapWriter fault
+// seam with a faults.FullWriter: once the simulated volume fills, Sync
+// must surface ErrDiskFull to the caller, and everything durably synced
+// before the fault must survive a reopen byte-for-byte — the torn-tail
+// discipline under ENOSPC instead of a crash.
+func TestDiskFullSurfacesAndPreservesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Dir:          dir,
+		CompactEvery: -1,
+		SyncEvery:    -1,
+		Now:          fixedClock(t0),
+		WrapWriter: func(series string, w io.Writer) io.Writer {
+			return &faults.FullWriter{W: w, N: 200}
+		},
+	}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	base := t0.UnixNano()
+	synced := 0
+	var full error
+	for i := 0; i < 100; i++ {
+		if err := s.Append("findings", base+int64(i), 1, []byte(fmt.Sprintf(`{"seq":%d}`, i))); err != nil {
+			full = err
+			break
+		}
+		if err := s.Sync(); err != nil {
+			full = err
+			break
+		}
+		synced++
+	}
+	if !errors.Is(full, faults.ErrDiskFull) {
+		t.Fatalf("filled volume surfaced %v, want ErrDiskFull", full)
+	}
+	if synced == 0 || synced >= 100 {
+		t.Fatalf("fault fired after %d synced frames; want mid-run", synced)
+	}
+	s.Close() // errors expected — the volume is still full
+
+	// Reopen without the fault: the synced prefix survives intact.
+	r := openTest(t, dir, nil)
+	got := collect(t, r, "findings", 0, base+1000, KeyAny)
+	if len(got) != synced {
+		t.Fatalf("recovered %d frames, want %d", len(got), synced)
+	}
+	for i, fr := range got {
+		if want := fmt.Sprintf(`{"seq":%d}`, i); string(fr.Data) != want {
+			t.Fatalf("frame %d: data %q, want %q", i, fr.Data, want)
+		}
+	}
+}
+
+// TestSyncSeries: the single-series durability point flushes the named
+// series' buffered frames to its segment file without touching other
+// series, and syncing an unknown series is a no-op.
+func TestSyncSeries(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, nil)
+	if err := s.Append("ckpt", 10, 1, []byte("state-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("findings", 11, 1, []byte("finding-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SyncSeries("ckpt"); err != nil {
+		t.Fatalf("SyncSeries: %v", err)
+	}
+	if err := s.SyncSeries("no-such-series"); err != nil {
+		t.Fatalf("SyncSeries on unknown series: %v", err)
+	}
+	// The ckpt frame must be on disk now: read the active segment file
+	// directly, without closing the store (a crash would do neither).
+	segs, err := filepath.Glob(filepath.Join(dir, "ckpt", "*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("ckpt segments: %v %v", segs, err)
+	}
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte("state-1")) {
+		t.Fatalf("ckpt segment does not contain the synced frame (%d bytes)", len(raw))
 	}
 }

@@ -86,6 +86,97 @@ rc=0
 [ "$rc" -eq 3 ]
 rm -rf "$batch_dir"
 
+# Kill-9 resilience smoke (PR 9): stream the 1M-record capture into a
+# session-protocol daemon with a store, kill -9 the daemon right after
+# its first durable checkpoint marker appears on the JSONL channel,
+# restart on the same store (the parked session must be recovered from
+# its checkpoint), resume the send with the same session id, and
+# require the merged finding lines — timestamps stripped, deduplicated,
+# since replay from the last checkpoint legitimately re-emits findings
+# already printed before the crash — to byte-match an uninterrupted
+# baseline run. The first send must exit 4, the partial-send code.
+res_dir=$(mktemp -d)
+go run ./cmd/benchtables -synth "$res_dir/cap.btsnoop" -synthrecords 1000000 -seed 9
+go build -o "$res_dir/blapd" ./cmd/blapd
+wait_addr() {
+    i=0
+    while [ "$i" -lt 100 ]; do
+        addr=$(sed -n 's/^blapd: listening tcp //p' "$1")
+        [ -n "$addr" ] && return 0
+        i=$((i+1)); sleep 0.1
+    done
+    return 1
+}
+# grep -h (not cat |): a kill -9 can truncate the crashed run's final
+# JSONL line mid-write, and cat would glue that unterminated fragment
+# onto the next file's first line. Per-file grep keeps the fragment its
+# own line and the }$ filter drops it — safe, because every event after
+# the last durable checkpoint is re-emitted complete on replay.
+strip_findings() {
+    grep -h '"type":"finding"' "$@" | grep '}$' | sed 's/,"ts":"[^"]*"//'
+}
+# The send client exits once its bytes are in the socket; the daemon is
+# still draining them. Wait for the clean stream-end event before
+# terminating, or the tail of the capture is lost to the abort path.
+wait_clean() {
+    i=0
+    until grep '"type":"stream-end"' "$1" | grep -q '"status":"clean"'; do
+        i=$((i+1)); [ "$i" -lt 300 ]; sleep 0.1
+    done
+}
+# Baseline: one uninterrupted session-protocol run.
+"$res_dir/blapd" -tcp 127.0.0.1:0 -store "$res_dir/store_base" -resume-grace 5m \
+    -checkpoint-every 1048576 -ack-every 65536 \
+    > "$res_dir/base.jsonl" 2> "$res_dir/base.err" &
+base_pid=$!
+wait_addr "$res_dir/base.err"
+"$res_dir/blapd" -send "$res_dir/cap.btsnoop" -tcp "$addr" -session s9
+wait_clean "$res_dir/base.jsonl"
+kill -TERM "$base_pid"
+wait "$base_pid"
+strip_findings "$res_dir/base.jsonl" | sort > "$res_dir/base.findings"
+test -s "$res_dir/base.findings"
+# Crash run: same configuration, killed -9 mid-ingest.
+"$res_dir/blapd" -tcp 127.0.0.1:0 -store "$res_dir/store_crash" -resume-grace 5m \
+    -checkpoint-every 1048576 -ack-every 65536 \
+    > "$res_dir/crash1.jsonl" 2> "$res_dir/crash1.err" &
+crash_pid=$!
+wait_addr "$res_dir/crash1.err"
+"$res_dir/blapd" -send "$res_dir/cap.btsnoop" -tcp "$addr" -session s9 2> "$res_dir/send1.err" &
+send_pid=$!
+i=0
+until grep -q '"type":"checkpoint"' "$res_dir/crash1.jsonl"; do
+    i=$((i+1)); [ "$i" -lt 200 ]; sleep 0.05
+done
+kill -9 "$crash_pid"
+rc=0
+wait "$send_pid" || rc=$?
+[ "$rc" -eq 4 ]
+wait "$crash_pid" || true
+# Restart on the same store: the parked session must come back from its
+# checkpoint, and the resumed send must pick up at a nonzero offset.
+"$res_dir/blapd" -tcp 127.0.0.1:0 -store "$res_dir/store_crash" -resume-grace 5m \
+    -checkpoint-every 1048576 -ack-every 65536 \
+    > "$res_dir/crash2.jsonl" 2> "$res_dir/crash2.err" &
+crash2_pid=$!
+wait_addr "$res_dir/crash2.err"
+grep -q 'recovered 1 parked session' "$res_dir/crash2.err"
+"$res_dir/blapd" -send "$res_dir/cap.btsnoop" -tcp "$addr" -session s9 2> "$res_dir/send2.err"
+grep -q 'resumed from offset [1-9]' "$res_dir/send2.err"
+wait_clean "$res_dir/crash2.jsonl"
+kill -TERM "$crash2_pid"
+wait "$crash2_pid"
+strip_findings "$res_dir/crash1.jsonl" "$res_dir/crash2.jsonl" | sort -u > "$res_dir/crash.findings"
+cmp "$res_dir/base.findings" "$res_dir/crash.findings"
+rm -rf "$res_dir"
+
+# Transport-chaos differential, full sweep over a small capture: cut
+# the session at every one of its byte offsets, resume, and require
+# findings byte-identical to the uninterrupted baseline. (The larger
+# stride-sampled version runs in go test; this exercises the benchtables
+# -chaos entry point end to end.)
+go run ./cmd/benchtables -chaos -chaosrecords 40
+
 # Store smoke: the embedded tsdb must be deterministic — appending 1M
 # findings on a fixed timeline, retention-compacting with a fixed clock,
 # and querying back must print identical counts and digests (covering
@@ -99,7 +190,7 @@ rm -rf "$tsdb_dir"
 
 # The committed bench JSONs must stay well-formed (the pr4 check also
 # enforces the degraded-sweep acceptance criteria).
-for bj in BENCH_pr2.json BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json BENCH_pr8.json; do
+for bj in BENCH_pr2.json BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json BENCH_pr8.json BENCH_pr9.json; do
     if [ -f "$bj" ]; then
         go run ./cmd/benchtables -checkjson "$bj"
     fi
@@ -134,4 +225,13 @@ fi
 # 5% of the store-less PR 7 figure — durability rides the cold path.
 if [ -f BENCH_pr8.json ] && [ -f BENCH_pr7.json ]; then
     go run ./cmd/benchtables -checkjson BENCH_pr8.json -baseline BENCH_pr7.json
+fi
+
+# Resilience overhead gate: the PR 9 artifact records both sentinel
+# ingest figures with the session resume protocol and detector
+# checkpointing enabled (chunk framing, offset acks, periodic snapshots
+# through the persist queues); both must stay within 5% of the PR 8
+# figures — resumability rides the cold path too.
+if [ -f BENCH_pr9.json ] && [ -f BENCH_pr8.json ]; then
+    go run ./cmd/benchtables -checkjson BENCH_pr9.json -baseline BENCH_pr8.json -checkmulti
 fi
