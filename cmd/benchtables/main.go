@@ -55,6 +55,7 @@ func main() {
 		ablations   = flag.Bool("ablations", false, "run ablation studies")
 		mitigations = flag.Bool("mitigations", false, "run the mitigation matrix")
 		degraded    = flag.Bool("degraded", false, "run the degraded-channel sweep")
+		attacks     = flag.Bool("attacks", false, "run the cross-attack matrix (related-attack library)")
 		workers     = flag.Int("workers", 0, "campaign workers (0 = GOMAXPROCS)")
 		progress    = flag.Bool("progress", false, "report live campaign progress (trials/sec, retries, ETA) on stderr")
 		benchjson   = flag.String("benchjson", "", "write baseline-vs-optimized bench timings to this JSON file")
@@ -143,12 +144,12 @@ func main() {
 			fail(err)
 		}
 		fmt.Println("wrote", *benchjson)
-		if !*table1 && !*table2 && !*figs && !*ablations && !*mitigations && !*degraded {
+		if !*table1 && !*table2 && !*figs && !*ablations && !*mitigations && !*degraded && !*attacks {
 			return
 		}
 	}
 
-	all := !*table1 && !*table2 && !*figs && !*ablations && !*mitigations && !*degraded
+	all := !*table1 && !*table2 && !*figs && !*ablations && !*mitigations && !*degraded && !*attacks
 
 	if *table1 || all {
 		rows, err := eval.RunTableIWorkers(*seed, *workers)
@@ -263,6 +264,19 @@ func main() {
 		}
 		fmt.Println(eval.RenderDegraded(rows))
 	}
+
+	if *attacks || all {
+		trials := *trials
+		if trials > 25 {
+			// Twelve cells, each a full campaign of simulated worlds.
+			trials = 25
+		}
+		rows, err := eval.RunAttackMatrixWorkers(*seed, trials, *workers)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(eval.RenderAttackMatrix(rows))
+	}
 }
 
 // benchEntry is one baseline-vs-optimized timing comparison. The
@@ -300,6 +314,10 @@ type benchReport struct {
 	// DegradedSweep carries the degraded-channel evaluation rows (PR 4):
 	// attack and legitimate-traffic outcomes per loss setting.
 	DegradedSweep []eval.DegradedRow `json:"degraded_sweep,omitempty"`
+	// AttackMatrix carries the cross-attack evaluation rows (PR 10):
+	// success rate and detection latency per related-library attack under
+	// clean and degraded channels.
+	AttackMatrix []eval.AttackRow `json:"attack_matrix,omitempty"`
 }
 
 // writeBenchJSON times the serial path against the parallel campaign (and
@@ -483,6 +501,51 @@ func writeBenchJSON(path string, seed int64) error {
 	report.Results = append(report.Results, de)
 	report.DegradedSweep = parallelRows
 
+	// Cross-attack matrix (PR 10): serial vs parallel timing plus the
+	// rows themselves, under the same determinism contract (and the same
+	// best-of-3 + forced-GC discipline) as the degraded sweep.
+	const attackTrials = 10
+	var serialAttacks, parallelAttacks []eval.AttackRow
+	timeAttacks := func(w int, dst *[]eval.AttackRow) (int64, error) {
+		var best int64
+		for pass := 0; pass < 3; pass++ {
+			runtime.GC()
+			t0 := time.Now()
+			rows, err := eval.RunAttackMatrixWorkers(seed, attackTrials, w)
+			ns := time.Since(t0).Nanoseconds()
+			if err != nil {
+				return 0, err
+			}
+			*dst = rows
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best, nil
+	}
+	ans, err := timeAttacks(1, &serialAttacks)
+	if err != nil {
+		return fmt.Errorf("attack_matrix_10trials baseline: %w", err)
+	}
+	apns, err := timeAttacks(workers, &parallelAttacks)
+	if err != nil {
+		return fmt.Errorf("attack_matrix_10trials optimized: %w", err)
+	}
+	if !reflect.DeepEqual(serialAttacks, parallelAttacks) {
+		return fmt.Errorf("attack matrix rows differ between worker counts")
+	}
+	ae := benchEntry{
+		Name:     "attack_matrix_10trials",
+		Baseline: "workers=1", Optimized: fmt.Sprintf("workers=%d", workers),
+		BaselineNs: ans, OptimizedNs: apns,
+		OutputsIdentical: true,
+	}
+	if apns > 0 {
+		ae.Speedup = float64(ans) / float64(apns)
+	}
+	report.Results = append(report.Results, ae)
+	report.AttackMatrix = parallelAttacks
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -663,7 +726,7 @@ func sentinelIngestEntry(seed int64) (benchEntry, error) {
 		if err != nil {
 			return benchEntry{}, err
 		}
-		if _, err := sentinel.WriteSessionChunks(conn, bytes.NewReader(data)); err != nil {
+		if _, err := sentinel.WriteSessionBytes(conn, data); err != nil {
 			return benchEntry{}, fmt.Errorf("streaming capture: %w", err)
 		}
 		if err := sentinel.WriteSessionFin(conn); err != nil {
@@ -714,7 +777,7 @@ func sentinelIngestEntry(seed int64) (benchEntry, error) {
 	e := benchEntry{
 		Name:       "sentinel_ingest_1m",
 		Baseline:   "forensics.AnalyzeStream (in-process batch)",
-		Optimized:  "sentinel session-protocol ingest + JSONL events + tsdb persistence + detector checkpoints (live)",
+		Optimized:  "sentinel session-protocol ingest (zero-copy client writev) + JSONL events + tsdb persistence + detector checkpoints (live)",
 		BaselineNs: bns, OptimizedNs: ons,
 		Records: records, CaptureBytes: int64(len(data)),
 		OutputsIdentical: identical,
@@ -794,7 +857,7 @@ func sentinelIngestMultiEntry(seed int64) (benchEntry, error) {
 		if err != nil {
 			return err
 		}
-		if _, err := sentinel.WriteSessionChunks(conn, bytes.NewReader(data)); err != nil {
+		if _, err := sentinel.WriteSessionBytes(conn, data); err != nil {
 			conn.Close()
 			return fmt.Errorf("streaming capture: %w", err)
 		}
@@ -953,6 +1016,46 @@ func checkBenchJSON(path string) error {
 		if err := checkDegradedSweep(path, rep.DegradedSweep); err != nil {
 			return err
 		}
+	}
+	if len(rep.AttackMatrix) > 0 {
+		if err := checkAttackMatrix(path, rep.AttackMatrix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkAttackMatrix validates the PR 10 acceptance criteria on emitted
+// cross-attack rows: at least five attacks with non-zero trials, every
+// clean-channel attack with a detector rule detected exactly as often as
+// it succeeds (live == batch == success), and the passkey-guard
+// mitigation row holding the attack at zero on the clean channel.
+func checkAttackMatrix(path string, rows []eval.AttackRow) error {
+	attacks := make(map[string]bool)
+	var sawGuardClean bool
+	for _, r := range rows {
+		if r.Trials <= 0 {
+			return fmt.Errorf("%s: attack row (%s, %s) ran no trials", path, r.Attack, r.Channel)
+		}
+		attacks[r.Attack] = true
+		if r.Channel == "clean" {
+			if r.Attack == "passkey-guard" {
+				sawGuardClean = true
+				if r.Succeeded != 0 {
+					return fmt.Errorf("%s: passkey-guard mitigation leaked: %d/%d attacks succeeded on a clean channel",
+						path, r.Succeeded, r.Trials)
+				}
+			} else if r.DetectorKind != "-" && r.Detected != r.Succeeded {
+				return fmt.Errorf("%s: clean-channel %s detected %d of %d successes via %s",
+					path, r.Attack, r.Detected, r.Succeeded, r.DetectorKind)
+			}
+		}
+	}
+	if len(attacks) < 5 {
+		return fmt.Errorf("%s: attack matrix covers %d attacks, want >= 5", path, len(attacks))
+	}
+	if !sawGuardClean {
+		return fmt.Errorf("%s: attack matrix lacks the clean passkey-guard mitigation row", path)
 	}
 	return nil
 }

@@ -8,7 +8,13 @@
 //	btsim -scenario bond-reconnect -o captures/
 //	btsim -scenario extraction -o captures/
 //	btsim -scenario extraction -faults 'drop=0.05,burst=0.02:0.25:0.6' -o captures/
-//	btsim -scenario flaky-extraction -o captures/
+//	btsim -scenario stealtooth -o captures/
+//	btsim -scenario passkey-sniff -repeat 100
+//
+// The scenario registry (scenarios.go) spans the paper's own attacks and
+// the related-attack library: pair, bond-reconnect, extraction,
+// flaky-extraction, pageblock, stealtooth, happy-mitm, blurtooth,
+// oob-mitm, passkey-sniff, passkey-guard.
 //
 // The -faults flag degrades the simulated medium with a deterministic
 // fault plan (see internal/faults: drop, corrupt, dup, reorder, burst,
@@ -33,7 +39,7 @@ import (
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "pair", "scenario: pair, bond-reconnect, extraction, flaky-extraction, pageblock")
+		scenario = flag.String("scenario", "pair", "scenario: "+scenarioNames())
 		out      = flag.String("o", ".", "output directory for capture files")
 		seed     = flag.Int64("seed", 1, "random seed")
 		faultStr = flag.String("faults", "", "deterministic fault plan, e.g. 'drop=0.05,burst=0.02:0.25:0.6,outage=C@2s+500ms'")
@@ -42,28 +48,28 @@ func main() {
 	)
 	flag.Parse()
 
+	def := findScenario(*scenario)
+	if def == nil {
+		fmt.Fprintf(os.Stderr, "btsim: unknown scenario %q (valid: %s)\n", *scenario, scenarioNames())
+		os.Exit(2)
+	}
+
 	plan, err := faults.ParsePlan(*faultStr)
 	if err != nil {
 		fail(err)
 	}
-	action := *scenario
-	if action == "flaky-extraction" {
-		// The canned chaos scenario: extraction over a lossy, bursty
-		// channel with a mid-attack outage of the client's radio. The
-		// attack rides it out via ARQ, paging retries, and backoff.
+	if def.aliasFor != "" {
+		// A canned alias (flaky-extraction): substitute its fault plan
+		// unless the user supplied one, then run the underlying scenario.
 		if *faultStr == "" {
-			plan = faults.Plan{
-				Drop:    0.05,
-				Burst:   &faults.Burst{PEnter: 0.02, PExit: 0.25, BadLoss: 0.6},
-				Outages: []faults.Outage{{Device: "C", Start: 2 * time.Second, Duration: 3 * time.Second}},
-			}
+			plan = def.defaultPlan()
 		}
-		action = "extraction"
 		fmt.Printf("fault plan: %s\n", plan)
+		def = findScenario(def.aliasFor)
 	}
 
 	if *repeat > 1 {
-		if err := runRepeated(action, plan, *seed, *repeat, *workers); err != nil {
+		if err := runRepeated(def, plan, *seed, *repeat, *workers); err != nil {
 			fail(err)
 		}
 		return
@@ -73,54 +79,12 @@ func main() {
 		fail(err)
 	}
 
-	tb, err := core.NewTestbed(*seed, core.TestbedOptions{
-		ClientPlatform:   device.GalaxyS21Android11,
-		ClientUSBSniffer: false,
-		Bond:             action != "pair",
-		Faults:           plan,
-	})
+	tb, err := core.NewTestbed(*seed, def.options(plan))
 	if err != nil {
 		fail(err)
 	}
-
-	switch action {
-	case "pair":
-		tb.MUser.ExpectPairing(tb.C.Addr())
-		tb.M.Host.Pair(tb.C.Addr(), func(err error) {
-			if err != nil {
-				fail(fmt.Errorf("pairing failed: %w", err))
-			}
-		})
-		tb.Sched.RunFor(30 * time.Second)
-		fmt.Printf("paired; link key %s\n", tb.M.Host.Bonds().Get(tb.C.Addr()).Key)
-
-	case "bond-reconnect":
-		tb.M.Host.Pair(tb.C.Addr(), func(err error) {
-			if err != nil {
-				fail(fmt.Errorf("reconnect failed: %w", err))
-			}
-		})
-		tb.Sched.RunFor(30 * time.Second)
-		fmt.Printf("reconnected with stored key %s\n", tb.BondKey)
-
-	case "extraction":
-		rep, err := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
-			Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(), Channel: core.ChannelHCISnoop,
-		})
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("extracted %s (client disconnect: %s)\n", rep.Key, rep.DisconnectReason)
-
-	case "pageblock":
-		rep := core.RunPageBlocking(tb.Sched, core.PageBlockingConfig{
-			Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
-			UsePLOC: true, RunInquiry: true,
-		})
-		fmt.Printf("page blocking MITM established: %v\n", rep.MITMEstablished)
-
-	default:
-		fail(fmt.Errorf("unknown scenario %q", *scenario))
+	if err := def.run(tb); err != nil {
+		fail(err)
 	}
 
 	for name, d := range map[string]*device.Device{"M": tb.M, "C": tb.C, "A": tb.A} {
@@ -163,11 +127,19 @@ func main() {
 // stderr — the operator's view into a long sweep that single-run btsim
 // never had. Capture files are not written; the output is the outcome
 // tally.
-func runRepeated(action string, plan faults.Plan, seed int64, n, workers int) error {
-	trial, err := repeatTrial(action, plan, seed)
-	if err != nil {
-		return err
+func runRepeated(def *scenarioDef, plan faults.Plan, seed int64, n, workers int) error {
+	if def.trial == nil {
+		return fmt.Errorf("-repeat does not support scenario %q", def.name)
 	}
+	domain := "btsim/" + def.name
+	world := func(a campaign.Attempt, opts core.TestbedOptions) (*core.Testbed, error) {
+		// Each trial derives its world from (seed, scenario, trial,
+		// attempt) so the sweep is bit-identical at any worker count.
+		s := campaign.DeriveSeed(seed, campaign.AttemptDomain(domain, a.Attempt), a.Trial)
+		return core.NewTestbed(s, opts)
+	}
+	trial := def.trial(world, plan)
+
 	p := &campaign.Progress{}
 	stop := p.Report(os.Stderr, 500*time.Millisecond)
 	pol := campaign.RetryPolicy{MaxAttempts: 3, Retryable: core.IsChannelFault}
@@ -186,80 +158,10 @@ func runRepeated(action string, plan faults.Plan, seed int64, n, workers int) er
 	}
 	s := p.Snapshot()
 	fmt.Printf("%s x %d: %d/%d succeeded, %.2f mean attempts, %.1f trials/s, trial p50 %s p99 %s\n",
-		action, n, ok, n, float64(attempts)/float64(n), s.TrialsPerSec,
+		def.name, n, ok, n, float64(attempts)/float64(n), s.TrialsPerSec,
 		time.Duration(s.Latency.P50US*1e3).Round(time.Microsecond),
 		time.Duration(s.Latency.P99US*1e3).Round(time.Microsecond))
 	return nil
-}
-
-// repeatTrial maps a scenario name to its campaign trial function. Each
-// trial derives its world from (seed, scenario, trial, attempt) so the
-// sweep is bit-identical at any worker count, and reports channel
-// faults as retryable errors.
-func repeatTrial(action string, plan faults.Plan, seed int64) (func(context.Context, campaign.Attempt) (bool, error), error) {
-	domain := "btsim/" + action
-	world := func(a campaign.Attempt, opts core.TestbedOptions) (*core.Testbed, error) {
-		s := campaign.DeriveSeed(seed, campaign.AttemptDomain(domain, a.Attempt), a.Trial)
-		return core.NewTestbed(s, opts)
-	}
-	switch action {
-	case "pair":
-		return func(_ context.Context, a campaign.Attempt) (bool, error) {
-			// The setup bond IS the pairing under test; a world that fails
-			// to build lost its pairing to the channel.
-			_, err := world(a, core.TestbedOptions{
-				ClientPlatform: device.GalaxyS21Android11,
-				Bond:           true, Faults: plan, FaultsDuringSetup: true,
-			})
-			return err == nil, nil
-		}, nil
-	case "bond-reconnect":
-		return func(_ context.Context, a campaign.Attempt) (bool, error) {
-			tb, err := world(a, core.TestbedOptions{
-				ClientPlatform: device.GalaxyS21Android11, Bond: true, Faults: plan,
-			})
-			if err != nil {
-				return false, err
-			}
-			reconnectErr := fmt.Errorf("reconnect never completed")
-			tb.M.Host.Pair(tb.C.Addr(), func(err error) { reconnectErr = err })
-			tb.Sched.RunFor(30 * time.Second)
-			return reconnectErr == nil, nil
-		}, nil
-	case "extraction":
-		return func(_ context.Context, a campaign.Attempt) (bool, error) {
-			tb, err := world(a, core.TestbedOptions{
-				ClientPlatform: device.GalaxyS21Android11, Bond: true, Faults: plan,
-			})
-			if err != nil {
-				return false, err
-			}
-			rep, err := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
-				Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(), Channel: core.ChannelHCISnoop,
-			})
-			if err != nil {
-				if core.IsChannelFault(err) {
-					return false, err // retryable
-				}
-				return false, nil // terminal outcome: a failed trial
-			}
-			return rep.Key == tb.BondKey, nil
-		}, nil
-	case "pageblock":
-		return func(_ context.Context, a campaign.Attempt) (bool, error) {
-			tb, err := world(a, core.TestbedOptions{Faults: plan})
-			if err != nil {
-				return false, err
-			}
-			rep := core.RunPageBlocking(tb.Sched, core.PageBlockingConfig{
-				Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
-				UsePLOC: true, RunInquiry: true,
-			})
-			return rep.MITMEstablished, nil
-		}, nil
-	default:
-		return nil, fmt.Errorf("-repeat does not support scenario %q", action)
-	}
 }
 
 func fail(err error) {

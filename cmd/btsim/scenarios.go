@@ -1,0 +1,399 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/faults"
+)
+
+// trialFn is one campaign trial body: outcome plus a retryable channel
+// fault or a terminal error.
+type trialFn = func(context.Context, campaign.Attempt) (bool, error)
+
+// worldFn builds a hermetic testbed for one campaign attempt.
+type worldFn = func(a campaign.Attempt, opts core.TestbedOptions) (*core.Testbed, error)
+
+// printedPasskey is the fixed label value the passkey scenarios pin on
+// the accessory's display side.
+const printedPasskey uint32 = 428571
+
+// scenarioDef is one btsim scenario. The registry below is the single
+// source of truth for the -scenario flag: the help text, the
+// unknown-name error, single-capture runs, and -repeat campaigns all
+// derive from it.
+type scenarioDef struct {
+	name    string
+	summary string
+	// aliasFor names the scenario that actually runs; empty for a real
+	// scenario. defaultPlan supplies the alias's canned fault plan when
+	// the user passed no -faults.
+	aliasFor    string
+	defaultPlan func() faults.Plan
+	// options builds the single-run testbed options.
+	options func(plan faults.Plan) core.TestbedOptions
+	// run executes the scenario against a fresh testbed, printing its
+	// one-line outcome. Attachments that must precede traffic (air
+	// sniffers) happen here: run is called before the scheduler moves.
+	run func(tb *core.Testbed) error
+	// trial is the -repeat campaign body; nil means the scenario does
+	// not support -repeat.
+	trial func(world worldFn, plan faults.Plan) trialFn
+}
+
+// scenarios is the registry, in help-text order.
+var scenarios = []scenarioDef{
+	{
+		name:    "pair",
+		summary: "fresh SSP pairing between phone and accessory",
+		options: func(plan faults.Plan) core.TestbedOptions {
+			return core.TestbedOptions{ClientPlatform: device.GalaxyS21Android11, Faults: plan}
+		},
+		run: func(tb *core.Testbed) error {
+			pairErr := fmt.Errorf("pairing never completed")
+			tb.MUser.ExpectPairing(tb.C.Addr())
+			tb.M.Host.Pair(tb.C.Addr(), func(err error) { pairErr = err })
+			tb.Sched.RunFor(30 * time.Second)
+			if pairErr != nil {
+				return fmt.Errorf("pairing failed: %w", pairErr)
+			}
+			fmt.Printf("paired; link key %s\n", tb.M.Host.Bonds().Get(tb.C.Addr()).Key)
+			return nil
+		},
+		trial: func(world worldFn, plan faults.Plan) trialFn {
+			return func(_ context.Context, a campaign.Attempt) (bool, error) {
+				// The setup bond IS the pairing under test; a world that
+				// fails to build lost its pairing to the channel.
+				_, err := world(a, core.TestbedOptions{
+					ClientPlatform: device.GalaxyS21Android11,
+					Bond:           true, Faults: plan, FaultsDuringSetup: true,
+				})
+				return err == nil, nil
+			}
+		},
+	},
+	{
+		name:    "bond-reconnect",
+		summary: "bonded reconnect with the stored link key",
+		options: func(plan faults.Plan) core.TestbedOptions {
+			return core.TestbedOptions{ClientPlatform: device.GalaxyS21Android11, Bond: true, Faults: plan}
+		},
+		run: func(tb *core.Testbed) error {
+			reconnectErr := fmt.Errorf("reconnect never completed")
+			tb.M.Host.Pair(tb.C.Addr(), func(err error) { reconnectErr = err })
+			tb.Sched.RunFor(30 * time.Second)
+			if reconnectErr != nil {
+				return fmt.Errorf("reconnect failed: %w", reconnectErr)
+			}
+			fmt.Printf("reconnected with stored key %s\n", tb.BondKey)
+			return nil
+		},
+		trial: func(world worldFn, plan faults.Plan) trialFn {
+			return func(_ context.Context, a campaign.Attempt) (bool, error) {
+				tb, err := world(a, core.TestbedOptions{
+					ClientPlatform: device.GalaxyS21Android11, Bond: true, Faults: plan,
+				})
+				if err != nil {
+					return false, err
+				}
+				reconnectErr := fmt.Errorf("reconnect never completed")
+				tb.M.Host.Pair(tb.C.Addr(), func(err error) { reconnectErr = err })
+				tb.Sched.RunFor(30 * time.Second)
+				return reconnectErr == nil, nil
+			}
+		},
+	},
+	{
+		name:    "extraction",
+		summary: "link key extraction from the client's HCI snoop channel",
+		options: func(plan faults.Plan) core.TestbedOptions {
+			return core.TestbedOptions{ClientPlatform: device.GalaxyS21Android11, Bond: true, Faults: plan}
+		},
+		run: func(tb *core.Testbed) error {
+			rep, err := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
+				Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(), Channel: core.ChannelHCISnoop,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("extracted %s (client disconnect: %s)\n", rep.Key, rep.DisconnectReason)
+			return nil
+		},
+		trial: func(world worldFn, plan faults.Plan) trialFn {
+			return func(_ context.Context, a campaign.Attempt) (bool, error) {
+				tb, err := world(a, core.TestbedOptions{
+					ClientPlatform: device.GalaxyS21Android11, Bond: true, Faults: plan,
+				})
+				if err != nil {
+					return false, err
+				}
+				rep, err := core.RunLinkKeyExtraction(tb.Sched, core.LinkKeyExtractionConfig{
+					Attacker: tb.A, Client: tb.C, Target: tb.M.Addr(), Channel: core.ChannelHCISnoop,
+				})
+				if err != nil {
+					if core.IsChannelFault(err) {
+						return false, err // retryable
+					}
+					return false, nil // terminal outcome: a failed trial
+				}
+				return rep.Key == tb.BondKey, nil
+			}
+		},
+	},
+	{
+		name:     "flaky-extraction",
+		summary:  "extraction over a canned lossy/bursty channel with a mid-attack outage",
+		aliasFor: "extraction",
+		defaultPlan: func() faults.Plan {
+			// The canned chaos plan: the attack rides it out via ARQ,
+			// paging retries, and backoff.
+			return faults.Plan{
+				Drop:    0.05,
+				Burst:   &faults.Burst{PEnter: 0.02, PExit: 0.25, BadLoss: 0.6},
+				Outages: []faults.Outage{{Device: "C", Start: 2 * time.Second, Duration: 3 * time.Second}},
+			}
+		},
+	},
+	{
+		name:    "pageblock",
+		summary: "page blocking MITM against the victim phone",
+		options: func(plan faults.Plan) core.TestbedOptions {
+			return core.TestbedOptions{ClientPlatform: device.GalaxyS21Android11, Faults: plan}
+		},
+		run: func(tb *core.Testbed) error {
+			rep := core.RunPageBlocking(tb.Sched, core.PageBlockingConfig{
+				Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+				UsePLOC: true, RunInquiry: true,
+			})
+			fmt.Printf("page blocking MITM established: %v\n", rep.MITMEstablished)
+			return nil
+		},
+		trial: func(world worldFn, plan faults.Plan) trialFn {
+			return func(_ context.Context, a campaign.Attempt) (bool, error) {
+				tb, err := world(a, core.TestbedOptions{Faults: plan})
+				if err != nil {
+					return false, err
+				}
+				rep := core.RunPageBlocking(tb.Sched, core.PageBlockingConfig{
+					Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+					UsePLOC: true, RunInquiry: true,
+				})
+				return rep.MITMEstablished, nil
+			}
+		},
+	},
+	{
+		name:    "stealtooth",
+		summary: "silent automatic re-pairing of the bonded accessory (Stealtooth)",
+		options: func(plan faults.Plan) core.TestbedOptions {
+			// The accessory must carry its own snoop channel — it is the
+			// victim whose capture matters here.
+			return core.TestbedOptions{ClientPlatform: device.AndroidAutomotive, Bond: true, Faults: plan}
+		},
+		run: func(tb *core.Testbed) error {
+			rep := core.RunStealtooth(tb.Sched, core.StealtoothConfig{
+				Attacker: tb.A, Client: tb.C,
+				VictimAddr: tb.M.Addr(), VictimCOD: tb.M.Platform.COD,
+				OriginalKey: tb.BondKey,
+			})
+			fmt.Printf("stealtooth: re-paired=%v key-changed=%v client-prompts=%d\n",
+				rep.RePaired, rep.KeyChanged, rep.ClientPrompts)
+			return nil
+		},
+		trial: func(world worldFn, plan faults.Plan) trialFn {
+			return func(_ context.Context, a campaign.Attempt) (bool, error) {
+				tb, err := world(a, core.TestbedOptions{
+					ClientPlatform: device.AndroidAutomotive, Bond: true, Faults: plan,
+				})
+				if err != nil {
+					return false, err
+				}
+				rep := core.RunStealtooth(tb.Sched, core.StealtoothConfig{
+					Attacker: tb.A, Client: tb.C,
+					VictimAddr: tb.M.Addr(), VictimCOD: tb.M.Platform.COD,
+					OriginalKey: tb.BondKey,
+				})
+				return rep.RePaired && rep.KeyChanged, nil
+			}
+		},
+	},
+	{
+		name:    "happy-mitm",
+		summary: "accepted-key UI blindness: silent bonded key replacement (Happy MitM)",
+		options: func(plan faults.Plan) core.TestbedOptions {
+			return core.TestbedOptions{
+				ClientPlatform: device.GalaxyS21Android11, Bond: true,
+				VictimSilentBondedRepair: true, Faults: plan,
+			}
+		},
+		run: func(tb *core.Testbed) error {
+			rep := core.RunHappyMitM(tb.Sched, core.HappyMitMConfig{
+				Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+				OriginalKey: tb.BondKey,
+			})
+			fmt.Printf("happy-mitm: reconnected=%v key-replaced=%v attack-prompts=%d\n",
+				rep.Reconnected, rep.KeyReplaced, rep.AttackPrompts)
+			return nil
+		},
+		trial: func(world worldFn, plan faults.Plan) trialFn {
+			return func(_ context.Context, a campaign.Attempt) (bool, error) {
+				tb, err := world(a, core.TestbedOptions{
+					ClientPlatform: device.GalaxyS21Android11, Bond: true,
+					VictimSilentBondedRepair: true, Faults: plan,
+				})
+				if err != nil {
+					return false, err
+				}
+				rep := core.RunHappyMitM(tb.Sched, core.HappyMitMConfig{
+					Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+					OriginalKey: tb.BondKey,
+				})
+				return rep.KeyReplaced, nil
+			}
+		},
+	},
+	{
+		name:    "blurtooth",
+		summary: "cross-transport CTKD downgrade of the derived LE key (BLURtooth)",
+		options: func(plan faults.Plan) core.TestbedOptions {
+			return core.TestbedOptions{
+				ClientPlatform: device.GalaxyS21Android11,
+				VictimCTKD:     true, VictimSilentBondedRepair: true, Faults: plan,
+			}
+		},
+		run: func(tb *core.Testbed) error {
+			rep := core.RunBLURtooth(tb.Sched, core.BLURtoothConfig{
+				Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+			})
+			fmt.Printf("blurtooth: legit-paired=%v ltk-was-authenticated=%v downgraded=%v\n",
+				rep.LegitPaired, rep.LTKWasAuthenticated, rep.Downgraded)
+			return nil
+		},
+		trial: func(world worldFn, plan faults.Plan) trialFn {
+			return func(_ context.Context, a campaign.Attempt) (bool, error) {
+				tb, err := world(a, core.TestbedOptions{
+					ClientPlatform: device.GalaxyS21Android11,
+					VictimCTKD:     true, VictimSilentBondedRepair: true, Faults: plan,
+				})
+				if err != nil {
+					return false, err
+				}
+				rep := core.RunBLURtooth(tb.Sched, core.BLURtoothConfig{
+					Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+				})
+				return rep.Downgraded, nil
+			}
+		},
+	},
+	{
+		name:    "oob-mitm",
+		summary: "tampered-NFC-tag MITM over Out of Band association",
+		options: func(plan faults.Plan) core.TestbedOptions {
+			return core.TestbedOptions{Faults: plan}
+		},
+		run: func(tb *core.Testbed) error {
+			rep := core.RunOOBMITM(tb.Sched, core.OOBMITMConfig{
+				Attacker: tb.A, Client: tb.C, Victim: tb.M,
+			})
+			fmt.Printf("oob-mitm: payloads-installed=%v mitm-established=%v key-authenticated=%v\n",
+				rep.PayloadsInstalled, rep.MITMEstablished, rep.KeyAuthenticated)
+			return nil
+		},
+		trial: func(world worldFn, plan faults.Plan) trialFn {
+			return func(_ context.Context, a campaign.Attempt) (bool, error) {
+				tb, err := world(a, core.TestbedOptions{Faults: plan})
+				if err != nil {
+					return false, err
+				}
+				rep := core.RunOOBMITM(tb.Sched, core.OOBMITMConfig{
+					Attacker: tb.A, Client: tb.C, Victim: tb.M,
+				})
+				return rep.MITMEstablished, nil
+			}
+		},
+	},
+	{
+		name:    "passkey-sniff",
+		summary: "passive passkey recovery from one sniffed session, then impersonation",
+		options: func(plan faults.Plan) core.TestbedOptions {
+			printed := printedPasskey
+			return core.TestbedOptions{ClientFixedPasskey: &printed, Faults: plan}
+		},
+		run:   runPasskeyScenario,
+		trial: passkeyTrial(false),
+	},
+	{
+		name:    "passkey-guard",
+		summary: "same sniff against the enhanced passkey protocol (mitigation)",
+		options: func(plan faults.Plan) core.TestbedOptions {
+			printed := printedPasskey
+			return core.TestbedOptions{ClientFixedPasskey: &printed, EnhancedPasskey: true, Faults: plan}
+		},
+		run:   runPasskeyScenario,
+		trial: passkeyTrial(true),
+	},
+}
+
+// runPasskeyScenario is shared by passkey-sniff and passkey-guard; the
+// testbed options (EnhancedPasskey) are the only difference.
+func runPasskeyScenario(tb *core.Testbed) error {
+	sniffer := core.NewAirSniffer(tb.Medium)
+	printed := printedPasskey
+	tb.MUser.TypedPasskey = &printed
+	rep := core.RunPasskeySniff(tb.Sched, core.PasskeySniffConfig{
+		Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+		Sniffer: sniffer, PrintedPasskey: printed,
+	})
+	fmt.Printf("passkey: legit-paired=%v recovered=%v recovery-correct=%v impersonated=%v\n",
+		rep.LegitPaired, rep.Recovered, rep.RecoveryCorrect, rep.Impersonated)
+	return nil
+}
+
+func passkeyTrial(enhanced bool) func(world worldFn, plan faults.Plan) trialFn {
+	return func(world worldFn, plan faults.Plan) trialFn {
+		return func(_ context.Context, a campaign.Attempt) (bool, error) {
+			printed := printedPasskey
+			tb, err := world(a, core.TestbedOptions{
+				ClientFixedPasskey: &printed, EnhancedPasskey: enhanced, Faults: plan,
+			})
+			if err != nil {
+				return false, err
+			}
+			sniffer := core.NewAirSniffer(tb.Medium)
+			tb.MUser.TypedPasskey = &printed
+			rep := core.RunPasskeySniff(tb.Sched, core.PasskeySniffConfig{
+				Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+				Sniffer: sniffer, PrintedPasskey: printed,
+			})
+			// "Success" is always the attack's success; for passkey-guard a
+			// healthy sweep reports 0/N.
+			return rep.Impersonated, nil
+		}
+	}
+}
+
+// scenarioNames renders the registry's names in order, for help text and
+// the unknown-scenario error.
+func scenarioNames() string {
+	names := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		names[i] = s.name
+	}
+	return strings.Join(names, ", ")
+}
+
+// findScenario resolves a -scenario value against the registry; nil when
+// unknown.
+func findScenario(name string) *scenarioDef {
+	for i := range scenarios {
+		if scenarios[i].name == name {
+			return &scenarios[i]
+		}
+	}
+	return nil
+}

@@ -51,6 +51,19 @@ type Config struct {
 	// ARQMaxRetransmissions bounds retries per frame before the baseband
 	// flushes it. Default DefaultARQMaxRetransmissions.
 	ARQMaxRetransmissions int
+
+	// FixedPasskey pins the passkey a display-side controller generates
+	// during Passkey Entry instead of drawing a random one — modelling an
+	// accessory with the passkey printed on a label, and letting an
+	// attacker replay a recovered passkey.
+	FixedPasskey *uint32
+
+	// EnhancedPasskey enables the hardened Passkey Entry variant used as
+	// the mitigation scenario: each round's commitment bit is masked with
+	// a bit of the shared DH key, so a sniffer who recovers the per-round
+	// Z values learns nothing about the passkey, and a non-enhanced MITM
+	// cannot complete the rounds against an enhanced endpoint.
+	EnhancedPasskey bool
 }
 
 // DefaultLMPResponseTimeout is the specification's LMP response timeout.
@@ -185,6 +198,11 @@ func (c *Controller) SetAddr(a bt.BDADDR) { c.cfg.Addr = a }
 // SetCOD changes the advertised class of device, modelling the bt_target.h
 // patch of the paper's Fig. 8.
 func (c *Controller) SetCOD(cod bt.ClassOfDevice) { c.cfg.COD = cod }
+
+// SetFixedPasskey pins (or, with nil, unpins) the passkey the controller
+// will generate next time it plays the display side of Passkey Entry —
+// the attacker's lever for replaying a sniffed fixed passkey.
+func (c *Controller) SetFixedPasskey(p *uint32) { c.cfg.FixedPasskey = p }
 
 // Detach removes the controller from the medium.
 func (c *Controller) Detach() { c.med.Detach(c.port) }

@@ -65,7 +65,12 @@ func (c *Controller) passkeyBegin(lk *link) {
 	s := lk.ssp
 	s.stage = sspPasskeyRounds
 	if s.displaysLocally() {
-		s.passkey = uint32(c.sched.Rand().Intn(1_000_000))
+		if c.cfg.FixedPasskey != nil {
+			// Printed-on-a-label accessory: the same passkey every pairing.
+			s.passkey = *c.cfg.FixedPasskey % 1_000_000
+		} else {
+			s.passkey = uint32(c.sched.Rand().Intn(1_000_000))
+		}
 		s.passkeyReady = true
 		c.tr.SendEvent(&hci.UserPasskeyNotification{Addr: lk.peer, Passkey: s.passkey})
 		c.passkeyMaybeAdvance(lk)
@@ -96,6 +101,20 @@ func (s *sspState) passkeyBit(i int) byte {
 	return 0x80 | byte((s.passkey>>uint(i))&1)
 }
 
+// passkeyZ is the Z input actually committed in round i. The enhanced
+// variant masks the passkey bit with a bit of the shared DH key, which
+// only the two legitimate endpoints hold: a sniffer who solves every
+// round commitment recovers masked bits (useless without the DH key),
+// and a MITM running plain Passkey Entry against an enhanced endpoint
+// fails the very first commitment check.
+func (c *Controller) passkeyZ(s *sspState, i int) byte {
+	z := s.passkeyBit(i)
+	if c.cfg.EnhancedPasskey && len(s.dhkey) > 0 {
+		z ^= s.dhkey[i%len(s.dhkey)] & 1
+	}
+	return z
+}
+
 // passkeyMaybeAdvance drives the round machine whenever new information
 // (local passkey, peer commitment, peer nonce) arrives.
 func (c *Controller) passkeyMaybeAdvance(lk *link) {
@@ -106,7 +125,7 @@ func (c *Controller) passkeyMaybeAdvance(lk *link) {
 	if s.initiator && !s.sentRoundCommit {
 		// Initiator opens round s.round.
 		s.roundLocalNonce = c.rand16()
-		commit := btcrypto.F1(c.kp.PublicX(), peerX(s.peerPub), s.roundLocalNonce, s.passkeyBit(s.round))
+		commit := btcrypto.F1(c.kp.PublicX(), peerX(s.peerPub), s.roundLocalNonce, c.passkeyZ(s, s.round))
 		s.sentRoundCommit = true
 		c.send(lk, PasskeyCommitPDU{Round: s.round, C: commit}, true)
 		return
@@ -114,7 +133,7 @@ func (c *Controller) passkeyMaybeAdvance(lk *link) {
 	if !s.initiator && s.havePeerRoundCommit && !s.sentRoundCommit {
 		// Responder answers the initiator's commitment with its own.
 		s.roundLocalNonce = c.rand16()
-		commit := btcrypto.F1(c.kp.PublicX(), peerX(s.peerPub), s.roundLocalNonce, s.passkeyBit(s.round))
+		commit := btcrypto.F1(c.kp.PublicX(), peerX(s.peerPub), s.roundLocalNonce, c.passkeyZ(s, s.round))
 		s.sentRoundCommit = true
 		c.send(lk, PasskeyCommitPDU{Round: s.round, C: commit}, true)
 		return
@@ -145,7 +164,7 @@ func (c *Controller) onPasskeyNonce(lk *link, pdu PasskeyNoncePDU) {
 	c.stopLMPTimer(lk)
 	// Verify the peer's round commitment against its revealed nonce and
 	// OUR bit — a passkey mismatch fails here.
-	expect := btcrypto.F1(peerX(s.peerPub), c.kp.PublicX(), pdu.N, s.passkeyBit(s.round))
+	expect := btcrypto.F1(peerX(s.peerPub), c.kp.PublicX(), pdu.N, c.passkeyZ(s, s.round))
 	if expect != s.peerRoundCommit {
 		c.sspFail(lk, hci.StatusAuthenticationFailure, true)
 		return

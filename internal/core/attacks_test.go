@@ -1,0 +1,273 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/host"
+)
+
+// TestStealtoothSilentRepair: impersonating the bonded phone toward the
+// accessory and failing its challenge with "PIN or Key Missing" makes
+// the accessory silently re-pair — no dialog, new key, attacker inside.
+func TestStealtoothSilentRepair(t *testing.T) {
+	tb, err := NewTestbed(7, TestbedOptions{Bond: true, ClientPlatform: device.AndroidAutomotive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := RunStealtooth(tb.Sched, StealtoothConfig{
+		Attacker: tb.A, Client: tb.C,
+		VictimAddr: tb.M.Addr(), VictimCOD: tb.M.Platform.COD,
+		OriginalKey: tb.BondKey,
+	})
+	if !rep.RePaired || !rep.KeyChanged {
+		t.Fatalf("silent re-pairing failed: %+v", rep)
+	}
+	if rep.NewKey == tb.BondKey {
+		t.Fatal("key did not change")
+	}
+}
+
+// TestHappyMitMKeyReplacement: with the silent bonded re-pair policy the
+// victim's phone swaps the accessory's key for the attacker's without a
+// single dialog; without the policy the unexpected dialog stops it.
+func TestHappyMitMKeyReplacement(t *testing.T) {
+	tb, err := NewTestbed(7, TestbedOptions{Bond: true, VictimSilentBondedRepair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := RunHappyMitM(tb.Sched, HappyMitMConfig{
+		Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+		OriginalKey: tb.BondKey,
+	})
+	if !rep.Reconnected {
+		t.Fatalf("legitimate reconnect failed: %+v", rep)
+	}
+	if !rep.KeyReplaced {
+		t.Fatalf("key not replaced: %+v", rep)
+	}
+	if rep.AttackPrompts != 0 {
+		t.Fatalf("attack showed %d prompts, want 0", rep.AttackPrompts)
+	}
+
+	// Control: a host that still asks its user survives — the dialog is
+	// unexpected and the simulated user rejects it.
+	tb2, err := NewTestbed(7, TestbedOptions{Bond: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := RunHappyMitM(tb2.Sched, HappyMitMConfig{
+		Attacker: tb2.A, Client: tb2.C, Victim: tb2.M, VictimUser: tb2.MUser,
+		OriginalKey: tb2.BondKey,
+	})
+	if rep2.KeyReplaced {
+		t.Fatalf("attack succeeded despite the dialog: %+v", rep2)
+	}
+}
+
+// TestBLURtoothDowngrade: an authenticated pairing's CTKD-derived LTK is
+// silently replaced by one derived from the attacker's unauthenticated
+// Just Works key.
+func TestBLURtoothDowngrade(t *testing.T) {
+	tb, err := NewTestbed(7, TestbedOptions{
+		ClientPlatform:           device.GalaxyS21Android11,
+		VictimCTKD:               true,
+		VictimSilentBondedRepair: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := RunBLURtooth(tb.Sched, BLURtoothConfig{
+		Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+	})
+	if !rep.LegitPaired || !rep.LTKWasAuthenticated {
+		t.Fatalf("authenticated setup pairing failed: %+v", rep)
+	}
+	if !rep.Downgraded || rep.NewLTKAuthenticated {
+		t.Fatalf("cross-transport downgrade failed: %+v", rep)
+	}
+}
+
+// TestOOBMITMTamperedTag: a tampered NFC tag turns OOB pairing into a
+// silent, "authenticated" MITM.
+func TestOOBMITMTamperedTag(t *testing.T) {
+	tb, err := NewTestbed(7, TestbedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := RunOOBMITM(tb.Sched, OOBMITMConfig{Attacker: tb.A, Client: tb.C, Victim: tb.M})
+	if !rep.PayloadsInstalled || !rep.MITMEstablished {
+		t.Fatalf("OOB MITM failed: %+v", rep)
+	}
+	if !rep.KeyAuthenticated {
+		t.Fatalf("OOB key should claim authentication: %+v", rep)
+	}
+}
+
+// passkeyWorld builds the fixed-passkey testbed with a sniffer attached
+// before any pairing traffic.
+func passkeyWorld(t *testing.T, seed int64, enhanced bool) (*Testbed, *AirSniffer, uint32) {
+	t.Helper()
+	printed := uint32(428571)
+	tb, err := NewTestbed(seed, TestbedOptions{
+		ClientFixedPasskey: &printed,
+		EnhancedPasskey:    enhanced,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sniffer := NewAirSniffer(tb.Medium)
+	tb.MUser.TypedPasskey = &printed
+	return tb, sniffer, printed
+}
+
+// TestPasskeySniffAttack: one sniffed session against a printed-label
+// accessory yields the passkey, and the replay impersonation succeeds.
+func TestPasskeySniffAttack(t *testing.T) {
+	tb, sniffer, printed := passkeyWorld(t, 7, false)
+	rep := RunPasskeySniff(tb.Sched, PasskeySniffConfig{
+		Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+		Sniffer: sniffer, PrintedPasskey: printed,
+	})
+	if !rep.LegitPaired {
+		t.Fatalf("legitimate passkey pairing failed: %+v", rep)
+	}
+	if !rep.Recovered || !rep.RecoveryCorrect {
+		t.Fatalf("passkey recovery failed: %+v", rep)
+	}
+	if !rep.Impersonated {
+		t.Fatalf("replay impersonation failed: %+v", rep)
+	}
+}
+
+// TestPasskeyGuardMitigation: with the enhanced protocol the sniffer's
+// reconstruction is DH-blinded and the impersonation fails — while the
+// legitimate enhanced pairing still completes.
+func TestPasskeyGuardMitigation(t *testing.T) {
+	tb, sniffer, printed := passkeyWorld(t, 7, true)
+	rep := RunPasskeySniff(tb.Sched, PasskeySniffConfig{
+		Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+		Sniffer: sniffer, PrintedPasskey: printed,
+	})
+	if !rep.LegitPaired {
+		t.Fatalf("legitimate enhanced pairing failed: %+v", rep)
+	}
+	if rep.RecoveryCorrect {
+		t.Fatalf("enhanced protocol leaked the passkey: %+v", rep)
+	}
+	if rep.Impersonated {
+		t.Fatalf("impersonation succeeded despite mitigation: %+v", rep)
+	}
+}
+
+// dumpBytes pulls a device's snoop log, tolerating absent captures.
+func dumpBytes(t *testing.T, d *device.Device) []byte {
+	t.Helper()
+	if d.Snoop == nil {
+		return nil
+	}
+	data, err := d.PullSnoopLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestAttackScenarioDeterminism runs every new scenario twice from the
+// same seed and requires byte-identical victim-side captures.
+func TestAttackScenarioDeterminism(t *testing.T) {
+	type run struct {
+		name string
+		do   func(seed int64) []byte
+	}
+	runs := []run{
+		{"stealtooth", func(seed int64) []byte {
+			tb, err := NewTestbed(seed, TestbedOptions{Bond: true, ClientPlatform: device.AndroidAutomotive})
+			if err != nil {
+				t.Fatal(err)
+			}
+			RunStealtooth(tb.Sched, StealtoothConfig{
+				Attacker: tb.A, Client: tb.C,
+				VictimAddr: tb.M.Addr(), VictimCOD: tb.M.Platform.COD,
+				OriginalKey: tb.BondKey,
+			})
+			return dumpBytes(t, tb.C)
+		}},
+		{"happy-mitm", func(seed int64) []byte {
+			tb, err := NewTestbed(seed, TestbedOptions{Bond: true, VictimSilentBondedRepair: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			RunHappyMitM(tb.Sched, HappyMitMConfig{
+				Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+				OriginalKey: tb.BondKey,
+			})
+			return dumpBytes(t, tb.M)
+		}},
+		{"blurtooth", func(seed int64) []byte {
+			tb, err := NewTestbed(seed, TestbedOptions{
+				ClientPlatform:           device.GalaxyS21Android11,
+				VictimCTKD:               true,
+				VictimSilentBondedRepair: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			RunBLURtooth(tb.Sched, BLURtoothConfig{
+				Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+			})
+			return dumpBytes(t, tb.M)
+		}},
+		{"oob-mitm", func(seed int64) []byte {
+			tb, err := NewTestbed(seed, TestbedOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			RunOOBMITM(tb.Sched, OOBMITMConfig{Attacker: tb.A, Client: tb.C, Victim: tb.M})
+			return dumpBytes(t, tb.M)
+		}},
+		{"passkey-sniff", func(seed int64) []byte {
+			printed := uint32(428571)
+			tb, err := NewTestbed(seed, TestbedOptions{ClientFixedPasskey: &printed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sniffer := NewAirSniffer(tb.Medium)
+			tb.MUser.TypedPasskey = &printed
+			RunPasskeySniff(tb.Sched, PasskeySniffConfig{
+				Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+				Sniffer: sniffer, PrintedPasskey: printed,
+			})
+			return dumpBytes(t, tb.M)
+		}},
+		{"passkey-guard", func(seed int64) []byte {
+			printed := uint32(428571)
+			tb, err := NewTestbed(seed, TestbedOptions{ClientFixedPasskey: &printed, EnhancedPasskey: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sniffer := NewAirSniffer(tb.Medium)
+			tb.MUser.TypedPasskey = &printed
+			RunPasskeySniff(tb.Sched, PasskeySniffConfig{
+				Attacker: tb.A, Client: tb.C, Victim: tb.M, VictimUser: tb.MUser,
+				Sniffer: sniffer, PrintedPasskey: printed,
+			})
+			return dumpBytes(t, tb.M)
+		}},
+	}
+	for _, r := range runs {
+		t.Run(r.name, func(t *testing.T) {
+			first := r.do(99)
+			second := r.do(99)
+			if len(first) == 0 {
+				t.Fatal("empty capture")
+			}
+			if !bytes.Equal(first, second) {
+				t.Fatalf("capture differs between identical runs (%d vs %d bytes)", len(first), len(second))
+			}
+		})
+	}
+}
+
+var _ = host.DeriveLTK // keep the host import tied to the scenario layer

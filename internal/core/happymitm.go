@@ -1,0 +1,102 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/device"
+	"repro/internal/host"
+	"repro/internal/sim"
+)
+
+// Happy MitM accepted-key UI blindness (Classen & Hollick): once a host
+// holds a bond for an address, re-pairing with that address never reaches
+// the user — the stack auto-accepts and silently swaps the stored key.
+// The attacker waits until the genuine accessory is out of range, assumes
+// its address with NoInputNoOutput, and pairs; the victim's phone replaces
+// the accessory's key with the attacker's without showing a dialog.
+
+// HappyMitMConfig parameterizes the silent key replacement run.
+type HappyMitMConfig struct {
+	// Attacker is A; Client is the genuine bonded accessory C; Victim is
+	// the phone M whose bond is overwritten. VictimUser must be M's UI.
+	Attacker   *device.Device
+	Client     *device.Device
+	Victim     *device.Device
+	VictimUser *host.SimUser
+	// OriginalKey is the setup bond key (used to report the overwrite).
+	OriginalKey bt.LinkKey
+	// ReconnectTime bounds the legitimate reconnect prologue (default
+	// 15 s): the victim uses the accessory normally first, which is what
+	// puts the stored-key sighting in the HCI dump.
+	ReconnectTime time.Duration
+	// SettleTime bounds the attack phase; defaults to 30 s.
+	SettleTime time.Duration
+}
+
+// HappyMitMReport is the outcome of one run.
+type HappyMitMReport struct {
+	// Reconnected reports the legitimate prologue completed.
+	Reconnected bool
+	// KeyReplaced reports that M's bond for the accessory's address now
+	// matches the attacker's key instead of the original.
+	KeyReplaced bool
+	// NewKey is M's stored key after the attack (zero when no bond).
+	NewKey bt.LinkKey
+	// AttackPrompts counts dialogs shown to M's user during the attack
+	// phase — the UI blindness means this stays zero.
+	AttackPrompts int
+	// Elapsed is virtual time consumed.
+	Elapsed time.Duration
+}
+
+// RunHappyMitM executes the accepted-key UI blindness attack against a
+// victim whose host suppresses re-pairing dialogs for bonded peers
+// (TestbedOptions.VictimSilentBondedRepair).
+func RunHappyMitM(s *sim.Scheduler, cfg HappyMitMConfig) HappyMitMReport {
+	var rep HappyMitMReport
+	start := s.Now()
+	a, c, m := cfg.Attacker, cfg.Client, cfg.Victim
+
+	reconnect := cfg.ReconnectTime
+	if reconnect <= 0 {
+		reconnect = 15 * time.Second
+	}
+	settle := cfg.SettleTime
+	if settle <= 0 {
+		settle = 30 * time.Second
+	}
+
+	// Prologue: the victim uses the accessory normally. The reconnect
+	// authenticates with the stored key, leaving the key sighting
+	// (HCI_Link_Key_Request_Reply) in M's dump that the detector compares
+	// later notifications against.
+	m.Host.Pair(c.Addr(), func(err error) { rep.Reconnected = err == nil })
+	s.RunFor(reconnect)
+	m.Host.Disconnect(c.Addr())
+	s.RunFor(time.Second)
+
+	// The accessory goes out of range; the attacker takes its identity.
+	c.Controller.Detach()
+	a.Host.SetIOCapability(bt.NoInputNoOutput)
+	a.SpoofIdentity(c.Addr(), c.Platform.COD)
+
+	promptsBefore := len(cfg.VictimUser.Prompts())
+
+	// The attacker pairs with the victim. M's silent bonded re-pair
+	// policy accepts without a dialog and overwrites the stored key.
+	a.Host.Pair(m.Addr(), func(error) {})
+
+	s.RunFor(settle)
+	rep.Elapsed = s.Now() - start
+	rep.AttackPrompts = len(cfg.VictimUser.Prompts()) - promptsBefore
+
+	victimBond := m.Host.Bonds().Get(c.Addr())
+	attackerBond := a.Host.Bonds().Get(m.Addr())
+	if victimBond != nil {
+		rep.NewKey = victimBond.Key
+	}
+	rep.KeyReplaced = victimBond != nil && attackerBond != nil &&
+		victimBond.Key == attackerBond.Key && victimBond.Key != cfg.OriginalKey
+	return rep
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/device"
+	"repro/internal/host"
+	"repro/internal/sim"
+)
+
+// OOB-association MITM: Out of Band pairing trusts the out-of-band
+// channel completely — whoever controls the NFC tag controls the pairing.
+// The attacker tampers with the accessory's tag so the victim's phone
+// reads the *attacker's* OOB payload under the accessory's name, and
+// relays the phone's own payload to itself (reader-in-the-middle). Both
+// sides then verify successfully, the association model is OutOfBand, and
+// the phone bonds the accessory's address to the attacker with a key the
+// spec marks authenticated. On the air this is byte-for-byte a genuine
+// OOB pairing, which is why no forensic rule can flag it.
+
+// OOBMITMConfig parameterizes the tampered-tag run.
+type OOBMITMConfig struct {
+	// Attacker is A; Client is the accessory whose identity (and NFC tag)
+	// is subverted; Victim is the phone M.
+	Attacker *device.Device
+	Client   *device.Device
+	Victim   *device.Device
+	// ReadTime bounds the OOB payload reads (default 5 s of virtual
+	// time — HCI round trips only).
+	ReadTime time.Duration
+	// SettleTime bounds the pairing phase; defaults to 30 s.
+	SettleTime time.Duration
+}
+
+// OOBMITMReport is the outcome of one run.
+type OOBMITMReport struct {
+	// PayloadsInstalled reports both tampered payloads were delivered.
+	PayloadsInstalled bool
+	// MITMEstablished reports the victim bonded the accessory's address
+	// to the attacker's key.
+	MITMEstablished bool
+	// KeyAuthenticated reports the victim's stored key claims MITM
+	// protection (OOB always does — the deception is complete).
+	KeyAuthenticated bool
+	// Elapsed is virtual time consumed.
+	Elapsed time.Duration
+}
+
+// RunOOBMITM executes the tampered-tag OOB MITM: the attacker's payload
+// reaches the victim keyed under the accessory's address, the victim's
+// payload reaches the attacker, and the attacker pairs as the accessory.
+func RunOOBMITM(s *sim.Scheduler, cfg OOBMITMConfig) OOBMITMReport {
+	var rep OOBMITMReport
+	start := s.Now()
+	a, c, m := cfg.Attacker, cfg.Client, cfg.Victim
+
+	readTime := cfg.ReadTime
+	if readTime <= 0 {
+		readTime = 5 * time.Second
+	}
+	settle := cfg.SettleTime
+	if settle <= 0 {
+		settle = 30 * time.Second
+	}
+
+	// Read both controllers' OOB payloads (the data a genuine NFC
+	// exchange would carry).
+	var attackerPayload, victimPayload host.OOBPayload
+	var haveA, haveM bool
+	a.Host.ReadLocalOOBData(func(p host.OOBPayload, err error) {
+		attackerPayload, haveA = p, err == nil
+	})
+	m.Host.ReadLocalOOBData(func(p host.OOBPayload, err error) {
+		victimPayload, haveM = p, err == nil
+	})
+	s.RunFor(readTime)
+	if !haveA || !haveM {
+		rep.Elapsed = s.Now() - start
+		return rep
+	}
+
+	// The tampered tag: the victim's phone taps what it believes is the
+	// accessory's tag and stores the attacker's payload under the
+	// accessory's address. The attacker's reader captured the victim's
+	// payload in the same tap.
+	m.Host.SetPeerOOBData(c.Addr(), attackerPayload)
+	a.Host.SetPeerOOBData(m.Addr(), victimPayload)
+	rep.PayloadsInstalled = true
+
+	// The accessory is out of range; the attacker pairs as the accessory.
+	// Both sides declare OOB data present, so the OOB model runs — no
+	// dialog, no numeric value, nothing for the victim's user to see.
+	c.Controller.Detach()
+	a.SpoofIdentity(c.Addr(), c.Platform.COD)
+	a.Host.Pair(m.Addr(), func(error) {})
+
+	s.RunFor(settle)
+	rep.Elapsed = s.Now() - start
+
+	victimBond := m.Host.Bonds().Get(c.Addr())
+	attackerBond := a.Host.Bonds().Get(m.Addr())
+	rep.MITMEstablished = victimBond != nil && attackerBond != nil &&
+		victimBond.Key == attackerBond.Key
+	if victimBond != nil {
+		rep.KeyAuthenticated = isAuthenticatedKeyType(victimBond.KeyType)
+	}
+	return rep
+}
+
+// isAuthenticatedKeyType reports whether a link key type carries MITM
+// protection.
+func isAuthenticatedKeyType(t bt.LinkKeyType) bool {
+	return t == bt.KeyTypeAuthenticatedP192 || t == bt.KeyTypeAuthenticatedP256
+}

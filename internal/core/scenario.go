@@ -64,6 +64,18 @@ type TestbedOptions struct {
 	VictimMinEncKeySize int
 	// VictimEnforceRoleCheck arms the §VII-B mitigation on M.
 	VictimEnforceRoleCheck bool
+	// VictimSilentBondedRepair makes M suppress the pairing dialog for
+	// already-bonded peers (the Happy-MitM UI blindness).
+	VictimSilentBondedRepair bool
+	// VictimCTKD enables BLURtooth-style cross-transport LTK derivation
+	// on M.
+	VictimCTKD bool
+	// ClientFixedPasskey pins C's display-side Passkey Entry passkey
+	// (printed-label accessory); nil keeps the random draw.
+	ClientFixedPasskey *uint32
+	// EnhancedPasskey arms the DH-masked Passkey Entry mitigation on both
+	// M and C (the attacker's device never gets it).
+	EnhancedPasskey bool
 	// MediumConfig overrides the radio timing (zero value uses defaults).
 	MediumConfig *radio.Config
 
@@ -122,6 +134,9 @@ func NewTestbed(seed int64, opts TestbedOptions) (*Testbed, error) {
 		SupervisionTimeout: opts.VictimSupervisionTimeout,
 		MinEncKeySize:      opts.VictimMinEncKeySize,
 		EnforceRoleCheck:   opts.VictimEnforceRoleCheck,
+		SilentBondedRepair: opts.VictimSilentBondedRepair,
+		CTKD:               opts.VictimCTKD,
+		EnhancedPasskey:    opts.EnhancedPasskey,
 	})
 	tb.MUser = host.NewSimUser(s)
 	tb.M.Host.SetUI(tb.MUser)
@@ -132,6 +147,8 @@ func NewTestbed(seed int64, opts TestbedOptions) (*Testbed, error) {
 		AttachUSBSniffer:           opts.ClientUSBSniffer,
 		LMPResponseTimeout:         opts.ClientLMPResponseTimeout,
 		MaxEncKeySize:              opts.ClientMaxEncKeySize,
+		FixedPasskey:               opts.ClientFixedPasskey,
+		EnhancedPasskey:            opts.EnhancedPasskey,
 	})
 
 	// The attacker's device always carries a snoop log: the paper

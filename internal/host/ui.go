@@ -1,6 +1,7 @@
 package host
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/bt"
@@ -20,10 +21,16 @@ const (
 )
 
 func (k ConfirmKind) String() string {
-	if k == KindNumericComparison {
+	switch k {
+	case KindNumericComparison:
 		return "numeric-comparison"
+	case KindJustWorksConsent:
+		return "just-works-consent"
+	default:
+		// Out-of-range values must stay distinguishable in prompt logs
+		// rather than masquerading as a consent dialog.
+		return fmt.Sprintf("confirm-kind(%d)", int(k))
 	}
-	return "just-works-consent"
 }
 
 // UI is the host's channel to the (simulated) user. respond callbacks may

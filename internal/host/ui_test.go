@@ -1,0 +1,22 @@
+package host
+
+import "testing"
+
+// TestConfirmKindString pins the dialog-kind labels: the two real kinds
+// keep their names, and out-of-range values are reported as such instead
+// of being mislabeled as a Just Works consent dialog.
+func TestConfirmKindString(t *testing.T) {
+	for _, tc := range []struct {
+		kind ConfirmKind
+		want string
+	}{
+		{KindNumericComparison, "numeric-comparison"},
+		{KindJustWorksConsent, "just-works-consent"},
+		{ConfirmKind(2), "confirm-kind(2)"},
+		{ConfirmKind(-1), "confirm-kind(-1)"},
+	} {
+		if got := tc.kind.String(); got != tc.want {
+			t.Errorf("ConfirmKind(%d).String() = %q, want %q", int(tc.kind), got, tc.want)
+		}
+	}
+}

@@ -239,12 +239,23 @@ const jsonHex = "0123456789abcdef"
 // become </>/&, invalid UTF-8 bytes become �, and
 // U+2028/U+2029 are escaped for JS embedding. Everything else is
 // copied verbatim in bulk runs between escapes.
+// jsonSafe marks the ASCII bytes that pass through appendJSONString
+// unescaped. A table lookup here keeps the escaper's hot loop — run on
+// every event string the daemon emits — to one load and one branch per
+// byte instead of a six-way comparison chain.
+var jsonSafe = func() (t [utf8.RuneSelf]bool) {
+	for c := 0x20; c < utf8.RuneSelf; c++ {
+		t[c] = c != '"' && c != '\\' && c != '<' && c != '>' && c != '&'
+	}
+	return
+}()
+
 func appendJSONString(b []byte, s string) []byte {
 	b = append(b, '"')
 	start := 0
 	for i := 0; i < len(s); {
 		if c := s[i]; c < utf8.RuneSelf {
-			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+			if jsonSafe[c] {
 				i++
 				continue
 			}

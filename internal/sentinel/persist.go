@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -341,12 +342,21 @@ type QueryResult struct {
 // Truncated tells the caller the cap bit.
 const defaultQueryLimit = 10000
 
+// maxQueryUnixSec bounds the unix-seconds form of a query time: any
+// |sec| beyond it overflows the nanosecond conversion (~year 2262) and
+// would wrap negative, silently turning an out-of-range since=/until=
+// into an empty result instead of a 400.
+const maxQueryUnixSec = math.MaxInt64 / int64(time.Second)
+
 // parseQueryTime accepts RFC3339(Nano) or integer unix seconds.
 func parseQueryTime(v string) (int64, error) {
 	if t, err := time.Parse(time.RFC3339Nano, v); err == nil {
 		return t.UnixNano(), nil
 	}
 	if sec, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if sec > maxQueryUnixSec || sec < -maxQueryUnixSec {
+			return 0, fmt.Errorf("unix seconds %d out of range (|sec| must be <= %d)", sec, maxQueryUnixSec)
+		}
 		return sec * int64(time.Second), nil
 	}
 	return 0, fmt.Errorf("bad time %q (want RFC3339 or unix seconds)", v)

@@ -297,6 +297,10 @@ func TestQueryEndpoint(t *testing.T) {
 		"/query?series=findings&since=huh":  http.StatusBadRequest,
 		"/query?series=findings&stream=-1":  http.StatusBadRequest,
 		"/query?series=findings&limit=zero": http.StatusBadRequest,
+		// Unix seconds beyond ~year 2262 overflow the nanosecond
+		// conversion; they must be a 400, not a silently empty window.
+		"/query?series=findings&since=99999999999999":  http.StatusBadRequest,
+		"/query?series=findings&until=-99999999999999": http.StatusBadRequest,
 	} {
 		resp, _ := get(path)
 		if resp.StatusCode != want {
@@ -324,6 +328,31 @@ func TestQueryWithoutStoreIs404(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestParseQueryTimeOverflow pins the unix-seconds bounds: values whose
+// nanosecond conversion would wrap int64 are rejected, the extremes that
+// still fit are accepted exactly.
+func TestParseQueryTimeOverflow(t *testing.T) {
+	for _, bad := range []string{"9223372037", "-9223372037", "99999999999999", "-99999999999999"} {
+		if _, err := parseQueryTime(bad); err == nil {
+			t.Fatalf("parseQueryTime(%q) accepted an overflowing value", bad)
+		}
+	}
+	for _, ok := range []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"1700000000", 1700000000 * int64(time.Second)},
+		{"9223372036", 9223372036 * int64(time.Second)},
+		{"-9223372036", -9223372036 * int64(time.Second)},
+	} {
+		got, err := parseQueryTime(ok.in)
+		if err != nil || got != ok.want {
+			t.Fatalf("parseQueryTime(%q) = %d, %v; want %d", ok.in, got, err, ok.want)
+		}
 	}
 }
 

@@ -153,7 +153,12 @@ type Config struct {
 	// the periodic ones.
 	CheckpointEvery int64
 	// AckEvery is the payload-byte interval between session-ack lines
-	// written back to a session client. Default 1 MiB.
+	// written back to a session client. Acks are written synchronously on
+	// the ingest reader goroutine, so each one costs the hot path a
+	// deadline-set plus a socket write; the default of 4 MiB keeps that
+	// overhead to a handful of writes per typical capture while still
+	// bounding how much a resuming client has to resend. Lower it when
+	// resume granularity matters more than ingest throughput.
 	AckEvery int64
 	// TenantQuota caps concurrent sessions per tenant, admitted ahead of
 	// the global MaxStreams cap; 0 means unlimited. Sessions with no
@@ -217,7 +222,7 @@ func (c *Config) defaults() {
 		c.CheckpointEvery = 8 << 20
 	}
 	if c.AckEvery <= 0 {
-		c.AckEvery = 1 << 20
+		c.AckEvery = 4 << 20
 	}
 }
 

@@ -898,6 +898,35 @@ func WriteSessionChunks(w io.Writer, r io.Reader) (int64, error) {
 	}
 }
 
+// WriteSessionBytes streams an in-memory capture to an established
+// session connection in length-prefixed chunks, returning the payload
+// byte count written. Wire bytes are identical to WriteSessionChunks
+// over the same data; the difference is purely client-side cost — each
+// chunk is a writev straight out of the caller's slice, so the capture
+// is never staged through an intermediate buffer. On a host where the
+// sending client shares cores with the daemon (the co-located
+// configuration the ingest benches measure), that copy is pure loss.
+func WriteSessionBytes(w io.Writer, data []byte) (int64, error) {
+	var hdr [4]byte
+	var total int64
+	for off := 0; off < len(data); off += sessionChunkSize {
+		end := off + sessionChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		binary.LittleEndian.PutUint32(hdr[:], uint32(end-off))
+		bufs := net.Buffers{hdr[:], data[off:end]}
+		nn, err := bufs.WriteTo(w)
+		if m := nn - 4; m > 0 {
+			total += m
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
 // WriteSessionFin writes the zero-length chunk that marks the clean end
 // of a session stream.
 func WriteSessionFin(w io.Writer) error {

@@ -543,3 +543,31 @@ func netDial(t *testing.T, addr string) (net.Conn, error) {
 	t.Helper()
 	return net.DialTimeout("tcp", addr, 5*time.Second)
 }
+
+func TestWriteSessionBytesWireParity(t *testing.T) {
+	// WriteSessionBytes must put byte-identical frames on the wire as
+	// WriteSessionChunks fed the same data — the zero-copy path is a
+	// client-side optimization, not a protocol variant.
+	sizes := []int{0, 1, 7, sessionChunkSize - 1, sessionChunkSize, sessionChunkSize + 1, 3 * sessionChunkSize}
+	for _, n := range sizes {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i * 31)
+		}
+		var chunked, direct bytes.Buffer
+		cn, err := WriteSessionChunks(&chunked, bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("size %d: WriteSessionChunks: %v", n, err)
+		}
+		dn, err := WriteSessionBytes(&direct, data)
+		if err != nil {
+			t.Fatalf("size %d: WriteSessionBytes: %v", n, err)
+		}
+		if cn != dn {
+			t.Fatalf("size %d: payload counts differ: chunked %d, direct %d", n, cn, dn)
+		}
+		if !bytes.Equal(chunked.Bytes(), direct.Bytes()) {
+			t.Fatalf("size %d: wire bytes differ", n)
+		}
+	}
+}

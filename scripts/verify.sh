@@ -48,6 +48,30 @@ go run ./cmd/btsim -scenario extraction -repeat 20 -workers 4 -seed 7 > "$obs_di
 grep -q 'succeeded' "$obs_dir/repeat.out"
 rm -rf "$obs_dir"
 
+# Related-attack library smoke (PR 10): an unknown scenario must list the
+# registry and exit 2; a library scenario must run, write its victim-side
+# capture, and flag its detector rule; the mitigation campaign must hold
+# the attack at zero.
+atk_dir=$(mktemp -d)
+go build -o "$atk_dir/btsim" ./cmd/btsim
+go build -o "$atk_dir/hcidump" ./cmd/hcidump
+rc=0
+"$atk_dir/btsim" -scenario no-such-attack 2> "$atk_dir/unknown.err" || rc=$?
+[ "$rc" -eq 2 ]
+grep -q 'valid: .*stealtooth.*passkey-guard' "$atk_dir/unknown.err"
+"$atk_dir/btsim" -scenario stealtooth -seed 7 -o "$atk_dir" | grep -q 're-paired=true'
+rc=0
+"$atk_dir/hcidump" -analyze "$atk_dir/stealtooth_C.btsnoop" > "$atk_dir/stealtooth.rep" || rc=$?
+[ "$rc" -eq 3 ]
+grep -q 'silent-repairing' "$atk_dir/stealtooth.rep"
+"$atk_dir/btsim" -scenario passkey-guard -repeat 10 -seed 7 2>/dev/null | grep -q '0/10 succeeded'
+go run ./cmd/benchtables -attacks -trials 5 > "$atk_dir/matrix.out"
+grep -q 'Cross-attack matrix' "$atk_dir/matrix.out"
+for atk in stealtooth happy-mitm blurtooth oob-mitm passkey-sniff passkey-guard; do
+    grep -q "$atk" "$atk_dir/matrix.out"
+done
+rm -rf "$atk_dir"
+
 # Chaos smoke: the same seed and fault plan must reproduce the capture
 # byte for byte, and blapd must still flag the degraded-channel attack
 # (exit 3 == findings present).
@@ -190,7 +214,7 @@ rm -rf "$tsdb_dir"
 
 # The committed bench JSONs must stay well-formed (the pr4 check also
 # enforces the degraded-sweep acceptance criteria).
-for bj in BENCH_pr2.json BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json BENCH_pr8.json BENCH_pr9.json; do
+for bj in BENCH_pr2.json BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json BENCH_pr8.json BENCH_pr9.json BENCH_pr10.json; do
     if [ -f "$bj" ]; then
         go run ./cmd/benchtables -checkjson "$bj"
     fi
@@ -234,4 +258,13 @@ fi
 # figures — resumability rides the cold path too.
 if [ -f BENCH_pr9.json ] && [ -f BENCH_pr8.json ]; then
     go run ./cmd/benchtables -checkjson BENCH_pr9.json -baseline BENCH_pr8.json -checkmulti
+fi
+
+# Cross-attack matrix gate: the PR 10 artifact carries the attack matrix
+# (>= 5 attacks with non-zero trials, clean-channel detection == success
+# for every ruled attack, mitigation row at zero — enforced inside
+# -checkjson) and its detector-rule additions must leave the ingest
+# throughput within 5% of the PR 9 figures.
+if [ -f BENCH_pr10.json ] && [ -f BENCH_pr9.json ]; then
+    go run ./cmd/benchtables -checkjson BENCH_pr10.json -baseline BENCH_pr9.json -checkmulti
 fi
